@@ -1,0 +1,82 @@
+//! Textual assembly emission.
+//!
+//! MAO's output is another assembly file that flows through the standard
+//! toolchain. Emission is the inverse of parsing: `parse(emit(entries))`
+//! yields an equal entry list (the identity-transform property the paper
+//! verifies by disassembling object files, §III.A).
+
+use std::fmt::Write as _;
+
+use crate::entry::Entry;
+
+/// Render the entry list as an assembly file.
+pub fn emit(entries: &[Entry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        // Entry::Display already handles per-kind indentation.
+        let _ = writeln!(out, "{e}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SAMPLE: &str = r#"
+	.text
+	.globl	main
+	.type	main, @function
+main:
+	push %rbp
+	mov %rsp, %rbp
+	movl $5, -4(%rbp)
+	jmp .L2
+.L1:
+	addl $1, -4(%rbp)
+	subl $1, -4(%rbp)
+.L2:
+	cmpl $0, -4(%rbp)
+	jne .L1
+	pop %rbp
+	ret
+	.size	main, .-main
+	.section	.rodata,"a",@progbits
+.LC0:
+	.quad	.L1
+	.string	"hi\n"
+"#;
+
+    #[test]
+    fn parse_emit_parse_is_identity() {
+        let first = parse(SAMPLE).unwrap();
+        let text = emit(&first);
+        let second = parse(&text).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn emit_emits_one_line_per_entry() {
+        let entries = parse("nop\nnop\n").unwrap();
+        let text = emit(&entries);
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn nop_length_survives_roundtrip() {
+        use mao_x86::encode::{encoded_length, BranchForm};
+        use mao_x86::Instruction;
+        for len in 1..=6usize {
+            let n = Instruction::nop_of_len(len);
+            let text = emit(&[Entry::Insn(n)]);
+            let back = parse(&text).unwrap();
+            let i = back[0].insn().unwrap();
+            assert_eq!(
+                encoded_length(i, BranchForm::Rel32).unwrap(),
+                len,
+                "length {len} lost in {text:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Assembly-file entries: the node type of the "one long list" IR.
+//!
+//! The paper: *"After parsing, all assembly directives and instructions form
+//! one long list of MAO IR nodes."* An [`Entry`] is one such node — a label,
+//! an instruction, or a directive. The `mao` crate layers sections,
+//! functions and iterators on top of a `Vec<Entry>`.
+
+use std::fmt;
+
+use mao_x86::Instruction;
+
+/// A value inside a data directive (`.long 4`, `.quad .L42`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataItem {
+    /// Constant value.
+    Imm(i64),
+    /// Symbol reference (jump tables are `.quad .Lnn` lists).
+    Symbol(String),
+}
+
+impl fmt::Display for DataItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataItem::Imm(v) => write!(f, "{v}"),
+            DataItem::Symbol(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Width of a data directive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataWidth {
+    /// `.byte`
+    Byte,
+    /// `.word` / `.value` (2 bytes)
+    Word,
+    /// `.long` / `.int` (4 bytes)
+    Long,
+    /// `.quad` (8 bytes)
+    Quad,
+}
+
+impl DataWidth {
+    /// Size in bytes of one item.
+    pub fn bytes(self) -> u64 {
+        match self {
+            DataWidth::Byte => 1,
+            DataWidth::Word => 2,
+            DataWidth::Long => 4,
+            DataWidth::Quad => 8,
+        }
+    }
+
+    /// Directive spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataWidth::Byte => ".byte",
+            DataWidth::Word => ".word",
+            DataWidth::Long => ".long",
+            DataWidth::Quad => ".quad",
+        }
+    }
+}
+
+/// An alignment request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Align {
+    /// Alignment in bytes (always a power of two).
+    pub alignment: u64,
+    /// Optional fill byte (x86 text sections default to NOP fill).
+    pub fill: Option<u8>,
+    /// Maximum bytes to skip; alignment is abandoned if it would need more.
+    pub max_skip: Option<u64>,
+    /// Was this written as `.p2align` (exponent form) or `.align`?
+    pub p2_form: bool,
+}
+
+impl Align {
+    /// A plain `.p2align n` request for 2^n-byte alignment.
+    pub fn p2(n: u32) -> Align {
+        Align {
+            alignment: 1 << n,
+            fill: None,
+            max_skip: None,
+            p2_form: true,
+        }
+    }
+}
+
+/// An assembly directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `.text`, `.data`, `.bss`, `.section name[,flags]`.
+    Section {
+        /// Section name (`.text`, `.rodata`, ...).
+        name: String,
+        /// Raw flag arguments, passed through verbatim.
+        args: Vec<String>,
+    },
+    /// `.globl sym` / `.global sym`.
+    Global(String),
+    /// `.type sym, @kind`.
+    Type {
+        /// Symbol name.
+        symbol: String,
+        /// Kind (`function`, `object`, ...), without the `@`.
+        kind: String,
+    },
+    /// `.size sym, expr` (expression kept verbatim).
+    Size {
+        /// Symbol name.
+        symbol: String,
+        /// Size expression, e.g. `.-main`.
+        expr: String,
+    },
+    /// `.align` / `.p2align` / `.balign`.
+    Align(Align),
+    /// `.byte`/`.word`/`.long`/`.quad` with one or more items.
+    Data {
+        /// Item width.
+        width: DataWidth,
+        /// The values.
+        items: Vec<DataItem>,
+    },
+    /// `.ascii "..."` (no trailing NUL).
+    Ascii(String),
+    /// `.asciz`/`.string "..."` (NUL-terminated).
+    Asciz(String),
+    /// `.zero n` / `.skip n`.
+    Zero(u64),
+    /// `.comm sym, size[, align]`.
+    Comm {
+        /// Symbol name.
+        symbol: String,
+        /// Size in bytes.
+        size: u64,
+        /// Optional alignment.
+        align: Option<u64>,
+    },
+    /// Any directive MAO does not interpret (`.file`, `.ident`, `.cfi_*`,
+    /// ...), passed through verbatim.
+    Other {
+        /// Directive name including the leading dot.
+        name: String,
+        /// Raw argument text.
+        args: String,
+    },
+}
+
+impl Directive {
+    /// Does this directive change the current section?
+    pub fn section_name(&self) -> Option<&str> {
+        match self {
+            Directive::Section { name, .. } => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Size contribution in bytes for address computation, if statically
+    /// known (data, strings, zero-fill; alignment is handled separately).
+    pub fn data_size(&self) -> Option<u64> {
+        match self {
+            Directive::Data { width, items } => Some(width.bytes() * items.len() as u64),
+            Directive::Ascii(s) => Some(s.len() as u64),
+            Directive::Asciz(s) => Some(s.len() as u64 + 1),
+            Directive::Zero(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\0' => out.push_str("\\0"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl fmt::Display for Directive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Directive::Section { name, args } => {
+                    if matches!(name.as_str(), ".text" | ".data" | ".bss") && args.is_empty() {
+                        write!(f, "{name}")
+                    } else {
+                        write!(f, ".section {name}")?;
+                        for a in args {
+                            write!(f, ",{a}")?;
+                        }
+                        Ok(())
+                    }
+                }
+                Directive::Global(s) => write!(f, ".globl {s}"),
+                Directive::Type { symbol, kind } => write!(f, ".type {symbol}, @{kind}"),
+                Directive::Size { symbol, expr } => write!(f, ".size {symbol}, {expr}"),
+                Directive::Align(a) => {
+                    if a.p2_form {
+                        write!(f, ".p2align {}", a.alignment.trailing_zeros())?;
+                    } else {
+                        write!(f, ".align {}", a.alignment)?;
+                    }
+                    match (a.fill, a.max_skip) {
+                        (None, None) => Ok(()),
+                        (Some(fill), None) => write!(f, ",{fill}"),
+                        (None, Some(max)) => write!(f, ",,{max}"),
+                        (Some(fill), Some(max)) => write!(f, ",{fill},{max}"),
+                    }
+                }
+                Directive::Data { width, items } => {
+                    write!(f, "{} ", width.name())?;
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{item}")?;
+                    }
+                    Ok(())
+                }
+                Directive::Ascii(s) => write!(f, ".ascii \"{}\"", escape(s)),
+                Directive::Asciz(s) => write!(f, ".asciz \"{}\"", escape(s)),
+                Directive::Zero(n) => write!(f, ".zero {n}"),
+                Directive::Comm {
+                    symbol,
+                    size,
+                    align,
+                } => {
+                    write!(f, ".comm {symbol},{size}")?;
+                    if let Some(a) = align {
+                        write!(f, ",{a}")?;
+                    }
+                    Ok(())
+                }
+                Directive::Other { name, args } => {
+                    if args.is_empty() {
+                        write!(f, "{name}")
+                    } else {
+                        write!(f, "{name} {args}")
+                    }
+                }
+        }
+    }
+}
+
+/// One node of the parsed assembly file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Entry {
+    /// `name:`
+    Label(String),
+    /// A machine instruction.
+    Insn(Instruction),
+    /// An assembler directive.
+    Directive(Directive),
+}
+
+impl Entry {
+    /// The instruction, if this entry is one.
+    pub fn insn(&self) -> Option<&Instruction> {
+        match self {
+            Entry::Insn(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Mutable instruction access.
+    pub fn insn_mut(&mut self) -> Option<&mut Instruction> {
+        match self {
+            Entry::Insn(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The label name, if this entry is a label.
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            Entry::Label(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The directive, if this entry is one.
+    pub fn directive(&self) -> Option<&Directive> {
+        match self {
+            Entry::Directive(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Entry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Entry::Label(l) => write!(f, "{l}:"),
+            Entry::Insn(i) => write!(f, "\t{i}"),
+            Entry::Directive(d) => write!(f, "\t{d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directive_display() {
+        let d = Directive::Section {
+            name: ".text".into(),
+            args: vec![],
+        };
+        assert_eq!(d.to_string(), ".text");
+        let d = Directive::Section {
+            name: ".rodata".into(),
+            args: vec![],
+        };
+        assert_eq!(d.to_string(), ".section .rodata");
+        let d = Directive::Align(Align::p2(4));
+        assert_eq!(d.to_string(), ".p2align 4");
+        let d = Directive::Align(Align {
+            alignment: 16,
+            fill: None,
+            max_skip: Some(15),
+            p2_form: true,
+        });
+        assert_eq!(d.to_string(), ".p2align 4,,15");
+    }
+
+    #[test]
+    fn data_directive() {
+        let d = Directive::Data {
+            width: DataWidth::Quad,
+            items: vec![DataItem::Symbol(".L4".into()), DataItem::Imm(0)],
+        };
+        assert_eq!(d.to_string(), ".quad .L4, 0");
+        assert_eq!(d.data_size(), Some(16));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let d = Directive::Asciz("a\"b\n".into());
+        assert_eq!(d.to_string(), ".asciz \"a\\\"b\\n\"");
+        assert_eq!(d.data_size(), Some(5));
+    }
+
+    #[test]
+    fn entry_accessors() {
+        let e = Entry::Label(".L1".into());
+        assert_eq!(e.label(), Some(".L1"));
+        assert!(e.insn().is_none());
+        let e = Entry::Insn(Instruction::nop());
+        assert!(e.insn().is_some());
+    }
+}

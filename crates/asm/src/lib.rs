@@ -1,0 +1,20 @@
+//! AT&T-syntax x86-64 assembly parsing and emission.
+//!
+//! This crate replaces the gas front end the original MAO wrapped: it parses
+//! compiler-emitted assembly into a flat list of [`Entry`] nodes (labels,
+//! instructions, directives) and re-emits legible textual assembly. The
+//! `mao` crate builds its sections/functions IR on top of this list.
+//!
+//! ```
+//! let entries = mao_asm::parse("foo:\n\tpush %rbp\n\tret\n").unwrap();
+//! let text = mao_asm::emit(&entries);
+//! assert_eq!(mao_asm::parse(&text).unwrap(), entries);
+//! ```
+
+pub mod emit;
+pub mod entry;
+pub mod parser;
+
+pub use emit::emit;
+pub use entry::{Align, DataItem, DataWidth, Directive, Entry};
+pub use parser::{parse, ParseError};

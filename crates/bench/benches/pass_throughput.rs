@@ -1,0 +1,73 @@
+//! Benchmark: per-pass throughput over the synthetic corpus.
+//!
+//! Supports the §V.A discussion by attributing MAO's compile-time cost to
+//! individual passes (pattern matchers are cheap; the alignment passes pay
+//! for repeated relaxation; the scheduler pays for DAG construction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mao::pass::{parse_invocations, run_pipeline};
+use mao::MaoUnit;
+use mao_corpus::compiler::{generate, GeneratorConfig};
+
+fn bench_passes(c: &mut Criterion) {
+    let text = generate(&GeneratorConfig::core_library(0.01)).asm;
+    let unit = MaoUnit::parse(&text).expect("corpus parses");
+    let mut group = c.benchmark_group("pass_throughput");
+    group.sample_size(10);
+    for pass in ["REDZEXT", "REDTEST", "REDMOV", "ADDADD", "CONSTFOLD", "DCE", "SCHED", "LOOP16", "NOPKILL"] {
+        group.bench_function(pass, |b| {
+            let invs = parse_invocations(pass).expect("valid");
+            b.iter(|| {
+                let mut u = unit.clone();
+                run_pipeline(black_box(&mut u), &invs, None).expect("pass runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_analyses(c: &mut Criterion) {
+    let text = generate(&GeneratorConfig::core_library(0.01)).asm;
+    let unit = MaoUnit::parse(&text).expect("corpus parses");
+    let mut group = c.benchmark_group("analyses");
+    group.sample_size(10);
+    group.bench_function("relaxation", |b| {
+        b.iter(|| mao::relax(black_box(&unit)).expect("relaxes"))
+    });
+    group.bench_function("cfg_all_functions", |b| {
+        b.iter(|| {
+            unit.functions()
+                .iter()
+                .map(|f| mao::cfg::Cfg::build(&unit, f).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("liveness_all_functions", |b| {
+        b.iter(|| {
+            unit.functions()
+                .iter()
+                .map(|f| {
+                    let cfg = mao::cfg::Cfg::build(&unit, f);
+                    mao::dataflow::Liveness::compute(&unit, &cfg).live_in.len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("havlak_all_functions", |b| {
+        b.iter(|| {
+            unit.functions()
+                .iter()
+                .map(|f| {
+                    let cfg = mao::cfg::Cfg::build(&unit, f);
+                    mao::loops::find_loops(&cfg).len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes, bench_analyses);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benchmark: simulator throughput (instructions simulated per second).
+//!
+//! Not a paper table — the simulator is our hardware substitute, and its
+//! speed bounds how large the §V experiments can be.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use mao::MaoUnit;
+use mao_corpus::kernels::{hashing, lsd_loop, mcf_fig1};
+use mao_sim::{simulate, SimOptions, UarchConfig};
+
+fn bench_simulator(c: &mut Criterion) {
+    let config = UarchConfig::core2();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for w in [
+        hashing(true, 20_000),
+        lsd_loop(0, 10_000),
+        mcf_fig1(false, 20_000),
+    ] {
+        let unit = MaoUnit::parse(&w.asm).expect("kernel parses");
+        // Count dynamic instructions once for throughput reporting.
+        let r = simulate(&unit, &w.entry, &w.args, &config, &SimOptions::default())
+            .expect("kernel runs");
+        group.throughput(Throughput::Elements(r.pmu.instructions));
+        group.bench_function(&w.name, |b| {
+            b.iter(|| {
+                simulate(
+                    black_box(&unit),
+                    &w.entry,
+                    &w.args,
+                    &config,
+                    &SimOptions::default(),
+                )
+                .expect("kernel runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Experiment: §III.E.m — PMU sample amplification by instruction
+//! simulation.
+//!
+//! For the RACEZ race detector, each hardware sample carries one effective
+//! address plus a register-file snapshot; MAO's forward/backward simulation
+//! of a small instruction subset recovers the addresses of neighbouring
+//! memory instructions. *"The number of sampled effective addresses could
+//! be increased by factors ranging from 4.1 to 6.3."*
+//!
+//! We replay that setup hermetically: run synthetic benchmarks on the
+//! simulator, sample every Nth memory instruction (collecting the register
+//! file, as PEBS would), amplify with the SIMADDR machinery, and check the
+//! recovered addresses against the simulator's ground truth.
+
+use std::collections::HashMap;
+
+use mao::passes::simaddr::amplify;
+use mao::profile::{Profile, Sample, Site};
+use mao::MaoUnit;
+use mao_sim::{Machine, Program, Step};
+use mao_x86::RegId;
+
+/// A memory-heavy benchmark with address arithmetic the simulation subset
+/// can follow (`name` selects the access pattern).
+fn workload(name: &str) -> String {
+    let body = match name {
+        // Sequential struct-walk: fixed-stride loads/stores.
+        "seq" => "\tmovq (%rdi), %rax\n\tmovq %rax, (%rsi)\n\taddq $16, %rdi\n\tmovq 8(%rdi), %rbx\n\taddq %rbx, %r8\n\tmovq %rbx, 8(%rsi)\n\taddq $16, %rsi\n",
+        // Field accesses around a moving base.
+        "fields" => "\tmovq (%rdi), %rax\n\tmovq 8(%rdi), %rbx\n\tmovq 16(%rdi), %rdx\n\taddq %rbx, %rax\n\tmovq %rax, 24(%rdi)\n\taddq $32, %rdi\n",
+        // Stack spill traffic.
+        _ => "\tmovq %r8, -8(%rsp)\n\tmovq %r9, -16(%rsp)\n\tmovq -8(%rsp), %rax\n\taddq $1, %r8\n\tmovq -16(%rsp), %rbx\n\taddq %rbx, %r9\n",
+    };
+    format!(
+        ".text\n.globl f\n.type f, @function\nf:\n\tmovl $3000, %ecx\n.Lw:\n{body}\tsubl $1, %ecx\n\tjne .Lw\n\tret\n.size f, .-f\n"
+    )
+}
+
+fn main() {
+    println!("== §III.E.m: effective-address sample amplification ==");
+    println!(
+        "  {:<8} {:>9} {:>10} {:>8} {:>10}",
+        "workload", "samples", "recovered", "factor", "verified"
+    );
+    for name in ["seq", "fields", "stack"] {
+        let asm = workload(name);
+        let unit = MaoUnit::parse(&asm).expect("parses");
+        let program = Program::load(&unit).expect("loads");
+        let mut machine = Machine::new(&program, "f", &[0x300_0000, 0x500_0000]).expect("init");
+
+        // Ground truth: every memory instruction's address per (insn index).
+        // Sample every 13th memory access, snapshotting the register file.
+        let f = unit.find_function("f").expect("f exists");
+        let insn_index: HashMap<usize, usize> = f
+            .entry_ids()
+            .filter(|&id| unit.insn(id).is_some())
+            .enumerate()
+            .map(|(k, id)| (id, k))
+            .collect();
+
+        let mut profile = Profile::new();
+        let mut truth: HashMap<(usize, u64), ()> = HashMap::new();
+        let mut mem_seen = 0u64;
+        loop {
+            let snapshot: HashMap<RegId, u64> = RegId::GPRS
+                .iter()
+                .map(|&r| (r, machine.gpr[r.encoding() as usize]))
+                .collect();
+            match machine.step(&program).expect("runs") {
+                Step::Executed(info) => {
+                    let addr = info.load.or(info.store).map(|(a, _)| a);
+                    if let Some(addr) = addr {
+                        let idx = insn_index[&info.entry];
+                        truth.insert((idx, addr), ());
+                        mem_seen += 1;
+                        if mem_seen % 13 == 0 {
+                            profile.add_sample(Sample {
+                                site: Site::new("f", idx),
+                                regs: snapshot,
+                                address: Some(addr),
+                            });
+                        }
+                    }
+                }
+                Step::Finished(_) => break,
+            }
+        }
+
+        let sampled = profile.samples.len();
+        let recovered = amplify(&unit, &profile);
+        // Verify every recovered address against ground truth.
+        let verified = recovered
+            .iter()
+            .filter(|r| truth.contains_key(&(r.site.insn_index, r.address)))
+            .count();
+        assert_eq!(
+            verified,
+            recovered.len(),
+            "all recovered addresses must match ground truth"
+        );
+        let factor = (sampled + recovered.len()) as f64 / sampled as f64;
+        println!(
+            "  {name:<8} {sampled:>9} {:>10} {factor:>7.1}x {verified:>10}",
+            recovered.len()
+        );
+    }
+    println!("  paper: amplification factors 4.1x - 6.3x");
+}

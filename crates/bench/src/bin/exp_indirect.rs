@@ -1,0 +1,108 @@
+//! Experiment: §II — indirect-branch resolution (the 246-of-320 anecdote).
+//!
+//! The paper: *"When we updated the internal compiler to a newer version,
+//! we found that 246 out of 320 indirect branches could no longer be
+//! resolved. After adding a single pattern that uses the data flow
+//! framework's reaching definitions functionality, only 4 out of the 320
+//! indirect branches (1.2%) remained unresolved."*
+//!
+//! We regenerate the code-base shape: 320 functions with `switch`-style
+//! indirect jumps — 74 in the old compiler's direct `jmp *TAB(,%r,8)`
+//! style, 242 in the newer compiler's load-then-`jmp *%reg` style (which
+//! needs the reaching-definitions pattern), and 4 genuinely unresolvable
+//! ("complex, uncommon cross-basic block scenarios").
+
+use std::fmt::Write as _;
+
+use mao::cfg::Cfg;
+use mao::MaoUnit;
+
+fn switch_function(idx: usize, style: u8) -> String {
+    let mut s = String::new();
+    let name = format!("dispatch_{idx}");
+    let _ = writeln!(s, "\t.globl\t{name}");
+    let _ = writeln!(s, "\t.type\t{name}, @function");
+    let _ = writeln!(s, "{name}:");
+    match style {
+        // Old-compiler style: direct scaled table jump.
+        0 => {
+            let _ = writeln!(s, "\tjmp *.Ltab_{idx}(,%rdi,8)");
+        }
+        // New-compiler style: table load into a register (possibly moved
+        // once), then an indirect register jump.
+        1 => {
+            let _ = writeln!(s, "\tmovq .Ltab_{idx}(,%rdi,8), %rax");
+            if idx % 2 == 0 {
+                let _ = writeln!(s, "\tmovq %rax, %rcx");
+                let _ = writeln!(s, "\tjmp *%rcx");
+            } else {
+                let _ = writeln!(s, "\tjmp *%rax");
+            }
+        }
+        // The unresolvable residue: the jump register comes out of opaque
+        // arithmetic (a computed-goto chain no pattern covers).
+        _ => {
+            let _ = writeln!(s, "\tmovq .Ltab_{idx}(,%rdi,8), %rax");
+            let _ = writeln!(s, "\taddq %rsi, %rax");
+            let _ = writeln!(s, "\tjmp *%rax");
+        }
+    }
+    for c in 0..3 {
+        let _ = writeln!(s, ".Lcase_{idx}_{c}:");
+        let _ = writeln!(s, "\tmovl ${}, %eax", c * 10);
+        let _ = writeln!(s, "\tret");
+    }
+    let _ = writeln!(s, "\t.size\t{name}, .-{name}");
+    let _ = writeln!(s, "\t.section\t.rodata");
+    let _ = writeln!(s, ".Ltab_{idx}:");
+    for c in 0..3 {
+        let _ = writeln!(s, "\t.quad\t.Lcase_{idx}_{c}");
+    }
+    let _ = writeln!(s, "\t.text");
+    s
+}
+
+fn main() {
+    // 320 indirect branches: 74 direct, 242 register-style, 4 opaque.
+    let mut asm = String::from("\t.text\n");
+    let mut styles = Vec::new();
+    for i in 0..320usize {
+        let style = if i < 74 {
+            0
+        } else if i < 316 {
+            1
+        } else {
+            2
+        };
+        styles.push(style);
+        asm.push_str(&switch_function(i, style));
+    }
+    let unit = MaoUnit::parse(&asm).expect("corpus parses");
+    let functions = unit.functions();
+    assert_eq!(functions.len(), 320);
+
+    let count_unresolved = |through_registers: bool| -> usize {
+        functions
+            .iter()
+            .filter(|f| {
+                Cfg::build_with_options(&unit, f, through_registers).unresolved_indirect
+            })
+            .count()
+    };
+
+    let without = count_unresolved(false);
+    let with = count_unresolved(true);
+    println!("== §II: indirect-branch resolution on 320 switch functions ==");
+    println!(
+        "  direct-pattern only:          {without:>3} / 320 unresolved   (paper: 246)"
+    );
+    println!(
+        "  + reaching-definitions pattern: {with:>3} / 320 unresolved   (paper: 4, i.e. 1.2%)"
+    );
+    println!(
+        "  resolution rate with both patterns: {:.1}%",
+        (320 - with) as f64 / 320.0 * 100.0
+    );
+    assert_eq!(without, 246);
+    assert_eq!(with, 4);
+}

@@ -1,0 +1,74 @@
+//! Experiment: the §II relaxation listing.
+//!
+//! Reproduces the paper's worked example byte-for-byte: a forward `jmp`
+//! over a 0x7f-byte body encodes as 2 bytes (`eb 7f`); inserting a single
+//! NOP before the target forces the 5-byte `e9` form and moves the target
+//! down by 4 bytes (1 NOP + 3 encoding growth), re-relaxing the backward
+//! `jne` as well.
+
+use mao::relax::relax;
+use mao::MaoUnit;
+use mao_x86::encode::encode;
+
+fn listing(extra_nop: bool) -> String {
+    let mut s = String::new();
+    s.push_str("main:\n");
+    s.push_str("\tpush %rbp\n");
+    s.push_str("\tmov %rsp, %rbp\n");
+    s.push_str("\tmovl $5, -4(%rbp)\n");
+    s.push_str("\tjmp .Lc\n");
+    s.push_str("\taddl $1, -4(%rbp)\n");
+    s.push_str("\tsubl $1, -4(%rbp)\n");
+    // <instructions> — pad to put .Lc at 0x8c.
+    for _ in 0..0x77 {
+        s.push_str("\tnop\n");
+    }
+    if extra_nop {
+        s.push_str("\tnop\n");
+    }
+    s.push_str(".Lc:\n");
+    s.push_str("\tcmpl $0, -4(%rbp)\n");
+    s.push_str("\tjne .Ld\n");
+    s.push_str("\tret\n");
+    s
+}
+
+fn main() {
+    println!("== §II relaxation listing ==");
+    for extra in [false, true] {
+        // The backward jne in the paper targets offset 0xd; give it a label.
+        let asm = listing(extra).replace(
+            "\tjmp .Lc\n\taddl",
+            "\tjmp .Lc\n.Ld:\n\taddl",
+        );
+        let unit = MaoUnit::parse(&asm).expect("listing parses");
+        let layout = relax(&unit).expect("listing relaxes");
+        let jmp = unit
+            .entries()
+            .iter()
+            .position(|e| e.insn().is_some_and(|i| i.target_label() == Some(".Lc")))
+            .expect("jmp exists");
+        let lc = unit.find_label(".Lc").expect(".Lc exists");
+        let delta = layout.addr[lc] as i64 - layout.end_addr(jmp) as i64;
+        let bytes = encode(
+            unit.insn(jmp).expect("jmp is insn"),
+            layout.branch_form[&jmp],
+            delta,
+        )
+        .expect("jmp encodes");
+        println!(
+            "  {}: jmp at {:#04x} is {} bytes [{}], .Lc at {:#04x}, {} relaxation iterations",
+            if extra { "with extra NOP" } else { "original      " },
+            layout.addr[jmp],
+            layout.size[jmp],
+            bytes
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+            layout.addr[lc],
+            layout.iterations,
+        );
+    }
+    println!("  paper: 'eb 7f' / .Lc at 0x8c -> 'e9 80 00 00 00' / .Lc at 0x90");
+}

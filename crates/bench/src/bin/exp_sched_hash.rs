@@ -1,0 +1,64 @@
+//! Experiment: §III.F — scheduling the hashing kernel.
+//!
+//! The paper found 21% of opportunity in a hashing microbenchmark from
+//! instruction order alone: an `xorl` feeds three consumers, and result
+//! forwarding has limited bandwidth, so which consumers issue in the
+//! producer's completion cycle matters (`RESOURCE_STALLS:RS_FULL` tracked
+//! the loss). The SCHED pass's critical-path priority recovers the good
+//! order; the port-asymmetry kernel shows the machine-dependent side.
+
+use mao::pass::{parse_invocations, run_pipeline};
+use mao::MaoUnit;
+use mao_corpus::kernels::{hashing, port_contention};
+use mao_sim::{simulate, SimOptions, UarchConfig};
+
+fn run(asm: &str, entry: &str, config: &UarchConfig) -> (u64, u64) {
+    let unit = MaoUnit::parse(asm).expect("parses");
+    let r = simulate(&unit, entry, &[], config, &SimOptions::default()).expect("runs");
+    (r.pmu.cycles, r.pmu.rs_full_stalls)
+}
+
+fn main() {
+    let config = UarchConfig::core2();
+    let iters = 200_000u64;
+    println!("== §III.F: hashing kernel schedules ==");
+
+    let bad = hashing(false, iters);
+    let good = hashing(true, iters);
+    let (bad_cycles, bad_stalls) = run(&bad.asm, "hash_kernel", &config);
+    let (good_cycles, good_stalls) = run(&good.asm, "hash_kernel", &config);
+    println!(
+        "  bad order:  {bad_cycles:>8} cycles, RS_FULL stalls {bad_stalls:>7}"
+    );
+    println!(
+        "  good order: {good_cycles:>8} cycles, RS_FULL stalls {good_stalls:>7}"
+    );
+    println!(
+        "  hand-schedule speedup: {:+.1}%  (paper: 15% on the kernel, 21% opportunity)",
+        (bad_cycles as f64 - good_cycles as f64) / bad_cycles as f64 * 100.0
+    );
+    assert!(
+        bad_stalls > good_stalls,
+        "the slow order shows more RS_FULL pressure, as the paper's PMU data did"
+    );
+
+    // SCHED recovers the good order from the bad one.
+    let mut unit = MaoUnit::parse(&bad.asm).expect("parses");
+    let report = run_pipeline(&mut unit, &parse_invocations("SCHED").expect("ok"), None)
+        .expect("SCHED runs");
+    let (sched_cycles, sched_stalls) = run(&unit.emit(), "hash_kernel", &config);
+    let moved = report.stats("SCHED").map(|s| s.transformations).unwrap_or(0);
+    println!(
+        "  SCHED:      {sched_cycles:>8} cycles, RS_FULL stalls {sched_stalls:>7} ({moved} instructions moved, {:+.1}%)",
+        (bad_cycles as f64 - sched_cycles as f64) / bad_cycles as f64 * 100.0
+    );
+
+    println!("\n== §III.F: lea/sarl port contention (machine-dependent) ==");
+    let port = port_contention(iters);
+    let (intel_cycles, _) = run(&port.asm, "port_kernel", &config);
+    let (amd_cycles, _) = run(&port.asm, "port_kernel", &UarchConfig::opteron());
+    println!(
+        "  lea->sar chain: {intel_cycles} cycles on asymmetric-port Intel profile, {amd_cycles} on symmetric AMD profile"
+    );
+    println!("  (lea issues only on port 0, sarl on ports 0 and 5 — §III.F)");
+}

@@ -1,0 +1,50 @@
+//! Experiment: §V.B SPEC 2006 tables.
+//!
+//! Regenerates the two SPEC2006 tables: the dealII/calculix REDMOV/REDTEST/
+//! NOPKILL table (on the AMD-Opteron-like profile, where the paper found
+//! the 20% swings and suspected "an LSD-like structure"), and the SCHED
+//! table across five benchmarks (on the Intel profile).
+
+use mao_bench::pass_effect;
+use mao_corpus::spec::spec2006_benchmark;
+use mao_sim::UarchConfig;
+
+fn main() {
+    let amd = UarchConfig::opteron();
+    let intel = UarchConfig::core2();
+
+    println!("== Table: REDMOV / REDTEST / NOPKILL on AMD-Opteron-like ==");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9}   paper: REDMOV/REDTEST/NOPKILL",
+        "benchmark", "REDMOV", "REDTEST", "NOPKILL"
+    );
+    let paper = [
+        ("447.dealII", (2.78, 3.21, -0.12)),
+        ("454.calculix", (20.12, 20.58, -8.81)),
+    ];
+    for (name, (p_m, p_t, p_n)) in paper {
+        let w = spec2006_benchmark(name).expect("known benchmark");
+        let (m, _) = pass_effect(&w, "REDMOV", &amd);
+        let (t, _) = pass_effect(&w, "REDTEST", &amd);
+        let (n, _) = pass_effect(&w, "NOPKILL", &amd);
+        println!(
+            "{name:<14} {m:>+8.2}% {t:>+8.2}% {n:>+8.2}%   ({p_m:+.2}% / {p_t:+.2}% / {p_n:+.2}%)"
+        );
+    }
+
+    println!("\n== Table: SCHED on Intel-Core-2-like ==");
+    println!("{:<14} {:>10} {:>10} {:>8}", "benchmark", "measured", "paper", "moved");
+    let paper_sched = [
+        ("410.bwaves", 1.29),
+        ("434.zeusmp", 1.20),
+        ("483.xalancbmk", 1.25),
+        ("429.mcf", 1.43),
+        ("464.h264ref", 1.75),
+    ];
+    for (name, p) in paper_sched {
+        let w = spec2006_benchmark(name).expect("known benchmark");
+        let (pct, report) = pass_effect(&w, "SCHED", &intel);
+        let moved = report.stats("SCHED").map(|s| s.transformations).unwrap_or(0);
+        println!("{name:<14} {pct:>+9.2}% {p:>+9.2}% {moved:>8}");
+    }
+}

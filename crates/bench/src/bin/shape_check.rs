@@ -1,0 +1,109 @@
+//! Quick effect-shape sanity checks for the simulator (developer tool).
+
+use mao::MaoUnit;
+use mao_sim::{simulate, SimOptions, UarchConfig};
+
+fn cycles(text: &str) -> u64 {
+    let unit = MaoUnit::parse(text).unwrap();
+    simulate(
+        &unit,
+        "f",
+        &[],
+        &UarchConfig::core2(),
+        &SimOptions::default(),
+    )
+    .unwrap()
+    .pmu
+    .cycles
+}
+
+fn main() {
+    // LOOP16: the eon loop runs only 8 iterations per entry (below LSD
+    // lock-on), re-entered from an outer loop. 15-byte inner body.
+    let loop16 = |pad: usize| {
+        let mut s = String::from(
+            ".type f, @function\nf:\n\tmovl $30000, %ecx\n.Louter:\n\txorq %rax, %rax\n\tmovq $8, %rdx\n",
+        );
+        s.push_str(&"\tnop\n".repeat(pad));
+        s.push_str(".Lloop:\n\tmovss %xmm0, (%rdi,%rax,4)\n\taddq $1, %rax\n\tsubq $1, %rdx\n\tjne .Lloop\n");
+        s.push_str("\tsubl $1, %ecx\n\tjne .Louter\n\tret\n");
+        s
+    };
+    // Entry to .Lloop: movl(5)+xor(3)+movq(7) = 15 bytes. pad 1 -> aligned.
+    let aligned = cycles(&loop16(1));
+    let crossing = cycles(&loop16(0));
+    println!(
+        "LOOP16: aligned={aligned} crossing={crossing} slowdown={:.3}",
+        crossing as f64 / aligned as f64
+    );
+
+    // LSD: byte-dense loop of independent movabs (10 bytes each):
+    // 5 movabs + subq + jne = 56 bytes, 7 insns. Aligned start -> 4 lines
+    // (streams after 64 iterations); start at 10 -> 5 lines (never streams).
+    let lsd = |pad: usize| {
+        let mut s = String::from(
+            ".type f, @function\nf:\n\txorq %rax, %rax\n\tmovq $100000, %rcx\n",
+        );
+        s.push_str(&"\tnop\n".repeat(pad));
+        s.push_str(".Lloop:\n");
+        for (i, r) in ["r8", "r9", "r10", "r11", "rdx"].iter().enumerate() {
+            s.push_str(&format!("\tmovabs $0x123456789abcde{i}, %{r}\n"));
+        }
+        s.push_str("\tsubq $1, %rcx\n\tjne .Lloop\n\tret\n");
+        s
+    };
+    let four = cycles(&lsd(6)); // start 16: [16,72) -> 4 lines, streams
+    let five = cycles(&lsd(0)); // start 10: [10,66) -> 5 lines
+    println!(
+        "LSD: 4lines={four} 5lines={five} slowdown={:.3}",
+        five as f64 / four as f64
+    );
+
+    // BRALIGN: inner loop trip count 1 (its back branch is never taken),
+    // outer always taken. Same 32B bucket -> predictor conflict.
+    let nest = |pad: usize| {
+        let mut s = String::from(
+            ".type f, @function\nf:\n\tmovl $100000, %eax\n.Louter:\n\tmovl $1, %ebx\n.Linner:\n\tsubl $1, %ebx\n\tjne .Linner\n",
+        );
+        s.push_str(&"\tnop\n".repeat(pad));
+        s.push_str("\tsubl $1, %eax\n\tjne .Louter\n\tret\n");
+        s
+    };
+    let aliased = cycles(&nest(0));
+    let separated = cycles(&nest(24));
+    println!(
+        "BRALIGN: aliased={aliased} separated={separated} speedup={:.3}",
+        aliased as f64 / separated as f64
+    );
+
+    // SCHED / forwarding: xorl feeding three consumers; critical path via
+    // the shrl consumer. Bad order: critical consumer last (loses the
+    // forwarding slot); good order: critical consumer first.
+    let hash = |order: &[&str]| {
+        let mut s = String::from(
+            ".type f, @function\nf:\n\tmovl $200000, %eax\n.L:\n\txorl %edi, %ebx\n",
+        );
+        for line in order {
+            s.push_str(line);
+            s.push('\n');
+        }
+        s.push_str("\txorl %edi, %edx\n\tsubl $1, %eax\n\tjne .L\n\tret\n");
+        s
+    };
+    let good = cycles(&hash(&[
+        "\tmovl %ebx, %edi",
+        "\tshrl $12, %edi",
+        "\tsubl %ebx, %ecx",
+        "\tsubl %ebx, %edx",
+    ]));
+    let bad = cycles(&hash(&[
+        "\tsubl %ebx, %ecx",
+        "\tsubl %ebx, %edx",
+        "\tmovl %ebx, %edi",
+        "\tshrl $12, %edi",
+    ]));
+    println!(
+        "SCHED: good={good} bad={bad} slowdown={:.3}",
+        bad as f64 / good as f64
+    );
+}

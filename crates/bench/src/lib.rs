@@ -1,0 +1,118 @@
+//! Shared harness for the experiment binaries and criterion benches.
+//!
+//! Each `exp_*` binary regenerates one table or figure of the paper (see
+//! DESIGN.md's per-experiment index); this library holds the common
+//! plumbing: run a workload on a profile, apply a `--mao=` pass string,
+//! and report the paper's improvement convention (positive = faster).
+
+use mao::pass::{parse_invocations, run_pipeline, PipelineReport};
+use mao::{MaoUnit, Profile};
+use mao_corpus::Workload;
+use mao_sim::{simulate, SimOptions, SimResult, UarchConfig};
+
+/// Simulate a workload and return the result.
+///
+/// # Panics
+///
+/// Panics on parse or simulation failure — experiment inputs are
+/// program-generated and must be valid; failing loudly beats silently
+/// skewing a table.
+pub fn run_workload(w: &Workload, config: &UarchConfig) -> SimResult {
+    let unit = MaoUnit::parse(&w.asm)
+        .unwrap_or_else(|e| panic!("workload {} does not parse: {e}", w.name));
+    simulate(&unit, &w.entry, &w.args, config, &SimOptions::default())
+        .unwrap_or_else(|e| panic!("workload {} failed to simulate: {e}", w.name))
+}
+
+/// Apply a `--mao=` pass string to a workload, returning the transformed
+/// workload and the pipeline report (for transformation counts).
+pub fn apply_passes(w: &Workload, passes: &str, profile: Option<Profile>) -> (Workload, PipelineReport) {
+    let mut unit = MaoUnit::parse(&w.asm)
+        .unwrap_or_else(|e| panic!("workload {} does not parse: {e}", w.name));
+    let invocations = parse_invocations(passes)
+        .unwrap_or_else(|e| panic!("bad pass string `{passes}`: {e}"));
+    let report = run_pipeline(&mut unit, &invocations, profile)
+        .unwrap_or_else(|e| panic!("pipeline `{passes}` failed on {}: {e}", w.name));
+    let transformed = Workload {
+        name: format!("{}+{passes}", w.name),
+        asm: unit.emit(),
+        entry: w.entry.clone(),
+        args: w.args.clone(),
+    };
+    (transformed, report)
+}
+
+/// The paper's improvement convention: positive percentage = speedup.
+pub fn improvement_pct(baseline_cycles: u64, new_cycles: u64) -> f64 {
+    if baseline_cycles == 0 {
+        return 0.0;
+    }
+    (baseline_cycles as f64 - new_cycles as f64) / baseline_cycles as f64 * 100.0
+}
+
+/// Run `workload` before and after `passes` on `config`; return
+/// (improvement %, report).
+pub fn pass_effect(
+    w: &Workload,
+    passes: &str,
+    config: &UarchConfig,
+) -> (f64, PipelineReport) {
+    let base = run_workload(w, config);
+    let (transformed, report) = apply_passes(w, passes, None);
+    let after = run_workload(&transformed, config);
+    assert_eq!(
+        base.ret, after.ret,
+        "pass `{passes}` changed the result of {}!",
+        w.name
+    );
+    (improvement_pct(base.pmu.cycles, after.pmu.cycles), report)
+}
+
+/// Geometric mean of (1 + pct/100) values, returned as a percentage — the
+/// aggregation Fig. 7 uses.
+pub fn geomean_pct(pcts: &[f64]) -> f64 {
+    if pcts.is_empty() {
+        return 0.0;
+    }
+    let product: f64 = pcts.iter().map(|p| 1.0 + p / 100.0).product();
+    (product.powf(1.0 / pcts.len() as f64) - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mao_corpus::kernels;
+
+    #[test]
+    fn improvement_sign_convention() {
+        assert!(improvement_pct(100, 90) > 0.0);
+        assert!(improvement_pct(100, 110) < 0.0);
+        assert_eq!(improvement_pct(0, 10), 0.0);
+        assert!((improvement_pct(200, 190) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geomean() {
+        assert!((geomean_pct(&[10.0, 10.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geomean_pct(&[]), 0.0);
+        let g = geomean_pct(&[21.0, 0.0]);
+        assert!(g > 9.0 && g < 11.0);
+    }
+
+    #[test]
+    fn end_to_end_pass_effect() {
+        let w = kernels::hashing(false, 2000);
+        let (pct, report) = pass_effect(&w, "SCHED", &UarchConfig::core2());
+        assert!(report.total_transformations() > 0);
+        assert!(pct > 5.0, "SCHED should speed the bad order up: {pct:.2}%");
+    }
+
+    #[test]
+    fn apply_passes_preserves_behavior() {
+        let w = kernels::mcf_fig1(false, 500);
+        let (t, _) = apply_passes(&w, "REDTEST:ADDADD:CONSTFOLD:DCE", None);
+        let a = run_workload(&w, &UarchConfig::core2());
+        let b = run_workload(&t, &UarchConfig::core2());
+        assert_eq!(a.ret, b.ret);
+    }
+}

@@ -1,0 +1,157 @@
+//! The `mao` command-line driver.
+//!
+//! Mirrors the paper's invocation style:
+//!
+//! ```text
+//! mao --mao=LFIND=trace[0]:ASM=o[/dev/null] in.s
+//! ```
+//!
+//! `--mao=` options select and order the passes; everything else is treated
+//! as an input assembly file (the real MAO forwards unknown options to gas;
+//! this reproduction has no gas behind it, so unknown options are reported).
+//! The pseudo-passes `READ` (implicit first) and `ASM` (emission, with an
+//! `o[path]` option) frame the pipeline exactly as §III.A describes.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use mao::pass::{parse_invocations, registry, run_pipeline, PassInvocation};
+use mao::MaoUnit;
+
+fn usage() -> &'static str {
+    "usage: mao [--mao=PASS[=opt[val],...][:PASS...]]... [--list-passes] input.s\n\
+     \n\
+     The ASM pseudo-pass emits assembly: ASM=o[/path/to/out.s] (default stdout).\n\
+     Without any ASM pass, the transformed unit is emitted to stdout."
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut option_strings: Vec<String> = Vec::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut list_passes = false;
+
+    for arg in &args {
+        if let Some(rest) = arg.strip_prefix("--mao=") {
+            option_strings.push(rest.to_string());
+        } else if arg == "--list-passes" {
+            list_passes = true;
+        } else if arg == "--help" || arg == "-h" {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        } else if arg.starts_with('-') {
+            eprintln!("mao: unknown option `{arg}` (gas passthrough is not supported)");
+            return ExitCode::FAILURE;
+        } else {
+            inputs.push(arg.clone());
+        }
+    }
+
+    if list_passes {
+        let reg = registry();
+        println!("{:<10} description", "pass");
+        for (name, factory) in &reg {
+            println!("{:<10} {}", name, factory().description());
+        }
+        println!("{:<10} emit assembly output: ASM=o[path]", "ASM");
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(input) = inputs.first() else {
+        eprintln!("mao: no input file\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mao: cannot read `{input}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // READ: parsing is "a pass as well, but called by default as the first
+    // pass" (§III.A).
+    let mut unit = match MaoUnit::parse(&text) {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("mao: {input}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut invocations: Vec<PassInvocation> = Vec::new();
+    for s in &option_strings {
+        match parse_invocations(s) {
+            Ok(mut invs) => invocations.append(&mut invs),
+            Err(e) => {
+                eprintln!("mao: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Split out ASM pseudo-passes; run optimization segments between them.
+    let mut emitted = false;
+    let mut segment: Vec<PassInvocation> = Vec::new();
+    let run_segment = |unit: &mut MaoUnit, segment: &mut Vec<PassInvocation>| -> bool {
+        if segment.is_empty() {
+            return true;
+        }
+        match run_pipeline(unit, segment, None) {
+            Ok(report) => {
+                for line in &report.trace {
+                    eprintln!("[mao] {line}");
+                }
+                for (name, stats) in &report.passes {
+                    if stats.transformations > 0 || stats.matches > 0 {
+                        eprintln!(
+                            "[mao] {name}: {} transformations, {} matches",
+                            stats.transformations, stats.matches
+                        );
+                    }
+                }
+                segment.clear();
+                true
+            }
+            Err(e) => {
+                eprintln!("mao: {e}");
+                false
+            }
+        }
+    };
+
+    for inv in invocations {
+        if inv.name == "ASM" {
+            if !run_segment(&mut unit, &mut segment) {
+                return ExitCode::FAILURE;
+            }
+            let out = unit.emit();
+            match inv.options.get("o") {
+                Some("-") | None => {
+                    print!("{out}");
+                    let _ = std::io::stdout().flush();
+                }
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &out) {
+                        eprintln!("mao: cannot write `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            emitted = true;
+        } else if inv.name == "READ" {
+            // Already performed; accept for command-line compatibility.
+        } else {
+            segment.push(inv);
+        }
+    }
+    if !run_segment(&mut unit, &mut segment) {
+        return ExitCode::FAILURE;
+    }
+    if !emitted {
+        print!("{}", unit.emit());
+        let _ = std::io::stdout().flush();
+    }
+    ExitCode::SUCCESS
+}

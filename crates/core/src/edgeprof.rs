@@ -1,0 +1,246 @@
+//! Edge-profile construction from hardware event samples.
+//!
+//! The paper (§II): *"Similar to Chen \[3\] we plan to construct edge
+//! profiles from this information as future work, as that information can
+//! make a large performance difference in certain contexts."* This module
+//! implements that future work: PMU samples land on instructions; summing
+//! them per basic block gives noisy block weights; flow conservation
+//! (weight(b) = Σ incoming = Σ outgoing) then smooths the noise and
+//! assigns frequencies to CFG edges.
+
+use std::collections::HashMap;
+
+use crate::cfg::{BlockId, Cfg};
+use crate::profile::Profile;
+use crate::unit::{Function, MaoUnit};
+
+/// Estimated execution frequencies for one function's CFG.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeProfile {
+    /// Estimated execution count per block.
+    pub block_weight: Vec<f64>,
+    /// Estimated traversal count per (from, to) edge.
+    pub edge_weight: HashMap<(BlockId, BlockId), f64>,
+}
+
+impl EdgeProfile {
+    /// Weight of one edge (0 if absent).
+    pub fn edge(&self, from: BlockId, to: BlockId) -> f64 {
+        self.edge_weight.get(&(from, to)).copied().unwrap_or(0.0)
+    }
+
+    /// The hottest block.
+    pub fn hottest_block(&self) -> Option<BlockId> {
+        self.block_weight
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(b, _)| b)
+    }
+
+    /// Estimated taken-probability of a conditional branch terminating
+    /// `block` with `taken_succ` as its branch-target successor.
+    pub fn taken_probability(&self, block: BlockId, taken_succ: BlockId) -> f64 {
+        let total = self.block_weight[block];
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (self.edge(block, taken_succ) / total).clamp(0.0, 1.0)
+    }
+}
+
+/// Build an edge profile for `function` from event samples.
+///
+/// `event` names the PMU event whose per-site counts seed the block
+/// weights (sites are instruction ordinals within the function, the same
+/// keying the [`Profile`] uses). Iterative flow balancing then reconciles
+/// the seeds: each round sets every block to the average of its own
+/// weight, its incoming flow, and its outgoing flow, and splits flows
+/// proportionally — after a few rounds sampling noise is spread along the
+/// paths the samples support.
+pub fn edge_profile(
+    unit: &MaoUnit,
+    function: &Function,
+    cfg: &Cfg,
+    profile: &Profile,
+    event: &str,
+) -> EdgeProfile {
+    let n = cfg.len();
+    let mut out = EdgeProfile {
+        block_weight: vec![0.0; n],
+        edge_weight: HashMap::new(),
+    };
+    if n == 0 {
+        return out;
+    }
+
+    // 1. Seed block weights from samples (sites are instruction ordinals).
+    let counts = profile.events.get(event);
+    let mut site_of_entry: HashMap<usize, usize> = HashMap::new();
+    for (ord, id) in function
+        .entry_ids()
+        .filter(|&id| unit.insn(id).is_some())
+        .enumerate()
+    {
+        site_of_entry.insert(id, ord);
+    }
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let mut w = 0.0;
+        let mut insns = 0u32;
+        for (id, _) in block.insns(unit) {
+            insns += 1;
+            if let (Some(counts), Some(&ord)) = (counts, site_of_entry.get(&id)) {
+                let site = crate::profile::Site::new(&function.name, ord);
+                w += counts.get(&site).copied().unwrap_or(0) as f64;
+            }
+        }
+        // Samples accumulate per instruction: normalize by block length so
+        // long blocks are not over-weighted.
+        out.block_weight[b] = if insns > 0 { w / f64::from(insns) } else { 0.0 };
+    }
+
+    // 2. Flow balancing.
+    for _ in 0..16 {
+        // Split each block's weight across its out-edges proportionally to
+        // the current successor weights.
+        out.edge_weight.clear();
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            if block.succs.is_empty() {
+                continue;
+            }
+            let total_succ: f64 = block.succs.iter().map(|&s| out.block_weight[s]).sum();
+            for &s in &block.succs {
+                let share = if total_succ > 0.0 {
+                    out.block_weight[s] / total_succ
+                } else {
+                    1.0 / block.succs.len() as f64
+                };
+                *out.edge_weight.entry((b, s)).or_insert(0.0) += out.block_weight[b] * share;
+            }
+        }
+        // Re-estimate block weights from flow conservation.
+        let mut next = out.block_weight.clone();
+        for (b, block) in cfg.blocks.iter().enumerate() {
+            let inflow: f64 = block.preds.iter().map(|&p| out.edge(p, b)).sum();
+            let outflow: f64 = block.succs.iter().map(|&s| out.edge(b, s)).sum();
+            let mut terms = vec![out.block_weight[b]];
+            if !block.preds.is_empty() {
+                terms.push(inflow);
+            }
+            if !block.succs.is_empty() {
+                terms.push(outflow);
+            }
+            next[b] = terms.iter().sum::<f64>() / terms.len() as f64;
+        }
+        out.block_weight = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Site;
+
+    const LOOPY: &str = r#"
+	.type	f, @function
+f:
+	movl $0, %eax
+.Lloop:
+	addl $1, %eax
+	cmpl $100, %eax
+	jne .Lloop
+	ret
+"#;
+
+    fn samples_on(function: &str, weights: &[(usize, u64)]) -> Profile {
+        let mut p = Profile::new();
+        for &(ord, count) in weights {
+            p.add_event("CPU_CYCLES", Site::new(function, ord), count);
+        }
+        p
+    }
+
+    #[test]
+    fn loop_block_dominates() {
+        let unit = MaoUnit::parse(LOOPY).unwrap();
+        let f = unit.functions().into_iter().next().unwrap();
+        let cfg = Cfg::build(&unit, &f);
+        // Instruction ordinals: 0 movl (entry), 1..=3 loop body, 4 ret.
+        let profile = samples_on("f", &[(0, 1), (1, 100), (2, 95), (3, 102), (4, 1)]);
+        let ep = edge_profile(&unit, &f, &cfg, &profile, "CPU_CYCLES");
+        let loop_block = cfg
+            .block_of(unit.find_label(".Lloop").unwrap())
+            .or_else(|| cfg.block_of(unit.find_label(".Lloop").unwrap() + 1))
+            .expect("loop body block");
+        assert_eq!(ep.hottest_block(), Some(loop_block));
+        // The back edge carries almost all of the loop block's flow.
+        let p_taken = ep.taken_probability(loop_block, loop_block);
+        assert!(p_taken > 0.8, "back edge probability {p_taken}");
+    }
+
+    #[test]
+    fn flow_conservation_smooths_missing_samples() {
+        // No samples at all on the middle block: conservation fills it in.
+        let text = r#"
+	.type	f, @function
+f:
+	movl $1, %eax
+	nop
+.Lmid:
+	addl $1, %eax
+	nop
+.Lend:
+	ret
+"#;
+        let unit = MaoUnit::parse(text).unwrap();
+        let f = unit.functions().into_iter().next().unwrap();
+        let cfg = Cfg::build(&unit, &f);
+        let profile = samples_on("f", &[(0, 50), (1, 50), (4, 50)]);
+        let ep = edge_profile(&unit, &f, &cfg, &profile, "CPU_CYCLES");
+        // The unsampled middle block inherits weight from its neighbours.
+        let mid = cfg.block_of(unit.find_label(".Lmid").unwrap() + 1).unwrap();
+        assert!(
+            ep.block_weight[mid] > 10.0,
+            "conservation fills the gap: {:?}",
+            ep.block_weight
+        );
+    }
+
+    #[test]
+    fn empty_profile_gives_zero_weights() {
+        let unit = MaoUnit::parse(LOOPY).unwrap();
+        let f = unit.functions().into_iter().next().unwrap();
+        let cfg = Cfg::build(&unit, &f);
+        let ep = edge_profile(&unit, &f, &cfg, &Profile::new(), "CPU_CYCLES");
+        assert!(ep.block_weight.iter().all(|&w| w == 0.0));
+        assert_eq!(ep.edge(0, 0), 0.0);
+    }
+
+    #[test]
+    fn diamond_split_probabilities() {
+        let text = r#"
+	.type	f, @function
+f:
+	cmpl $0, %edi
+	je .Lcold
+	movl $1, %eax
+	nop
+	jmp .Lout
+.Lcold:
+	movl $2, %eax
+	nop
+.Lout:
+	ret
+"#;
+        let unit = MaoUnit::parse(text).unwrap();
+        let f = unit.functions().into_iter().next().unwrap();
+        let cfg = Cfg::build(&unit, &f);
+        // Hot path gets 9x the samples of the cold path.
+        let profile = samples_on("f", &[(0, 10), (1, 10), (2, 90), (3, 90), (5, 10), (6, 10)]);
+        let ep = edge_profile(&unit, &f, &cfg, &profile, "CPU_CYCLES");
+        let cold = cfg.block_of(unit.find_label(".Lcold").unwrap() + 1).unwrap();
+        let p_cold = ep.taken_probability(0, cold);
+        assert!(p_cold < 0.35, "cold edge probability {p_cold}");
+    }
+}

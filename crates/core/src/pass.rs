@@ -1,0 +1,375 @@
+//! The pass manager: registration, options, ordering, tracing.
+//!
+//! Mirrors the paper's §III.A machinery in idiomatic Rust:
+//!
+//! * passes are named and looked up in a registry
+//!   (`REGISTER_FUNC_PASS("MAOPASS", MaoPass)` → [`registry`]);
+//! * invocation and ordering are controlled by a command-line option string
+//!   (`--mao=LFIND=trace[0]:ASM=o[/dev/null]` → [`parse_invocations`]);
+//! * every pass gets a tracing facility and pass-specific options
+//!   (`MAO_OPTIONS_DEFINE` → [`PassOptions`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::profile::Profile;
+use crate::unit::{EditSet, Function, MaoUnit};
+
+/// Error produced by a pass or by the pipeline driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassError {
+    /// Named pass not found in the registry.
+    UnknownPass(String),
+    /// Malformed `--mao=` option string.
+    BadOptions(String),
+    /// Relaxation failed inside a pass.
+    Relax(String),
+    /// Any other pass-specific failure.
+    Other(String),
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::UnknownPass(p) => write!(f, "unknown pass `{p}`"),
+            PassError::BadOptions(m) => write!(f, "bad --mao options: {m}"),
+            PassError::Relax(m) => write!(f, "relaxation failed: {m}"),
+            PassError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+impl From<crate::relax::RelaxError> for PassError {
+    fn from(e: crate::relax::RelaxError) -> PassError {
+        PassError::Relax(e.to_string())
+    }
+}
+
+/// Pass-specific options, parsed from `NAME=opt[value],opt2[value2]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassOptions {
+    map: BTreeMap<String, String>,
+}
+
+impl PassOptions {
+    /// Empty options.
+    pub fn new() -> PassOptions {
+        PassOptions::default()
+    }
+
+    /// Set an option (builder style).
+    pub fn with(mut self, key: &str, value: &str) -> PassOptions {
+        self.map.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Set an option.
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.map.insert(key.to_string(), value.to_string());
+    }
+
+    /// Raw option value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    /// Option present at all (with or without a value)?
+    pub fn has(&self, key: &str) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Integer option with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Float option with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+}
+
+/// Statistics returned by one pass invocation (feeds the Fig. 7 table).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Number of code transformations performed.
+    pub transformations: usize,
+    /// Number of opportunities examined (pattern matches found, whether or
+    /// not transformed) — lets analysis-only runs report counts.
+    pub matches: usize,
+    /// Free-form notes (one per interesting event).
+    pub notes: Vec<String>,
+}
+
+impl PassStats {
+    /// Record a transformation.
+    pub fn transformed(&mut self, n: usize) {
+        self.transformations += n;
+    }
+
+    /// Record an examined opportunity.
+    pub fn matched(&mut self, n: usize) {
+        self.matches += n;
+    }
+}
+
+/// Context handed to every pass: options, tracing, optional profile data.
+#[derive(Debug, Default)]
+pub struct PassContext {
+    /// Options for this invocation.
+    pub options: PassOptions,
+    /// Trace verbosity (0 = silent); the `trace[N]` option sets it.
+    pub trace_level: u8,
+    /// Captured trace lines (also printed to stderr at level > 0 when
+    /// `trace_stderr` is set).
+    pub trace_lines: Vec<String>,
+    /// Echo trace lines to stderr.
+    pub trace_stderr: bool,
+    /// Hardware-counter / reuse-distance profile, when provided.
+    pub profile: Option<Profile>,
+}
+
+impl PassContext {
+    /// Build a context from options (reads `trace[N]`).
+    pub fn from_options(options: PassOptions) -> PassContext {
+        let trace_level = options.get_u64("trace", 0) as u8;
+        PassContext {
+            options,
+            trace_level,
+            ..PassContext::default()
+        }
+    }
+
+    /// Emit a trace line at `level` (kept if `level <= trace_level`).
+    pub fn trace(&mut self, level: u8, msg: impl fmt::Display) {
+        if level <= self.trace_level {
+            let line = msg.to_string();
+            if self.trace_stderr {
+                eprintln!("[mao] {line}");
+            }
+            self.trace_lines.push(line);
+        }
+    }
+}
+
+/// A MAO optimization pass.
+///
+/// The Rust analogue of the paper's `MaoFunctionPass` with its `Go()`
+/// method. Unit-level passes implement [`MaoPass::run`] directly;
+/// function-level passes use the [`for_each_function`] helper.
+pub trait MaoPass {
+    /// Registry name (`REDTEST`, `LOOP16`, ...).
+    fn name(&self) -> &'static str;
+
+    /// One-line description.
+    fn description(&self) -> &'static str;
+
+    /// Run over the unit. Returns statistics; mutates the unit in place.
+    fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError>;
+}
+
+/// Run `body` for every function of the unit, applying each function's
+/// edits before moving to the next (entry ids shift after edits, so
+/// functions are recomputed each step).
+pub fn for_each_function(
+    unit: &mut MaoUnit,
+    mut body: impl FnMut(&MaoUnit, &Function) -> Result<EditSet, PassError>,
+) -> Result<(), PassError> {
+    let mut k = 0;
+    loop {
+        let functions = unit.functions();
+        let Some(function) = functions.get(k) else {
+            return Ok(());
+        };
+        let edits = body(unit, function)?;
+        if !edits.is_empty() {
+            unit.apply(edits);
+        }
+        k += 1;
+    }
+}
+
+/// Factory for registry entries.
+pub type PassFactory = fn() -> Box<dyn MaoPass>;
+
+/// The global pass registry. Names follow the paper where it names passes
+/// (`NOPIN`, `NOPKILL`, `REDTEST`, `REDMOV`, `LOOP16`, `SCHED`).
+pub fn registry() -> BTreeMap<&'static str, PassFactory> {
+    crate::passes::registry()
+}
+
+/// One pass invocation, parsed from the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassInvocation {
+    /// Pass name.
+    pub name: String,
+    /// Options.
+    pub options: PassOptions,
+}
+
+/// Parse a `--mao=` option string into an ordered invocation list.
+///
+/// Grammar: `PASS[=opt[value],opt2,opt3[value]] (':' PASS...)*` — exactly
+/// the shape of the paper's example
+/// `--mao=LFIND=trace[0]:ASM=o[/dev/null]`.
+pub fn parse_invocations(s: &str) -> Result<Vec<PassInvocation>, PassError> {
+    let mut out = Vec::new();
+    for part in s.split(':') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, rest) = match part.split_once('=') {
+            Some((n, r)) => (n.trim(), Some(r)),
+            None => (part, None),
+        };
+        if name.is_empty() {
+            return Err(PassError::BadOptions(format!("empty pass name in `{part}`")));
+        }
+        let mut options = PassOptions::new();
+        if let Some(rest) = rest {
+            for opt in rest.split(',') {
+                let opt = opt.trim();
+                if opt.is_empty() {
+                    continue;
+                }
+                match opt.split_once('[') {
+                    Some((key, val)) => {
+                        let val = val.strip_suffix(']').ok_or_else(|| {
+                            PassError::BadOptions(format!("unterminated `[` in `{opt}`"))
+                        })?;
+                        options.set(key, val);
+                    }
+                    None => options.set(opt, ""),
+                }
+            }
+        }
+        out.push(PassInvocation {
+            name: name.to_string(),
+            options,
+        });
+    }
+    Ok(out)
+}
+
+/// Report from running a pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Per-invocation (pass name, stats).
+    pub passes: Vec<(String, PassStats)>,
+    /// Concatenated trace output.
+    pub trace: Vec<String>,
+}
+
+impl PipelineReport {
+    /// Total transformations across all passes.
+    pub fn total_transformations(&self) -> usize {
+        self.passes.iter().map(|(_, s)| s.transformations).sum()
+    }
+
+    /// Stats for a pass by name (first invocation).
+    pub fn stats(&self, name: &str) -> Option<&PassStats> {
+        self.passes.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+}
+
+/// Run an ordered list of pass invocations over the unit.
+pub fn run_pipeline(
+    unit: &mut MaoUnit,
+    invocations: &[PassInvocation],
+    profile: Option<Profile>,
+) -> Result<PipelineReport, PassError> {
+    let registry = registry();
+    let mut report = PipelineReport::default();
+    let mut profile = profile;
+    for inv in invocations {
+        let factory = registry
+            .get(inv.name.as_str())
+            .ok_or_else(|| PassError::UnknownPass(inv.name.clone()))?;
+        let pass = factory();
+        let mut ctx = PassContext::from_options(inv.options.clone());
+        ctx.profile = profile.take();
+        // Common options every pass supports (§III.A: "dumping the current
+        // state of the IR before or after a given pass").
+        if ctx.options.has("dump-before") {
+            report
+                .trace
+                .push(format!("=== IR before {} ===\n{}", inv.name, unit.emit()));
+        }
+        let stats = pass.run(unit, &mut ctx)?;
+        if ctx.options.has("dump-after") {
+            report
+                .trace
+                .push(format!("=== IR after {} ===\n{}", inv.name, unit.emit()));
+        }
+        profile = ctx.profile.take();
+        report.trace.append(&mut ctx.trace_lines);
+        report.passes.push((inv.name.clone(), stats));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_example() {
+        let invs = parse_invocations("LFIND=trace[0]:ASM=o[/dev/null]").unwrap();
+        assert_eq!(invs.len(), 2);
+        assert_eq!(invs[0].name, "LFIND");
+        assert_eq!(invs[0].options.get("trace"), Some("0"));
+        assert_eq!(invs[1].name, "ASM");
+        assert_eq!(invs[1].options.get("o"), Some("/dev/null"));
+    }
+
+    #[test]
+    fn parse_multi_option() {
+        let invs = parse_invocations("NOPIN=seed[42],density[0.1],flag").unwrap();
+        let o = &invs[0].options;
+        assert_eq!(o.get_u64("seed", 0), 42);
+        assert!((o.get_f64("density", 0.0) - 0.1).abs() < 1e-9);
+        assert!(o.has("flag"));
+        assert!(!o.has("nope"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            parse_invocations("P=o[v"),
+            Err(PassError::BadOptions(_))
+        ));
+        assert!(matches!(
+            parse_invocations("=x"),
+            Err(PassError::BadOptions(_))
+        ));
+        // Empty segments are tolerated.
+        assert_eq!(parse_invocations("::").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn options_defaults() {
+        let o = PassOptions::new().with("n", "7");
+        assert_eq!(o.get_u64("n", 1), 7);
+        assert_eq!(o.get_u64("missing", 13), 13);
+        assert_eq!(o.get_f64("n", 0.0), 7.0);
+    }
+
+    #[test]
+    fn context_trace_levels() {
+        let mut ctx = PassContext::from_options(PassOptions::new().with("trace", "2"));
+        ctx.trace(1, "kept");
+        ctx.trace(3, "dropped");
+        assert_eq!(ctx.trace_lines, vec!["kept"]);
+    }
+
+    #[test]
+    fn unknown_pass_errors() {
+        let mut unit = MaoUnit::parse("nop\n").unwrap();
+        let invs = parse_invocations("NOSUCHPASS").unwrap();
+        let err = run_pipeline(&mut unit, &invs, None).unwrap_err();
+        assert_eq!(err, PassError::UnknownPass("NOSUCHPASS".into()));
+    }
+}

@@ -1,0 +1,168 @@
+//! `DCE` — unreachable-code elimination (paper §III.D).
+//!
+//! One of the "standard set of scalar optimizations" MAO offers for simple
+//! code generators. Blocks not reachable from the function entry are
+//! removed. Labels are kept when anything still references them (data
+//! directives — jump tables — or branches anywhere in the unit); functions
+//! flagged for unresolved indirect branches are skipped entirely, the
+//! pass-level policy decision §II describes.
+
+use std::collections::HashSet;
+
+use mao_asm::{DataItem, Directive, Entry};
+
+use crate::cfg::Cfg;
+use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
+use crate::unit::{EditSet, MaoUnit};
+
+/// The unreachable-code elimination pass.
+#[derive(Debug, Default)]
+pub struct UnreachableCodeElim;
+
+/// Labels referenced from anywhere: branch targets, memory operands, data.
+fn referenced_labels(unit: &MaoUnit) -> HashSet<String> {
+    let mut refs = HashSet::new();
+    for e in unit.entries() {
+        match e {
+            Entry::Insn(i) => {
+                if let Some(t) = i.target_label() {
+                    refs.insert(t.to_string());
+                }
+                for op in &i.operands {
+                    let mem = match op {
+                        mao_x86::Operand::Mem(m) | mao_x86::Operand::IndirectMem(m) => m,
+                        _ => continue,
+                    };
+                    if let mao_x86::Disp::Symbol { name, .. } = &mem.disp {
+                        refs.insert(name.clone());
+                    }
+                }
+            }
+            Entry::Directive(Directive::Data { items, .. }) => {
+                for item in items {
+                    if let DataItem::Symbol(s) = item {
+                        refs.insert(s.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    refs
+}
+
+impl MaoPass for UnreachableCodeElim {
+    fn name(&self) -> &'static str {
+        "DCE"
+    }
+
+    fn description(&self) -> &'static str {
+        "remove basic blocks unreachable from the function entry"
+    }
+
+    fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
+        let mut stats = PassStats::default();
+        let refs = referenced_labels(unit);
+        for_each_function(unit, |unit, function| {
+            let cfg = Cfg::build(unit, function);
+            let mut edits = EditSet::new();
+            if cfg.unresolved_indirect {
+                // Flagged function: the safe policy is to not touch it.
+                return Ok(edits);
+            }
+            let reachable = cfg.reachable();
+            for (b, block) in cfg.blocks.iter().enumerate() {
+                if reachable[b] {
+                    continue;
+                }
+                for &id in &block.entries {
+                    match unit.entry(id) {
+                        Entry::Insn(_) => {
+                            edits.delete(id);
+                            stats.transformed(1);
+                        }
+                        Entry::Label(l) if !refs.contains(l) => {
+                            edits.delete(id);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Ok(edits)
+        })?;
+        ctx.trace(
+            1,
+            format!("DCE: removed {} instructions", stats.transformations),
+        );
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::PassContext;
+
+    fn run(text: &str) -> (MaoUnit, PassStats) {
+        let mut unit = MaoUnit::parse(text).unwrap();
+        let mut ctx = PassContext::default();
+        let stats = UnreachableCodeElim.run(&mut unit, &mut ctx).unwrap();
+        (unit, stats)
+    }
+
+    #[test]
+    fn dead_block_after_ret_removed() {
+        let (unit, stats) = run(
+            ".type f, @function\nf:\n\tret\n.Ldead:\n\taddl $1, %eax\n\taddl $2, %eax\n\tret\n",
+        );
+        assert_eq!(stats.transformations, 3);
+        let text = unit.emit();
+        assert!(!text.contains("addl"));
+        assert!(!text.contains(".Ldead"));
+    }
+
+    #[test]
+    fn reachable_code_kept() {
+        let (unit, stats) = run(
+            ".type f, @function\nf:\n\tje .La\n\tret\n.La:\n\taddl $1, %eax\n\tret\n",
+        );
+        assert_eq!(stats.transformations, 0);
+        assert!(unit.emit().contains("addl"));
+    }
+
+    #[test]
+    fn label_in_jump_table_survives() {
+        let text = r#"
+	.type	f, @function
+f:
+	ret
+.Ldead:
+	ret
+	.section	.rodata
+.Ltab:
+	.quad	.Ldead
+"#;
+        let (unit, stats) = run(text);
+        // The instruction goes; the label stays (referenced by .quad).
+        assert_eq!(stats.transformations, 1);
+        let text = unit.emit();
+        assert!(text.contains(".Ldead:"));
+    }
+
+    #[test]
+    fn flagged_function_untouched() {
+        let text = ".type f, @function\nf:\n\tjmp *%rax\n.Ldead:\n\tret\n";
+        let (unit, stats) = run(text);
+        assert_eq!(stats.transformations, 0);
+        assert!(unit.emit().contains(".Ldead"));
+    }
+
+    #[test]
+    fn code_after_unconditional_jmp_removed() {
+        let (unit, stats) = run(
+            ".type f, @function\nf:\n\tjmp .Lend\n\taddl $1, %eax\n.Lend:\n\tret\n",
+        );
+        assert_eq!(stats.transformations, 1);
+        assert!(!unit.emit().contains("addl"));
+    }
+}

@@ -1,0 +1,198 @@
+//! `INSTPREP` — dynamic instrumentation support (paper §III.E.l).
+//!
+//! A binary instrumenter that wants to patch a probe into running code must
+//! overwrite 5 bytes (a rel32 branch) atomically. That is only safe if a
+//! single 5-byte instruction already sits at the patch site and does not
+//! cross a cache line. This pass plants a 5-byte NOP at every function entry
+//! and before every exit (`ret`), then iterates with relaxation until none
+//! of the planted NOPs crosses a cache-line boundary (padding with 1-byte
+//! NOPs as needed).
+//!
+//! Options: `line[N]` — cache-line size (default 64).
+
+use mao_asm::Entry;
+use mao_x86::{Instruction, Mnemonic};
+
+use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
+use crate::relax::relax;
+use crate::unit::{EditSet, EntryId, MaoUnit};
+
+/// The instrumentation-point preparation pass.
+#[derive(Debug, Default)]
+pub struct InstrumentPrep;
+
+/// Is this entry one of our 5-byte probe NOPs?
+fn is_probe(unit: &MaoUnit, id: EntryId) -> bool {
+    unit.insn(id).is_some_and(|i| *i == Instruction::nop_of_len(5))
+}
+
+impl MaoPass for InstrumentPrep {
+    fn name(&self) -> &'static str {
+        "INSTPREP"
+    }
+
+    fn description(&self) -> &'static str {
+        "plant 5-byte NOPs at function entries/exits for atomic patching"
+    }
+
+    fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
+        let mut stats = PassStats::default();
+        let line = ctx.options.get_u64("line", 64).max(8);
+
+        // Phase 1: plant the probes.
+        for_each_function(unit, |unit, function| {
+            let mut edits = EditSet::new();
+            let probe = || vec![Entry::Insn(Instruction::nop_of_len(5))];
+            // Entry: after the function label (so the label address stays the
+            // call target), i.e. before the first instruction.
+            let first_insn = function.entry_ids().find(|&id| unit.insn(id).is_some());
+            if let Some(first) = first_insn {
+                if !is_probe(unit, first) {
+                    edits.insert_before(first, probe());
+                    stats.transformed(1);
+                }
+            }
+            // Exits: before every ret whose predecessor is not already a probe.
+            let ids: Vec<EntryId> = function.entry_ids().collect();
+            for (k, &id) in ids.iter().enumerate() {
+                if unit.insn(id).map(|i| i.mnemonic) != Some(Mnemonic::Ret) {
+                    continue;
+                }
+                let prev_is_probe = k > 0 && is_probe(unit, ids[k - 1]);
+                let is_entry_probe_target = Some(id) == first_insn;
+                if !prev_is_probe && !is_entry_probe_target {
+                    edits.insert_before(id, probe());
+                    stats.transformed(1);
+                }
+            }
+            Ok(edits)
+        })?;
+
+        // Phase 2: iterate until no probe crosses a cache line.
+        for _round in 0..16 {
+            let layout = relax(unit)?;
+            let mut edits = EditSet::new();
+            for id in 0..unit.len() {
+                if !is_probe(unit, id) {
+                    continue;
+                }
+                let start = layout.addr[id];
+                let end = layout.end_addr(id);
+                if start / line != (end - 1) / line {
+                    // Pad to the next line so the probe sits at its start.
+                    let pad = (start / line + 1) * line - start;
+                    edits.insert_before(
+                        id,
+                        Instruction::nop_pad(pad as usize)
+                            .into_iter()
+                            .map(Entry::Insn)
+                            .collect(),
+                    );
+                    stats.matched(1);
+                }
+            }
+            if edits.is_empty() {
+                break;
+            }
+            unit.apply(edits);
+        }
+        ctx.trace(
+            1,
+            format!(
+                "INSTPREP: {} probes planted, {} line-crossings fixed",
+                stats.transformations, stats.matches
+            ),
+        );
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::{PassContext, PassOptions};
+
+    const SAMPLE: &str = r#"
+	.type	f, @function
+f:
+	movl $1, %eax
+	cmpl $0, %edi
+	je .L
+	ret
+.L:
+	movl $2, %eax
+	ret
+"#;
+
+    fn probe_addrs(unit: &MaoUnit, line: u64) -> Vec<(u64, u64)> {
+        let layout = relax(unit).unwrap();
+        (0..unit.len())
+            .filter(|&id| is_probe(unit, id))
+            .map(|id| (layout.addr[id], layout.end_addr(id)))
+            .inspect(|&(s, e)| {
+                assert_eq!(s / line, (e - 1) / line, "probe crosses line: {s:#x}..{e:#x}")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn probes_at_entry_and_exits() {
+        let mut unit = MaoUnit::parse(SAMPLE).unwrap();
+        let stats = InstrumentPrep
+            .run(&mut unit, &mut PassContext::default())
+            .unwrap();
+        // 1 entry + 2 rets.
+        assert_eq!(stats.transformations, 3);
+        let probes = probe_addrs(&unit, 64);
+        assert_eq!(probes.len(), 3);
+    }
+
+    #[test]
+    fn no_probe_crosses_cache_line() {
+        // Force a crossing: ~60 bytes of code then a ret near offset 64.
+        let body = "\taddl $1, %eax\n".repeat(20); // 60 bytes
+        let text = format!(".type f, @function\nf:\n{body}\tret\n");
+        let mut unit = MaoUnit::parse(&text).unwrap();
+        InstrumentPrep
+            .run(&mut unit, &mut PassContext::default())
+            .unwrap();
+        let probes = probe_addrs(&unit, 64); // panics inside on crossing
+        assert_eq!(probes.len(), 2);
+    }
+
+    #[test]
+    fn small_line_option() {
+        let mut unit = MaoUnit::parse(SAMPLE).unwrap();
+        InstrumentPrep
+            .run(
+                &mut unit,
+                &mut PassContext::from_options(PassOptions::new().with("line", "8")),
+            )
+            .unwrap();
+        let probes = probe_addrs(&unit, 8);
+        assert!(!probes.is_empty());
+    }
+
+    #[test]
+    fn second_run_adds_nothing() {
+        let mut unit = MaoUnit::parse(SAMPLE).unwrap();
+        InstrumentPrep
+            .run(&mut unit, &mut PassContext::default())
+            .unwrap();
+        let after_first = unit.emit();
+        let stats = InstrumentPrep
+            .run(&mut unit, &mut PassContext::default())
+            .unwrap();
+        assert_eq!(stats.transformations, 0);
+        assert_eq!(unit.emit(), after_first);
+    }
+
+    #[test]
+    fn probe_is_the_canonical_5_byte_nop() {
+        let mut unit = MaoUnit::parse(SAMPLE).unwrap();
+        InstrumentPrep
+            .run(&mut unit, &mut PassContext::default())
+            .unwrap();
+        assert!(unit.emit().contains("nopl 0(%rax,%rax,1)"));
+    }
+}

@@ -1,0 +1,105 @@
+//! The MAO optimization passes (paper §III).
+//!
+//! | Registry name | Paper section | What it does |
+//! |---|---|---|
+//! | `MAOPASS` | Fig. 3 | example pass: prints function names |
+//! | `LFIND` | §III.A | loop recognition report (the paper's example invocation) |
+//! | `REDZEXT` | §III.B.a | remove redundant zero-extension moves |
+//! | `REDTEST` | §III.B.b | remove redundant `test` instructions |
+//! | `REDMOV` | §III.B.c | reuse registers for repeated loads |
+//! | `ADDADD` | §III.B.d | fold add/add immediate sequences |
+//! | `LOOP16` | §III.C.e | align short loops to 16-byte decode lines |
+//! | `LSDFIT` | §III.C.f | shift loops into ≤4 decode lines for the LSD |
+//! | `BRALIGN` | §III.C.g | de-alias back branches sharing a PC>>5 bucket |
+//! | `DCE` | §III.D | unreachable-code elimination |
+//! | `CONSTFOLD` | §III.D | constant folding |
+//! | `NOPIN` | §III.E.i | Nopinizer: seeded random NOP insertion |
+//! | `NOPKILL` | §III.E.j | Nop Killer: strip alignment NOPs/directives |
+//! | `PREFNTA` | §III.E.k | inverse prefetching from reuse-distance profile |
+//! | `INSTPREP` | §III.E.l | 5-byte NOPs at entry/exit for instrumentation |
+//! | `SIMADDR` | §III.E.m | fwd/bwd instruction simulation of PMU samples |
+//! | `SCHED` | §III.F | basic-block list scheduling |
+
+mod addadd;
+mod layout_util;
+mod lfind;
+mod branchalign;
+mod constfold;
+mod deadcode;
+mod instrument;
+mod loopalign;
+mod lsdfit;
+mod nopinizer;
+mod nopkiller;
+mod prefetch;
+mod printfn;
+mod redmov;
+mod redtest;
+mod redzext;
+pub mod schedule;
+pub mod simaddr;
+
+use std::collections::BTreeMap;
+
+use crate::pass::{MaoPass, PassFactory};
+
+pub use schedule::{CostModel, Policy};
+
+/// Build the global registry of all passes.
+pub fn registry() -> BTreeMap<&'static str, PassFactory> {
+    let mut m: BTreeMap<&'static str, PassFactory> = BTreeMap::new();
+    fn add<P: MaoPass + Default + 'static>(
+        m: &mut BTreeMap<&'static str, PassFactory>,
+        factory: fn() -> Box<dyn MaoPass>,
+    ) {
+        let name = P::default().name();
+        m.insert(name, factory);
+    }
+    add::<printfn::PrintFunctions>(&mut m, || Box::new(printfn::PrintFunctions));
+    add::<lfind::LoopFinder>(&mut m, || Box::new(lfind::LoopFinder));
+    add::<redzext::RedundantZeroExtension>(&mut m, || {
+        Box::new(redzext::RedundantZeroExtension)
+    });
+    add::<redtest::RedundantTest>(&mut m, || Box::new(redtest::RedundantTest));
+    add::<redmov::RedundantMemMove>(&mut m, || Box::new(redmov::RedundantMemMove));
+    add::<addadd::AddAddFold>(&mut m, || Box::new(addadd::AddAddFold));
+    add::<loopalign::LoopAlign16>(&mut m, || Box::new(loopalign::LoopAlign16));
+    add::<lsdfit::LsdFit>(&mut m, || Box::new(lsdfit::LsdFit));
+    add::<branchalign::BranchAlign>(&mut m, || Box::new(branchalign::BranchAlign));
+    add::<deadcode::UnreachableCodeElim>(&mut m, || {
+        Box::new(deadcode::UnreachableCodeElim)
+    });
+    add::<constfold::ConstantFold>(&mut m, || Box::new(constfold::ConstantFold));
+    add::<nopinizer::Nopinizer>(&mut m, || Box::new(nopinizer::Nopinizer));
+    add::<nopkiller::NopKiller>(&mut m, || Box::new(nopkiller::NopKiller));
+    add::<prefetch::InversePrefetch>(&mut m, || Box::new(prefetch::InversePrefetch));
+    add::<instrument::InstrumentPrep>(&mut m, || Box::new(instrument::InstrumentPrep));
+    add::<simaddr::AddressSimulation>(&mut m, || Box::new(simaddr::AddressSimulation));
+    add::<schedule::ListSchedule>(&mut m, || Box::new(schedule::ListSchedule));
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_paper_passes() {
+        let r = registry();
+        for name in [
+            "MAOPASS", "LFIND", "REDZEXT", "REDTEST", "REDMOV", "ADDADD", "LOOP16", "LSDFIT",
+            "BRALIGN", "DCE", "CONSTFOLD", "NOPIN", "NOPKILL", "PREFNTA", "INSTPREP", "SIMADDR",
+            "SCHED",
+        ] {
+            assert!(r.contains_key(name), "missing pass {name}");
+        }
+        assert_eq!(r.len(), 17);
+    }
+
+    #[test]
+    fn factories_produce_matching_names() {
+        for (name, factory) in registry() {
+            assert_eq!(factory().name(), name);
+        }
+    }
+}

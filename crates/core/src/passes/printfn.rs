@@ -1,0 +1,53 @@
+//! The minimal example pass from the paper's Figure 3: print every function
+//! name through the standard tracing facility.
+
+use crate::pass::{MaoPass, PassContext, PassError, PassStats};
+use crate::unit::MaoUnit;
+
+/// `MAOPASS` — prints function names (Fig. 3's `MaoPass`).
+#[derive(Debug, Default)]
+pub struct PrintFunctions;
+
+impl MaoPass for PrintFunctions {
+    fn name(&self) -> &'static str {
+        "MAOPASS"
+    }
+
+    fn description(&self) -> &'static str {
+        "example pass: print the name of every function"
+    }
+
+    fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
+        let mut stats = PassStats::default();
+        for function in unit.functions() {
+            ctx.trace(3, format!("Func: {}", function.name));
+            stats.matched(1);
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::PassOptions;
+
+    #[test]
+    fn prints_function_names_at_level_3() {
+        let mut unit =
+            MaoUnit::parse(".type f, @function\nf:\n\tret\n.type g, @function\ng:\n\tret\n")
+                .unwrap();
+        let mut ctx = PassContext::from_options(PassOptions::new().with("trace", "3"));
+        let stats = PrintFunctions.run(&mut unit, &mut ctx).unwrap();
+        assert_eq!(stats.matches, 2);
+        assert_eq!(ctx.trace_lines, vec!["Func: f", "Func: g"]);
+    }
+
+    #[test]
+    fn silent_at_level_0() {
+        let mut unit = MaoUnit::parse(".type f, @function\nf:\n\tret\n").unwrap();
+        let mut ctx = PassContext::default();
+        PrintFunctions.run(&mut unit, &mut ctx).unwrap();
+        assert!(ctx.trace_lines.is_empty());
+    }
+}

@@ -1,0 +1,549 @@
+//! `SCHED` — basic-block list scheduling (paper §III.F).
+//!
+//! The paper found a 21% opportunity in a hashing microbenchmark purely from
+//! instruction order: an `xorl` feeding three independent consumers stalled
+//! the reservation stations (`RESOURCE_STALLS:RS_FULL`) depending on how the
+//! consumers were ordered, because result forwarding has limited bandwidth.
+//! The pass is *"a framework for list-scheduling at the assembly instruction
+//! level. By changing the cost functions associated with the instructions,
+//! different scheduling heuristics can be implemented. The current cost
+//! function ensures that, when scheduling successors of an instruction with
+//! multiple fan-outs, the instructions on the critical path are given a
+//! higher priority."*
+//!
+//! Implementation: per block, build the dependence DAG (registers, flags,
+//! memory, barriers), compute critical-path priorities, then issue greedily
+//! under a simple port model (the paper's Core-2 anecdote: `lea` only on
+//! port 0, shifts on ports 0 and 5).
+
+use std::collections::HashMap;
+
+use mao_x86::{def_use, Flags, Instruction, Mnemonic, RegId};
+
+use crate::cfg::Cfg;
+use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
+use crate::unit::{EditSet, EntryId, MaoUnit};
+
+/// Latency and port assignments for the scheduler's cost function.
+///
+/// Defaults model a Core-2-like machine; the values only need to *rank*
+/// instructions sensibly, not match hardware cycle-for-cycle.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Issue width (instructions per cycle).
+    pub issue_width: usize,
+    /// Number of execution ports.
+    pub num_ports: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            issue_width: 3,
+            num_ports: 6,
+        }
+    }
+}
+
+impl CostModel {
+    /// Result latency of an instruction in cycles.
+    pub fn latency(&self, insn: &Instruction) -> u32 {
+        use Mnemonic as M;
+        let mem_read = def_use(insn).mem_read;
+        let base = match insn.mnemonic {
+            M::Imul => 3,
+            M::Mul => 3,
+            M::Idiv | M::Div => 20,
+            M::Mulss | M::Mulsd => 4,
+            M::Addss | M::Addsd | M::Subss | M::Subsd => 3,
+            M::Divss | M::Divsd | M::Sqrtss | M::Sqrtsd => 12,
+            M::Cvtsi2ss | M::Cvtsi2sd | M::Cvttss2si | M::Cvttsd2si | M::Cvtss2sd
+            | M::Cvtsd2ss => 3,
+            _ => 1,
+        };
+        if mem_read {
+            base + 3 // L1 load-to-use
+        } else {
+            base
+        }
+    }
+
+    /// Bitmask of ports this instruction can issue on.
+    ///
+    /// Port asymmetries follow the paper's anecdote: `lea` executes only on
+    /// port 0; shifts on ports 0 and 5; plain ALU on 0/1/5; loads on 2;
+    /// stores on 3+4; FP mul on 1; FP add on 0.
+    pub fn ports(&self, insn: &Instruction) -> u8 {
+        use Mnemonic as M;
+        let du = def_use(insn);
+        if du.mem_write {
+            return 0b01_1000; // store address + data ports
+        }
+        if du.mem_read && insn.mnemonic == M::Mov {
+            return 0b00_0100; // pure load
+        }
+        match insn.mnemonic {
+            M::Lea => 0b00_0001,                 // port 0 only
+            M::Shl | M::Shr | M::Sar => 0b10_0001, // ports 0 and 5
+            M::Imul | M::Mul | M::Mulss | M::Mulsd => 0b00_0010, // port 1
+            M::Addss | M::Addsd | M::Subss | M::Subsd => 0b00_0001,
+            M::Idiv | M::Div | M::Divss | M::Divsd | M::Sqrtss | M::Sqrtsd => 0b00_0001,
+            _ => 0b10_0011, // generic ALU: ports 0, 1, 5
+        }
+    }
+}
+
+/// A dependence edge kind (used for latency assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dep {
+    /// Read-after-write: full producer latency.
+    Raw,
+    /// Ordering only (WAR/WAW/memory/flags): next cycle.
+    Order,
+}
+
+/// The dependence DAG of one schedulable run of instructions.
+struct Dag {
+    /// preds[i] = list of (producer index, dep kind).
+    preds: Vec<Vec<(usize, Dep)>>,
+    /// succs[i] = consumer indices.
+    succs: Vec<Vec<usize>>,
+}
+
+fn build_dag(insns: &[&Instruction]) -> Dag {
+    let n = insns.len();
+    let mut preds: Vec<Vec<(usize, Dep)>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Last writer / readers per register.
+    let mut last_def: HashMap<RegId, usize> = HashMap::new();
+    let mut last_uses: HashMap<RegId, Vec<usize>> = HashMap::new();
+    let mut last_flag_def: Option<usize> = None;
+    let mut flag_uses_since: Vec<usize> = Vec::new();
+    let mut last_store: Option<usize> = None;
+    let mut loads_since_store: Vec<usize> = Vec::new();
+    let mut last_barrier: Option<usize> = None;
+
+    let add_edge = |preds: &mut Vec<Vec<(usize, Dep)>>,
+                        succs: &mut Vec<Vec<usize>>,
+                        from: usize,
+                        to: usize,
+                        dep: Dep| {
+        if from != to && !preds[to].iter().any(|&(p, _)| p == from) {
+            preds[to].push((from, dep));
+            succs[from].push(to);
+        }
+    };
+
+    for (i, insn) in insns.iter().enumerate() {
+        let du = def_use(insn);
+
+        if let Some(b) = last_barrier {
+            add_edge(&mut preds, &mut succs, b, i, Dep::Order);
+        }
+
+        // Register dependencies.
+        for u in &du.reg_uses {
+            if let Some(&d) = last_def.get(&u.id) {
+                add_edge(&mut preds, &mut succs, d, i, Dep::Raw);
+            }
+        }
+        for d in &du.reg_defs {
+            if let Some(&prev) = last_def.get(&d.id) {
+                add_edge(&mut preds, &mut succs, prev, i, Dep::Order); // WAW
+            }
+            if let Some(readers) = last_uses.get(&d.id) {
+                for &r in readers {
+                    add_edge(&mut preds, &mut succs, r, i, Dep::Order); // WAR
+                }
+            }
+        }
+
+        // Flag dependencies.
+        if !du.flags_use.is_empty() {
+            if let Some(d) = last_flag_def {
+                add_edge(&mut preds, &mut succs, d, i, Dep::Raw);
+            }
+        }
+        if !du.flags_killed().is_empty() || du.flags_killed() != Flags::NONE {
+            if !du.flags_killed().is_empty() {
+                if let Some(d) = last_flag_def {
+                    add_edge(&mut preds, &mut succs, d, i, Dep::Order); // flags WAW
+                }
+                for &r in &flag_uses_since {
+                    add_edge(&mut preds, &mut succs, r, i, Dep::Order); // flags WAR
+                }
+            }
+        }
+
+        // Memory dependencies (no alias analysis: all stores conflict).
+        if du.mem_read {
+            if let Some(s) = last_store {
+                add_edge(&mut preds, &mut succs, s, i, Dep::Raw);
+            }
+        }
+        if du.mem_write {
+            if let Some(s) = last_store {
+                add_edge(&mut preds, &mut succs, s, i, Dep::Order);
+            }
+            for &l in &loads_since_store {
+                add_edge(&mut preds, &mut succs, l, i, Dep::Order);
+            }
+        }
+
+        // Update trackers.
+        if du.barrier {
+            last_barrier = Some(i);
+            // Everything before must come before the barrier.
+            for j in 0..i {
+                add_edge(&mut preds, &mut succs, j, i, Dep::Order);
+            }
+        }
+        for u in &du.reg_uses {
+            last_uses.entry(u.id).or_default().push(i);
+        }
+        for d in &du.reg_defs {
+            last_def.insert(d.id, i);
+            last_uses.insert(d.id, Vec::new());
+        }
+        if !du.flags_killed().is_empty() {
+            last_flag_def = Some(i);
+            flag_uses_since.clear();
+        }
+        if !du.flags_use.is_empty() {
+            flag_uses_since.push(i);
+        }
+        if du.mem_write {
+            last_store = Some(i);
+            loads_since_store.clear();
+        } else if du.mem_read {
+            loads_since_store.push(i);
+        }
+    }
+    Dag { preds, succs }
+}
+
+/// Scheduling priority policy — the paper: "By changing the cost functions
+/// associated with the instructions, different scheduling heuristics can be
+/// implemented."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// The paper's cost function: critical-path instructions first.
+    #[default]
+    CriticalPath,
+    /// Ablation baseline: keep source order among ready instructions.
+    SourceOrder,
+}
+
+/// Critical-path priority: longest latency-weighted path to any DAG sink.
+fn priorities(dag: &Dag, insns: &[&Instruction], model: &CostModel, _policy: Policy) -> Vec<u32> {
+    let n = insns.len();
+    let mut prio = vec![0u32; n];
+    for i in (0..n).rev() {
+        let own = model.latency(insns[i]);
+        let best_succ = dag.succs[i].iter().map(|&s| prio[s]).max().unwrap_or(0);
+        prio[i] = own + best_succ;
+    }
+    prio
+}
+
+/// Greedy cycle-by-cycle list scheduling under the port model.
+/// Returns the new order (indices into the original sequence).
+fn schedule(insns: &[&Instruction], model: &CostModel, policy: Policy) -> Vec<usize> {
+    let n = insns.len();
+    if n <= 1 || policy == Policy::SourceOrder {
+        // The ablation baseline: no re-ranking at all.
+        return (0..n).collect();
+    }
+    let dag = build_dag(insns);
+    let prio = priorities(&dag, insns, model, policy);
+
+    let mut unscheduled_preds: Vec<usize> = dag.preds.iter().map(Vec::len).collect();
+    let mut ready_at = vec![0u64; n]; // earliest cycle each instruction may issue
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut done = vec![false; n];
+    let mut cycle: u64 = 0;
+
+    while order.len() < n {
+        // Ready set at this cycle.
+        let mut issued_this_cycle = 0usize;
+        let mut ports_busy: u8 = 0;
+        loop {
+            let mut candidates: Vec<usize> = (0..n)
+                .filter(|&i| {
+                    !done[i]
+                        && unscheduled_preds[i] == 0
+                        && ready_at[i] <= cycle
+                        && (model.ports(insns[i]) & !ports_busy) != 0
+                })
+                .collect();
+            if issued_this_cycle >= model.issue_width || candidates.is_empty() {
+                break;
+            }
+            // Highest priority first; stable on original position.
+            candidates.sort_by_key(|&i| (std::cmp::Reverse(prio[i]), i));
+            let pick = candidates[0];
+            // Claim the least-capable available port (greedy fit).
+            let avail = model.ports(insns[pick]) & !ports_busy;
+            let port = avail.trailing_zeros();
+            ports_busy |= 1 << port;
+            issued_this_cycle += 1;
+            done[pick] = true;
+            order.push(pick);
+            for (k, &s) in dag.succs[pick].iter().enumerate() {
+                let _ = k;
+                unscheduled_preds[s] -= 1;
+                let dep = dag.preds[s]
+                    .iter()
+                    .find(|&&(p, _)| p == pick)
+                    .map(|&(_, d)| d)
+                    .unwrap_or(Dep::Order);
+                let lat = match dep {
+                    Dep::Raw => u64::from(model.latency(insns[pick])),
+                    Dep::Order => 1,
+                };
+                ready_at[s] = ready_at[s].max(cycle + lat);
+            }
+        }
+        cycle += 1;
+    }
+    order
+}
+
+/// The list-scheduling pass.
+#[derive(Debug, Default)]
+pub struct ListSchedule;
+
+impl MaoPass for ListSchedule {
+    fn name(&self) -> &'static str {
+        "SCHED"
+    }
+
+    fn description(&self) -> &'static str {
+        "critical-path list scheduling within basic blocks"
+    }
+
+    fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
+        let mut stats = PassStats::default();
+        let model = CostModel::default();
+        let policy = match ctx.options.get("policy") {
+            Some("source-order") => Policy::SourceOrder,
+            _ => Policy::CriticalPath,
+        };
+        for_each_function(unit, |unit, function| {
+            let cfg = Cfg::build(unit, function);
+            let mut edits = EditSet::new();
+            for block in &cfg.blocks {
+                let all: Vec<(EntryId, &Instruction)> = block.insns(unit).collect();
+                if all.len() < 3 {
+                    continue;
+                }
+                // Keep a block-terminating control-flow instruction pinned.
+                let (body, _tail) = match all.last() {
+                    Some(&(_, last)) if last.mnemonic.is_control_flow() => {
+                        all.split_at(all.len() - 1)
+                    }
+                    _ => (&all[..], &all[..0]),
+                };
+                if body.len() < 2 {
+                    continue;
+                }
+                let ids: Vec<EntryId> = body.iter().map(|&(id, _)| id).collect();
+                let insns: Vec<&Instruction> = body.iter().map(|&(_, i)| i).collect();
+                let order = schedule(&insns, &model, policy);
+                let moved = order.iter().enumerate().filter(|&(slot, &src)| slot != src).count();
+                if moved == 0 {
+                    continue;
+                }
+                stats.matched(1);
+                stats.transformed(moved);
+                for (slot, &src) in order.iter().enumerate() {
+                    if slot != src {
+                        edits.replace_insn(ids[slot], insns[src].clone());
+                    }
+                }
+            }
+            Ok(edits)
+        })?;
+        ctx.trace(
+            1,
+            format!(
+                "SCHED: moved {} instructions in {} blocks",
+                stats.transformations, stats.matches
+            ),
+        );
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::PassContext;
+
+    fn mnemonic_order(unit: &MaoUnit) -> Vec<String> {
+        unit.entries()
+            .iter()
+            .filter_map(|e| e.insn())
+            .map(|i| i.to_string())
+            .collect()
+    }
+
+    /// The paper's hashing kernel: xorl feeding three consumers.
+    const HASH_KERNEL: &str = r#"
+	.type	f, @function
+f:
+	xorl %edi, %ebx
+	subl %ebx, %ecx
+	subl %ebx, %edx
+	movl %ebx, %edi
+	shrl $12, %edi
+	xorl %edi, %edx
+	ret
+"#;
+
+    #[test]
+    fn respects_dependencies() {
+        let mut unit = MaoUnit::parse(HASH_KERNEL).unwrap();
+        ListSchedule
+            .run(&mut unit, &mut PassContext::default())
+            .unwrap();
+        let order = mnemonic_order(&unit);
+        // The producing xorl must stay first; the final xorl must stay after
+        // shrl (RAW on %edi) and after subl %ebx,%edx (WAW-ish on %edx).
+        assert_eq!(order[0], "xorl %edi, %ebx");
+        let shr = order.iter().position(|s| s.starts_with("shrl")).unwrap();
+        let last_xor = order
+            .iter()
+            .position(|s| s == "xorl %edi, %edx")
+            .unwrap();
+        assert!(shr < last_xor);
+        let mov = order.iter().position(|s| s.starts_with("movl")).unwrap();
+        assert!(mov < shr, "shrl reads %edi written by movl");
+        // ret stays the terminator.
+        assert_eq!(order.last().unwrap(), "ret");
+    }
+
+    #[test]
+    fn critical_path_is_prioritized() {
+        // Chain: mov -> imul -> imul (long); independent: add, add (short).
+        // Critical-path scheduling starts the chain before the adds.
+        let text = r#"
+	.type	f, @function
+f:
+	movl %edi, %eax
+	imull %esi, %eax
+	imull %edx, %eax
+	addl $1, %r8d
+	addl $1, %r9d
+	ret
+"#;
+        let mut unit = MaoUnit::parse(text).unwrap();
+        ListSchedule
+            .run(&mut unit, &mut PassContext::default())
+            .unwrap();
+        let order = mnemonic_order(&unit);
+        assert_eq!(order[0], "movl %edi, %eax", "chain head first: {order:?}");
+    }
+
+    #[test]
+    fn loads_hoisted_above_independent_alu() {
+        // The load has higher latency; the scheduler should start it early.
+        let text = r#"
+	.type	f, @function
+f:
+	addl $1, %ecx
+	movq (%rdi), %rax
+	addq %rax, %rbx
+	ret
+"#;
+        let mut unit = MaoUnit::parse(text).unwrap();
+        ListSchedule
+            .run(&mut unit, &mut PassContext::default())
+            .unwrap();
+        let order = mnemonic_order(&unit);
+        assert_eq!(order[0], "movq (%rdi), %rax", "{order:?}");
+    }
+
+    #[test]
+    fn stores_and_loads_not_reordered() {
+        let text = r#"
+	.type	f, @function
+f:
+	movq %rax, (%rdi)
+	movq (%rdi), %rbx
+	movq %rbx, (%rsi)
+	ret
+"#;
+        let mut unit = MaoUnit::parse(text).unwrap();
+        let before = mnemonic_order(&unit);
+        ListSchedule
+            .run(&mut unit, &mut PassContext::default())
+            .unwrap();
+        assert_eq!(mnemonic_order(&unit), before);
+    }
+
+    #[test]
+    fn flags_producer_consumer_kept_in_order() {
+        let text = r#"
+	.type	f, @function
+f:
+	cmpl $5, %edi
+	sete %al
+	addl $3, %esi
+	ret
+"#;
+        let mut unit = MaoUnit::parse(text).unwrap();
+        ListSchedule
+            .run(&mut unit, &mut PassContext::default())
+            .unwrap();
+        let order = mnemonic_order(&unit);
+        let cmp = order.iter().position(|s| s.starts_with("cmpl")).unwrap();
+        let sete = order.iter().position(|s| s.starts_with("sete")).unwrap();
+        assert!(cmp < sete);
+    }
+
+    #[test]
+    fn calls_are_scheduling_barriers() {
+        let text = r#"
+	.type	f, @function
+f:
+	movl $1, %edi
+	call g
+	movl $2, %edi
+	ret
+"#;
+        let mut unit = MaoUnit::parse(text).unwrap();
+        let before = mnemonic_order(&unit);
+        ListSchedule
+            .run(&mut unit, &mut PassContext::default())
+            .unwrap();
+        assert_eq!(mnemonic_order(&unit), before);
+    }
+
+    #[test]
+    fn semantics_preserving_permutation_only() {
+        // Whatever order comes out, it must be a permutation of the input.
+        let mut unit = MaoUnit::parse(HASH_KERNEL).unwrap();
+        let mut before = mnemonic_order(&unit);
+        ListSchedule
+            .run(&mut unit, &mut PassContext::default())
+            .unwrap();
+        let mut after = mnemonic_order(&unit);
+        before.sort();
+        after.sort();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn port_model_matches_paper_anecdote() {
+        let m = CostModel::default();
+        let lea = MaoUnit::parse("leal (%r8,%rdi), %ebx\n").unwrap();
+        assert_eq!(m.ports(lea.insn(0).unwrap()), 0b00_0001, "lea: port 0 only");
+        let sar = MaoUnit::parse("sarl %ecx\n").unwrap();
+        assert_eq!(
+            m.ports(sar.insn(0).unwrap()),
+            0b10_0001,
+            "sar: ports 0 and 5"
+        );
+    }
+}

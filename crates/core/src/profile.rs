@@ -1,0 +1,140 @@
+//! Hardware-counter profile annotation.
+//!
+//! The paper (§II): *"MAO's IR can also be annotated with hardware counter
+//! profile information. Tools like oprofile associate hardware event samples
+//! to offsets within functions. Since MAO has instruction sizes available,
+//! samples can be directly mapped to individual instructions."*
+//!
+//! A [`Profile`] carries two kinds of data consumed by passes:
+//!
+//! * PMU samples with register-file snapshots — input to the instruction
+//!   simulation pass (§III.E.m) that amplifies sampled effective addresses;
+//! * per-load reuse distances — input to the inverse-prefetching pass
+//!   (§III.E.k) that turns low-reuse loads into non-temporal ones.
+
+use std::collections::HashMap;
+
+use mao_x86::RegId;
+
+/// A site within a function, identified by the instruction's ordinal
+/// position (samples arrive as offsets; the relaxation layout maps offsets
+/// to ordinals, so ordinals are the stable currency here).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Site {
+    /// Function name.
+    pub function: String,
+    /// 0-based index among the function's instructions.
+    pub insn_index: usize,
+}
+
+impl Site {
+    /// Convenience constructor.
+    pub fn new(function: &str, insn_index: usize) -> Site {
+        Site {
+            function: function.to_string(),
+            insn_index,
+        }
+    }
+}
+
+/// One PMU sample: the sampled instruction plus the register file content
+/// at that point (as delivered by PEBS-style sampling hardware).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Where the sample hit.
+    pub site: Site,
+    /// Register file snapshot.
+    pub regs: HashMap<RegId, u64>,
+    /// Effective address the hardware reported for this instruction, if it
+    /// accesses memory.
+    pub address: Option<u64>,
+}
+
+/// Profile data attached to a pass pipeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Profile {
+    /// PMU samples with register snapshots.
+    pub samples: Vec<Sample>,
+    /// Measured reuse distance (in distinct cache lines touched between
+    /// successive uses) per load site. `u64::MAX` means "no reuse observed".
+    pub reuse_distance: HashMap<Site, u64>,
+    /// Event counts per site (e.g. `CPU_CYCLES`), keyed by event name.
+    pub events: HashMap<String, HashMap<Site, u64>>,
+}
+
+impl Profile {
+    /// Empty profile.
+    pub fn new() -> Profile {
+        Profile::default()
+    }
+
+    /// Record a reuse distance for a load site.
+    pub fn set_reuse_distance(&mut self, site: Site, distance: u64) {
+        self.reuse_distance.insert(site, distance);
+    }
+
+    /// Reuse distance at a site.
+    pub fn reuse_distance(&self, site: &Site) -> Option<u64> {
+        self.reuse_distance.get(site).copied()
+    }
+
+    /// Add a PMU sample.
+    pub fn add_sample(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// Add an event count.
+    pub fn add_event(&mut self, event: &str, site: Site, count: u64) {
+        *self
+            .events
+            .entry(event.to_string())
+            .or_default()
+            .entry(site)
+            .or_insert(0) += count;
+    }
+
+    /// Total count of an event across all sites.
+    pub fn event_total(&self, event: &str) -> u64 {
+        self.events
+            .get(event)
+            .map(|m| m.values().sum())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_distance_roundtrip() {
+        let mut p = Profile::new();
+        p.set_reuse_distance(Site::new("f", 3), 100_000);
+        assert_eq!(p.reuse_distance(&Site::new("f", 3)), Some(100_000));
+        assert_eq!(p.reuse_distance(&Site::new("f", 4)), None);
+    }
+
+    #[test]
+    fn event_accumulation() {
+        let mut p = Profile::new();
+        p.add_event("CPU_CYCLES", Site::new("f", 0), 10);
+        p.add_event("CPU_CYCLES", Site::new("f", 0), 5);
+        p.add_event("CPU_CYCLES", Site::new("g", 1), 1);
+        assert_eq!(p.event_total("CPU_CYCLES"), 16);
+        assert_eq!(p.event_total("MISSES"), 0);
+    }
+
+    #[test]
+    fn samples_store_registers() {
+        let mut p = Profile::new();
+        let mut regs = HashMap::new();
+        regs.insert(RegId::Rax, 0x1000);
+        p.add_sample(Sample {
+            site: Site::new("f", 2),
+            regs,
+            address: Some(0xdead),
+        });
+        assert_eq!(p.samples.len(), 1);
+        assert_eq!(p.samples[0].regs[&RegId::Rax], 0x1000);
+    }
+}

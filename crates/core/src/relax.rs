@@ -1,0 +1,376 @@
+//! Repeated relaxation: the address/size fixed point.
+//!
+//! Relaxation picks `rel8` vs `rel32` encodings for label-targeting branches
+//! based on branch-target distances, which in turn depend on every
+//! instruction's length — a circular dependency the paper resolves by
+//! iterating to a fixed point (§II): *"In the implementation there is a
+//! built-in limit of 100 iterations, but in practice almost every relaxation
+//! succeeds in a few iterations, and it never fails."*
+//!
+//! Our implementation is monotone — a branch once widened to `rel32` never
+//! shrinks back — which, together with bounded alignment padding, guarantees
+//! termination well inside the limit.
+
+use std::collections::HashMap;
+
+use mao_asm::{Directive, Entry};
+use mao_x86::encode::{encoded_length, BranchForm};
+use mao_x86::Mnemonic;
+
+use crate::unit::{EntryId, MaoUnit};
+
+/// Built-in iteration limit from the paper.
+pub const MAX_ITERATIONS: usize = 100;
+
+/// Relaxation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelaxError {
+    /// An instruction could not be encoded (outside the supported subset).
+    Encode {
+        /// Entry id of the offending instruction.
+        id: EntryId,
+        /// Encoder message.
+        message: String,
+    },
+    /// The fixed point was not reached within [`MAX_ITERATIONS`].
+    DidNotConverge,
+}
+
+impl std::fmt::Display for RelaxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelaxError::Encode { id, message } => {
+                write!(f, "entry {id}: {message}")
+            }
+            RelaxError::DidNotConverge => {
+                write!(f, "relaxation did not converge in {MAX_ITERATIONS} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelaxError {}
+
+/// The result of relaxation: per-entry addresses and sizes.
+///
+/// Addresses are section-relative (each section starts at 0). Entries in
+/// non-text sections get data-directive sizes; unknown directives are
+/// size 0.
+#[derive(Debug, Clone, Default)]
+pub struct Layout {
+    /// Section-relative start address of each entry.
+    pub addr: Vec<u64>,
+    /// Size in bytes of each entry (0 for labels and most directives).
+    pub size: Vec<u32>,
+    /// Chosen branch form for label-targeting branch entries.
+    pub branch_form: HashMap<EntryId, BranchForm>,
+    /// Iterations needed to reach the fixed point.
+    pub iterations: usize,
+}
+
+impl Layout {
+    /// Address of the first byte after entry `id`.
+    pub fn end_addr(&self, id: EntryId) -> u64 {
+        self.addr[id] + u64::from(self.size[id])
+    }
+
+    /// Total byte size of an id range (assumes same section, contiguous).
+    pub fn span_size(&self, first: EntryId, last: EntryId) -> u64 {
+        self.end_addr(last).saturating_sub(self.addr[first])
+    }
+
+    /// Number of 16-byte decode lines the byte range `[start, end)` touches.
+    pub fn decode_lines(start: u64, end: u64) -> u64 {
+        if end <= start {
+            return 0;
+        }
+        (end - 1) / 16 - start / 16 + 1
+    }
+}
+
+/// Is this a branch whose encoding relaxation must choose?
+fn relaxable_branch(e: &Entry) -> bool {
+    match e.insn() {
+        Some(i) => i.mnemonic.is_branch() && i.target_label().is_some(),
+        None => false,
+    }
+}
+
+/// Run repeated relaxation over the whole unit.
+///
+/// Every section is laid out independently from address 0. Branches to
+/// labels defined in the same section may use `rel8`; branches to anything
+/// else (other sections, external symbols) are `rel32`.
+pub fn relax(unit: &MaoUnit) -> Result<Layout, RelaxError> {
+    let n = unit.len();
+    let section_names = unit.section_names();
+    // Section index per entry (sections with the same name share one space).
+    let mut section_of: Vec<usize> = Vec::with_capacity(n);
+    {
+        let mut ids: HashMap<&str, usize> = HashMap::new();
+        let mut next = 0usize;
+        for name in &section_names {
+            let id = *ids.entry(name).or_insert_with(|| {
+                let v = next;
+                next += 1;
+                v
+            });
+            section_of.push(id);
+        }
+    }
+
+    let mut layout = Layout {
+        addr: vec![0; n],
+        size: vec![0; n],
+        branch_form: HashMap::new(),
+        iterations: 0,
+    };
+
+    // Optimistic start: all relaxable branches short.
+    for (id, e) in unit.entries().iter().enumerate() {
+        if relaxable_branch(e) {
+            let form = if e.insn().map(|i| i.mnemonic) == Some(Mnemonic::Call) {
+                BranchForm::Rel32
+            } else {
+                BranchForm::Rel8
+            };
+            layout.branch_form.insert(id, form);
+        }
+    }
+
+    // Label -> (section, entry id). Addresses are re-read each iteration.
+    let mut label_entry: HashMap<&str, EntryId> = HashMap::new();
+    for (id, e) in unit.entries().iter().enumerate() {
+        if let Entry::Label(l) = e {
+            label_entry.entry(l.as_str()).or_insert(id);
+        }
+    }
+
+    for iteration in 1..=MAX_ITERATIONS {
+        layout.iterations = iteration;
+
+        // 1. Assign addresses with current branch forms.
+        let mut cursor: HashMap<usize, u64> = HashMap::new();
+        let mut changed_addr = false;
+        for (id, e) in unit.entries().iter().enumerate() {
+            let sec = section_of[id];
+            let pc = cursor.entry(sec).or_insert(0);
+            // Alignment directives move the cursor before the entry "starts".
+            if let Entry::Directive(Directive::Align(a)) = e {
+                let align = a.alignment.max(1);
+                let aligned = pc.next_multiple_of(align);
+                let skip = aligned - *pc;
+                let allowed = a.max_skip.map_or(true, |max| skip <= max);
+                let new_pc = if allowed { aligned } else { *pc };
+                if layout.addr[id] != *pc {
+                    changed_addr = true;
+                }
+                layout.addr[id] = *pc;
+                layout.size[id] = (new_pc - *pc) as u32;
+                *pc = new_pc;
+                continue;
+            }
+            if layout.addr[id] != *pc {
+                changed_addr = true;
+            }
+            layout.addr[id] = *pc;
+            let size: u64 = match e {
+                Entry::Label(_) => 0,
+                Entry::Insn(i) => {
+                    let form = layout
+                        .branch_form
+                        .get(&id)
+                        .copied()
+                        .unwrap_or(BranchForm::Rel32);
+                    encoded_length(i, form).map_err(|e| RelaxError::Encode {
+                        id,
+                        message: e.to_string(),
+                    })? as u64
+                }
+                Entry::Directive(d) => d.data_size().unwrap_or(0),
+            };
+            if layout.size[id] != size as u32 {
+                changed_addr = true;
+            }
+            layout.size[id] = size as u32;
+            *pc += size;
+        }
+
+        // 2. Widen branches whose target no longer fits rel8.
+        let mut widened = false;
+        let short_ids: Vec<EntryId> = layout
+            .branch_form
+            .iter()
+            .filter(|&(_, form)| *form == BranchForm::Rel8)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in short_ids {
+            let insn = unit.insn(id).expect("branch entries are instructions");
+            let target = insn.target_label().expect("relaxable branch has label");
+            let fits = match label_entry.get(target) {
+                Some(&tid) if section_of[tid] == section_of[id] => {
+                    let delta = layout.addr[tid] as i64 - layout.end_addr(id) as i64;
+                    BranchForm::Rel8.fits(delta)
+                }
+                // Cross-section or external target: must be rel32.
+                _ => false,
+            };
+            if !fits {
+                layout.branch_form.insert(id, BranchForm::Rel32);
+                widened = true;
+            }
+        }
+
+        if !widened && !changed_addr && iteration > 1 {
+            return Ok(layout);
+        }
+        if !widened && iteration > 1 {
+            // Addresses moved but no branch changed: one more pass will
+            // confirm stability; loop continues.
+        }
+    }
+    Err(RelaxError::DidNotConverge)
+}
+
+/// Relative displacement of a relaxed branch at `id` to its target, for
+/// encoding: `target_addr - end_of_branch`.
+pub fn branch_displacement(unit: &MaoUnit, layout: &Layout, id: EntryId) -> Option<i64> {
+    let insn = unit.insn(id)?;
+    let target = insn.target_label()?;
+    let tid = unit.find_label(target)?;
+    Some(layout.addr[tid] as i64 - layout.end_addr(id) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact scenario from the paper's §II listing: a forward `jmp` over
+    /// a 0x7f-byte gap fits rel8; inserting a single NOP before the target
+    /// pushes it to rel32, moving the target down by 4 bytes (1 for the NOP,
+    /// 3 for the wider branch).
+    #[test]
+    fn paper_relaxation_example() {
+        let body: String = std::iter::repeat("\tnop\n").take(0x7f).collect();
+        let asm = format!(
+            "main:\n\tpush %rbp\n\tmov %rsp, %rbp\n\tmovl $5, -4(%rbp)\n\tjmp .Lc\n{body}.Lc:\n\tcmpl $0, -4(%rbp)\n\tjne .Lb\n"
+        );
+        // Layout without the extra NOP: jmp at 0xb, target .Lc at 0x8c.
+        let unit = MaoUnit::parse(&asm).unwrap();
+        let layout = relax(&unit).unwrap();
+        let jmp_id = unit
+            .entries()
+            .iter()
+            .position(|e| e.insn().is_some_and(|i| i.mnemonic == Mnemonic::Jmp))
+            .unwrap();
+        assert_eq!(layout.addr[jmp_id], 0xb);
+        assert_eq!(layout.size[jmp_id], 2, "jmp fits rel8");
+        let lc = unit.find_label(".Lc").unwrap();
+        assert_eq!(layout.addr[lc], 0x8c);
+
+        // Insert one more NOP before .Lc: displacement 0x80 no longer fits
+        // rel8, so the jmp becomes 5 bytes and .Lc lands at 0x90.
+        let asm2 = asm.replace(".Lc:", "\tnop\n.Lc:");
+        let unit2 = MaoUnit::parse(&asm2).unwrap();
+        let layout2 = relax(&unit2).unwrap();
+        let jmp_id2 = unit2
+            .entries()
+            .iter()
+            .position(|e| e.insn().is_some_and(|i| i.mnemonic == Mnemonic::Jmp))
+            .unwrap();
+        assert_eq!(layout2.size[jmp_id2], 5, "jmp widened to rel32");
+        let lc2 = unit2.find_label(".Lc").unwrap();
+        assert_eq!(layout2.addr[lc2], 0x90);
+        // jne at the end: backward branch to .Lb does not exist -> external.
+        assert!(layout2.iterations >= 2);
+    }
+
+    #[test]
+    fn backward_branch_stays_short() {
+        let unit = MaoUnit::parse(".L1:\n\tnop\n\tjmp .L1\n").unwrap();
+        let layout = relax(&unit).unwrap();
+        let jmp = 2;
+        assert_eq!(layout.size[jmp], 2);
+        assert_eq!(branch_displacement(&unit, &layout, jmp), Some(-3));
+    }
+
+    #[test]
+    fn external_target_uses_rel32() {
+        let unit = MaoUnit::parse("\tjmp external_symbol\n").unwrap();
+        let layout = relax(&unit).unwrap();
+        assert_eq!(layout.size[0], 5);
+    }
+
+    #[test]
+    fn call_is_always_rel32() {
+        let unit = MaoUnit::parse("f:\n\tcall f\n").unwrap();
+        let layout = relax(&unit).unwrap();
+        assert_eq!(layout.size[1], 5);
+    }
+
+    #[test]
+    fn align_directive_advances_cursor() {
+        let unit = MaoUnit::parse("\tnop\n\t.p2align 4\n.L:\n\tret\n").unwrap();
+        let layout = relax(&unit).unwrap();
+        assert_eq!(layout.addr[0], 0);
+        assert_eq!(layout.size[1], 15); // pad 1 -> 16
+        assert_eq!(layout.addr[2], 16); // label after align
+        assert_eq!(layout.addr[3], 16);
+    }
+
+    #[test]
+    fn align_max_skip_abandons() {
+        // .p2align 4,,3 at offset 1 would need 15 bytes > 3: abandoned.
+        let unit = MaoUnit::parse("\tnop\n\t.p2align 4,,3\n\tret\n").unwrap();
+        let layout = relax(&unit).unwrap();
+        assert_eq!(layout.size[1], 0);
+        assert_eq!(layout.addr[2], 1);
+    }
+
+    #[test]
+    fn sections_have_independent_addresses() {
+        let unit =
+            MaoUnit::parse(".text\n\tnop\n.section .rodata\n\t.long 1\n.text\n\tret\n").unwrap();
+        let layout = relax(&unit).unwrap();
+        // .long starts at rodata offset 0 (entry 3; entry 2 is .section).
+        assert_eq!(layout.addr[3], 0);
+        assert_eq!(layout.size[3], 4);
+        // ret resumes .text at offset 1 (after the nop).
+        assert_eq!(layout.addr[5], 1);
+    }
+
+    #[test]
+    fn chained_widening_converges() {
+        // Two branches at ~0x7f distance where widening the first pushes the
+        // second over the edge too.
+        let pad: String = std::iter::repeat("\tnop\n").take(0x7c).collect();
+        let asm = format!("\tjmp .La\n\tjmp .Lb\n{pad}.La:\n\tnop\n\tnop\n.Lb:\n\tret\n");
+        let unit = MaoUnit::parse(&asm).unwrap();
+        let layout = relax(&unit).unwrap();
+        // First jmp: end 2 -> .La at 2+0x7c... both must agree with sizes.
+        assert!(layout.iterations >= 2);
+        for id in [0usize, 1usize] {
+            let delta = branch_displacement(&unit, &layout, id).unwrap();
+            let form = layout.branch_form[&id];
+            assert!(form.fits(delta));
+        }
+    }
+
+    #[test]
+    fn decode_lines_helper() {
+        assert_eq!(Layout::decode_lines(0, 16), 1);
+        assert_eq!(Layout::decode_lines(0, 17), 2);
+        assert_eq!(Layout::decode_lines(15, 17), 2);
+        assert_eq!(Layout::decode_lines(16, 32), 1);
+        assert_eq!(Layout::decode_lines(5, 5), 0);
+        // The Figure 4 scenario: ~70 bytes starting mid-line spans 6 lines.
+        assert_eq!(Layout::decode_lines(10, 76), 5);
+    }
+
+    #[test]
+    fn span_size() {
+        let unit = MaoUnit::parse("\tnop\n\tnop\n\tret\n").unwrap();
+        let layout = relax(&unit).unwrap();
+        assert_eq!(layout.span_size(0, 2), 3);
+    }
+}

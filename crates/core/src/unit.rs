@@ -1,0 +1,470 @@
+//! The MAO IR: one long entry list with section and function views.
+//!
+//! The paper: *"After parsing, all assembly directives and instructions form
+//! one long list of MAO IR nodes. To reflect the structure of assembly
+//! files, MAO offers a notion of sections and functions and provides easy
+//! access to these higher level concepts via corresponding iterators."*
+//!
+//! A [`MaoUnit`] owns the flat `Vec<Entry>`; [`Section`] and [`Function`]
+//! are computed views of index ranges. A function split across sections by
+//! an intermittent data section (the jump-table pattern GCC emits for
+//! `switch`) has multiple [`Function::spans`] and its iterator walks them
+//! transparently, exactly as §II requires.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use mao_asm::{Directive, Entry, ParseError};
+use mao_x86::Instruction;
+
+/// Index of an entry in the unit's flat list.
+pub type EntryId = usize;
+
+/// A contiguous run of entries in one section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section name (`.text`, `.rodata`, ...).
+    pub name: String,
+    /// Entry ranges belonging to this section, in file order. A section can
+    /// appear several times in a file; each appearance is one range.
+    pub ranges: Vec<Range<EntryId>>,
+}
+
+impl Section {
+    /// Is this an executable (text-like) section?
+    pub fn is_text(&self) -> bool {
+        is_text_section(&self.name)
+    }
+
+    /// All entry ids in this section, in order.
+    pub fn entry_ids(&self) -> impl Iterator<Item = EntryId> + '_ {
+        self.ranges.iter().flat_map(|r| r.clone())
+    }
+}
+
+fn is_text_section(name: &str) -> bool {
+    name == ".text" || name.starts_with(".text.")
+}
+
+/// A function view over the unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function (symbol) name.
+    pub name: String,
+    /// Entry id of the function's defining label.
+    pub label_id: EntryId,
+    /// Entry ranges forming the function body, in order. More than one when
+    /// a data section interrupts the function's text.
+    pub spans: Vec<Range<EntryId>>,
+}
+
+impl Function {
+    /// All entry ids of the function body, in order, spanning section splits
+    /// transparently.
+    pub fn entry_ids(&self) -> impl Iterator<Item = EntryId> + '_ {
+        self.spans.iter().flat_map(|r| r.clone())
+    }
+
+    /// Does the function contain this entry id?
+    pub fn contains(&self, id: EntryId) -> bool {
+        self.spans.iter().any(|r| r.contains(&id))
+    }
+}
+
+/// The MAO IR unit: the parsed assembly file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MaoUnit {
+    entries: Vec<Entry>,
+}
+
+impl MaoUnit {
+    /// Build a unit from already-parsed entries.
+    pub fn from_entries(entries: Vec<Entry>) -> MaoUnit {
+        MaoUnit { entries }
+    }
+
+    /// Parse assembly text into a unit (the default first pass of the
+    /// pipeline).
+    pub fn parse(text: &str) -> Result<MaoUnit, ParseError> {
+        Ok(MaoUnit {
+            entries: mao_asm::parse(text)?,
+        })
+    }
+
+    /// Emit the unit as textual assembly (the `ASM` pass).
+    pub fn emit(&self) -> String {
+        mao_asm::emit(&self.entries)
+    }
+
+    /// The flat entry list.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the unit empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry by id.
+    pub fn entry(&self, id: EntryId) -> &Entry {
+        &self.entries[id]
+    }
+
+    /// Mutable entry access (for in-place instruction rewriting).
+    pub fn entry_mut(&mut self, id: EntryId) -> &mut Entry {
+        &mut self.entries[id]
+    }
+
+    /// The instruction at `id`, if that entry is one.
+    pub fn insn(&self, id: EntryId) -> Option<&Instruction> {
+        self.entries[id].insn()
+    }
+
+    /// Section name in effect for each entry (`.text` before any section
+    /// directive, matching gas's default).
+    pub fn section_names(&self) -> Vec<&str> {
+        let mut out = Vec::with_capacity(self.entries.len());
+        let mut current = ".text";
+        for e in &self.entries {
+            if let Entry::Directive(d) = e {
+                if let Some(name) = d.section_name() {
+                    current = name;
+                }
+                // Directives like .previous/.popsection are not modeled; the
+                // corpus this reproduction handles does not use them.
+            }
+            out.push(current);
+        }
+        out
+    }
+
+    /// Compute the section views.
+    pub fn sections(&self) -> Vec<Section> {
+        let names = self.section_names();
+        let mut sections: Vec<Section> = Vec::new();
+        let mut index: HashMap<&str, usize> = HashMap::new();
+        let mut i = 0;
+        while i < names.len() {
+            let name = names[i];
+            let mut j = i;
+            while j < names.len() && names[j] == name {
+                j += 1;
+            }
+            let slot = *index.entry(name).or_insert_with(|| {
+                sections.push(Section {
+                    name: name.to_string(),
+                    ranges: Vec::new(),
+                });
+                sections.len() - 1
+            });
+            sections[slot].ranges.push(i..j);
+            i = j;
+        }
+        sections
+    }
+
+    /// Map from label name to its entry id (first definition wins).
+    pub fn labels(&self) -> HashMap<&str, EntryId> {
+        let mut map = HashMap::new();
+        for (id, e) in self.entries.iter().enumerate() {
+            if let Entry::Label(l) = e {
+                map.entry(l.as_str()).or_insert(id);
+            }
+        }
+        map
+    }
+
+    /// Find a label's entry id.
+    pub fn find_label(&self, name: &str) -> Option<EntryId> {
+        self.entries
+            .iter()
+            .position(|e| e.label() == Some(name))
+    }
+
+    /// Symbols declared as functions via `.type sym, @function`.
+    fn function_symbols(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e {
+                Entry::Directive(Directive::Type { symbol, kind }) if kind == "function" => {
+                    Some(symbol.as_str())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Compute the function views.
+    ///
+    /// A function starts at its defining label (in a text section, with a
+    /// matching `.type` directive) and extends to the next function start or
+    /// the end of the unit. Non-text ranges inside that extent are excluded
+    /// from the spans, so iteration skips interleaved data sections — the
+    /// transparency property of §II.
+    pub fn functions(&self) -> Vec<Function> {
+        let names = self.section_names();
+        let symbols = self.function_symbols();
+        let mut starts: Vec<(EntryId, &str)> = Vec::new();
+        for (id, e) in self.entries.iter().enumerate() {
+            if let Entry::Label(l) = e {
+                if is_text_section(names[id]) && symbols.contains(&l.as_str()) {
+                    starts.push((id, l));
+                }
+            }
+        }
+        let mut functions = Vec::with_capacity(starts.len());
+        for (k, &(start, name)) in starts.iter().enumerate() {
+            let end = starts.get(k + 1).map_or(self.entries.len(), |&(s, _)| s);
+            let mut spans: Vec<Range<EntryId>> = Vec::new();
+            let mut i = start;
+            while i < end {
+                if is_text_section(names[i]) {
+                    let mut j = i;
+                    while j < end && is_text_section(names[j]) {
+                        j += 1;
+                    }
+                    spans.push(i..j);
+                    i = j;
+                } else {
+                    i += 1;
+                }
+            }
+            functions.push(Function {
+                name: name.to_string(),
+                label_id: start,
+                spans,
+            });
+        }
+        functions
+    }
+
+    /// Find a function view by name.
+    pub fn find_function(&self, name: &str) -> Option<Function> {
+        self.functions().into_iter().find(|f| f.name == name)
+    }
+
+    /// Apply a batch of edits. Returns the number of entries after editing.
+    pub fn apply(&mut self, edits: EditSet) -> usize {
+        let mut out = Vec::with_capacity(self.entries.len() + 8);
+        for (id, entry) in self.entries.drain(..).enumerate() {
+            if let Some(before) = edits.insert_before.get(&id) {
+                out.extend(before.iter().cloned());
+            }
+            if !edits.deleted.contains(&id) {
+                match edits.replaced.get(&id) {
+                    Some(new_entries) => out.extend(new_entries.iter().cloned()),
+                    None => out.push(entry),
+                }
+            }
+            if let Some(after) = edits.insert_after.get(&id) {
+                out.extend(after.iter().cloned());
+            }
+        }
+        if let Some(at_end) = edits.insert_before.get(&usize::MAX) {
+            out.extend(at_end.iter().cloned());
+        }
+        self.entries = out;
+        self.entries.len()
+    }
+}
+
+/// A batch of deferred edits against a [`MaoUnit`].
+///
+/// Passes collect edits while iterating (ids stay stable), then call
+/// [`MaoUnit::apply`] once; all ids refer to the pre-edit numbering.
+#[derive(Debug, Clone, Default)]
+pub struct EditSet {
+    deleted: std::collections::BTreeSet<EntryId>,
+    replaced: HashMap<EntryId, Vec<Entry>>,
+    insert_before: HashMap<EntryId, Vec<Entry>>,
+    insert_after: HashMap<EntryId, Vec<Entry>>,
+}
+
+impl EditSet {
+    /// Empty edit set.
+    pub fn new() -> EditSet {
+        EditSet::default()
+    }
+
+    /// Any edits recorded?
+    pub fn is_empty(&self) -> bool {
+        self.deleted.is_empty()
+            && self.replaced.is_empty()
+            && self.insert_before.is_empty()
+            && self.insert_after.is_empty()
+    }
+
+    /// Number of edit operations recorded.
+    pub fn len(&self) -> usize {
+        self.deleted.len() + self.replaced.len() + self.insert_before.len() + self.insert_after.len()
+    }
+
+    /// Delete entry `id`.
+    pub fn delete(&mut self, id: EntryId) -> &mut Self {
+        self.deleted.insert(id);
+        self
+    }
+
+    /// Replace entry `id` with `entries` (empty = delete).
+    pub fn replace(&mut self, id: EntryId, entries: Vec<Entry>) -> &mut Self {
+        self.replaced.insert(id, entries);
+        self
+    }
+
+    /// Replace entry `id` with a single instruction.
+    pub fn replace_insn(&mut self, id: EntryId, insn: Instruction) -> &mut Self {
+        self.replace(id, vec![Entry::Insn(insn)])
+    }
+
+    /// Insert `entries` immediately before entry `id`. Use `usize::MAX` to
+    /// append at the end of the unit.
+    pub fn insert_before(&mut self, id: EntryId, entries: Vec<Entry>) -> &mut Self {
+        self.insert_before.entry(id).or_default().extend(entries);
+        self
+    }
+
+    /// Insert `entries` immediately after entry `id`.
+    pub fn insert_after(&mut self, id: EntryId, entries: Vec<Entry>) -> &mut Self {
+        self.insert_after.entry(id).or_default().extend(entries);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TWO_FUNCS: &str = r#"
+	.text
+	.globl	f
+	.type	f, @function
+f:
+	push %rbp
+	pop %rbp
+	ret
+	.size	f, .-f
+	.globl	g
+	.type	g, @function
+g:
+	nop
+	ret
+	.size	g, .-g
+"#;
+
+    #[test]
+    fn functions_are_found() {
+        let unit = MaoUnit::parse(TWO_FUNCS).unwrap();
+        let funcs = unit.functions();
+        assert_eq!(funcs.len(), 2);
+        assert_eq!(funcs[0].name, "f");
+        assert_eq!(funcs[1].name, "g");
+        // f's body: label + 3 insns + .size + .globl/.type of g.
+        let f_insns: Vec<_> = funcs[0]
+            .entry_ids()
+            .filter_map(|id| unit.insn(id))
+            .collect();
+        assert_eq!(f_insns.len(), 3);
+        let g_insns: Vec<_> = funcs[1]
+            .entry_ids()
+            .filter_map(|id| unit.insn(id))
+            .collect();
+        assert_eq!(g_insns.len(), 2);
+    }
+
+    /// The §II scenario: a function split in two by an intermittent data
+    /// section must iterate transparently.
+    #[test]
+    fn function_split_by_data_section() {
+        let text = r#"
+	.text
+	.type	h, @function
+h:
+	nop
+	jmp *.Ltab(,%rax,8)
+	.section	.rodata
+.Ltab:
+	.quad	.L1
+	.quad	.L2
+	.text
+.L1:
+	nop
+.L2:
+	ret
+	.size	h, .-h
+"#;
+        let unit = MaoUnit::parse(text).unwrap();
+        let funcs = unit.functions();
+        assert_eq!(funcs.len(), 1);
+        let h = &funcs[0];
+        assert_eq!(h.spans.len(), 2, "split into two spans: {:?}", h.spans);
+        let insns: Vec<_> = h.entry_ids().filter_map(|id| unit.insn(id)).collect();
+        // nop, jmp, nop, ret — the .quad data is NOT iterated.
+        assert_eq!(insns.len(), 4);
+        assert!(insns.iter().all(|i| !matches!(
+            i.mnemonic,
+            mao_x86::Mnemonic::Movss
+        )));
+    }
+
+    #[test]
+    fn sections_views() {
+        let unit = MaoUnit::parse(".text\nnop\n.section .rodata\n.long 1\n.text\nret\n").unwrap();
+        let sections = unit.sections();
+        assert_eq!(sections.len(), 2);
+        let text = &sections[0];
+        assert!(text.is_text());
+        assert_eq!(text.ranges.len(), 2); // .text appears twice
+        assert_eq!(text.entry_ids().count(), 4);
+    }
+
+    #[test]
+    fn default_section_is_text() {
+        let unit = MaoUnit::parse("nop\n").unwrap();
+        assert_eq!(unit.section_names(), vec![".text"]);
+    }
+
+    #[test]
+    fn labels_map() {
+        let unit = MaoUnit::parse("a:\nnop\nb:\nret\n").unwrap();
+        assert_eq!(unit.find_label("b"), Some(2));
+        assert_eq!(unit.labels().len(), 2);
+        assert_eq!(unit.find_label("zz"), None);
+    }
+
+    #[test]
+    fn edits_apply_in_order() {
+        let mut unit = MaoUnit::parse("nop\nnop\nnop\n").unwrap();
+        let mut edits = EditSet::new();
+        edits.delete(1);
+        edits.insert_before(0, vec![Entry::Label("start".into())]);
+        edits.insert_after(2, vec![Entry::Insn(Instruction::nop())]);
+        unit.apply(edits);
+        let text = unit.emit();
+        assert_eq!(text, "start:\n\tnop\n\tnop\n\tnop\n");
+    }
+
+    #[test]
+    fn replace_edit() {
+        let mut unit = MaoUnit::parse("nop\n").unwrap();
+        let mut edits = EditSet::new();
+        edits.replace_insn(0, Instruction::nop_of_len(2));
+        unit.apply(edits);
+        assert_eq!(unit.emit(), "\tnopw\n");
+    }
+
+    #[test]
+    fn empty_editset_is_noop() {
+        let mut unit = MaoUnit::parse(TWO_FUNCS).unwrap();
+        let before = unit.clone();
+        let edits = EditSet::new();
+        assert!(edits.is_empty());
+        unit.apply(edits);
+        assert_eq!(unit, before);
+    }
+}

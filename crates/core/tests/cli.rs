@@ -1,0 +1,105 @@
+//! End-to-end tests of the `mao` command-line driver, exercising the
+//! paper's invocation style (`--mao=PASS=opt[val]:ASM=o[path]`).
+
+use std::process::Command;
+
+fn mao() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mao"))
+}
+
+fn write_input(name: &str, text: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("mao-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, text).expect("write input");
+    path
+}
+
+const INPUT: &str = "\t.type\tf, @function\nf:\n\tsubl $16, %r15d\n\ttestl %r15d, %r15d\n\tjne .L1\n\taddl $3, %eax\n\taddl $4, %eax\n.L1:\n\tret\n";
+
+#[test]
+fn paper_style_invocation_writes_output_file() {
+    let input = write_input("in1.s", INPUT);
+    let output = input.with_file_name("out1.s");
+    let status = mao()
+        .arg("--mao=REDTEST:ADDADD:ASM=o[".to_string() + output.to_str().unwrap() + "]")
+        .arg(&input)
+        .status()
+        .expect("driver runs");
+    assert!(status.success());
+    let text = std::fs::read_to_string(&output).expect("output written");
+    assert!(!text.contains("testl"), "{text}");
+    assert!(text.contains("addl $7, %eax"), "{text}");
+}
+
+#[test]
+fn default_emission_goes_to_stdout() {
+    let input = write_input("in2.s", INPUT);
+    let out = mao()
+        .arg("--mao=REDTEST")
+        .arg(&input)
+        .output()
+        .expect("driver runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("subl $16, %r15d"));
+    assert!(!stdout.contains("testl"));
+    // Pass statistics go to stderr, like the paper's tracing.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("REDTEST"), "{stderr}");
+}
+
+#[test]
+fn lfind_trace_matches_paper_example() {
+    // The paper's own example: --mao=LFIND=trace[0]:ASM=o[/dev/null].
+    let input = write_input(
+        "in3.s",
+        "\t.type\tf, @function\nf:\n.L:\n\taddl $1, %eax\n\tjne .L\n\tret\n",
+    );
+    let out = mao()
+        .arg("--mao=LFIND=trace[1]:ASM=o[/dev/null]")
+        .arg(&input)
+        .output()
+        .expect("driver runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("loop"), "{stderr}");
+}
+
+#[test]
+fn list_passes_shows_registry() {
+    let out = mao().arg("--list-passes").output().expect("driver runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["REDTEST", "LOOP16", "SCHED", "NOPIN", "LFIND", "ASM"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn bad_pass_name_fails_cleanly() {
+    let input = write_input("in4.s", INPUT);
+    let out = mao()
+        .arg("--mao=NOSUCH")
+        .arg(&input)
+        .output()
+        .expect("driver runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown pass"));
+}
+
+#[test]
+fn parse_error_reports_line() {
+    let input = write_input("in5.s", "nop\nbogus_mnemonic %eax\n");
+    let out = mao().arg(&input).output().expect("driver runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn missing_input_fails() {
+    let out = mao().output().expect("driver runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

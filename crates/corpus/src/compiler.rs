@@ -1,0 +1,250 @@
+//! Synthetic "compiler output" generator.
+//!
+//! Stands in for the paper's static-count corpus (§III.B): *"As a sample
+//! code base we used a core library at Google which consists of
+//! approximately 80 complex C++ files containing many inline assembly
+//! sequences."* The generator plants the four §III.B inefficiency patterns
+//! at calibrated rates inside otherwise-plausible compiler output, and
+//! reports exactly how many of each it planted so the pattern-matching
+//! passes can be validated against ground truth.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Ground truth of planted patterns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlantedCounts {
+    /// Redundant zero-extension moves (§III.B.a).
+    pub redundant_zext: usize,
+    /// Total `test` instructions emitted.
+    pub total_tests: usize,
+    /// Redundant `test` instructions (§III.B.b).
+    pub redundant_tests: usize,
+    /// Redundant load pairs (§III.B.c).
+    pub redundant_loads: usize,
+    /// Foldable add/add sequences (§III.B.d).
+    pub addadd_pairs: usize,
+    /// Functions generated.
+    pub functions: usize,
+    /// Instructions emitted (approximate, excluding labels/directives).
+    pub instructions: usize,
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// RNG seed (same seed, same corpus).
+    pub seed: u64,
+    /// Number of functions.
+    pub functions: usize,
+    /// Pattern slots per function (each slot is a few instructions).
+    pub slots_per_function: usize,
+    /// Probability a slot plants a redundant zero-extension.
+    pub p_redzext: f64,
+    /// Probability a slot emits a test (redundant or not).
+    pub p_test: f64,
+    /// Fraction of tests that are redundant — the paper measured 24%.
+    pub p_test_redundant: f64,
+    /// Probability a slot plants a redundant load pair.
+    pub p_redmov: f64,
+    /// Probability a slot plants a foldable add/add pair.
+    pub p_addadd: f64,
+}
+
+impl GeneratorConfig {
+    /// Calibrated to reproduce the §III.B counts of the Google core library
+    /// at `scale = 1.0`: ≈1000 redundant zero-extensions, ≈79763 tests of
+    /// which ≈24% redundant, ≈13362 redundant load pairs.
+    pub fn core_library(scale: f64) -> GeneratorConfig {
+        let functions = ((800.0 * scale).round() as usize).max(1);
+        GeneratorConfig {
+            seed: 0x6d616f, // "mao"
+            functions,
+            slots_per_function: 400,
+            // 800 functions * 400 slots = 320k slots at scale 1.0.
+            p_redzext: 1000.0 / 320_000.0,
+            p_test: 79_763.0 / 320_000.0,
+            p_test_redundant: 0.2416, // 19272 / 79763
+            p_redmov: 13_362.0 / 320_000.0,
+            p_addadd: 0.01,
+        }
+    }
+}
+
+/// The generated corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Assembly text.
+    pub asm: String,
+    /// Ground-truth pattern counts.
+    pub planted: PlantedCounts,
+}
+
+/// Scratch registers the generator cycles through (caller-saved, never
+/// %rsp/%rbp, and disjoint groups for pattern vs filler code so planted
+/// patterns are never accidentally disturbed by filler).
+const PATTERN_REGS: [&str; 3] = ["r12", "r13", "r14"];
+const FILLER_REGS: [&str; 4] = ["r8", "r9", "r10", "r11"];
+
+/// Generate a corpus from the configuration.
+pub fn generate(config: &GeneratorConfig) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut asm = String::with_capacity(config.functions * config.slots_per_function * 24);
+    let mut planted = PlantedCounts {
+        functions: config.functions,
+        ..PlantedCounts::default()
+    };
+    let _ = writeln!(asm, "\t.text");
+    for f in 0..config.functions {
+        let name = format!("synth_fn_{f}");
+        let _ = writeln!(asm, "\t.globl\t{name}");
+        let _ = writeln!(asm, "\t.type\t{name}, @function");
+        let _ = writeln!(asm, "{name}:");
+        let _ = writeln!(asm, "\tpush %rbp");
+        let _ = writeln!(asm, "\tmov %rsp, %rbp");
+        planted.instructions += 2;
+        let mut label = 0usize;
+        for slot in 0..config.slots_per_function {
+            // Compilers re-align straight-line code periodically; this also
+            // keeps small byte-count changes from rippling through the whole
+            // function (shift noise the experiments should not measure).
+            if slot > 0 && slot % 32 == 0 {
+                let _ = writeln!(asm, "\t.p2align 4");
+            }
+            let preg = PATTERN_REGS[slot % PATTERN_REGS.len()];
+            let pregd = format!("{preg}d");
+            let roll: f64 = rng.random();
+            let mut acc = 0.0;
+            acc += config.p_redzext;
+            if roll < acc {
+                // andl leaves the register zero-extended; the mov is dead.
+                let _ = writeln!(asm, "\tandl $255, %{pregd}");
+                let _ = writeln!(asm, "\tmov %{pregd}, %{pregd}");
+                planted.redundant_zext += 1;
+                planted.instructions += 2;
+                continue;
+            }
+            acc += config.p_test;
+            if roll < acc {
+                planted.total_tests += 1;
+                label += 1;
+                if rng.random::<f64>() < config.p_test_redundant {
+                    // subl sets the flags the je needs: test redundant.
+                    let _ = writeln!(asm, "\tsubl $16, %{pregd}");
+                    let _ = writeln!(asm, "\ttestl %{pregd}, %{pregd}");
+                    planted.redundant_tests += 1;
+                } else {
+                    // mov sets no flags: the test is load-bearing. The slot
+                    // gets its own stack offset so the load never becomes an
+                    // unplanned REDMOV opportunity against an earlier slot.
+                    let off = 8 * (slot + 1);
+                    let _ = writeln!(asm, "\tmovl -{off}(%rbp), %{pregd}");
+                    let _ = writeln!(asm, "\ttestl %{pregd}, %{pregd}");
+                }
+                let _ = writeln!(asm, "\tje .Lsf{f}_{label}");
+                let _ = writeln!(asm, ".Lsf{f}_{label}:");
+                planted.instructions += 3;
+                continue;
+            }
+            acc += config.p_redmov;
+            if roll < acc {
+                let other = PATTERN_REGS[(slot + 1) % PATTERN_REGS.len()];
+                // Per-slot offset: each planted pair is redundant only with
+                // itself, keeping the ground-truth count exact.
+                let off = 8 * (slot + 1);
+                let _ = writeln!(asm, "\tmovq {off}(%rsp), %{preg}");
+                let _ = writeln!(asm, "\tmovq {off}(%rsp), %{other}");
+                planted.redundant_loads += 1;
+                planted.instructions += 2;
+                continue;
+            }
+            acc += config.p_addadd;
+            if roll < acc {
+                let a = 1 + (slot % 7) as i64;
+                let b = 2 + (slot % 5) as i64;
+                let _ = writeln!(asm, "\taddq ${a}, %{preg}");
+                let _ = writeln!(asm, "\taddq ${b}, %{preg}");
+                // The cmp reads the register, fencing this pair off from the
+                // next add/add on the same register (exact ground truth).
+                let _ = writeln!(asm, "\tcmpq $0, %{preg}");
+                planted.addadd_pairs += 1;
+                planted.instructions += 3;
+                continue;
+            }
+            // Filler: innocuous compiler-ish code on the filler registers.
+            let r = FILLER_REGS[slot % FILLER_REGS.len()];
+            match rng.random_range(0..4u32) {
+                0 => {
+                    let off = 16 + 8 * (slot % 8);
+                    let _ = writeln!(asm, "\tmovq -{off}(%rbp), %{r}");
+                }
+                1 => {
+                    let _ = writeln!(asm, "\tleaq 4(%{r}), %{r}");
+                }
+                2 => {
+                    let _ = writeln!(asm, "\timulq $3, %{r}, %{r}");
+                }
+                _ => {
+                    let _ = writeln!(asm, "\txorl %{r}d, %{r}d");
+                }
+            }
+            planted.instructions += 1;
+        }
+        let _ = writeln!(asm, "\tpop %rbp");
+        let _ = writeln!(asm, "\tret");
+        let _ = writeln!(asm, "\t.size\t{name}, .-{name}");
+        planted.instructions += 2;
+    }
+    Corpus { asm, planted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let c = GeneratorConfig::core_library(0.01);
+        let a = generate(&c);
+        let b = generate(&c);
+        assert_eq!(a.asm, b.asm);
+        assert_eq!(a.planted, b.planted);
+    }
+
+    #[test]
+    fn rates_land_near_targets() {
+        let cfg = GeneratorConfig::core_library(0.25);
+        let corpus = generate(&cfg);
+        let p = corpus.planted;
+        assert!(p.total_tests > 0);
+        let ratio = p.redundant_tests as f64 / p.total_tests as f64;
+        assert!(
+            (ratio - 0.2416).abs() < 0.03,
+            "redundant-test ratio {ratio}"
+        );
+        // At scale 0.25 expect ~250 zext, ~3340 redmov.
+        assert!((150..400).contains(&p.redundant_zext), "{}", p.redundant_zext);
+        assert!((2500..4200).contains(&p.redundant_loads), "{}", p.redundant_loads);
+    }
+
+    #[test]
+    fn corpus_is_parseable_shape() {
+        let cfg = GeneratorConfig::core_library(0.01);
+        let corpus = generate(&cfg);
+        assert!(corpus.asm.contains(".type\tsynth_fn_0, @function"));
+        assert!(corpus.asm.lines().count() > 1000);
+        // No stray tabs-only or unterminated lines.
+        assert!(corpus.asm.ends_with('\n'));
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mut a = GeneratorConfig::core_library(0.01);
+        let mut b = GeneratorConfig::core_library(0.01);
+        a.seed = 1;
+        b.seed = 2;
+        assert_ne!(generate(&a).asm, generate(&b).asm);
+    }
+}

@@ -1,0 +1,20 @@
+//! Synthetic workloads for the MAO reproduction.
+//!
+//! The paper's evaluation uses corpora we cannot ship: a Google-internal
+//! C++ core library (for the §III.B static pattern counts) and SPEC CPU
+//! 2000/2006 (for §V). This crate provides seeded synthetic equivalents:
+//!
+//! * [`kernels`] — the paper's motivating code snippets as runnable
+//!   assembly (Fig. 1 mcf loop, the 252.eon short loop, the §III.F hashing
+//!   kernel, the Figs. 4/5 LSD loop, ...);
+//! * [`compiler`] — a "compiler output" generator that plants the §III.B
+//!   inefficiency patterns at calibrated rates with ground-truth counts;
+//! * [`spec`] — SPEC-like benchmark programs whose hot code embodies the
+//!   mechanism the paper attributes to each benchmark.
+
+pub mod compiler;
+pub mod kernels;
+pub mod spec;
+
+pub use compiler::{generate, Corpus, GeneratorConfig, PlantedCounts};
+pub use kernels::Workload;

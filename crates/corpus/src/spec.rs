@@ -1,0 +1,718 @@
+//! Synthetic SPEC-like benchmark suite.
+//!
+//! The paper evaluates on SPEC CPU 2000/2006; we cannot ship SPEC, so each
+//! benchmark here is a synthetic program with the *mechanism* the paper
+//! attributes to it (see DESIGN.md's substitution table):
+//!
+//! | benchmark | mechanism |
+//! |---|---|
+//! | 252.eon | fragile alignment: short low-trip loops whose luck breaks when bytes move (NOPIN/NOPKILL/REDTEST/LOOP16 all regress it) |
+//! | 175.vpr, 176.gcc, 300.twolf | high-trip short loops crossing a 16-byte line (LOOP16 helps on the Intel profile) |
+//! | 181.mcf, 186.crafty | high-trip loops crossing a 32-byte window: stream on Intel's 4-line LSD regardless, but need alignment on the AMD profile (LOOP16 helps on AMD only) |
+//! | 454.calculix, 447.dealII | hot loop fits the AMD loop buffer only after REDMOV/REDTEST shrink it; NOPKILL removes the alignment that keeps it streaming |
+//! | 410.bwaves, 434.zeusmp, 483.xalancbmk, 429.mcf, 464.h264ref | §III.F fan-out blocks in program order that loses the forwarding race (SCHED helps ~1–2%) |
+//! | others | neutral filler with §III.B pattern counts |
+//!
+//! Every hot function is placed *before* the filler in the file so its
+//! internal layout is independent of filler size, and is covered by layout
+//! assertions in the tests.
+
+use std::fmt::Write as _;
+
+use crate::compiler::{generate, GeneratorConfig};
+use crate::kernels::Workload;
+
+/// Rename a kernel function and its local labels so several instances can
+/// coexist in one file.
+fn instantiate(asm: &str, old_name: &str, new_name: &str, tag: &str) -> String {
+    asm.replace(".L", &format!(".L{tag}_"))
+        .replace(old_name, new_name)
+}
+
+/// Emit the standard function wrapper.
+fn func(out: &mut String, name: &str, body: &str) {
+    let _ = writeln!(out, "\t.globl\t{name}");
+    let _ = writeln!(out, "\t.type\t{name}, @function");
+    let _ = writeln!(out, "{name}:");
+    out.push_str(body);
+    let _ = writeln!(out, "\t.size\t{name}, .-{name}");
+}
+
+/// Emit a cheap, predictable dilution loop (independent adds): `iters`
+/// iterations at roughly two cycles each. Placed inside a hot function's
+/// outer loop, it sets the fraction of time the sensitive code accounts
+/// for — the knob that scales kernel-level effects down to the
+/// benchmark-level percentages the paper reports.
+fn dilution(s: &mut String, tag: &str, iters: u64) {
+    if iters == 0 {
+        return;
+    }
+    // The body is bound by the 3-cycle imul dependency chain, which makes
+    // its cost per iteration independent of code placement — the dilution
+    // instrument itself must not react to the alignment shifts the
+    // experiments introduce.
+    let _ = writeln!(s, "\tmovl ${iters}, %ebx");
+    let _ = writeln!(s, ".Ldil_{tag}:");
+    let _ = writeln!(s, "\timull $3, %r8d, %r8d");
+    let _ = writeln!(s, "\tsubl $1, %ebx");
+    let _ = writeln!(s, "\tjne .Ldil_{tag}");
+}
+
+/// The 252.eon-like fragile hot function.
+///
+/// Layout (function start is 64-byte aligned by a `.p2align 6`):
+/// * loop A: 14 bytes, kept on a 16-byte line by a compiler `.p2align 4`
+///   (NOPKILL removes it → A crosses → regression);
+/// * a redundant `subl/testl` pair whose `testl` REDTEST deletes — the
+///   2-byte shrink slides loop B off its lucky line (REDTEST regression);
+/// * loop B: 20 bytes spanning exactly two lines at [32..52) (3 lines when
+///   shifted);
+/// * loop C: 14 bytes, trip count 2, crossing a line — LOOP16 "fixes" it,
+///   but the alignment NOPs it inserts run on the hot outer path and cost
+///   more than the low-trip loop gains (LOOP16 regression).
+fn eon_hot(tag: &str, outer: u64, dilute: u64) -> String {
+    let mut s = String::new();
+    // movl imm32,%ecx = 5 bytes -> .Louter at 5.
+    let _ = writeln!(s, "\tmovl ${outer}, %ecx");
+    let _ = writeln!(s, ".Leon_{tag}_outer:");
+    // 5: xorq(3) -> 8, movl $8,%edx(5) -> 13.
+    let _ = writeln!(s, "\txorq %rax, %rax");
+    let _ = writeln!(s, "\tmovl $20, %edx");
+    // Compiler-style alignment: pads 13 -> 16.
+    let _ = writeln!(s, "\t.p2align 4,,15");
+    let _ = writeln!(s, ".Leon_{tag}_a:"); // 16: loop A = movss(5)+addq(4)+subl(3)+jne(2) = 14B
+    let _ = writeln!(s, "\tmovss %xmm0, (%rdi,%rax,4)");
+    let _ = writeln!(s, "\taddq $1, %rax");
+    let _ = writeln!(s, "\tsubl $1, %edx");
+    let _ = writeln!(s, "\tjne .Leon_{tag}_a"); // ends at 30
+    // Redundant pair: subl(3) + testl(2) -> 35, consumed by a cmov (4)
+    // -> 39 (a flags consumer that is not a branch, so deleting the testl
+    // shifts code without perturbing the predictor's bucket contents).
+    let _ = writeln!(s, "\tsubl $1, %esi");
+    let _ = writeln!(s, "\ttestl %esi, %esi");
+    let _ = writeln!(s, "\tcmovne %r9d, %r10d");
+    // 39: movl(5) -> 44, then pad 44 -> 49 with NOP bytes (NOT alignment
+    // directives — "lucky" bytes the compiler happened to emit).
+    let _ = writeln!(s, "\tmovl $40, %edx");
+    let _ = writeln!(s, "\tnopl 0(%rax)"); // 4 -> 48
+    let _ = writeln!(s, "\tnop"); // 1 -> 49
+    // Loop B: 18 bytes at [49,67): lines 3,4 (exactly two). REDTEST's
+    // 2-byte shrink moves it to [47,65): three lines.
+    // B is fetch-bound: independent work only, so the extra decode line
+    // REDTEST's shift causes is the binding constraint.
+    let _ = writeln!(s, ".Leon_{tag}_b:");
+    let _ = writeln!(s, "\tmovss (%rdi,%rax,4), %xmm1");
+    let _ = writeln!(s, "\txorps %xmm1, %xmm3");
+    let _ = writeln!(s, "\taddq $2, %rax");
+    let _ = writeln!(s, "\tsubq $1, %rdx");
+    let _ = writeln!(s, "\tjne .Leon_{tag}_b");
+    // Loop C: trip count 1, crossing a 16-byte line: LOOP16's fix inserts
+    // executed padding on the hot outer path that costs more than the
+    // single-trip loop gains. The 14-byte spacer moves C1's branch out of
+    // loop B's PC>>5 predictor bucket (their taken/not-taken behaviours
+    // differ, so sharing an entry would poison the baseline).
+    let _ = writeln!(s, "\taddq $0x44444444, %r13");
+    let _ = writeln!(s, "\taddq $0x55555555, %r13");
+    let _ = writeln!(s, "\tmovl $1, %edx");
+    let _ = writeln!(s, ".Leon_{tag}_c:");
+    let _ = writeln!(s, "\tmovss %xmm2, (%rsi,%rax,4)");
+    let _ = writeln!(s, "\taddq $1, %rax");
+    let _ = writeln!(s, "\tsubl $1, %edx");
+    let _ = writeln!(s, "\tjne .Leon_{tag}_c");
+    // More single-trip crossing loops: more LOOP16 bait whose alignment
+    // padding runs on the hot path. The 3-byte spacers keep each loop on a
+    // line-crossing offset (the stride would otherwise alternate).
+    for c in ["c2", "c3", "c4", "c5"] {
+        if c == "c4" || c == "c5" {
+            let _ = writeln!(s, "\tmovq %r8, %r9");
+        }
+        let _ = writeln!(s, "\tmovl $1, %edx");
+        let _ = writeln!(s, ".Leon_{tag}_{c}:");
+        let _ = writeln!(s, "\tmovss %xmm2, (%rsi,%rax,4)");
+        let _ = writeln!(s, "\taddq $1, %rax");
+        let _ = writeln!(s, "\tsubl $1, %edx");
+        let _ = writeln!(s, "\tjne .Leon_{tag}_{c}");
+    }
+    // Loop D: 14 bytes at [194,208) — luckily inside one decode line.
+    // LOOP16's padding for the C loops shifts it onto a crossing offset,
+    // and the pass cannot know: candidates were chosen against the
+    // *original* layout (the §II phase-ordering hazard). NOPKILL's pad
+    // removal shifts it onto a crossing offset too.
+    let _ = writeln!(s, "\taddq $0x66666666, %r13"); // 7 -> 189
+    let _ = writeln!(s, "\taddq $0x77777777, %r13"); // 7 -> 196
+    let _ = writeln!(s, "\tmovq %r8, %r9"); // 3 -> 199
+    let _ = writeln!(s, "\tmovq %r8, %r9"); // 3 -> 202
+    let _ = writeln!(s, "\tmovq %r8, %r9"); // 3 -> 205
+    let _ = writeln!(s, "\tmovl $15, %edx"); // 5 -> 210
+    let _ = writeln!(s, ".Leon_{tag}_d:");
+    let _ = writeln!(s, "\tmovss %xmm1, (%rsi,%rax,4)");
+    let _ = writeln!(s, "\taddq $1, %rax");
+    let _ = writeln!(s, "\tsubl $1, %edx");
+    let _ = writeln!(s, "\tjne .Leon_{tag}_d"); // D = [210,224)
+    // Loop E: 34 bytes, byte-dense — the AMD-profile analogue of D. At its
+    // baseline offset it spans two 32-byte fetch windows; LOOP16's padding
+    // pushes it to an offset ≡ 31 (mod 32) where it needs three.
+    let _ = writeln!(s, "\taddq $0x12121212, %r13"); // 7 -> 231
+    let _ = writeln!(s, "\tmovq %r8, %r9"); // 3 -> 234
+    let _ = writeln!(s, "\tmovq %r8, %r9"); // 3 -> 237
+    let _ = writeln!(s, "\tmovl $7, %esi"); // 5 -> 242
+    let _ = writeln!(s, "\tmovl $25, %edx"); // 5 -> 247
+    let _ = writeln!(s, ".Leon_{tag}_e:");
+    let _ = writeln!(s, "\taddq $0x21212121, %r13"); // 7
+    let _ = writeln!(s, "\taddl $0x01010101, %r8d"); // 7 -> 14
+    let _ = writeln!(s, "\taddl $0x02020202, %r9d"); // 7 -> 21
+    let _ = writeln!(s, "\taddl $0x03030303, %r10d"); // 7 -> 28
+    let _ = writeln!(s, "\tsubq $1, %rdx"); // 4 -> 32
+    let _ = writeln!(s, "\tjne .Leon_{tag}_e"); // 2 -> 34
+    dilution(&mut s, &format!("eon{tag}"), dilute);
+    let _ = writeln!(s, "\tsubl $1, %ecx");
+    let _ = writeln!(s, "\tjne .Leon_{tag}_outer");
+    let _ = writeln!(s, "\tret");
+    s
+}
+
+/// High-trip short loop crossing a 16-byte decode line, no alignment
+/// directives present (vpr/gcc/twolf): LOOP16 fixes it on the Intel
+/// profile; on the 32-byte-window AMD profile it was never split.
+/// Entry to the loop is 10 bytes, so the 15-byte loop sits at [10,25):
+/// two 16-byte lines, one 32-byte window.
+fn crossing16_hot(tag: &str, trips: u64, outer: u64, dilute: u64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "\tmovl ${outer}, %ecx"); // 5
+    let _ = writeln!(s, ".Lx16_{tag}_outer:");
+    let _ = writeln!(s, "\txorq %rax, %rax"); // 3 -> 8
+    let _ = writeln!(s, "\tmovl ${trips}, %edx"); // 5 -> 13... use 2-byte pad
+    let _ = writeln!(s, ".Lx16_{tag}_loop:"); // at 13: [13,28) crosses 16
+    let _ = writeln!(s, "\tmovss %xmm0, (%rdi,%rax,4)");
+    let _ = writeln!(s, "\taddq $1, %rax");
+    let _ = writeln!(s, "\tsubl $1, %edx");
+    let _ = writeln!(s, "\tjne .Lx16_{tag}_loop");
+    dilution(&mut s, &format!("x16{tag}"), dilute);
+    let _ = writeln!(s, "\tsubl $1, %ecx");
+    let _ = writeln!(s, "\tjne .Lx16_{tag}_outer");
+    let _ = writeln!(s, "\tret");
+    s
+}
+
+/// High-trip loop crossing a 32-byte window (mcf/crafty): streams from the
+/// Intel LSD regardless of placement (≤4 of its 16-byte lines), but on the
+/// AMD profile only a loop inside one 32-byte window streams — LOOP16's
+/// 16-byte alignment puts it there.
+fn crossing32_hot(tag: &str, trips: u64, outer: u64, dilute: u64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "\tmovl ${outer}, %ecx"); // 5
+    let _ = writeln!(s, ".Lx32_{tag}_outer:");
+    let _ = writeln!(s, "\txorq %rax, %rax"); // -> 8
+    let _ = writeln!(s, "\tmovl ${trips}, %edx"); // -> 13
+    let _ = writeln!(s, "\tnopw 0(%rax,%rax,1)"); // 6 -> 19
+    let _ = writeln!(s, "\tnopl 0(%rax)"); // 4 -> 23
+    let _ = writeln!(s, "\tnopl (%rax)"); // 3 -> 26
+    // Loop at 26: 15 bytes = [26,41): crosses the 32-byte boundary; also
+    // lines 1,2 of 16 (fits Intel's 4-line LSD easily).
+    let _ = writeln!(s, ".Lx32_{tag}_loop:");
+    let _ = writeln!(s, "\tmovss %xmm0, (%rdi,%rax,4)");
+    let _ = writeln!(s, "\taddq $1, %rax");
+    let _ = writeln!(s, "\tsubl $1, %edx");
+    let _ = writeln!(s, "\tjne .Lx32_{tag}_loop");
+    dilution(&mut s, &format!("x32{tag}"), dilute);
+    let _ = writeln!(s, "\tsubl $1, %ecx");
+    let _ = writeln!(s, "\tjne .Lx32_{tag}_outer");
+    let _ = writeln!(s, "\tret");
+    s
+}
+
+/// The calculix/dealII hot loop: byte-dense, high-trip, 34 bytes — two
+/// bytes too big for the AMD 32-byte loop buffer. It contains one redundant
+/// load pair (REDMOV saves 2 bytes) and one redundant test (REDTEST saves
+/// 2 bytes); either pass shrinks it to 32 and it streams. A compiler
+/// `.p2align 5` keeps it window-aligned — NOPKILL removes that and the
+/// loop straddles two windows (regression).
+fn calculix_hot(tag: &str, trips: u64, outer: u64, dilute: u64, fragile: bool) -> String {
+    // trips2: iterations of the alignment-protected loop; the paper's
+    // NOPKILL regression is ~0.44x the REDMOV/REDTEST gains.
+    let trips2 = (trips / 5).max(33);
+    let mut s = String::new();
+    let _ = writeln!(s, "\tmovl ${outer}, %ecx"); // 5
+    let _ = writeln!(s, ".Lclx_{tag}_outer:");
+    let _ = writeln!(s, "\tmovl ${trips}, %edx"); // 5 -> 10
+    // 14 bytes of non-NOP padding put loop 1 at raw offset 24 — harmless
+    // if the alignment below disappears (still two fetch windows), so
+    // NOPKILL's regression comes only from the protected loop 2.
+    let _ = writeln!(s, "\taddq $0x11111111, %r13"); // 7 -> 17
+    let _ = writeln!(s, "\taddq $0x22222222, %r13"); // 7 -> 24
+    let _ = writeln!(s, "\t.p2align 5,,31"); // 24 -> 32
+    let _ = writeln!(s, ".Lclx_{tag}_loop:");
+    // 35-byte, 6-instruction body: REDMOV (-5 bytes) or REDTEST (-3 bytes)
+    // shrink it to touch only two windows — one fetch cycle less per
+    // iteration.
+    let _ = writeln!(s, "\tmovabs $0x1122334455667788, %r8"); // 10
+    let _ = writeln!(s, "\tmovq 0x80(%rsp), %r10"); // 8 -> 18
+    let _ = writeln!(s, "\tmovq 0x80(%rsp), %r11"); // 8 -> 26 (REDMOV: -5)
+    let _ = writeln!(s, "\tsubq $1, %rdx"); // 4 -> 30
+    let _ = writeln!(s, "\ttestq %rdx, %rdx"); // 3 -> 33 (REDTEST: -3)
+    let _ = writeln!(s, "\tjne .Lclx_{tag}_loop"); // 2 -> 35, ends 66
+    // Loop 2: 12 bytes, high-trip, kept inside one 32-byte window by a
+    // compiler `.p2align 5` — it streams from the AMD loop buffer. NOPKILL
+    // removes the alignment; at the raw offset (≡ 21 mod 32) the loop
+    // crosses a window boundary and stops streaming (the paper's -8.8%).
+    if fragile {
+        let _ = writeln!(s, "\tmovl ${trips2}, %edx"); // 5 -> 72
+        let _ = writeln!(s, "\taddq $0x44444444, %r13"); // 7 -> 79
+        let _ = writeln!(s, "\taddq $0x55555555, %r13"); // 7 -> 86
+        let _ = writeln!(s, "\t.p2align 5,,31"); // 86 -> 96
+        let _ = writeln!(s, ".Lclx_{tag}_loop2:");
+        let _ = writeln!(s, "\taddl $0x01010101, %r9d"); // 7
+        let _ = writeln!(s, "\tsubl $1, %edx"); // 3 -> 10
+        let _ = writeln!(s, "\tjne .Lclx_{tag}_loop2"); // 2 -> 12
+    }
+    dilution(&mut s, &format!("clx{tag}"), dilute);
+    let _ = writeln!(s, "\tsubl $1, %ecx");
+    let _ = writeln!(s, "\tjne .Lclx_{tag}_outer");
+    let _ = writeln!(s, "\tret");
+    s
+}
+
+/// A §III.F fan-out block in forwarding-hostile program order, inside a hot
+/// loop (SCHED reorders it so the critical consumer wins the bypass race).
+fn sched_hot(tag: &str, iters: u64, dilute: u64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "\tmovl ${iters}, %eax");
+    let _ = writeln!(s, ".Lsched_{tag}_loop:");
+    let _ = writeln!(s, "\txorl %edi, %ebx");
+    // Bad order: off-path consumers first claim the forwarding slots.
+    let _ = writeln!(s, "\tsubl %ebx, %ecx");
+    let _ = writeln!(s, "\tsubl %ebx, %edx");
+    let _ = writeln!(s, "\tmovl %ebx, %edi");
+    let _ = writeln!(s, "\tshrl $12, %edi");
+    let _ = writeln!(s, "\txorl %edi, %edx");
+    let _ = writeln!(s, "\tsubl $1, %eax");
+    let _ = writeln!(s, "\tjne .Lsched_{tag}_loop");
+    dilution(&mut s, &format!("sch{tag}"), dilute);
+    let _ = writeln!(s, "\tmovl %edx, %eax");
+    let _ = writeln!(s, "\tret");
+    s
+}
+
+/// Neutral hot loop (no micro-architectural sensitivity): dilution and
+/// baseline activity for the benchmarks the paper reports as flat.
+fn neutral_hot(tag: &str, iters: u64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "\tmovl ${iters}, %ecx");
+    let _ = writeln!(s, "\txorq %rax, %rax");
+    let _ = writeln!(s, ".Lneutral_{tag}:");
+    let _ = writeln!(s, "\taddq $3, %rax");
+    let _ = writeln!(s, "\timulq $5, %rax, %rdx");
+    let _ = writeln!(s, "\taddq %rdx, %rax");
+    let _ = writeln!(s, "\tandq $0xffffff, %rax");
+    let _ = writeln!(s, "\tsubl $1, %ecx");
+    let _ = writeln!(s, "\tjne .Lneutral_{tag}");
+    let _ = writeln!(s, "\tret");
+    s
+}
+
+/// Composition recipe for one benchmark.
+struct Recipe {
+    name: &'static str,
+    /// Hot function bodies (placed first, in order, each 64-byte aligned).
+    hot: Vec<(String, String)>,
+    /// Filler functions (planted §III.B patterns), called once per outer
+    /// main iteration to dilute the kernel effects.
+    filler_functions: usize,
+    filler_slots: usize,
+    /// Main-loop iterations (each calls every hot + filler function once).
+    main_iters: u64,
+}
+
+fn build(recipe: Recipe) -> Workload {
+    let mut asm = String::new();
+    let _ = writeln!(asm, "\t.text");
+    for (name, body) in &recipe.hot {
+        let _ = writeln!(asm, "\t.p2align 6");
+        func(&mut asm, name, body);
+    }
+    // main
+    let mut main_body = String::new();
+    let _ = writeln!(main_body, "\tmovl ${}, %r15d", recipe.main_iters);
+    let _ = writeln!(main_body, ".Lmain_loop:");
+    let _ = writeln!(main_body, "\tmovq $0x3000000, %rdi");
+    let _ = writeln!(main_body, "\tmovq $0x5000000, %rsi");
+    for (name, _) in &recipe.hot {
+        let _ = writeln!(main_body, "\tcall {name}");
+    }
+    for f in 0..recipe.filler_functions {
+        let _ = writeln!(main_body, "\tcall {}_fill_{f}", recipe.name_sanitized());
+    }
+    let _ = writeln!(main_body, "\tsubl $1, %r15d");
+    let _ = writeln!(main_body, "\tjne .Lmain_loop");
+    let _ = writeln!(main_body, "\txorl %eax, %eax");
+    let _ = writeln!(main_body, "\tret");
+    func(&mut asm, "main", &main_body);
+    // Filler.
+    if recipe.filler_functions > 0 {
+        let cfg = GeneratorConfig {
+            seed: 0xc0de ^ recipe.name.len() as u64,
+            functions: recipe.filler_functions,
+            slots_per_function: recipe.filler_slots,
+            ..GeneratorConfig::core_library(1.0)
+        };
+        let filler = generate(&cfg)
+            .asm
+            .replace("synth_fn_", &format!("{}_fill_", recipe.name_sanitized()))
+            .replace(".Lsf", &format!(".L{}sf", recipe.name_sanitized()));
+        asm.push_str(&filler);
+    }
+    Workload::new(recipe.name, asm, "main")
+}
+
+impl Recipe {
+    fn name_sanitized(&self) -> String {
+        self.name.replace(['.', '-'], "_")
+    }
+}
+
+/// Build one benchmark of the SPEC 2000 int-like suite by name.
+pub fn spec2000_benchmark(name: &str) -> Option<Workload> {
+    let r = match name {
+        "164.gzip" => Recipe {
+            name: "164.gzip",
+            hot: vec![("gzip_hot".into(), neutral_hot("gz", 2000))],
+            filler_functions: 4,
+            filler_slots: 200,
+            main_iters: 12,
+        },
+        "175.vpr" => Recipe {
+            name: "175.vpr",
+            hot: vec![("vpr_hot".into(), crossing16_hot("vpr", 12, 60, 186))],
+            filler_functions: 5,
+            filler_slots: 300,
+            main_iters: 12,
+        },
+        "176.gcc" => Recipe {
+            name: "176.gcc",
+            hot: vec![
+                ("gcc_hot".into(), crossing16_hot("gc1", 24, 50, 370)),
+                ("gcc_hot2".into(), crossing16_hot("gc2", 20, 40, 370)),
+            ],
+            filler_functions: 20,
+            filler_slots: 400,
+            main_iters: 8,
+        },
+        "181.mcf" => Recipe {
+            name: "181.mcf",
+            hot: vec![("mcf_hot".into(), crossing32_hot("mcf", 600, 20, 4850))],
+            filler_functions: 1,
+            filler_slots: 150,
+            main_iters: 8,
+        },
+        "186.crafty" => Recipe {
+            name: "186.crafty",
+            hot: vec![("crafty_hot".into(), crossing32_hot("cra", 600, 18, 4770))],
+            filler_functions: 4,
+            filler_slots: 300,
+            main_iters: 8,
+        },
+        "197.parser" => Recipe {
+            name: "197.parser",
+            hot: vec![("parser_hot".into(), neutral_hot("pa", 2500))],
+            filler_functions: 6,
+            filler_slots: 250,
+            main_iters: 10,
+        },
+        "252.eon" => Recipe {
+            name: "252.eon",
+            hot: vec![("eon_hot".into(), eon_hot("e", 400, 135))],
+            filler_functions: 5,
+            filler_slots: 350,
+            main_iters: 12,
+        },
+        "253.perlbmk" => Recipe {
+            name: "253.perlbmk",
+            hot: vec![
+                ("perl_hot".into(), eon_hot("p", 300, 270)),
+                ("perl_hot2".into(), neutral_hot("pl", 1500)),
+            ],
+            filler_functions: 12,
+            filler_slots: 350,
+            main_iters: 10,
+        },
+        "254.gap" => Recipe {
+            name: "254.gap",
+            hot: vec![("gap_hot".into(), neutral_hot("ga", 2200))],
+            filler_functions: 14,
+            filler_slots: 350,
+            main_iters: 9,
+        },
+        "255.vortex" => Recipe {
+            name: "255.vortex",
+            hot: vec![("vortex_hot".into(), sched_hot("vo", 600, 20000))],
+            filler_functions: 10,
+            filler_slots: 300,
+            main_iters: 8,
+        },
+        "256.bzip2" => Recipe {
+            name: "256.bzip2",
+            hot: vec![("bzip2_hot".into(), crossing16_hot("bz", 16, 60, 360))],
+            filler_functions: 2,
+            filler_slots: 150,
+            main_iters: 12,
+        },
+        "300.twolf" => Recipe {
+            name: "300.twolf",
+            hot: vec![("twolf_hot".into(), crossing16_hot("tw", 10, 60, 190))],
+            filler_functions: 6,
+            filler_slots: 300,
+            main_iters: 12,
+        },
+        _ => return None,
+    };
+    Some(build(r))
+}
+
+/// The full SPEC 2000 int-like suite (Fig. 7's twelve benchmarks).
+pub const SPEC2000_NAMES: [&str; 12] = [
+    "164.gzip",
+    "175.vpr",
+    "176.gcc",
+    "181.mcf",
+    "186.crafty",
+    "197.parser",
+    "252.eon",
+    "253.perlbmk",
+    "254.gap",
+    "255.vortex",
+    "256.bzip2",
+    "300.twolf",
+];
+
+/// Build the whole SPEC2000-like suite.
+pub fn spec2000_int() -> Vec<Workload> {
+    SPEC2000_NAMES
+        .iter()
+        .map(|n| spec2000_benchmark(n).expect("known benchmark"))
+        .collect()
+}
+
+/// Build one benchmark of the SPEC 2006-like subset by name.
+pub fn spec2006_benchmark(name: &str) -> Option<Workload> {
+    let r = match name {
+        "447.dealII" => Recipe {
+            name: "447.dealII",
+            hot: vec![("dealii_hot".into(), calculix_hot("dea", 150, 25, 1350, true))],
+            filler_functions: 10,
+            filler_slots: 350,
+            main_iters: 8,
+        },
+        "454.calculix" => Recipe {
+            name: "454.calculix",
+            hot: vec![("calculix_hot".into(), calculix_hot("clx", 200, 40, 40, true))],
+            filler_functions: 2,
+            filler_slots: 200,
+            main_iters: 10,
+        },
+        "410.bwaves" => Recipe {
+            name: "410.bwaves",
+            hot: vec![("bwaves_hot".into(), sched_hot("bw", 500, 18000))],
+            filler_functions: 6,
+            filler_slots: 300,
+            main_iters: 8,
+        },
+        "434.zeusmp" => Recipe {
+            name: "434.zeusmp",
+            hot: vec![("zeusmp_hot".into(), sched_hot("zm", 450, 19000))],
+            filler_functions: 6,
+            filler_slots: 300,
+            main_iters: 8,
+        },
+        "483.xalancbmk" => Recipe {
+            name: "483.xalancbmk",
+            hot: vec![("xalanc_hot".into(), sched_hot("xa", 480, 19500))],
+            filler_functions: 8,
+            filler_slots: 300,
+            main_iters: 8,
+        },
+        "429.mcf" => Recipe {
+            name: "429.mcf",
+            hot: vec![("mcf06_hot".into(), sched_hot("m6", 550, 17500))],
+            filler_functions: 4,
+            filler_slots: 250,
+            main_iters: 8,
+        },
+        "464.h264ref" => Recipe {
+            name: "464.h264ref",
+            hot: vec![("h264_hot".into(), sched_hot("h2", 650, 14000))],
+            filler_functions: 5,
+            filler_slots: 250,
+            main_iters: 8,
+        },
+        _ => return None,
+    };
+    Some(build(r))
+}
+
+/// The SPEC 2006-like subset evaluated in §V.B.
+pub const SPEC2006_NAMES: [&str; 7] = [
+    "447.dealII",
+    "454.calculix",
+    "410.bwaves",
+    "434.zeusmp",
+    "483.xalancbmk",
+    "429.mcf",
+    "464.h264ref",
+];
+
+/// Build the whole SPEC2006-like subset.
+pub fn spec2006_subset() -> Vec<Workload> {
+    SPEC2006_NAMES
+        .iter()
+        .map(|n| spec2006_benchmark(n).expect("known benchmark"))
+        .collect()
+}
+
+/// Re-export the instantiation helper for examples/benches that compose
+/// kernels manually.
+pub fn instantiate_kernel(w: &Workload, new_name: &str, tag: &str) -> String {
+    instantiate(&w.asm, &w.entry, new_name, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build() {
+        for name in SPEC2000_NAMES {
+            let w = spec2000_benchmark(name).unwrap();
+            assert!(w.asm.contains("main:"), "{name}");
+            assert_eq!(w.entry, "main");
+        }
+        for name in SPEC2006_NAMES {
+            let w = spec2006_benchmark(name).unwrap();
+            assert!(w.asm.contains("main:"), "{name}");
+        }
+        assert!(spec2000_benchmark("999.unknown").is_none());
+        assert!(spec2006_benchmark("999.unknown").is_none());
+    }
+
+    #[test]
+    fn suite_sizes() {
+        assert_eq!(spec2000_int().len(), 12);
+        assert_eq!(spec2006_subset().len(), 7);
+    }
+
+    #[test]
+    fn hot_functions_precede_filler() {
+        let w = spec2000_benchmark("176.gcc").unwrap();
+        let hot = w.asm.find("gcc_hot:").unwrap();
+        let fill = w.asm.find("_fill_0:").unwrap();
+        assert!(hot < fill);
+    }
+
+    #[test]
+    fn instantiate_renames_labels_and_function() {
+        let k = crate::kernels::hashing(true, 10);
+        let inst = instantiate_kernel(&k, "hash2", "h2");
+        assert!(inst.contains("hash2:"));
+        assert!(inst.contains(".Lh2_5:"));
+        assert!(!inst.contains("hash_kernel"));
+    }
+}
+
+#[cfg(test)]
+mod layout_tests {
+    //! The benchmark mechanisms depend on exact byte placement; these tests
+    //! pin the designed offsets so future edits cannot silently break the
+    //! §V reproductions.
+
+    use super::*;
+
+    fn label_offsets(asm: &str, labels: &[&str]) -> Vec<u64> {
+        let unit = mao::MaoUnit::parse(asm).expect("benchmark parses");
+        let layout = mao::relax(&unit).expect("benchmark relaxes");
+        labels
+            .iter()
+            .map(|l| {
+                let id = unit.find_label(l).unwrap_or_else(|| panic!("label {l}"));
+                layout.addr[id]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eon_fragile_geometry() {
+        let w = spec2000_benchmark("252.eon").expect("eon");
+        let offs = label_offsets(
+            &w.asm,
+            &[".Leon_e_a", ".Leon_e_b", ".Leon_e_c", ".Leon_e_d", ".Leon_e_e"],
+        );
+        // Loop A aligned at 16 (one decode line for its 14 bytes).
+        assert_eq!(offs[0], 16);
+        assert_eq!(offs[0] % 16, 0);
+        // Loop B at 49: [49,67) touches exactly two lines; a 2-byte shrink
+        // upstream (REDTEST) makes it three.
+        assert_eq!(offs[1], 49);
+        // Loop C crosses a line (LOOP16 bait).
+        let c = offs[2];
+        assert_ne!(c / 16, (c + 13) / 16, "loop C must cross a line");
+        // Loop D at 210 ≡ 2 (mod 16): one line; and within one AMD window.
+        assert_eq!(offs[3], 210);
+        assert_eq!(offs[3] % 16, 2);
+        // Loop E at 247: spans two 32-byte windows ([224,256), [256,288)).
+        assert_eq!(offs[4], 247);
+        assert_eq!(offs[4] / 32, 7);
+        assert_eq!((offs[4] + 34 - 1) / 32, 8);
+    }
+
+    #[test]
+    fn crossing16_geometry() {
+        let w = spec2000_benchmark("175.vpr").expect("vpr");
+        let offs = label_offsets(&w.asm, &[".Lx16_vpr_loop"]);
+        // 14-byte loop at 13: crosses a 16-byte line, inside one 32-byte
+        // window (Intel-only effect).
+        assert_eq!(offs[0], 13);
+        assert_ne!(offs[0] / 16, (offs[0] + 13) / 16);
+        assert_eq!(offs[0] / 32, (offs[0] + 13) / 32);
+    }
+
+    #[test]
+    fn crossing32_geometry() {
+        let w = spec2000_benchmark("181.mcf").expect("mcf");
+        let offs = label_offsets(&w.asm, &[".Lx32_mcf_loop"]);
+        // 14-byte loop at 26: crosses the 32-byte window boundary but spans
+        // only two 16-byte lines (streams on Intel's 4-line LSD).
+        assert_eq!(offs[0], 26);
+        assert_ne!(offs[0] / 32, (offs[0] + 13) / 32);
+        assert_eq!((offs[0] + 13) / 16 - offs[0] / 16, 1);
+    }
+
+    #[test]
+    fn calculix_geometry() {
+        let w = spec2006_benchmark("454.calculix").expect("calculix");
+        let offs = label_offsets(&w.asm, &[".Lclx_clx_loop", ".Lclx_clx_loop2"]);
+        // Loop 1 aligned to 32 by the compiler-style p2align; 35 bytes, so
+        // it spans two windows until REDMOV/REDTEST shrink it under 32.
+        assert_eq!(offs[0] % 32, 0);
+        // Loop 2 inside a single window (it streams) only thanks to its
+        // p2align — its raw offset would cross.
+        assert_eq!(offs[1] % 32, 0);
+    }
+
+    #[test]
+    fn hot_functions_are_64_byte_aligned() {
+        for name in SPEC2000_NAMES {
+            let w = spec2000_benchmark(name).expect("known");
+            let unit = mao::MaoUnit::parse(&w.asm).expect("parses");
+            let layout = mao::relax(&unit).expect("relaxes");
+            for f in unit.functions() {
+                if f.name == "main" || f.name.contains("_fill_") {
+                    continue;
+                }
+                assert_eq!(
+                    layout.addr[f.label_id] % 64,
+                    0,
+                    "{name}: hot function {} must be 64-byte aligned",
+                    f.name
+                );
+            }
+        }
+    }
+}

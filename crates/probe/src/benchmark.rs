@@ -1,0 +1,200 @@
+//! The `Loop` and `Benchmark` abstractions (§IV.d, §IV.e).
+//!
+//! A [`StraightLineLoop`] wraps instruction sequences in a loop with a
+//! fixed trip count; a [`Benchmark`] assembles loops into a program,
+//! "executes the program on a target architecture in isolation and
+//! collects any specified PMU counters" — here the target architecture is
+//! the `mao-sim` model.
+
+use std::collections::HashMap;
+
+use mao::MaoUnit;
+use mao_sim::{simulate, SimOptions};
+
+use crate::processor::Processor;
+use crate::sequence::InstructionSequence;
+
+/// A loop with no internal control flow around one or more sequences.
+#[derive(Debug, Clone)]
+pub struct StraightLineLoop {
+    /// The instruction sequences forming the body, in order.
+    pub sequences: Vec<InstructionSequence>,
+    /// Trip count.
+    pub trip_count: u64,
+}
+
+impl StraightLineLoop {
+    /// Wrap `sequences` in a loop (default trip count 10 000).
+    pub fn new(sequences: Vec<InstructionSequence>) -> StraightLineLoop {
+        StraightLineLoop {
+            sequences,
+            trip_count: 10_000,
+        }
+    }
+
+    /// Set the trip count.
+    pub fn with_trip_count(mut self, n: u64) -> StraightLineLoop {
+        self.trip_count = n.max(1);
+        self
+    }
+
+    /// Dynamic instructions executed by this loop (body + loop control).
+    pub fn dynamic_instructions(&self) -> u64 {
+        let body: u64 = self.sequences.iter().map(|s| s.len() as u64).sum();
+        (body + 2) * self.trip_count
+    }
+
+    fn emit(&self, index: usize, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "\tmovq ${}, %rcx", self.trip_count);
+        let _ = writeln!(out, ".Lprobe_loop_{index}:");
+        for seq in &self.sequences {
+            for insn in &seq.instructions {
+                let _ = writeln!(out, "{insn}");
+            }
+        }
+        let _ = writeln!(out, "\tsubq $1, %rcx");
+        let _ = writeln!(out, "\tjne .Lprobe_loop_{index}");
+    }
+}
+
+/// Error from benchmark execution.
+#[derive(Debug, Clone)]
+pub enum BenchmarkError {
+    /// Generated assembly failed to parse (a framework bug).
+    Parse(String),
+    /// Simulation failed.
+    Sim(String),
+    /// Requested counter does not exist.
+    UnknownEvent(String),
+}
+
+impl std::fmt::Display for BenchmarkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchmarkError::Parse(m) => write!(f, "generated assembly invalid: {m}"),
+            BenchmarkError::Sim(m) => write!(f, "simulation failed: {m}"),
+            BenchmarkError::UnknownEvent(e) => write!(f, "unknown PMU event `{e}`"),
+        }
+    }
+}
+
+impl std::error::Error for BenchmarkError {}
+
+/// An executable microbenchmark assembled from loops.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    loops: Vec<StraightLineLoop>,
+}
+
+impl Benchmark {
+    /// Build a benchmark from a loop list (paper: `Benchmark(loop_list)`).
+    pub fn new(loops: Vec<StraightLineLoop>) -> Benchmark {
+        Benchmark { loops }
+    }
+
+    /// Total dynamic instructions inside the loops (the divisor of the
+    /// Fig. 6 latency computation: `NumDynamicInstructions`).
+    pub fn num_dynamic_instructions(&self) -> u64 {
+        self.loops.iter().map(StraightLineLoop::dynamic_instructions).sum()
+    }
+
+    /// Render the benchmark as an assembly program.
+    pub fn assembly(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "\t.text");
+        let _ = writeln!(out, "\t.globl\tprobe_main");
+        let _ = writeln!(out, "\t.type\tprobe_main, @function");
+        let _ = writeln!(out, "probe_main:");
+        for (i, l) in self.loops.iter().enumerate() {
+            l.emit(i, &mut out);
+        }
+        let _ = writeln!(out, "\txorl %eax, %eax");
+        let _ = writeln!(out, "\tret");
+        let _ = writeln!(out, "\t.size\tprobe_main, .-probe_main");
+        out
+    }
+
+    /// Assemble, execute in isolation on `proc`, and collect the named PMU
+    /// counters (paper: `Execute(proc, [proc.CPU_CYCLES])`).
+    pub fn execute(
+        &self,
+        proc: &Processor,
+        events: &[&str],
+    ) -> Result<HashMap<String, u64>, BenchmarkError> {
+        let asm = self.assembly();
+        let unit = MaoUnit::parse(&asm).map_err(|e| BenchmarkError::Parse(e.to_string()))?;
+        let result = simulate(
+            &unit,
+            "probe_main",
+            &[],
+            &proc.config,
+            &SimOptions::default(),
+        )
+        .map_err(|e| BenchmarkError::Sim(e.to_string()))?;
+        let mut out = HashMap::new();
+        for &event in events {
+            let value = result
+                .pmu
+                .event(event)
+                .ok_or_else(|| BenchmarkError::UnknownEvent(event.to_string()))?;
+            out.insert(event.to_string(), value);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::InstructionTemplate;
+    use crate::sequence::DagType;
+
+    fn simple_loop(trips: u64) -> StraightLineLoop {
+        let proc = Processor::core2();
+        let mut seq = InstructionSequence::new(&proc);
+        seq.set_instruction_template(InstructionTemplate::parse("addl %r, %r").unwrap())
+            .set_dag_type(DagType::Cycle)
+            .set_length(8)
+            .generate(&proc);
+        StraightLineLoop::new(vec![seq]).with_trip_count(trips)
+    }
+
+    #[test]
+    fn assembly_is_parseable_and_runs() {
+        let bench = Benchmark::new(vec![simple_loop(100)]);
+        let asm = bench.assembly();
+        assert!(mao::MaoUnit::parse(&asm).is_ok(), "{asm}");
+        let counters = bench
+            .execute(&Processor::core2(), &[Processor::CPU_CYCLES, "INST_RETIRED"])
+            .unwrap();
+        assert!(counters["CPU_CYCLES"] > 0);
+        // 8 body + 2 control per iteration.
+        assert!(counters["INST_RETIRED"] >= 1000);
+    }
+
+    #[test]
+    fn dynamic_instruction_count() {
+        let bench = Benchmark::new(vec![simple_loop(100)]);
+        assert_eq!(bench.num_dynamic_instructions(), (8 + 2) * 100);
+    }
+
+    #[test]
+    fn unknown_event_is_an_error() {
+        let bench = Benchmark::new(vec![simple_loop(10)]);
+        assert!(matches!(
+            bench.execute(&Processor::core2(), &["BOGUS"]),
+            Err(BenchmarkError::UnknownEvent(_))
+        ));
+    }
+
+    #[test]
+    fn multiple_loops_compose() {
+        let bench = Benchmark::new(vec![simple_loop(50), simple_loop(60)]);
+        let asm = bench.assembly();
+        assert_eq!(asm.matches("probe_loop").count(), 4); // 2 labels + 2 jnes
+        let counters = bench.execute(&Processor::core2(), &["BRANCHES"]).unwrap();
+        assert_eq!(counters["BRANCHES"], 110);
+    }
+}

@@ -1,0 +1,160 @@
+//! Parameter-detection procedures built on the framework.
+//!
+//! [`instruction_latency`] is a line-for-line transcription of the paper's
+//! Figure 6; [`detect_lsd_window`] and [`detect_predictor_shift`] extend the
+//! same methodology to two parameters the paper's passes depend on (the LSD
+//! decode-line window of §III.C.f and the `PC >> 5` predictor indexing of
+//! §III.C.g) — the semi-automatic discovery §IV motivates.
+
+use crate::benchmark::{Benchmark, BenchmarkError, StraightLineLoop};
+use crate::processor::{InstructionTemplate, Processor};
+use crate::sequence::{DagType, InstructionSequence};
+
+/// Figure 6: measure an instruction's latency.
+///
+/// *"Form a loop with a cycle of instructions, one dependent on the other.
+/// Execute the chain, collect CPU cycles and obtain the latency."* The
+/// CYCLE dependence shape keeps exactly one instruction executing per
+/// cycle-of-the-chain, so `latency = CPU_CYCLES / dynamic instructions`.
+pub fn instruction_latency(
+    proc: &Processor,
+    template: &str,
+) -> Result<u64, BenchmarkError> {
+    let template = InstructionTemplate::parse(template)
+        .ok_or_else(|| BenchmarkError::Parse(format!("bad template `{template}`")))?;
+    let mut seq = InstructionSequence::new(proc);
+    seq.set_instruction_template(template)
+        .set_dag_type(DagType::Cycle)
+        .set_length(16)
+        .generate(proc);
+    let body_insns = seq.len() as u64;
+    let trip_count = 5_000;
+    let loop_list = vec![StraightLineLoop::new(vec![seq]).with_trip_count(trip_count)];
+    let bench = Benchmark::new(loop_list);
+    let results = bench.execute(proc, &[Processor::CPU_CYCLES])?;
+    // Divide by the *chain* instructions only: the loop-control subtract and
+    // branch run in parallel with the chain and must not dilute it.
+    let chain_instructions = body_insns * trip_count;
+    let cycles = results[Processor::CPU_CYCLES];
+    Ok(((cycles as f64) / (chain_instructions as f64)).round() as u64)
+}
+
+/// Detect the loop-buffer window in decode lines: generate loops of
+/// increasing byte size (DISJOINT bodies, so the front end is the
+/// bottleneck) and find where the cycles-per-iteration cliff is.
+///
+/// Returns the largest number of decode lines that still streams.
+pub fn detect_lsd_window(proc: &Processor) -> Result<u64, BenchmarkError> {
+    let line = proc.config.decode_line;
+    let mut last_streaming = 0u64;
+    for lines in 1..=8u64 {
+        // Body of `lines * line / 7`-ish byte-dense instructions: addl with
+        // imm32 on distinct registers is 7 bytes and independent.
+        let target_bytes = lines * line;
+        let n = ((target_bytes.saturating_sub(6)) / 7).max(1) as usize;
+        let mut seq = InstructionSequence::new(proc);
+        seq.set_instruction_template(
+            InstructionTemplate::parse("addl $305419896, %r").expect("valid"),
+        )
+        .set_dag_type(DagType::Disjoint)
+        .set_length(n)
+        .generate(proc);
+        let bench = Benchmark::new(vec![
+            StraightLineLoop::new(vec![seq]).with_trip_count(20_000)
+        ]);
+        let counters = bench.execute(proc, &["LSD_ITERATIONS"])?;
+        if counters["LSD_ITERATIONS"] > 10_000 {
+            last_streaming = lines;
+        }
+    }
+    Ok(last_streaming)
+}
+
+/// Detect the branch-predictor index shift: place two conflicting branches
+/// (one always taken, one never taken) at increasing distances and find the
+/// distance at which the mispredictions collapse — the bucket size.
+///
+/// Returns `log2(bucket size)`, the `PC >> k` of §III.C.g.
+pub fn detect_predictor_shift(proc: &Processor) -> Result<u32, BenchmarkError> {
+    let mut collapse_at: Option<u64> = None;
+    for gap_log in 1..=8u32 {
+        let gap = 1u64 << gap_log;
+        // Hand-built probe: inner never-taken branch and outer taken branch
+        // `gap` bytes apart.
+        let mut pad = String::new();
+        let mut bytes = 0;
+        while bytes + 7 <= gap.saturating_sub(5) {
+            pad.push_str("\taddq $0x11111111, %r13\n");
+            bytes += 7;
+        }
+        while bytes < gap.saturating_sub(5) {
+            pad.push_str("\tnop\n");
+            bytes += 1;
+        }
+        let asm = format!(
+            "\t.text\n\t.globl\tprobe_main\n\t.type\tprobe_main, @function\nprobe_main:\n\
+             \tmovl $20000, %eax\n.Louter:\n\
+             \ttestl %eax, %eax\n\tjs .Lnever\n.Lnever:\n{pad}\
+             \tsubl $1, %eax\n\tjne .Louter\n\tret\n\
+             \t.size\tprobe_main, .-probe_main\n"
+        );
+        let unit = mao::MaoUnit::parse(&asm)
+            .map_err(|e| BenchmarkError::Parse(e.to_string()))?;
+        let result = mao_sim::simulate(
+            &unit,
+            "probe_main",
+            &[],
+            &proc.config,
+            &mao_sim::SimOptions::default(),
+        )
+        .map_err(|e| BenchmarkError::Sim(e.to_string()))?;
+        let rate = result.pmu.mispredict_rate();
+        if rate < 0.05 && collapse_at.is_none() {
+            collapse_at = Some(gap);
+        }
+        if rate >= 0.05 {
+            collapse_at = None; // still conflicting at this distance
+        }
+    }
+    // The branches stop conflicting once they are in different buckets:
+    // bucket size = the collapse distance.
+    let bucket = collapse_at.unwrap_or(1 << 9);
+    Ok(bucket.trailing_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_of_add_is_one() {
+        let proc = Processor::core2();
+        assert_eq!(instruction_latency(&proc, "addl %r, %r").unwrap(), 1);
+    }
+
+    #[test]
+    fn latency_of_imul_is_three() {
+        let proc = Processor::core2();
+        assert_eq!(instruction_latency(&proc, "imull %r, %r").unwrap(), 3);
+    }
+
+    #[test]
+    fn latency_ordering_matches_model() {
+        let proc = Processor::core2();
+        let add = instruction_latency(&proc, "addl %r, %r").unwrap();
+        let imul = instruction_latency(&proc, "imull %r, %r").unwrap();
+        assert!(imul > add);
+    }
+
+    #[test]
+    fn lsd_window_detected_per_profile() {
+        assert_eq!(detect_lsd_window(&Processor::core2()).unwrap(), 4);
+        assert_eq!(detect_lsd_window(&Processor::opteron()).unwrap(), 1);
+    }
+
+    #[test]
+    fn predictor_shift_detected() {
+        assert_eq!(detect_predictor_shift(&Processor::core2()).unwrap(), 5);
+        assert_eq!(detect_predictor_shift(&Processor::opteron()).unwrap(), 4);
+    }
+}

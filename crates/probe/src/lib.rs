@@ -1,0 +1,20 @@
+//! Micro-architectural parameter detection (paper §IV).
+//!
+//! *"MAO contains a framework to simplify the creation and execution of
+//! microbenchmarks"* built from five abstractions — Processor, Instruction,
+//! InstructionSequence, Loop, Benchmark — that generate assembly programs,
+//! run them in isolation, collect PMU counters, and infer hardware
+//! parameters. The paper implements them as Python classes driving real
+//! hardware; here they are Rust types driving the `mao-sim` model, so the
+//! whole detection loop (Fig. 6's `InstructionLatency`, plus LSD-window and
+//! predictor-shift probes) runs hermetically.
+
+pub mod benchmark;
+pub mod detect;
+pub mod processor;
+pub mod sequence;
+
+pub use benchmark::{Benchmark, StraightLineLoop};
+pub use detect::{detect_lsd_window, detect_predictor_shift, instruction_latency};
+pub use processor::{InstructionTemplate, Processor};
+pub use sequence::{DagType, InstructionSequence};

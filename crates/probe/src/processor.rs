@@ -1,0 +1,151 @@
+//! The `Processor` and `Instruction` abstractions (§IV.a, §IV.b).
+//!
+//! A [`Processor`] *"encapsulates information specific to a target
+//! architecture. This primarily consists of the set of registers and the
+//! set of instructions."* An [`InstructionTemplate`] describes an
+//! instruction shape (like the paper's `'add %r, %r'`) from which the
+//! sequence generator instantiates concrete instructions with randomly
+//! chosen valid operands.
+
+use mao_sim::UarchConfig;
+use mao_x86::RegId;
+
+/// An instruction shape with operand placeholders.
+///
+/// Supported placeholder grammar (a subset of the paper's attribute
+/// system, extensible the same way): `%r` = any scratch GPR (32-bit),
+/// `%q` = any scratch GPR (64-bit), `$i` = a small immediate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstructionTemplate {
+    /// AT&T mnemonic (`addl`, `imull`, `movl`, ...).
+    pub mnemonic: String,
+    /// Operand placeholders in AT&T order.
+    pub operands: Vec<String>,
+}
+
+impl InstructionTemplate {
+    /// Parse `"addl %r, %r"` into a template.
+    pub fn parse(text: &str) -> Option<InstructionTemplate> {
+        let text = text.trim();
+        let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (text, ""),
+        };
+        if mnemonic.is_empty() {
+            return None;
+        }
+        let operands = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(|o| o.trim().to_string()).collect()
+        };
+        Some(InstructionTemplate {
+            mnemonic: mnemonic.to_string(),
+            operands,
+        })
+    }
+
+    /// Number of register placeholders.
+    pub fn register_slots(&self) -> usize {
+        self.operands
+            .iter()
+            .filter(|o| *o == "%r" || *o == "%q")
+            .count()
+    }
+}
+
+/// The target processor: its register set plus the micro-architectural
+/// model the generated benchmarks execute on.
+#[derive(Debug, Clone)]
+pub struct Processor {
+    /// Display name.
+    pub name: String,
+    /// Scratch registers microbenchmarks may allocate (caller-saved,
+    /// excluding the loop counter %rcx and argument registers).
+    pub scratch: Vec<RegId>,
+    /// The simulated micro-architecture this processor runs on.
+    pub config: UarchConfig,
+}
+
+impl Processor {
+    /// Processor over a simulation profile.
+    pub fn new(config: UarchConfig) -> Processor {
+        Processor {
+            name: config.name.to_string(),
+            scratch: vec![
+                RegId::Rax,
+                RegId::Rbx,
+                RegId::Rdx,
+                RegId::Rsi,
+                RegId::Rdi,
+                RegId::R8,
+                RegId::R9,
+                RegId::R10,
+                RegId::R11,
+            ],
+            config,
+        }
+    }
+
+    /// The Intel-Core-2-like processor.
+    pub fn core2() -> Processor {
+        Processor::new(UarchConfig::core2())
+    }
+
+    /// The AMD-Opteron-like processor.
+    pub fn opteron() -> Processor {
+        Processor::new(UarchConfig::opteron())
+    }
+
+    /// AT&T name of scratch register `i` at the template's width.
+    pub fn scratch_name(&self, i: usize, wide: bool) -> String {
+        let id = self.scratch[i % self.scratch.len()];
+        let reg = if wide {
+            mao_x86::Reg::q(id)
+        } else {
+            mao_x86::Reg::l(id)
+        };
+        reg.att_name().to_string()
+    }
+
+    /// The PMU event the latency probe reads.
+    pub const CPU_CYCLES: &'static str = "CPU_CYCLES";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_parsing() {
+        let t = InstructionTemplate::parse("addl %r, %r").unwrap();
+        assert_eq!(t.mnemonic, "addl");
+        assert_eq!(t.operands, vec!["%r", "%r"]);
+        assert_eq!(t.register_slots(), 2);
+
+        let t = InstructionTemplate::parse("imull $i, %r, %r").unwrap();
+        assert_eq!(t.register_slots(), 2);
+        assert_eq!(t.operands.len(), 3);
+
+        let t = InstructionTemplate::parse("nop").unwrap();
+        assert!(t.operands.is_empty());
+
+        assert!(InstructionTemplate::parse("").is_none());
+    }
+
+    #[test]
+    fn processor_scratch_names() {
+        let p = Processor::core2();
+        assert_eq!(p.scratch_name(0, false), "eax");
+        assert_eq!(p.scratch_name(0, true), "rax");
+        // Wraps around.
+        let n = p.scratch.len();
+        assert_eq!(p.scratch_name(n, false), "eax");
+    }
+
+    #[test]
+    fn processors_carry_their_config() {
+        assert_eq!(Processor::core2().config.decode_line, 16);
+        assert_eq!(Processor::opteron().config.decode_line, 32);
+    }
+}

@@ -1,0 +1,166 @@
+//! PMU-style performance counters.
+//!
+//! The counters mirror the hardware events the paper reads through
+//! oprofile: cycles, instructions, branch mispredictions, the
+//! `RESOURCE_STALLS:RS_FULL` event central to §III.F, front-end line
+//! fetches, LSD activity, and cache hits/misses.
+
+use std::fmt;
+
+/// Counter values collected during one simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Pmu {
+    /// Total cycles (`CPU_CYCLES`).
+    pub cycles: u64,
+    /// Instructions retired (`INST_RETIRED`).
+    pub instructions: u64,
+    /// Conditional/unconditional branches executed.
+    pub branches: u64,
+    /// Branch mispredictions (`BR_MISP_RETIRED`).
+    pub branch_mispredictions: u64,
+    /// 16-byte decode lines fetched by the front end.
+    pub decode_lines_fetched: u64,
+    /// Iterations delivered from the Loop Stream Detector.
+    pub lsd_iterations: u64,
+    /// Instructions delivered from the LSD (bypassing fetch/decode).
+    pub lsd_instructions: u64,
+    /// Consumers that waited in the reservation stations because the
+    /// producer's forwarding bandwidth was exhausted — the event the paper
+    /// correlates with bad schedules (`RESOURCE_STALLS:RS_FULL`, §III.F).
+    pub rs_full_stalls: u64,
+    /// Cycles lost waiting for a reservation-station entry to free.
+    pub rs_admit_stalls: u64,
+    /// L1D load hits.
+    pub l1d_hits: u64,
+    /// L1D load misses.
+    pub l1d_misses: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Loads executed.
+    pub loads: u64,
+}
+
+impl Pmu {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredictions as f64 / self.branches as f64
+        }
+    }
+
+    /// L1D miss rate over loads.
+    pub fn l1d_miss_rate(&self) -> f64 {
+        let total = self.l1d_hits + self.l1d_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1d_misses as f64 / total as f64
+        }
+    }
+
+    /// Look a counter up by its event name (for the probe framework).
+    pub fn event(&self, name: &str) -> Option<u64> {
+        Some(match name {
+            "CPU_CYCLES" => self.cycles,
+            "INST_RETIRED" => self.instructions,
+            "BRANCHES" => self.branches,
+            "BR_MISP_RETIRED" => self.branch_mispredictions,
+            "DECODE_LINES" => self.decode_lines_fetched,
+            "LSD_ITERATIONS" => self.lsd_iterations,
+            "LSD_INSTS" => self.lsd_instructions,
+            "RESOURCE_STALLS:RS_FULL" => self.rs_full_stalls,
+            "RS_ADMIT_STALLS" => self.rs_admit_stalls,
+            "L1D_HITS" => self.l1d_hits,
+            "L1D_MISSES" => self.l1d_misses,
+            "LOADS" => self.loads,
+            "STORES" => self.stores,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Pmu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles:            {:>12}", self.cycles)?;
+        writeln!(f, "instructions:      {:>12}  (ipc {:.2})", self.instructions, self.ipc())?;
+        writeln!(
+            f,
+            "branches:          {:>12}  (mispredict {:>6.2}%)",
+            self.branches,
+            self.mispredict_rate() * 100.0
+        )?;
+        writeln!(f, "decode lines:      {:>12}", self.decode_lines_fetched)?;
+        writeln!(
+            f,
+            "lsd iterations:    {:>12}  ({} insts)",
+            self.lsd_iterations, self.lsd_instructions
+        )?;
+        writeln!(f, "rs-full stalls:    {:>12}", self.rs_full_stalls)?;
+        write!(
+            f,
+            "l1d hits/misses:   {:>12} / {}",
+            self.l1d_hits, self.l1d_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let pmu = Pmu {
+            cycles: 100,
+            instructions: 250,
+            branches: 50,
+            branch_mispredictions: 5,
+            l1d_hits: 90,
+            l1d_misses: 10,
+            ..Pmu::default()
+        };
+        assert!((pmu.ipc() - 2.5).abs() < 1e-9);
+        assert!((pmu.mispredict_rate() - 0.1).abs() < 1e-9);
+        assert!((pmu.l1d_miss_rate() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_safe() {
+        let pmu = Pmu::default();
+        assert_eq!(pmu.ipc(), 0.0);
+        assert_eq!(pmu.mispredict_rate(), 0.0);
+        assert_eq!(pmu.l1d_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn event_lookup() {
+        let pmu = Pmu {
+            cycles: 7,
+            rs_full_stalls: 3,
+            ..Pmu::default()
+        };
+        assert_eq!(pmu.event("CPU_CYCLES"), Some(7));
+        assert_eq!(pmu.event("RESOURCE_STALLS:RS_FULL"), Some(3));
+        assert_eq!(pmu.event("NO_SUCH_EVENT"), None);
+    }
+
+    #[test]
+    fn display_contains_counters() {
+        let pmu = Pmu {
+            cycles: 42,
+            ..Pmu::default()
+        };
+        assert!(pmu.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,379 @@
+//! EFLAGS condition-code model.
+//!
+//! The paper stresses that MAO "precisely models the x86/64 condition codes",
+//! which is what makes the redundant-`test` removal pass sound. [`Flags`] is a
+//! small bitset over the six arithmetic flags; [`Cond`] describes the sixteen
+//! condition codes used by `jcc`/`setcc`/`cmovcc` together with the exact set
+//! of flags each one reads.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, BitOrAssign, Not, Sub};
+
+/// A set of x86 arithmetic status flags.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags(u8);
+
+impl Flags {
+    /// Carry flag.
+    pub const CF: Flags = Flags(1 << 0);
+    /// Parity flag.
+    pub const PF: Flags = Flags(1 << 1);
+    /// Auxiliary-carry flag.
+    pub const AF: Flags = Flags(1 << 2);
+    /// Zero flag.
+    pub const ZF: Flags = Flags(1 << 3);
+    /// Sign flag.
+    pub const SF: Flags = Flags(1 << 4);
+    /// Overflow flag.
+    pub const OF: Flags = Flags(1 << 5);
+    /// Direction flag (string ops).
+    pub const DF: Flags = Flags(1 << 6);
+
+    /// The empty set.
+    pub const NONE: Flags = Flags(0);
+    /// All six arithmetic flags.
+    pub const ALL: Flags = Flags(0b0011_1111);
+    /// The flags computed from a result value (by both logic and arithmetic
+    /// instructions): SF, ZF and PF.
+    pub const RESULT: Flags = Flags(Flags::SF.0 | Flags::ZF.0 | Flags::PF.0);
+
+    /// Is the set empty?
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Does `self` contain every flag in `other`?
+    pub fn contains(self, other: Flags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Does `self` share any flag with `other`?
+    pub fn intersects(self, other: Flags) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Iterate over the individual flags in the set.
+    pub fn iter(self) -> impl Iterator<Item = Flags> {
+        (0..7)
+            .map(|i| Flags(1 << i))
+            .filter(move |f| self.contains(*f))
+    }
+
+    /// Parse a single flag name as used by the side-effect config language.
+    pub fn from_name(name: &str) -> Option<Flags> {
+        match name {
+            "CF" => Some(Flags::CF),
+            "PF" => Some(Flags::PF),
+            "AF" => Some(Flags::AF),
+            "ZF" => Some(Flags::ZF),
+            "SF" => Some(Flags::SF),
+            "OF" => Some(Flags::OF),
+            "DF" => Some(Flags::DF),
+            "all" => Some(Flags::ALL),
+            "result" => Some(Flags::RESULT),
+            _ => None,
+        }
+    }
+}
+
+impl BitOr for Flags {
+    type Output = Flags;
+    fn bitor(self, rhs: Flags) -> Flags {
+        Flags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Flags {
+    fn bitor_assign(&mut self, rhs: Flags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Flags {
+    type Output = Flags;
+    fn bitand(self, rhs: Flags) -> Flags {
+        Flags(self.0 & rhs.0)
+    }
+}
+
+impl Sub for Flags {
+    type Output = Flags;
+    fn sub(self, rhs: Flags) -> Flags {
+        Flags(self.0 & !rhs.0)
+    }
+}
+
+impl Not for Flags {
+    type Output = Flags;
+    fn not(self) -> Flags {
+        Flags(!self.0 & Flags::ALL.0)
+    }
+}
+
+impl fmt::Debug for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "{{}}");
+        }
+        let names = [
+            (Flags::CF, "CF"),
+            (Flags::PF, "PF"),
+            (Flags::AF, "AF"),
+            (Flags::ZF, "ZF"),
+            (Flags::SF, "SF"),
+            (Flags::OF, "OF"),
+            (Flags::DF, "DF"),
+        ];
+        let mut first = true;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The sixteen x86 condition codes, with their hardware encoding values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow (`o`).
+    O = 0x0,
+    /// Not overflow (`no`).
+    No = 0x1,
+    /// Below / carry (`b`, `c`, `nae`).
+    B = 0x2,
+    /// Above or equal / not carry (`ae`, `nc`, `nb`).
+    Ae = 0x3,
+    /// Equal / zero (`e`, `z`).
+    E = 0x4,
+    /// Not equal / not zero (`ne`, `nz`).
+    Ne = 0x5,
+    /// Below or equal (`be`, `na`).
+    Be = 0x6,
+    /// Above (`a`, `nbe`).
+    A = 0x7,
+    /// Sign (`s`).
+    S = 0x8,
+    /// Not sign (`ns`).
+    Ns = 0x9,
+    /// Parity (`p`, `pe`).
+    P = 0xa,
+    /// Not parity (`np`, `po`).
+    Np = 0xb,
+    /// Less (`l`, `nge`).
+    L = 0xc,
+    /// Greater or equal (`ge`, `nl`).
+    Ge = 0xd,
+    /// Less or equal (`le`, `ng`).
+    Le = 0xe,
+    /// Greater (`g`, `nle`).
+    G = 0xf,
+}
+
+impl Cond {
+    /// All condition codes in encoding order.
+    pub const ALL: [Cond; 16] = [
+        Cond::O,
+        Cond::No,
+        Cond::B,
+        Cond::Ae,
+        Cond::E,
+        Cond::Ne,
+        Cond::Be,
+        Cond::A,
+        Cond::S,
+        Cond::Ns,
+        Cond::P,
+        Cond::Np,
+        Cond::L,
+        Cond::Ge,
+        Cond::Le,
+        Cond::G,
+    ];
+
+    /// Hardware encoding nibble (the `cc` field of `0F 8x`, `0F 4x`, `0F 9x`).
+    pub fn encoding(self) -> u8 {
+        self as u8
+    }
+
+    /// The exact set of flags this condition reads.
+    pub fn flags_read(self) -> Flags {
+        match self {
+            Cond::O | Cond::No => Flags::OF,
+            Cond::B | Cond::Ae => Flags::CF,
+            Cond::E | Cond::Ne => Flags::ZF,
+            Cond::Be | Cond::A => Flags::CF | Flags::ZF,
+            Cond::S | Cond::Ns => Flags::SF,
+            Cond::P | Cond::Np => Flags::PF,
+            Cond::L | Cond::Ge => Flags::SF | Flags::OF,
+            Cond::Le | Cond::G => Flags::SF | Flags::OF | Flags::ZF,
+        }
+    }
+
+    /// The logically inverted condition (`e` <-> `ne`, `l` <-> `ge`, ...).
+    pub fn invert(self) -> Cond {
+        // Conditions pair up as even/odd encoding neighbours.
+        let enc = self.encoding() ^ 1;
+        Cond::ALL[enc as usize]
+    }
+
+    /// Canonical AT&T suffix for this condition (`e`, `ne`, `l`, ...).
+    pub fn att_suffix(self) -> &'static str {
+        match self {
+            Cond::O => "o",
+            Cond::No => "no",
+            Cond::B => "b",
+            Cond::Ae => "ae",
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::P => "p",
+            Cond::Np => "np",
+            Cond::L => "l",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::G => "g",
+        }
+    }
+
+    /// Parse an AT&T condition suffix, accepting all aliases
+    /// (`z` for `e`, `nae` for `b`, ...).
+    pub fn from_att_suffix(s: &str) -> Option<Cond> {
+        Some(match s {
+            "o" => Cond::O,
+            "no" => Cond::No,
+            "b" | "c" | "nae" => Cond::B,
+            "ae" | "nb" | "nc" => Cond::Ae,
+            "e" | "z" => Cond::E,
+            "ne" | "nz" => Cond::Ne,
+            "be" | "na" => Cond::Be,
+            "a" | "nbe" => Cond::A,
+            "s" => Cond::S,
+            "ns" => Cond::Ns,
+            "p" | "pe" => Cond::P,
+            "np" | "po" => Cond::Np,
+            "l" | "nge" => Cond::L,
+            "ge" | "nl" => Cond::Ge,
+            "le" | "ng" => Cond::Le,
+            "g" | "nle" => Cond::G,
+            _ => return None,
+        })
+    }
+
+    /// Evaluate the condition against a concrete flag state.
+    pub fn eval(self, flags: Flags) -> bool {
+        let cf = flags.contains(Flags::CF);
+        let zf = flags.contains(Flags::ZF);
+        let sf = flags.contains(Flags::SF);
+        let of = flags.contains(Flags::OF);
+        let pf = flags.contains(Flags::PF);
+        match self {
+            Cond::O => of,
+            Cond::No => !of,
+            Cond::B => cf,
+            Cond::Ae => !cf,
+            Cond::E => zf,
+            Cond::Ne => !zf,
+            Cond::Be => cf || zf,
+            Cond::A => !cf && !zf,
+            Cond::S => sf,
+            Cond::Ns => !sf,
+            Cond::P => pf,
+            Cond::Np => !pf,
+            Cond::L => sf != of,
+            Cond::Ge => sf == of,
+            Cond::Le => zf || (sf != of),
+            Cond::G => !zf && (sf == of),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.att_suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations() {
+        let s = Flags::ZF | Flags::SF;
+        assert!(s.contains(Flags::ZF));
+        assert!(!s.contains(Flags::CF));
+        assert!(s.intersects(Flags::SF | Flags::OF));
+        assert_eq!(s - Flags::ZF, Flags::SF);
+        assert_eq!((!Flags::NONE), Flags::ALL);
+        assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn cond_flags_read() {
+        assert_eq!(Cond::E.flags_read(), Flags::ZF);
+        assert_eq!(Cond::L.flags_read(), Flags::SF | Flags::OF);
+        assert_eq!(Cond::A.flags_read(), Flags::CF | Flags::ZF);
+        assert_eq!(Cond::G.flags_read(), Flags::SF | Flags::OF | Flags::ZF);
+    }
+
+    #[test]
+    fn cond_invert_pairs() {
+        for c in Cond::ALL {
+            assert_eq!(c.invert().invert(), c);
+            assert_eq!(c.flags_read(), c.invert().flags_read());
+        }
+        assert_eq!(Cond::E.invert(), Cond::Ne);
+        assert_eq!(Cond::L.invert(), Cond::Ge);
+    }
+
+    #[test]
+    fn cond_suffix_roundtrip() {
+        for c in Cond::ALL {
+            assert_eq!(Cond::from_att_suffix(c.att_suffix()), Some(c));
+        }
+        assert_eq!(Cond::from_att_suffix("z"), Some(Cond::E));
+        assert_eq!(Cond::from_att_suffix("nae"), Some(Cond::B));
+        assert_eq!(Cond::from_att_suffix("xyz"), None);
+    }
+
+    #[test]
+    fn cond_eval_inversion() {
+        let states = [
+            Flags::NONE,
+            Flags::ZF,
+            Flags::SF,
+            Flags::OF,
+            Flags::CF,
+            Flags::SF | Flags::OF,
+            Flags::ZF | Flags::CF,
+            Flags::ALL,
+        ];
+        for c in Cond::ALL {
+            for s in states {
+                assert_eq!(c.eval(s), !c.invert().eval(s), "{c:?} on {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(format!("{}", Flags::ZF | Flags::CF), "CF|ZF");
+        assert_eq!(format!("{}", Flags::NONE), "{}");
+    }
+}

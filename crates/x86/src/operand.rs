@@ -1,0 +1,315 @@
+//! Instruction operands: immediates, registers, memory references, labels.
+//!
+//! Operands are stored in AT&T order (sources first, destination last), the
+//! same convention the assembly text uses.
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// Displacement part of a memory operand.
+///
+/// `None` and `Imm(0)` encode the same address but are kept distinct so that
+/// textual round-trips preserve the encoding the author chose: `0(%rax)`
+/// keeps its explicit zero displacement byte, which matters when an exact
+/// instruction *length* was intended (multi-byte NOPs, alignment padding).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum Disp {
+    /// No displacement written.
+    #[default]
+    None,
+    /// Constant displacement.
+    Imm(i64),
+    /// Symbolic displacement (`foo`, `foo+8`), resolved by linker or by the
+    /// relaxation pass for local labels.
+    Symbol {
+        /// Symbol or label name.
+        name: String,
+        /// Constant addend.
+        addend: i64,
+    },
+}
+
+impl Disp {
+    /// The constant value if this displacement is numeric (treating `None`
+    /// as zero), or `None` if symbolic.
+    pub fn constant(&self) -> Option<i64> {
+        match self {
+            Disp::None => Some(0),
+            Disp::Imm(v) => Some(*v),
+            Disp::Symbol { .. } => None,
+        }
+    }
+
+    /// Is there anything to print before the parenthesis?
+    pub fn is_present(&self) -> bool {
+        !matches!(self, Disp::None)
+    }
+}
+
+impl fmt::Display for Disp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Disp::None => Ok(()),
+            Disp::Imm(v) => write!(f, "{v}"),
+            Disp::Symbol { name, addend } => {
+                write!(f, "{name}")?;
+                if *addend != 0 {
+                    write!(f, "{addend:+}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A memory operand: `disp(base, index, scale)` in AT&T syntax.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Mem {
+    /// Displacement.
+    pub disp: Disp,
+    /// Base register (may be `%rip` for RIP-relative addressing).
+    pub base: Option<Reg>,
+    /// Index register (never `%rsp`/`%rip`).
+    pub index: Option<Reg>,
+    /// Scale factor: 1, 2, 4 or 8.
+    pub scale: u8,
+}
+
+impl Mem {
+    /// Absolute (displacement-only) address.
+    pub fn abs(disp: i64) -> Mem {
+        Mem {
+            disp: Disp::Imm(disp),
+            base: None,
+            index: None,
+            scale: 1,
+        }
+    }
+
+    /// `disp(base)` form.
+    pub fn base_disp(base: Reg, disp: i64) -> Mem {
+        Mem {
+            disp: if disp == 0 { Disp::None } else { Disp::Imm(disp) },
+            base: Some(base),
+            index: None,
+            scale: 1,
+        }
+    }
+
+    /// `disp(base,index,scale)` form.
+    pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i64) -> Mem {
+        Mem {
+            disp: if disp == 0 { Disp::None } else { Disp::Imm(disp) },
+            base: Some(base),
+            index: Some(index),
+            scale,
+        }
+    }
+
+    /// RIP-relative reference to a symbol.
+    pub fn rip_relative(symbol: &str) -> Mem {
+        Mem {
+            disp: Disp::Symbol {
+                name: symbol.to_string(),
+                addend: 0,
+            },
+            base: Some(crate::reg::Reg::q(crate::reg::RegId::Rip)),
+            index: None,
+            scale: 1,
+        }
+    }
+
+    /// Registers read when computing the effective address.
+    pub fn regs_used(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.base.into_iter().chain(self.index)
+    }
+
+    /// Is this a RIP-relative reference?
+    pub fn is_rip_relative(&self) -> bool {
+        self.base
+            .is_some_and(|r| r.id == crate::reg::RegId::Rip)
+    }
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.disp)?;
+        if self.base.is_some() || self.index.is_some() {
+            write!(f, "(")?;
+            if let Some(b) = self.base {
+                write!(f, "{b}")?;
+            }
+            if let Some(i) = self.index {
+                write!(f, ",{i},{}", self.scale)?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// An instruction operand.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Immediate (`$imm`). Symbolic immediates (`$sym`) are not modeled.
+    Imm(i64),
+    /// Register.
+    Reg(Reg),
+    /// Memory reference.
+    Mem(Mem),
+    /// Direct code label or symbol (branch/call target, e.g. `jmp .L5`).
+    Label(String),
+    /// Indirect register target (`call *%rax`).
+    IndirectReg(Reg),
+    /// Indirect memory target (`jmp *table(,%rax,8)`).
+    IndirectMem(Mem),
+}
+
+impl Operand {
+    /// Register payload, if this is a plain register operand.
+    pub fn reg(&self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Immediate payload, if this is an immediate operand.
+    pub fn imm(&self) -> Option<i64> {
+        match self {
+            Operand::Imm(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Memory payload, if this is a (direct) memory operand.
+    pub fn mem(&self) -> Option<&Mem> {
+        match self {
+            Operand::Mem(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Label payload, if this is a direct label operand.
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            Operand::Label(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Is this operand a memory reference (direct or indirect)?
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Operand::Mem(_) | Operand::IndirectMem(_))
+    }
+
+    /// Registers read to evaluate this operand *as a source or address*
+    /// (for a register operand this is the register itself; note the caller
+    /// decides whether a register destination is read).
+    pub fn regs_read(&self) -> Vec<Reg> {
+        match self {
+            Operand::Imm(_) | Operand::Label(_) => Vec::new(),
+            Operand::Reg(r) | Operand::IndirectReg(r) => vec![*r],
+            Operand::Mem(m) | Operand::IndirectMem(m) => m.regs_used().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Imm(v) => write!(f, "${v}"),
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Mem(m) => write!(f, "{m}"),
+            Operand::Label(l) => write!(f, "{l}"),
+            Operand::IndirectReg(r) => write!(f, "*{r}"),
+            Operand::IndirectMem(m) => write!(f, "*{m}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl From<Mem> for Operand {
+    fn from(m: Mem) -> Operand {
+        Operand::Mem(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{Reg, RegId};
+
+    #[test]
+    fn mem_display() {
+        let m = Mem::base_index(Reg::q(RegId::Rdi), Reg::q(RegId::R8), 4, 1);
+        assert_eq!(m.to_string(), "1(%rdi,%r8,4)");
+        let m = Mem::base_disp(Reg::q(RegId::Rbp), -4);
+        assert_eq!(m.to_string(), "-4(%rbp)");
+        let m = Mem::base_disp(Reg::q(RegId::Rax), 0);
+        assert_eq!(m.to_string(), "(%rax)");
+        let m = Mem::abs(4096);
+        assert_eq!(m.to_string(), "4096");
+    }
+
+    #[test]
+    fn explicit_zero_disp_is_preserved() {
+        let m = Mem {
+            disp: Disp::Imm(0),
+            base: Some(Reg::q(RegId::Rax)),
+            index: None,
+            scale: 1,
+        };
+        assert_eq!(m.to_string(), "0(%rax)");
+        assert_ne!(m, Mem::base_disp(Reg::q(RegId::Rax), 0));
+        assert_eq!(m.disp.constant(), Some(0));
+    }
+
+    #[test]
+    fn rip_relative() {
+        let m = Mem::rip_relative("foo");
+        assert_eq!(m.to_string(), "foo(%rip)");
+        assert!(m.is_rip_relative());
+    }
+
+    #[test]
+    fn symbol_addend_display() {
+        let d = Disp::Symbol {
+            name: "tbl".into(),
+            addend: 8,
+        };
+        assert_eq!(d.to_string(), "tbl+8");
+        assert_eq!(d.constant(), None);
+    }
+
+    #[test]
+    fn operand_display() {
+        assert_eq!(Operand::Imm(-5).to_string(), "$-5");
+        assert_eq!(Operand::Label(".L5".into()).to_string(), ".L5");
+        assert_eq!(
+            Operand::IndirectReg(Reg::q(RegId::Rax)).to_string(),
+            "*%rax"
+        );
+    }
+
+    #[test]
+    fn regs_read() {
+        let m = Mem::base_index(Reg::q(RegId::Rdi), Reg::q(RegId::R8), 4, 0);
+        let op = Operand::Mem(m);
+        let regs = op.regs_read();
+        assert_eq!(regs.len(), 2);
+        assert!(op.is_mem());
+    }
+}

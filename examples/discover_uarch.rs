@@ -1,0 +1,53 @@
+//! Discover micro-architectural parameters with the §IV probe framework.
+//!
+//! ```sh
+//! cargo run --release --example discover_uarch
+//! ```
+//!
+//! Mirrors the paper's Figure 6 usage: build an `InstructionSequence` with
+//! a CYCLE dependence DAG, wrap it in a `StraightLineLoop`, execute the
+//! `Benchmark` in isolation, and infer the latency from `CPU_CYCLES` — then
+//! run the higher-level probes that find the loop-buffer window and the
+//! branch predictor's `PC >> k` index shift.
+
+use mao_probe::{
+    detect_lsd_window, detect_predictor_shift, instruction_latency, Benchmark, DagType,
+    InstructionSequence, InstructionTemplate, Processor, StraightLineLoop,
+};
+
+fn main() {
+    let proc = Processor::core2();
+
+    // The Figure 6 procedure, spelled out.
+    let mut seq = InstructionSequence::new(&proc);
+    seq.set_instruction_template(InstructionTemplate::parse("imull %r, %r").expect("valid"))
+        .set_dag_type(DagType::Cycle)
+        .set_length(16)
+        .generate(&proc);
+    let loop_list = vec![StraightLineLoop::new(vec![seq]).with_trip_count(5_000)];
+    let bench = Benchmark::new(loop_list);
+    let results = bench
+        .execute(&proc, &[Processor::CPU_CYCLES])
+        .expect("benchmark executes");
+    println!(
+        "imull chain: {} cycles over {} dynamic instructions",
+        results[Processor::CPU_CYCLES],
+        bench.num_dynamic_instructions()
+    );
+
+    // The same procedure packaged as in the paper's InstructionLatency().
+    for template in ["addl %r, %r", "imull %r, %r", "movl %r, %r"] {
+        let latency = instruction_latency(&proc, template).expect("probe runs");
+        println!("latency({template}) = {latency} cycle(s)");
+    }
+
+    // Semi-automatic feature discovery on both simulated processors.
+    for proc in [Processor::core2(), Processor::opteron()] {
+        let window = detect_lsd_window(&proc).expect("probe runs");
+        let shift = detect_predictor_shift(&proc).expect("probe runs");
+        println!(
+            "{}: loop buffer holds {} decode line(s); branch predictor indexed by PC>>{shift}",
+            proc.name, window
+        );
+    }
+}

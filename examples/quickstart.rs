@@ -1,0 +1,55 @@
+//! Quickstart: parse compiler-emitted assembly, run MAO passes, emit.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! This is the library equivalent of the paper's command line
+//! `mao --mao=REDTEST:ADDADD:ASM=o[out.s] in.s`.
+
+use mao::pass::{parse_invocations, run_pipeline};
+use mao::MaoUnit;
+
+const INPUT: &str = r#"
+	.text
+	.globl	compute
+	.type	compute, @function
+compute:
+	# GCC 4.3-style inefficiencies the paper catalogues in §III.B:
+	andl	$255, %eax
+	mov	%eax, %eax          # redundant zero-extension
+	subl	$16, %r15d
+	testl	%r15d, %r15d        # redundant test
+	je	.Ldone
+	movq	24(%rsp), %rdx
+	movq	24(%rsp), %rcx      # redundant memory access
+	addq	$8, %rdi
+	addq	$8, %rdi            # foldable add/add
+.Ldone:
+	ret
+	.size	compute, .-compute
+"#;
+
+fn main() {
+    // READ: parsing is itself a pass, run first by default (§III.A).
+    let mut unit = MaoUnit::parse(INPUT).expect("input parses");
+
+    // Order the optimization passes exactly like the --mao= option string.
+    let invocations =
+        parse_invocations("REDZEXT:REDTEST:REDMOV:ADDADD").expect("pass string is valid");
+    let report = run_pipeline(&mut unit, &invocations, None).expect("passes run");
+
+    for (pass, stats) in &report.passes {
+        println!(
+            "{pass:<8} {} transformation(s), {} match(es)",
+            stats.transformations, stats.matches
+        );
+    }
+
+    // ASM: emit the optimized assembly.
+    println!("\n--- optimized assembly ---\n{}", unit.emit());
+
+    assert_eq!(report.total_transformations(), 4);
+    assert!(!unit.emit().contains("testl"));
+    assert!(unit.emit().contains("addq $16, %rdi"));
+}

@@ -1,0 +1,10 @@
+//! Umbrella crate for the MAO reproduction workspace.
+//!
+//! Re-exports the public crates so the `examples/` and `tests/` at the
+//! workspace root can use a single dependency.
+pub use mao;
+pub use mao_asm;
+pub use mao_corpus;
+pub use mao_probe;
+pub use mao_sim;
+pub use mao_x86;

@@ -1,0 +1,202 @@
+//! Small, fast versions of the headline experiments: every effect the paper
+//! reports must have the right *direction* on the simulator. The full
+//! magnitudes live in the `exp_*` binaries and EXPERIMENTS.md.
+
+use mao::pass::{parse_invocations, run_pipeline};
+use mao::MaoUnit;
+use mao_corpus::kernels;
+use mao_sim::{simulate, SimOptions, UarchConfig};
+
+fn cycles(asm: &str, entry: &str, args: &[u64], config: &UarchConfig) -> u64 {
+    let unit = MaoUnit::parse(asm).expect("parses");
+    simulate(&unit, entry, args, config, &SimOptions::default())
+        .expect("runs")
+        .pmu
+        .cycles
+}
+
+fn optimized(asm: &str, passes: &str) -> String {
+    let mut unit = MaoUnit::parse(asm).expect("parses");
+    run_pipeline(&mut unit, &parse_invocations(passes).expect("valid"), None).expect("runs");
+    unit.emit()
+}
+
+/// §III.C.e — a 15-byte loop crossing a 16-byte line is slower, and LOOP16
+/// recovers it.
+#[test]
+fn crossing_loop_is_slower_and_loop16_fixes_it() {
+    let config = UarchConfig::core2();
+    // The kernel's entry code is 15 bytes: pad 1 puts the loop on a line
+    // boundary, pad 4 puts it across one.
+    let aligned = kernels::eon_short_loop(1, 8, 20_000);
+    let crossing = kernels::eon_short_loop(4, 8, 20_000);
+    let ca = cycles(&aligned.asm, &aligned.entry, &aligned.args, &config);
+    let cc = cycles(&crossing.asm, &crossing.entry, &crossing.args, &config);
+    assert!(cc > ca + ca / 20, "crossing {cc} vs aligned {ca}");
+
+    let fixed = optimized(&crossing.asm, "LOOP16");
+    let cf = cycles(&fixed, &crossing.entry, &crossing.args, &config);
+    assert!(cf < cc, "LOOP16 {cf} improves on {cc}");
+}
+
+/// Figures 4/5 — a loop inside the LSD window is much faster; LSDFIT moves
+/// an outside loop in.
+#[test]
+fn lsd_window_effect_and_lsdfit() {
+    let config = UarchConfig::core2();
+    let fitting = kernels::lsd_loop(6, 50_000); // 4 lines
+    let spilling = kernels::lsd_loop(0, 50_000); // 5 lines
+    let cf = cycles(&fitting.asm, &fitting.entry, &[], &config);
+    let cs = cycles(&spilling.asm, &spilling.entry, &[], &config);
+    assert!(
+        cs as f64 > cf as f64 * 1.3,
+        "5-line loop {cs} should be >=1.3x the 4-line loop {cf}"
+    );
+    let fixed = optimized(&spilling.asm, "LSDFIT");
+    let cfx = cycles(&fixed, &spilling.entry, &[], &config);
+    assert!(cfx < cs, "LSDFIT recovers: {cfx} < {cs}");
+}
+
+/// §III.C.g — aliased back branches mispredict; BRALIGN separates them.
+#[test]
+fn branch_aliasing_and_bralign() {
+    let config = UarchConfig::core2();
+    let nest = kernels::image_nest(0, 30_000);
+    let unit = MaoUnit::parse(&nest.asm).expect("parses");
+    let base = simulate(&unit, &nest.entry, &[], &config, &SimOptions::default()).expect("runs");
+    assert!(
+        base.pmu.mispredict_rate() > 0.2,
+        "aliased nest mispredicts heavily: {:.2}",
+        base.pmu.mispredict_rate()
+    );
+    let fixed = optimized(&nest.asm, "BRALIGN");
+    let unit = MaoUnit::parse(&fixed).expect("parses");
+    let after = simulate(&unit, &nest.entry, &[], &config, &SimOptions::default()).expect("runs");
+    assert!(
+        after.pmu.branch_mispredictions < base.pmu.branch_mispredictions / 4,
+        "BRALIGN removes the conflict: {} -> {}",
+        base.pmu.branch_mispredictions,
+        after.pmu.branch_mispredictions
+    );
+}
+
+/// §III.F — the forwarding-hostile schedule is slower with more RS_FULL
+/// pressure; SCHED recovers the good order.
+#[test]
+fn schedule_order_and_sched_pass() {
+    let config = UarchConfig::core2();
+    let bad = kernels::hashing(false, 50_000);
+    let good = kernels::hashing(true, 50_000);
+    let unit_bad = MaoUnit::parse(&bad.asm).expect("parses");
+    let unit_good = MaoUnit::parse(&good.asm).expect("parses");
+    let rb = simulate(&unit_bad, &bad.entry, &[], &config, &SimOptions::default()).expect("runs");
+    let rg =
+        simulate(&unit_good, &good.entry, &[], &config, &SimOptions::default()).expect("runs");
+    assert!(rb.pmu.cycles > rg.pmu.cycles);
+    assert!(
+        rb.pmu.rs_full_stalls > rg.pmu.rs_full_stalls * 2,
+        "RS_FULL correlates with the bad order: {} vs {}",
+        rb.pmu.rs_full_stalls,
+        rg.pmu.rs_full_stalls
+    );
+    let fixed = optimized(&bad.asm, "SCHED");
+    let cycles_fixed = cycles(&fixed, &bad.entry, &[], &config);
+    assert!(cycles_fixed <= rg.pmu.cycles + rg.pmu.cycles / 50);
+}
+
+/// §III.E.k — a non-temporal stream stops evicting the hot set.
+#[test]
+fn prefetchnta_reduces_pollution() {
+    let mut config = UarchConfig::core2();
+    config.l1d.sets = 8;
+    config.l1d.ways = 4;
+    let plain = kernels::streaming_with_hot_set(false, 10_000);
+    let nta = kernels::streaming_with_hot_set(true, 10_000);
+    let up = MaoUnit::parse(&plain.asm).expect("parses");
+    let un = MaoUnit::parse(&nta.asm).expect("parses");
+    let rp = simulate(&up, &plain.entry, &plain.args, &config, &SimOptions::default())
+        .expect("runs");
+    let rn = simulate(&un, &nta.entry, &nta.args, &config, &SimOptions::default()).expect("runs");
+    assert!(rn.pmu.l1d_misses * 4 < rp.pmu.l1d_misses);
+    assert!(rn.pmu.cycles < rp.pmu.cycles);
+}
+
+/// §III.E.l — INSTPREP probes don't change behaviour and never cross lines.
+#[test]
+fn instprep_probes_are_patchable() {
+    let w = kernels::hashing(true, 1_000);
+    let fixed = optimized(&w.asm, "INSTPREP");
+    assert!(fixed.contains("nopl 0(%rax,%rax,1)"), "5-byte probes planted");
+    let unit = MaoUnit::parse(&fixed).expect("parses");
+    let layout = mao::relax(&unit).expect("relaxes");
+    let probe = mao_x86::Instruction::nop_of_len(5);
+    for (id, e) in unit.entries().iter().enumerate() {
+        if e.insn() == Some(&probe) {
+            let start = layout.addr[id];
+            let end = layout.end_addr(id);
+            assert_eq!(start / 64, (end - 1) / 64, "probe crosses a cache line");
+        }
+    }
+}
+
+/// The two simulated platforms behave differently — the §V.B premise.
+#[test]
+fn platforms_differ_on_the_same_code() {
+    let w = kernels::port_contention(20_000);
+    let intel = cycles(&w.asm, &w.entry, &[], &UarchConfig::core2());
+    let amd = cycles(&w.asm, &w.entry, &[], &UarchConfig::opteron());
+    assert_ne!(intel, amd);
+}
+
+/// §V.B — the calculix mechanism: REDTEST enables streaming on the AMD
+/// profile (positive), NOPKILL breaks the protected loop (negative).
+#[test]
+fn calculix_pass_signs_on_amd() {
+    use mao_corpus::spec::spec2006_benchmark;
+    let w = spec2006_benchmark("454.calculix").expect("known benchmark");
+    let amd = UarchConfig::opteron();
+    let unit = MaoUnit::parse(&w.asm).expect("parses");
+    let base = simulate(&unit, &w.entry, &w.args, &amd, &SimOptions::default())
+        .expect("runs");
+    for (pass, improves) in [("REDTEST", true), ("REDMOV", true), ("NOPKILL", false)] {
+        let t = optimized(&w.asm, pass);
+        let unit = MaoUnit::parse(&t).expect("parses");
+        let after = simulate(&unit, &w.entry, &w.args, &amd, &SimOptions::default())
+            .expect("runs");
+        assert_eq!(base.ret, after.ret, "{pass} changed the result");
+        if improves {
+            assert!(
+                after.pmu.cycles < base.pmu.cycles,
+                "{pass} should speed calculix up: {} -> {}",
+                base.pmu.cycles,
+                after.pmu.cycles
+            );
+        } else {
+            assert!(
+                after.pmu.cycles > base.pmu.cycles,
+                "{pass} should slow calculix down: {} -> {}",
+                base.pmu.cycles,
+                after.pmu.cycles
+            );
+        }
+    }
+}
+
+/// §V.B — LOOP16 helps the mcf mechanism on AMD but is ~flat on Intel
+/// (where the LSD streams the loop regardless of placement).
+#[test]
+fn loop16_platform_asymmetry() {
+    use mao_corpus::spec::spec2000_benchmark;
+    let w = spec2000_benchmark("181.mcf").expect("known benchmark");
+    let fixed = optimized(&w.asm, "LOOP16");
+    for (config, min_gain_pct) in [(UarchConfig::opteron(), 1.0), (UarchConfig::core2(), -0.5)] {
+        let before = cycles(&w.asm, &w.entry, &[], &config);
+        let after = cycles(&fixed, &w.entry, &[], &config);
+        let gain = (before as f64 - after as f64) / before as f64 * 100.0;
+        assert!(
+            gain >= min_gain_pct,
+            "{}: LOOP16 gain {gain:.2}% below {min_gain_pct}%",
+            config.name
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Focused semantics tests for the simulator's interpreter: each supported
+//! instruction family computes the architecturally correct result. The
+//! functional layer must be exact — the timing layer is approximate, but a
+//! wrong *value* would silently corrupt every experiment.
+
+use mao::MaoUnit;
+use mao_sim::{run_functional, Program};
+
+fn run(body: &str, args: &[u64]) -> u64 {
+    let asm = format!(".type f, @function\nf:\n{body}\tret\n");
+    let unit = MaoUnit::parse(&asm).expect("parses");
+    let p = Program::load(&unit).expect("loads");
+    run_functional(&p, "f", args, 1_000_000).expect("runs").0
+}
+
+#[test]
+fn adc_sbb_carry_chains() {
+    // 64-bit add of (2^64-1) + 1 via 32-bit halves with adc.
+    let v = run(
+        "\tmovl $0xffffffff, %eax\n\tmovl $1, %ecx\n\taddl %ecx, %eax\n\tmovl $0, %edx\n\tadcl $0, %edx\n\tmovl %edx, %eax\n",
+        &[],
+    );
+    assert_eq!(v, 1, "carry out of the low half feeds adc");
+    let v = run(
+        "\tmovl $0, %eax\n\tsubl $1, %eax\n\tmovl $5, %ebx\n\tsbbl $0, %ebx\n\tmovl %ebx, %eax\n",
+        &[],
+    );
+    assert_eq!(v, 4, "borrow feeds sbb");
+}
+
+#[test]
+fn cmov_not_taken_keeps_dest() {
+    let v = run(
+        "\tmovl $7, %eax\n\tmovl $9, %ecx\n\tcmpl $100, %eax\n\tcmovg %ecx, %eax\n",
+        &[],
+    );
+    assert_eq!(v, 7);
+}
+
+#[test]
+fn setcc_writes_single_byte() {
+    let v = run(
+        "\tmovl $0xffffff00, %eax\n\tcmpl $0, %ecx\n\tsete %al\n",
+        &[],
+    );
+    assert_eq!(v, 0xffffff01, "sete merges into the low byte only");
+}
+
+#[test]
+fn xchg_register_and_memory() {
+    let v = run(
+        "\tmovq $1, %rax\n\tmovq $2, %rbx\n\txchg %rax, %rbx\n\taddq %rbx, %rax\n",
+        &[],
+    );
+    assert_eq!(v, 3);
+    let v = run(
+        "\tmovq $5, -8(%rsp)\n\tmovq $7, %rax\n\txchg %rax, -8(%rsp)\n\taddq -8(%rsp), %rax\n",
+        &[],
+    );
+    assert_eq!(v, 12, "xchg with memory swaps both sides");
+}
+
+#[test]
+fn push_pop_and_leave() {
+    let v = run(
+        "\tpush %rbp\n\tmov %rsp, %rbp\n\tpushq $42\n\tpop %rax\n\tleave\n",
+        &[],
+    );
+    assert_eq!(v, 42);
+}
+
+#[test]
+fn rotates() {
+    assert_eq!(
+        run("\tmovl $0x80000000, %eax\n\troll $4, %eax\n", &[]),
+        0x8
+    );
+    assert_eq!(
+        run("\tmovl $1, %eax\n\trorl $1, %eax\n", &[]),
+        0x80000000
+    );
+}
+
+#[test]
+fn signed_division_signs() {
+    // -7 / 2 = -3 rem -1 (C semantics).
+    let v = run(
+        "\tmovl $-7, %eax\n\tcltd\n\tmovl $2, %ecx\n\tidivl %ecx\n",
+        &[],
+    );
+    assert_eq!(v as u32 as i32, -3);
+    let v = run(
+        "\tmovl $-7, %eax\n\tcltd\n\tmovl $2, %ecx\n\tidivl %ecx\n\tmovl %edx, %eax\n",
+        &[],
+    );
+    assert_eq!(v as u32 as i32, -1);
+}
+
+#[test]
+fn unsigned_division_uses_full_dividend() {
+    // (1 << 40) / 3 via 64-bit div.
+    let v = run(
+        "\tmovq $0x10000000000, %rax\n\txorq %rdx, %rdx\n\tmovq $3, %rcx\n\tdivq %rcx\n",
+        &[],
+    );
+    assert_eq!(v, 0x10000000000 / 3);
+}
+
+#[test]
+fn movsx_widths() {
+    assert_eq!(
+        run("\tmovl $0x8000, %eax\n\tmovswl %ax, %eax\n", &[]) as u32,
+        0xffff8000
+    );
+    assert_eq!(
+        run("\tmovl $-1, %eax\n\tmovslq %eax, %rax\n", &[]),
+        u64::MAX
+    );
+    assert_eq!(run("\tmovl $-1, %eax\n\tmovzwl %ax, %eax\n", &[]), 0xffff);
+}
+
+#[test]
+fn float_comparison_flags() {
+    // ucomiss: 2.0 > 1.0 -> neither ZF nor CF -> ja taken.
+    let asm = r#"
+	movl $0x40000000, %eax
+	movd %eax, %xmm0
+	movl $0x3f800000, %eax
+	movd %eax, %xmm1
+	ucomiss %xmm1, %xmm0
+	ja .Lgt
+	movl $0, %eax
+	ret
+.Lgt:
+	movl $1, %eax
+"#;
+    assert_eq!(run(asm, &[]), 1);
+}
+
+#[test]
+fn float_arithmetic_double() {
+    // 1.5 + 2.25 = 3.75; truncate to 3.
+    let bits15 = (1.5f64).to_bits();
+    let bits225 = (2.25f64).to_bits();
+    let asm = format!(
+        "\tmovabs ${bits15}, %rax\n\tmovq %rax, -8(%rsp)\n\tmovsd -8(%rsp), %xmm0\n\tmovabs ${bits225}, %rax\n\tmovq %rax, -16(%rsp)\n\tmovsd -16(%rsp), %xmm1\n\taddsd %xmm1, %xmm0\n\tcvttsd2si %xmm0, %eax\n"
+    );
+    assert_eq!(run(&asm, &[]), 3);
+}
+
+#[test]
+fn cvt_int_float_roundtrip() {
+    let v = run(
+        "\tmovl $41, %eax\n\tcvtsi2ss %eax, %xmm0\n\tmovl $1, %ecx\n\tcvtsi2ss %ecx, %xmm1\n\taddss %xmm1, %xmm0\n\tcvttss2si %xmm0, %eax\n",
+        &[],
+    );
+    assert_eq!(v, 42);
+}
+
+#[test]
+fn neg_and_not() {
+    assert_eq!(run("\tmovl $5, %eax\n\tnegl %eax\n", &[]) as u32 as i32, -5);
+    assert_eq!(run("\tmovl $0, %eax\n\tnotl %eax\n", &[]) as u32, u32::MAX);
+}
+
+#[test]
+fn shift_counts_mask() {
+    // 32-bit shifts mask the count to 5 bits: shll $33 == shll $1.
+    assert_eq!(run("\tmovl $1, %eax\n\tmovl $33, %ecx\n\tshll %cl, %eax\n", &[]), 2);
+}
+
+#[test]
+fn memory_widths_partial_stores() {
+    let v = run(
+        "\tmovq $-1, %rax\n\tmovq %rax, -8(%rsp)\n\tmovb $0, -8(%rsp)\n\tmovq -8(%rsp), %rax\n",
+        &[],
+    );
+    assert_eq!(v, 0xffff_ffff_ffff_ff00);
+}
+
+#[test]
+fn nested_calls_and_stack_discipline() {
+    let asm = r#"
+	.type	f, @function
+f:
+	call g
+	addq $1, %rax
+	ret
+	.size	f, .-f
+	.type	g, @function
+g:
+	call h
+	addq $10, %rax
+	ret
+	.size	g, .-g
+	.type	h, @function
+h:
+	movq $100, %rax
+	ret
+	.size	h, .-h
+"#;
+    let unit = MaoUnit::parse(asm).expect("parses");
+    let p = Program::load(&unit).expect("loads");
+    let (v, _) = run_functional(&p, "f", &[], 1000).expect("runs");
+    assert_eq!(v, 111);
+}
+
+#[test]
+fn recursion_with_stack() {
+    // factorial(5) via recursion.
+    let asm = r#"
+	.type	fact, @function
+fact:
+	cmpq $1, %rdi
+	jg .Lrec
+	movq $1, %rax
+	ret
+.Lrec:
+	push %rdi
+	subq $1, %rdi
+	call fact
+	pop %rdi
+	imulq %rdi, %rax
+	ret
+	.size	fact, .-fact
+"#;
+    let unit = MaoUnit::parse(asm).expect("parses");
+    let p = Program::load(&unit).expect("loads");
+    let (v, _) = run_functional(&p, "fact", &[5], 10_000).expect("runs");
+    assert_eq!(v, 120);
+}
+
+#[test]
+fn timed_and_functional_agree() {
+    use mao_sim::{simulate, SimOptions, UarchConfig};
+    let asm = ".type f, @function\nf:\n\tmovl $7, %eax\n\timull $6, %eax, %eax\n\tret\n";
+    let unit = MaoUnit::parse(asm).expect("parses");
+    let p = Program::load(&unit).expect("loads");
+    let (functional, _) = run_functional(&p, "f", &[], 100).expect("runs");
+    let timed = simulate(&unit, "f", &[], &UarchConfig::core2(), &SimOptions::default())
+        .expect("runs");
+    assert_eq!(functional, timed.ret);
+    assert_eq!(functional, 42);
+}

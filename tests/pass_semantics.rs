@@ -1,0 +1,110 @@
+//! Cross-crate semantic checks: every transforming pass must preserve the
+//! observable behaviour of every workload (same return value under the
+//! simulator's functional execution).
+
+use mao::pass::{parse_invocations, run_pipeline};
+use mao::MaoUnit;
+use mao_corpus::kernels;
+use mao_corpus::spec::{spec2000_benchmark, spec2006_benchmark};
+use mao_corpus::Workload;
+use mao_sim::{run_functional, Program};
+
+const TRANSFORMING_PASSES: &[&str] = &[
+    "REDZEXT",
+    "REDTEST",
+    "REDMOV",
+    "ADDADD",
+    "CONSTFOLD",
+    "DCE",
+    "SCHED",
+    "LOOP16",
+    "LSDFIT",
+    "BRALIGN",
+    "NOPKILL",
+    "NOPIN=seed[3],density[0.1]",
+    "INSTPREP",
+];
+
+fn check_workload(w: &Workload) {
+    let base_unit = MaoUnit::parse(&w.asm).expect("workload parses");
+    let base_prog = Program::load(&base_unit).expect("workload loads");
+    let (base_ret, base_count) =
+        run_functional(&base_prog, &w.entry, &w.args, 50_000_000).expect("workload runs");
+
+    for pass in TRANSFORMING_PASSES {
+        let mut unit = base_unit.clone();
+        let invs = parse_invocations(pass).expect("valid pass string");
+        run_pipeline(&mut unit, &invs, None)
+            .unwrap_or_else(|e| panic!("{pass} failed on {}: {e}", w.name));
+        let prog = Program::load(&unit)
+            .unwrap_or_else(|e| panic!("{pass} broke loading of {}: {e}", w.name));
+        let (ret, count) = run_functional(&prog, &w.entry, &w.args, 50_000_000)
+            .unwrap_or_else(|e| panic!("{pass} broke execution of {}: {e}", w.name));
+        assert_eq!(
+            ret, base_ret,
+            "{pass} changed the result of {} ({base_ret:#x} -> {ret:#x})",
+            w.name
+        );
+        // Sanity: deleting passes may shrink the dynamic count, inserters
+        // may grow it, but never by more than 2x on these workloads.
+        assert!(
+            count <= base_count * 2 && count * 2 >= base_count,
+            "{pass} changed dynamic instructions implausibly on {}: {base_count} -> {count}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn passes_preserve_kernel_semantics() {
+    for w in [
+        kernels::mcf_fig1(false, 60),
+        kernels::eon_short_loop(3, 8, 12),
+        kernels::hashing(false, 80),
+        kernels::port_contention(60),
+        kernels::lsd_loop(9, 60),
+        kernels::image_nest(2, 30),
+        kernels::streaming_with_hot_set(false, 32),
+    ] {
+        check_workload(&w);
+    }
+}
+
+#[test]
+fn passes_preserve_spec2000_semantics() {
+    // A representative subset (the full suite runs in the experiments).
+    for name in ["252.eon", "181.mcf", "175.vpr"] {
+        let mut w = spec2000_benchmark(name).expect("known benchmark");
+        // Shrink the workload: patch the outer iteration counts down.
+        w.asm = w.asm.replace("movl $12000, %r10d", "movl $40, %r10d");
+        check_workload(&w);
+    }
+}
+
+#[test]
+fn passes_preserve_spec2006_semantics() {
+    for name in ["454.calculix", "464.h264ref"] {
+        let w = spec2006_benchmark(name).expect("known benchmark");
+        check_workload(&w);
+    }
+}
+
+#[test]
+fn pipeline_composition_preserves_semantics() {
+    // The Fig. 7 combined set, all at once.
+    let w = kernels::hashing(false, 100);
+    let base = {
+        let unit = MaoUnit::parse(&w.asm).expect("parses");
+        let prog = Program::load(&unit).expect("loads");
+        run_functional(&prog, &w.entry, &w.args, 10_000_000).expect("runs")
+    };
+    let mut unit = MaoUnit::parse(&w.asm).expect("parses");
+    let invs = parse_invocations(
+        "REDMOV:REDTEST:LOOP16:NOPIN=seed[1],density[0.02]:SCHED:DCE:CONSTFOLD",
+    )
+    .expect("valid");
+    run_pipeline(&mut unit, &invs, None).expect("pipeline runs");
+    let prog = Program::load(&unit).expect("loads");
+    let after = run_functional(&prog, &w.entry, &w.args, 10_000_000).expect("runs");
+    assert_eq!(base.0, after.0);
+}

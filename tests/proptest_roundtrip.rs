@@ -1,0 +1,148 @@
+//! Property-based tests over the core data structures: random instructions
+//! must survive the emit/parse round trip, encode within architectural
+//! limits, and relax monotonically.
+
+use proptest::prelude::*;
+
+use mao::relax::relax;
+use mao::MaoUnit;
+use mao_x86::encode::{encoded_length, BranchForm};
+use mao_x86::insn::Instruction;
+use mao_x86::operand::{Mem, Operand};
+use mao_x86::reg::{Reg, RegId, Width};
+
+fn gpr() -> impl Strategy<Value = RegId> {
+    prop::sample::select(RegId::GPRS.to_vec())
+}
+
+fn width() -> impl Strategy<Value = Width> {
+    prop::sample::select(vec![Width::B1, Width::B2, Width::B4, Width::B8])
+}
+
+fn scale() -> impl Strategy<Value = u8> {
+    prop::sample::select(vec![1u8, 2, 4, 8])
+}
+
+/// Memory operands with all addressing shapes (no %rsp index — invalid).
+fn mem() -> impl Strategy<Value = Mem> {
+    (
+        any::<i32>(),
+        prop::option::of(gpr()),
+        prop::option::of(gpr().prop_filter("rsp cannot index", |r| *r != RegId::Rsp)),
+        scale(),
+    )
+        .prop_map(|(disp, base, index, scale)| {
+            // A memory operand with no base, no index and no displacement
+            // has no textual form; force an absolute address then.
+            let disp = if disp == 0 && base.is_none() && index.is_none() {
+                0x1000
+            } else {
+                disp
+            };
+            Mem {
+                disp: if disp == 0 {
+                    mao_x86::operand::Disp::None
+                } else {
+                    mao_x86::operand::Disp::Imm(i64::from(disp))
+                },
+                base: base.map(Reg::q),
+                // A scale without an index register has no textual form.
+                scale: if index.is_some() { scale } else { 1 },
+                index: index.map(Reg::q),
+            }
+        })
+}
+
+/// A random two-operand ALU instruction in one of the encodable forms.
+fn alu_instruction() -> impl Strategy<Value = Instruction> {
+    let mnemonics = prop::sample::select(vec!["add", "sub", "and", "or", "xor", "cmp", "mov"]);
+    (mnemonics, width(), gpr(), gpr(), mem(), any::<i32>(), 0u8..4).prop_map(
+        |(m, w, r1, r2, mem, imm, form)| {
+            let reg = |id: RegId| match w {
+                Width::B1 => Reg::b(id),
+                Width::B2 => Reg::w(id),
+                Width::B4 => Reg::l(id),
+                _ => Reg::q(id),
+            };
+            // Clamp immediates into the operand width's encodable range.
+            let imm_val = i64::from(imm) & (w.mask() as i64);
+            let (src, dst): (Operand, Operand) = match form {
+                0 => (reg(r1).into(), reg(r2).into()),
+                1 => (Operand::Imm(imm_val), reg(r2).into()),
+                2 => (reg(r1).into(), mem.into()),
+                _ => (mem.into(), reg(r2).into()),
+            };
+            let name = format!("{m}{}", w.att_suffix().expect("GPR widths have suffixes"));
+            Instruction::from_att(&name, vec![src, dst]).expect("ALU form parses")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Display -> parse -> display must be a fixed point, and the encoding
+    /// length must be preserved exactly (the property relaxation needs).
+    #[test]
+    fn instruction_text_roundtrip(insn in alu_instruction()) {
+        let text = format!("\t{insn}\n");
+        let entries = mao_asm::parse(&text).expect("emitted instruction parses");
+        prop_assert_eq!(entries.len(), 1);
+        let back = entries[0].insn().expect("is an instruction");
+        prop_assert_eq!(&insn, back);
+        let l1 = encoded_length(&insn, BranchForm::Rel32).expect("encodes");
+        let l2 = encoded_length(back, BranchForm::Rel32).expect("encodes");
+        prop_assert_eq!(l1, l2);
+    }
+
+    /// Every encodable instruction is 1..=15 bytes (the x86 limit).
+    #[test]
+    fn encoded_lengths_are_architectural(insn in alu_instruction()) {
+        let len = encoded_length(&insn, BranchForm::Rel32).expect("encodes");
+        prop_assert!((1..=15).contains(&len));
+    }
+
+    /// Inserting NOPs never makes a branch encoding *shorter*, and
+    /// relaxation always converges (the §II fixed point).
+    #[test]
+    fn relaxation_is_monotone_under_padding(pad in 0usize..200) {
+        let body: String = "\tnop\n".repeat(pad);
+        let asm = format!("f:\n\tjmp .Lend\n{body}.Lend:\n\tret\n");
+        let unit = MaoUnit::parse(&asm).expect("parses");
+        let layout = relax(&unit).expect("converges");
+        let jmp = 1; // f: label is entry 0
+        let expected = if pad <= 0x7f { 2 } else { 5 };
+        prop_assert_eq!(layout.size[jmp], expected);
+        prop_assert!(layout.iterations <= mao::relax::MAX_ITERATIONS);
+    }
+
+    /// The NOP padder always produces exactly the requested byte count.
+    #[test]
+    fn nop_pad_is_exact(len in 1usize..64) {
+        let pad = Instruction::nop_pad(len);
+        let total: usize = pad
+            .iter()
+            .map(|i| encoded_length(i, BranchForm::Rel32).expect("nop encodes"))
+            .sum();
+        prop_assert_eq!(total, len);
+    }
+
+    /// Parsing arbitrary junk must error, never panic.
+    #[test]
+    fn parser_never_panics(line in "[ -~]{0,60}") {
+        let _ = mao_asm::parse(&line);
+    }
+
+    /// Random instruction streams survive the unit-level round trip.
+    #[test]
+    fn unit_roundtrip(insns in prop::collection::vec(alu_instruction(), 1..40)) {
+        let mut asm = String::from("f:\n");
+        for i in &insns {
+            asm.push_str(&format!("\t{i}\n"));
+        }
+        asm.push_str("\tret\n");
+        let a1 = MaoUnit::parse(&asm).expect("parses");
+        let a2 = MaoUnit::parse(&a1.emit()).expect("re-parses");
+        prop_assert_eq!(a1, a2);
+    }
+}
