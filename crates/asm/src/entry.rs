@@ -10,7 +10,7 @@ use std::fmt;
 use mao_x86::Instruction;
 
 /// A value inside a data directive (`.long 4`, `.quad .L42`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum DataItem {
     /// Constant value.
     Imm(i64),
@@ -28,7 +28,7 @@ impl fmt::Display for DataItem {
 }
 
 /// Width of a data directive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataWidth {
     /// `.byte`
     Byte,
@@ -63,7 +63,7 @@ impl DataWidth {
 }
 
 /// An alignment request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Align {
     /// Alignment in bytes (always a power of two).
     pub alignment: u64,
@@ -88,7 +88,7 @@ impl Align {
 }
 
 /// An assembly directive.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Directive {
     /// `.text`, `.data`, `.bss`, `.section name[,flags]`.
     Section {
@@ -251,7 +251,7 @@ impl fmt::Display for Directive {
 }
 
 /// One node of the parsed assembly file.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Entry {
     /// `name:`
     Label(String),

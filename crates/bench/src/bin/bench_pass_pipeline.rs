@@ -1,0 +1,203 @@
+//! `pass_throughput` benchmark mode: functions/sec through the default
+//! function-level pipeline at jobs=1 vs jobs=N, plus the single-threaded
+//! speedup of the incremental index + analysis cache over the pre-index
+//! O(F²) driver. Writes `BENCH_pass_pipeline.json`.
+//!
+//! Usage: `bench_pass_pipeline [--jobs N] [--scale S] [--out FILE]`
+//! (defaults: N=4, S=0.25 ≈ 200 functions, FILE=BENCH_pass_pipeline.json).
+
+use std::time::Instant;
+
+use mao::cfg::Cfg;
+use mao::dataflow::Liveness;
+use mao::pass::{
+    for_each_function_full_rebuild, parse_invocations, run_functions, run_pipeline_with,
+    PassContext, PipelineConfig, PipelineReport,
+};
+use mao::unit::EditSet;
+use mao::MaoUnit;
+use mao_corpus::{generate, GeneratorConfig};
+
+/// The function-level pipeline every measurement runs.
+const PIPELINE: &str = "REDZEXT:REDTEST:REDMOV:ADDADD:CONSTFOLD:DCE:SCHED";
+
+/// How many times the analysis-only workload walks all functions (models a
+/// pipeline of that many analysis passes over an unchanged unit).
+const ANALYSIS_ROUNDS: usize = 8;
+
+const SAMPLES: usize = 3;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Median wall-clock seconds of `SAMPLES` runs of `f`.
+fn time_median<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut last = None;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        let out = f();
+        times.push(t.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (median(times), last.unwrap())
+}
+
+/// Median wall-clock seconds of `SAMPLES` pipeline runs at the given job
+/// count. Parsing and cloning the unit happen outside the timed region —
+/// the benchmark measures pass throughput, not the (serial) parser.
+fn run_pipeline_at(base: &MaoUnit, jobs: usize) -> (f64, PipelineReport) {
+    let invs = parse_invocations(PIPELINE).unwrap();
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut last = None;
+    for _ in 0..SAMPLES {
+        let mut unit = base.clone();
+        let t = Instant::now();
+        let report = run_pipeline_with(&mut unit, &invs, None, &PipelineConfig { jobs })
+            .expect("pipeline runs");
+        times.push(t.elapsed().as_secs_f64());
+        last = Some(report);
+    }
+    (median(times), last.unwrap())
+}
+
+/// The pre-index analysis workload: every round recomputes the function
+/// views from scratch per function step (the old O(F²) driver) and builds
+/// CFG + liveness fresh.
+fn analysis_legacy(asm: &str) {
+    let mut unit = MaoUnit::parse(asm).expect("corpus parses");
+    for _ in 0..ANALYSIS_ROUNDS {
+        for_each_function_full_rebuild(&mut unit, |unit, function| {
+            let cfg = Cfg::build(unit, function);
+            let live = Liveness::compute(unit, &cfg);
+            std::hint::black_box((cfg.len(), live.live_in.len()));
+            Ok(EditSet::new())
+        })
+        .unwrap();
+    }
+}
+
+/// The same workload on the incremental index + analysis cache, still
+/// single-threaded: round 1 fills the cache, later rounds hit it.
+fn analysis_incremental(asm: &str) -> (u64, u64) {
+    let mut unit = MaoUnit::parse(asm).expect("corpus parses");
+    let mut ctx = PassContext::default();
+    ctx.jobs = 1;
+    for _ in 0..ANALYSIS_ROUNDS {
+        run_functions(&mut unit, &mut ctx, |unit, function, fctx| {
+            let cfg = fctx.cfg(unit, function);
+            let live = fctx.liveness(unit, function);
+            std::hint::black_box((cfg.len(), live.live_in.len()));
+            Ok(EditSet::new())
+        })
+        .unwrap();
+    }
+    let stats = ctx.analyses.stats();
+    (stats.hits, stats.misses)
+}
+
+fn main() {
+    let mut jobs = 4usize;
+    let mut scale = 0.25f64;
+    let mut out = String::from("BENCH_pass_pipeline.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => jobs = it.next().and_then(|v| v.parse().ok()).expect("--jobs N"),
+            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).expect("--scale S"),
+            "--out" => out = it.next().expect("--out FILE").clone(),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    if jobs == 0 {
+        jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    }
+
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let corpus = generate(&GeneratorConfig::core_library(scale));
+    let unit = MaoUnit::parse(&corpus.asm).expect("corpus parses");
+    let functions = unit.functions().len();
+    let entries = unit.len();
+    eprintln!("corpus: {functions} functions, {entries} entries (scale {scale}); {cpus} cpu(s)");
+
+    let _ = unit.functions_cached(); // build the index before cloning
+
+    eprintln!("pipeline `{PIPELINE}` at jobs=1 ...");
+    let (t1, report1) = run_pipeline_at(&unit, 1);
+    eprintln!("pipeline at jobs={jobs} ...");
+    let (tn, report_n) = run_pipeline_at(&unit, jobs);
+    let fps1 = functions as f64 / t1;
+    let fpsn = functions as f64 / tn;
+    let parallel_speedup = t1 / tn;
+
+    eprintln!("analysis workload, pre-index O(F^2) driver ...");
+    let (t_legacy, _) = time_median(|| analysis_legacy(&corpus.asm));
+    eprintln!("analysis workload, incremental index + cache ...");
+    let (t_incr, (hits, misses)) = time_median(|| analysis_incremental(&corpus.asm));
+    let single_thread_speedup = t_legacy / t_incr;
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+
+    let cache = report_n.cache;
+    let json = format!(
+        r#"{{
+  "benchmark": "pass_throughput",
+  "pipeline": "{PIPELINE}",
+  "corpus": {{ "scale": {scale}, "functions": {functions}, "entries": {entries} }},
+  "available_cpus": {cpus},
+  "jobs1": {{ "seconds": {t1:.6}, "functions_per_sec": {fps1:.1} }},
+  "jobsN": {{ "jobs": {jobs}, "seconds": {tn:.6}, "functions_per_sec": {fpsn:.1}, "speedup_vs_jobs1": {parallel_speedup:.3}, "speedup_bounded_by_cpus": {bounded} }},
+  "single_thread_incremental": {{
+    "legacy_full_rebuild_seconds": {t_legacy:.6},
+    "incremental_cached_seconds": {t_incr:.6},
+    "speedup": {single_thread_speedup:.3},
+    "analysis_rounds": {ANALYSIS_ROUNDS},
+    "cache_hits": {hits},
+    "cache_misses": {misses},
+    "cache_hit_rate": {hit_rate:.4}
+  }},
+  "pipeline_cache": {{ "hits": {ch}, "misses": {cm}, "hit_rate": {chr:.4} }}
+}}
+"#,
+        bounded = cpus < jobs,
+        ch = cache.hits,
+        cm = cache.misses,
+        chr = {
+            let total = cache.hits + cache.misses;
+            if total > 0 {
+                cache.hits as f64 / total as f64
+            } else {
+                0.0
+            }
+        },
+    );
+    std::fs::write(&out, &json).expect("write benchmark JSON");
+    println!("{json}");
+    println!("wrote {out}");
+    if cpus < jobs {
+        eprintln!(
+            "note: only {cpus} cpu(s) available — the jobs={jobs} measurement cannot \
+             exceed {cpus}x; re-run on a multi-core host to observe parallel speedup"
+        );
+    }
+    println!(
+        "summary: jobs={jobs} speedup {parallel_speedup:.2}x, \
+         single-thread incremental speedup {single_thread_speedup:.2}x, \
+         pipeline cache hit rate {:.1}%",
+        {
+            let total = cache.hits + cache.misses;
+            if total > 0 {
+                cache.hits as f64 / total as f64 * 100.0
+            } else {
+                0.0
+            }
+        }
+    );
+    drop(report1);
+}

@@ -1,0 +1,326 @@
+//! Per-function analysis memoization for the pass pipeline.
+//!
+//! Every structural pass starts the same way: build the function's CFG,
+//! often its loop nest and dataflow tables on top. Between passes that did
+//! not modify a function, those results are identical — the paper's pipeline
+//! recomputes them anyway. [`AnalysisCache`] memoizes CFG, loop structure,
+//! liveness, and reaching definitions per function, keyed by a content hash
+//! of the function's entries *and* their absolute positions, so any edit
+//! that changes or moves a function automatically misses.
+//!
+//! Invalidation is driven by [`MaoUnit::apply`]: interior edits shift entry
+//! ids (position is part of the key, so moved functions re-key), and
+//! structural edits bump [`MaoUnit::context_epoch`], which flushes the whole
+//! cache — necessary because CFG construction can read entries *outside*
+//! the function's spans (jump tables in `.rodata`) that the key does not
+//! cover.
+//!
+//! The cache is `Sync`: the parallel driver shares one instance across
+//! worker threads. Analyses are built lazily behind [`OnceLock`]s and handed
+//! out as [`Arc`]s, so a hit costs one hash, one lock acquisition, and a
+//! refcount bump.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::cfg::Cfg;
+use crate::dataflow::{Liveness, ReachingDefs};
+use crate::loops::{find_loops, LoopNest};
+use crate::unit::{Function, MaoUnit};
+
+/// Content key of a function: its absolute spans plus every entry in them.
+///
+/// Positions are part of the key on purpose: cached analyses store absolute
+/// entry ids (CFG blocks hold `EntryId`s), so a function whose body is
+/// unchanged but *shifted* by an edit to an earlier function must miss.
+pub fn function_key(unit: &MaoUnit, function: &Function) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    function.name.hash(&mut h);
+    function.label_id.hash(&mut h);
+    for span in &function.spans {
+        span.start.hash(&mut h);
+        span.end.hash(&mut h);
+    }
+    for id in function.entry_ids() {
+        unit.entry(id).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Lazily built analyses for one function at one content key.
+#[derive(Debug, Default)]
+pub struct FunctionAnalyses {
+    key: u64,
+    cfg: OnceLock<Arc<Cfg>>,
+    loops: OnceLock<Arc<LoopNest>>,
+    liveness: OnceLock<Arc<Liveness>>,
+    reaching: OnceLock<Arc<ReachingDefs>>,
+}
+
+impl FunctionAnalyses {
+    /// The content key these analyses were built against.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The function's CFG (default build options).
+    pub fn cfg(&self, unit: &MaoUnit, function: &Function) -> Arc<Cfg> {
+        debug_assert_eq!(
+            self.key,
+            function_key(unit, function),
+            "FunctionAnalyses used with a unit/function it was not keyed for"
+        );
+        self.cfg
+            .get_or_init(|| Arc::new(Cfg::build(unit, function)))
+            .clone()
+    }
+
+    /// The function's loop nest (Havlak over the cached CFG).
+    pub fn loops(&self, unit: &MaoUnit, function: &Function) -> Arc<LoopNest> {
+        self.loops
+            .get_or_init(|| Arc::new(find_loops(&self.cfg(unit, function))))
+            .clone()
+    }
+
+    /// Liveness over the cached CFG.
+    pub fn liveness(&self, unit: &MaoUnit, function: &Function) -> Arc<Liveness> {
+        self.liveness
+            .get_or_init(|| Arc::new(Liveness::compute(unit, &self.cfg(unit, function))))
+            .clone()
+    }
+
+    /// Reaching definitions over the cached CFG.
+    pub fn reaching(&self, unit: &MaoUnit, function: &Function) -> Arc<ReachingDefs> {
+        self.reaching
+            .get_or_init(|| Arc::new(ReachingDefs::compute(unit, &self.cfg(unit, function))))
+            .clone()
+    }
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    /// The `MaoUnit::context_epoch` the map contents are valid for.
+    epoch: u64,
+    /// Function name → analyses at that function's current key.
+    map: HashMap<String, Arc<FunctionAnalyses>>,
+}
+
+/// Hit/miss counters, cumulative over the cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that (re)built a `FunctionAnalyses` slot.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0.0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Shared, thread-safe per-function analysis cache.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    state: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AnalysisCache {
+    /// Empty cache.
+    pub fn new() -> AnalysisCache {
+        AnalysisCache::default()
+    }
+
+    /// The analyses slot for `function`, reused when both the unit's context
+    /// epoch and the function's content key are unchanged since the last
+    /// lookup, freshly allocated (a miss) otherwise.
+    pub fn for_function(&self, unit: &MaoUnit, function: &Function) -> Arc<FunctionAnalyses> {
+        let key = function_key(unit, function);
+        let mut state = self.state.lock().unwrap();
+        if state.epoch != unit.context_epoch() {
+            // Cross-function context (e.g. jump tables) may have changed;
+            // nothing keyed under the old epoch can be trusted.
+            state.map.clear();
+            state.epoch = unit.context_epoch();
+        }
+        if let Some(existing) = state.map.get(&function.name) {
+            if existing.key == key {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return existing.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(FunctionAnalyses {
+            key,
+            ..FunctionAnalyses::default()
+        });
+        state.map.insert(function.name.clone(), fresh.clone());
+        fresh
+    }
+
+    /// Drop every cached analysis (counters are kept).
+    pub fn clear(&self) {
+        self.state.lock().unwrap().map.clear();
+    }
+
+    /// Number of functions currently cached.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::EditSet;
+    use mao_x86::Instruction;
+
+    const TWO_FUNCS: &str = r#"
+	.text
+	.globl	f
+	.type	f, @function
+f:
+	push %rbp
+	pop %rbp
+	ret
+	.size	f, .-f
+	.globl	g
+	.type	g, @function
+g:
+	nop
+	nop
+	ret
+	.size	g, .-g
+"#;
+
+    #[test]
+    fn repeat_lookup_hits() {
+        let unit = MaoUnit::parse(TWO_FUNCS).unwrap();
+        let cache = AnalysisCache::new();
+        let f = unit.find_function("f").unwrap();
+        let a1 = cache.for_function(&unit, &f);
+        let cfg1 = a1.cfg(&unit, &f);
+        let a2 = cache.for_function(&unit, &f);
+        let cfg2 = a2.cfg(&unit, &f);
+        assert!(Arc::ptr_eq(&cfg1, &cfg2), "second lookup must reuse the CFG");
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn all_analyses_build_once() {
+        let unit = MaoUnit::parse(TWO_FUNCS).unwrap();
+        let cache = AnalysisCache::new();
+        let f = unit.find_function("f").unwrap();
+        let a = cache.for_function(&unit, &f);
+        let loops1 = a.loops(&unit, &f);
+        let loops2 = a.loops(&unit, &f);
+        assert!(Arc::ptr_eq(&loops1, &loops2));
+        let live1 = a.liveness(&unit, &f);
+        let live2 = a.liveness(&unit, &f);
+        assert!(Arc::ptr_eq(&live1, &live2));
+        let reach1 = a.reaching(&unit, &f);
+        let reach2 = a.reaching(&unit, &f);
+        assert!(Arc::ptr_eq(&reach1, &reach2));
+    }
+
+    /// Editing one function must invalidate it — and not its neighbours —
+    /// when the edit is interior (non-structural).
+    #[test]
+    fn interior_edit_invalidates_only_touched_function() {
+        let mut unit = MaoUnit::parse(TWO_FUNCS).unwrap();
+        let cache = AnalysisCache::new();
+
+        // g precedes nothing, so editing g leaves f's span untouched.
+        // Edit g (the later function) so f's spans do not shift.
+        let f = unit.find_function("f").unwrap();
+        let g = unit.find_function("g").unwrap();
+        let _ = cache.for_function(&unit, &f).cfg(&unit, &f);
+        let _ = cache.for_function(&unit, &g).cfg(&unit, &g);
+        let baseline = cache.stats();
+
+        let g_insn = g.entry_ids().find(|&id| unit.insn(id).is_some()).unwrap();
+        let mut edits = EditSet::new();
+        edits.replace_insn(g_insn, Instruction::nop_of_len(2));
+        unit.apply(edits);
+
+        let f2 = unit.find_function("f").unwrap();
+        let g2 = unit.find_function("g").unwrap();
+        let _ = cache.for_function(&unit, &f2); // unchanged → hit
+        let _ = cache.for_function(&unit, &g2); // edited → miss
+        let after = cache.stats();
+        assert_eq!(after.hits, baseline.hits + 1, "untouched f must hit");
+        assert_eq!(after.misses, baseline.misses + 1, "edited g must miss");
+    }
+
+    /// An edit to an EARLIER function shifts later functions; their content
+    /// is unchanged but their cached analyses hold stale absolute ids, so
+    /// they must miss.
+    #[test]
+    fn shifted_function_misses() {
+        let mut unit = MaoUnit::parse(TWO_FUNCS).unwrap();
+        let cache = AnalysisCache::new();
+        let f = unit.find_function("f").unwrap();
+        let g = unit.find_function("g").unwrap();
+        let _ = cache.for_function(&unit, &f);
+        let _ = cache.for_function(&unit, &g);
+        let baseline = cache.stats();
+
+        let f_insn = f.entry_ids().find(|&id| unit.insn(id).is_some()).unwrap();
+        let mut edits = EditSet::new();
+        edits.delete(f_insn);
+        unit.apply(edits);
+
+        let g2 = unit.find_function("g").unwrap();
+        let _ = cache.for_function(&unit, &g2);
+        assert_eq!(
+            cache.stats().misses,
+            baseline.misses + 1,
+            "shifted g holds stale entry ids and must be rebuilt"
+        );
+    }
+
+    /// A structural edit bumps the context epoch and flushes everything.
+    #[test]
+    fn epoch_bump_flushes_cache() {
+        let mut unit = MaoUnit::parse(TWO_FUNCS).unwrap();
+        let cache = AnalysisCache::new();
+        let f = unit.find_function("f").unwrap();
+        let _ = cache.for_function(&unit, &f);
+        assert_eq!(cache.len(), 1);
+
+        // Deleting a `.size` directive is fine, but deleting a label is
+        // structural — use entry_mut which conservatively bumps the epoch.
+        let _ = unit.entry_mut(0);
+        let f2 = unit.find_function("f").unwrap();
+        let _ = cache.for_function(&unit, &f2);
+        assert_eq!(
+            cache.stats().hits,
+            0,
+            "epoch bump must flush even content-identical entries"
+        );
+    }
+}

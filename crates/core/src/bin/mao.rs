@@ -15,12 +15,15 @@
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use mao::pass::{parse_invocations, registry, run_pipeline, PassInvocation};
+use mao::pass::{parse_invocations, registry, run_pipeline_with, PassInvocation, PipelineConfig};
 use mao::MaoUnit;
 
 fn usage() -> &'static str {
-    "usage: mao [--mao=PASS[=opt[val],...][:PASS...]]... [--list-passes] input.s\n\
+    "usage: mao [--mao=PASS[=opt[val],...][:PASS...]]... [--jobs N] [--list-passes] input.s\n\
      \n\
+     --jobs N   worker threads for function-level passes (0 = all cores;\n\
+     \x20           default 1, or the MAO_JOBS environment variable when set).\n\
+     \x20           Output is byte-identical for every N.\n\
      The ASM pseudo-pass emits assembly: ASM=o[/path/to/out.s] (default stdout).\n\
      Without any ASM pass, the transformed unit is emitted to stdout."
 }
@@ -30,12 +33,30 @@ fn main() -> ExitCode {
     let mut option_strings: Vec<String> = Vec::new();
     let mut inputs: Vec<String> = Vec::new();
     let mut list_passes = false;
+    // Default from the environment; --jobs on the command line wins.
+    let mut jobs: usize = std::env::var("MAO_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
 
-    for arg in &args {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
         if let Some(rest) = arg.strip_prefix("--mao=") {
             option_strings.push(rest.to_string());
         } else if arg == "--list-passes" {
             list_passes = true;
+        } else if arg == "--jobs" {
+            let Some(n) = iter.next().and_then(|v| v.parse().ok()) else {
+                eprintln!("mao: --jobs needs a numeric argument (0 = all cores)");
+                return ExitCode::FAILURE;
+            };
+            jobs = n;
+        } else if let Some(rest) = arg.strip_prefix("--jobs=") {
+            let Ok(n) = rest.parse() else {
+                eprintln!("mao: --jobs needs a numeric argument (0 = all cores)");
+                return ExitCode::FAILURE;
+            };
+            jobs = n;
         } else if arg == "--help" || arg == "-h" {
             println!("{}", usage());
             return ExitCode::SUCCESS;
@@ -92,13 +113,14 @@ fn main() -> ExitCode {
     }
 
     // Split out ASM pseudo-passes; run optimization segments between them.
+    let config = PipelineConfig { jobs };
     let mut emitted = false;
     let mut segment: Vec<PassInvocation> = Vec::new();
     let run_segment = |unit: &mut MaoUnit, segment: &mut Vec<PassInvocation>| -> bool {
         if segment.is_empty() {
             return true;
         }
-        match run_pipeline(unit, segment, None) {
+        match run_pipeline_with(unit, segment, None, &config) {
             Ok(report) => {
                 for line in &report.trace {
                     eprintln!("[mao] {line}");

@@ -32,6 +32,7 @@
 //! assert!(!unit.emit().contains("testl"));
 //! ```
 
+pub mod analysis_cache;
 pub mod cfg;
 pub mod dataflow;
 pub mod edgeprof;
@@ -42,7 +43,11 @@ pub mod profile;
 pub mod relax;
 pub mod unit;
 
-pub use pass::{parse_invocations, run_pipeline, MaoPass, PassContext, PassError, PassStats};
+pub use analysis_cache::{AnalysisCache, CacheStats, FunctionAnalyses};
+pub use pass::{
+    parse_invocations, run_functions, run_pipeline, run_pipeline_with, FnCtx, MaoPass,
+    PassContext, PassError, PassStats, PipelineConfig, PipelineReport,
+};
 pub use profile::{Profile, Sample, Site};
 pub use relax::{relax, Layout, RelaxError};
 pub use unit::{EditSet, EntryId, Function, MaoUnit, Section};

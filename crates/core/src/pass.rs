@@ -11,7 +11,10 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
+use crate::analysis_cache::{AnalysisCache, CacheStats};
 use crate::profile::Profile;
 use crate::unit::{EditSet, Function, MaoUnit};
 
@@ -129,6 +132,12 @@ pub struct PassContext {
     pub trace_stderr: bool,
     /// Hardware-counter / reuse-distance profile, when provided.
     pub profile: Option<Profile>,
+    /// Worker threads for the function-level driver (1 = sequential; the
+    /// pipeline sets this from [`PipelineConfig::jobs`]).
+    pub jobs: usize,
+    /// Shared per-function analysis cache, reused across passes of one
+    /// pipeline run and across worker threads.
+    pub analyses: Arc<AnalysisCache>,
 }
 
 impl PassContext {
@@ -171,15 +180,43 @@ pub trait MaoPass {
 }
 
 /// Run `body` for every function of the unit, applying each function's
-/// edits before moving to the next (entry ids shift after edits, so
-/// functions are recomputed each step).
+/// edits before moving to the next (entry ids shift after edits, so later
+/// functions see post-edit numbering).
+///
+/// Uses the unit's incremental index: only the current function is cloned
+/// per step, and interior edits patch the index in place instead of forcing
+/// an O(entries) rebuild — the driver is O(F · edit) instead of O(F²).
+/// A `debug_assert` inside [`MaoUnit::apply`] cross-checks every patched
+/// index against a full rebuild in test builds.
 pub fn for_each_function(
     unit: &mut MaoUnit,
     mut body: impl FnMut(&MaoUnit, &Function) -> Result<EditSet, PassError>,
 ) -> Result<(), PassError> {
     let mut k = 0;
     loop {
-        let functions = unit.functions();
+        let Some(function) = unit.functions_cached().get(k).cloned() else {
+            return Ok(());
+        };
+        let edits = body(unit, &function)?;
+        if !edits.is_empty() {
+            unit.apply(edits);
+        }
+        k += 1;
+    }
+}
+
+/// The pre-index driver: recompute every function view after every step.
+///
+/// Kept as the O(F²) baseline the throughput benchmark compares the
+/// incremental index against; passes should use [`for_each_function`] or
+/// [`run_functions`].
+pub fn for_each_function_full_rebuild(
+    unit: &mut MaoUnit,
+    mut body: impl FnMut(&MaoUnit, &Function) -> Result<EditSet, PassError>,
+) -> Result<(), PassError> {
+    let mut k = 0;
+    loop {
+        let functions = unit.functions_rebuilt();
         let Some(function) = functions.get(k) else {
             return Ok(());
         };
@@ -189,6 +226,157 @@ pub fn for_each_function(
         }
         k += 1;
     }
+}
+
+/// Per-function context handed to [`run_functions`] bodies.
+///
+/// Collects stats and trace output locally so function bodies can run on
+/// worker threads; the driver folds everything back into the pass's
+/// [`PassContext`] in function order, keeping output deterministic.
+pub struct FnCtx<'a> {
+    /// Options of the enclosing pass invocation.
+    pub options: &'a PassOptions,
+    /// Profile data, when the pipeline carries any.
+    pub profile: Option<&'a Profile>,
+    /// Shared analysis cache (CFG, loops, dataflow per function).
+    pub analyses: &'a AnalysisCache,
+    /// Stats for this function; summed across functions by the driver.
+    pub stats: PassStats,
+    trace_level: u8,
+    trace: Vec<(u8, String)>,
+}
+
+impl FnCtx<'_> {
+    /// Buffer a trace line at `level` (kept if `level <= trace_level`);
+    /// replayed into the pass context in function order after the run.
+    pub fn trace(&mut self, level: u8, msg: impl fmt::Display) {
+        if level <= self.trace_level {
+            self.trace.push((level, msg.to_string()));
+        }
+    }
+
+    /// The function's CFG, from the shared cache.
+    pub fn cfg(&self, unit: &MaoUnit, f: &Function) -> Arc<crate::cfg::Cfg> {
+        self.analyses.for_function(unit, f).cfg(unit, f)
+    }
+
+    /// The function's loop nest, from the shared cache.
+    pub fn loops(&self, unit: &MaoUnit, f: &Function) -> Arc<crate::loops::LoopNest> {
+        self.analyses.for_function(unit, f).loops(unit, f)
+    }
+
+    /// The function's liveness tables, from the shared cache.
+    pub fn liveness(&self, unit: &MaoUnit, f: &Function) -> Arc<crate::dataflow::Liveness> {
+        self.analyses.for_function(unit, f).liveness(unit, f)
+    }
+
+    /// The function's reaching definitions, from the shared cache.
+    pub fn reaching(&self, unit: &MaoUnit, f: &Function) -> Arc<crate::dataflow::ReachingDefs> {
+        self.analyses.for_function(unit, f).reaching(unit, f)
+    }
+}
+
+/// What one function's body run produced.
+struct FnOutcome {
+    edits: EditSet,
+    stats: PassStats,
+    trace: Vec<(u8, String)>,
+}
+
+/// Run `body` over every function against the *immutable* unit, then merge
+/// the per-function edit sets in function order and apply them once.
+///
+/// With `ctx.jobs <= 1` the functions run sequentially on the calling
+/// thread; otherwise they are distributed over `ctx.jobs` scoped worker
+/// threads. Both paths perform the identical computation — every body
+/// invocation sees the same pre-edit unit — so the resulting assembly is
+/// byte-identical regardless of the job count. This requires `body` to be
+/// function-local: it must only derive edits from the function it is given
+/// (plus read-only context like jump tables). Passes with cross-function
+/// ordering dependencies (a shared RNG stream, unit-global layout) must use
+/// [`for_each_function`] instead.
+///
+/// On error, the first failing function in function order wins and no edits
+/// are applied. Returns the summed stats; trace lines are replayed into
+/// `ctx` in function order.
+pub fn run_functions<F>(
+    unit: &mut MaoUnit,
+    ctx: &mut PassContext,
+    body: F,
+) -> Result<PassStats, PassError>
+where
+    F: Fn(&MaoUnit, &Function, &mut FnCtx) -> Result<EditSet, PassError> + Sync,
+{
+    let jobs = ctx.jobs.max(1);
+    let functions: Vec<Function> = unit.functions_cached().to_vec();
+    let n = functions.len();
+    let options = &ctx.options;
+    let profile = ctx.profile.as_ref();
+    let analyses: &AnalysisCache = &ctx.analyses;
+    let trace_level = ctx.trace_level;
+    let run_one = |unit: &MaoUnit, function: &Function| -> Result<FnOutcome, PassError> {
+        let mut fctx = FnCtx {
+            options,
+            profile,
+            analyses,
+            stats: PassStats::default(),
+            trace_level,
+            trace: Vec::new(),
+        };
+        let edits = body(unit, function, &mut fctx)?;
+        Ok(FnOutcome {
+            edits,
+            stats: fctx.stats,
+            trace: fctx.trace,
+        })
+    };
+
+    let outcomes: Vec<Option<Result<FnOutcome, PassError>>> = if jobs <= 1 || n <= 1 {
+        let shared: &MaoUnit = unit;
+        functions
+            .iter()
+            .map(|f| Some(run_one(shared, f)))
+            .collect()
+    } else {
+        let shared: &MaoUnit = unit;
+        let slots: Vec<Mutex<Option<Result<FnOutcome, PassError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(n) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let outcome = run_one(shared, &functions[i]);
+                    *slots[i].lock().unwrap() = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap())
+            .collect()
+    };
+
+    // Fold in function order: deterministic stats, trace, and edits.
+    let mut total = PassStats::default();
+    let mut merged = EditSet::new();
+    for outcome in outcomes {
+        let outcome = outcome.expect("every function slot is filled")?;
+        total.transformations += outcome.stats.transformations;
+        total.matches += outcome.stats.matches;
+        total.notes.extend(outcome.stats.notes);
+        for (level, line) in outcome.trace {
+            ctx.trace(level, line);
+        }
+        merged.merge(outcome.edits);
+    }
+    if !merged.is_empty() {
+        unit.apply(merged);
+    }
+    Ok(total)
 }
 
 /// Factory for registry entries.
@@ -261,6 +449,8 @@ pub struct PipelineReport {
     pub passes: Vec<(String, PassStats)>,
     /// Concatenated trace output.
     pub trace: Vec<String>,
+    /// Analysis cache hit/miss counters for the whole run.
+    pub cache: CacheStats,
 }
 
 impl PipelineReport {
@@ -275,15 +465,59 @@ impl PipelineReport {
     }
 }
 
-/// Run an ordered list of pass invocations over the unit.
+/// Pipeline-wide execution configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Worker threads for function-level passes. `0` = auto (the machine's
+    /// available parallelism); `1` = sequential.
+    pub jobs: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig { jobs: 1 }
+    }
+}
+
+impl PipelineConfig {
+    /// Resolve `jobs == 0` (auto) to the machine's available parallelism.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        }
+    }
+}
+
+/// Run an ordered list of pass invocations over the unit with the default
+/// configuration (sequential).
 pub fn run_pipeline(
     unit: &mut MaoUnit,
     invocations: &[PassInvocation],
     profile: Option<Profile>,
 ) -> Result<PipelineReport, PassError> {
+    run_pipeline_with(unit, invocations, profile, &PipelineConfig::default())
+}
+
+/// Run an ordered list of pass invocations over the unit.
+///
+/// One [`AnalysisCache`] is shared by every invocation (and every worker
+/// thread): passes that modify nothing reuse the previous pass's CFGs and
+/// dataflow tables wholesale.
+pub fn run_pipeline_with(
+    unit: &mut MaoUnit,
+    invocations: &[PassInvocation],
+    profile: Option<Profile>,
+    config: &PipelineConfig,
+) -> Result<PipelineReport, PassError> {
     let registry = registry();
     let mut report = PipelineReport::default();
     let mut profile = profile;
+    let analyses = Arc::new(AnalysisCache::new());
+    let jobs = config.effective_jobs();
     for inv in invocations {
         let factory = registry
             .get(inv.name.as_str())
@@ -291,6 +525,8 @@ pub fn run_pipeline(
         let pass = factory();
         let mut ctx = PassContext::from_options(inv.options.clone());
         ctx.profile = profile.take();
+        ctx.jobs = jobs;
+        ctx.analyses = analyses.clone();
         // Common options every pass supports (§III.A: "dumping the current
         // state of the IR before or after a given pass").
         if ctx.options.has("dump-before") {
@@ -308,6 +544,7 @@ pub fn run_pipeline(
         report.trace.append(&mut ctx.trace_lines);
         report.passes.push((inv.name.clone(), stats));
     }
+    report.cache = analyses.stats();
     Ok(report)
 }
 

@@ -17,8 +17,7 @@
 
 use mao_x86::{def_use, Mnemonic, Operand, Width};
 
-use crate::cfg::Cfg;
-use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
+use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
 
 /// The add/add folding pass.
@@ -63,10 +62,9 @@ impl MaoPass for AddAddFold {
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
-        let mut stats = PassStats::default();
         let analyze_only = ctx.options.has("count-only");
-        for_each_function(unit, |unit, function| {
-            let cfg = Cfg::build(unit, function);
+        let stats = run_functions(unit, ctx, |unit, function, fctx| {
+            let cfg = fctx.cfg(unit, function);
             let mut edits = EditSet::new();
             for block in &cfg.blocks {
                 let insns: Vec<_> = block.insns(unit).collect();
@@ -90,12 +88,12 @@ impl MaoPass for AddAddFold {
                                         Some(t) if i32::try_from(t).is_ok() => t,
                                         _ => break,
                                     };
-                                    stats.matched(1);
+                                    fctx.stats.matched(1);
                                     if !analyze_only {
                                         edits.delete(first_id);
                                         edits.replace_insn(second_id, folded(total, reg, width));
                                         consumed[between_pos] = true;
-                                        stats.transformed(1);
+                                        fctx.stats.transformed(1);
                                     }
                                 }
                                 break;

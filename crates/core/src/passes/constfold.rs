@@ -8,9 +8,7 @@
 
 use mao_x86::{def_use, Mnemonic, Operand, Width};
 
-use crate::cfg::Cfg;
-use crate::dataflow::Liveness;
-use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
+use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
 
 /// The constant folding pass.
@@ -71,10 +69,9 @@ impl MaoPass for ConstantFold {
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
-        let mut stats = PassStats::default();
-        for_each_function(unit, |unit, function| {
-            let cfg = Cfg::build(unit, function);
-            let liveness = Liveness::compute(unit, &cfg);
+        let stats = run_functions(unit, ctx, |unit, function, fctx| {
+            let cfg = fctx.cfg(unit, function);
+            let liveness = fctx.liveness(unit, function);
             let mut edits = EditSet::new();
             for (b, block) in cfg.blocks.iter().enumerate() {
                 // reg -> known constant.
@@ -102,7 +99,7 @@ impl MaoPass for ConstantFold {
                                     if !du.flags_def.intersects(flags_after)
                                         && !du.flags_undef.intersects(flags_after)
                                     {
-                                        stats.matched(1);
+                                        fctx.stats.matched(1);
                                         edits.replace_insn(
                                             id,
                                             mao_x86::insn::build::mov(
@@ -111,7 +108,7 @@ impl MaoPass for ConstantFold {
                                                 *dst,
                                             ),
                                         );
-                                        stats.transformed(1);
+                                        fctx.stats.transformed(1);
                                         known.insert(dst.id, (result, w));
                                         folded_this = true;
                                     }

@@ -11,8 +11,7 @@ use std::collections::HashSet;
 
 use mao_asm::{DataItem, Directive, Entry};
 
-use crate::cfg::Cfg;
-use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
+use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
 
 /// The unreachable-code elimination pass.
@@ -61,10 +60,9 @@ impl MaoPass for UnreachableCodeElim {
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
-        let mut stats = PassStats::default();
         let refs = referenced_labels(unit);
-        for_each_function(unit, |unit, function| {
-            let cfg = Cfg::build(unit, function);
+        let stats = run_functions(unit, ctx, |unit, function, fctx| {
+            let cfg = fctx.cfg(unit, function);
             let mut edits = EditSet::new();
             if cfg.unresolved_indirect {
                 // Flagged function: the safe policy is to not touch it.
@@ -79,7 +77,7 @@ impl MaoPass for UnreachableCodeElim {
                     match unit.entry(id) {
                         Entry::Insn(_) => {
                             edits.delete(id);
-                            stats.transformed(1);
+                            fctx.stats.transformed(1);
                         }
                         Entry::Label(l) if !refs.contains(l) => {
                             edits.delete(id);

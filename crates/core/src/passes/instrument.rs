@@ -13,7 +13,7 @@
 use mao_asm::Entry;
 use mao_x86::{Instruction, Mnemonic};
 
-use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
+use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::relax::relax;
 use crate::unit::{EditSet, EntryId, MaoUnit};
 
@@ -36,11 +36,11 @@ impl MaoPass for InstrumentPrep {
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
-        let mut stats = PassStats::default();
         let line = ctx.options.get_u64("line", 64).max(8);
 
-        // Phase 1: plant the probes.
-        for_each_function(unit, |unit, function| {
+        // Phase 1: plant the probes (function-local, runs on the parallel
+        // driver; phase 2 below is layout-global and stays sequential).
+        let mut stats = run_functions(unit, ctx, |unit, function, fctx| {
             let mut edits = EditSet::new();
             let probe = || vec![Entry::Insn(Instruction::nop_of_len(5))];
             // Entry: after the function label (so the label address stays the
@@ -49,7 +49,7 @@ impl MaoPass for InstrumentPrep {
             if let Some(first) = first_insn {
                 if !is_probe(unit, first) {
                     edits.insert_before(first, probe());
-                    stats.transformed(1);
+                    fctx.stats.transformed(1);
                 }
             }
             // Exits: before every ret whose predecessor is not already a probe.
@@ -62,7 +62,7 @@ impl MaoPass for InstrumentPrep {
                 let is_entry_probe_target = Some(id) == first_insn;
                 if !prev_is_probe && !is_entry_probe_target {
                     edits.insert_before(id, probe());
-                    stats.transformed(1);
+                    fctx.stats.transformed(1);
                 }
             }
             Ok(edits)

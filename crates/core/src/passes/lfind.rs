@@ -5,10 +5,9 @@
 //! over every function and report the loop structure graph through the
 //! tracing facility. Analysis-only; `matches` counts loops found.
 
-use crate::cfg::Cfg;
-use crate::loops::{find_loops, LoopKind, LoopNest};
-use crate::pass::{MaoPass, PassContext, PassError, PassStats};
-use crate::unit::MaoUnit;
+use crate::loops::{LoopKind, LoopNest};
+use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
+use crate::unit::{EditSet, MaoUnit};
 
 /// The loop-finding pass.
 #[derive(Debug, Default)]
@@ -44,13 +43,12 @@ impl MaoPass for LoopFinder {
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
-        let mut stats = PassStats::default();
-        for function in unit.functions() {
-            let cfg = Cfg::build(unit, &function);
-            let nest = find_loops(&cfg);
-            stats.matched(nest.len());
+        let stats = run_functions(unit, ctx, |unit, function, fctx| {
+            let cfg = fctx.cfg(unit, function);
+            let nest = fctx.loops(unit, function);
+            fctx.stats.matched(nest.len());
             if nest.is_empty() {
-                continue;
+                return Ok(EditSet::new());
             }
             let mut lines = vec![format!(
                 "{}: {} loop(s){}",
@@ -68,9 +66,10 @@ impl MaoPass for LoopFinder {
                 }
             }
             for line in lines {
-                ctx.trace(1, line);
+                fctx.trace(1, line);
             }
-        }
+            Ok(EditSet::new())
+        })?;
         ctx.trace(1, format!("LFIND: {} loop(s) total", stats.matches));
         Ok(stats)
     }

@@ -16,7 +16,7 @@ use mao_asm::Entry;
 use mao_x86::operand::Operand;
 use mao_x86::{def_use, Instruction, Mnemonic};
 
-use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
+use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::profile::Site;
 use crate::unit::{EditSet, MaoUnit};
 
@@ -34,13 +34,13 @@ impl MaoPass for InversePrefetch {
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
-        let mut stats = PassStats::default();
         let threshold = ctx.options.get_u64("threshold", 8192);
-        let Some(profile) = ctx.profile.clone() else {
+        if ctx.profile.is_none() {
             ctx.trace(1, "PREFNTA: no profile attached; nothing to do");
-            return Ok(stats);
-        };
-        for_each_function(unit, |unit, function| {
+            return Ok(PassStats::default());
+        }
+        let stats = run_functions(unit, ctx, |unit, function, fctx| {
+            let profile = fctx.profile.expect("checked above");
             let mut edits = EditSet::new();
             let mut insn_index = 0usize;
             for id in function.entry_ids() {
@@ -62,11 +62,11 @@ impl MaoPass for InversePrefetch {
                 if distance < threshold {
                     continue;
                 }
-                stats.matched(1);
+                fctx.stats.matched(1);
                 let prefetch =
                     Instruction::new(Mnemonic::Prefetchnta, vec![Operand::Mem(mem.clone())]);
                 edits.insert_before(id, vec![Entry::Insn(prefetch)]);
-                stats.transformed(1);
+                fctx.stats.transformed(1);
             }
             Ok(edits)
         })?;

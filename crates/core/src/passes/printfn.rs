@@ -19,7 +19,7 @@ impl MaoPass for PrintFunctions {
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
         let mut stats = PassStats::default();
-        for function in unit.functions() {
+        for function in unit.functions_cached() {
             ctx.trace(3, format!("Func: {}", function.name));
             stats.matched(1);
         }

@@ -23,8 +23,7 @@ use std::collections::HashMap;
 use mao_x86::operand::{Mem, Operand};
 use mao_x86::{def_use, Mnemonic, Reg, Width};
 
-use crate::cfg::Cfg;
-use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
+use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
 
 /// The redundant memory-access removal pass.
@@ -54,10 +53,9 @@ impl MaoPass for RedundantMemMove {
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
-        let mut stats = PassStats::default();
         let analyze_only = ctx.options.has("count-only");
-        for_each_function(unit, |unit, function| {
-            let cfg = Cfg::build(unit, function);
+        let stats = run_functions(unit, ctx, |unit, function, fctx| {
+            let cfg = fctx.cfg(unit, function);
             let mut edits = EditSet::new();
             for block in &cfg.blocks {
                 // Available loads: memory operand -> (dest holding it, width).
@@ -75,13 +73,13 @@ impl MaoPass for RedundantMemMove {
                     if let Some((mem, dest, width)) = as_load(insn) {
                         if let Some(&(held, held_width)) = available.get(mem) {
                             if held_width == width && held.id != dest.id {
-                                stats.matched(1);
+                                fctx.stats.matched(1);
                                 if !analyze_only {
                                     edits.replace_insn(
                                         id,
                                         mao_x86::insn::build::mov(width, held, dest),
                                     );
-                                    stats.transformed(1);
+                                    fctx.stats.transformed(1);
                                 }
                                 replaced = true;
                             }

@@ -17,9 +17,7 @@
 
 use mao_x86::{def_use, Flags, Mnemonic, Operand, Width};
 
-use crate::cfg::Cfg;
-use crate::dataflow::Liveness;
-use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
+use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
 
 /// The redundant test removal pass.
@@ -71,11 +69,10 @@ impl MaoPass for RedundantTest {
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
-        let mut stats = PassStats::default();
         let analyze_only = ctx.options.has("count-only");
-        for_each_function(unit, |unit, function| {
-            let cfg = Cfg::build(unit, function);
-            let liveness = Liveness::compute(unit, &cfg);
+        let stats = run_functions(unit, ctx, |unit, function, fctx| {
+            let cfg = fctx.cfg(unit, function);
+            let liveness = fctx.liveness(unit, function);
             let mut edits = EditSet::new();
             for (b, block) in cfg.blocks.iter().enumerate() {
                 let insns: Vec<_> = block.insns(unit).collect();
@@ -116,10 +113,10 @@ impl MaoPass for RedundantTest {
                     if !Flags::RESULT.contains(consumed) {
                         continue;
                     }
-                    stats.matched(1);
+                    fctx.stats.matched(1);
                     if !analyze_only {
                         edits.delete(id);
-                        stats.transformed(1);
+                        fctx.stats.transformed(1);
                     }
                 }
             }

@@ -14,8 +14,7 @@
 
 use mao_x86::{def_use, Mnemonic, Operand, Width};
 
-use crate::cfg::Cfg;
-use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
+use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
 
 /// The redundant zero-extension elimination pass.
@@ -43,11 +42,9 @@ impl MaoPass for RedundantZeroExtension {
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
-        let mut stats = PassStats::default();
         let analyze_only = ctx.options.has("count-only");
-        let mut trace: Vec<(u8, String)> = Vec::new();
-        for_each_function(unit, |unit, function| {
-            let cfg = Cfg::build(unit, function);
+        run_functions(unit, ctx, |unit, function, fctx| {
+            let cfg = fctx.cfg(unit, function);
             let mut edits = EditSet::new();
             for block in &cfg.blocks {
                 let insns: Vec<_> = block.insns(unit).collect();
@@ -77,21 +74,17 @@ impl MaoPass for RedundantZeroExtension {
                         break;
                     }
                     if redundant {
-                        stats.matched(1);
-                        trace.push((2, format!("{}: redundant `{insn}`", function.name)));
+                        fctx.stats.matched(1);
+                        fctx.trace(2, format!("{}: redundant `{insn}`", function.name));
                         if !analyze_only {
                             edits.delete(id);
-                            stats.transformed(1);
+                            fctx.stats.transformed(1);
                         }
                     }
                 }
             }
             Ok(edits)
-        })?;
-        for (level, msg) in trace {
-            ctx.trace(level, msg);
-        }
-        Ok(stats)
+        })
     }
 }
 

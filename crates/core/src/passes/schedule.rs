@@ -20,8 +20,7 @@ use std::collections::HashMap;
 
 use mao_x86::{def_use, Flags, Instruction, Mnemonic, RegId};
 
-use crate::cfg::Cfg;
-use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
+use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, EntryId, MaoUnit};
 
 /// Latency and port assignments for the scheduler's cost function.
@@ -323,14 +322,13 @@ impl MaoPass for ListSchedule {
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
-        let mut stats = PassStats::default();
         let model = CostModel::default();
         let policy = match ctx.options.get("policy") {
             Some("source-order") => Policy::SourceOrder,
             _ => Policy::CriticalPath,
         };
-        for_each_function(unit, |unit, function| {
-            let cfg = Cfg::build(unit, function);
+        let stats = run_functions(unit, ctx, |unit, function, fctx| {
+            let cfg = fctx.cfg(unit, function);
             let mut edits = EditSet::new();
             for block in &cfg.blocks {
                 let all: Vec<(EntryId, &Instruction)> = block.insns(unit).collect();
@@ -354,8 +352,8 @@ impl MaoPass for ListSchedule {
                 if moved == 0 {
                     continue;
                 }
-                stats.matched(1);
-                stats.transformed(moved);
+                fctx.stats.matched(1);
+                fctx.stats.transformed(moved);
                 for (slot, &src) in order.iter().enumerate() {
                     if slot != src {
                         edits.replace_insn(ids[slot], insns[src].clone());

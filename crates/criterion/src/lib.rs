@@ -1,0 +1,175 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so this crate implements
+//! the small criterion API surface the workspace's benches use — benchmark
+//! groups, `bench_function`, throughput annotation, and the
+//! `criterion_group!`/`criterion_main!` macros — over a plain wall-clock
+//! harness (fixed warm-up, median-of-samples reporting, no plots or
+//! statistical regression testing).
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Apply command-line configuration (accepted and ignored: the shim has
+    /// no tunables, but `cargo bench` passes `--bench` through).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl AsRef<str>) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {}", name.as_ref());
+        BenchmarkGroup {
+            _parent: self,
+            samples: 20,
+            throughput: None,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) {
+        run_one(name.as_ref(), 20, None, &mut f);
+    }
+
+    /// Print the trailing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Annotate per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(name.as_ref(), self.samples, self.throughput, &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, once per sample after one warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = std::hint::black_box(routine()); // warm-up
+        for _ in 0..self.target {
+            let t = Instant::now();
+            let out = routine();
+            self.samples.push(t.elapsed());
+            std::hint::black_box(out);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        target: samples,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {name:<32} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let rate = throughput
+        .map(|t| {
+            let per_sec = |n: u64| n as f64 / median.as_secs_f64();
+            match t {
+                Throughput::Elements(n) => format!("  {:>14.0} elem/s", per_sec(n)),
+                Throughput::Bytes(n) => format!("  {:>14.0} B/s", per_sec(n)),
+            }
+        })
+        .unwrap_or_default();
+    println!(
+        "  {name:<32} median {median:>12.3?}  (min {:?}, max {:?}, n={}){rate}",
+        b.samples[0],
+        b.samples[b.samples.len() - 1],
+        b.samples.len()
+    );
+}
+
+/// Group benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut ran = 0;
+        group.bench_function("counting", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran >= 3);
+    }
+}

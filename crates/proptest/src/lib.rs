@@ -1,0 +1,451 @@
+//! Vendored offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so this crate provides the
+//! slice of the proptest API the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_filter`, tuple
+//! strategies, integer-range strategies, `prop::sample::select`,
+//! `prop::option::of`, `prop::collection::vec`, `any::<T>()`, a
+//! character-class string strategy (`"[ -~]{0,60}"`), and the [`proptest!`]
+//! macro with `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from real proptest: cases are generated from a fixed seed
+//! (fully deterministic runs) and failures are reported via panic without
+//! shrinking — the failing value is printed instead.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::TestRng;
+    use rand::RngExt;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values passing `pred` (bounded retries).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter `{}` rejected 1000 candidates", self.reason);
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// String strategies from a character-class pattern such as
+    /// `"[ -~]{0,60}"`: a `[lo-hi]` class followed by a `{min,max}` length.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi, min, max) =
+                parse_class_pattern(self).unwrap_or_else(|| {
+                    panic!("unsupported string pattern `{self}` (shim handles `[a-b]{{m,n}}`)")
+                });
+            let len = rng.random_range(min..=max);
+            (0..len)
+                .map(|_| rng.random_range(lo as u32..=hi as u32))
+                .filter_map(char::from_u32)
+                .collect()
+        }
+    }
+
+    /// Parse `[<lo>-<hi>]{<min>,<max>}` into its parts.
+    fn parse_class_pattern(p: &str) -> Option<(char, char, usize, usize)> {
+        let rest = p.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let mut chars = class.chars();
+        let lo = chars.next()?;
+        if chars.next()? != '-' {
+            return None;
+        }
+        let hi = chars.next()?;
+        let rest = rest.strip_prefix('{')?;
+        let body = rest.strip_suffix('}')?;
+        let (min, max) = match body.split_once(',') {
+            Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+            None => {
+                let n = body.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        Some((lo, hi, min, max))
+    }
+}
+
+/// The deterministic generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Values with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $via:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                let raw: u64 = rng.random();
+                raw as $via as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+                    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random()
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` strategy: arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod sample {
+    //! `prop::sample` equivalents.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::RngExt;
+
+    /// Uniformly select one of the given values.
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.choices[rng.random_range(0..self.choices.len())].clone()
+        }
+    }
+
+    /// `prop::sample::select`: pick uniformly from `choices`.
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select from an empty list");
+        Select { choices }
+    }
+}
+
+pub mod option {
+    //! `prop::option` equivalents.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::RngExt;
+
+    /// Strategy for `Option<T>` (3/4 `Some`, like proptest's default
+    /// weighting toward interesting values).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.random_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+
+    /// `prop::option::of`: `None` or a value of the inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod collection {
+    //! `prop::collection` equivalents.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::RngExt;
+
+    /// Strategy for vectors with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        inner: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.min..=self.max);
+            (0..len).map(|_| self.inner.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec`: vectors of `inner` with length in `len`.
+    pub fn vec<S: Strategy>(inner: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy {
+            inner,
+            min: len.start,
+            max: len.end - 1,
+        }
+    }
+}
+
+/// Per-`proptest!` configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Seed a per-test generator; deterministic per test name.
+pub fn test_rng(test_name: &str) -> TestRng {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut h);
+    StdRng::seed_from_u64(h.finish() ^ 0x9e37_79b9_7f4a_7c15)
+}
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude::*`.
+
+    pub use crate::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        //! The `prop::` module-path aliases.
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Assert a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Define property tests: each `#[test] fn name(x in strategy, ...)` body
+/// runs once per generated case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    // The user's own `#[test]` attribute is captured by the meta repetition
+    // and re-emitted with the rest.
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            $(let $arg = &($strat);)+
+            for _case in 0..cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate($arg, &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($cfg:expr;) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn class_pattern_strings() {
+        let mut rng = crate::test_rng("class_pattern_strings");
+        let s: String = Strategy::generate(&"[a-c]{2,4}", &mut rng);
+        assert!((2..=4).contains(&s.len()));
+        assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Macro smoke test: tuple + range + select + map all compose.
+        #[test]
+        fn macro_generates(v in prop::collection::vec(0u8..10, 1..5),
+                           x in (0usize..3).prop_map(|n| n * 2)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&b| b < 10));
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

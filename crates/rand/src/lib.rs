@@ -1,0 +1,234 @@
+//! Vendored offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so instead of pulling
+//! `rand` from a registry this workspace vendors the tiny API surface it
+//! actually uses: a seedable generator (`rngs::StdRng`), `SeedableRng`, and
+//! the `RngExt` sampling methods (`random`, `random_range`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — small, fast,
+//! and deterministic for a given seed, which is all the corpus generator,
+//! the Nopinizer pass and the probe sequences need ("a random number seed
+//! can be specified to produce repeatable results").
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64, used to expand one u64 seed into the full generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    //! Concrete generator types, mirroring `rand::rngs`.
+
+    use super::splitmix64;
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Next raw 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Types samplable uniformly from the generator's full output range.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// The sampling methods every generator offers (`rand`'s `Rng` trait; the
+/// 0.9+ line renamed the methods to `random*`).
+pub trait RngExt {
+    /// Uniform value over the type's natural range.
+    fn random<T: Standard>(&mut self) -> T;
+
+    /// Uniform value in `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl RngExt for StdRng {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unit_floats() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.random_range(0..4u32);
+            assert!(v < 4);
+            let w = rng.random_range(1..=3usize);
+            assert!((1..=3).contains(&w));
+            let x = rng.random_range(-5..5i32);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn covers_full_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[rng.random_range(0..4u32) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

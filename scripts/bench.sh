@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Run the pass-pipeline throughput benchmark and write BENCH_pass_pipeline.json
+# at the repo root. Arguments are forwarded to the benchmark binary, e.g.
+#
+#   scripts/bench.sh --jobs 8 --scale 0.5
+#
+# Defaults: --jobs 4 --scale 0.25 (~200 functions) --out BENCH_pass_pipeline.json.
+# On a single-core host the jobs=N measurement cannot show parallel speedup;
+# the JSON records `available_cpus` and flags that case.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p mao-bench --bin bench_pass_pipeline -- "$@"

@@ -1,0 +1,88 @@
+//! Parallel-pipeline determinism: running the function-level passes over a
+//! multi-function corpus must produce byte-identical assembly for every job
+//! count, and the shared analysis cache must actually get hits across
+//! passes.
+
+use mao::pass::{parse_invocations, run_pipeline_with, PipelineConfig};
+use mao::MaoUnit;
+use mao_corpus::{generate, GeneratorConfig};
+
+/// The function-level default pipeline (every pass migrated to the parallel
+/// driver; unit-global layout passes are exercised separately below).
+const PIPELINE: &str = "MAOPASS:LFIND:REDZEXT:REDTEST:REDMOV:ADDADD:CONSTFOLD:DCE:SCHED";
+
+fn corpus_unit(scale: f64) -> MaoUnit {
+    let corpus = generate(&GeneratorConfig::core_library(scale));
+    MaoUnit::parse(&corpus.asm).expect("generated corpus parses")
+}
+
+fn run_with_jobs(jobs: usize, scale: f64) -> (String, mao::PipelineReport) {
+    let mut unit = corpus_unit(scale);
+    let invs = parse_invocations(PIPELINE).unwrap();
+    let report = run_pipeline_with(&mut unit, &invs, None, &PipelineConfig { jobs })
+        .expect("pipeline runs");
+    (unit.emit(), report)
+}
+
+#[test]
+fn jobs_1_and_8_are_byte_identical() {
+    // ~40 functions: enough that work stealing interleaves worker order.
+    let (seq, seq_report) = run_with_jobs(1, 0.05);
+    let (par, par_report) = run_with_jobs(8, 0.05);
+    assert_eq!(seq, par, "assembly must not depend on the job count");
+    assert!(
+        seq_report.total_transformations() > 0,
+        "the corpus must exercise the passes ({:?})",
+        seq_report.passes
+    );
+    assert_eq!(
+        seq_report
+            .passes
+            .iter()
+            .map(|(n, s)| (n.clone(), s.transformations, s.matches))
+            .collect::<Vec<_>>(),
+        par_report
+            .passes
+            .iter()
+            .map(|(n, s)| (n.clone(), s.transformations, s.matches))
+            .collect::<Vec<_>>(),
+        "per-pass stats must not depend on the job count"
+    );
+    assert_eq!(
+        seq_report.trace, par_report.trace,
+        "trace output must not depend on the job count"
+    );
+}
+
+#[test]
+fn auto_jobs_matches_sequential() {
+    let (seq, _) = run_with_jobs(1, 0.02);
+    let (auto, _) = run_with_jobs(0, 0.02); // 0 = available parallelism
+    assert_eq!(seq, auto);
+}
+
+#[test]
+fn analysis_cache_gets_hits_across_passes() {
+    // Several passes request the same functions' CFGs; functions the early
+    // passes did not edit must be served from the cache.
+    let (_, report) = run_with_jobs(4, 0.02);
+    assert!(
+        report.cache.hits > 0,
+        "expected cross-pass cache hits, got {:?}",
+        report.cache
+    );
+    assert!(report.cache.misses > 0);
+}
+
+/// The layout-global passes (LOOP16, BRALIGN, INSTPREP's phase 2) stay on
+/// the sequential path by design, but must still behave identically under a
+/// parallel PipelineConfig.
+#[test]
+fn layout_passes_unaffected_by_jobs() {
+    let invs = parse_invocations("INSTPREP:LOOP16:BRALIGN").unwrap();
+    let mut a = corpus_unit(0.01);
+    let mut b = corpus_unit(0.01);
+    run_pipeline_with(&mut a, &invs, None, &PipelineConfig { jobs: 1 }).unwrap();
+    run_pipeline_with(&mut b, &invs, None, &PipelineConfig { jobs: 8 }).unwrap();
+    assert_eq!(a.emit(), b.emit());
+}
