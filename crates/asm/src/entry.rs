@@ -187,65 +187,65 @@ fn escape(s: &str) -> String {
 
 impl fmt::Display for Directive {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            match self {
-                Directive::Section { name, args } => {
-                    if matches!(name.as_str(), ".text" | ".data" | ".bss") && args.is_empty() {
-                        write!(f, "{name}")
-                    } else {
-                        write!(f, ".section {name}")?;
-                        for a in args {
-                            write!(f, ",{a}")?;
-                        }
-                        Ok(())
-                    }
-                }
-                Directive::Global(s) => write!(f, ".globl {s}"),
-                Directive::Type { symbol, kind } => write!(f, ".type {symbol}, @{kind}"),
-                Directive::Size { symbol, expr } => write!(f, ".size {symbol}, {expr}"),
-                Directive::Align(a) => {
-                    if a.p2_form {
-                        write!(f, ".p2align {}", a.alignment.trailing_zeros())?;
-                    } else {
-                        write!(f, ".align {}", a.alignment)?;
-                    }
-                    match (a.fill, a.max_skip) {
-                        (None, None) => Ok(()),
-                        (Some(fill), None) => write!(f, ",{fill}"),
-                        (None, Some(max)) => write!(f, ",,{max}"),
-                        (Some(fill), Some(max)) => write!(f, ",{fill},{max}"),
-                    }
-                }
-                Directive::Data { width, items } => {
-                    write!(f, "{} ", width.name())?;
-                    for (i, item) in items.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{item}")?;
-                    }
-                    Ok(())
-                }
-                Directive::Ascii(s) => write!(f, ".ascii \"{}\"", escape(s)),
-                Directive::Asciz(s) => write!(f, ".asciz \"{}\"", escape(s)),
-                Directive::Zero(n) => write!(f, ".zero {n}"),
-                Directive::Comm {
-                    symbol,
-                    size,
-                    align,
-                } => {
-                    write!(f, ".comm {symbol},{size}")?;
-                    if let Some(a) = align {
+        match self {
+            Directive::Section { name, args } => {
+                if matches!(name.as_str(), ".text" | ".data" | ".bss") && args.is_empty() {
+                    write!(f, "{name}")
+                } else {
+                    write!(f, ".section {name}")?;
+                    for a in args {
                         write!(f, ",{a}")?;
                     }
                     Ok(())
                 }
-                Directive::Other { name, args } => {
-                    if args.is_empty() {
-                        write!(f, "{name}")
-                    } else {
-                        write!(f, "{name} {args}")
-                    }
+            }
+            Directive::Global(s) => write!(f, ".globl {s}"),
+            Directive::Type { symbol, kind } => write!(f, ".type {symbol}, @{kind}"),
+            Directive::Size { symbol, expr } => write!(f, ".size {symbol}, {expr}"),
+            Directive::Align(a) => {
+                if a.p2_form {
+                    write!(f, ".p2align {}", a.alignment.trailing_zeros())?;
+                } else {
+                    write!(f, ".align {}", a.alignment)?;
                 }
+                match (a.fill, a.max_skip) {
+                    (None, None) => Ok(()),
+                    (Some(fill), None) => write!(f, ",{fill}"),
+                    (None, Some(max)) => write!(f, ",,{max}"),
+                    (Some(fill), Some(max)) => write!(f, ",{fill},{max}"),
+                }
+            }
+            Directive::Data { width, items } => {
+                write!(f, "{} ", width.name())?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                Ok(())
+            }
+            Directive::Ascii(s) => write!(f, ".ascii \"{}\"", escape(s)),
+            Directive::Asciz(s) => write!(f, ".asciz \"{}\"", escape(s)),
+            Directive::Zero(n) => write!(f, ".zero {n}"),
+            Directive::Comm {
+                symbol,
+                size,
+                align,
+            } => {
+                write!(f, ".comm {symbol},{size}")?;
+                if let Some(a) = align {
+                    write!(f, ",{a}")?;
+                }
+                Ok(())
+            }
+            Directive::Other { name, args } => {
+                if args.is_empty() {
+                    write!(f, "{name}")
+                } else {
+                    write!(f, "{name} {args}")
+                }
+            }
         }
     }
 }

@@ -14,18 +14,24 @@ use mao_x86::reg::{parse_reg_name, Reg};
 
 use crate::entry::{Align, DataItem, DataWidth, Directive, Entry};
 
-/// Parse failure, with the 1-based source line.
+/// Parse failure, with the 1-based source line and the offending text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line number.
     pub line: usize,
     /// Explanation.
     pub message: String,
+    /// The source line that failed, trimmed (empty if unavailable).
+    pub text: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.line, self.message)?;
+        if !self.text.is_empty() {
+            write!(f, " in `{}`", self.text)?;
+        }
+        Ok(())
     }
 }
 
@@ -49,7 +55,14 @@ pub fn parse(text: &str) -> Result<Vec<Entry>, ParseError> {
             if stmt.is_empty() {
                 continue;
             }
-            parse_statement(stmt, lineno, &mut entries)?;
+            // Helpers report line + message; the raw source line is only
+            // known here, so attach it on the way out.
+            parse_statement(stmt, lineno, &mut entries).map_err(|mut e| {
+                if e.text.is_empty() {
+                    e.text = raw_line.trim().to_string();
+                }
+                e
+            })?;
         }
     }
     Ok(entries)
@@ -129,6 +142,7 @@ fn err(lineno: usize, message: impl Into<String>) -> ParseError {
     ParseError {
         line: lineno,
         message: message.into(),
+        text: String::new(),
     }
 }
 
@@ -237,8 +251,7 @@ fn parse_mem(s: &str, lineno: usize) -> Result<Mem, ParseError> {
         }
         if let Some(sc) = parts.get(2) {
             if !sc.is_empty() {
-                let v = parse_int(sc)
-                    .ok_or_else(|| err(lineno, format!("bad scale `{sc}`")))?;
+                let v = parse_int(sc).ok_or_else(|| err(lineno, format!("bad scale `{sc}`")))?;
                 if ![1, 2, 4, 8].contains(&v) {
                     return Err(err(lineno, format!("invalid scale {v}")));
                 }
@@ -266,18 +279,22 @@ fn split_operands(s: &str) -> Vec<&str> {
         }
     }
     out.push(&s[start..]);
-    out.iter().map(|p| p.trim()).filter(|p| !p.is_empty()).collect()
+    out.iter()
+        .map(|p| p.trim())
+        .filter(|p| !p.is_empty())
+        .collect()
 }
 
 fn parse_operand(s: &str, is_branch: bool, lineno: usize) -> Result<Operand, ParseError> {
     let s = s.trim();
     if let Some(imm) = s.strip_prefix('$') {
-        let v = parse_int(imm)
-            .ok_or_else(|| err(lineno, format!("unsupported immediate `{s}`")))?;
+        let v =
+            parse_int(imm).ok_or_else(|| err(lineno, format!("unsupported immediate `{s}`")))?;
         return Ok(Operand::Imm(v));
     }
     if let Some(reg) = s.strip_prefix('%') {
-        let r = parse_reg_name(reg).ok_or_else(|| err(lineno, format!("unknown register `{s}`")))?;
+        let r =
+            parse_reg_name(reg).ok_or_else(|| err(lineno, format!("unknown register `{s}`")))?;
         return Ok(Operand::Reg(r));
     }
     if let Some(ind) = s.strip_prefix('*') {
@@ -680,7 +697,9 @@ mod tests {
         assert!(
             matches!(&dirs[4], Directive::Align(a) if a.alignment == 16 && a.max_skip == Some(15))
         );
-        assert!(matches!(&dirs[5], Directive::Section { name, args } if name == ".rodata" && args.len() == 2));
+        assert!(
+            matches!(&dirs[5], Directive::Section { name, args } if name == ".rodata" && args.len() == 2)
+        );
         assert!(matches!(&dirs[6], Directive::Align(a) if a.alignment == 8 && !a.p2_form));
         assert!(
             matches!(&dirs[7], Directive::Data { width: DataWidth::Quad, items } if items[0] == DataItem::Symbol(".L4".into()))
@@ -699,6 +718,70 @@ mod tests {
         assert!(e.message.contains("bogus"));
         let e = parse(".align 3\n").unwrap_err();
         assert!(e.message.contains("power of two"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_error_carries_line_and_text() {
+        let e = parse("nop\nnop\nfrobnicate %eax, %ebx\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.text, "frobnicate %eax, %ebx");
+        let rendered = e.to_string();
+        assert!(rendered.contains("line 3"), "{rendered}");
+        assert!(rendered.contains("frobnicate %eax, %ebx"), "{rendered}");
+    }
+
+    #[test]
+    fn bad_register_error_carries_line_and_text() {
+        let e = parse("\tret\n\tmovl %eax, %exx\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        // The offending line is reported trimmed, without the leading tab.
+        assert_eq!(e.text, "movl %eax, %exx");
+        assert!(e.message.contains("%exx"), "{}", e.message);
+    }
+
+    #[test]
+    fn bad_memory_operand_error_carries_line_and_text() {
+        let e = parse("movq 8(%rsp, %rax\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.text, "movq 8(%rsp, %rax");
+        assert!(e.message.contains("missing `)`"), "{}", e.message);
+        let e = parse("nop\nmovl $1, 8(%rsp,%rax,3)\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("invalid scale 3"), "{}", e.message);
+        assert_eq!(e.text, "movl $1, 8(%rsp,%rax,3)");
+    }
+
+    #[test]
+    fn bad_directive_error_carries_line_and_text() {
+        let e = parse(".text\n.type main\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.text, ".type main");
+        assert!(e.message.contains(".type"), "{}", e.message);
+        let e = parse(".ascii unquoted\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.text, ".ascii unquoted");
+        assert!(e.message.contains("quoted"), "{}", e.message);
+    }
+
+    #[test]
+    fn bad_immediate_and_branch_target_carry_line_and_text() {
+        let e = parse("addl $banana, %eax\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.text, "addl $banana, %eax");
+        assert!(e.message.contains("$banana"), "{}", e.message);
+        let e = parse("nop\nnop\njmp foo(bar\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.text, "jmp foo(bar");
+    }
+
+    #[test]
+    fn error_text_is_per_statement_line_not_whole_input() {
+        // Multi-statement lines still report the full source line, and the
+        // error points at the right line of a longer file.
+        let text = ".text\nmain:\n\tpush %rbp; frobnicate\n\tret\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert_eq!(e.text, "push %rbp; frobnicate");
     }
 
     #[test]

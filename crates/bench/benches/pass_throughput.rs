@@ -16,7 +16,17 @@ fn bench_passes(c: &mut Criterion) {
     let unit = MaoUnit::parse(&text).expect("corpus parses");
     let mut group = c.benchmark_group("pass_throughput");
     group.sample_size(10);
-    for pass in ["REDZEXT", "REDTEST", "REDMOV", "ADDADD", "CONSTFOLD", "DCE", "SCHED", "LOOP16", "NOPKILL"] {
+    for pass in [
+        "REDZEXT",
+        "REDTEST",
+        "REDMOV",
+        "ADDADD",
+        "CONSTFOLD",
+        "DCE",
+        "SCHED",
+        "LOOP16",
+        "NOPKILL",
+    ] {
         group.bench_function(pass, |b| {
             let invs = parse_invocations(pass).expect("valid");
             b.iter(|| {

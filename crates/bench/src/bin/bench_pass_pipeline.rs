@@ -98,6 +98,14 @@ fn analysis_incremental(asm: &str) -> (u64, u64) {
     (stats.hits, stats.misses)
 }
 
+const USAGE: &str = "usage: bench_pass_pipeline [--jobs N] [--scale S] [--out FILE]\n\
+    (defaults: N=4, S=0.25, FILE=BENCH_pass_pipeline.json)";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("bench_pass_pipeline: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
     let mut jobs = 4usize;
     let mut scale = 0.25f64;
@@ -106,17 +114,34 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--jobs" => jobs = it.next().and_then(|v| v.parse().ok()).expect("--jobs N"),
-            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).expect("--scale S"),
-            "--out" => out = it.next().expect("--out FILE").clone(),
-            other => panic!("unknown argument `{other}`"),
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => jobs = n,
+                None => usage_error("--jobs needs a numeric value"),
+            },
+            "--scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => scale = s,
+                None => usage_error("--scale needs a numeric value"),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = f.clone(),
+                None => usage_error("--out needs a file name"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument `{other}`")),
         }
     }
     if jobs == 0 {
-        jobs = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        jobs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
     }
 
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let corpus = generate(&GeneratorConfig::core_library(scale));
     let unit = MaoUnit::parse(&corpus.asm).expect("corpus parses");
     let functions = unit.functions().len();

@@ -1,0 +1,155 @@
+//! `serve` benchmark mode: requests/sec through the daemon's [`Engine`]
+//! with a cold result cache (every request optimizes) vs a warm one (every
+//! request is a content-addressed hit). Writes `BENCH_serve.json`.
+//!
+//! The engine is driven in-process — the same code path `mao serve` and
+//! `mao batch` use, minus socket framing — so the measured speedup is the
+//! cache's, not the transport's.
+//!
+//! Usage: `bench_serve [--requests R] [--scale S] [--workers W] [--jobs J]
+//! [--out FILE]` (defaults: R=32, S=0.1, W=2, J=1,
+//! FILE=BENCH_serve.json).
+
+use std::time::Instant;
+
+use mao_corpus::{generate, GeneratorConfig};
+use mao_serve::engine::{Engine, EngineConfig};
+use mao_serve::protocol::{OptimizeRequest, Request, Response};
+
+/// The pipeline every request runs (the default function-level set).
+const PIPELINE: &str = "REDZEXT:REDTEST:REDMOV:ADDADD:CONSTFOLD:DCE:SCHED";
+
+const USAGE: &str =
+    "usage: bench_serve [--requests R] [--scale S] [--workers W] [--jobs J] [--out FILE]\n\
+    (defaults: R=32, S=0.1, W=2, J=1, FILE=BENCH_serve.json)";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("bench_serve: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut requests = 32usize;
+    let mut scale = 0.1f64;
+    let mut workers = 2usize;
+    let mut jobs = 1usize;
+    let mut out = String::from("BENCH_serve.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--requests" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => requests = n,
+                None => usage_error("--requests needs a numeric value"),
+            },
+            "--scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => scale = s,
+                None => usage_error("--scale needs a numeric value"),
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(w) => workers = w,
+                None => usage_error("--workers needs a numeric value"),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(j) => jobs = j,
+                None => usage_error("--jobs needs a numeric value"),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = f.clone(),
+                None => usage_error("--out needs a file name"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if requests == 0 {
+        usage_error("--requests must be at least 1");
+    }
+
+    let corpus = generate(&GeneratorConfig::core_library(scale));
+    // R distinct inputs: a unique comment line changes the content hash but
+    // not the optimization work, so every cold request pays the full
+    // parse+optimize cost and every warm repeat is a pure cache hit.
+    let inputs: Vec<String> = (0..requests)
+        .map(|i| format!("# bench_serve request {i}\n{}", corpus.asm))
+        .collect();
+    eprintln!(
+        "corpus: {} bytes/request (scale {scale}), {requests} distinct requests, \
+         workers={workers}, jobs={jobs}",
+        inputs[0].len()
+    );
+
+    let engine = Engine::new(EngineConfig {
+        workers,
+        jobs,
+        result_cache_capacity: requests * 2,
+        ..EngineConfig::default()
+    });
+    let run_round = |label: &str| -> f64 {
+        eprintln!("{label} round ...");
+        let t = Instant::now();
+        for asm in &inputs {
+            let response = engine.handle(Request::Optimize(OptimizeRequest {
+                asm: asm.clone(),
+                passes: PIPELINE.to_string(),
+                jobs: None,
+                timeout_ms: Some(0), // no per-request deadline while measuring
+                use_cache: true,
+            }));
+            match response {
+                Response::Optimized { .. } => {}
+                other => {
+                    eprintln!("bench_serve: request failed: {}", other.to_json_text());
+                    std::process::exit(1);
+                }
+            }
+        }
+        t.elapsed().as_secs_f64()
+    };
+
+    let cold_seconds = run_round("cold");
+    let warm_seconds = run_round("warm");
+    let stats = engine.result_cache_stats();
+    if stats.misses != requests as u64 || stats.hits != requests as u64 {
+        eprintln!(
+            "bench_serve: unexpected cache traffic (hits {}, misses {}) for {requests} requests",
+            stats.hits, stats.misses
+        );
+        std::process::exit(1);
+    }
+
+    let cold_rps = requests as f64 / cold_seconds;
+    let warm_rps = requests as f64 / warm_seconds;
+    let speedup = cold_seconds / warm_seconds;
+    let json = format!(
+        r#"{{
+  "benchmark": "serve",
+  "pipeline": "{PIPELINE}",
+  "corpus": {{ "scale": {scale}, "bytes_per_request": {bytes} }},
+  "requests": {requests},
+  "workers": {workers},
+  "jobs": {jobs},
+  "cold": {{ "seconds": {cold_seconds:.6}, "requests_per_sec": {cold_rps:.1} }},
+  "warm": {{ "seconds": {warm_seconds:.6}, "requests_per_sec": {warm_rps:.1} }},
+  "warm_speedup": {speedup:.3},
+  "result_cache": {{ "hits": {hits}, "misses": {misses}, "evictions": {evictions} }}
+}}
+"#,
+        bytes = inputs[0].len(),
+        hits = stats.hits,
+        misses = stats.misses,
+        evictions = stats.evictions,
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("bench_serve: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("{json}");
+    println!("wrote {out}");
+    println!(
+        "summary: cold {cold_rps:.1} req/s, warm {warm_rps:.1} req/s, warm speedup {speedup:.1}x"
+    );
+}

@@ -111,8 +111,7 @@ fn main() {
         ("source-order baseline", "SCHED=policy[source-order]"),
     ] {
         let mut unit = MaoUnit::parse(&bad.asm).expect("parses");
-        run_pipeline(&mut unit, &parse_invocations(passes).expect("valid"), None)
-            .expect("runs");
+        run_pipeline(&mut unit, &parse_invocations(passes).expect("valid"), None).expect("runs");
         let c = cycles(&unit.emit(), &bad.entry, &[], &stock);
         println!(
             "  {label:<24} {c:>8} cycles ({:+.1}% vs unscheduled)",

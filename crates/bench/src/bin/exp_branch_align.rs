@@ -11,8 +11,7 @@ use mao_sim::{simulate, SimOptions, UarchConfig};
 
 fn run(asm: &str, config: &UarchConfig) -> (u64, u64) {
     let unit = MaoUnit::parse(asm).expect("parses");
-    let r = simulate(&unit, "image_kernel", &[], config, &SimOptions::default())
-        .expect("runs");
+    let r = simulate(&unit, "image_kernel", &[], config, &SimOptions::default()).expect("runs");
     (r.pmu.cycles, r.pmu.branch_mispredictions)
 }
 

@@ -97,7 +97,10 @@ fn main() {
         let js = unit
             .entries()
             .iter()
-            .position(|e| e.insn().is_some_and(|i| i.target_label() == Some(".Lnever")))
+            .position(|e| {
+                e.insn()
+                    .is_some_and(|i| i.target_label() == Some(".Lnever"))
+            })
             .expect("js exists");
         let mask = config.predictor_entries() as u64 - 1;
         let bucket = |a: u64| (a >> config.predictor.index_shift) & mask;
@@ -113,16 +116,21 @@ fn main() {
                 ""
             }
         );
-        simulate(&unit, "mcf_kernel", &[0x300_0000, 0x500_0000], &config, &SimOptions::default())
-            .expect("fig1 runs")
+        simulate(
+            &unit,
+            "mcf_kernel",
+            &[0x300_0000, 0x500_0000],
+            &config,
+            &SimOptions::default(),
+        )
+        .expect("fig1 runs")
     };
 
     println!("== Figure 1: single NOP before .L5 in the mcf loop ==");
     let base = run(false);
     let nopped = run(true);
-    let speedup = (base.pmu.cycles as f64 - nopped.pmu.cycles as f64)
-        / base.pmu.cycles as f64
-        * 100.0;
+    let speedup =
+        (base.pmu.cycles as f64 - nopped.pmu.cycles as f64) / base.pmu.cycles as f64 * 100.0;
     println!(
         "  without NOP: {} cycles ({} mispredicts)",
         base.pmu.cycles, base.pmu.branch_mispredictions

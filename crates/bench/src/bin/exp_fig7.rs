@@ -7,7 +7,7 @@
 //! aggregate performance delta on an Intel platform, with geomeans of
 //! +0.38% (all twelve) and +0.61% excluding the 253.perlbmk regression.
 
-use mao_bench::{geomean_pct, pass_effect};
+use mao_bench::{geomean_pct, or_exit, pass_effect};
 use mao_corpus::spec::{spec2000_benchmark, SPEC2000_NAMES};
 use mao_sim::UarchConfig;
 
@@ -46,7 +46,7 @@ fn main() {
     let mut perfs_wo_perl = Vec::new();
     for name in SPEC2000_NAMES {
         let w = spec2000_benchmark(name).expect("known benchmark");
-        let (pct, report) = pass_effect(&w, passes, &config);
+        let (pct, report) = or_exit(pass_effect(&w, passes, &config));
         let count = |p: &str| report.stats(p).map(|s| s.transformations).unwrap_or(0);
         let paper_perf = paper
             .iter()
@@ -68,7 +68,9 @@ fn main() {
     }
     println!(
         "{:<14} {:>36} {:>+8.2}%  (paper +0.38%)",
-        "geomean", "", geomean_pct(&perfs)
+        "geomean",
+        "",
+        geomean_pct(&perfs)
     );
     println!(
         "{:<14} {:>36} {:>+8.2}%  (paper +0.61%)",

@@ -84,18 +84,14 @@ fn main() {
     let count_unresolved = |through_registers: bool| -> usize {
         functions
             .iter()
-            .filter(|f| {
-                Cfg::build_with_options(&unit, f, through_registers).unresolved_indirect
-            })
+            .filter(|f| Cfg::build_with_options(&unit, f, through_registers).unresolved_indirect)
             .count()
     };
 
     let without = count_unresolved(false);
     let with = count_unresolved(true);
     println!("== §II: indirect-branch resolution on 320 switch functions ==");
-    println!(
-        "  direct-pattern only:          {without:>3} / 320 unresolved   (paper: 246)"
-    );
+    println!("  direct-pattern only:          {without:>3} / 320 unresolved   (paper: 246)");
     println!(
         "  + reaching-definitions pattern: {with:>3} / 320 unresolved   (paper: 4, i.e. 1.2%)"
     );

@@ -13,7 +13,10 @@ fn main() {
     let procs = [Processor::core2(), Processor::opteron()];
 
     println!("== Figure 6: instruction latency detection ==");
-    println!("{:<24} {:>18} {:>18}", "template", procs[0].name, procs[1].name);
+    println!(
+        "{:<24} {:>18} {:>18}",
+        "template", procs[0].name, procs[1].name
+    );
     for template in [
         "addl %r, %r",
         "imull %r, %r",

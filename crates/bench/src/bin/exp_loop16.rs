@@ -43,7 +43,10 @@ fn cycles(asm: &str, config: &UarchConfig) -> u64 {
 fn main() {
     let config = UarchConfig::core2();
     println!("== §III.C.e: 15-byte loop vs. placement within a 16-byte line ==");
-    println!("{:>8} {:>10} {:>12} {:>8}", "offset", "cycles", "cyc/iter", "lines");
+    println!(
+        "{:>8} {:>10} {:>12} {:>8}",
+        "offset", "cycles", "cyc/iter", "lines"
+    );
     let outer = 30_000u64;
     let iters = outer * 8;
     let mut best = u64::MAX;
@@ -51,7 +54,11 @@ fn main() {
     let mut worst_offset = 0usize;
     for offset in 0..16 {
         let c = cycles(&kernel(offset, outer), &config);
-        let lines = if (offset + 15 - 1) / 16 > offset / 16 { 2 } else { 1 };
+        let lines = if (offset + 15 - 1) / 16 > offset / 16 {
+            2
+        } else {
+            1
+        };
         println!(
             "{offset:>8} {c:>10} {:>12.3} {lines:>8}",
             c as f64 / iters as f64

@@ -14,8 +14,7 @@ use mao_sim::{simulate, SimOptions, UarchConfig};
 
 fn measure(asm: &str, config: &UarchConfig) -> (u64, u64) {
     let unit = MaoUnit::parse(asm).expect("parses");
-    let r = simulate(&unit, "lsd_kernel", &[], config, &SimOptions::default())
-        .expect("runs");
+    let r = simulate(&unit, "lsd_kernel", &[], config, &SimOptions::default()).expect("runs");
     (r.pmu.cycles, r.pmu.lsd_iterations)
 }
 
@@ -35,7 +34,10 @@ fn main() {
     let config = UarchConfig::core2();
     let iters = 200_000u64;
     println!("== Figures 4/5: Loop Stream Detector vs. decode lines ==");
-    println!("{:>6} {:>6} {:>10} {:>10} {:>9}", "pad", "lines", "cycles", "lsd-iters", "cyc/iter");
+    println!(
+        "{:>6} {:>6} {:>10} {:>10} {:>9}",
+        "pad", "lines", "cycles", "lsd-iters", "cyc/iter"
+    );
     let mut by_lines: std::collections::BTreeMap<u64, u64> = Default::default();
     for pad in 0..16usize {
         let w = lsd_loop(pad, iters);
@@ -62,8 +64,7 @@ fn main() {
     let worst = lsd_loop(10, iters);
     let (before, _) = measure(&worst.asm, &config);
     let mut unit = MaoUnit::parse(&worst.asm).expect("parses");
-    run_pipeline(&mut unit, &parse_invocations("LSDFIT").expect("ok"), None)
-        .expect("LSDFIT runs");
+    run_pipeline(&mut unit, &parse_invocations("LSDFIT").expect("ok"), None).expect("LSDFIT runs");
     let (after, lsd) = measure(&unit.emit(), &config);
     let nops_added = unit
         .emit()

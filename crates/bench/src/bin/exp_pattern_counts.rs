@@ -46,15 +46,27 @@ fn main() {
         "pattern", "planted", "found", "paper(scaled)"
     );
     for (label, planted, pass, paper) in [
-        ("redundant zero-extension", p.redundant_zext, "REDZEXT", paper_scale(1000.0)),
-        ("redundant test", p.redundant_tests, "REDTEST", paper_scale(19272.0)),
-        ("redundant memory access", p.redundant_loads, "REDMOV", paper_scale(13362.0)),
+        (
+            "redundant zero-extension",
+            p.redundant_zext,
+            "REDZEXT",
+            paper_scale(1000.0),
+        ),
+        (
+            "redundant test",
+            p.redundant_tests,
+            "REDTEST",
+            paper_scale(19272.0),
+        ),
+        (
+            "redundant memory access",
+            p.redundant_loads,
+            "REDMOV",
+            paper_scale(13362.0),
+        ),
         ("add/add sequence", p.addadd_pairs, "ADDADD", 0),
     ] {
-        println!(
-            "  {label:<26} {planted:>9} {:>9} {paper:>12}",
-            found(pass)
-        );
+        println!("  {label:<26} {planted:>9} {:>9} {paper:>12}", found(pass));
         assert_eq!(
             found(pass),
             planted,

@@ -37,10 +37,7 @@ fn main() {
     println!("== §II relaxation listing ==");
     for extra in [false, true] {
         // The backward jne in the paper targets offset 0xd; give it a label.
-        let asm = listing(extra).replace(
-            "\tjmp .Lc\n\taddl",
-            "\tjmp .Lc\n.Ld:\n\taddl",
-        );
+        let asm = listing(extra).replace("\tjmp .Lc\n\taddl", "\tjmp .Lc\n.Ld:\n\taddl");
         let unit = MaoUnit::parse(&asm).expect("listing parses");
         let layout = relax(&unit).expect("listing relaxes");
         let jmp = unit
@@ -58,7 +55,11 @@ fn main() {
         .expect("jmp encodes");
         println!(
             "  {}: jmp at {:#04x} is {} bytes [{}], .Lc at {:#04x}, {} relaxation iterations",
-            if extra { "with extra NOP" } else { "original      " },
+            if extra {
+                "with extra NOP"
+            } else {
+                "original      "
+            },
             layout.addr[jmp],
             layout.size[jmp],
             bytes

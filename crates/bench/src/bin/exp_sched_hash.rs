@@ -27,12 +27,8 @@ fn main() {
     let good = hashing(true, iters);
     let (bad_cycles, bad_stalls) = run(&bad.asm, "hash_kernel", &config);
     let (good_cycles, good_stalls) = run(&good.asm, "hash_kernel", &config);
-    println!(
-        "  bad order:  {bad_cycles:>8} cycles, RS_FULL stalls {bad_stalls:>7}"
-    );
-    println!(
-        "  good order: {good_cycles:>8} cycles, RS_FULL stalls {good_stalls:>7}"
-    );
+    println!("  bad order:  {bad_cycles:>8} cycles, RS_FULL stalls {bad_stalls:>7}");
+    println!("  good order: {good_cycles:>8} cycles, RS_FULL stalls {good_stalls:>7}");
     println!(
         "  hand-schedule speedup: {:+.1}%  (paper: 15% on the kernel, 21% opportunity)",
         (bad_cycles as f64 - good_cycles as f64) / bad_cycles as f64 * 100.0
@@ -47,7 +43,10 @@ fn main() {
     let report = run_pipeline(&mut unit, &parse_invocations("SCHED").expect("ok"), None)
         .expect("SCHED runs");
     let (sched_cycles, sched_stalls) = run(&unit.emit(), "hash_kernel", &config);
-    let moved = report.stats("SCHED").map(|s| s.transformations).unwrap_or(0);
+    let moved = report
+        .stats("SCHED")
+        .map(|s| s.transformations)
+        .unwrap_or(0);
     println!(
         "  SCHED:      {sched_cycles:>8} cycles, RS_FULL stalls {sched_stalls:>7} ({moved} instructions moved, {:+.1}%)",
         (bad_cycles as f64 - sched_cycles as f64) / bad_cycles as f64 * 100.0

@@ -10,7 +10,7 @@
 //! Paper reference values are printed alongside for comparison; see
 //! EXPERIMENTS.md for the discussion.
 
-use mao_bench::pass_effect;
+use mao_bench::{or_exit, pass_effect};
 use mao_corpus::spec::{spec2000_benchmark, SPEC2000_NAMES};
 use mao_sim::UarchConfig;
 
@@ -26,13 +26,16 @@ fn main() {
     let nopin_mean: f64 = (1..=8)
         .map(|seed| {
             let pass = format!("NOPIN=seed[{seed}],density[0.25]");
-            pass_effect(&eon, &pass, &intel).0
+            or_exit(pass_effect(&eon, &pass, &intel)).0
         })
         .sum::<f64>()
         / 8.0;
-    println!("{:<14} {nopin_mean:>+9.2}% {:>+9.2}%  (mean of 8 seeds)", "NOPIN", -9.23);
+    println!(
+        "{:<14} {nopin_mean:>+9.2}% {:>+9.2}%  (mean of 8 seeds)",
+        "NOPIN", -9.23
+    );
     for (pass, paper) in [("NOPKILL", -5.34), ("REDTEST", -5.97)] {
-        let (pct, _) = pass_effect(&eon, pass, &intel);
+        let (pct, _) = or_exit(pass_effect(&eon, pass, &intel));
         println!("{pass:<14} {pct:>+9.2}% {paper:>+9.2}%");
     }
 
@@ -42,11 +45,8 @@ fn main() {
         ("176.gcc", 1.41),
         ("300.twolf", 1.18),
     ];
-    let paper_loop16_amd: &[(&str, f64)] = &[
-        ("252.eon", -5.86),
-        ("181.mcf", 2.47),
-        ("186.crafty", 2.45),
-    ];
+    let paper_loop16_amd: &[(&str, f64)] =
+        &[("252.eon", -5.86), ("181.mcf", 2.47), ("186.crafty", 2.45)];
 
     for (title, config, paper_rows) in [
         ("LOOP16 on Intel-Core-2-like", &intel, paper_loop16_intel),
@@ -56,7 +56,7 @@ fn main() {
         println!("{:<14} {:>10} {:>10}", "benchmark", "measured", "paper");
         for name in SPEC2000_NAMES {
             let w = spec2000_benchmark(name).expect("known benchmark");
-            let (pct, report) = pass_effect(&w, "LOOP16", config);
+            let (pct, report) = or_exit(pass_effect(&w, "LOOP16", config));
             let transforms = report
                 .stats("LOOP16")
                 .map(|s| s.transformations)

@@ -5,7 +5,7 @@
 //! the 20% swings and suspected "an LSD-like structure"), and the SCHED
 //! table across five benchmarks (on the Intel profile).
 
-use mao_bench::pass_effect;
+use mao_bench::{or_exit, pass_effect};
 use mao_corpus::spec::spec2006_benchmark;
 use mao_sim::UarchConfig;
 
@@ -24,16 +24,19 @@ fn main() {
     ];
     for (name, (p_m, p_t, p_n)) in paper {
         let w = spec2006_benchmark(name).expect("known benchmark");
-        let (m, _) = pass_effect(&w, "REDMOV", &amd);
-        let (t, _) = pass_effect(&w, "REDTEST", &amd);
-        let (n, _) = pass_effect(&w, "NOPKILL", &amd);
+        let (m, _) = or_exit(pass_effect(&w, "REDMOV", &amd));
+        let (t, _) = or_exit(pass_effect(&w, "REDTEST", &amd));
+        let (n, _) = or_exit(pass_effect(&w, "NOPKILL", &amd));
         println!(
             "{name:<14} {m:>+8.2}% {t:>+8.2}% {n:>+8.2}%   ({p_m:+.2}% / {p_t:+.2}% / {p_n:+.2}%)"
         );
     }
 
     println!("\n== Table: SCHED on Intel-Core-2-like ==");
-    println!("{:<14} {:>10} {:>10} {:>8}", "benchmark", "measured", "paper", "moved");
+    println!(
+        "{:<14} {:>10} {:>10} {:>8}",
+        "benchmark", "measured", "paper", "moved"
+    );
     let paper_sched = [
         ("410.bwaves", 1.29),
         ("434.zeusmp", 1.20),
@@ -43,8 +46,11 @@ fn main() {
     ];
     for (name, p) in paper_sched {
         let w = spec2006_benchmark(name).expect("known benchmark");
-        let (pct, report) = pass_effect(&w, "SCHED", &intel);
-        let moved = report.stats("SCHED").map(|s| s.transformations).unwrap_or(0);
+        let (pct, report) = or_exit(pass_effect(&w, "SCHED", &intel));
+        let moved = report
+            .stats("SCHED")
+            .map(|s| s.transformations)
+            .unwrap_or(0);
         println!("{name:<14} {pct:>+9.2}% {p:>+9.2}% {moved:>8}");
     }
 }

@@ -41,9 +41,8 @@ fn main() {
     // 5 movabs + subq + jne = 56 bytes, 7 insns. Aligned start -> 4 lines
     // (streams after 64 iterations); start at 10 -> 5 lines (never streams).
     let lsd = |pad: usize| {
-        let mut s = String::from(
-            ".type f, @function\nf:\n\txorq %rax, %rax\n\tmovq $100000, %rcx\n",
-        );
+        let mut s =
+            String::from(".type f, @function\nf:\n\txorq %rax, %rax\n\tmovq $100000, %rcx\n");
         s.push_str(&"\tnop\n".repeat(pad));
         s.push_str(".Lloop:\n");
         for (i, r) in ["r8", "r9", "r10", "r11", "rdx"].iter().enumerate() {
@@ -80,9 +79,8 @@ fn main() {
     // the shrl consumer. Bad order: critical consumer last (loses the
     // forwarding slot); good order: critical consumer first.
     let hash = |order: &[&str]| {
-        let mut s = String::from(
-            ".type f, @function\nf:\n\tmovl $200000, %eax\n.L:\n\txorl %edi, %ebx\n",
-        );
+        let mut s =
+            String::from(".type f, @function\nf:\n\tmovl $200000, %eax\n.L:\n\txorl %edi, %ebx\n");
         for line in order {
             s.push_str(line);
             s.push('\n');

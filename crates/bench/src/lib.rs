@@ -5,41 +5,62 @@
 //! plumbing: run a workload on a profile, apply a `--mao=` pass string,
 //! and report the paper's improvement convention (positive = faster).
 
+use std::fmt;
+
 use mao::pass::{parse_invocations, run_pipeline, PipelineReport};
 use mao::{MaoUnit, Profile};
 use mao_corpus::Workload;
 use mao_sim::{simulate, SimOptions, SimResult, UarchConfig};
 
+/// A harness failure: which workload/pass string failed and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchError(pub String);
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+/// Unwrap a harness result in an experiment binary: report the failure on
+/// stderr and exit 1 instead of panicking with a backtrace.
+pub fn or_exit<T>(result: Result<T, BenchError>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
+}
+
 /// Simulate a workload and return the result.
-///
-/// # Panics
-///
-/// Panics on parse or simulation failure — experiment inputs are
-/// program-generated and must be valid; failing loudly beats silently
-/// skewing a table.
-pub fn run_workload(w: &Workload, config: &UarchConfig) -> SimResult {
+pub fn run_workload(w: &Workload, config: &UarchConfig) -> Result<SimResult, BenchError> {
     let unit = MaoUnit::parse(&w.asm)
-        .unwrap_or_else(|e| panic!("workload {} does not parse: {e}", w.name));
+        .map_err(|e| BenchError(format!("workload {} does not parse: {e}", w.name)))?;
     simulate(&unit, &w.entry, &w.args, config, &SimOptions::default())
-        .unwrap_or_else(|e| panic!("workload {} failed to simulate: {e}", w.name))
+        .map_err(|e| BenchError(format!("workload {} failed to simulate: {e}", w.name)))
 }
 
 /// Apply a `--mao=` pass string to a workload, returning the transformed
 /// workload and the pipeline report (for transformation counts).
-pub fn apply_passes(w: &Workload, passes: &str, profile: Option<Profile>) -> (Workload, PipelineReport) {
+pub fn apply_passes(
+    w: &Workload,
+    passes: &str,
+    profile: Option<Profile>,
+) -> Result<(Workload, PipelineReport), BenchError> {
     let mut unit = MaoUnit::parse(&w.asm)
-        .unwrap_or_else(|e| panic!("workload {} does not parse: {e}", w.name));
+        .map_err(|e| BenchError(format!("workload {} does not parse: {e}", w.name)))?;
     let invocations = parse_invocations(passes)
-        .unwrap_or_else(|e| panic!("bad pass string `{passes}`: {e}"));
+        .map_err(|e| BenchError(format!("bad pass string `{passes}`: {e}")))?;
     let report = run_pipeline(&mut unit, &invocations, profile)
-        .unwrap_or_else(|e| panic!("pipeline `{passes}` failed on {}: {e}", w.name));
+        .map_err(|e| BenchError(format!("pipeline `{passes}` failed on {}: {e}", w.name)))?;
     let transformed = Workload {
         name: format!("{}+{passes}", w.name),
         asm: unit.emit(),
         entry: w.entry.clone(),
         args: w.args.clone(),
     };
-    (transformed, report)
+    Ok((transformed, report))
 }
 
 /// The paper's improvement convention: positive percentage = speedup.
@@ -56,16 +77,17 @@ pub fn pass_effect(
     w: &Workload,
     passes: &str,
     config: &UarchConfig,
-) -> (f64, PipelineReport) {
-    let base = run_workload(w, config);
-    let (transformed, report) = apply_passes(w, passes, None);
-    let after = run_workload(&transformed, config);
-    assert_eq!(
-        base.ret, after.ret,
-        "pass `{passes}` changed the result of {}!",
-        w.name
-    );
-    (improvement_pct(base.pmu.cycles, after.pmu.cycles), report)
+) -> Result<(f64, PipelineReport), BenchError> {
+    let base = run_workload(w, config)?;
+    let (transformed, report) = apply_passes(w, passes, None)?;
+    let after = run_workload(&transformed, config)?;
+    if base.ret != after.ret {
+        return Err(BenchError(format!(
+            "pass `{passes}` changed the result of {}: {} -> {}",
+            w.name, base.ret, after.ret
+        )));
+    }
+    Ok((improvement_pct(base.pmu.cycles, after.pmu.cycles), report))
 }
 
 /// Geometric mean of (1 + pct/100) values, returned as a percentage — the
@@ -102,7 +124,7 @@ mod tests {
     #[test]
     fn end_to_end_pass_effect() {
         let w = kernels::hashing(false, 2000);
-        let (pct, report) = pass_effect(&w, "SCHED", &UarchConfig::core2());
+        let (pct, report) = pass_effect(&w, "SCHED", &UarchConfig::core2()).unwrap();
         assert!(report.total_transformations() > 0);
         assert!(pct > 5.0, "SCHED should speed the bad order up: {pct:.2}%");
     }
@@ -110,9 +132,25 @@ mod tests {
     #[test]
     fn apply_passes_preserves_behavior() {
         let w = kernels::mcf_fig1(false, 500);
-        let (t, _) = apply_passes(&w, "REDTEST:ADDADD:CONSTFOLD:DCE", None);
-        let a = run_workload(&w, &UarchConfig::core2());
-        let b = run_workload(&t, &UarchConfig::core2());
+        let (t, _) = apply_passes(&w, "REDTEST:ADDADD:CONSTFOLD:DCE", None).unwrap();
+        let a = run_workload(&w, &UarchConfig::core2()).unwrap();
+        let b = run_workload(&t, &UarchConfig::core2()).unwrap();
         assert_eq!(a.ret, b.ret);
+    }
+
+    #[test]
+    fn failures_are_reported_not_panicked() {
+        let broken = Workload {
+            name: "broken".into(),
+            asm: "frobnicate %eax\n".into(),
+            entry: "f".into(),
+            args: vec![],
+        };
+        let e = run_workload(&broken, &UarchConfig::core2()).unwrap_err();
+        assert!(e.to_string().contains("does not parse"), "{e}");
+        assert!(e.to_string().contains("frobnicate"), "{e}");
+        let w = kernels::hashing(false, 100);
+        let e = apply_passes(&w, "NOSUCHPASS", None).unwrap_err();
+        assert!(e.to_string().contains("NOSUCHPASS"), "{e}");
     }
 }

@@ -103,17 +103,22 @@ impl FunctionAnalyses {
 struct CacheState {
     /// The `MaoUnit::context_epoch` the map contents are valid for.
     epoch: u64,
-    /// Function name → analyses at that function's current key.
-    map: HashMap<String, Arc<FunctionAnalyses>>,
+    /// Function name → (last-use stamp, analyses at the function's current
+    /// key). The stamp drives LRU eviction when a capacity is set.
+    map: HashMap<String, (u64, Arc<FunctionAnalyses>)>,
+    /// Monotonic access clock for LRU stamps.
+    clock: u64,
 }
 
-/// Hit/miss counters, cumulative over the cache's lifetime.
+/// Hit/miss/eviction counters, cumulative over the cache's lifetime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that (re)built a `FunctionAnalyses` slot.
     pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -132,14 +137,30 @@ impl CacheStats {
 #[derive(Debug, Default)]
 pub struct AnalysisCache {
     state: Mutex<CacheState>,
+    /// Maximum number of cached functions (0 = unbounded).
+    capacity: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl AnalysisCache {
-    /// Empty cache.
+    /// Empty, unbounded cache.
     pub fn new() -> AnalysisCache {
         AnalysisCache::default()
+    }
+
+    /// Empty cache holding at most `capacity` functions (0 = unbounded);
+    /// least-recently-used entries are evicted beyond that.
+    pub fn with_capacity(capacity: usize) -> AnalysisCache {
+        let cache = AnalysisCache::default();
+        cache.capacity.store(capacity as u64, Ordering::Relaxed);
+        cache
+    }
+
+    /// The capacity bound (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed) as usize
     }
 
     /// The analyses slot for `function`, reused when both the unit's context
@@ -154,10 +175,13 @@ impl AnalysisCache {
             state.map.clear();
             state.epoch = unit.context_epoch();
         }
-        if let Some(existing) = state.map.get(&function.name) {
-            if existing.key == key {
+        state.clock += 1;
+        let stamp = state.clock;
+        if let Some(existing) = state.map.get_mut(&function.name) {
+            if existing.1.key == key {
+                existing.0 = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return existing.clone();
+                return existing.1.clone();
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -165,7 +189,24 @@ impl AnalysisCache {
             key,
             ..FunctionAnalyses::default()
         });
-        state.map.insert(function.name.clone(), fresh.clone());
+        state
+            .map
+            .insert(function.name.clone(), (stamp, fresh.clone()));
+        let capacity = self.capacity.load(Ordering::Relaxed) as usize;
+        if capacity > 0 {
+            while state.map.len() > capacity {
+                // O(n) min-stamp scan: capacities are small (hundreds) and
+                // eviction only runs once the bound is actually exceeded.
+                let lru = state
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (stamp, _))| *stamp)
+                    .map(|(name, _)| name.clone())
+                    .expect("non-empty map over capacity");
+                state.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         fresh
     }
 
@@ -184,11 +225,12 @@ impl AnalysisCache {
         self.len() == 0
     }
 
-    /// Cumulative hit/miss counters.
+    /// Cumulative hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -226,8 +268,18 @@ g:
         let cfg1 = a1.cfg(&unit, &f);
         let a2 = cache.for_function(&unit, &f);
         let cfg2 = a2.cfg(&unit, &f);
-        assert!(Arc::ptr_eq(&cfg1, &cfg2), "second lookup must reuse the CFG");
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert!(
+            Arc::ptr_eq(&cfg1, &cfg2),
+            "second lookup must reuse the CFG"
+        );
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
     }
 
     #[test]

@@ -237,9 +237,7 @@ impl Cfg {
 
     /// The block containing entry `id`, if any.
     pub fn block_of(&self, id: EntryId) -> Option<BlockId> {
-        self.blocks
-            .iter()
-            .position(|b| b.entries.contains(&id))
+        self.blocks.iter().position(|b| b.entries.contains(&id))
     }
 }
 
@@ -379,8 +377,7 @@ f:
 
     #[test]
     fn call_does_not_end_block() {
-        let (_unit, cfg) =
-            cfg_for(".type f, @function\nf:\n\tcall g\n\tmovl $1, %eax\n\tret\n");
+        let (_unit, cfg) = cfg_for(".type f, @function\nf:\n\tcall g\n\tmovl $1, %eax\n\tret\n");
         assert_eq!(cfg.len(), 1);
     }
 
@@ -430,8 +427,7 @@ f:
 
     #[test]
     fn unresolvable_indirect_flags_function() {
-        let (_unit, cfg) =
-            cfg_for(".type f, @function\nf:\n\tjmp *%rax\n\tret\n");
+        let (_unit, cfg) = cfg_for(".type f, @function\nf:\n\tjmp *%rax\n\tret\n");
         assert!(cfg.unresolved_indirect);
     }
 
@@ -453,9 +449,7 @@ f:
 
     #[test]
     fn reachability() {
-        let (_unit, cfg) = cfg_for(
-            ".type f, @function\nf:\n\tret\n.Ldead:\n\tnop\n\tret\n",
-        );
+        let (_unit, cfg) = cfg_for(".type f, @function\nf:\n\tret\n.Ldead:\n\tnop\n\tret\n");
         let reach = cfg.reachable();
         assert!(reach[0]);
         assert!(!reach[1], "code after ret with no incoming edge is dead");

@@ -203,7 +203,9 @@ impl Liveness {
                 }
                 let inn = gen[b].union(out.difference(kill[b]));
                 let finn = fgen[b] | (fout - fkill[b]);
-                if inn != live_in[b] || out != live_out[b] || finn != flags_in[b]
+                if inn != live_in[b]
+                    || out != live_out[b]
+                    || finn != flags_in[b]
                     || fout != flags_out[b]
                 {
                     changed = true;
@@ -224,13 +226,7 @@ impl Liveness {
 
     /// Flags live immediately *after* the instruction at `pos` within block
     /// `b` (walking the block backwards from its end).
-    pub fn flags_live_after(
-        &self,
-        unit: &MaoUnit,
-        cfg: &Cfg,
-        b: BlockId,
-        entry: EntryId,
-    ) -> Flags {
+    pub fn flags_live_after(&self, unit: &MaoUnit, cfg: &Cfg, b: BlockId, entry: EntryId) -> Flags {
         let mut live = self.flags_out[b];
         let insns: Vec<_> = cfg.blocks[b].insns(unit).collect();
         for &(id, insn) in insns.iter().rev() {
@@ -451,7 +447,10 @@ f:
         let sub_id = unit
             .entries()
             .iter()
-            .position(|e| e.insn().is_some_and(|i| i.mnemonic == mao_x86::Mnemonic::Sub))
+            .position(|e| {
+                e.insn()
+                    .is_some_and(|i| i.mnemonic == mao_x86::Mnemonic::Sub)
+            })
             .unwrap();
         // After the subl, the testl and jne follow: ZF is read (by jne) but
         // killed first by testl, so only testl's uses count — nothing.

@@ -239,7 +239,9 @@ f:
         // Hot path gets 9x the samples of the cold path.
         let profile = samples_on("f", &[(0, 10), (1, 10), (2, 90), (3, 90), (5, 10), (6, 10)]);
         let ep = edge_profile(&unit, &f, &cfg, &profile, "CPU_CYCLES");
-        let cold = cfg.block_of(unit.find_label(".Lcold").unwrap() + 1).unwrap();
+        let cold = cfg
+            .block_of(unit.find_label(".Lcold").unwrap() + 1)
+            .unwrap();
         let p_cold = ep.taken_probability(0, cold);
         assert!(p_cold < 0.35, "cold edge probability {p_cold}");
     }

@@ -45,8 +45,8 @@ pub mod unit;
 
 pub use analysis_cache::{AnalysisCache, CacheStats, FunctionAnalyses};
 pub use pass::{
-    parse_invocations, run_functions, run_pipeline, run_pipeline_with, FnCtx, MaoPass,
-    PassContext, PassError, PassStats, PipelineConfig, PipelineReport,
+    parse_invocations, run_functions, run_pipeline, run_pipeline_shared, run_pipeline_with, FnCtx,
+    MaoPass, PassContext, PassError, PassStats, PipelineConfig, PipelineReport,
 };
 pub use profile::{Profile, Sample, Site};
 pub use relax::{relax, Layout, RelaxError};

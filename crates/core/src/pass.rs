@@ -85,12 +85,16 @@ impl PassOptions {
 
     /// Integer option with default.
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Float option with default.
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 }
 
@@ -333,10 +337,7 @@ where
 
     let outcomes: Vec<Option<Result<FnOutcome, PassError>>> = if jobs <= 1 || n <= 1 {
         let shared: &MaoUnit = unit;
-        functions
-            .iter()
-            .map(|f| Some(run_one(shared, f)))
-            .collect()
+        functions.iter().map(|f| Some(run_one(shared, f))).collect()
     } else {
         let shared: &MaoUnit = unit;
         let slots: Vec<Mutex<Option<Result<FnOutcome, PassError>>>> =
@@ -414,7 +415,9 @@ pub fn parse_invocations(s: &str) -> Result<Vec<PassInvocation>, PassError> {
             None => (part, None),
         };
         if name.is_empty() {
-            return Err(PassError::BadOptions(format!("empty pass name in `{part}`")));
+            return Err(PassError::BadOptions(format!(
+                "empty pass name in `{part}`"
+            )));
         }
         let mut options = PassOptions::new();
         if let Some(rest) = rest {
@@ -447,6 +450,8 @@ pub fn parse_invocations(s: &str) -> Result<Vec<PassInvocation>, PassError> {
 pub struct PipelineReport {
     /// Per-invocation (pass name, stats).
     pub passes: Vec<(String, PassStats)>,
+    /// Per-invocation wall-clock microseconds, parallel to `passes`.
+    pub timings_us: Vec<(String, u64)>,
     /// Concatenated trace output.
     pub trace: Vec<String>,
     /// Analysis cache hit/miss counters for the whole run.
@@ -513,10 +518,30 @@ pub fn run_pipeline_with(
     profile: Option<Profile>,
     config: &PipelineConfig,
 ) -> Result<PipelineReport, PassError> {
+    let analyses = Arc::new(AnalysisCache::new());
+    run_pipeline_shared(unit, invocations, profile, config, &analyses)
+}
+
+/// Run a pipeline against a caller-provided [`AnalysisCache`].
+///
+/// This is the long-lived-service entry point: a daemon processing many
+/// units can hand every run the same cache, so functions whose content and
+/// position repeat across requests (the common case in incremental builds,
+/// where most of a unit is unchanged) skip CFG/dataflow construction
+/// entirely. The cache's epoch tracking still applies — a unit whose
+/// context epoch differs from the previous run's flushes stale entries —
+/// and the reported [`PipelineReport::cache`] counters are cumulative over
+/// the cache's lifetime, not per run.
+pub fn run_pipeline_shared(
+    unit: &mut MaoUnit,
+    invocations: &[PassInvocation],
+    profile: Option<Profile>,
+    config: &PipelineConfig,
+    analyses: &Arc<AnalysisCache>,
+) -> Result<PipelineReport, PassError> {
     let registry = registry();
     let mut report = PipelineReport::default();
     let mut profile = profile;
-    let analyses = Arc::new(AnalysisCache::new());
     let jobs = config.effective_jobs();
     for inv in invocations {
         let factory = registry
@@ -534,7 +559,9 @@ pub fn run_pipeline_with(
                 .trace
                 .push(format!("=== IR before {} ===\n{}", inv.name, unit.emit()));
         }
+        let start = std::time::Instant::now();
         let stats = pass.run(unit, &mut ctx)?;
+        let elapsed_us = start.elapsed().as_micros() as u64;
         if ctx.options.has("dump-after") {
             report
                 .trace
@@ -543,6 +570,7 @@ pub fn run_pipeline_with(
         profile = ctx.profile.take();
         report.trace.append(&mut ctx.trace_lines);
         report.passes.push((inv.name.clone(), stats));
+        report.timings_us.push((inv.name.clone(), elapsed_us));
     }
     report.cache = analyses.stats();
     Ok(report)

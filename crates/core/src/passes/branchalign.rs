@@ -178,10 +178,8 @@ f:
     #[test]
     fn non_aliasing_untouched() {
         // Pad the outer loop body so the branches straddle a boundary.
-        let text = nested_short_loops().replace(
-            "\taddl $1, %eax\n",
-            &"\taddl $1, %eax\n".repeat(12),
-        );
+        let text =
+            nested_short_loops().replace("\taddl $1, %eax\n", &"\taddl $1, %eax\n".repeat(12));
         let mut unit = MaoUnit::parse(&text).unwrap();
         let before = branch_addrs(&unit);
         if before[0] >> 5 == before[1] >> 5 {
@@ -213,7 +211,9 @@ f:
         // still performs it — verify the bucket separation honours shift.
         let mut unit = MaoUnit::parse(nested_short_loops()).unwrap();
         let mut ctx = PassContext::from_options(
-            crate::pass::PassOptions::new().with("shift", "4").with("rounds", "4"),
+            crate::pass::PassOptions::new()
+                .with("shift", "4")
+                .with("rounds", "4"),
         );
         BranchAlign.run(&mut unit, &mut ctx).unwrap();
         let after = branch_addrs(&unit);

@@ -85,17 +85,14 @@ impl MaoPass for ConstantFold {
                     }
                     // Try to fold an immediate ALU op on a known register.
                     let mut folded_this = false;
-                    if let (mnemonic, Some(Operand::Imm(imm)), Some(Operand::Reg(dst))) = (
-                        insn.mnemonic,
-                        insn.operands.first(),
-                        insn.operands.get(1),
-                    ) {
+                    if let (mnemonic, Some(Operand::Imm(imm)), Some(Operand::Reg(dst))) =
+                        (insn.mnemonic, insn.operands.first(), insn.operands.get(1))
+                    {
                         if let Some(&(value, w)) = known.get(&dst.id) {
                             if w == insn.width() && dst.width == w {
                                 if let Some(result) = fold(mnemonic, value, *imm, w) {
                                     // The op's flags must be dead.
-                                    let flags_after =
-                                        liveness.flags_live_after(unit, &cfg, b, id);
+                                    let flags_after = liveness.flags_live_after(unit, &cfg, b, id);
                                     if !du.flags_def.intersects(flags_after)
                                         && !du.flags_undef.intersects(flags_after)
                                     {

@@ -121,9 +121,8 @@ mod tests {
 
     #[test]
     fn reachable_code_kept() {
-        let (unit, stats) = run(
-            ".type f, @function\nf:\n\tje .La\n\tret\n.La:\n\taddl $1, %eax\n\tret\n",
-        );
+        let (unit, stats) =
+            run(".type f, @function\nf:\n\tje .La\n\tret\n.La:\n\taddl $1, %eax\n\tret\n");
         assert_eq!(stats.transformations, 0);
         assert!(unit.emit().contains("addl"));
     }
@@ -157,9 +156,8 @@ f:
 
     #[test]
     fn code_after_unconditional_jmp_removed() {
-        let (unit, stats) = run(
-            ".type f, @function\nf:\n\tjmp .Lend\n\taddl $1, %eax\n.Lend:\n\tret\n",
-        );
+        let (unit, stats) =
+            run(".type f, @function\nf:\n\tjmp .Lend\n\taddl $1, %eax\n.Lend:\n\tret\n");
         assert_eq!(stats.transformations, 1);
         assert!(!unit.emit().contains("addl"));
     }

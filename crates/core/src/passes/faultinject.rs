@@ -1,0 +1,75 @@
+//! Fault-injection passes for testing request isolation.
+//!
+//! A long-running optimization service must survive a pass blowing up on a
+//! pathological unit. These passes exist so tests (and operators probing a
+//! deployment) can trigger the failure modes deliberately:
+//!
+//! * `PANIC` — panics unconditionally (or only when a function matching
+//!   `func[NAME]` exists), modeling a pass bug;
+//! * `PANIC=sleep_ms[N]` — first sleeps, modeling a runaway pass that must
+//!   be cut off by the service's request timeout.
+
+use crate::pass::{MaoPass, PassContext, PassError, PassStats};
+use crate::unit::MaoUnit;
+
+/// `PANIC` — deliberately panic (fault injection for isolation tests).
+#[derive(Debug, Default)]
+pub struct FaultInject;
+
+impl MaoPass for FaultInject {
+    fn name(&self) -> &'static str {
+        "PANIC"
+    }
+
+    fn description(&self) -> &'static str {
+        "fault injection: panic (options: func[NAME], sleep_ms[N], error)"
+    }
+
+    fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
+        let sleep_ms = ctx.options.get_u64("sleep_ms", 0);
+        if sleep_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(sleep_ms));
+        }
+        if let Some(name) = ctx.options.get("func") {
+            if unit.find_function(name).is_none() {
+                return Ok(PassStats::default());
+            }
+        }
+        if ctx.options.has("error") {
+            return Err(PassError::Other("injected pass error".to_string()));
+        }
+        panic!("injected pass panic (PANIC fault-injection pass)");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::PassOptions;
+
+    #[test]
+    fn panics_unconditionally_by_default() {
+        let mut unit = MaoUnit::parse("nop\n").unwrap();
+        let mut ctx = PassContext::default();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = FaultInject.run(&mut unit, &mut ctx);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn func_filter_skips_when_absent() {
+        let mut unit = MaoUnit::parse(".type f, @function\nf:\n\tret\n").unwrap();
+        let mut ctx = PassContext::from_options(PassOptions::new().with("func", "nosuch"));
+        let stats = FaultInject.run(&mut unit, &mut ctx).unwrap();
+        assert_eq!(stats.transformations, 0);
+    }
+
+    #[test]
+    fn error_option_returns_structured_error() {
+        let mut unit = MaoUnit::parse("nop\n").unwrap();
+        let mut ctx = PassContext::from_options(PassOptions::new().with("error", ""));
+        let err = FaultInject.run(&mut unit, &mut ctx).unwrap_err();
+        assert_eq!(err, PassError::Other("injected pass error".into()));
+    }
+}

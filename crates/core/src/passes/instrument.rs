@@ -23,7 +23,8 @@ pub struct InstrumentPrep;
 
 /// Is this entry one of our 5-byte probe NOPs?
 fn is_probe(unit: &MaoUnit, id: EntryId) -> bool {
-    unit.insn(id).is_some_and(|i| *i == Instruction::nop_of_len(5))
+    unit.insn(id)
+        .is_some_and(|i| *i == Instruction::nop_of_len(5))
 }
 
 impl MaoPass for InstrumentPrep {
@@ -130,7 +131,11 @@ f:
             .filter(|&id| is_probe(unit, id))
             .map(|id| (layout.addr[id], layout.end_addr(id)))
             .inspect(|&(s, e)| {
-                assert_eq!(s / line, (e - 1) / line, "probe crosses line: {s:#x}..{e:#x}")
+                assert_eq!(
+                    s / line,
+                    (e - 1) / line,
+                    "probe crosses line: {s:#x}..{e:#x}"
+                )
             })
             .collect()
     }

@@ -113,14 +113,17 @@ f:
     fn does_not_modify_the_unit() {
         let mut unit = MaoUnit::parse(NESTED).unwrap();
         let before = unit.emit();
-        LoopFinder.run(&mut unit, &mut PassContext::default()).unwrap();
+        LoopFinder
+            .run(&mut unit, &mut PassContext::default())
+            .unwrap();
         assert_eq!(unit.emit(), before);
     }
 
     #[test]
     fn flags_unresolved_functions() {
         let mut unit =
-            MaoUnit::parse(".type f, @function\nf:\n.L:\n\taddl $1, %eax\n\tjne .L\n\tjmp *%rax\n").unwrap();
+            MaoUnit::parse(".type f, @function\nf:\n.L:\n\taddl $1, %eax\n\tjne .L\n\tjmp *%rax\n")
+                .unwrap();
         let mut ctx = PassContext::from_options(PassOptions::new().with("trace", "1"));
         LoopFinder.run(&mut unit, &mut ctx).unwrap();
         let text = ctx.trace_lines.join("\n");

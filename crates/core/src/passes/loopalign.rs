@@ -157,9 +157,7 @@ f:
     fn large_loop_not_aligned() {
         // A loop bigger than 16 bytes cannot fit one line; leave it alone.
         let body = "\taddl $1, %eax\n".repeat(8); // 8 * 3 = 24 bytes
-        let text = format!(
-            ".type f, @function\nf:\n\tnop\n.Lloop:\n{body}\tjne .Lloop\n\tret\n"
-        );
+        let text = format!(".type f, @function\nf:\n\tnop\n.Lloop:\n{body}\tjne .Lloop\n\tret\n");
         let mut unit = MaoUnit::parse(&text).unwrap();
         let mut ctx = PassContext::default();
         let stats = LoopAlign16.run(&mut unit, &mut ctx).unwrap();
@@ -169,13 +167,10 @@ f:
     #[test]
     fn max_size_option_widens_candidates() {
         let body = "\taddl $1, %eax\n".repeat(8); // 24 bytes, fits 2 lines
-        let text = format!(
-            ".type f, @function\nf:\n\tnop\n.Lloop:\n{body}\tjne .Lloop\n\tret\n"
-        );
+        let text = format!(".type f, @function\nf:\n\tnop\n.Lloop:\n{body}\tjne .Lloop\n\tret\n");
         let mut unit = MaoUnit::parse(&text).unwrap();
-        let mut ctx = PassContext::from_options(
-            crate::pass::PassOptions::new().with("max-size", "32"),
-        );
+        let mut ctx =
+            PassContext::from_options(crate::pass::PassOptions::new().with("max-size", "32"));
         let stats = LoopAlign16.run(&mut unit, &mut ctx).unwrap();
         assert_eq!(stats.transformations, 1);
     }

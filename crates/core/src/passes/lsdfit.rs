@@ -152,10 +152,7 @@ mod tests {
     #[test]
     fn fitting_loop_untouched() {
         // Same loop but starting at 0: within the window already.
-        let text = figure4_like().replace(
-            "\tnopw 0(%rax,%rax,1)\n\tnopl (%rax)\n\tnop\n",
-            "",
-        );
+        let text = figure4_like().replace("\tnopw 0(%rax,%rax,1)\n\tnopl (%rax)\n\tnop\n", "");
         let mut unit = MaoUnit::parse(&text).unwrap();
         let before = unit.emit();
         let mut ctx = PassContext::default();
@@ -167,8 +164,7 @@ mod tests {
     #[test]
     fn too_large_loop_skipped() {
         let body = "\taddl $1, %eax\n".repeat(30); // 90 bytes > 64
-        let text =
-            format!(".type f, @function\nf:\n\tnop\n.L:\n{body}\tjne .L\n\tret\n");
+        let text = format!(".type f, @function\nf:\n\tnop\n.L:\n{body}\tjne .L\n\tret\n");
         let mut unit = MaoUnit::parse(&text).unwrap();
         let mut ctx = PassContext::default();
         let stats = LsdFit.run(&mut unit, &mut ctx).unwrap();

@@ -19,14 +19,16 @@
 //! | `INSTPREP` | §III.E.l | 5-byte NOPs at entry/exit for instrumentation |
 //! | `SIMADDR` | §III.E.m | fwd/bwd instruction simulation of PMU samples |
 //! | `SCHED` | §III.F | basic-block list scheduling |
+//! | `PANIC` | — | fault injection: deliberate panic/error/sleep for isolation tests |
 
 mod addadd;
-mod layout_util;
-mod lfind;
 mod branchalign;
 mod constfold;
 mod deadcode;
+mod faultinject;
 mod instrument;
+mod layout_util;
+mod lfind;
 mod loopalign;
 mod lsdfit;
 mod nopinizer;
@@ -57,18 +59,14 @@ pub fn registry() -> BTreeMap<&'static str, PassFactory> {
     }
     add::<printfn::PrintFunctions>(&mut m, || Box::new(printfn::PrintFunctions));
     add::<lfind::LoopFinder>(&mut m, || Box::new(lfind::LoopFinder));
-    add::<redzext::RedundantZeroExtension>(&mut m, || {
-        Box::new(redzext::RedundantZeroExtension)
-    });
+    add::<redzext::RedundantZeroExtension>(&mut m, || Box::new(redzext::RedundantZeroExtension));
     add::<redtest::RedundantTest>(&mut m, || Box::new(redtest::RedundantTest));
     add::<redmov::RedundantMemMove>(&mut m, || Box::new(redmov::RedundantMemMove));
     add::<addadd::AddAddFold>(&mut m, || Box::new(addadd::AddAddFold));
     add::<loopalign::LoopAlign16>(&mut m, || Box::new(loopalign::LoopAlign16));
     add::<lsdfit::LsdFit>(&mut m, || Box::new(lsdfit::LsdFit));
     add::<branchalign::BranchAlign>(&mut m, || Box::new(branchalign::BranchAlign));
-    add::<deadcode::UnreachableCodeElim>(&mut m, || {
-        Box::new(deadcode::UnreachableCodeElim)
-    });
+    add::<deadcode::UnreachableCodeElim>(&mut m, || Box::new(deadcode::UnreachableCodeElim));
     add::<constfold::ConstantFold>(&mut m, || Box::new(constfold::ConstantFold));
     add::<nopinizer::Nopinizer>(&mut m, || Box::new(nopinizer::Nopinizer));
     add::<nopkiller::NopKiller>(&mut m, || Box::new(nopkiller::NopKiller));
@@ -76,6 +74,7 @@ pub fn registry() -> BTreeMap<&'static str, PassFactory> {
     add::<instrument::InstrumentPrep>(&mut m, || Box::new(instrument::InstrumentPrep));
     add::<simaddr::AddressSimulation>(&mut m, || Box::new(simaddr::AddressSimulation));
     add::<schedule::ListSchedule>(&mut m, || Box::new(schedule::ListSchedule));
+    add::<faultinject::FaultInject>(&mut m, || Box::new(faultinject::FaultInject));
     m
 }
 
@@ -87,13 +86,28 @@ mod tests {
     fn registry_has_all_paper_passes() {
         let r = registry();
         for name in [
-            "MAOPASS", "LFIND", "REDZEXT", "REDTEST", "REDMOV", "ADDADD", "LOOP16", "LSDFIT",
-            "BRALIGN", "DCE", "CONSTFOLD", "NOPIN", "NOPKILL", "PREFNTA", "INSTPREP", "SIMADDR",
+            "MAOPASS",
+            "LFIND",
+            "REDZEXT",
+            "REDTEST",
+            "REDMOV",
+            "ADDADD",
+            "LOOP16",
+            "LSDFIT",
+            "BRALIGN",
+            "DCE",
+            "CONSTFOLD",
+            "NOPIN",
+            "NOPKILL",
+            "PREFNTA",
+            "INSTPREP",
+            "SIMADDR",
             "SCHED",
+            "PANIC",
         ] {
             assert!(r.contains_key(name), "missing pass {name}");
         }
-        assert_eq!(r.len(), 17);
+        assert_eq!(r.len(), 18);
     }
 
     #[test]

@@ -42,8 +42,9 @@ fn is_self_test(insn: &mao_x86::Instruction) -> Option<(mao_x86::Reg, Width)> {
 fn sets_result_flags_for(prev: &mao_x86::Instruction, reg: mao_x86::Reg, width: Width) -> bool {
     use Mnemonic as M;
     let result_flag_setter = match prev.mnemonic {
-        M::Add | M::Sub | M::Adc | M::Sbb | M::And | M::Or | M::Xor | M::Neg | M::Inc
-        | M::Dec => true,
+        M::Add | M::Sub | M::Adc | M::Sbb | M::And | M::Or | M::Xor | M::Neg | M::Inc | M::Dec => {
+            true
+        }
         // Shifts set result flags only for non-zero counts; a dynamic %cl
         // count may be zero (flags unchanged) so only constant counts apply.
         M::Shl | M::Shr | M::Sar => match prev.operands.first() {

@@ -104,7 +104,9 @@ mod tests {
 
     #[test]
     fn paper_pattern_removed() {
-        let (unit, stats) = run(&format!("{HEADER}\tandl $255, %eax\n\tmov %eax, %eax\n\tret\n"));
+        let (unit, stats) = run(&format!(
+            "{HEADER}\tandl $255, %eax\n\tmov %eax, %eax\n\tret\n"
+        ));
         assert_eq!(stats.transformations, 1);
         let text = unit.emit();
         assert!(!text.contains("movl %eax, %eax"), "{text}");
@@ -115,13 +117,17 @@ mod tests {
     fn not_removed_after_64bit_write() {
         // movq writes the full register; the 32-bit self-move truncates and
         // is meaningful.
-        let (_unit, stats) = run(&format!("{HEADER}\tmovq %rbx, %rax\n\tmov %eax, %eax\n\tret\n"));
+        let (_unit, stats) = run(&format!(
+            "{HEADER}\tmovq %rbx, %rax\n\tmov %eax, %eax\n\tret\n"
+        ));
         assert_eq!(stats.transformations, 0);
     }
 
     #[test]
     fn not_removed_after_partial_write() {
-        let (_unit, stats) = run(&format!("{HEADER}\tmovb $1, %al\n\tmov %eax, %eax\n\tret\n"));
+        let (_unit, stats) = run(&format!(
+            "{HEADER}\tmovb $1, %al\n\tmov %eax, %eax\n\tret\n"
+        ));
         assert_eq!(stats.transformations, 0);
     }
 
@@ -149,7 +155,9 @@ mod tests {
 
     #[test]
     fn different_registers_not_matched() {
-        let (_unit, stats) = run(&format!("{HEADER}\tandl $255, %eax\n\tmov %eax, %ebx\n\tret\n"));
+        let (_unit, stats) = run(&format!(
+            "{HEADER}\tandl $255, %eax\n\tmov %eax, %ebx\n\tret\n"
+        ));
         assert_eq!(stats.matches, 0);
     }
 

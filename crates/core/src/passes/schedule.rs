@@ -56,8 +56,9 @@ impl CostModel {
             M::Mulss | M::Mulsd => 4,
             M::Addss | M::Addsd | M::Subss | M::Subsd => 3,
             M::Divss | M::Divsd | M::Sqrtss | M::Sqrtsd => 12,
-            M::Cvtsi2ss | M::Cvtsi2sd | M::Cvttss2si | M::Cvttsd2si | M::Cvtss2sd
-            | M::Cvtsd2ss => 3,
+            M::Cvtsi2ss | M::Cvtsi2sd | M::Cvttss2si | M::Cvttsd2si | M::Cvtss2sd | M::Cvtsd2ss => {
+                3
+            }
             _ => 1,
         };
         if mem_read {
@@ -82,8 +83,8 @@ impl CostModel {
             return 0b00_0100; // pure load
         }
         match insn.mnemonic {
-            M::Lea => 0b00_0001,                 // port 0 only
-            M::Shl | M::Shr | M::Sar => 0b10_0001, // ports 0 and 5
+            M::Lea => 0b00_0001,                                 // port 0 only
+            M::Shl | M::Shr | M::Sar => 0b10_0001,               // ports 0 and 5
             M::Imul | M::Mul | M::Mulss | M::Mulsd => 0b00_0010, // port 1
             M::Addss | M::Addsd | M::Subss | M::Subsd => 0b00_0001,
             M::Idiv | M::Div | M::Divss | M::Divsd | M::Sqrtss | M::Sqrtsd => 0b00_0001,
@@ -123,10 +124,10 @@ fn build_dag(insns: &[&Instruction]) -> Dag {
     let mut last_barrier: Option<usize> = None;
 
     let add_edge = |preds: &mut Vec<Vec<(usize, Dep)>>,
-                        succs: &mut Vec<Vec<usize>>,
-                        from: usize,
-                        to: usize,
-                        dep: Dep| {
+                    succs: &mut Vec<Vec<usize>>,
+                    from: usize,
+                    to: usize,
+                    dep: Dep| {
         if from != to && !preds[to].iter().any(|&(p, _)| p == from) {
             preds[to].push((from, dep));
             succs[from].push(to);
@@ -348,7 +349,11 @@ impl MaoPass for ListSchedule {
                 let ids: Vec<EntryId> = body.iter().map(|&(id, _)| id).collect();
                 let insns: Vec<&Instruction> = body.iter().map(|&(_, i)| i).collect();
                 let order = schedule(&insns, &model, policy);
-                let moved = order.iter().enumerate().filter(|&(slot, &src)| slot != src).count();
+                let moved = order
+                    .iter()
+                    .enumerate()
+                    .filter(|&(slot, &src)| slot != src)
+                    .count();
                 if moved == 0 {
                     continue;
                 }
@@ -410,10 +415,7 @@ f:
         // shrl (RAW on %edi) and after subl %ebx,%edx (WAW-ish on %edx).
         assert_eq!(order[0], "xorl %edi, %ebx");
         let shr = order.iter().position(|s| s.starts_with("shrl")).unwrap();
-        let last_xor = order
-            .iter()
-            .position(|s| s == "xorl %edi, %edx")
-            .unwrap();
+        let last_xor = order.iter().position(|s| s == "xorl %edi, %edx").unwrap();
         assert!(shr < last_xor);
         let mov = order.iter().position(|s| s.starts_with("movl")).unwrap();
         assert!(mov < shr, "shrl reads %edi written by movl");

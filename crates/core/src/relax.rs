@@ -43,7 +43,10 @@ impl std::fmt::Display for RelaxError {
                 write!(f, "entry {id}: {message}")
             }
             RelaxError::DidNotConverge => {
-                write!(f, "relaxation did not converge in {MAX_ITERATIONS} iterations")
+                write!(
+                    f,
+                    "relaxation did not converge in {MAX_ITERATIONS} iterations"
+                )
             }
         }
     }

@@ -219,9 +219,7 @@ fn is_structural(e: &Entry) -> bool {
     match e {
         Entry::Label(_) => true,
         Entry::Insn(_) => false,
-        Entry::Directive(d) => {
-            d.section_name().is_some() || matches!(d, Directive::Type { .. })
-        }
+        Entry::Directive(d) => d.section_name().is_some() || matches!(d, Directive::Type { .. }),
     }
 }
 
@@ -492,9 +490,8 @@ impl MaoUnit {
         // An entry AT position `p` (a label) also moves past entries
         // inserted immediately before it; range boundaries do not (inserts
         // before a range start are rejected above).
-        let shift_entity = |p: EntryId| -> EntryId {
-            shift(p) + edits.insert_before.get(&p).map_or(0, Vec::len)
-        };
+        let shift_entity =
+            |p: EntryId| -> EntryId { shift(p) + edits.insert_before.get(&p).map_or(0, Vec::len) };
 
         Some(UnitIndex {
             sections: index
@@ -600,7 +597,10 @@ impl EditSet {
 
     /// Number of edit operations recorded.
     pub fn len(&self) -> usize {
-        self.deleted.len() + self.replaced.len() + self.insert_before.len() + self.insert_after.len()
+        self.deleted.len()
+            + self.replaced.len()
+            + self.insert_before.len()
+            + self.insert_after.len()
     }
 
     /// Delete entry `id`.
@@ -736,10 +736,9 @@ h:
         let insns: Vec<_> = h.entry_ids().filter_map(|id| unit.insn(id)).collect();
         // nop, jmp, nop, ret — the .quad data is NOT iterated.
         assert_eq!(insns.len(), 4);
-        assert!(insns.iter().all(|i| !matches!(
-            i.mnemonic,
-            mao_x86::Mnemonic::Movss
-        )));
+        assert!(insns
+            .iter()
+            .all(|i| !matches!(i.mnemonic, mao_x86::Mnemonic::Movss)));
     }
 
     #[test]
@@ -819,7 +818,10 @@ h:
         let funcs = unit.functions(); // builds the index
         let epoch = unit.context_epoch();
         let g_before = funcs[1].clone();
-        let f_insn = funcs[0].entry_ids().find(|&id| unit.insn(id).is_some()).unwrap();
+        let f_insn = funcs[0]
+            .entry_ids()
+            .find(|&id| unit.insn(id).is_some())
+            .unwrap();
 
         let mut edits = EditSet::new();
         edits.delete(f_insn);
@@ -863,7 +865,11 @@ h:
         let mut edits = EditSet::new();
         edits.insert_after(g.label_id, vec![Entry::Insn(Instruction::nop())]);
         unit.apply(edits);
-        assert_eq!(unit.context_epoch(), epoch, "insert_after label is patchable");
+        assert_eq!(
+            unit.context_epoch(),
+            epoch,
+            "insert_after label is patchable"
+        );
         let g2 = unit.find_function("g").unwrap();
         assert_eq!(
             g2.entry_ids().filter_map(|id| unit.insn(id)).count(),

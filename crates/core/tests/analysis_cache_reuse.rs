@@ -1,0 +1,184 @@
+//! Cross-run [`AnalysisCache`] reuse — the property the `maod` service
+//! relies on: sequential `run_pipeline_shared` runs over different unit
+//! instances share one cache, so repeated function content skips
+//! CFG/dataflow construction; structural mutation flushes via the epoch;
+//! capacity bounds growth through LRU eviction.
+
+use std::sync::Arc;
+
+use mao::pass::{parse_invocations, run_pipeline_shared, PipelineConfig};
+use mao::{AnalysisCache, MaoUnit};
+
+/// `n` distinct small functions; LFIND (analysis-only) visits each one.
+fn unit_text(n: usize) -> String {
+    let mut text = String::from("\t.text\n");
+    for i in 0..n {
+        text.push_str(&format!(
+            "\t.type\tf{i}, @function\nf{i}:\n.L{i}:\n\taddl ${i}, %eax\n\tjne .L{i}\n\tret\n"
+        ));
+    }
+    text
+}
+
+fn run(unit: &mut MaoUnit, passes: &str, analyses: &Arc<AnalysisCache>) {
+    let invocations = parse_invocations(passes).unwrap();
+    run_pipeline_shared(
+        unit,
+        &invocations,
+        None,
+        &PipelineConfig { jobs: 1 },
+        analyses,
+    )
+    .unwrap();
+}
+
+#[test]
+fn sequential_runs_on_identical_units_hit_the_cache() {
+    let text = unit_text(6);
+    let analyses = Arc::new(AnalysisCache::new());
+
+    // First run, fresh cache: every function's analyses are built exactly
+    // once. (The counters are per *lookup* — a pass that asks for cfg then
+    // loops performs two lookups per function, so hits can be non-zero
+    // even on the first run; what matters is the build count.)
+    let mut first = MaoUnit::parse(&text).unwrap();
+    let functions = first.functions().len() as u64;
+    assert_eq!(functions, 6);
+    run(&mut first, "LFIND", &analyses);
+    let s1 = analyses.stats();
+    assert_eq!(s1.misses, functions, "each function built exactly once");
+    let lookups_per_run = s1.hits + s1.misses;
+
+    // A *different* unit parsed from the same text: same content, same
+    // positions, same (fresh) epoch — nothing is rebuilt, every lookup
+    // hits.
+    let mut second = MaoUnit::parse(&text).unwrap();
+    run(&mut second, "LFIND", &analyses);
+    let s2 = analyses.stats();
+    assert_eq!(s2.misses, s1.misses, "no rebuilds on the identical rerun");
+    assert_eq!(s2.hits, s1.hits + lookups_per_run);
+    assert!(s2.hit_rate() > s1.hit_rate());
+
+    // Third run: hit rate keeps climbing toward 1.
+    let mut third = MaoUnit::parse(&text).unwrap();
+    run(&mut third, "LFIND", &analyses);
+    let s3 = analyses.stats();
+    assert_eq!(s3.misses, s1.misses);
+    assert_eq!(s3.hits, s1.hits + 2 * lookups_per_run);
+    assert!(s3.hit_rate() > s2.hit_rate());
+}
+
+#[test]
+fn disjoint_content_misses_then_hits_its_own_entries() {
+    let analyses = Arc::new(AnalysisCache::new());
+    let text_a = unit_text(3);
+    // Different bodies ⇒ different content keys ⇒ no cross-talk.
+    let text_b = "\t.text\n\t.type\tg, @function\ng:\n\tsubl $7, %ebx\n\tret\n";
+
+    let mut a = MaoUnit::parse(&text_a).unwrap();
+    run(&mut a, "LFIND", &analyses);
+    assert_eq!(analyses.stats().misses, 3);
+    let mut b = MaoUnit::parse(text_b).unwrap();
+    run(&mut b, "LFIND", &analyses);
+    // b's function was built fresh, not served from a's entries.
+    assert_eq!(analyses.stats().misses, 4, "different content must rebuild");
+
+    // Each text re-run hits its own cached entries: no further rebuilds.
+    let mut a2 = MaoUnit::parse(&text_a).unwrap();
+    run(&mut a2, "LFIND", &analyses);
+    let mut b2 = MaoUnit::parse(text_b).unwrap();
+    run(&mut b2, "LFIND", &analyses);
+    assert_eq!(analyses.stats().misses, 4);
+}
+
+#[test]
+fn structural_mutation_flushes_via_the_epoch() {
+    // One function with an unreachable block: DCE deletes it, which bumps
+    // the unit's context epoch.
+    let text = "\t.text\n\t.type\tf, @function\nf:\n\tret\n.Ldead:\n\taddl $1, %eax\n\tret\n";
+    let analyses = Arc::new(AnalysisCache::new());
+    let mut unit = MaoUnit::parse(text).unwrap();
+
+    run(&mut unit, "LFIND", &analyses);
+    let before = analyses.stats();
+    assert_eq!(before.misses, 1);
+    assert!(!analyses.is_empty());
+    let epoch_before = unit.context_epoch();
+
+    // DCE transforms (removes the dead block) — the epoch moves.
+    run(&mut unit, "DCE", &analyses);
+    assert!(
+        unit.context_epoch() > epoch_before,
+        "DCE must bump the epoch when it deletes entries"
+    );
+    let mid = analyses.stats();
+
+    // The next analysis run sees a new epoch: stale entries are flushed and
+    // the (new-content) function is rebuilt instead of served stale.
+    run(&mut unit, "LFIND", &analyses);
+    let after = analyses.stats();
+    assert_eq!(
+        after.misses,
+        mid.misses + 1,
+        "post-mutation run must rebuild, not hit stale pre-mutation analyses"
+    );
+}
+
+#[test]
+fn capacity_bounds_growth_through_lru_eviction() {
+    let text = unit_text(8);
+    let analyses = Arc::new(AnalysisCache::with_capacity(3));
+    assert_eq!(analyses.capacity(), 3);
+
+    let mut unit = MaoUnit::parse(&text).unwrap();
+    run(&mut unit, "LFIND", &analyses);
+    let stats = analyses.stats();
+    assert_eq!(stats.misses, 8);
+    assert!(
+        analyses.len() <= 3,
+        "cache grew past capacity: {}",
+        analyses.len()
+    );
+    assert!(stats.evictions >= 5, "evictions: {}", stats.evictions);
+
+    // Rerunning still works (and stays bounded) even though most entries
+    // were evicted — correctness never depends on residency.
+    let mut again = MaoUnit::parse(&text).unwrap();
+    run(&mut again, "LFIND", &analyses);
+    assert!(analyses.len() <= 3);
+
+    // An unbounded cache (capacity 0) keeps everything.
+    let unbounded = Arc::new(AnalysisCache::new());
+    let mut u = MaoUnit::parse(&text).unwrap();
+    run(&mut u, "LFIND", &unbounded);
+    assert_eq!(unbounded.len(), 8);
+    assert_eq!(unbounded.stats().evictions, 0);
+}
+
+#[test]
+fn shared_cache_and_private_cache_agree_on_results() {
+    // The cache must be invisible to pass semantics: the same pipeline on
+    // the same input emits byte-identical assembly with a cold cache, a
+    // warm shared cache, and a tiny always-evicting cache.
+    let text = unit_text(5);
+    let passes = "REDTEST:ADDADD:CONSTFOLD:DCE:SCHED";
+
+    let mut cold = MaoUnit::parse(&text).unwrap();
+    run(&mut cold, passes, &Arc::new(AnalysisCache::new()));
+
+    let shared = Arc::new(AnalysisCache::new());
+    let mut warmup = MaoUnit::parse(&text).unwrap();
+    run(&mut warmup, passes, &shared);
+    let mut warm = MaoUnit::parse(&text).unwrap();
+    run(&mut warm, passes, &shared);
+
+    let mut tiny = MaoUnit::parse(&text).unwrap();
+    run(
+        &mut tiny,
+        passes,
+        &Arc::new(AnalysisCache::with_capacity(1)),
+    );
+
+    assert_eq!(cold.emit(), warm.emit());
+    assert_eq!(cold.emit(), tiny.emit());
+}

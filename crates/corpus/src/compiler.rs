@@ -225,8 +225,16 @@ mod tests {
             "redundant-test ratio {ratio}"
         );
         // At scale 0.25 expect ~250 zext, ~3340 redmov.
-        assert!((150..400).contains(&p.redundant_zext), "{}", p.redundant_zext);
-        assert!((2500..4200).contains(&p.redundant_loads), "{}", p.redundant_loads);
+        assert!(
+            (150..400).contains(&p.redundant_zext),
+            "{}",
+            p.redundant_zext
+        );
+        assert!(
+            (2500..4200).contains(&p.redundant_loads),
+            "{}",
+            p.redundant_loads
+        );
     }
 
     #[test]

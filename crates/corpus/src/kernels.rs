@@ -32,7 +32,10 @@ impl Workload {
 }
 
 fn function_header(out: &mut String, name: &str) {
-    let _ = writeln!(out, "\t.text\n\t.globl\t{name}\n\t.type\t{name}, @function\n{name}:");
+    let _ = writeln!(
+        out,
+        "\t.text\n\t.globl\t{name}\n\t.type\t{name}, @function\n{name}:"
+    );
 }
 
 fn function_footer(out: &mut String, name: &str) {

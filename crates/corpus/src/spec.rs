@@ -85,9 +85,9 @@ fn eon_hot(tag: &str, outer: u64, dilute: u64) -> String {
     let _ = writeln!(s, "\taddq $1, %rax");
     let _ = writeln!(s, "\tsubl $1, %edx");
     let _ = writeln!(s, "\tjne .Leon_{tag}_a"); // ends at 30
-    // Redundant pair: subl(3) + testl(2) -> 35, consumed by a cmov (4)
-    // -> 39 (a flags consumer that is not a branch, so deleting the testl
-    // shifts code without perturbing the predictor's bucket contents).
+                                                // Redundant pair: subl(3) + testl(2) -> 35, consumed by a cmov (4)
+                                                // -> 39 (a flags consumer that is not a branch, so deleting the testl
+                                                // shifts code without perturbing the predictor's bucket contents).
     let _ = writeln!(s, "\tsubl $1, %esi");
     let _ = writeln!(s, "\ttestl %esi, %esi");
     let _ = writeln!(s, "\tcmovne %r9d, %r10d");
@@ -96,10 +96,10 @@ fn eon_hot(tag: &str, outer: u64, dilute: u64) -> String {
     let _ = writeln!(s, "\tmovl $40, %edx");
     let _ = writeln!(s, "\tnopl 0(%rax)"); // 4 -> 48
     let _ = writeln!(s, "\tnop"); // 1 -> 49
-    // Loop B: 18 bytes at [49,67): lines 3,4 (exactly two). REDTEST's
-    // 2-byte shrink moves it to [47,65): three lines.
-    // B is fetch-bound: independent work only, so the extra decode line
-    // REDTEST's shift causes is the binding constraint.
+                                  // Loop B: 18 bytes at [49,67): lines 3,4 (exactly two). REDTEST's
+                                  // 2-byte shrink moves it to [47,65): three lines.
+                                  // B is fetch-bound: independent work only, so the extra decode line
+                                  // REDTEST's shift causes is the binding constraint.
     let _ = writeln!(s, ".Leon_{tag}_b:");
     let _ = writeln!(s, "\tmovss (%rdi,%rax,4), %xmm1");
     let _ = writeln!(s, "\txorps %xmm1, %xmm3");
@@ -149,9 +149,9 @@ fn eon_hot(tag: &str, outer: u64, dilute: u64) -> String {
     let _ = writeln!(s, "\taddq $1, %rax");
     let _ = writeln!(s, "\tsubl $1, %edx");
     let _ = writeln!(s, "\tjne .Leon_{tag}_d"); // D = [210,224)
-    // Loop E: 34 bytes, byte-dense — the AMD-profile analogue of D. At its
-    // baseline offset it spans two 32-byte fetch windows; LOOP16's padding
-    // pushes it to an offset ≡ 31 (mod 32) where it needs three.
+                                                // Loop E: 34 bytes, byte-dense — the AMD-profile analogue of D. At its
+                                                // baseline offset it spans two 32-byte fetch windows; LOOP16's padding
+                                                // pushes it to an offset ≡ 31 (mod 32) where it needs three.
     let _ = writeln!(s, "\taddq $0x12121212, %r13"); // 7 -> 231
     let _ = writeln!(s, "\tmovq %r8, %r9"); // 3 -> 234
     let _ = writeln!(s, "\tmovq %r8, %r9"); // 3 -> 237
@@ -207,8 +207,8 @@ fn crossing32_hot(tag: &str, trips: u64, outer: u64, dilute: u64) -> String {
     let _ = writeln!(s, "\tnopw 0(%rax,%rax,1)"); // 6 -> 19
     let _ = writeln!(s, "\tnopl 0(%rax)"); // 4 -> 23
     let _ = writeln!(s, "\tnopl (%rax)"); // 3 -> 26
-    // Loop at 26: 15 bytes = [26,41): crosses the 32-byte boundary; also
-    // lines 1,2 of 16 (fits Intel's 4-line LSD easily).
+                                          // Loop at 26: 15 bytes = [26,41): crosses the 32-byte boundary; also
+                                          // lines 1,2 of 16 (fits Intel's 4-line LSD easily).
     let _ = writeln!(s, ".Lx32_{tag}_loop:");
     let _ = writeln!(s, "\tmovss %xmm0, (%rdi,%rax,4)");
     let _ = writeln!(s, "\taddq $1, %rax");
@@ -235,9 +235,9 @@ fn calculix_hot(tag: &str, trips: u64, outer: u64, dilute: u64, fragile: bool) -
     let _ = writeln!(s, "\tmovl ${outer}, %ecx"); // 5
     let _ = writeln!(s, ".Lclx_{tag}_outer:");
     let _ = writeln!(s, "\tmovl ${trips}, %edx"); // 5 -> 10
-    // 14 bytes of non-NOP padding put loop 1 at raw offset 24 — harmless
-    // if the alignment below disappears (still two fetch windows), so
-    // NOPKILL's regression comes only from the protected loop 2.
+                                                  // 14 bytes of non-NOP padding put loop 1 at raw offset 24 — harmless
+                                                  // if the alignment below disappears (still two fetch windows), so
+                                                  // NOPKILL's regression comes only from the protected loop 2.
     let _ = writeln!(s, "\taddq $0x11111111, %r13"); // 7 -> 17
     let _ = writeln!(s, "\taddq $0x22222222, %r13"); // 7 -> 24
     let _ = writeln!(s, "\t.p2align 5,,31"); // 24 -> 32
@@ -251,10 +251,10 @@ fn calculix_hot(tag: &str, trips: u64, outer: u64, dilute: u64, fragile: bool) -
     let _ = writeln!(s, "\tsubq $1, %rdx"); // 4 -> 30
     let _ = writeln!(s, "\ttestq %rdx, %rdx"); // 3 -> 33 (REDTEST: -3)
     let _ = writeln!(s, "\tjne .Lclx_{tag}_loop"); // 2 -> 35, ends 66
-    // Loop 2: 12 bytes, high-trip, kept inside one 32-byte window by a
-    // compiler `.p2align 5` — it streams from the AMD loop buffer. NOPKILL
-    // removes the alignment; at the raw offset (≡ 21 mod 32) the loop
-    // crosses a window boundary and stops streaming (the paper's -8.8%).
+                                                   // Loop 2: 12 bytes, high-trip, kept inside one 32-byte window by a
+                                                   // compiler `.p2align 5` — it streams from the AMD loop buffer. NOPKILL
+                                                   // removes the alignment; at the raw offset (≡ 21 mod 32) the loop
+                                                   // crosses a window boundary and stops streaming (the paper's -8.8%).
     if fragile {
         let _ = writeln!(s, "\tmovl ${trips2}, %edx"); // 5 -> 72
         let _ = writeln!(s, "\taddq $0x44444444, %r13"); // 7 -> 79
@@ -497,14 +497,20 @@ pub fn spec2006_benchmark(name: &str) -> Option<Workload> {
     let r = match name {
         "447.dealII" => Recipe {
             name: "447.dealII",
-            hot: vec![("dealii_hot".into(), calculix_hot("dea", 150, 25, 1350, true))],
+            hot: vec![(
+                "dealii_hot".into(),
+                calculix_hot("dea", 150, 25, 1350, true),
+            )],
             filler_functions: 10,
             filler_slots: 350,
             main_iters: 8,
         },
         "454.calculix" => Recipe {
             name: "454.calculix",
-            hot: vec![("calculix_hot".into(), calculix_hot("clx", 200, 40, 40, true))],
+            hot: vec![(
+                "calculix_hot".into(),
+                calculix_hot("clx", 200, 40, 40, true),
+            )],
             filler_functions: 2,
             filler_slots: 200,
             main_iters: 10,
@@ -642,7 +648,13 @@ mod layout_tests {
         let w = spec2000_benchmark("252.eon").expect("eon");
         let offs = label_offsets(
             &w.asm,
-            &[".Leon_e_a", ".Leon_e_b", ".Leon_e_c", ".Leon_e_d", ".Leon_e_e"],
+            &[
+                ".Leon_e_a",
+                ".Leon_e_b",
+                ".Leon_e_c",
+                ".Leon_e_d",
+                ".Leon_e_e",
+            ],
         );
         // Loop A aligned at 16 (one decode line for its 14 bytes).
         assert_eq!(offs[0], 16);

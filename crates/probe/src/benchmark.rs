@@ -96,7 +96,10 @@ impl Benchmark {
     /// Total dynamic instructions inside the loops (the divisor of the
     /// Fig. 6 latency computation: `NumDynamicInstructions`).
     pub fn num_dynamic_instructions(&self) -> u64 {
-        self.loops.iter().map(StraightLineLoop::dynamic_instructions).sum()
+        self.loops
+            .iter()
+            .map(StraightLineLoop::dynamic_instructions)
+            .sum()
     }
 
     /// Render the benchmark as an assembly program.
@@ -167,7 +170,10 @@ mod tests {
         let asm = bench.assembly();
         assert!(mao::MaoUnit::parse(&asm).is_ok(), "{asm}");
         let counters = bench
-            .execute(&Processor::core2(), &[Processor::CPU_CYCLES, "INST_RETIRED"])
+            .execute(
+                &Processor::core2(),
+                &[Processor::CPU_CYCLES, "INST_RETIRED"],
+            )
             .unwrap();
         assert!(counters["CPU_CYCLES"] > 0);
         // 8 body + 2 control per iteration.

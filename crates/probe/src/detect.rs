@@ -16,10 +16,7 @@ use crate::sequence::{DagType, InstructionSequence};
 /// Execute the chain, collect CPU cycles and obtain the latency."* The
 /// CYCLE dependence shape keeps exactly one instruction executing per
 /// cycle-of-the-chain, so `latency = CPU_CYCLES / dynamic instructions`.
-pub fn instruction_latency(
-    proc: &Processor,
-    template: &str,
-) -> Result<u64, BenchmarkError> {
+pub fn instruction_latency(proc: &Processor, template: &str) -> Result<u64, BenchmarkError> {
     let template = InstructionTemplate::parse(template)
         .ok_or_else(|| BenchmarkError::Parse(format!("bad template `{template}`")))?;
     let mut seq = InstructionSequence::new(proc);
@@ -98,8 +95,7 @@ pub fn detect_predictor_shift(proc: &Processor) -> Result<u32, BenchmarkError> {
              \tsubl $1, %eax\n\tjne .Louter\n\tret\n\
              \t.size\tprobe_main, .-probe_main\n"
         );
-        let unit = mao::MaoUnit::parse(&asm)
-            .map_err(|e| BenchmarkError::Parse(e.to_string()))?;
+        let unit = mao::MaoUnit::parse(&asm).map_err(|e| BenchmarkError::Parse(e.to_string()))?;
         let result = mao_sim::simulate(
             &unit,
             "probe_main",

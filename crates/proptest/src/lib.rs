@@ -138,10 +138,9 @@ pub mod strategy {
         type Value = String;
 
         fn generate(&self, rng: &mut TestRng) -> String {
-            let (lo, hi, min, max) =
-                parse_class_pattern(self).unwrap_or_else(|| {
-                    panic!("unsupported string pattern `{self}` (shim handles `[a-b]{{m,n}}`)")
-                });
+            let (lo, hi, min, max) = parse_class_pattern(self).unwrap_or_else(|| {
+                panic!("unsupported string pattern `{self}` (shim handles `[a-b]{{m,n}}`)")
+            });
             let len = rng.random_range(min..=max);
             (0..len)
                 .map(|_| rng.random_range(lo as u32..=hi as u32))

@@ -1,0 +1,88 @@
+//! Pipe-based batch mode: newline-delimited JSON over stdin/stdout.
+//!
+//! `mao batch` reads one request per line, writes one response per line,
+//! and exits at EOF (or on a `shutdown` request). It shares the exact
+//! [`Engine`] the socket server uses — same caches, same isolation, same
+//! counters — so a pipeline can be smoke-tested with a here-doc before
+//! deploying the daemon.
+
+use std::io::{self, BufRead, Write};
+
+use crate::engine::Engine;
+use crate::protocol::{ErrorKind, Request, Response};
+
+/// Serve requests line-by-line until EOF or `shutdown`.
+pub fn run_batch(engine: &Engine, input: impl BufRead, mut output: impl Write) -> io::Result<()> {
+    let max = engine.config().max_request_bytes;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = if line.len() > max {
+            Response::error(
+                ErrorKind::TooLarge,
+                format!(
+                    "request line of {} bytes exceeds the {max}-byte limit",
+                    line.len()
+                ),
+            )
+        } else {
+            match Request::from_json_text(&line) {
+                Ok(request) => engine.handle(request),
+                Err(message) => Response::error(ErrorKind::BadRequest, message),
+            }
+        };
+        let stop = matches!(response, Response::ShutdownAck);
+        writeln!(output, "{}", response.to_json_text())?;
+        output.flush()?;
+        if stop {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::json::Json;
+
+    #[test]
+    fn batch_round_trips_lines() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            ..EngineConfig::default()
+        });
+        let input = concat!(
+            r#"{"type":"ping"}"#,
+            "\n\n",
+            r#"{"type":"optimize","asm":"nop\n","passes":""}"#,
+            "\n",
+            "not json\n",
+            r#"{"type":"shutdown"}"#,
+            "\n",
+            r#"{"type":"ping"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        run_batch(&engine, input.as_bytes(), &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().lines().collect();
+        assert_eq!(lines.len(), 4, "shutdown stops the stream: {lines:?}");
+        assert_eq!(
+            Json::parse(lines[0])
+                .unwrap()
+                .get("pong")
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        let opt = Json::parse(lines[1]).unwrap();
+        assert_eq!(opt.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(opt.get("asm").unwrap().as_str(), Some("\tnop\n"));
+        let bad = Json::parse(lines[2]).unwrap();
+        assert_eq!(bad.get("status").unwrap().as_str(), Some("error"));
+        let ack = Json::parse(lines[3]).unwrap();
+        assert_eq!(ack.get("shutdown").and_then(Json::as_bool), Some(true));
+    }
+}

@@ -1,0 +1,479 @@
+//! The `mao` command-line driver.
+//!
+//! One-shot mode mirrors the paper's invocation style:
+//!
+//! ```text
+//! mao --mao=LFIND=trace[0]:ASM=o[/dev/null] in.s
+//! ```
+//!
+//! `--mao=` options select and order the passes; everything else is treated
+//! as an input assembly file (the real MAO forwards unknown options to gas;
+//! this reproduction has no gas behind it, so unknown options are reported).
+//! The pseudo-passes `READ` (implicit first) and `ASM` (emission, with an
+//! `o[path]` option) frame the pipeline exactly as §III.A describes.
+//!
+//! Service mode keeps the optimizer resident between requests:
+//!
+//! ```text
+//! mao serve --listen unix:/tmp/maod.sock --workers 4
+//! mao client --listen unix:/tmp/maod.sock --passes REDTEST:ADDADD in.s
+//! mao client --stats
+//! mao batch < requests.ndjson
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use mao::pass::{parse_invocations, registry, run_pipeline_with, PassInvocation, PipelineConfig};
+use mao::MaoUnit;
+use mao_serve::engine::{Engine, EngineConfig};
+use mao_serve::json::Json;
+use mao_serve::protocol::{OptimizeRequest, Request};
+use mao_serve::server::Listen;
+use mao_serve::Client;
+
+fn usage() -> &'static str {
+    "usage: mao [--mao=PASS[=opt[val],...][:PASS...]]... [--jobs N] [--list-passes] input.s\n\
+     \x20      mao serve  [--listen ADDR] [--workers N] [--jobs N] [--timeout-ms N]\n\
+     \x20                 [--cache-cap N] [--analysis-cache-cap N] [--max-request-bytes N]\n\
+     \x20      mao client [--listen ADDR] [--passes STR] [--jobs N] [--timeout-ms N]\n\
+     \x20                 [--no-cache] [-o FILE] input.s | --stats | --ping | --shutdown\n\
+     \x20      mao batch  [--workers N] [--jobs N] [--timeout-ms N] [--cache-cap N]\n\
+     \n\
+     --jobs N   worker threads for function-level passes (0 = all cores;\n\
+     \x20           default 1, or the MAO_JOBS environment variable when set).\n\
+     \x20           Output is byte-identical for every N.\n\
+     ADDR is `unix:/path`, `tcp:host:port`, or a bare socket path\n\
+     (default unix:/tmp/maod.sock, or the MAOD_SOCKET environment variable).\n\
+     The ASM pseudo-pass emits assembly: ASM=o[/path/to/out.s] (default stdout).\n\
+     Without any ASM pass, the transformed unit is emitted to stdout."
+}
+
+fn default_listen() -> String {
+    std::env::var("MAOD_SOCKET").unwrap_or_else(|_| "unix:/tmp/maod.sock".to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
+        _ => cmd_oneshot(&args),
+    }
+}
+
+/// Shared `--flag VALUE` scanner for the service subcommands.
+struct ArgParser<'a> {
+    args: std::slice::Iter<'a, String>,
+}
+
+impl<'a> ArgParser<'a> {
+    fn new(args: &'a [String]) -> ArgParser<'a> {
+        ArgParser { args: args.iter() }
+    }
+
+    fn next(&mut self) -> Option<&'a String> {
+        self.args.next()
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, String> {
+        self.args
+            .next()
+            .map(String::as_str)
+            .ok_or_else(|| format!("{flag} needs a value"))
+    }
+
+    fn numeric<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        self.value(flag)?
+            .parse()
+            .map_err(|_| format!("{flag} needs a numeric value"))
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let mut listen = default_listen();
+    let mut config = EngineConfig::default();
+    let mut parser = ArgParser::new(args);
+    let parsed = (|| -> Result<(), String> {
+        while let Some(arg) = parser.next() {
+            match arg.as_str() {
+                "--listen" => listen = parser.value("--listen")?.to_string(),
+                "--workers" => config.workers = parser.numeric("--workers")?,
+                "--jobs" => config.jobs = parser.numeric("--jobs")?,
+                "--timeout-ms" => config.timeout_ms = parser.numeric("--timeout-ms")?,
+                "--cache-cap" => config.result_cache_capacity = parser.numeric("--cache-cap")?,
+                "--analysis-cache-cap" => {
+                    config.analysis_cache_capacity = parser.numeric("--analysis-cache-cap")?
+                }
+                "--max-request-bytes" => {
+                    config.max_request_bytes = parser.numeric("--max-request-bytes")?
+                }
+                "--help" | "-h" => {
+                    println!("{}", usage());
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown serve option `{other}`")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(message) = parsed {
+        eprintln!("mao serve: {message}\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let addr = match Listen::parse(&listen) {
+        Ok(a) => a,
+        Err(message) => {
+            eprintln!("mao serve: bad --listen: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let engine = Engine::new(config);
+    match mao_serve::server::serve(engine, &addr) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mao serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_client(args: &[String]) -> ExitCode {
+    let mut listen = default_listen();
+    let mut passes = String::new();
+    let mut jobs: Option<usize> = None;
+    let mut timeout_ms: Option<u64> = None;
+    let mut use_cache = true;
+    let mut out: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut admin: Option<Request> = None;
+    let mut parser = ArgParser::new(args);
+    let parsed = (|| -> Result<(), String> {
+        while let Some(arg) = parser.next() {
+            match arg.as_str() {
+                "--listen" => listen = parser.value("--listen")?.to_string(),
+                "--passes" => passes = parser.value("--passes")?.to_string(),
+                "--jobs" => jobs = Some(parser.numeric("--jobs")?),
+                "--timeout-ms" => timeout_ms = Some(parser.numeric("--timeout-ms")?),
+                "--no-cache" => use_cache = false,
+                "-o" | "--out" => out = Some(parser.value("-o")?.to_string()),
+                "--stats" => admin = Some(Request::Stats),
+                "--ping" => admin = Some(Request::Ping),
+                "--shutdown" => admin = Some(Request::Shutdown),
+                "--help" | "-h" => {
+                    println!("{}", usage());
+                    std::process::exit(0);
+                }
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown client option `{other}`"))
+                }
+                input => inputs.push(input.to_string()),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(message) = parsed {
+        eprintln!("mao client: {message}\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let addr = match Listen::parse(&listen) {
+        Ok(a) => a,
+        Err(message) => {
+            eprintln!("mao client: bad --listen: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("mao client: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(request) = admin {
+        return match client.request(&request) {
+            Ok(response) => {
+                println!("{}", response.to_string());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mao client: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let Some(input) = inputs.first() else {
+        eprintln!("mao client: no input file\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let asm = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mao client: cannot read `{input}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let request = Request::Optimize(OptimizeRequest {
+        asm,
+        passes,
+        jobs,
+        timeout_ms,
+        use_cache,
+    });
+    let response = match client.request(&request) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mao client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if response.get("status").and_then(Json::as_str) != Some("ok") {
+        let (kind, message) = match response.get("error") {
+            Some(e) => (
+                e.get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                e.get("message")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+            ),
+            None => ("?".to_string(), response.to_string()),
+        };
+        eprintln!("mao client: server error [{kind}]: {message}");
+        return ExitCode::FAILURE;
+    }
+    // Trace and per-pass stats to stderr, matching one-shot mode's format.
+    if let Some(trace) = response.get("trace").and_then(Json::as_arr) {
+        for line in trace {
+            if let Some(line) = line.as_str() {
+                eprintln!("[mao] {line}");
+            }
+        }
+    }
+    if let Some(passes) = response
+        .get("stats")
+        .and_then(|s| s.get("passes"))
+        .and_then(Json::as_arr)
+    {
+        for pass in passes {
+            let name = pass.get("name").and_then(Json::as_str).unwrap_or("?");
+            let transformations = pass
+                .get("transformations")
+                .and_then(Json::as_u64)
+                .unwrap_or(0);
+            let matches = pass.get("matches").and_then(Json::as_u64).unwrap_or(0);
+            if transformations > 0 || matches > 0 {
+                eprintln!("[mao] {name}: {transformations} transformations, {matches} matches");
+            }
+        }
+    }
+    if let Some(cache) = response.get("cache").and_then(Json::as_str) {
+        eprintln!("[mao] cache: {cache}");
+    }
+    let asm_out = response.get("asm").and_then(Json::as_str).unwrap_or("");
+    match out.as_deref() {
+        Some("-") | None => {
+            print!("{asm_out}");
+            let _ = std::io::stdout().flush();
+        }
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, asm_out) {
+                eprintln!("mao client: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let mut config = EngineConfig::default();
+    let mut parser = ArgParser::new(args);
+    let parsed = (|| -> Result<(), String> {
+        while let Some(arg) = parser.next() {
+            match arg.as_str() {
+                "--workers" => config.workers = parser.numeric("--workers")?,
+                "--jobs" => config.jobs = parser.numeric("--jobs")?,
+                "--timeout-ms" => config.timeout_ms = parser.numeric("--timeout-ms")?,
+                "--cache-cap" => config.result_cache_capacity = parser.numeric("--cache-cap")?,
+                "--max-request-bytes" => {
+                    config.max_request_bytes = parser.numeric("--max-request-bytes")?
+                }
+                "--help" | "-h" => {
+                    println!("{}", usage());
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown batch option `{other}`")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(message) = parsed {
+        eprintln!("mao batch: {message}\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let engine = Engine::new(config);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match mao_serve::run_batch(&engine, stdin.lock(), stdout.lock()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mao batch: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_oneshot(args: &[String]) -> ExitCode {
+    let mut option_strings: Vec<String> = Vec::new();
+    let mut inputs: Vec<String> = Vec::new();
+    let mut list_passes = false;
+    // Default from the environment; --jobs on the command line wins.
+    let mut jobs: usize = std::env::var("MAO_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if let Some(rest) = arg.strip_prefix("--mao=") {
+            option_strings.push(rest.to_string());
+        } else if arg == "--list-passes" {
+            list_passes = true;
+        } else if arg == "--jobs" {
+            let Some(n) = iter.next().and_then(|v| v.parse().ok()) else {
+                eprintln!("mao: --jobs needs a numeric argument (0 = all cores)");
+                return ExitCode::FAILURE;
+            };
+            jobs = n;
+        } else if let Some(rest) = arg.strip_prefix("--jobs=") {
+            let Ok(n) = rest.parse() else {
+                eprintln!("mao: --jobs needs a numeric argument (0 = all cores)");
+                return ExitCode::FAILURE;
+            };
+            jobs = n;
+        } else if arg == "--help" || arg == "-h" {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        } else if arg.starts_with('-') {
+            eprintln!("mao: unknown option `{arg}` (gas passthrough is not supported)");
+            return ExitCode::FAILURE;
+        } else {
+            inputs.push(arg.clone());
+        }
+    }
+
+    if list_passes {
+        let reg = registry();
+        println!("{:<10} description", "pass");
+        for (name, factory) in &reg {
+            println!("{:<10} {}", name, factory().description());
+        }
+        println!("{:<10} emit assembly output: ASM=o[path]", "ASM");
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(input) = inputs.first() else {
+        eprintln!("mao: no input file\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("mao: cannot read `{input}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // READ: parsing is "a pass as well, but called by default as the first
+    // pass" (§III.A).
+    let mut unit = match MaoUnit::parse(&text) {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("mao: {input}:{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut invocations: Vec<PassInvocation> = Vec::new();
+    for s in &option_strings {
+        match parse_invocations(s) {
+            Ok(mut invs) => invocations.append(&mut invs),
+            Err(e) => {
+                eprintln!("mao: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Split out ASM pseudo-passes; run optimization segments between them.
+    let config = PipelineConfig { jobs };
+    let mut emitted = false;
+    let mut segment: Vec<PassInvocation> = Vec::new();
+    let run_segment = |unit: &mut MaoUnit, segment: &mut Vec<PassInvocation>| -> bool {
+        if segment.is_empty() {
+            return true;
+        }
+        match run_pipeline_with(unit, segment, None, &config) {
+            Ok(report) => {
+                for line in &report.trace {
+                    eprintln!("[mao] {line}");
+                }
+                for (name, stats) in &report.passes {
+                    if stats.transformations > 0 || stats.matches > 0 {
+                        eprintln!(
+                            "[mao] {name}: {} transformations, {} matches",
+                            stats.transformations, stats.matches
+                        );
+                    }
+                }
+                segment.clear();
+                true
+            }
+            Err(e) => {
+                eprintln!("mao: {e}");
+                false
+            }
+        }
+    };
+
+    for inv in invocations {
+        if inv.name == "ASM" {
+            if !run_segment(&mut unit, &mut segment) {
+                return ExitCode::FAILURE;
+            }
+            let out = unit.emit();
+            match inv.options.get("o") {
+                Some("-") | None => {
+                    print!("{out}");
+                    let _ = std::io::stdout().flush();
+                }
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, &out) {
+                        eprintln!("mao: cannot write `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            emitted = true;
+        } else if inv.name == "READ" {
+            // Already performed; accept for command-line compatibility.
+        } else {
+            segment.push(inv);
+        }
+    }
+    if !run_segment(&mut unit, &mut segment) {
+        return ExitCode::FAILURE;
+    }
+    if !emitted {
+        print!("{}", unit.emit());
+        let _ = std::io::stdout().flush();
+    }
+    ExitCode::SUCCESS
+}

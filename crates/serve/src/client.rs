@@ -1,0 +1,42 @@
+//! Client-side helpers: frame a request, read the response.
+
+use std::io;
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::protocol::{read_frame, write_frame, Frame, Request};
+use crate::server::{connect_with_retry, Conn, Listen};
+
+/// A connected client holding one stream; requests are served in order.
+pub struct Client {
+    conn: Box<dyn Conn>,
+}
+
+impl Client {
+    /// Connect to a daemon, retrying briefly to cover startup races.
+    pub fn connect(addr: &Listen) -> io::Result<Client> {
+        Ok(Client {
+            conn: connect_with_retry(addr, Duration::from_secs(5))?,
+        })
+    }
+
+    /// Send one request and read its response JSON.
+    pub fn request(&mut self, request: &Request) -> io::Result<Json> {
+        let payload = request.to_json().to_string();
+        write_frame(&mut self.conn, payload.as_bytes())?;
+        match read_frame(&mut self.conn, usize::MAX)? {
+            Frame::Payload(bytes) => {
+                let text = std::str::from_utf8(&bytes).map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "response is not utf-8")
+                })?;
+                Json::parse(text)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            }
+            Frame::Eof => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-request",
+            )),
+            Frame::TooLarge(_) => unreachable!("client imposes no response limit"),
+        }
+    }
+}

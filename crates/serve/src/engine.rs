@@ -1,0 +1,481 @@
+//! The request engine: caching, dispatch, isolation, accounting.
+//!
+//! [`Engine`] is the transport-independent core of `maod`. The socket
+//! server, the stdin/stdout batch mode, and the tests all feed it
+//! [`Request`]s and write out the [`Response`]s it returns. Three layers
+//! wrap every optimize request:
+//!
+//! 1. **Caching** — a content-addressed [`ResultCache`] keyed by
+//!    `hash(asm, passes)`; hits skip parsing and optimization entirely.
+//!    Below it, one [`AnalysisCache`] is shared across *all* requests, so
+//!    a repeated function body (same content, same position, same unit
+//!    epoch — the incremental-build case) skips CFG/dataflow construction
+//!    even when the whole-request cache misses.
+//! 2. **Robustness** — requests run on a worker pool under
+//!    `catch_unwind`; a panicking pass yields a structured `panic` error
+//!    (and flushes the shared analysis cache, which may hold half-built
+//!    state) while the daemon keeps serving. Each request has a
+//!    wall-clock budget; on expiry the caller gets a `timeout` error and
+//!    the abandoned computation finishes in the background — if it
+//!    succeeds, its result is still inserted into the cache for next
+//!    time. Oversized inputs are rejected up front.
+//! 3. **Observability** — every request updates [`ServerStats`]; the
+//!    `stats` request renders the snapshot.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mao::pass::{parse_invocations, run_pipeline_shared, PipelineConfig};
+use mao::{AnalysisCache, MaoUnit};
+
+use crate::pool::Pool;
+use crate::protocol::{
+    CacheOutcome, ErrorKind, OptimizeOutcome, OptimizeRequest, Request, Response, Timings,
+    DEFAULT_MAX_REQUEST_BYTES, DEFAULT_TIMEOUT_MS,
+};
+use crate::result_cache::{request_key, ResultCache};
+use crate::stats::ServerStats;
+
+/// Engine construction parameters.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads in the request pool (0 = one per available core).
+    pub workers: usize,
+    /// Default `--jobs` for function-level passes inside one request
+    /// (0 = auto). The per-request `options.jobs` overrides it.
+    pub jobs: usize,
+    /// Default per-request wall-clock budget in milliseconds (0 = none).
+    pub timeout_ms: u64,
+    /// Result-cache capacity in entries (0 = unbounded).
+    pub result_cache_capacity: usize,
+    /// Analysis-cache capacity in functions (0 = unbounded).
+    pub analysis_cache_capacity: usize,
+    /// Maximum request size in bytes (frames and batch lines).
+    pub max_request_bytes: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 0,
+            jobs: 1,
+            timeout_ms: DEFAULT_TIMEOUT_MS,
+            result_cache_capacity: 1024,
+            analysis_cache_capacity: 4096,
+            max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+        }
+    }
+}
+
+struct EngineInner {
+    config: EngineConfig,
+    pool: Pool,
+    results: ResultCache,
+    analyses: Arc<AnalysisCache>,
+    stats: ServerStats,
+    shutting_down: AtomicBool,
+}
+
+/// The shared request engine (cheaply cloneable handle).
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Engine {
+    /// Build an engine and spawn its worker pool.
+    pub fn new(config: EngineConfig) -> Engine {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        Engine {
+            inner: Arc::new(EngineInner {
+                pool: Pool::new(workers),
+                results: ResultCache::new(config.result_cache_capacity),
+                analyses: Arc::new(AnalysisCache::with_capacity(config.analysis_cache_capacity)),
+                stats: ServerStats::new(),
+                shutting_down: AtomicBool::new(false),
+                config,
+            }),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.config
+    }
+
+    /// Service counters (shared with the transport layer).
+    pub fn stats(&self) -> &ServerStats {
+        &self.inner.stats
+    }
+
+    /// Result-cache counters (for benchmarks and tests).
+    pub fn result_cache_stats(&self) -> crate::result_cache::ResultCacheStats {
+        self.inner.results.stats()
+    }
+
+    /// Analysis-cache counters (for benchmarks and tests).
+    pub fn analysis_cache_stats(&self) -> mao::CacheStats {
+        self.inner.analyses.stats()
+    }
+
+    /// Has a shutdown been requested (SIGTERM or `shutdown` request)?
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Begin draining: refuse new optimize work.
+    pub fn begin_shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    /// Close the worker pool after queued jobs finish.
+    pub fn join_workers(&self) {
+        self.inner.pool.shutdown();
+    }
+
+    /// Serve one request.
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Optimize(req) => self.optimize(req),
+            Request::Stats => {
+                self.inner.stats.record_admin();
+                Response::Stats(
+                    self.inner
+                        .stats
+                        .snapshot(&self.inner.results.stats(), &self.inner.analyses.stats()),
+                )
+            }
+            Request::Ping => {
+                self.inner.stats.record_admin();
+                Response::Pong
+            }
+            Request::Shutdown => {
+                self.inner.stats.record_admin();
+                self.begin_shutdown();
+                Response::ShutdownAck
+            }
+        }
+    }
+
+    /// Serve one optimize request (cache → pool → timeout).
+    fn optimize(&self, req: OptimizeRequest) -> Response {
+        if self.is_shutting_down() {
+            return Response::error(ErrorKind::ShuttingDown, "server is draining");
+        }
+        if req.asm.len() > self.inner.config.max_request_bytes {
+            return Response::error(
+                ErrorKind::TooLarge,
+                format!(
+                    "request of {} bytes exceeds the {}-byte limit",
+                    req.asm.len(),
+                    self.inner.config.max_request_bytes
+                ),
+            );
+        }
+        self.inner.stats.begin_request();
+        let response = self.optimize_inner(req);
+        self.inner
+            .stats
+            .end_request(matches!(response, Response::Optimized { .. }));
+        response
+    }
+
+    fn optimize_inner(&self, req: OptimizeRequest) -> Response {
+        let started = Instant::now();
+        let key = request_key(&req.asm, &req.passes);
+        if req.use_cache {
+            if let Some(cached) = self.inner.results.get(key) {
+                // Serve the stored result verbatim except for the trace:
+                // an empty trace is the visible proof that nothing re-ran.
+                let mut outcome = (*cached).clone();
+                outcome.trace.clear();
+                return Response::Optimized {
+                    outcome,
+                    cache: CacheOutcome::Hit,
+                    timings: Timings {
+                        parse_us: 0,
+                        optimize_us: 0,
+                        total_us: started.elapsed().as_micros() as u64,
+                    },
+                };
+            }
+        }
+
+        let timeout_ms = req.timeout_ms.unwrap_or(self.inner.config.timeout_ms);
+        let (tx, rx) = sync_channel::<Result<(OptimizeOutcome, Timings), Response>>(1);
+        let engine = self.clone();
+        let use_cache = req.use_cache;
+        let submitted = self.inner.pool.submit(Box::new(move || {
+            let result = engine.compute(&req);
+            if let Ok((outcome, _)) = &result {
+                // Even if the requester has timed out and gone, the work is
+                // done — cache it so the retry is free.
+                if use_cache {
+                    engine.inner.results.insert(
+                        request_key(&req.asm, &req.passes),
+                        Arc::new(outcome.clone()),
+                    );
+                }
+            }
+            let _ = tx.send(result);
+        }));
+        if submitted.is_err() {
+            return Response::error(ErrorKind::ShuttingDown, "worker pool is shut down");
+        }
+
+        let result = if timeout_ms == 0 {
+            rx.recv().map_err(|_| RecvTimeoutError::Disconnected)
+        } else {
+            rx.recv_timeout(Duration::from_millis(timeout_ms))
+        };
+        match result {
+            Ok(Ok((outcome, mut timings))) => {
+                timings.total_us = started.elapsed().as_micros() as u64;
+                Response::Optimized {
+                    outcome,
+                    cache: if use_cache {
+                        CacheOutcome::Miss
+                    } else {
+                        CacheOutcome::Bypass
+                    },
+                    timings,
+                }
+            }
+            Ok(Err(error_response)) => error_response,
+            Err(RecvTimeoutError::Timeout) => {
+                self.inner.stats.record_timeout();
+                Response::error(
+                    ErrorKind::Timeout,
+                    format!("request exceeded its {timeout_ms} ms budget"),
+                )
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Response::error(ErrorKind::Panic, "worker disappeared mid-request")
+            }
+        }
+    }
+
+    /// Parse + optimize one unit on the current (worker) thread, with panic
+    /// isolation. Returns the outcome or a ready-made error response.
+    fn compute(&self, req: &OptimizeRequest) -> Result<(OptimizeOutcome, Timings), Response> {
+        let jobs = req.jobs.unwrap_or(self.inner.config.jobs);
+        let attempt = catch_unwind(AssertUnwindSafe(
+            || -> Result<(OptimizeOutcome, Timings), Response> {
+                let t0 = Instant::now();
+                let mut unit = MaoUnit::parse(&req.asm)
+                    .map_err(|e| Response::error(ErrorKind::Parse, e.to_string()))?;
+                let parse_us = t0.elapsed().as_micros() as u64;
+                let invocations = parse_invocations(&req.passes)
+                    .map_err(|e| Response::error(ErrorKind::BadRequest, e.to_string()))?;
+                let t1 = Instant::now();
+                let report = run_pipeline_shared(
+                    &mut unit,
+                    &invocations,
+                    None,
+                    &PipelineConfig { jobs },
+                    &self.inner.analyses,
+                )
+                .map_err(|e| Response::error(ErrorKind::Pass, e.to_string()))?;
+                let optimize_us = t1.elapsed().as_micros() as u64;
+                self.inner.stats.record_pass_timings(&report.timings_us);
+                Ok((
+                    OptimizeOutcome {
+                        asm: unit.emit(),
+                        passes: report
+                            .passes
+                            .iter()
+                            .map(|(name, stats)| {
+                                (name.clone(), stats.transformations, stats.matches)
+                            })
+                            .collect(),
+                        timings_us: report.timings_us,
+                        trace: report.trace,
+                    },
+                    Timings {
+                        parse_us,
+                        optimize_us,
+                        total_us: 0,
+                    },
+                ))
+            },
+        ));
+        match attempt {
+            Ok(inner) => inner,
+            Err(panic) => {
+                self.inner.stats.record_panic();
+                // Anything the panicking pass half-built in the shared
+                // analysis cache is suspect; drop it all.
+                self.inner.analyses.clear();
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(Response::error(
+                    ErrorKind::Panic,
+                    format!("pass panicked: {message}"),
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INPUT: &str = "\t.type\tf, @function\nf:\n\tsubl $16, %r15d\n\ttestl %r15d, %r15d\n\tjne .L1\n\taddl $3, %eax\n\taddl $4, %eax\n.L1:\n\tret\n";
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn optimize(asm: &str, passes: &str) -> Request {
+        Request::Optimize(OptimizeRequest {
+            asm: asm.into(),
+            passes: passes.into(),
+            jobs: None,
+            timeout_ms: None,
+            use_cache: true,
+        })
+    }
+
+    #[test]
+    fn optimize_matches_direct_pipeline() {
+        let engine = engine();
+        let response = engine.handle(optimize(INPUT, "REDTEST:ADDADD"));
+        let Response::Optimized { outcome, cache, .. } = response else {
+            panic!("expected success");
+        };
+        assert_eq!(cache, CacheOutcome::Miss);
+        let mut unit = MaoUnit::parse(INPUT).unwrap();
+        let invs = parse_invocations("REDTEST:ADDADD").unwrap();
+        mao::pass::run_pipeline(&mut unit, &invs, None).unwrap();
+        assert_eq!(
+            outcome.asm,
+            unit.emit(),
+            "service output must be byte-identical"
+        );
+        assert!(outcome.total_transformations() > 0);
+    }
+
+    #[test]
+    fn repeat_request_hits_cache() {
+        let engine = engine();
+        let first = engine.handle(optimize(INPUT, "REDTEST"));
+        let second = engine.handle(optimize(INPUT, "REDTEST"));
+        let (
+            Response::Optimized { outcome: a, .. },
+            Response::Optimized {
+                outcome: b, cache, ..
+            },
+        ) = (first, second)
+        else {
+            panic!("both must succeed");
+        };
+        assert_eq!(cache, CacheOutcome::Hit);
+        assert_eq!(a.asm, b.asm);
+        assert!(b.trace.is_empty(), "cached responses carry no fresh trace");
+    }
+
+    #[test]
+    fn panic_is_isolated_and_service_continues() {
+        let engine = engine();
+        let boom = engine.handle(optimize("nop\n", "PANIC"));
+        match boom {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::Panic);
+                assert!(message.contains("injected"), "{message}");
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+        // The daemon (and its workers) keep serving.
+        let next = engine.handle(optimize(INPUT, "REDTEST"));
+        assert!(matches!(next, Response::Optimized { .. }));
+    }
+
+    #[test]
+    fn timeout_returns_structured_error() {
+        let engine = engine();
+        let response = engine.handle(Request::Optimize(OptimizeRequest {
+            asm: "nop\n".into(),
+            passes: "PANIC=sleep_ms[2000],func[nosuch]".into(),
+            jobs: None,
+            timeout_ms: Some(50),
+            use_cache: false,
+        }));
+        match response {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Timeout),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_request_rejected() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            max_request_bytes: 16,
+            ..EngineConfig::default()
+        });
+        let response = engine.handle(optimize("nop\n; this is way beyond sixteen bytes\n", ""));
+        match response {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::TooLarge),
+            other => panic!("expected too_large, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_drains() {
+        let engine = engine();
+        assert!(matches!(
+            engine.handle(Request::Shutdown),
+            Response::ShutdownAck
+        ));
+        let refused = engine.handle(optimize(INPUT, "REDTEST"));
+        match refused {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::ShuttingDown),
+            other => panic!("expected shutting_down, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_tracks_requests() {
+        let engine = engine();
+        let _ = engine.handle(optimize(INPUT, "REDTEST"));
+        let _ = engine.handle(optimize(INPUT, "REDTEST")); // cache hit
+        let Response::Stats(snap) = engine.handle(Request::Stats) else {
+            panic!("expected stats");
+        };
+        let requests = snap.get("requests").unwrap();
+        assert_eq!(requests.get("ok").unwrap().as_u64(), Some(2));
+        let cache = snap.get("result_cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn parse_error_carries_line_and_text() {
+        let engine = engine();
+        let response = engine.handle(optimize("nop\nfrobnicate %eax\n", ""));
+        match response {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::Parse);
+                assert!(message.contains("line 2"), "{message}");
+                assert!(message.contains("frobnicate"), "{message}");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! `maod` — MAO as a persistent optimization service.
+//!
+//! The paper positions MAO as an assembly→assembly filter inside build
+//! pipelines (§2); the one-shot `mao` binary re-parses and re-analyzes
+//! every unit from scratch on every invocation. This crate keeps the
+//! optimizer resident: a daemon (`mao serve`) accepts optimization
+//! requests over a Unix-domain or TCP socket using a length-prefixed JSON
+//! protocol, dispatches them to a worker pool built on the parallel
+//! function-level driver, and layers on a content-addressed result cache,
+//! per-request isolation (panics, timeouts, size limits), and a `stats`
+//! endpoint. `mao client` and `mao batch` are the matching front ends;
+//! see DESIGN.md §"Service architecture" for the protocol.
+//!
+//! Module map:
+//!
+//! * [`json`] — minimal std-only JSON value/parser/writer (offline build,
+//!   no serde).
+//! * [`protocol`] — request/response shapes and the frame codec.
+//! * [`result_cache`] — content-addressed LRU cache of whole-request
+//!   results.
+//! * [`engine`] — transport-independent request handling: caching,
+//!   worker-pool dispatch, `catch_unwind` isolation, timeouts, stats.
+//! * [`pool`] — the fixed worker pool.
+//! * [`server`] — socket listener, connection threads, SIGTERM drain.
+//! * [`client`] — framing client used by `mao client`.
+//! * [`batch`] — newline-delimited JSON over stdin/stdout.
+//! * [`stats`] — cumulative service counters and the stats snapshot.
+
+pub mod batch;
+pub mod client;
+pub mod engine;
+pub mod json;
+pub mod pool;
+pub mod protocol;
+pub mod result_cache;
+pub mod server;
+pub mod stats;
+
+pub use batch::run_batch;
+pub use client::Client;
+pub use engine::{Engine, EngineConfig};
+pub use json::Json;
+pub use protocol::{
+    CacheOutcome, ErrorKind, OptimizeOutcome, OptimizeRequest, Request, Response, Timings,
+};
+pub use result_cache::{request_key, RequestKey, ResultCache, ResultCacheStats};
+pub use server::{connect, serve, Listen};
+pub use stats::ServerStats;

@@ -1,0 +1,128 @@
+//! A fixed-size worker pool over a shared job queue.
+//!
+//! Optimization requests are CPU-bound, so the pool is sized to the
+//! machine (or `--workers N`) and connections merely enqueue closures.
+//! Jobs are expected to contain their own panic isolation (the engine
+//! wraps each request in `catch_unwind`); as a second line of defense a
+//! worker that *does* see a panic escape logs it and keeps serving.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fixed worker pool. Dropping the pool (or calling [`Pool::shutdown`])
+/// lets workers finish queued jobs and exit.
+pub struct Pool {
+    tx: Mutex<Option<Sender<Job>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// Spawn `workers` threads (minimum 1).
+    pub fn new(workers: usize) -> Pool {
+        let workers = workers.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = rx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("maod-worker-{i}"))
+                .spawn(move || worker_loop(rx))
+                .expect("spawn worker thread");
+            handles.push(handle);
+        }
+        Pool {
+            tx: Mutex::new(Some(tx)),
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueue a job. Fails only after [`Pool::shutdown`].
+    pub fn submit(&self, job: Job) -> Result<(), &'static str> {
+        match self.tx.lock().unwrap().as_ref() {
+            Some(tx) => tx.send(job).map_err(|_| "worker pool is gone"),
+            None => Err("worker pool is shut down"),
+        }
+    }
+
+    /// Close the queue and join every worker (queued jobs still run).
+    pub fn shutdown(&self) {
+        drop(self.tx.lock().unwrap().take());
+        for handle in self.handles.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Take the next job *without* holding the queue lock while running it.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => break, // queue closed
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        if outcome.is_err() {
+            eprintln!("[maod] worker caught an unisolated panic; continuing");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::sync_channel;
+
+    #[test]
+    fn runs_jobs_on_multiple_workers() {
+        let pool = Pool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = sync_channel(64);
+        for _ in 0..64 {
+            let counter = counter.clone();
+            let done = done_tx.clone();
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                let _ = done.send(());
+            }))
+            .unwrap();
+        }
+        for _ in 0..64 {
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .expect("job completed");
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn survives_panicking_job() {
+        let pool = Pool::new(1);
+        let (done_tx, done_rx) = sync_channel(1);
+        pool.submit(Box::new(|| panic!("boom"))).unwrap();
+        pool.submit(Box::new(move || {
+            let _ = done_tx.send(());
+        }))
+        .unwrap();
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("worker survived the panic");
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work() {
+        let pool = Pool::new(2);
+        pool.shutdown();
+        assert!(pool.submit(Box::new(|| {})).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Content-addressed result cache for whole optimization requests.
+//!
+//! Keyed by a 128-bit hash of `(input asm, pass string)`. The worker count
+//! is deliberately *not* part of the key: the PR 1 parallel driver
+//! guarantees byte-identical output (including trace lines) for every
+//! `jobs` value, so a unit optimized at `--jobs 8` is a valid answer for
+//! the same unit at `--jobs 1`.
+//!
+//! Eviction is LRU with a configurable entry capacity; hit/miss/eviction/
+//! insertion counters feed the `stats` endpoint. Values are handed out as
+//! `Arc`s so a hit never copies the (potentially megabytes of) output
+//! assembly under the lock.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::protocol::OptimizeOutcome;
+
+/// 128-bit content key of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestKey(u128);
+
+/// Hash `(asm, passes)` into a [`RequestKey`].
+///
+/// Two independently-seeded 64-bit hashes are concatenated; a collision
+/// needs both to collide at once, which at 2^-128 is beyond the service's
+/// lifetime request count by any margin.
+pub fn request_key(asm: &str, passes: &str) -> RequestKey {
+    let mut lo = std::collections::hash_map::DefaultHasher::new();
+    0x6d616f_u64.hash(&mut lo); // "mao" seed
+    asm.hash(&mut lo);
+    passes.hash(&mut lo);
+    let mut hi = std::collections::hash_map::DefaultHasher::new();
+    0x64616f6d_u64.hash(&mut hi); // "maod" seed
+    passes.hash(&mut hi);
+    asm.hash(&mut hi);
+    RequestKey(((hi.finish() as u128) << 64) | lo.finish() as u128)
+}
+
+/// Counters, cumulative over the cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+    /// Configured capacity (entries).
+    pub capacity: usize,
+}
+
+impl ResultCacheStats {
+    /// Hits as a fraction of all lookups (0.0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheState {
+    /// Key → (last-use stamp, outcome).
+    map: HashMap<RequestKey, (u64, Arc<OptimizeOutcome>)>,
+    /// Monotonic access clock for LRU stamps.
+    clock: u64,
+}
+
+/// Thread-safe content-addressed LRU cache of optimize outcomes.
+pub struct ResultCache {
+    state: Mutex<CacheState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl ResultCache {
+    /// Cache holding at most `capacity` results (0 = unbounded).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                clock: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a request, refreshing its LRU stamp on a hit.
+    pub fn get(&self, key: RequestKey) -> Option<Arc<OptimizeOutcome>> {
+        let mut state = self.state.lock().unwrap();
+        state.clock += 1;
+        let stamp = state.clock;
+        match state.map.get_mut(&key) {
+            Some(entry) => {
+                entry.0 = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.1.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a result, evicting least-recently-used entries past capacity.
+    pub fn insert(&self, key: RequestKey, outcome: Arc<OptimizeOutcome>) {
+        let mut state = self.state.lock().unwrap();
+        state.clock += 1;
+        let stamp = state.clock;
+        state.map.insert(key, (stamp, outcome));
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if self.capacity > 0 {
+            while state.map.len() > self.capacity {
+                let lru = state
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (stamp, _))| *stamp)
+                    .map(|(k, _)| *k)
+                    .expect("non-empty map over capacity");
+                state.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().map.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ResultCacheStats {
+        ResultCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            len: self.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(asm: &str) -> Arc<OptimizeOutcome> {
+        Arc::new(OptimizeOutcome {
+            asm: asm.to_string(),
+            passes: vec![],
+            timings_us: vec![],
+            trace: vec![],
+        })
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let cache = ResultCache::new(8);
+        let k = request_key("nop\n", "DCE");
+        assert!(cache.get(k).is_none());
+        cache.insert(k, outcome("nop\n"));
+        assert_eq!(cache.get(k).unwrap().asm, "nop\n");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_keys() {
+        assert_ne!(request_key("a", "P"), request_key("b", "P"));
+        assert_ne!(request_key("a", "P"), request_key("a", "Q"));
+        // Swapping asm and passes must not collide either.
+        assert_ne!(request_key("a", "b"), request_key("b", "a"));
+        assert_eq!(request_key("a", "P"), request_key("a", "P"));
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let cache = ResultCache::new(2);
+        let k1 = request_key("1", "");
+        let k2 = request_key("2", "");
+        let k3 = request_key("3", "");
+        cache.insert(k1, outcome("1"));
+        cache.insert(k2, outcome("2"));
+        // Touch k1 so k2 becomes the LRU entry.
+        assert!(cache.get(k1).is_some());
+        cache.insert(k3, outcome("3"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(k1).is_some(), "recently used entry survives");
+        assert!(cache.get(k2).is_none(), "LRU entry was evicted");
+        assert!(cache.get(k3).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_unbounded() {
+        let cache = ResultCache::new(0);
+        for i in 0..100 {
+            cache.insert(request_key(&i.to_string(), ""), outcome("x"));
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

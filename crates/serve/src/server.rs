@@ -1,0 +1,294 @@
+//! The socket transport: listener, connections, graceful drain.
+//!
+//! `maod` listens on a Unix-domain socket (the default — build pipelines
+//! are machine-local) or a TCP address. Each connection gets a thread that
+//! reads length-prefixed request frames and writes response frames; the
+//! actual optimization work is dispatched through the shared [`Engine`]'s
+//! worker pool, so a slow request on one connection never blocks another
+//! connection's requests.
+//!
+//! Shutdown is cooperative: a `shutdown` request or SIGTERM/SIGINT flips
+//! the engine's drain flag; the accept loop stops taking connections,
+//! in-service requests finish and their responses are written, then the
+//! listener exits.
+
+use std::io::{self, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::Engine;
+use crate::protocol::{read_frame, write_frame, ErrorKind, Frame, Request, Response};
+
+/// Where to listen / connect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// TCP at this `host:port`.
+    Tcp(String),
+}
+
+impl Listen {
+    /// Parse `unix:/path`, `tcp:host:port`, or a bare path (unix).
+    pub fn parse(s: &str) -> Result<Listen, String> {
+        if let Some(rest) = s.strip_prefix("unix:") {
+            if rest.is_empty() {
+                return Err("unix: needs a socket path".to_string());
+            }
+            Ok(Listen::Unix(PathBuf::from(rest)))
+        } else if let Some(rest) = s.strip_prefix("tcp:") {
+            if !rest.contains(':') {
+                return Err(format!("tcp: needs host:port, got `{rest}`"));
+            }
+            Ok(Listen::Tcp(rest.to_string()))
+        } else if s.is_empty() {
+            Err("empty listen address".to_string())
+        } else {
+            Ok(Listen::Unix(PathBuf::from(s)))
+        }
+    }
+}
+
+impl std::fmt::Display for Listen {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Listen::Unix(p) => write!(f, "unix:{}", p.display()),
+            Listen::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// A bidirectional byte stream (unix or tcp).
+pub trait Conn: Read + Write + Send {}
+impl<T: Read + Write + Send> Conn for T {}
+
+/// Connect to a listening daemon.
+pub fn connect(addr: &Listen) -> io::Result<Box<dyn Conn>> {
+    match addr {
+        Listen::Unix(path) => Ok(Box::new(std::os::unix::net::UnixStream::connect(path)?)),
+        Listen::Tcp(hostport) => Ok(Box::new(std::net::TcpStream::connect(hostport)?)),
+    }
+}
+
+/// Connect, retrying until `budget` elapses (covers daemon startup races).
+pub fn connect_with_retry(addr: &Listen, budget: Duration) -> io::Result<Box<dyn Conn>> {
+    let deadline = std::time::Instant::now() + budget;
+    loop {
+        match connect(addr) {
+            Ok(conn) => return Ok(conn),
+            Err(e) => {
+                if std::time::Instant::now() >= deadline {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the SIGTERM/SIGINT handler; polled by the accept loop.
+    pub static TERM: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Route SIGTERM (15) and SIGINT (2) to the drain flag. Uses libc's
+    /// `signal` directly — std already links libc and the workspace is
+    /// offline, so no signal crate.
+    pub fn install() {
+        unsafe {
+            signal(15, on_term);
+            signal(2, on_term);
+        }
+    }
+
+    pub fn termed() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+    pub fn termed() -> bool {
+        false
+    }
+}
+
+enum Listener {
+    Unix(std::os::unix::net::UnixListener),
+    Tcp(std::net::TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Box<dyn Conn>> {
+        match self {
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                Ok(Box::new(stream))
+            }
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true).ok();
+                Ok(Box::new(stream))
+            }
+        }
+    }
+}
+
+/// Run the daemon until drained. Returns after every accepted request has
+/// been answered.
+pub fn serve(engine: Engine, addr: &Listen) -> io::Result<()> {
+    sig::install();
+    let listener = match addr {
+        Listen::Unix(path) => {
+            if path.exists() {
+                // A previous daemon's socket. If something is still
+                // listening, refuse to fight over it; otherwise clean up.
+                if std::os::unix::net::UnixStream::connect(path).is_ok() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("another daemon is live on {}", path.display()),
+                    ));
+                }
+                std::fs::remove_file(path)?;
+            }
+            let l = std::os::unix::net::UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            Listener::Unix(l)
+        }
+        Listen::Tcp(hostport) => {
+            let l = std::net::TcpListener::bind(hostport)?;
+            l.set_nonblocking(true)?;
+            Listener::Tcp(l)
+        }
+    };
+    eprintln!("[maod] listening on {addr}");
+
+    // Requests currently between frame-read and response-write, across all
+    // connections; drain waits for this to reach zero so every accepted
+    // request gets its response before the process exits.
+    let active: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+    loop {
+        if sig::termed() {
+            engine.begin_shutdown();
+        }
+        if engine.is_shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok(conn) => {
+                let engine = engine.clone();
+                let active = active.clone();
+                connections.push(std::thread::spawn(move || {
+                    let _ = handle_connection(conn, engine, active);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("[maod] accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+        connections.retain(|handle| !handle.is_finished());
+    }
+
+    // Drain: every request that made it past the frame reader finishes and
+    // is answered. Connections idling in read_frame are abandoned — their
+    // next request would be refused anyway.
+    eprintln!(
+        "[maod] draining ({} in flight)...",
+        active.load(Ordering::SeqCst)
+    );
+    let drain_deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    engine.join_workers();
+    if let Listen::Unix(path) = addr {
+        let _ = std::fs::remove_file(path);
+    }
+    eprintln!("[maod] bye");
+    Ok(())
+}
+
+fn handle_connection(
+    mut conn: Box<dyn Conn>,
+    engine: Engine,
+    active: Arc<AtomicU64>,
+) -> io::Result<()> {
+    let max = engine.config().max_request_bytes;
+    loop {
+        let frame = match read_frame(&mut conn, max)? {
+            Frame::Eof => return Ok(()),
+            Frame::TooLarge(n) => {
+                let response = Response::error(
+                    ErrorKind::TooLarge,
+                    format!("frame of {n} bytes exceeds the {max}-byte limit"),
+                );
+                write_frame(&mut conn, response.to_json_text().as_bytes())?;
+                continue;
+            }
+            Frame::Payload(payload) => payload,
+        };
+        active.fetch_add(1, Ordering::SeqCst);
+        let response = respond(&engine, &frame);
+        let write_result = write_frame(&mut conn, response.to_json_text().as_bytes());
+        active.fetch_sub(1, Ordering::SeqCst);
+        write_result?;
+    }
+}
+
+/// Decode and serve one request payload.
+fn respond(engine: &Engine, payload: &[u8]) -> Response {
+    let text = match std::str::from_utf8(payload) {
+        Ok(t) => t,
+        Err(_) => return Response::error(ErrorKind::BadRequest, "request is not utf-8"),
+    };
+    match Request::from_json_text(text) {
+        Ok(request) => engine.handle(request),
+        Err(message) => Response::error(ErrorKind::BadRequest, message),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_parse_forms() {
+        assert_eq!(
+            Listen::parse("unix:/tmp/maod.sock").unwrap(),
+            Listen::Unix(PathBuf::from("/tmp/maod.sock"))
+        );
+        assert_eq!(
+            Listen::parse("tcp:127.0.0.1:7777").unwrap(),
+            Listen::Tcp("127.0.0.1:7777".to_string())
+        );
+        assert_eq!(
+            Listen::parse("/run/maod.sock").unwrap(),
+            Listen::Unix(PathBuf::from("/run/maod.sock"))
+        );
+        assert!(Listen::parse("tcp:9999").is_err());
+        assert!(Listen::parse("unix:").is_err());
+        assert!(Listen::parse("").is_err());
+    }
+}

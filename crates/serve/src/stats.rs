@@ -1,0 +1,199 @@
+//! Server-side observability counters and the `stats` snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mao::CacheStats;
+
+use crate::json::Json;
+use crate::result_cache::ResultCacheStats;
+
+/// Cumulative service counters. One instance lives for the daemon's whole
+/// life and is shared by every connection and worker thread.
+pub struct ServerStats {
+    started: Instant,
+    requests_total: AtomicU64,
+    requests_ok: AtomicU64,
+    requests_error: AtomicU64,
+    panics: AtomicU64,
+    timeouts: AtomicU64,
+    in_flight: AtomicU64,
+    /// Pass name → (invocations, cumulative microseconds).
+    pass_timings: Mutex<BTreeMap<String, (u64, u64)>>,
+}
+
+impl Default for ServerStats {
+    fn default() -> ServerStats {
+        ServerStats::new()
+    }
+}
+
+impl ServerStats {
+    /// Fresh counters; uptime starts now.
+    pub fn new() -> ServerStats {
+        ServerStats {
+            started: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            requests_ok: AtomicU64::new(0),
+            requests_error: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            pass_timings: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A request entered service.
+    pub fn begin_request(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request left service (any outcome).
+    pub fn end_request(&self, ok: bool) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if ok {
+            self.requests_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.requests_error.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// An administrative request (stats/ping/shutdown) was served. Counted
+    /// in the total but not in ok/error/in-flight, which track optimize
+    /// work.
+    pub fn record_admin(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was isolated after a pass panic.
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request hit its wall-clock budget.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one pipeline run's per-pass timings into the cumulative table.
+    pub fn record_pass_timings(&self, timings_us: &[(String, u64)]) {
+        let mut table = self.pass_timings.lock().unwrap();
+        for (name, us) in timings_us {
+            let entry = table.entry(name.clone()).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += us;
+        }
+    }
+
+    /// Requests currently in service.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Total requests accepted.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Render the `stats` response body.
+    pub fn snapshot(&self, result_cache: &ResultCacheStats, analyses: &CacheStats) -> Json {
+        let pass_timings: Vec<Json> = self
+            .pass_timings
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, (invocations, total_us))| {
+                Json::obj(vec![
+                    ("name", Json::from(name.clone())),
+                    ("invocations", Json::from(*invocations)),
+                    ("total_us", Json::from(*total_us)),
+                ])
+            })
+            .collect();
+        let analysis_total = analyses.hits + analyses.misses;
+        Json::obj(vec![
+            ("uptime_s", Json::from(self.started.elapsed().as_secs_f64())),
+            (
+                "requests",
+                Json::obj(vec![
+                    (
+                        "total",
+                        Json::from(self.requests_total.load(Ordering::Relaxed)),
+                    ),
+                    ("ok", Json::from(self.requests_ok.load(Ordering::Relaxed))),
+                    (
+                        "errors",
+                        Json::from(self.requests_error.load(Ordering::Relaxed)),
+                    ),
+                    ("panics", Json::from(self.panics.load(Ordering::Relaxed))),
+                    (
+                        "timeouts",
+                        Json::from(self.timeouts.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            ("in_flight", Json::from(self.in_flight())),
+            (
+                "result_cache",
+                Json::obj(vec![
+                    ("hits", Json::from(result_cache.hits)),
+                    ("misses", Json::from(result_cache.misses)),
+                    ("evictions", Json::from(result_cache.evictions)),
+                    ("insertions", Json::from(result_cache.insertions)),
+                    ("len", Json::from(result_cache.len)),
+                    ("capacity", Json::from(result_cache.capacity)),
+                    ("hit_rate", Json::from(result_cache.hit_rate())),
+                ]),
+            ),
+            (
+                "analysis_cache",
+                Json::obj(vec![
+                    ("hits", Json::from(analyses.hits)),
+                    ("misses", Json::from(analyses.misses)),
+                    ("evictions", Json::from(analyses.evictions)),
+                    (
+                        "hit_rate",
+                        Json::from(if analysis_total > 0 {
+                            analyses.hits as f64 / analysis_total as f64
+                        } else {
+                            0.0
+                        }),
+                    ),
+                ]),
+            ),
+            ("per_pass_timings", Json::Arr(pass_timings)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_counts() {
+        let stats = ServerStats::new();
+        stats.begin_request();
+        stats.record_pass_timings(&[("DCE".into(), 10), ("SCHED".into(), 20)]);
+        stats.record_pass_timings(&[("DCE".into(), 5)]);
+        stats.end_request(true);
+        stats.begin_request();
+        stats.record_panic();
+        stats.end_request(false);
+        let snap = stats.snapshot(&ResultCacheStats::default(), &CacheStats::default());
+        let requests = snap.get("requests").unwrap();
+        assert_eq!(requests.get("total").unwrap().as_u64(), Some(2));
+        assert_eq!(requests.get("ok").unwrap().as_u64(), Some(1));
+        assert_eq!(requests.get("errors").unwrap().as_u64(), Some(1));
+        assert_eq!(requests.get("panics").unwrap().as_u64(), Some(1));
+        assert_eq!(snap.get("in_flight").unwrap().as_u64(), Some(0));
+        let timings = snap.get("per_pass_timings").unwrap().as_arr().unwrap();
+        assert_eq!(timings.len(), 2);
+        assert_eq!(timings[0].get("name").unwrap().as_str(), Some("DCE"));
+        assert_eq!(timings[0].get("invocations").unwrap().as_u64(), Some(2));
+        assert_eq!(timings[0].get("total_us").unwrap().as_u64(), Some(15));
+    }
+}

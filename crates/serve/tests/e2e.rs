@@ -1,0 +1,285 @@
+//! End-to-end tests of the daemon: a real `mao serve` child process on a
+//! Unix-domain socket, driven through `mao client`, the library [`Client`],
+//! and `mao batch`. These prove the ISSUE's acceptance criteria:
+//!
+//! (a) daemon output is byte-identical to one-shot `mao` for the same pass
+//!     string, (b) a repeated request is served from the cache (hit counter
+//!     moves, no re-optimization trace), (c) a panicking pass yields a
+//!     structured error while the daemon keeps serving.
+
+use std::io::Write as _;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use mao_serve::json::Json;
+use mao_serve::protocol::{OptimizeRequest, Request};
+use mao_serve::server::Listen;
+use mao_serve::Client;
+
+const INPUT: &str = "\t.type\tf, @function\nf:\n\tsubl $16, %r15d\n\ttestl %r15d, %r15d\n\tjne .L1\n\taddl $3, %eax\n\taddl $4, %eax\n.L1:\n\tret\n";
+const PASSES: &str = "REDTEST:ADDADD:DCE";
+
+static NEXT_SOCKET: AtomicU32 = AtomicU32::new(0);
+
+fn mao() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mao"))
+}
+
+fn temp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mao-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// A daemon child on its own socket; killed (and socket removed) on drop so
+/// a failing test doesn't leak processes.
+struct Daemon {
+    child: Child,
+    socket: std::path::PathBuf,
+}
+
+impl Daemon {
+    fn start(extra_args: &[&str]) -> Daemon {
+        let socket = temp_dir().join(format!(
+            "maod-{}.sock",
+            NEXT_SOCKET.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_file(&socket);
+        let child = mao()
+            .arg("serve")
+            .arg("--listen")
+            .arg(&socket)
+            .args(extra_args)
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon starts");
+        Daemon { child, socket }
+    }
+
+    fn addr(&self) -> Listen {
+        Listen::Unix(self.socket.clone())
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.addr()).expect("client connects")
+    }
+
+    fn listen_arg(&self) -> String {
+        self.socket.to_str().unwrap().to_string()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+fn optimize_request(asm: &str, passes: &str) -> Request {
+    Request::Optimize(OptimizeRequest {
+        asm: asm.to_string(),
+        passes: passes.to_string(),
+        jobs: None,
+        timeout_ms: None,
+        use_cache: true,
+    })
+}
+
+#[test]
+fn daemon_output_is_byte_identical_to_oneshot() {
+    // One-shot reference run.
+    let input = temp_dir().join("identity.s");
+    std::fs::write(&input, INPUT).unwrap();
+    let oneshot = mao()
+        .arg(format!("--mao={PASSES}"))
+        .arg(&input)
+        .output()
+        .expect("one-shot runs");
+    assert!(oneshot.status.success());
+    assert!(!oneshot.stdout.is_empty());
+
+    // Same request through the daemon, via the `mao client` front end.
+    let daemon = Daemon::start(&[]);
+    let served = mao()
+        .arg("client")
+        .arg("--listen")
+        .arg(daemon.listen_arg())
+        .arg("--passes")
+        .arg(PASSES)
+        .arg(&input)
+        .output()
+        .expect("client runs");
+    assert!(
+        served.status.success(),
+        "client failed: {}",
+        String::from_utf8_lossy(&served.stderr)
+    );
+    assert_eq!(
+        oneshot.stdout, served.stdout,
+        "served asm must be byte-identical to one-shot asm"
+    );
+}
+
+#[test]
+fn repeated_request_is_served_from_cache() {
+    let daemon = Daemon::start(&[]);
+    let mut client = daemon.client();
+    let request = optimize_request(INPUT, PASSES);
+
+    let cold = client.request(&request).expect("first request");
+    assert_eq!(cold.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(cold.get("cache").unwrap().as_str(), Some("miss"));
+
+    let warm = client.request(&request).expect("second request");
+    assert_eq!(warm.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(warm.get("cache").unwrap().as_str(), Some("hit"));
+    // Same transformed assembly, but no re-optimization happened: the trace
+    // is empty and the pipeline timings are zero.
+    assert_eq!(
+        cold.get("asm").unwrap().as_str(),
+        warm.get("asm").unwrap().as_str()
+    );
+    assert_eq!(warm.get("trace").unwrap().as_arr().unwrap().len(), 0);
+    assert_eq!(
+        warm.get("timings")
+            .unwrap()
+            .get("optimize_us")
+            .unwrap()
+            .as_u64(),
+        Some(0)
+    );
+
+    // The stats endpoint agrees: one hit, one miss.
+    let stats = client.request(&Request::Stats).expect("stats");
+    let cache = stats.get("stats").unwrap().get("result_cache").unwrap();
+    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+}
+
+#[test]
+fn panicking_pass_is_isolated_and_daemon_keeps_serving() {
+    let daemon = Daemon::start(&[]);
+    let mut client = daemon.client();
+
+    // PANIC is the fault-injection pass; the daemon must answer with a
+    // structured error rather than dying.
+    let crash = client
+        .request(&optimize_request(INPUT, "REDTEST:PANIC"))
+        .expect("panic request still gets a response");
+    assert_eq!(crash.get("status").unwrap().as_str(), Some("error"));
+    let error = crash.get("error").unwrap();
+    assert_eq!(error.get("kind").unwrap().as_str(), Some("panic"));
+    assert!(error
+        .get("message")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("injected pass panic"));
+
+    // The same connection and a fresh connection both keep working.
+    let after = client
+        .request(&optimize_request(INPUT, PASSES))
+        .expect("request after panic");
+    assert_eq!(after.get("status").unwrap().as_str(), Some("ok"));
+    let mut fresh = daemon.client();
+    let pong = fresh.request(&Request::Ping).expect("ping");
+    assert_eq!(pong.get("pong").and_then(Json::as_bool), Some(true));
+
+    // And the panic was counted.
+    let stats = fresh.request(&Request::Stats).expect("stats");
+    let requests = stats.get("stats").unwrap().get("requests").unwrap();
+    assert_eq!(requests.get("panics").unwrap().as_u64(), Some(1));
+}
+
+#[test]
+fn timeout_returns_structured_error_over_socket() {
+    let daemon = Daemon::start(&[]);
+    let mut client = daemon.client();
+    let slow = Request::Optimize(OptimizeRequest {
+        asm: INPUT.to_string(),
+        // Sleep without panicking: func[nosuch] makes PANIC a no-op after
+        // its injected delay.
+        passes: "PANIC=sleep_ms[3000],func[nosuch]".to_string(),
+        jobs: None,
+        timeout_ms: Some(50),
+        use_cache: false,
+    });
+    let response = client.request(&slow).expect("timeout still answered");
+    assert_eq!(response.get("status").unwrap().as_str(), Some("error"));
+    assert_eq!(
+        response.get("error").unwrap().get("kind").unwrap().as_str(),
+        Some("timeout")
+    );
+}
+
+#[test]
+fn oversized_frame_is_rejected_and_connection_survives() {
+    let daemon = Daemon::start(&["--max-request-bytes", "1024"]);
+    let mut client = daemon.client();
+    let big = optimize_request(&"\tnop\n".repeat(4096), "");
+    let response = client.request(&big).expect("rejection is a response");
+    assert_eq!(response.get("status").unwrap().as_str(), Some("error"));
+    assert_eq!(
+        response.get("error").unwrap().get("kind").unwrap().as_str(),
+        Some("too_large")
+    );
+    // The frame was drained; the connection still serves small requests.
+    let small = client
+        .request(&optimize_request(INPUT, ""))
+        .expect("small request after oversize");
+    assert_eq!(small.get("status").unwrap().as_str(), Some("ok"));
+}
+
+#[test]
+fn shutdown_request_drains_daemon_and_removes_socket() {
+    let mut daemon = Daemon::start(&[]);
+    let mut client = daemon.client();
+    let _ = client
+        .request(&optimize_request(INPUT, PASSES))
+        .expect("warm-up request");
+    let ack = client.request(&Request::Shutdown).expect("shutdown ack");
+    assert_eq!(ack.get("shutdown").and_then(Json::as_bool), Some(true));
+    let status = daemon.child.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exits cleanly after shutdown");
+    assert!(
+        !daemon.socket.exists(),
+        "socket file is removed on clean shutdown"
+    );
+}
+
+#[test]
+fn batch_mode_round_trips_ndjson() {
+    let request = optimize_request(INPUT, PASSES).to_json().to_string();
+    let input = format!("{request}\n{request}\n{}\n", r#"{"type":"stats"}"#);
+    let mut child = mao()
+        .arg("batch")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("batch starts");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .expect("feed batch stdin");
+    let out = child.wait_with_output().expect("batch finishes");
+    assert!(out.status.success());
+    let lines: Vec<Json> = String::from_utf8(out.stdout)
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).expect("response line parses"))
+        .collect();
+    assert_eq!(lines.len(), 3);
+    assert_eq!(lines[0].get("cache").unwrap().as_str(), Some("miss"));
+    assert_eq!(lines[1].get("cache").unwrap().as_str(), Some("hit"));
+    assert_eq!(
+        lines[0].get("asm").unwrap().as_str(),
+        lines[1].get("asm").unwrap().as_str()
+    );
+    let cache = lines[2].get("stats").unwrap().get("result_cache").unwrap();
+    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+}

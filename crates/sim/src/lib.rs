@@ -115,7 +115,14 @@ mod tests {
 
     fn sim(text: &str, entry: &str, args: &[u64]) -> SimResult {
         let unit = MaoUnit::parse(text).unwrap();
-        simulate(&unit, entry, args, &UarchConfig::core2(), &SimOptions::default()).unwrap()
+        simulate(
+            &unit,
+            entry,
+            args,
+            &UarchConfig::core2(),
+            &SimOptions::default(),
+        )
+        .unwrap()
     }
 
     #[test]

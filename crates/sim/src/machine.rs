@@ -189,8 +189,10 @@ impl Machine {
             }
         }
         if let Some(i) = mem.index {
-            addr = addr
-                .wrapping_add(self.reg_by_id(i.id, Width::B8).wrapping_mul(u64::from(mem.scale)));
+            addr = addr.wrapping_add(
+                self.reg_by_id(i.id, Width::B8)
+                    .wrapping_mul(u64::from(mem.scale)),
+            );
         }
         Ok(addr)
     }
@@ -341,25 +343,31 @@ impl Machine {
 
         macro_rules! src {
             () => {{
-                let op = insn.operands.first().cloned().ok_or_else(|| {
-                    SimError::Unsupported(format!("{insn}: missing operand"))
-                })?;
+                let op = insn
+                    .operands
+                    .first()
+                    .cloned()
+                    .ok_or_else(|| SimError::Unsupported(format!("{insn}: missing operand")))?;
                 self.read_operand(&op, w, program, &mut info)?
             }};
         }
         macro_rules! dst_read {
             () => {{
-                let op = insn.operands.last().cloned().ok_or_else(|| {
-                    SimError::Unsupported(format!("{insn}: missing operand"))
-                })?;
+                let op = insn
+                    .operands
+                    .last()
+                    .cloned()
+                    .ok_or_else(|| SimError::Unsupported(format!("{insn}: missing operand")))?;
                 self.read_operand(&op, w, program, &mut info)?
             }};
         }
         macro_rules! dst_write {
             ($value:expr) => {{
-                let op = insn.operands.last().cloned().ok_or_else(|| {
-                    SimError::Unsupported(format!("{insn}: missing operand"))
-                })?;
+                let op = insn
+                    .operands
+                    .last()
+                    .cloned()
+                    .ok_or_else(|| SimError::Unsupported(format!("{insn}: missing operand")))?;
                 self.write_operand(&op, w, $value, program, &mut info)?
             }};
         }
@@ -463,9 +471,7 @@ impl Machine {
                 }
                 dst_write!(r);
             }
-            M::Imul =>
-
- match insn.operands.len() {
+            M::Imul => match insn.operands.len() {
                 1 => {
                     let b = src!();
                     let a = self.reg_by_id(RegId::Rax, w);
@@ -506,7 +512,10 @@ impl Machine {
                 let a = self.reg_by_id(RegId::Rax, w);
                 let wide = (a as u128) * (b as u128);
                 self.write_reg(Reg::new(RegId::Rax, w), wide as u64 & w.mask());
-                self.write_reg(Reg::new(RegId::Rdx, w), (wide >> w.bits()) as u64 & w.mask());
+                self.write_reg(
+                    Reg::new(RegId::Rdx, w),
+                    (wide >> w.bits()) as u64 & w.mask(),
+                );
                 self.flags = Flags::NONE;
             }
             M::Idiv | M::Div => {
@@ -539,9 +548,7 @@ impl Machine {
                         Operand::Reg(r) if r.id == RegId::Rcx => {
                             self.reg_by_id(RegId::Rcx, Width::B1) as u32
                         }
-                        other => {
-                            return Err(SimError::Unsupported(format!("shift count {other}")))
-                        }
+                        other => return Err(SimError::Unsupported(format!("shift count {other}"))),
                     };
                     (c, 1usize)
                 };
@@ -714,13 +721,11 @@ impl Machine {
             }
             M::Addss | M::Subss | M::Mulss | M::Divss | M::Sqrtss => {
                 let op = insn.operands[0].clone();
-                let b = f32::from_bits(
-                    self.read_operand(&op, Width::B4, program, &mut info)? as u32
-                );
+                let b =
+                    f32::from_bits(self.read_operand(&op, Width::B4, program, &mut info)? as u32);
                 let dst = insn.operands.last().cloned().unwrap();
-                let a = f32::from_bits(
-                    self.read_operand(&dst, Width::B4, program, &mut info)? as u32,
-                );
+                let a =
+                    f32::from_bits(self.read_operand(&dst, Width::B4, program, &mut info)? as u32);
                 let r = match insn.mnemonic {
                     M::Addss => a + b,
                     M::Subss => a - b,
@@ -733,11 +738,9 @@ impl Machine {
             }
             M::Addsd | M::Subsd | M::Mulsd | M::Divsd | M::Sqrtsd => {
                 let op = insn.operands[0].clone();
-                let b =
-                    f64::from_bits(self.read_operand(&op, Width::B8, program, &mut info)?);
+                let b = f64::from_bits(self.read_operand(&op, Width::B8, program, &mut info)?);
                 let dst = insn.operands.last().cloned().unwrap();
-                let a =
-                    f64::from_bits(self.read_operand(&dst, Width::B8, program, &mut info)?);
+                let a = f64::from_bits(self.read_operand(&dst, Width::B8, program, &mut info)?);
                 let r = match insn.mnemonic {
                     M::Addsd => a + b,
                     M::Subsd => a - b,
@@ -1091,8 +1094,7 @@ f:
 
     #[test]
     fn budget_guard() {
-        let unit =
-            MaoUnit::parse(".type f, @function\nf:\n.L:\n\tjmp .L\n").unwrap();
+        let unit = MaoUnit::parse(".type f, @function\nf:\n.L:\n\tjmp .L\n").unwrap();
         let p = Program::load(&unit).unwrap();
         assert_eq!(run_functional(&p, "f", &[], 100), Err(SimError::Budget));
     }

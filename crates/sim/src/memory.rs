@@ -216,17 +216,14 @@ mod tests {
         for i in 1..100u64 {
             c.access(i * 128, true); // all map to set 0, non-temporal
         }
-        assert!(
-            c.contains(hot) || !c.contains(hot),
-            "structure intact"
-        );
+        assert!(c.contains(hot) || !c.contains(hot), "structure intact");
         // Precise claim: after NT streaming, at most way 0 was replaced, so
         // the number of distinct lines evicted from other ways is 0. `hot`
         // was in way 0 or way 1; if way 1, it survived.
         let mut c2 = small_cache();
         c2.access(hot, false); // fills some way (way 0, lru tie -> way 0)
         c2.access(0x80, false); // fills way 1
-        // hot is in way 0; streaming NT will evict it but never way 1.
+                                // hot is in way 0; streaming NT will evict it but never way 1.
         for i in 2..50u64 {
             c2.access(i * 128, true);
         }

@@ -93,7 +93,12 @@ impl Pmu {
 impl fmt::Display for Pmu {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "cycles:            {:>12}", self.cycles)?;
-        writeln!(f, "instructions:      {:>12}  (ipc {:.2})", self.instructions, self.ipc())?;
+        writeln!(
+            f,
+            "instructions:      {:>12}  (ipc {:.2})",
+            self.instructions,
+            self.ipc()
+        )?;
         writeln!(
             f,
             "branches:          {:>12}  (mispredict {:>6.2}%)",

@@ -188,7 +188,11 @@ mod tests {
         assert_eq!(p.label_va["f"], TEXT_BASE);
         assert_eq!(p.label_va[".LC"], DATA_BASE);
         let mut mem = p.initial_memory().unwrap();
-        assert_eq!(mem.read(DATA_BASE, 8), TEXT_BASE, "jump-table slot holds f's VA");
+        assert_eq!(
+            mem.read(DATA_BASE, 8),
+            TEXT_BASE,
+            "jump-table slot holds f's VA"
+        );
         assert_eq!(mem.read(DATA_BASE + 8, 4), 42);
     }
 

@@ -431,7 +431,11 @@ impl<'a> Timing<'a> {
         }
 
         // Port selection.
-        let mask = port_mask(insn, self.config.backend.num_ports, self.config.backend.symmetric_ports);
+        let mask = port_mask(
+            insn,
+            self.config.backend.num_ports,
+            self.config.backend.symmetric_ports,
+        );
         let mut best_port = 0usize;
         let mut best_time = u64::MAX;
         for p in 0..self.config.backend.num_ports {

@@ -464,7 +464,8 @@ pub fn def_use(insn: &Instruction) -> DefUse {
 
     let implicit_width = insn.op_width.unwrap_or(Width::B8);
     for id in &eff.implicit_reads {
-        du.reg_uses.push(Reg::new(*id, Width::B8.min(implicit_width.max(Width::B4))));
+        du.reg_uses
+            .push(Reg::new(*id, Width::B8.min(implicit_width.max(Width::B4))));
     }
     for id in &eff.implicit_writes {
         du.reg_defs.push(Reg::new(*id, Width::B8));
@@ -507,14 +508,92 @@ mod tests {
     fn every_mnemonic_is_covered() {
         use Mnemonic::*;
         let all = [
-            Mov, Movabs, Movsx, Movzx, Lea, Xchg, Push, Pop, Add, Adc, Sub, Sbb, And, Or, Xor,
-            Not, Neg, Inc, Dec, Cmp, Test, Imul, Mul, Idiv, Div, Shl, Shr, Sar, Rol, Ror, Cltq,
-            Cltd, Cqto, Cwtl, Jmp, Jcc(Cond::E), Call, Ret, Leave, Setcc(Cond::E),
-            Cmovcc(Cond::E), Nop, Pause, Movss, Movsd, Movaps, Movapd, Movups, Movd, Movdq,
-            Addss, Addsd, Subss, Subsd, Mulss, Mulsd, Divss, Divsd, Sqrtss, Sqrtsd, Ucomiss,
-            Ucomisd, Comiss, Comisd, Cvtsi2ss, Cvtsi2sd, Cvttss2si, Cvttsd2si, Cvtss2sd,
-            Cvtsd2ss, Pxor, Xorps, Xorpd, Prefetchnta, Prefetcht0, Prefetcht1, Prefetcht2, Ud2,
-            Int3, Hlt, Cpuid, Rdtsc, Mfence, Lfence, Sfence, Endbr64,
+            Mov,
+            Movabs,
+            Movsx,
+            Movzx,
+            Lea,
+            Xchg,
+            Push,
+            Pop,
+            Add,
+            Adc,
+            Sub,
+            Sbb,
+            And,
+            Or,
+            Xor,
+            Not,
+            Neg,
+            Inc,
+            Dec,
+            Cmp,
+            Test,
+            Imul,
+            Mul,
+            Idiv,
+            Div,
+            Shl,
+            Shr,
+            Sar,
+            Rol,
+            Ror,
+            Cltq,
+            Cltd,
+            Cqto,
+            Cwtl,
+            Jmp,
+            Jcc(Cond::E),
+            Call,
+            Ret,
+            Leave,
+            Setcc(Cond::E),
+            Cmovcc(Cond::E),
+            Nop,
+            Pause,
+            Movss,
+            Movsd,
+            Movaps,
+            Movapd,
+            Movups,
+            Movd,
+            Movdq,
+            Addss,
+            Addsd,
+            Subss,
+            Subsd,
+            Mulss,
+            Mulsd,
+            Divss,
+            Divsd,
+            Sqrtss,
+            Sqrtsd,
+            Ucomiss,
+            Ucomisd,
+            Comiss,
+            Comisd,
+            Cvtsi2ss,
+            Cvtsi2sd,
+            Cvttss2si,
+            Cvttsd2si,
+            Cvtss2sd,
+            Cvtsd2ss,
+            Pxor,
+            Xorps,
+            Xorpd,
+            Prefetchnta,
+            Prefetcht0,
+            Prefetcht1,
+            Prefetcht2,
+            Ud2,
+            Int3,
+            Hlt,
+            Cpuid,
+            Rdtsc,
+            Mfence,
+            Lfence,
+            Sfence,
+            Endbr64,
         ];
         for m in all {
             assert!(effects(m).is_some(), "no effects entry for {m:?}");
@@ -574,12 +653,7 @@ mod tests {
             Mnemonic::Lea,
             Width::B8,
             vec![
-                Operand::Mem(Mem::base_index(
-                    Reg::q(RegId::R8),
-                    Reg::q(RegId::Rdi),
-                    1,
-                    0,
-                )),
+                Operand::Mem(Mem::base_index(Reg::q(RegId::R8), Reg::q(RegId::Rdi), 1, 0)),
                 Operand::Reg(Reg::l(RegId::Rbx)),
             ],
         );

@@ -294,7 +294,9 @@ impl Asm {
                 self.imm32(v);
             }
             Width::B16 => {
-                return Err(EncodeError::UnsupportedForm("imm with XMM width".to_string()));
+                return Err(EncodeError::UnsupportedForm(
+                    "imm with XMM width".to_string(),
+                ));
             }
         }
         Ok(())
@@ -486,19 +488,17 @@ pub fn encode(insn: &Instruction, form: BranchForm, rel: i64) -> Result<Vec<u8>,
                 _ => return unsupported(),
             }
         }
-        M::Movabs => {
-            match (ops.first(), ops.get(1)) {
-                (Some(O::Imm(v)), Some(O::Reg(dst))) => {
-                    asm.rex_w = true;
-                    if dst.id.encoding() >= 8 {
-                        asm.rex_b = true;
-                    }
-                    asm.opcode.push(0xb8 + (dst.id.encoding() & 7));
-                    asm.imm64(*v);
+        M::Movabs => match (ops.first(), ops.get(1)) {
+            (Some(O::Imm(v)), Some(O::Reg(dst))) => {
+                asm.rex_w = true;
+                if dst.id.encoding() >= 8 {
+                    asm.rex_b = true;
                 }
-                _ => return unsupported(),
+                asm.opcode.push(0xb8 + (dst.id.encoding() & 7));
+                asm.imm64(*v);
             }
-        }
+            _ => return unsupported(),
+        },
         M::Movsx | M::Movzx => {
             let from = insn.src_width.unwrap_or(Width::B1);
             let to = insn.op_width.unwrap_or(Width::B4);
@@ -568,8 +568,7 @@ pub fn encode(insn: &Instruction, form: BranchForm, rel: i64) -> Result<Vec<u8>,
                     asm.set_reg(*src);
                     asm.set_rm_reg(*dst);
                 }
-                (Some(O::Reg(src)), Some(O::Mem(dst)))
-                | (Some(O::Mem(dst)), Some(O::Reg(src))) => {
+                (Some(O::Reg(src)), Some(O::Mem(dst))) | (Some(O::Mem(dst)), Some(O::Reg(src))) => {
                     asm.opcode.push(op_for_width(0x87, w));
                     asm.set_reg(*src);
                     asm.set_rm_mem(dst)?;
@@ -895,9 +894,25 @@ pub fn encode(insn: &Instruction, form: BranchForm, rel: i64) -> Result<Vec<u8>,
                 _ => return unsupported(),
             }
         }
-        M::Addss | M::Addsd | M::Subss | M::Subsd | M::Mulss | M::Mulsd | M::Divss
-        | M::Divsd | M::Sqrtss | M::Sqrtsd | M::Ucomiss | M::Ucomisd | M::Comiss
-        | M::Comisd | M::Pxor | M::Xorps | M::Xorpd | M::Cvtss2sd | M::Cvtsd2ss => {
+        M::Addss
+        | M::Addsd
+        | M::Subss
+        | M::Subsd
+        | M::Mulss
+        | M::Mulsd
+        | M::Divss
+        | M::Divsd
+        | M::Sqrtss
+        | M::Sqrtsd
+        | M::Ucomiss
+        | M::Ucomisd
+        | M::Comiss
+        | M::Comisd
+        | M::Pxor
+        | M::Xorps
+        | M::Xorpd
+        | M::Cvtss2sd
+        | M::Cvtsd2ss => {
             let (mandatory, p66, op): (Option<u8>, bool, u8) = match insn.mnemonic {
                 M::Addss => (Some(0xf3), false, 0x58),
                 M::Addsd => (Some(0xf2), false, 0x58),
@@ -1141,7 +1156,12 @@ mod tests {
             Mnemonic::Movss,
             vec![
                 Operand::Reg(Reg::xmm(0)),
-                Operand::Mem(Mem::base_index(Reg::q(RegId::Rdi), Reg::q(RegId::Rax), 4, 0)),
+                Operand::Mem(Mem::base_index(
+                    Reg::q(RegId::Rdi),
+                    Reg::q(RegId::Rax),
+                    4,
+                    0,
+                )),
             ],
         );
         assert_eq!(enc(&i), vec![0xf3, 0x0f, 0x11, 0x04, 0x87]);
@@ -1203,11 +1223,7 @@ mod tests {
     #[test]
     fn rip_relative() {
         use crate::reg::{Reg, RegId, Width};
-        let i = build::mov(
-            Width::B8,
-            Mem::rip_relative("glob"),
-            Reg::q(RegId::Rax),
-        );
+        let i = build::mov(Width::B8, Mem::rip_relative("glob"), Reg::q(RegId::Rax));
         // 48 8b 05 <disp32>
         let b = enc(&i);
         assert_eq!(&b[..3], &[0x48, 0x8b, 0x05]);
@@ -1542,9 +1558,15 @@ mod more_form_tests {
 
     #[test]
     fn indirect_call_and_jmp_register() {
-        let i = Instruction::new(Mnemonic::Call, vec![Operand::IndirectReg(Reg::q(RegId::Rax))]);
+        let i = Instruction::new(
+            Mnemonic::Call,
+            vec![Operand::IndirectReg(Reg::q(RegId::Rax))],
+        );
         assert_eq!(enc(&i), vec![0xff, 0xd0]);
-        let i = Instruction::new(Mnemonic::Jmp, vec![Operand::IndirectReg(Reg::q(RegId::R11))]);
+        let i = Instruction::new(
+            Mnemonic::Jmp,
+            vec![Operand::IndirectReg(Reg::q(RegId::R11))],
+        );
         assert_eq!(enc(&i), vec![0x41, 0xff, 0xe3]);
     }
 

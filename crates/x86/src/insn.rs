@@ -91,7 +91,9 @@ impl Instruction {
     /// The effective operand width (explicit suffix, else inferred, else
     /// 32-bit — the x86-64 default operand size).
     pub fn width(&self) -> Width {
-        self.op_width.or_else(|| self.infer_width()).unwrap_or(Width::B4)
+        self.op_width
+            .or_else(|| self.infer_width())
+            .unwrap_or(Width::B4)
     }
 
     /// Destination operand (AT&T: the last), if the instruction has operands.
@@ -198,14 +200,8 @@ impl Instruction {
     pub fn att_mnemonic(&self) -> String {
         match self.mnemonic {
             Mnemonic::Movsx | Mnemonic::Movzx => {
-                let from = self
-                    .src_width
-                    .and_then(Width::att_suffix)
-                    .unwrap_or('b');
-                let to = self
-                    .op_width
-                    .and_then(Width::att_suffix)
-                    .unwrap_or('l');
+                let from = self.src_width.and_then(Width::att_suffix).unwrap_or('b');
+                let to = self.op_width.and_then(Width::att_suffix).unwrap_or('l');
                 format!("{}{}{}", self.mnemonic.att_base(), from, to)
             }
             Mnemonic::Setcc(_) => self.mnemonic.att_base(),

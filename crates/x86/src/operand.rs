@@ -90,7 +90,11 @@ impl Mem {
     /// `disp(base)` form.
     pub fn base_disp(base: Reg, disp: i64) -> Mem {
         Mem {
-            disp: if disp == 0 { Disp::None } else { Disp::Imm(disp) },
+            disp: if disp == 0 {
+                Disp::None
+            } else {
+                Disp::Imm(disp)
+            },
             base: Some(base),
             index: None,
             scale: 1,
@@ -100,7 +104,11 @@ impl Mem {
     /// `disp(base,index,scale)` form.
     pub fn base_index(base: Reg, index: Reg, scale: u8, disp: i64) -> Mem {
         Mem {
-            disp: if disp == 0 { Disp::None } else { Disp::Imm(disp) },
+            disp: if disp == 0 {
+                Disp::None
+            } else {
+                Disp::Imm(disp)
+            },
             base: Some(base),
             index: Some(index),
             scale,
@@ -127,8 +135,7 @@ impl Mem {
 
     /// Is this a RIP-relative reference?
     pub fn is_rip_relative(&self) -> bool {
-        self.base
-            .is_some_and(|r| r.id == crate::reg::RegId::Rip)
+        self.base.is_some_and(|r| r.id == crate::reg::RegId::Rip)
     }
 }
 

@@ -374,7 +374,9 @@ mod tests {
 
     #[test]
     fn parse_and_print_roundtrip() {
-        for name in ["rax", "eax", "ax", "al", "ah", "r8d", "r15b", "sil", "xmm7", "rip"] {
+        for name in [
+            "rax", "eax", "ax", "al", "ah", "r8d", "r15b", "sil", "xmm7", "rip",
+        ] {
             let r = parse_reg_name(name).unwrap();
             assert_eq!(r.att_name(), name);
         }

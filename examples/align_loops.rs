@@ -27,22 +27,38 @@ fn main() {
         layout.addr[loop_start] % 16 != 0
     );
 
-    let before = simulate(&unit, &workload.entry, &workload.args, &config, &SimOptions::default())
-        .expect("runs");
+    let before = simulate(
+        &unit,
+        &workload.entry,
+        &workload.args,
+        &config,
+        &SimOptions::default(),
+    )
+    .expect("runs");
     println!(
         "before LOOP16: {} cycles, {} decode lines fetched",
         before.pmu.cycles, before.pmu.decode_lines_fetched
     );
 
-    let report = run_pipeline(&mut unit, &parse_invocations("LOOP16").expect("valid"), None)
-        .expect("LOOP16 runs");
+    let report = run_pipeline(
+        &mut unit,
+        &parse_invocations("LOOP16").expect("valid"),
+        None,
+    )
+    .expect("LOOP16 runs");
     println!(
         "LOOP16 aligned {} loop(s); emitted assembly now contains `.p2align 4,,15`",
         report.total_transformations()
     );
 
-    let after = simulate(&unit, &workload.entry, &workload.args, &config, &SimOptions::default())
-        .expect("runs");
+    let after = simulate(
+        &unit,
+        &workload.entry,
+        &workload.args,
+        &config,
+        &SimOptions::default(),
+    )
+    .expect("runs");
     println!(
         "after LOOP16:  {} cycles, {} decode lines fetched",
         after.pmu.cycles, after.pmu.decode_lines_fetched

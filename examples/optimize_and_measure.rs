@@ -38,7 +38,10 @@ fn main() {
     .expect("SCHED runs");
     println!(
         "SCHED moved {} instruction(s)",
-        report.stats("SCHED").map(|s| s.transformations).unwrap_or(0)
+        report
+            .stats("SCHED")
+            .map(|s| s.transformations)
+            .unwrap_or(0)
     );
 
     let after = simulate(
@@ -57,10 +60,7 @@ fn main() {
     );
 
     assert_eq!(before.ret, after.ret, "scheduling preserves results");
-    let speedup = (before.pmu.cycles as f64 - after.pmu.cycles as f64)
-        / before.pmu.cycles as f64
-        * 100.0;
-    println!(
-        "speedup: {speedup:+.1}%  (paper: 15% on this kernel, diagnosed via RS_FULL)"
-    );
+    let speedup =
+        (before.pmu.cycles as f64 - after.pmu.cycles as f64) / before.pmu.cycles as f64 * 100.0;
+    println!("speedup: {speedup:+.1}%  (paper: 15% on this kernel, diagnosed via RS_FULL)");
 }

@@ -86,12 +86,13 @@ fn main() {
         .block_of(unit.find_label(".Lnext").expect("label") + 1)
         .expect("block");
     let p_rare = ep.taken_probability(cond_block, rare_block);
-    println!(
-        "estimated P(je taken -> .Lrare) = {p_rare:.3}   (ground truth: 1/8 = 0.125)"
-    );
+    println!("estimated P(je taken -> .Lrare) = {p_rare:.3}   (ground truth: 1/8 = 0.125)");
     println!(
         "hottest block: {} (the loop body, as expected)",
         ep.hottest_block().expect("nonempty")
     );
-    assert!((p_rare - 0.125).abs() < 0.08, "sampled bias is close to truth");
+    assert!(
+        (p_rare - 0.125).abs() < 0.08,
+        "sampled bias is close to truth"
+    );
 }

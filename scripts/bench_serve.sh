@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Run the service cold-vs-warm-cache benchmark and write BENCH_serve.json
+# at the repo root. Arguments are forwarded to the benchmark binary, e.g.
+#
+#   scripts/bench_serve.sh --requests 64 --scale 0.25
+#
+# Defaults: --requests 32 --scale 0.1 --workers 2 --jobs 1 --out BENCH_serve.json.
+# The warm round must be served entirely from the content-addressed result
+# cache; the binary exits non-zero if the hit/miss counters disagree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p mao-bench --bin bench_serve -- "$@"

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# CI gate: formatting, release build, the full workspace test suite, and an
+# end-to-end daemon smoke test (start `mao serve`, round-trip a request via
+# `mao client`, confirm a repeat is served from cache, query stats, clean
+# shutdown). Run from anywhere; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+# Note: a bare `cargo test` at the root runs only the root package's suites;
+# --workspace is what pulls in every crate (mao-serve's e2e tests included).
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> daemon smoke test"
+MAO=target/release/mao
+WORK=$(mktemp -d)
+SOCK="unix:$WORK/maod.sock"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+cat > "$WORK/in.s" <<'EOF'
+	.type	f, @function
+f:
+	subl	$16, %r15d
+	testl	%r15d, %r15d
+	jne	.L1
+	addl	$3, %eax
+	addl	$4, %eax
+.L1:
+	ret
+EOF
+PASSES=REDTEST:ADDADD:DCE
+
+"$MAO" serve --listen "$SOCK" &
+DAEMON_PID=$!
+for _ in $(seq 1 50); do
+    "$MAO" client --listen "$SOCK" --ping >/dev/null 2>&1 && break
+    sleep 0.1
+done
+"$MAO" client --listen "$SOCK" --ping >/dev/null
+
+# (a) daemon output must be byte-identical to the one-shot driver
+"$MAO" --mao="$PASSES" "$WORK/in.s" > "$WORK/oneshot.s"
+"$MAO" client --listen "$SOCK" --passes "$PASSES" "$WORK/in.s" \
+    > "$WORK/served.s" 2> "$WORK/client1.log"
+cmp "$WORK/oneshot.s" "$WORK/served.s"
+grep -q 'cache: miss' "$WORK/client1.log"
+
+# (b) the repeat must be a cache hit with identical output
+"$MAO" client --listen "$SOCK" --passes "$PASSES" "$WORK/in.s" \
+    > "$WORK/served2.s" 2> "$WORK/client2.log"
+cmp "$WORK/oneshot.s" "$WORK/served2.s"
+grep -q 'cache: hit' "$WORK/client2.log"
+
+# (c) stats reflect the traffic
+"$MAO" client --listen "$SOCK" --stats > "$WORK/stats.json"
+grep -q '"status":"ok"' "$WORK/stats.json"
+grep -q '"result_cache":{"hits":1,"misses":1' "$WORK/stats.json"
+
+# (d) graceful shutdown: ack, clean exit, socket removed
+"$MAO" client --listen "$SOCK" --shutdown | grep -q '"shutdown":true'
+wait "$DAEMON_PID"
+test ! -e "$WORK/maod.sock"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "ci: all checks passed"

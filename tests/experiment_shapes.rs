@@ -90,8 +90,14 @@ fn schedule_order_and_sched_pass() {
     let unit_bad = MaoUnit::parse(&bad.asm).expect("parses");
     let unit_good = MaoUnit::parse(&good.asm).expect("parses");
     let rb = simulate(&unit_bad, &bad.entry, &[], &config, &SimOptions::default()).expect("runs");
-    let rg =
-        simulate(&unit_good, &good.entry, &[], &config, &SimOptions::default()).expect("runs");
+    let rg = simulate(
+        &unit_good,
+        &good.entry,
+        &[],
+        &config,
+        &SimOptions::default(),
+    )
+    .expect("runs");
     assert!(rb.pmu.cycles > rg.pmu.cycles);
     assert!(
         rb.pmu.rs_full_stalls > rg.pmu.rs_full_stalls * 2,
@@ -114,8 +120,14 @@ fn prefetchnta_reduces_pollution() {
     let nta = kernels::streaming_with_hot_set(true, 10_000);
     let up = MaoUnit::parse(&plain.asm).expect("parses");
     let un = MaoUnit::parse(&nta.asm).expect("parses");
-    let rp = simulate(&up, &plain.entry, &plain.args, &config, &SimOptions::default())
-        .expect("runs");
+    let rp = simulate(
+        &up,
+        &plain.entry,
+        &plain.args,
+        &config,
+        &SimOptions::default(),
+    )
+    .expect("runs");
     let rn = simulate(&un, &nta.entry, &nta.args, &config, &SimOptions::default()).expect("runs");
     assert!(rn.pmu.l1d_misses * 4 < rp.pmu.l1d_misses);
     assert!(rn.pmu.cycles < rp.pmu.cycles);
@@ -126,7 +138,10 @@ fn prefetchnta_reduces_pollution() {
 fn instprep_probes_are_patchable() {
     let w = kernels::hashing(true, 1_000);
     let fixed = optimized(&w.asm, "INSTPREP");
-    assert!(fixed.contains("nopl 0(%rax,%rax,1)"), "5-byte probes planted");
+    assert!(
+        fixed.contains("nopl 0(%rax,%rax,1)"),
+        "5-byte probes planted"
+    );
     let unit = MaoUnit::parse(&fixed).expect("parses");
     let layout = mao::relax(&unit).expect("relaxes");
     let probe = mao_x86::Instruction::nop_of_len(5);
@@ -156,13 +171,11 @@ fn calculix_pass_signs_on_amd() {
     let w = spec2006_benchmark("454.calculix").expect("known benchmark");
     let amd = UarchConfig::opteron();
     let unit = MaoUnit::parse(&w.asm).expect("parses");
-    let base = simulate(&unit, &w.entry, &w.args, &amd, &SimOptions::default())
-        .expect("runs");
+    let base = simulate(&unit, &w.entry, &w.args, &amd, &SimOptions::default()).expect("runs");
     for (pass, improves) in [("REDTEST", true), ("REDMOV", true), ("NOPKILL", false)] {
         let t = optimized(&w.asm, pass);
         let unit = MaoUnit::parse(&t).expect("parses");
-        let after = simulate(&unit, &w.entry, &w.args, &amd, &SimOptions::default())
-            .expect("runs");
+        let after = simulate(&unit, &w.entry, &w.args, &amd, &SimOptions::default()).expect("runs");
         assert_eq!(base.ret, after.ret, "{pass} changed the result");
         if improves {
             assert!(

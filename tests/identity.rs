@@ -36,7 +36,10 @@ fn assert_identity(asm: &str, name: &str) {
     // The byte-level check: every instruction's encoded length must match.
     let l1 = relax(&a1).unwrap_or_else(|e| panic!("{name}: relax failed: {e}"));
     let l2 = relax(&a2).expect("same unit relaxes");
-    assert_eq!(l1.size, l2.size, "{name}: encodings differ after round-trip");
+    assert_eq!(
+        l1.size, l2.size,
+        "{name}: encodings differ after round-trip"
+    );
 }
 
 #[test]

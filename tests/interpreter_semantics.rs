@@ -71,14 +71,8 @@ fn push_pop_and_leave() {
 
 #[test]
 fn rotates() {
-    assert_eq!(
-        run("\tmovl $0x80000000, %eax\n\troll $4, %eax\n", &[]),
-        0x8
-    );
-    assert_eq!(
-        run("\tmovl $1, %eax\n\trorl $1, %eax\n", &[]),
-        0x80000000
-    );
+    assert_eq!(run("\tmovl $0x80000000, %eax\n\troll $4, %eax\n", &[]), 0x8);
+    assert_eq!(run("\tmovl $1, %eax\n\trorl $1, %eax\n", &[]), 0x80000000);
 }
 
 #[test]
@@ -166,7 +160,10 @@ fn neg_and_not() {
 #[test]
 fn shift_counts_mask() {
     // 32-bit shifts mask the count to 5 bits: shll $33 == shll $1.
-    assert_eq!(run("\tmovl $1, %eax\n\tmovl $33, %ecx\n\tshll %cl, %eax\n", &[]), 2);
+    assert_eq!(
+        run("\tmovl $1, %eax\n\tmovl $33, %ecx\n\tshll %cl, %eax\n", &[]),
+        2
+    );
 }
 
 #[test]
@@ -237,8 +234,14 @@ fn timed_and_functional_agree() {
     let unit = MaoUnit::parse(asm).expect("parses");
     let p = Program::load(&unit).expect("loads");
     let (functional, _) = run_functional(&p, "f", &[], 100).expect("runs");
-    let timed = simulate(&unit, "f", &[], &UarchConfig::core2(), &SimOptions::default())
-        .expect("runs");
+    let timed = simulate(
+        &unit,
+        "f",
+        &[],
+        &UarchConfig::core2(),
+        &SimOptions::default(),
+    )
+    .expect("runs");
     assert_eq!(functional, timed.ret);
     assert_eq!(functional, 42);
 }

@@ -99,10 +99,9 @@ fn pipeline_composition_preserves_semantics() {
         run_functional(&prog, &w.entry, &w.args, 10_000_000).expect("runs")
     };
     let mut unit = MaoUnit::parse(&w.asm).expect("parses");
-    let invs = parse_invocations(
-        "REDMOV:REDTEST:LOOP16:NOPIN=seed[1],density[0.02]:SCHED:DCE:CONSTFOLD",
-    )
-    .expect("valid");
+    let invs =
+        parse_invocations("REDMOV:REDTEST:LOOP16:NOPIN=seed[1],density[0.02]:SCHED:DCE:CONSTFOLD")
+            .expect("valid");
     run_pipeline(&mut unit, &invs, None).expect("pipeline runs");
     let prog = Program::load(&unit).expect("loads");
     let after = run_functional(&prog, &w.entry, &w.args, 10_000_000).expect("runs");

@@ -19,8 +19,8 @@ fn corpus_unit(scale: f64) -> MaoUnit {
 fn run_with_jobs(jobs: usize, scale: f64) -> (String, mao::PipelineReport) {
     let mut unit = corpus_unit(scale);
     let invs = parse_invocations(PIPELINE).unwrap();
-    let report = run_pipeline_with(&mut unit, &invs, None, &PipelineConfig { jobs })
-        .expect("pipeline runs");
+    let report =
+        run_pipeline_with(&mut unit, &invs, None, &PipelineConfig { jobs }).expect("pipeline runs");
     (unit.emit(), report)
 }
 

@@ -56,8 +56,16 @@ fn mem() -> impl Strategy<Value = Mem> {
 /// A random two-operand ALU instruction in one of the encodable forms.
 fn alu_instruction() -> impl Strategy<Value = Instruction> {
     let mnemonics = prop::sample::select(vec!["add", "sub", "and", "or", "xor", "cmp", "mov"]);
-    (mnemonics, width(), gpr(), gpr(), mem(), any::<i32>(), 0u8..4).prop_map(
-        |(m, w, r1, r2, mem, imm, form)| {
+    (
+        mnemonics,
+        width(),
+        gpr(),
+        gpr(),
+        mem(),
+        any::<i32>(),
+        0u8..4,
+    )
+        .prop_map(|(m, w, r1, r2, mem, imm, form)| {
             let reg = |id: RegId| match w {
                 Width::B1 => Reg::b(id),
                 Width::B2 => Reg::w(id),
@@ -74,8 +82,7 @@ fn alu_instruction() -> impl Strategy<Value = Instruction> {
             };
             let name = format!("{m}{}", w.att_suffix().expect("GPR widths have suffixes"));
             Instruction::from_att(&name, vec![src, dst]).expect("ALU form parses")
-        },
-    )
+        })
 }
 
 proptest! {
