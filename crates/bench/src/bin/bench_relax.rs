@@ -1,0 +1,307 @@
+//! `relax` benchmark: the fragment-based relaxation engine vs the legacy
+//! entry-at-a-time reference solver. Three comparisons over one corpus:
+//!
+//! 1. **Full solve** — one from-scratch layout, reference vs fragments.
+//! 2. **Edit sequence** — a stream of single-NOP insertions, re-laying-out
+//!    after each: legacy full re-relax vs fragment full re-relax vs
+//!    incremental `LayoutCache::patch`.
+//! 3. **Alignment pipeline** — `BRALIGN:LOOP16:LSDFIT` end to end with
+//!    incremental layouts vs the same passes under `legacy-relax`; the
+//!    emitted assembly must be byte-identical.
+//!
+//! Writes `BENCH_relax.json`.
+//!
+//! Usage: `bench_relax [--scale S] [--out FILE] [--smoke]`
+//! (defaults: S=0.1, FILE=BENCH_relax.json; `--smoke` runs a small-scale
+//! equivalence check and writes no file).
+
+use std::time::Instant;
+
+use mao::pass::{parse_invocations, run_pipeline_with, PipelineConfig};
+use mao::relax::{relax, relax_reference, LayoutCache};
+use mao::unit::{EditSet, EntryId};
+use mao::MaoUnit;
+use mao_asm::Entry;
+use mao_corpus::kernels;
+use mao_corpus::{generate, GeneratorConfig, Workload};
+use mao_x86::Instruction;
+
+const PIPELINE: &str = "BRALIGN:LOOP16:LSDFIT";
+const LEGACY_PIPELINE: &str = "BRALIGN=legacy-relax:LOOP16=legacy-relax:LSDFIT=legacy-relax";
+const SAMPLES: usize = 3;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Median wall-clock seconds of `SAMPLES` runs of `f`.
+fn time_median<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut last = None;
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        let out = f();
+        times.push(t.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (median(times), last.unwrap())
+}
+
+/// Synthetic compiler output plus the paper's branch-heavy kernels. The
+/// generator plants only forward branches, so the kernels supply the
+/// back-branch/alignment work; labels and entry symbols are uniquified so
+/// several instances coexist in one unit.
+fn build_asm(scale: f64) -> String {
+    let mut asm = generate(&GeneratorConfig::core_library(scale)).asm;
+    let instances: Vec<Workload> = vec![
+        kernels::mcf_fig1(false, 8),
+        kernels::mcf_fig1(true, 8),
+        kernels::eon_short_loop(10, 4, 4),
+        kernels::eon_short_loop(3, 4, 4),
+        kernels::hashing(true, 16),
+        kernels::hashing(false, 16),
+        kernels::port_contention(16),
+        kernels::lsd_loop(10, 8),
+        kernels::lsd_loop(2, 8),
+        kernels::image_nest(12, 4),
+        kernels::streaming_with_hot_set(false, 8),
+    ];
+    for (i, w) in instances.into_iter().enumerate() {
+        let text = w
+            .asm
+            .replace(".L", &format!(".Lk{i}_"))
+            .replace(&w.entry, &format!("{}_{i}", w.entry));
+        asm.push_str(&text);
+    }
+    asm
+}
+
+/// Instruction ids to edit at, in descending order so earlier sites stay
+/// valid while later ones are edited (inserts only shift ids above them).
+fn edit_sites(unit: &MaoUnit, n: usize) -> Vec<EntryId> {
+    let ids: Vec<EntryId> = (0..unit.len())
+        .filter(|&id| unit.insn(id).is_some())
+        .collect();
+    let mut sites: Vec<EntryId> = (1..=n)
+        .map(|k| ids[k * (ids.len() - 1) / (n + 1)])
+        .collect();
+    sites.sort_unstable();
+    sites.dedup();
+    sites.reverse();
+    sites
+}
+
+fn nop_entry() -> Entry {
+    Entry::Insn(Instruction::nop_of_len(1))
+}
+
+/// The edit sequence with a full re-layout after every insertion.
+fn run_edit_full(base: &MaoUnit, sites: &[EntryId], reference: bool) -> (f64, MaoUnit) {
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut last = None;
+    for _ in 0..SAMPLES {
+        let mut unit = base.clone();
+        let t = Instant::now();
+        std::hint::black_box(if reference {
+            relax_reference(&unit).expect("corpus relaxes").end_addr(0)
+        } else {
+            relax(&unit).expect("corpus relaxes").end_addr(0)
+        });
+        for &site in sites {
+            let mut edits = EditSet::new();
+            edits.insert_before(site, vec![nop_entry()]);
+            unit.apply(edits);
+            std::hint::black_box(if reference {
+                relax_reference(&unit).expect("corpus relaxes").end_addr(0)
+            } else {
+                relax(&unit).expect("corpus relaxes").end_addr(0)
+            });
+        }
+        times.push(t.elapsed().as_secs_f64());
+        last = Some(unit);
+    }
+    (median(times), last.unwrap())
+}
+
+/// The same edit sequence through the incremental layout cache.
+fn run_edit_patch(base: &MaoUnit, sites: &[EntryId]) -> (f64, MaoUnit) {
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut last = None;
+    for _ in 0..SAMPLES {
+        let mut unit = base.clone();
+        let mut cache = LayoutCache::new();
+        let t = Instant::now();
+        std::hint::black_box(cache.layout(&unit).expect("corpus relaxes").end_addr(0));
+        for &site in sites {
+            let mut edits = EditSet::new();
+            edits.insert_before(site, vec![nop_entry()]);
+            cache.patch(&mut unit, edits).expect("patch applies");
+        }
+        std::hint::black_box(cache.layout(&unit).expect("cached layout").end_addr(0));
+        times.push(t.elapsed().as_secs_f64());
+        last = Some(unit);
+    }
+    (median(times), last.unwrap())
+}
+
+/// The alignment pipeline; returns the median time and the emitted text.
+fn run_alignment_pipeline(base: &MaoUnit, spec: &str) -> (f64, String) {
+    let invs = parse_invocations(spec).expect("pipeline spec parses");
+    let mut times = Vec::with_capacity(SAMPLES);
+    let mut emitted = None;
+    for _ in 0..SAMPLES {
+        let mut unit = base.clone();
+        let t = Instant::now();
+        run_pipeline_with(&mut unit, &invs, None, &PipelineConfig { jobs: 1 })
+            .expect("pipeline runs");
+        times.push(t.elapsed().as_secs_f64());
+        emitted = Some(unit.emit());
+    }
+    (median(times), emitted.unwrap())
+}
+
+const USAGE: &str = "usage: bench_relax [--scale S] [--out FILE] [--smoke]\n\
+    (defaults: S=0.1, FILE=BENCH_relax.json)";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("bench_relax: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = 0.1f64;
+    let mut out = String::from("BENCH_relax.json");
+    let mut smoke = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => scale = s,
+                None => usage_error("--scale needs a numeric value"),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = f.clone(),
+                None => usage_error("--out needs a file name"),
+            },
+            "--smoke" => smoke = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if smoke {
+        scale = scale.min(0.02);
+    }
+
+    let asm = build_asm(scale);
+    let unit = MaoUnit::parse(&asm).expect("corpus parses");
+    let _ = unit.functions_cached(); // build the index before cloning
+    let functions = unit.functions().len();
+    let entries = unit.len();
+
+    // 1. Full solve: reference vs fragments, byte-identical layouts.
+    let (t_ref, ref_layout) = time_median(|| relax_reference(&unit).expect("corpus relaxes"));
+    let (t_frag, frag_layout) = time_median(|| relax(&unit).expect("corpus relaxes"));
+    assert!(
+        frag_layout.agrees_with(&ref_layout),
+        "fragment layout diverges from the reference solver"
+    );
+    let branches = ref_layout.branch_form.iter().flatten().count();
+    let metrics = frag_layout.metrics;
+    eprintln!(
+        "corpus: {functions} functions, {entries} entries, {branches} relaxable branches \
+         (scale {scale}); {} fragments ({} variable)",
+        metrics.fragments, metrics.variable_fragments
+    );
+    let full_speedup = t_ref / t_frag;
+    eprintln!("full solve: reference {t_ref:.6}s, fragments {t_frag:.6}s ({full_speedup:.2}x)");
+
+    // 2. Edit sequence: legacy full / fragment full / incremental patch.
+    let n_edits = if smoke { 8 } else { 32 };
+    let sites = edit_sites(&unit, n_edits);
+    let (t_edit_ref, u_ref) = run_edit_full(&unit, &sites, true);
+    let (t_edit_frag, u_frag) = run_edit_full(&unit, &sites, false);
+    let (t_edit_patch, u_patch) = run_edit_patch(&unit, &sites);
+    assert_eq!(u_ref.emit(), u_patch.emit(), "edit sequences must agree");
+    assert_eq!(u_frag.emit(), u_patch.emit(), "edit sequences must agree");
+    let final_ref = relax_reference(&u_patch).expect("final relaxes");
+    let final_patch = relax(&u_patch).expect("final relaxes");
+    assert!(
+        final_patch.agrees_with(&final_ref),
+        "patched unit's layout diverges from the reference solver"
+    );
+    let patch_speedup = t_edit_ref / t_edit_patch;
+    eprintln!(
+        "{} edits: legacy {t_edit_ref:.6}s, fragment full {t_edit_frag:.6}s, \
+         patch {t_edit_patch:.6}s ({patch_speedup:.2}x vs legacy)",
+        sites.len()
+    );
+
+    // 3. Alignment pipeline, byte-identical output required.
+    let (t_pipe_legacy, out_legacy) = run_alignment_pipeline(&unit, LEGACY_PIPELINE);
+    let (t_pipe_frag, out_frag) = run_alignment_pipeline(&unit, PIPELINE);
+    assert_eq!(
+        out_legacy, out_frag,
+        "alignment pipeline output differs between legacy and fragment layouts"
+    );
+    let pipeline_speedup = t_pipe_legacy / t_pipe_frag;
+    eprintln!(
+        "pipeline {PIPELINE}: legacy {t_pipe_legacy:.6}s, fragments {t_pipe_frag:.6}s \
+         ({pipeline_speedup:.2}x, byte-identical output)"
+    );
+
+    if smoke {
+        println!("bench_relax smoke ok: full {full_speedup:.2}x, edits {patch_speedup:.2}x, pipeline {pipeline_speedup:.2}x, output byte-identical");
+        return;
+    }
+
+    let totals = mao::relax_totals();
+    let json = format!(
+        r#"{{
+  "benchmark": "relax",
+  "corpus": {{ "scale": {scale}, "functions": {functions}, "entries": {entries}, "relaxable_branches": {branches} }},
+  "fragments": {{ "total": {ftot}, "variable": {fvar}, "fixed_point_passes": {fpass}, "fit_rechecks": {frechecks} }},
+  "full_solve": {{ "reference_seconds": {t_ref:.6}, "fragment_seconds": {t_frag:.6}, "speedup": {full_speedup:.3} }},
+  "edit_sequence": {{
+    "edits": {nsites},
+    "legacy_full_relax_seconds": {t_edit_ref:.6},
+    "fragment_full_relax_seconds": {t_edit_frag:.6},
+    "incremental_patch_seconds": {t_edit_patch:.6},
+    "patch_speedup_vs_legacy": {patch_speedup:.3},
+    "patch_speedup_vs_fragment_full": {pvf:.3}
+  }},
+  "pipeline": {{
+    "passes": "{PIPELINE}",
+    "legacy_relax_seconds": {t_pipe_legacy:.6},
+    "incremental_seconds": {t_pipe_frag:.6},
+    "speedup": {pipeline_speedup:.3},
+    "byte_identical_output": true
+  }},
+  "process_totals": {{ "layouts": {tl}, "patches": {tp}, "iterations": {ti}, "rechecks": {tr}, "fragments": {tf} }}
+}}
+"#,
+        ftot = metrics.fragments,
+        fvar = metrics.variable_fragments,
+        fpass = metrics.passes,
+        frechecks = metrics.rechecks,
+        nsites = sites.len(),
+        pvf = t_edit_frag / t_edit_patch,
+        tl = totals.layouts,
+        tp = totals.patches,
+        ti = totals.iterations,
+        tr = totals.rechecks,
+        tf = totals.fragments,
+    );
+    std::fs::write(&out, &json).expect("write benchmark JSON");
+    println!("{json}");
+    println!("wrote {out}");
+    println!(
+        "summary: full solve {full_speedup:.2}x, {n} edits {patch_speedup:.2}x, \
+         pipeline {pipeline_speedup:.2}x (all outputs byte-identical)",
+        n = sites.len()
+    );
+}

@@ -49,7 +49,7 @@ fn main() {
         let delta = layout.addr[lc] as i64 - layout.end_addr(jmp) as i64;
         let bytes = encode(
             unit.insn(jmp).expect("jmp is insn"),
-            layout.branch_form[&jmp],
+            layout.form(jmp),
             delta,
         )
         .expect("jmp encodes");

@@ -28,7 +28,27 @@ use std::sync::{Arc, Mutex, OnceLock};
 use crate::cfg::Cfg;
 use crate::dataflow::{Liveness, ReachingDefs};
 use crate::loops::{find_loops, LoopNest};
+use crate::relax::{Layout, RelaxError, Relaxed};
 use crate::unit::{Function, MaoUnit};
+
+/// Content key of a whole unit, for the layout slot. 128 bits (two
+/// differently-seeded hashers) because a 64-bit collision between distinct
+/// units would silently hand a request the wrong layout — at 2⁻⁶⁴ per pair
+/// that is an acceptable risk only squared.
+fn unit_key(unit: &MaoUnit) -> u128 {
+    let mut lo = std::collections::hash_map::DefaultHasher::new();
+    let mut hi = std::collections::hash_map::DefaultHasher::new();
+    0x6d616f_u64.hash(&mut lo);
+    0x4c4c564d_u64.hash(&mut hi);
+    for e in unit.entries() {
+        e.hash(&mut lo);
+        e.hash(&mut hi);
+    }
+    (u128::from(hi.finish()) << 64) | u128::from(lo.finish())
+}
+
+/// Layout slots kept per unit content hash.
+const LAYOUT_CAPACITY: usize = 64;
 
 /// Content key of a function: its absolute spans plus every entry in them.
 ///
@@ -119,6 +139,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped to respect the capacity bound.
     pub evictions: u64,
+    /// Layout lookups answered from the content-keyed layout slot.
+    pub layout_hits: u64,
+    /// Layout lookups that solved from scratch.
+    pub layout_misses: u64,
 }
 
 impl CacheStats {
@@ -131,17 +155,41 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Layout hits as a fraction of all layout lookups (0.0 when unused).
+    pub fn layout_hit_rate(&self) -> f64 {
+        let total = self.layout_hits + self.layout_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.layout_hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct LayoutState {
+    /// Unit content hash → (last-use stamp, solved layout + fragment model).
+    /// Content-keyed, so no epoch tracking is needed: a stale unit simply
+    /// never hashes to a live key.
+    map: HashMap<u128, (u64, Arc<Relaxed>)>,
+    /// Monotonic access clock for LRU stamps.
+    clock: u64,
 }
 
 /// Shared, thread-safe per-function analysis cache.
 #[derive(Debug, Default)]
 pub struct AnalysisCache {
     state: Mutex<CacheState>,
+    /// Whole-unit layouts, content-keyed (see [`AnalysisCache::layout`]).
+    layouts: Mutex<LayoutState>,
     /// Maximum number of cached functions (0 = unbounded).
     capacity: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    layout_hits: AtomicU64,
+    layout_misses: AtomicU64,
 }
 
 impl AnalysisCache {
@@ -210,9 +258,54 @@ impl AnalysisCache {
         fresh
     }
 
+    /// The unit's relaxed layout, keyed by a content hash of every entry so
+    /// `maod` reuses layouts across requests carrying the same unit. The
+    /// solve runs outside the lock; concurrent misses on the same key may
+    /// both solve, and the first insert wins.
+    pub fn layout(&self, unit: &MaoUnit) -> Result<Arc<Layout>, RelaxError> {
+        Ok(self.relaxed(unit)?.layout.clone())
+    }
+
+    /// Like [`AnalysisCache::layout`] but returns the full solved state
+    /// (layout plus fragment model) for `LayoutCache` to patch from.
+    pub(crate) fn relaxed(&self, unit: &MaoUnit) -> Result<Arc<Relaxed>, RelaxError> {
+        let key = unit_key(unit);
+        {
+            let mut layouts = self.layouts.lock().unwrap();
+            layouts.clock += 1;
+            let stamp = layouts.clock;
+            if let Some(entry) = layouts.map.get_mut(&key) {
+                entry.0 = stamp;
+                self.layout_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(entry.1.clone());
+            }
+        }
+        let fresh = Arc::new(Relaxed::build(unit)?);
+        self.layout_misses.fetch_add(1, Ordering::Relaxed);
+        let mut layouts = self.layouts.lock().unwrap();
+        layouts.clock += 1;
+        let stamp = layouts.clock;
+        let entry = layouts
+            .map
+            .entry(key)
+            .or_insert_with(|| (stamp, fresh.clone()));
+        let out = entry.1.clone();
+        while layouts.map.len() > LAYOUT_CAPACITY {
+            let lru = layouts
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(key, _)| *key)
+                .expect("non-empty map over capacity");
+            layouts.map.remove(&lru);
+        }
+        Ok(out)
+    }
+
     /// Drop every cached analysis (counters are kept).
     pub fn clear(&self) {
         self.state.lock().unwrap().map.clear();
+        self.layouts.lock().unwrap().map.clear();
     }
 
     /// Number of functions currently cached.
@@ -231,6 +324,8 @@ impl AnalysisCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            layout_hits: self.layout_hits.load(Ordering::Relaxed),
+            layout_misses: self.layout_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -277,7 +372,7 @@ g:
             CacheStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                ..CacheStats::default()
             }
         );
     }
@@ -353,6 +448,26 @@ g:
             baseline.misses + 1,
             "shifted g holds stale entry ids and must be rebuilt"
         );
+    }
+
+    #[test]
+    fn layout_slot_is_content_keyed() {
+        let cache = AnalysisCache::new();
+        let unit = MaoUnit::parse("\tnop\n\tret\n").unwrap();
+        let a = cache.layout(&unit).unwrap();
+        let b = cache.layout(&unit).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same unit must hit");
+        // A separately parsed unit with identical content hits too — that
+        // is what lets `maod` reuse layouts across requests.
+        let again = MaoUnit::parse("\tnop\n\tret\n").unwrap();
+        let c = cache.layout(&again).unwrap();
+        assert!(Arc::ptr_eq(&a, &c), "content-identical unit must hit");
+        let other = MaoUnit::parse("\tnop\n\tnop\n\tret\n").unwrap();
+        let d = cache.layout(&other).unwrap();
+        assert!(!Arc::ptr_eq(&a, &d));
+        let stats = cache.stats();
+        assert_eq!((stats.layout_hits, stats.layout_misses), (2, 2));
+        assert!((stats.layout_hit_rate() - 0.5).abs() < 1e-9);
     }
 
     /// A structural edit bumps the context epoch and flushes everything.

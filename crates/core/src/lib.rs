@@ -49,5 +49,8 @@ pub use pass::{
     MaoPass, PassContext, PassError, PassStats, PipelineConfig, PipelineReport,
 };
 pub use profile::{Profile, Sample, Site};
-pub use relax::{relax, Layout, RelaxError};
+pub use relax::{
+    relax, relax_reference, relax_totals, Layout, LayoutCache, LayoutCacheStats, RelaxError,
+    RelaxMetrics, RelaxTotals,
+};
 pub use unit::{EditSet, EntryId, Function, MaoUnit, Section};

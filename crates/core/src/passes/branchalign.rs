@@ -14,8 +14,8 @@
 use mao_asm::Entry;
 use mao_x86::Instruction;
 
-use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
-use crate::relax::relax;
+use crate::pass::{MaoPass, PassContext, PassError, PassStats};
+use crate::passes::layout_util::LayoutProvider;
 use crate::unit::{EditSet, EntryId, MaoUnit};
 
 /// The branch de-aliasing pass.
@@ -28,17 +28,13 @@ fn back_branches(
     function: &crate::unit::Function,
     layout: &crate::relax::Layout,
 ) -> Vec<(EntryId, u64)> {
-    let labels = unit.labels();
     let mut out = Vec::new();
     for id in function.entry_ids() {
         let Some(insn) = unit.insn(id) else { continue };
         if !insn.mnemonic.is_cond_branch() {
             continue;
         }
-        let Some(target) = insn.target_label() else {
-            continue;
-        };
-        let Some(&tid) = labels.get(target) else {
+        let Some(tid) = unit.branch_target(id) else {
             continue;
         };
         if layout.addr[tid] <= layout.addr[id] {
@@ -64,12 +60,19 @@ impl MaoPass for BranchAlign {
         // A couple of rounds: fixing one pair can move later branches into
         // (or out of) aliasing.
         let max_rounds = ctx.options.get_u64("rounds", 8);
+        // Edits go through the provider so each fix costs an incremental
+        // layout patch instead of a from-scratch relaxation.
+        let mut provider = LayoutProvider::new(ctx);
         let mut trace: Vec<String> = Vec::new();
         for _ in 0..max_rounds {
             let before_round = stats.transformations;
-            for_each_function(unit, |unit, function| {
-                let layout = relax(unit)?;
-                let branches = back_branches(unit, function, &layout);
+            let mut k = 0;
+            loop {
+                let Some(function) = unit.functions_cached().get(k).cloned() else {
+                    break;
+                };
+                let layout = provider.layout(unit)?;
+                let branches = back_branches(unit, &function, &layout);
                 let mut edits = EditSet::new();
                 for pair in branches.windows(2) {
                     let (first_id, first_addr) = pair[0];
@@ -95,15 +98,18 @@ impl MaoPass for BranchAlign {
                     stats.transformed(1);
                     break; // one fix per function per round, then re-relax
                 }
-                Ok(edits)
-            })?;
+                if !edits.is_empty() {
+                    provider.apply(unit, edits)?;
+                }
+                k += 1;
+            }
             // Fixed point: stop when a full sweep changed nothing.
             if stats.transformations == before_round {
                 break;
             }
             // Check for remaining aliasing; if none, stop early.
             let mut any_alias = false;
-            let layout = relax(unit)?;
+            let layout = provider.layout(unit)?;
             for function in unit.functions() {
                 let branches = back_branches(unit, &function, &layout);
                 if branches
@@ -118,6 +124,9 @@ impl MaoPass for BranchAlign {
                 break;
             }
         }
+        if let Some(note) = provider.note() {
+            stats.notes.push(note);
+        }
         for line in trace {
             ctx.trace(2, line);
         }
@@ -129,6 +138,7 @@ impl MaoPass for BranchAlign {
 mod tests {
     use super::*;
     use crate::pass::PassContext;
+    use crate::relax::relax;
 
     /// The §III.C.g shape: a two-deep nest of short loops whose back
     /// branches land in the same 32-byte bucket.

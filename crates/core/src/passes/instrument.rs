@@ -14,7 +14,7 @@ use mao_asm::Entry;
 use mao_x86::{Instruction, Mnemonic};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
-use crate::relax::relax;
+use crate::passes::layout_util::LayoutProvider;
 use crate::unit::{EditSet, EntryId, MaoUnit};
 
 /// The instrumentation-point preparation pass.
@@ -69,9 +69,12 @@ impl MaoPass for InstrumentPrep {
             Ok(edits)
         })?;
 
-        // Phase 2: iterate until no probe crosses a cache line.
+        // Phase 2: iterate until no probe crosses a cache line. Each round's
+        // padding patches the cached layout instead of re-relaxing from
+        // scratch.
+        let mut provider = LayoutProvider::new(ctx);
         for _round in 0..16 {
-            let layout = relax(unit)?;
+            let layout = provider.layout(unit)?;
             let mut edits = EditSet::new();
             for id in 0..unit.len() {
                 if !is_probe(unit, id) {
@@ -95,7 +98,10 @@ impl MaoPass for InstrumentPrep {
             if edits.is_empty() {
                 break;
             }
-            unit.apply(edits);
+            provider.apply(unit, edits)?;
+        }
+        if let Some(note) = provider.note() {
+            stats.notes.push(note);
         }
         ctx.trace(
             1,
@@ -112,6 +118,7 @@ impl MaoPass for InstrumentPrep {
 mod tests {
     use super::*;
     use crate::pass::{PassContext, PassOptions};
+    use crate::relax::relax;
 
     const SAMPLE: &str = r#"
 	.type	f, @function

@@ -12,11 +12,8 @@
 
 use mao_asm::{Align, Directive, Entry};
 
-use crate::cfg::Cfg;
-use crate::loops::find_loops;
-use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
-use crate::passes::layout_util::loop_span;
-use crate::relax::relax;
+use crate::pass::{MaoPass, PassContext, PassError, PassStats};
+use crate::passes::layout_util::{loop_span, LayoutProvider};
 use crate::unit::{EditSet, MaoUnit};
 
 /// The short-loop 16-byte alignment pass.
@@ -37,19 +34,19 @@ impl MaoPass for LoopAlign16 {
         // Loops at most this many bytes are candidates (default: one line).
         let max_size = ctx.options.get_u64("max-size", 16);
         let mut trace: Vec<String> = Vec::new();
-        // Relaxation covers the whole unit; recompute only after an edit
-        // (most functions have no candidate loops).
-        let mut cached: Option<crate::relax::Layout> = None;
-        for_each_function(unit, |unit, function| {
-            let layout = match cached.take() {
-                Some(l) => l,
-                None => relax(unit)?,
+        // Layouts come from the shared cache (free when the unit is
+        // unchanged); edits patch the cached layout incrementally.
+        let mut provider = LayoutProvider::new(ctx);
+        let mut k = 0;
+        loop {
+            let Some(function) = unit.functions_cached().get(k).cloned() else {
+                break;
             };
-            let cfg = Cfg::build(unit, function);
-            let nest = find_loops(&cfg);
+            let layout = provider.layout(unit)?;
+            let analyses = ctx.analyses.for_function(unit, &function);
+            let cfg = analyses.cfg(unit, &function);
+            let nest = analyses.loops(unit, &function);
             let mut edits = EditSet::new();
-            // One loop per function per application; re-relaxation after the
-            // edit re-evaluates the rest (for_each_function recomputes).
             for &li in &nest.innermost() {
                 let Some(span) = loop_span(&cfg, &nest, &nest.loops[li], &layout) else {
                     continue;
@@ -79,11 +76,14 @@ impl MaoPass for LoopAlign16 {
                 );
                 stats.transformed(1);
             }
-            if edits.is_empty() {
-                cached = Some(layout);
+            if !edits.is_empty() {
+                provider.apply(unit, edits)?;
             }
-            Ok(edits)
-        })?;
+            k += 1;
+        }
+        if let Some(note) = provider.note() {
+            stats.notes.push(note);
+        }
         for line in trace {
             ctx.trace(2, line);
         }
@@ -95,7 +95,7 @@ impl MaoPass for LoopAlign16 {
 mod tests {
     use super::*;
     use crate::pass::PassContext;
-    use crate::relax::Layout;
+    use crate::relax::{relax, Layout};
 
     /// The §III.C.e loop: movss+add+cmp+jne, 13 bytes. Offset it so it
     /// crosses a 16-byte boundary, run the pass, verify it no longer does.

@@ -13,11 +13,9 @@
 use mao_asm::Entry;
 use mao_x86::Instruction;
 
-use crate::cfg::Cfg;
-use crate::loops::find_loops;
-use crate::pass::{for_each_function, MaoPass, PassContext, PassError, PassStats};
-use crate::passes::layout_util::loop_span;
-use crate::relax::{relax, Layout};
+use crate::pass::{MaoPass, PassContext, PassError, PassStats};
+use crate::passes::layout_util::{loop_span, LayoutProvider};
+use crate::relax::Layout;
 use crate::unit::{EditSet, MaoUnit};
 
 /// The LSD-fitting pass.
@@ -48,14 +46,18 @@ impl MaoPass for LsdFit {
         // notes the requirement changes across generations, hence an option).
         let max_lines = ctx.options.get_u64("max-lines", 4);
         let mut trace: Vec<String> = Vec::new();
-        let mut cached: Option<crate::relax::Layout> = None;
-        for_each_function(unit, |unit, function| {
-            let layout = match cached.take() {
-                Some(l) => l,
-                None => relax(unit)?,
+        // Layouts come from the shared cache; each NOP insertion patches the
+        // cached layout instead of re-relaxing the whole unit.
+        let mut provider = LayoutProvider::new(ctx);
+        let mut k = 0;
+        loop {
+            let Some(function) = unit.functions_cached().get(k).cloned() else {
+                break;
             };
-            let cfg = Cfg::build(unit, function);
-            let nest = find_loops(&cfg);
+            let layout = provider.layout(unit)?;
+            let analyses = ctx.analyses.for_function(unit, &function);
+            let cfg = analyses.cfg(unit, &function);
+            let nest = analyses.loops(unit, &function);
             let mut edits = EditSet::new();
             for &li in &nest.innermost() {
                 let Some(span) = loop_span(&cfg, &nest, &nest.loops[li], &layout) else {
@@ -86,11 +88,14 @@ impl MaoPass for LsdFit {
                 edits.insert_before(span.first_entry, pad);
                 stats.transformed(1);
             }
-            if edits.is_empty() {
-                cached = Some(layout);
+            if !edits.is_empty() {
+                provider.apply(unit, edits)?;
             }
-            Ok(edits)
-        })?;
+            k += 1;
+        }
+        if let Some(note) = provider.note() {
+            stats.notes.push(note);
+        }
         for line in trace {
             ctx.trace(2, line);
         }
@@ -101,7 +106,10 @@ impl MaoPass for LsdFit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cfg::Cfg;
+    use crate::loops::find_loops;
     use crate::pass::{PassContext, PassOptions};
+    use crate::relax::relax;
 
     /// A ~62-byte three-block loop placed at offset 10 so it spans 5 decode
     /// lines; the pass must shift it into 4.

@@ -10,14 +10,32 @@
 //! Our implementation is monotone — a branch once widened to `rel32` never
 //! shrinks back — which, together with bounded alignment padding, guarantees
 //! termination well inside the limit.
+//!
+//! # Fragments
+//!
+//! The engine is organized around LLVM-MC-style *fragments*: one up-front
+//! pass encodes every instruction exactly once (relaxable branches cache
+//! both their `rel8` and `rel32` lengths) and coalesces maximal runs of
+//! fixed-size entries into single fragments. Each fixed-point iteration is
+//! then a prefix sum over the O(#branches + #aligns) variable fragments —
+//! pure integer arithmetic, no re-encoding — and a monotone worklist skips
+//! branches whose span saw no size change since their last check.
+//!
+//! [`relax`] runs the fragment engine over a whole unit. [`LayoutCache`]
+//! keeps the fragment model alive across a pass's edits and re-lays-out
+//! incrementally via [`LayoutCache::patch`]. [`relax_reference`] retains the
+//! original entry-at-a-time algorithm (re-encoding every instruction every
+//! iteration) as the baseline for benchmarks and the equivalence property
+//! tests; both produce identical layouts.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use mao_asm::{Directive, Entry};
-use mao_x86::encode::{encoded_length, BranchForm};
-use mao_x86::Mnemonic;
+use mao_x86::encode::{branch_lengths, encoded_length, BranchForm};
 
-use crate::unit::{EntryId, MaoUnit};
+use crate::unit::{EditSet, EntryId, MaoUnit};
 
 /// Built-in iteration limit from the paper.
 pub const MAX_ITERATIONS: usize = 100;
@@ -54,6 +72,22 @@ impl std::fmt::Display for RelaxError {
 
 impl std::error::Error for RelaxError {}
 
+/// Counters describing how a layout was computed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelaxMetrics {
+    /// Total fragments in the unit's model.
+    pub fragments: usize,
+    /// Variable-size fragments (relaxable branches + alignment directives);
+    /// each fixed-point pass costs O(this), not O(entries).
+    pub variable_fragments: usize,
+    /// Prefix-sum passes the fixed point ran (`iterations - 1`).
+    pub passes: usize,
+    /// Branch fit checks actually performed; the worklist skips the rest.
+    pub rechecks: usize,
+    /// Was this layout produced by an incremental patch?
+    pub patched: bool,
+}
+
 /// The result of relaxation: per-entry addresses and sizes.
 ///
 /// Addresses are section-relative (each section starts at 0). Entries in
@@ -65,10 +99,12 @@ pub struct Layout {
     pub addr: Vec<u64>,
     /// Size in bytes of each entry (0 for labels and most directives).
     pub size: Vec<u32>,
-    /// Chosen branch form for label-targeting branch entries.
-    pub branch_form: HashMap<EntryId, BranchForm>,
+    /// Chosen branch form per entry; `None` for non-relaxable entries.
+    pub branch_form: Vec<Option<BranchForm>>,
     /// Iterations needed to reach the fixed point.
     pub iterations: usize,
+    /// How the fixed point got there.
+    pub metrics: RelaxMetrics,
 }
 
 impl Layout {
@@ -82,6 +118,25 @@ impl Layout {
         self.end_addr(last).saturating_sub(self.addr[first])
     }
 
+    /// Branch form in effect for entry `id` (non-relaxable entries encode
+    /// with `rel32` semantics, which every fixed-length instruction ignores).
+    pub fn form(&self, id: EntryId) -> BranchForm {
+        self.branch_form
+            .get(id)
+            .copied()
+            .flatten()
+            .unwrap_or(BranchForm::Rel32)
+    }
+
+    /// Same addresses, sizes, branch forms, and iteration count? Metrics are
+    /// ignored — they describe how the layout was computed, not the layout.
+    pub fn agrees_with(&self, other: &Layout) -> bool {
+        self.addr == other.addr
+            && self.size == other.size
+            && self.branch_form == other.branch_form
+            && self.iterations == other.iterations
+    }
+
     /// Number of 16-byte decode lines the byte range `[start, end)` touches.
     pub fn decode_lines(start: u64, end: u64) -> u64 {
         if end <= start {
@@ -91,7 +146,8 @@ impl Layout {
     }
 }
 
-/// Is this a branch whose encoding relaxation must choose?
+/// Is this a branch whose encoding relaxation must choose? (`jmp`/`jcc` to a
+/// label; `call` always encodes `rel32` and is fixed-size.)
 fn relaxable_branch(e: &Entry) -> bool {
     match e.insn() {
         Some(i) => i.mnemonic.is_branch() && i.target_label().is_some(),
@@ -99,53 +155,483 @@ fn relaxable_branch(e: &Entry) -> bool {
     }
 }
 
-/// Run repeated relaxation over the whole unit.
+/// Flat per-entry section slots. Sections with the same name share one
+/// address space (a later `.text` resumes where the first left off),
+/// matching gas.
+fn intern_sections(unit: &MaoUnit) -> (Vec<u32>, u32) {
+    let names = unit.section_names();
+    let mut section_of = Vec::with_capacity(names.len());
+    let mut slots: HashMap<&str, u32> = HashMap::new();
+    for name in names {
+        let next = slots.len() as u32;
+        section_of.push(*slots.entry(name).or_insert(next));
+    }
+    let nsections = (slots.len() as u32).max(1);
+    (section_of, nsections)
+}
+
+// ---------------------------------------------------------------------------
+// Fragment model
+// ---------------------------------------------------------------------------
+
+/// Everything relaxation needs to know about one entry, computed once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryMeta {
+    /// Fixed-size entry: label (0), non-relaxable instruction (encoded
+    /// length), or directive (data size). `u64` because data directives can
+    /// declare sizes larger than `u32`; truncation to the layout's `u32`
+    /// size happens only at output, exactly like the reference engine.
+    Fixed(u64),
+    /// Relaxable branch with both encodings cached.
+    Branch {
+        /// `rel8` length.
+        len8: u32,
+        /// `rel32` length.
+        len32: u32,
+    },
+    /// Alignment directive: pad to `alignment` unless more than `max_skip`
+    /// bytes would be needed.
+    Align {
+        /// Requested alignment in bytes.
+        alignment: u64,
+        /// Maximum padding gas would emit before abandoning the request.
+        max_skip: Option<u64>,
+    },
+}
+
+impl EntryMeta {
+    fn of(entry: &Entry) -> Result<EntryMeta, String> {
+        Ok(match entry {
+            Entry::Label(_) => EntryMeta::Fixed(0),
+            Entry::Directive(Directive::Align(a)) => EntryMeta::Align {
+                alignment: a.alignment,
+                max_skip: a.max_skip,
+            },
+            Entry::Directive(d) => EntryMeta::Fixed(d.data_size().unwrap_or(0)),
+            Entry::Insn(i) => {
+                if relaxable_branch(entry) {
+                    let (len8, len32) = branch_lengths(i).map_err(|e| e.to_string())?;
+                    EntryMeta::Branch { len8, len32 }
+                } else {
+                    let len = encoded_length(i, BranchForm::Rel32).map_err(|e| e.to_string())?;
+                    EntryMeta::Fixed(len as u64)
+                }
+            }
+        })
+    }
+}
+
+/// One layout fragment: a maximal same-section run of fixed-size entries, or
+/// a single variable-size entry (relaxable branch / alignment directive).
+#[derive(Debug, Clone, Copy)]
+enum Frag {
+    /// Maximal fixed run totalling `bytes`.
+    Fixed {
+        /// Section slot.
+        section: u32,
+        /// Total byte size of the run.
+        bytes: u64,
+    },
+    /// One relaxable branch entry.
+    Branch {
+        /// Section slot.
+        section: u32,
+        /// The branch's entry id.
+        id: EntryId,
+    },
+    /// One alignment directive entry.
+    Align {
+        /// Section slot.
+        section: u32,
+        /// The directive's entry id.
+        id: EntryId,
+    },
+}
+
+impl Frag {
+    fn section(&self) -> u32 {
+        match *self {
+            Frag::Fixed { section, .. }
+            | Frag::Branch { section, .. }
+            | Frag::Align { section, .. } => section,
+        }
+    }
+}
+
+/// The per-unit fragment model: cached per-entry sizes plus the fragment
+/// list the fixed point iterates over. Rebuilding the fragment list from the
+/// metas is pure integer work, which is what makes [`LayoutCache::patch`]
+/// cheap — only entries introduced by an edit are ever re-encoded.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FragmentModel {
+    /// Per-entry cached size information.
+    metas: Vec<EntryMeta>,
+    /// Per-entry section slot.
+    section_of: Vec<u32>,
+    /// Number of distinct section slots (at least 1).
+    nsections: u32,
+    /// The fragment list, in entry order.
+    frags: Vec<Frag>,
+    /// Per-entry fragment index.
+    frag_of: Vec<u32>,
+    /// Per-entry byte offset within its (fixed) fragment.
+    intra: Vec<u64>,
+}
+
+impl FragmentModel {
+    fn build(unit: &MaoUnit) -> Result<FragmentModel, RelaxError> {
+        let n = unit.len();
+        let mut metas = Vec::with_capacity(n);
+        for (id, e) in unit.entries().iter().enumerate() {
+            metas.push(EntryMeta::of(e).map_err(|message| RelaxError::Encode { id, message })?);
+        }
+        let (section_of, nsections) = intern_sections(unit);
+        let mut model = FragmentModel {
+            metas,
+            section_of,
+            nsections,
+            frags: Vec::new(),
+            frag_of: Vec::new(),
+            intra: Vec::new(),
+        };
+        model.rebuild_frags();
+        Ok(model)
+    }
+
+    /// Recompute the fragment list from the per-entry metas.
+    fn rebuild_frags(&mut self) {
+        let n = self.metas.len();
+        self.frags.clear();
+        self.frag_of.clear();
+        self.frag_of.reserve(n);
+        self.intra.clear();
+        self.intra.reserve(n);
+        // Open fixed run, if any: (section, bytes so far).
+        let mut run: Option<(u32, u64)> = None;
+        for id in 0..n {
+            let sec = self.section_of[id];
+            match self.metas[id] {
+                EntryMeta::Fixed(bytes) => match &mut run {
+                    Some((rsec, total)) if *rsec == sec => {
+                        self.frag_of.push(self.frags.len() as u32);
+                        self.intra.push(*total);
+                        *total += bytes;
+                    }
+                    _ => {
+                        if let Some((rsec, total)) = run.take() {
+                            self.frags.push(Frag::Fixed {
+                                section: rsec,
+                                bytes: total,
+                            });
+                        }
+                        self.frag_of.push(self.frags.len() as u32);
+                        self.intra.push(0);
+                        run = Some((sec, bytes));
+                    }
+                },
+                EntryMeta::Branch { .. } | EntryMeta::Align { .. } => {
+                    if let Some((rsec, total)) = run.take() {
+                        self.frags.push(Frag::Fixed {
+                            section: rsec,
+                            bytes: total,
+                        });
+                    }
+                    self.frag_of.push(self.frags.len() as u32);
+                    self.intra.push(0);
+                    self.frags.push(match self.metas[id] {
+                        EntryMeta::Branch { .. } => Frag::Branch { section: sec, id },
+                        _ => Frag::Align { section: sec, id },
+                    });
+                }
+            }
+        }
+        if let Some((rsec, total)) = run.take() {
+            self.frags.push(Frag::Fixed {
+                section: rsec,
+                bytes: total,
+            });
+        }
+    }
+
+    /// Run the fixed point and produce a [`Layout`].
+    ///
+    /// When `base` is given (incremental patch), entries before the first
+    /// edit whose branch form did not change are copied from the base layout
+    /// instead of being re-walked; the fixed point itself always starts from
+    /// all-short, so the result is identical to a from-scratch solve of the
+    /// current unit.
+    fn solve(
+        &self,
+        unit: &MaoUnit,
+        patched: bool,
+        base: Option<(&Layout, EntryId)>,
+    ) -> Result<Layout, RelaxError> {
+        let n = self.metas.len();
+        let nf = self.frags.len();
+        let ns = self.nsections as usize;
+
+        // Relaxable branches with their cached lengths and resolved targets.
+        // Targets resolve through the unit's one label resolver
+        // (`MaoUnit::find_label`, first definition wins).
+        struct Br {
+            frag: u32,
+            id: EntryId,
+            len8: u32,
+            target: Option<EntryId>,
+        }
+        let mut branches: Vec<Br> = Vec::new();
+        let mut naligns = 0usize;
+        for (fi, frag) in self.frags.iter().enumerate() {
+            match *frag {
+                Frag::Branch { id, .. } => {
+                    let EntryMeta::Branch { len8, .. } = self.metas[id] else {
+                        unreachable!("branch frag points at a branch meta");
+                    };
+                    branches.push(Br {
+                        frag: fi as u32,
+                        id,
+                        len8,
+                        target: unit.branch_target(id),
+                    });
+                }
+                Frag::Align { .. } => naligns += 1,
+                Frag::Fixed { .. } => {}
+            }
+        }
+
+        // Optimistic start: every relaxable branch short.
+        let mut forms: Vec<Option<BranchForm>> = vec![None; n];
+        for br in &branches {
+            forms[br.id] = Some(BranchForm::Rel8);
+        }
+        let mut short: Vec<bool> = vec![true; branches.len()];
+
+        // Per-fragment state for the prefix-sum passes.
+        let mut frag_start = vec![0u64; nf];
+        let mut pad = vec![0u64; nf];
+        let mut prev_pad = vec![0u64; nf];
+        // Fragments whose size changed between the previous pass and this
+        // one (branches widened by the last check; aligns detected inline).
+        let mut widened_frag = vec![false; nf];
+        // Per-fragment count of changed same-section fragments strictly
+        // before it — the worklist's interval query.
+        let mut before = vec![0u32; nf];
+
+        let mut widen_rounds = 0usize;
+        let mut passes = 0usize;
+        let mut rechecks = 0usize;
+
+        loop {
+            passes += 1;
+            // 1. Prefix-sum pass: assign fragment start addresses.
+            let mut cursor = vec![0u64; ns];
+            let mut changed_count = vec![0u32; ns];
+            for (fi, frag) in self.frags.iter().enumerate() {
+                let sec = frag.section() as usize;
+                before[fi] = changed_count[sec];
+                frag_start[fi] = cursor[sec];
+                let (size, changed) = match *frag {
+                    Frag::Fixed { bytes, .. } => (bytes, false),
+                    Frag::Branch { id, .. } => {
+                        let EntryMeta::Branch { len8, len32 } = self.metas[id] else {
+                            unreachable!();
+                        };
+                        let size = if forms[id] == Some(BranchForm::Rel32) {
+                            u64::from(len32)
+                        } else {
+                            u64::from(len8)
+                        };
+                        (size, widened_frag[fi])
+                    }
+                    Frag::Align { id, .. } => {
+                        let EntryMeta::Align {
+                            alignment,
+                            max_skip,
+                        } = self.metas[id]
+                        else {
+                            unreachable!();
+                        };
+                        let align = alignment.max(1);
+                        let pc = cursor[sec];
+                        let skip = pc.next_multiple_of(align) - pc;
+                        let allowed = max_skip.map_or(true, |max| skip <= max);
+                        let p = if allowed { skip } else { 0 };
+                        pad[fi] = p;
+                        (p, passes > 1 && p != prev_pad[fi])
+                    }
+                };
+                if changed {
+                    changed_count[sec] += 1;
+                }
+                cursor[sec] += size;
+            }
+
+            // 2. Check still-short branches; the worklist skips any branch
+            // whose span (the fragments between it and its target) saw no
+            // size change since its last check — its displacement is
+            // unchanged, so its fit decision is too.
+            let mut newly_widened: Vec<u32> = Vec::new();
+            for (bi, br) in branches.iter().enumerate() {
+                if !short[bi] {
+                    continue;
+                }
+                if passes > 1 {
+                    let a = br.frag as usize;
+                    let unchanged = match br.target {
+                        Some(tid) if self.section_of[tid] == self.section_of[br.id] => {
+                            let t = self.frag_of[tid] as usize;
+                            let (lo, hi) = if t > a { (a, t) } else { (t, a) };
+                            before[hi] - before[lo] == 0
+                        }
+                        // Unresolved or cross-section: widened by pass 1,
+                        // never seen here again.
+                        _ => true,
+                    };
+                    if unchanged {
+                        continue;
+                    }
+                }
+                rechecks += 1;
+                let fits = match br.target {
+                    Some(tid) if self.section_of[tid] == self.section_of[br.id] => {
+                        let taddr = frag_start[self.frag_of[tid] as usize] + self.intra[tid];
+                        let end = frag_start[br.frag as usize] + u64::from(br.len8);
+                        BranchForm::Rel8.fits(taddr as i64 - end as i64)
+                    }
+                    // Cross-section or external target: must be rel32.
+                    _ => false,
+                };
+                if !fits {
+                    forms[br.id] = Some(BranchForm::Rel32);
+                    short[bi] = false;
+                    newly_widened.push(br.frag);
+                }
+            }
+
+            if newly_widened.is_empty() {
+                break;
+            }
+            widen_rounds += 1;
+            // The reference engine spends one iteration per widening round,
+            // one materializing the final sizes, and one confirming
+            // stability; mirror its count and its convergence limit.
+            if widen_rounds + 2 > MAX_ITERATIONS {
+                return Err(RelaxError::DidNotConverge);
+            }
+            widened_frag.iter_mut().for_each(|w| *w = false);
+            for fi in newly_widened {
+                widened_frag[fi as usize] = true;
+            }
+            prev_pad.copy_from_slice(&pad);
+        }
+
+        let iterations = widen_rounds + 2;
+        let metrics = RelaxMetrics {
+            fragments: nf,
+            variable_fragments: branches.len() + naligns,
+            passes,
+            rechecks,
+            patched,
+        };
+
+        // 3. Finalize per-entry addresses. With a base layout, the stable
+        // prefix (everything before the first edit, cut short at the first
+        // branch whose form changed) is copied; the walk resumes from there.
+        let mut layout = Layout {
+            addr: vec![0; n],
+            size: vec![0; n],
+            branch_form: Vec::new(),
+            iterations,
+            metrics,
+        };
+        let mut cursor = vec![0u64; ns];
+        let mut start_id = 0usize;
+        if let Some((base, first_edit)) = base {
+            let mut stable = first_edit.min(n).min(base.addr.len());
+            for id in 0..stable {
+                if base.branch_form[id] != forms[id] {
+                    stable = id;
+                    break;
+                }
+            }
+            for id in 0..stable {
+                layout.addr[id] = base.addr[id];
+                layout.size[id] = base.size[id];
+                cursor[self.section_of[id] as usize] = base.addr[id] + u64::from(base.size[id]);
+            }
+            start_id = stable;
+        }
+        for id in start_id..n {
+            let sec = self.section_of[id] as usize;
+            let pc = cursor[sec];
+            layout.addr[id] = pc;
+            let size = match self.metas[id] {
+                EntryMeta::Fixed(bytes) => bytes,
+                EntryMeta::Branch { len8, len32 } => {
+                    if forms[id] == Some(BranchForm::Rel32) {
+                        u64::from(len32)
+                    } else {
+                        u64::from(len8)
+                    }
+                }
+                EntryMeta::Align {
+                    alignment,
+                    max_skip,
+                } => {
+                    let align = alignment.max(1);
+                    let skip = pc.next_multiple_of(align) - pc;
+                    let allowed = max_skip.map_or(true, |max| skip <= max);
+                    if allowed {
+                        skip
+                    } else {
+                        0
+                    }
+                }
+            };
+            layout.size[id] = size as u32;
+            cursor[sec] = pc + size;
+        }
+        layout.branch_form = forms;
+
+        record_totals(&layout);
+        Ok(layout)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+/// Run repeated relaxation over the whole unit with the fragment engine.
 ///
 /// Every section is laid out independently from address 0. Branches to
 /// labels defined in the same section may use `rel8`; branches to anything
 /// else (other sections, external symbols) are `rel32`.
 pub fn relax(unit: &MaoUnit) -> Result<Layout, RelaxError> {
-    let n = unit.len();
-    let section_names = unit.section_names();
-    // Section index per entry (sections with the same name share one space).
-    let mut section_of: Vec<usize> = Vec::with_capacity(n);
-    {
-        let mut ids: HashMap<&str, usize> = HashMap::new();
-        let mut next = 0usize;
-        for name in &section_names {
-            let id = *ids.entry(name).or_insert_with(|| {
-                let v = next;
-                next += 1;
-                v
-            });
-            section_of.push(id);
-        }
-    }
+    let model = FragmentModel::build(unit)?;
+    model.solve(unit, false, None)
+}
 
+/// The original entry-at-a-time relaxation: every iteration re-walks all N
+/// entries and re-encodes every instruction. Kept as the reference the
+/// fragment engine is checked against (CI smoke + property tests) and as
+/// the benchmark baseline; passes can select it with the `legacy-relax`
+/// option. Produces layouts identical to [`relax`].
+pub fn relax_reference(unit: &MaoUnit) -> Result<Layout, RelaxError> {
+    let n = unit.len();
+    let (section_of, nsections) = intern_sections(unit);
     let mut layout = Layout {
         addr: vec![0; n],
         size: vec![0; n],
-        branch_form: HashMap::new(),
+        branch_form: vec![None; n],
         iterations: 0,
+        metrics: RelaxMetrics::default(),
     };
 
     // Optimistic start: all relaxable branches short.
     for (id, e) in unit.entries().iter().enumerate() {
         if relaxable_branch(e) {
-            let form = if e.insn().map(|i| i.mnemonic) == Some(Mnemonic::Call) {
-                BranchForm::Rel32
-            } else {
-                BranchForm::Rel8
-            };
-            layout.branch_form.insert(id, form);
-        }
-    }
-
-    // Label -> (section, entry id). Addresses are re-read each iteration.
-    let mut label_entry: HashMap<&str, EntryId> = HashMap::new();
-    for (id, e) in unit.entries().iter().enumerate() {
-        if let Entry::Label(l) = e {
-            label_entry.entry(l.as_str()).or_insert(id);
+            layout.branch_form[id] = Some(BranchForm::Rel8);
         }
     }
 
@@ -153,11 +639,10 @@ pub fn relax(unit: &MaoUnit) -> Result<Layout, RelaxError> {
         layout.iterations = iteration;
 
         // 1. Assign addresses with current branch forms.
-        let mut cursor: HashMap<usize, u64> = HashMap::new();
+        let mut cursor = vec![0u64; nsections as usize];
         let mut changed_addr = false;
         for (id, e) in unit.entries().iter().enumerate() {
-            let sec = section_of[id];
-            let pc = cursor.entry(sec).or_insert(0);
+            let pc = &mut cursor[section_of[id] as usize];
             // Alignment directives move the cursor before the entry "starts".
             if let Entry::Directive(Directive::Align(a)) = e {
                 let align = a.alignment.max(1);
@@ -180,11 +665,7 @@ pub fn relax(unit: &MaoUnit) -> Result<Layout, RelaxError> {
             let size: u64 = match e {
                 Entry::Label(_) => 0,
                 Entry::Insn(i) => {
-                    let form = layout
-                        .branch_form
-                        .get(&id)
-                        .copied()
-                        .unwrap_or(BranchForm::Rel32);
+                    let form = layout.branch_form[id].unwrap_or(BranchForm::Rel32);
                     encoded_length(i, form).map_err(|e| RelaxError::Encode {
                         id,
                         message: e.to_string(),
@@ -201,17 +682,12 @@ pub fn relax(unit: &MaoUnit) -> Result<Layout, RelaxError> {
 
         // 2. Widen branches whose target no longer fits rel8.
         let mut widened = false;
-        let short_ids: Vec<EntryId> = layout
-            .branch_form
-            .iter()
-            .filter(|&(_, form)| *form == BranchForm::Rel8)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in short_ids {
-            let insn = unit.insn(id).expect("branch entries are instructions");
-            let target = insn.target_label().expect("relaxable branch has label");
-            let fits = match label_entry.get(target) {
-                Some(&tid) if section_of[tid] == section_of[id] => {
+        for id in 0..n {
+            if layout.branch_form[id] != Some(BranchForm::Rel8) {
+                continue;
+            }
+            let fits = match unit.branch_target(id) {
+                Some(tid) if section_of[tid] == section_of[id] => {
                     let delta = layout.addr[tid] as i64 - layout.end_addr(id) as i64;
                     BranchForm::Rel8.fits(delta)
                 }
@@ -219,17 +695,16 @@ pub fn relax(unit: &MaoUnit) -> Result<Layout, RelaxError> {
                 _ => false,
             };
             if !fits {
-                layout.branch_form.insert(id, BranchForm::Rel32);
+                layout.branch_form[id] = Some(BranchForm::Rel32);
                 widened = true;
             }
         }
 
+        // Stability needs one full pass with no widening *and* no address
+        // movement; iteration 1 always reports movement (addresses start
+        // at zero).
         if !widened && !changed_addr && iteration > 1 {
             return Ok(layout);
-        }
-        if !widened && iteration > 1 {
-            // Addresses moved but no branch changed: one more pass will
-            // confirm stability; loop continues.
         }
     }
     Err(RelaxError::DidNotConverge)
@@ -238,15 +713,311 @@ pub fn relax(unit: &MaoUnit) -> Result<Layout, RelaxError> {
 /// Relative displacement of a relaxed branch at `id` to its target, for
 /// encoding: `target_addr - end_of_branch`.
 pub fn branch_displacement(unit: &MaoUnit, layout: &Layout, id: EntryId) -> Option<i64> {
-    let insn = unit.insn(id)?;
-    let target = insn.target_label()?;
-    let tid = unit.find_label(target)?;
+    let tid = unit.branch_target(id)?;
     Some(layout.addr[tid] as i64 - layout.end_addr(id) as i64)
+}
+
+// ---------------------------------------------------------------------------
+// Incremental layout
+// ---------------------------------------------------------------------------
+
+/// A solved unit: the fragment model plus the layout it produced. Shared
+/// between [`LayoutCache`] and the content-keyed slot in
+/// [`crate::AnalysisCache`].
+#[derive(Debug)]
+pub(crate) struct Relaxed {
+    pub(crate) model: FragmentModel,
+    pub(crate) layout: Arc<Layout>,
+}
+
+impl Relaxed {
+    pub(crate) fn build(unit: &MaoUnit) -> Result<Relaxed, RelaxError> {
+        let model = FragmentModel::build(unit)?;
+        let layout = Arc::new(model.solve(unit, false, None)?);
+        Ok(Relaxed { model, layout })
+    }
+}
+
+/// Counters for one [`LayoutCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayoutCacheStats {
+    /// `layout()` calls answered from the cached state without solving.
+    pub hits: u64,
+    /// Full solves (first layout, or recovery after a fallback).
+    pub solves: u64,
+    /// Incremental patches applied.
+    pub patches: u64,
+    /// Patches that had to fall back to a full rebuild (section-changing
+    /// edits, or edits against an unknown unit state).
+    pub fallbacks: u64,
+    /// Cumulative fixed-point iterations across solves and patches.
+    pub iterations: u64,
+    /// Cumulative branch fit checks across solves and patches.
+    pub rechecks: u64,
+}
+
+struct CacheEntry {
+    relaxed: Arc<Relaxed>,
+    epoch: u64,
+    len: usize,
+}
+
+/// Incrementally maintained layout for a unit being transformed by a pass.
+///
+/// Contract: route every edit through [`LayoutCache::patch`]. Edits applied
+/// behind the cache's back are mostly caught by the epoch/length check and
+/// force a full re-solve, but a same-length in-place mutation would go
+/// unnoticed — the five layout-consuming passes all honor the contract via
+/// `LayoutProvider`.
+#[derive(Default)]
+pub struct LayoutCache {
+    analyses: Option<Arc<crate::AnalysisCache>>,
+    state: Option<CacheEntry>,
+    stats: LayoutCacheStats,
+}
+
+impl LayoutCache {
+    /// A cache that solves locally.
+    pub fn new() -> LayoutCache {
+        LayoutCache::default()
+    }
+
+    /// A cache that fetches full solves from (and publishes them to) the
+    /// shared content-keyed analysis cache, so `maod` reuses layouts across
+    /// requests. Patched layouts stay local — hashing the whole unit after
+    /// every edit would cost more than the patch.
+    pub fn with_analyses(analyses: Arc<crate::AnalysisCache>) -> LayoutCache {
+        LayoutCache {
+            analyses: Some(analyses),
+            ..LayoutCache::default()
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> LayoutCacheStats {
+        self.stats
+    }
+
+    /// The unit's layout: cached if the unit is unchanged since the last
+    /// call, otherwise a full solve.
+    pub fn layout(&mut self, unit: &MaoUnit) -> Result<Arc<Layout>, RelaxError> {
+        if let Some(st) = &self.state {
+            if st.epoch == unit.context_epoch() && st.len == unit.len() {
+                self.stats.hits += 1;
+                return Ok(st.relaxed.layout.clone());
+            }
+        }
+        let relaxed = match &self.analyses {
+            Some(cache) => cache.relaxed(unit)?,
+            None => Arc::new(Relaxed::build(unit)?),
+        };
+        self.stats.solves += 1;
+        self.stats.iterations += relaxed.layout.iterations as u64;
+        self.stats.rechecks += relaxed.layout.metrics.rechecks as u64;
+        let layout = relaxed.layout.clone();
+        self.state = Some(CacheEntry {
+            relaxed,
+            epoch: unit.context_epoch(),
+            len: unit.len(),
+        });
+        Ok(layout)
+    }
+
+    /// Apply `edits` to the unit and incrementally update the cached layout.
+    ///
+    /// The per-entry metas are spliced alongside the edit (only entries the
+    /// edit introduces are encoded), the fragment list is rebuilt with pure
+    /// integer work, and the fixed point re-runs; finalization copies the
+    /// stable prefix — everything before the first edited entry whose branch
+    /// form held — from the previous layout. Edits that move entries between
+    /// sections fall back to a full re-solve on the next [`LayoutCache::layout`]
+    /// call. Either way the unit ends up exactly as `MaoUnit::apply` would
+    /// leave it, and the next layout equals a from-scratch [`relax`].
+    pub fn patch(&mut self, unit: &mut MaoUnit, edits: EditSet) -> Result<(), RelaxError> {
+        let pre_epoch = unit.context_epoch();
+        let plan = match &self.state {
+            Some(st) if st.epoch == pre_epoch && st.len == unit.len() => {
+                splice_model(&st.relaxed.model, unit.entries(), &edits)
+            }
+            _ => None,
+        };
+        unit.apply(edits);
+        let Some((mut model, first_edit)) = plan else {
+            self.stats.fallbacks += 1;
+            self.state = None;
+            return Ok(());
+        };
+        if model.metas.len() != unit.len() {
+            debug_assert_eq!(model.metas.len(), unit.len(), "spliced model diverged");
+            self.stats.fallbacks += 1;
+            self.state = None;
+            return Ok(());
+        }
+        model.rebuild_frags();
+        let st = self
+            .state
+            .take()
+            .expect("a splice plan implies cached state");
+        let layout = match model.solve(unit, true, Some((&st.relaxed.layout, first_edit))) {
+            Ok(l) => l,
+            Err(e) => {
+                // The unit keeps the edit; the error (bad inserted entry,
+                // divergence) will equally hit any later full solve.
+                return Err(e);
+            }
+        };
+        self.stats.patches += 1;
+        self.stats.iterations += layout.iterations as u64;
+        self.stats.rechecks += layout.metrics.rechecks as u64;
+        self.state = Some(CacheEntry {
+            relaxed: Arc::new(Relaxed {
+                model,
+                layout: Arc::new(layout),
+            }),
+            epoch: unit.context_epoch(),
+            len: unit.len(),
+        });
+        Ok(())
+    }
+
+    /// Drop the cached state (the next `layout()` call re-solves).
+    pub fn invalidate(&mut self) {
+        self.state = None;
+    }
+}
+
+/// Splice `edits` into a copy of the model's per-entry metas, mirroring the
+/// exact entry order `MaoUnit::apply` produces. Returns the spliced model
+/// (fragments not yet rebuilt) and the first edited entry id, or `None` when
+/// the edit cannot be patched: it adds or removes a section directive
+/// (moving every later entry to another address space), inserts in front of
+/// one (the inherited section would be wrong), or introduces an entry that
+/// does not encode.
+fn splice_model(
+    model: &FragmentModel,
+    entries: &[Entry],
+    edits: &EditSet,
+) -> Option<(FragmentModel, EntryId)> {
+    fn shifts_sections(e: &Entry) -> bool {
+        matches!(e, Entry::Directive(d) if d.section_name().is_some())
+    }
+    fn push_new(
+        metas: &mut Vec<EntryMeta>,
+        section_of: &mut Vec<u32>,
+        new_entries: &[Entry],
+        sec: u32,
+    ) -> Option<()> {
+        for e in new_entries {
+            if shifts_sections(e) {
+                return None;
+            }
+            metas.push(EntryMeta::of(e).ok()?);
+            section_of.push(sec);
+        }
+        Some(())
+    }
+
+    let n = entries.len();
+    debug_assert_eq!(model.metas.len(), n);
+    let mut metas = Vec::with_capacity(n + edits.len());
+    let mut section_of = Vec::with_capacity(n + edits.len());
+    for (id, entry) in entries.iter().enumerate() {
+        let sec = model.section_of[id];
+        if let Some(ins) = edits.inserted_before(id) {
+            // Entries inserted before a section directive belong to the
+            // *previous* section; bail rather than model that edge.
+            if shifts_sections(entry) {
+                return None;
+            }
+            push_new(&mut metas, &mut section_of, ins, sec)?;
+        }
+        if edits.is_deleted(id) {
+            if shifts_sections(entry) {
+                return None;
+            }
+        } else if let Some(rep) = edits.replacement(id) {
+            if shifts_sections(entry) {
+                return None;
+            }
+            push_new(&mut metas, &mut section_of, rep, sec)?;
+        } else {
+            metas.push(model.metas[id]);
+            section_of.push(sec);
+        }
+        if let Some(ins) = edits.inserted_after(id) {
+            push_new(&mut metas, &mut section_of, ins, sec)?;
+        }
+    }
+    if let Some(at_end) = edits.inserted_before(usize::MAX) {
+        let sec = model.section_of.last().copied().unwrap_or(0);
+        push_new(&mut metas, &mut section_of, at_end, sec)?;
+    }
+    let first_edit = edits.touched_ids().first().copied().unwrap_or(n).min(n);
+    Some((
+        FragmentModel {
+            metas,
+            section_of,
+            nsections: model.nsections,
+            frags: Vec::new(),
+            frag_of: Vec::new(),
+            intra: Vec::new(),
+        },
+        first_edit,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide totals (surfaced by `maod`'s stats response)
+// ---------------------------------------------------------------------------
+
+static TOTAL_LAYOUTS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_PATCHES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_ITERATIONS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_RECHECKS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_FRAGMENTS: AtomicU64 = AtomicU64::new(0);
+
+fn record_totals(layout: &Layout) {
+    if layout.metrics.patched {
+        TOTAL_PATCHES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        TOTAL_LAYOUTS.fetch_add(1, Ordering::Relaxed);
+    }
+    TOTAL_ITERATIONS.fetch_add(layout.iterations as u64, Ordering::Relaxed);
+    TOTAL_RECHECKS.fetch_add(layout.metrics.rechecks as u64, Ordering::Relaxed);
+    TOTAL_FRAGMENTS.fetch_add(layout.metrics.fragments as u64, Ordering::Relaxed);
+}
+
+/// Process-wide relaxation totals since startup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelaxTotals {
+    /// Full fragment solves.
+    pub layouts: u64,
+    /// Incremental patches.
+    pub patches: u64,
+    /// Cumulative fixed-point iterations.
+    pub iterations: u64,
+    /// Cumulative branch fit checks (the worklist skips the rest).
+    pub rechecks: u64,
+    /// Cumulative fragment count across solves (divide by `layouts +
+    /// patches` for the average model size).
+    pub fragments: u64,
+}
+
+/// Snapshot of the process-wide relaxation totals.
+pub fn relax_totals() -> RelaxTotals {
+    RelaxTotals {
+        layouts: TOTAL_LAYOUTS.load(Ordering::Relaxed),
+        patches: TOTAL_PATCHES.load(Ordering::Relaxed),
+        iterations: TOTAL_ITERATIONS.load(Ordering::Relaxed),
+        rechecks: TOTAL_RECHECKS.load(Ordering::Relaxed),
+        fragments: TOTAL_FRAGMENTS.load(Ordering::Relaxed),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mao_x86::Mnemonic;
 
     /// The exact scenario from the paper's §II listing: a forward `jmp` over
     /// a 0x7f-byte gap fits rel8; inserting a single NOP before the target
@@ -309,6 +1080,10 @@ mod tests {
         let unit = MaoUnit::parse("f:\n\tcall f\n").unwrap();
         let layout = relax(&unit).unwrap();
         assert_eq!(layout.size[1], 5);
+        // Calls are fixed-size, not relaxable: no branch form is recorded
+        // (matching the original engine, whose branch-form map never held
+        // them either).
+        assert_eq!(layout.branch_form[1], None);
     }
 
     #[test]
@@ -354,8 +1129,7 @@ mod tests {
         assert!(layout.iterations >= 2);
         for id in [0usize, 1usize] {
             let delta = branch_displacement(&unit, &layout, id).unwrap();
-            let form = layout.branch_form[&id];
-            assert!(form.fits(delta));
+            assert!(layout.form(id).fits(delta));
         }
     }
 
@@ -375,5 +1149,179 @@ mod tests {
         let unit = MaoUnit::parse("\tnop\n\tnop\n\tret\n").unwrap();
         let layout = relax(&unit).unwrap();
         assert_eq!(layout.span_size(0, 2), 3);
+    }
+
+    // -- fragment engine vs reference ------------------------------------
+
+    fn fixtures() -> Vec<String> {
+        let body: String = std::iter::repeat("\tnop\n").take(0x7f).collect();
+        let pad: String = std::iter::repeat("\tnop\n").take(0x7c).collect();
+        vec![
+            String::new(),
+            "\tnop\n".into(),
+            ".L1:\n\tnop\n\tjmp .L1\n".into(),
+            "\tjmp external_symbol\n".into(),
+            "f:\n\tcall f\n".into(),
+            "\tnop\n\t.p2align 4\n.L:\n\tret\n".into(),
+            "\tnop\n\t.p2align 4,,3\n\tret\n".into(),
+            ".text\n\tnop\n.section .rodata\n\t.long 1\n.text\n\tret\n".into(),
+            format!("main:\n\tpush %rbp\n\tjmp .Lc\n{body}.Lc:\n\tjne .Lb\n"),
+            format!("\tjmp .La\n\tjmp .Lb\n{pad}.La:\n\tnop\n\tnop\n.Lb:\n\tret\n"),
+            // Duplicate labels: both engines must pick the first definition.
+            ".La:\n\tnop\n\tjmp .La\n.La:\n\tret\n".into(),
+        ]
+    }
+
+    #[test]
+    fn fragment_engine_matches_reference_on_fixtures() {
+        for asm in fixtures() {
+            let unit = MaoUnit::parse(&asm).unwrap();
+            let fragment = relax(&unit).unwrap();
+            let reference = relax_reference(&unit).unwrap();
+            assert!(
+                fragment.agrees_with(&reference),
+                "divergence on:\n{asm}\nfragment: {fragment:?}\nreference: {reference:?}"
+            );
+        }
+    }
+
+    /// Regression for the old split-brain resolvers: `relax()` used its own
+    /// first-occurrence label map while `branch_displacement()` used the
+    /// unit index. With duplicate labels both now go through
+    /// `MaoUnit::find_label`, so the form chosen for a branch and the
+    /// displacement encoded for it always describe the same target.
+    #[test]
+    fn duplicate_labels_resolve_to_first_definition_everywhere() {
+        let unit = MaoUnit::parse(".La:\n\tnop\n\tjmp .La\n.La:\n\tret\n").unwrap();
+        let jmp = 2;
+        assert_eq!(unit.branch_target(jmp), Some(0));
+        let layout = relax(&unit).unwrap();
+        // Backward to the first .La: short form, negative displacement.
+        assert_eq!(layout.form(jmp), BranchForm::Rel8);
+        let delta = branch_displacement(&unit, &layout, jmp).unwrap();
+        assert_eq!(delta, -3);
+        assert!(layout.form(jmp).fits(delta));
+    }
+
+    #[test]
+    fn metrics_describe_the_fixed_point() {
+        let unit = MaoUnit::parse(".L1:\n\tnop\n\tjmp .L1\n\tnop\n\tret\n").unwrap();
+        let layout = relax(&unit).unwrap();
+        // nop / jmp / nop+ret coalesce around the single variable fragment.
+        assert_eq!(layout.metrics.variable_fragments, 1);
+        assert_eq!(layout.metrics.fragments, 3);
+        assert_eq!(layout.metrics.passes, layout.iterations - 1);
+        // One branch, never widened: checked once, in pass 1.
+        assert_eq!(layout.metrics.rechecks, 1);
+        assert!(!layout.metrics.patched);
+    }
+
+    // -- incremental patches ---------------------------------------------
+
+    fn parse_entries(asm: &str) -> Vec<Entry> {
+        MaoUnit::parse(asm).unwrap().entries().to_vec()
+    }
+
+    /// Patch `unit` through a `LayoutCache` and check the resulting layout
+    /// against a from-scratch solve of an identically edited clone.
+    fn check_patch(asm: &str, edits: EditSet) {
+        let mut unit = MaoUnit::parse(asm).unwrap();
+        let mut expected_unit = unit.clone();
+        expected_unit.apply(edits.clone());
+        let expected = relax(&expected_unit).unwrap();
+
+        let mut cache = LayoutCache::new();
+        cache.layout(&unit).unwrap();
+        cache.patch(&mut unit, edits).unwrap();
+        assert_eq!(unit.entries(), expected_unit.entries());
+        let patched = cache.layout(&unit).unwrap();
+        assert!(
+            patched.agrees_with(&expected),
+            "patched layout diverged on:\n{asm}\npatched: {patched:?}\nexpected: {expected:?}"
+        );
+        assert!(expected.agrees_with(&relax_reference(&expected_unit).unwrap()));
+    }
+
+    #[test]
+    fn patch_insert_nop_matches_full_relax() {
+        let body: String = std::iter::repeat("\tnop\n").take(0x7e).collect();
+        let asm = format!("main:\n\tjmp .Lc\n{body}.Lc:\n\tret\n");
+        let unit = MaoUnit::parse(&asm).unwrap();
+        let lc = unit.find_label(".Lc").unwrap();
+        // One NOP before the target: pushes the jmp from rel8 to rel32.
+        let mut edits = EditSet::new();
+        edits.insert_before(lc, parse_entries("\tnop\n"));
+        check_patch(&asm, edits);
+    }
+
+    #[test]
+    fn patch_delete_and_replace_matches_full_relax() {
+        let asm = ".L1:\n\tnop\n\tnop\n\tjmp .L1\n\tret\n";
+        let mut edits = EditSet::new();
+        edits.delete(1);
+        edits.replace(2, parse_entries("\tmov %rsp, %rbp\n"));
+        check_patch(asm, edits);
+    }
+
+    #[test]
+    fn patch_label_edits_match_full_relax() {
+        // Deleting the first duplicate re-resolves the branch to the second.
+        let asm = ".La:\n\tnop\n\tjmp .La\n.La:\n\tret\n";
+        let mut edits = EditSet::new();
+        edits.delete(0);
+        check_patch(asm, edits);
+    }
+
+    #[test]
+    fn patch_append_matches_full_relax() {
+        let asm = "\tnop\n\tret\n";
+        let mut edits = EditSet::new();
+        edits.insert_before(usize::MAX, parse_entries("\t.p2align 4\n\tnop\n"));
+        check_patch(asm, edits);
+    }
+
+    #[test]
+    fn patch_section_edit_falls_back_to_full_solve() {
+        let asm = "\tnop\n\tret\n";
+        let mut edits = EditSet::new();
+        edits.insert_before(usize::MAX, parse_entries(".section .rodata\n\t.long 7\n"));
+        check_patch(asm, edits); // falls back internally; result still exact
+
+        let mut unit = MaoUnit::parse(asm).unwrap();
+        let mut cache = LayoutCache::new();
+        cache.layout(&unit).unwrap();
+        let mut edits = EditSet::new();
+        edits.insert_before(usize::MAX, parse_entries(".section .rodata\n\t.long 7\n"));
+        cache.patch(&mut unit, edits).unwrap();
+        assert_eq!(cache.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn patched_layout_reports_patch_metrics() {
+        let asm = ".L1:\n\tnop\n\tjmp .L1\n\tret\n";
+        let mut unit = MaoUnit::parse(asm).unwrap();
+        let mut cache = LayoutCache::new();
+        cache.layout(&unit).unwrap();
+        let mut edits = EditSet::new();
+        edits.insert_before(1, parse_entries("\tnop\n"));
+        cache.patch(&mut unit, edits).unwrap();
+        let layout = cache.layout(&unit).unwrap();
+        assert!(layout.metrics.patched);
+        let stats = cache.stats();
+        assert_eq!(stats.solves, 1);
+        assert_eq!(stats.patches, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.fallbacks, 0);
+    }
+
+    #[test]
+    fn layout_cache_hits_on_unchanged_unit() {
+        let unit = MaoUnit::parse("\tnop\n\tret\n").unwrap();
+        let mut cache = LayoutCache::new();
+        let a = cache.layout(&unit).unwrap();
+        let b = cache.layout(&unit).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().solves, 1);
     }
 }

@@ -350,8 +350,22 @@ impl MaoUnit {
     }
 
     /// Find a label's entry id.
+    ///
+    /// This is the unit's one label resolver: on duplicate definitions the
+    /// *first* occurrence wins, and every consumer (relaxation, displacement
+    /// computation, the alignment passes) must resolve through here so they
+    /// agree on which definition a branch targets.
     pub fn find_label(&self, name: &str) -> Option<EntryId> {
         self.index().labels.get(name).copied()
+    }
+
+    /// Resolve the branch at `id` to its target entry: `Some` only when the
+    /// entry is an instruction with a label operand that is defined in this
+    /// unit. O(1) via the cached label index.
+    pub fn branch_target(&self, id: EntryId) -> Option<EntryId> {
+        self.insn(id)
+            .and_then(|i| i.target_label())
+            .and_then(|l| self.find_label(l))
     }
 
     /// The function views (cached; cloned for callers that mutate the unit
@@ -646,6 +660,26 @@ impl EditSet {
         ids.sort_unstable();
         ids.dedup();
         ids
+    }
+
+    /// Is entry `id` deleted by this edit set?
+    pub(crate) fn is_deleted(&self, id: EntryId) -> bool {
+        self.deleted.contains(&id)
+    }
+
+    /// Replacement entries for `id`, if any.
+    pub(crate) fn replacement(&self, id: EntryId) -> Option<&[Entry]> {
+        self.replaced.get(&id).map(Vec::as_slice)
+    }
+
+    /// Entries inserted immediately before `id`, if any.
+    pub(crate) fn inserted_before(&self, id: EntryId) -> Option<&[Entry]> {
+        self.insert_before.get(&id).map(Vec::as_slice)
+    }
+
+    /// Entries inserted immediately after `id`, if any.
+    pub(crate) fn inserted_after(&self, id: EntryId) -> Option<&[Entry]> {
+        self.insert_after.get(&id).map(Vec::as_slice)
     }
 
     /// Fold `other` into `self`. Replacements from `other` win on id

@@ -432,6 +432,9 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
                             stats.transformations, stats.matches
                         );
                     }
+                    for note in &stats.notes {
+                        eprintln!("[mao] {name}: {note}");
+                    }
                 }
                 segment.clear();
                 true

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use mao::CacheStats;
+use mao::{CacheStats, RelaxTotals};
 
 use crate::json::Json;
 use crate::result_cache::ResultCacheStats;
@@ -99,7 +99,12 @@ impl ServerStats {
     }
 
     /// Render the `stats` response body.
-    pub fn snapshot(&self, result_cache: &ResultCacheStats, analyses: &CacheStats) -> Json {
+    pub fn snapshot(
+        &self,
+        result_cache: &ResultCacheStats,
+        analyses: &CacheStats,
+        relax: &RelaxTotals,
+    ) -> Json {
         let pass_timings: Vec<Json> = self
             .pass_timings
             .lock()
@@ -164,6 +169,24 @@ impl ServerStats {
                     ),
                 ]),
             ),
+            (
+                "layout_cache",
+                Json::obj(vec![
+                    ("hits", Json::from(analyses.layout_hits)),
+                    ("misses", Json::from(analyses.layout_misses)),
+                    ("hit_rate", Json::from(analyses.layout_hit_rate())),
+                ]),
+            ),
+            (
+                "relax",
+                Json::obj(vec![
+                    ("layouts", Json::from(relax.layouts)),
+                    ("patches", Json::from(relax.patches)),
+                    ("iterations", Json::from(relax.iterations)),
+                    ("rechecks", Json::from(relax.rechecks)),
+                    ("fragments", Json::from(relax.fragments)),
+                ]),
+            ),
             ("per_pass_timings", Json::Arr(pass_timings)),
         ])
     }
@@ -183,7 +206,11 @@ mod tests {
         stats.begin_request();
         stats.record_panic();
         stats.end_request(false);
-        let snap = stats.snapshot(&ResultCacheStats::default(), &CacheStats::default());
+        let snap = stats.snapshot(
+            &ResultCacheStats::default(),
+            &CacheStats::default(),
+            &RelaxTotals::default(),
+        );
         let requests = snap.get("requests").unwrap();
         assert_eq!(requests.get("total").unwrap().as_u64(), Some(2));
         assert_eq!(requests.get("ok").unwrap().as_u64(), Some(1));

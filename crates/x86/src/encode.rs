@@ -302,8 +302,44 @@ impl Asm {
         Ok(())
     }
 
-    fn finish(self) -> Result<Vec<u8>, EncodeError> {
-        let mut out = Vec::with_capacity(15);
+    /// The REX byte this instruction needs, or `None`; errors when a REX
+    /// prefix would clash with a high-byte register operand.
+    fn rex_byte(&self) -> Result<Option<u8>, EncodeError> {
+        let rex_bits = (u8::from(self.rex_w) << 3)
+            | (u8::from(self.rex_r) << 2)
+            | (u8::from(self.rex_x) << 1)
+            | u8::from(self.rex_b);
+        if rex_bits == 0 && !self.rex_low8 {
+            return Ok(None);
+        }
+        if self.high8_used {
+            return Err(EncodeError::RexHighByteConflict);
+        }
+        Ok(Some(0x40 | rex_bits))
+    }
+
+    /// Byte length of the finished encoding, computed arithmetically — no
+    /// output buffer. This is what makes cached-length relaxation cheap.
+    fn encoded_len(&self) -> Result<usize, EncodeError> {
+        let rex = self.rex_byte()?;
+        Ok(usize::from(self.lock)
+            + usize::from(self.prefix_66)
+            + usize::from(self.mandatory.is_some())
+            + usize::from(rex.is_some())
+            + self.opcode.len()
+            + usize::from(self.modrm.is_some())
+            + usize::from(self.sib.is_some())
+            + match self.disp {
+                DispBytes::None => 0,
+                DispBytes::D8(_) => 1,
+                DispBytes::D32(_) => 4,
+            }
+            + self.imm.len())
+    }
+
+    fn finish_into(self, out: &mut Vec<u8>) -> Result<(), EncodeError> {
+        let start = out.len();
+        let rex = self.rex_byte()?;
         if self.lock {
             out.push(0xf0);
         }
@@ -313,16 +349,8 @@ impl Asm {
         if let Some(m) = self.mandatory {
             out.push(m);
         }
-        let rex_bits = (u8::from(self.rex_w) << 3)
-            | (u8::from(self.rex_r) << 2)
-            | (u8::from(self.rex_x) << 1)
-            | u8::from(self.rex_b);
-        let need_rex = rex_bits != 0 || self.rex_low8;
-        if need_rex {
-            if self.high8_used {
-                return Err(EncodeError::RexHighByteConflict);
-            }
-            out.push(0x40 | rex_bits);
+        if let Some(r) = rex {
+            out.push(r);
         }
         out.extend_from_slice(&self.opcode);
         if let Some(m) = self.modrm {
@@ -337,8 +365,11 @@ impl Asm {
             DispBytes::D32(d) => out.extend_from_slice(&d.to_le_bytes()),
         }
         out.extend_from_slice(&self.imm);
-        debug_assert!(out.len() <= 15, "x86 instructions are at most 15 bytes");
-        Ok(out)
+        debug_assert!(
+            out.len() - start <= 15,
+            "x86 instructions are at most 15 bytes"
+        );
+        Ok(())
     }
 }
 
@@ -365,11 +396,40 @@ fn op_for_width(base: u8, w: Width) -> u8 {
 /// displacement `rel` (ignored for non-branches; pass [`BranchForm::Rel32`]
 /// and 0 when only the length matters).
 pub fn encode(insn: &Instruction, form: BranchForm, rel: i64) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::with_capacity(15);
+    encode_into(insn, form, rel, &mut out)?;
+    Ok(out)
+}
+
+/// Encode `insn` like [`encode`], appending the bytes to `out`. Lets hot
+/// callers (the simulator loader, benchmarks) reuse one scratch buffer
+/// instead of allocating a fresh `Vec` per instruction.
+pub fn encode_into(
+    insn: &Instruction,
+    form: BranchForm,
+    rel: i64,
+    out: &mut Vec<u8>,
+) -> Result<(), EncodeError> {
+    assemble(insn, form, rel)?.finish_into(out)
+}
+
+/// Byte lengths of a label-targeting branch in both forms: `(rel8, rel32)`.
+/// One call gives the relaxation fixed point everything it will ever need
+/// to know about the instruction, so lengths are computed once instead of
+/// once per iteration.
+pub fn branch_lengths(insn: &Instruction) -> Result<(u32, u32), EncodeError> {
+    let short = assemble(insn, BranchForm::Rel8, 0)?.encoded_len()?;
+    let near = assemble(insn, BranchForm::Rel32, 0)?.encoded_len()?;
+    Ok((short as u32, near as u32))
+}
+
+/// Build the instruction's encoding parts without serializing them.
+fn assemble(insn: &Instruction, form: BranchForm, rel: i64) -> Result<Asm, EncodeError> {
     let mut asm = Asm::new();
     asm.lock = insn.lock;
     let w = insn.width();
     let unsupported = || {
-        Err::<Vec<u8>, _>(EncodeError::UnsupportedForm(format!(
+        Err::<Asm, _>(EncodeError::UnsupportedForm(format!(
             "{insn} ({:?})",
             insn.mnemonic
         )))
@@ -1022,13 +1082,14 @@ pub fn encode(insn: &Instruction, form: BranchForm, rel: i64) -> Result<Vec<u8>,
         }
     }
 
-    asm.finish()
+    Ok(asm)
 }
 
 /// Length in bytes of `insn`, with a label-targeting branch assumed to use
-/// `form`. This is what the relaxation fixed point consumes.
+/// `form`. This is what the relaxation fixed point consumes. Computed
+/// arithmetically from the instruction's parts — no bytes are materialized.
 pub fn encoded_length(insn: &Instruction, form: BranchForm) -> Result<usize, EncodeError> {
-    encode(insn, form, 0).map(|b| b.len())
+    assemble(insn, form, 0)?.encoded_len()
 }
 
 #[cfg(test)]
@@ -1430,7 +1491,8 @@ mod tests {
 #[cfg(test)]
 mod more_form_tests {
     use super::*;
-    use crate::insn::Instruction;
+    use crate::flags::Cond;
+    use crate::insn::{build, Instruction};
     use crate::mnemonic::Mnemonic;
     use crate::operand::{Mem, Operand};
     use crate::reg::{Reg, RegId, Width};
@@ -1642,5 +1704,41 @@ mod more_form_tests {
         // Setcc with an immediate operand.
         let i = Instruction::from_att("sete", vec![Operand::Imm(1)]).unwrap();
         assert!(encode(&i, BranchForm::Rel32, 0).is_err());
+    }
+
+    #[test]
+    fn arithmetic_length_matches_materialized_encoding() {
+        let insns = [
+            Instruction::new(Mnemonic::Push, vec![Operand::Reg(Reg::q(RegId::Rbp))]),
+            build::mov(Width::B8, Reg::q(RegId::Rsp), Reg::q(RegId::Rbp)),
+            build::mov(
+                Width::B4,
+                Operand::Imm(5),
+                Mem::base_disp(Reg::q(RegId::Rbp), -4),
+            ),
+            build::jmp(".L"),
+            build::jcc(Cond::E, ".L"),
+            Instruction::from_att("call", vec![Operand::Label("f".into())]).unwrap(),
+            Instruction::nop_of_len(6),
+        ];
+        for insn in &insns {
+            for form in [BranchForm::Rel8, BranchForm::Rel32] {
+                let bytes = encode(insn, form, 0).unwrap();
+                assert_eq!(
+                    encoded_length(insn, form).unwrap(),
+                    bytes.len(),
+                    "{insn} {form:?}"
+                );
+                let mut buf = vec![0xaa];
+                encode_into(insn, form, 0, &mut buf).unwrap();
+                assert_eq!(&buf[1..], &bytes[..], "{insn} {form:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn branch_lengths_give_both_forms_at_once() {
+        assert_eq!(branch_lengths(&build::jmp(".L")).unwrap(), (2, 5));
+        assert_eq!(branch_lengths(&build::jcc(Cond::E, ".L")).unwrap(), (2, 6));
     }
 }

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Run the relaxation benchmark and write BENCH_relax.json at the repo root.
+# Arguments are forwarded to the benchmark binary, e.g.
+#
+#   scripts/bench_relax.sh --scale 0.25
+#
+# Defaults: --scale 0.1 --out BENCH_relax.json. Pass --smoke for a fast
+# small-scale equivalence check that writes no file (used by ci.sh).
+# The binary asserts that the fragment engine, the incremental patches, and
+# the legacy reference solver all produce byte-identical layouts/assembly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p mao-bench --bin bench_relax -- "$@"

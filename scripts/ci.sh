@@ -17,6 +17,9 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> relaxation equivalence smoke test"
+cargo run --release -p mao-bench --bin bench_relax -- --smoke
+
 echo "==> daemon smoke test"
 MAO=target/release/mao
 WORK=$(mktemp -d)
