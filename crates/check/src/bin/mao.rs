@@ -20,6 +20,14 @@
 //! mao client --stats
 //! mao batch < requests.ndjson
 //! ```
+//!
+//! Check mode runs the differential correctness harness (see the
+//! `mao-check` crate docs):
+//!
+//! ```text
+//! mao check --seed 42 --cases 500
+//! mao check --smoke
+//! ```
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -39,6 +47,9 @@ fn usage() -> &'static str {
      \x20      mao client [--listen ADDR] [--passes STR] [--jobs N] [--timeout-ms N]\n\
      \x20                 [--no-cache] [-o FILE] input.s | --stats | --ping | --shutdown\n\
      \x20      mao batch  [--workers N] [--jobs N] [--timeout-ms N] [--cache-cap N]\n\
+     \x20      mao check  [--seed N] [--cases N] [--passes A,B:C,...] [--jobs N]\n\
+     \x20                 [--budget N] [--regress-dir DIR] [--inject-miscompile]\n\
+     \x20                 [--smoke] [--verbose]\n\
      \n\
      --jobs N   worker threads for function-level passes (0 = all cores;\n\
      \x20           default 1, or the MAO_JOBS environment variable when set).\n\
@@ -59,6 +70,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         _ => cmd_oneshot(&args),
     }
 }
@@ -327,6 +339,115 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let mut config = mao_check::CheckConfig::default();
+    let mut inject = false;
+    let mut parser = ArgParser::new(args);
+    let parsed = (|| -> Result<(), String> {
+        while let Some(arg) = parser.next() {
+            match arg.as_str() {
+                "--seed" => config.seed = parser.numeric("--seed")?,
+                "--cases" => config.cases = parser.numeric("--cases")?,
+                "--passes" => {
+                    config.passes = Some(
+                        parser
+                            .value("--passes")?
+                            .split(',')
+                            .map(str::to_string)
+                            .collect(),
+                    )
+                }
+                "--jobs" => config.jobs = parser.numeric("--jobs")?,
+                "--budget" => config.budget = parser.numeric("--budget")?,
+                "--regress-dir" => config.regress_dir = Some(parser.value("--regress-dir")?.into()),
+                "--inject-miscompile" => inject = true,
+                // The CI stage: small, fast, fixed seed.
+                "--smoke" => {
+                    config.seed = 42;
+                    config.cases = 25;
+                }
+                "--verbose" | "-v" => config.verbose = true,
+                "--help" | "-h" => {
+                    println!("{}", usage());
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown check option `{other}`")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(message) = parsed {
+        eprintln!("mao check: {message}\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    if inject {
+        // Fault-injection self-test: MISOPT must be caught, shrunk, and
+        // (when --regress-dir is given) persisted.
+        return match mao_check::run_injection_selftest(config.seed, config.regress_dir.as_deref()) {
+            Ok(failures) => {
+                for f in &failures {
+                    println!(
+                        "caught {} [{} via {}]: {}",
+                        f.case,
+                        f.passes,
+                        f.path.name(),
+                        f.detail
+                    );
+                    if let Some(path) = &f.saved {
+                        println!("  persisted to {}", path.display());
+                    }
+                }
+                println!(
+                    "mao check: injection self-test caught {} miscompile(s)",
+                    failures.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(message) => {
+                eprintln!("mao check: INJECTION SELF-TEST FAILED: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = mao_check::run_check(&config);
+    println!(
+        "mao check: seed {} -> {} cases ({} skipped), {} oracle comparisons ({} deduped), {} failure(s)",
+        config.seed,
+        report.cases,
+        report.skipped,
+        report.comparisons,
+        report.deduped,
+        report.failures.len()
+    );
+    if report.ok() {
+        return ExitCode::SUCCESS;
+    }
+    for f in &report.failures {
+        eprintln!(
+            "FAIL {} [{} via {}]: {}",
+            f.case,
+            f.passes,
+            f.path.name(),
+            f.detail
+        );
+        eprintln!("  shrunk to:\n{}", indent(&f.shrunk_asm));
+        match &f.saved {
+            Some(path) => eprintln!("  persisted to {}", path.display()),
+            None => eprintln!("  (pass --regress-dir to persist)"),
+        }
+    }
+    ExitCode::FAILURE
+}
+
+fn indent(text: &str) -> String {
+    text.lines()
+        .map(|l| format!("    | {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn cmd_oneshot(args: &[String]) -> ExitCode {

@@ -1,0 +1,237 @@
+//! Case generation for the differential sweep.
+//!
+//! Three seeded sources, mixed round-robin:
+//!
+//! * **kernels** — the paper's motivating kernels
+//!   ([`mao_corpus::kernels::paper_suite`]) at randomized small iteration
+//!   counts;
+//! * **synth** — the §III.B "compiler output" generator
+//!   ([`mao_corpus::compiler::generate`]) at randomized sizes and planting
+//!   rates, one case per generated function;
+//! * **mutants** — random but parse-checked text-level mutations of the
+//!   kernels (NOP insertion, instruction duplication, scratch-register
+//!   filler, immediate perturbation, planted redundancy patterns), so the
+//!   sweep is not limited to shapes the generators produce on purpose.
+//!
+//! Mutation does not need to preserve the *kernel's* semantics — the
+//! oracle compares the mutant against its own optimized form. It only
+//! needs to keep units parseable; non-terminating mutants are caught by
+//! the simulator's instruction budget and skipped upstream.
+
+use mao_corpus::compiler::{generate, GeneratorConfig};
+use mao_corpus::kernels;
+use mao_corpus::Workload;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One runnable differential test case.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Display name (source + parameters).
+    pub name: String,
+    /// Assembly text.
+    pub asm: String,
+    /// Entry function.
+    pub entry: String,
+    /// SysV arguments.
+    pub args: Vec<u64>,
+    /// Simulator instruction budget.
+    pub budget: u64,
+}
+
+impl Case {
+    fn from_workload(name: String, w: Workload, budget: u64) -> Case {
+        Case {
+            name,
+            asm: w.asm,
+            entry: w.entry,
+            args: w.args,
+            budget,
+        }
+    }
+}
+
+/// Default per-case instruction budget. Kernel trip counts are kept small
+/// by the generator, so anything past this is a runaway mutant.
+pub const DEFAULT_BUDGET: u64 = 200_000;
+
+/// Generate `count` seeded cases.
+pub fn generate_cases(seed: u64, count: usize) -> Vec<Case> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x636865636b); // "check"
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        match out.len() % 3 {
+            0 => out.push(kernel_case(&mut rng)),
+            1 => out.extend(synth_cases(&mut rng, count - out.len())),
+            _ => out.push(mutant_case(&mut rng)),
+        }
+    }
+    out.truncate(count);
+    out
+}
+
+/// A paper kernel at a randomized small size.
+fn kernel_case(rng: &mut StdRng) -> Case {
+    let iters = rng.random_range(3..40u64);
+    let suite = kernels::paper_suite(iters);
+    let pick = rng.random_range(0..suite.len());
+    let w = suite[pick].clone();
+    Case::from_workload(format!("kernel:{}#i{iters}", w.name), w, DEFAULT_BUDGET)
+}
+
+/// One synthetic compiler-output unit; a case per generated function.
+fn synth_cases(rng: &mut StdRng, room: usize) -> Vec<Case> {
+    let functions = rng.random_range(1..4usize);
+    let config = GeneratorConfig {
+        seed: rng.random(),
+        functions,
+        slots_per_function: rng.random_range(6..40usize),
+        p_redzext: 0.15,
+        p_test: 0.30,
+        p_test_redundant: 0.5,
+        p_redmov: 0.15,
+        p_addadd: 0.20,
+    };
+    let corpus = generate(&config);
+    (0..functions.min(room.max(1)))
+        .map(|f| Case {
+            name: format!("synth:s{:x}f{f}", config.seed),
+            asm: corpus.asm.clone(),
+            entry: format!("synth_fn_{f}"),
+            args: Vec::new(),
+            budget: DEFAULT_BUDGET,
+        })
+        .collect()
+}
+
+/// A kernel with 1–3 random parse-checked mutations applied.
+fn mutant_case(rng: &mut StdRng) -> Case {
+    let iters = rng.random_range(3..24u64);
+    let suite = kernels::paper_suite(iters);
+    let pick = rng.random_range(0..suite.len());
+    let w = suite[pick].clone();
+    let mut asm = w.asm.clone();
+    let n = rng.random_range(1..4usize);
+    let mut applied = 0;
+    for _ in 0..n {
+        let candidate = mutate_once(rng, &asm);
+        if mao::MaoUnit::parse(&candidate).is_ok() {
+            asm = candidate;
+            applied += 1;
+        }
+    }
+    Case {
+        name: format!("mutant:{}#i{iters}m{applied}", w.name),
+        asm,
+        entry: w.entry,
+        args: w.args,
+        budget: DEFAULT_BUDGET,
+    }
+}
+
+/// Indices of instruction lines that are safe to duplicate or perturb:
+/// tab-indented, not control flow, not a directive.
+fn insn_lines(lines: &[&str]) -> Vec<usize> {
+    lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim_start();
+            l.starts_with('\t')
+                && !t.starts_with('.')
+                && !t.starts_with('j')
+                && !t.starts_with("call")
+                && !t.starts_with("ret")
+                && !t.ends_with(':')
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Apply one random text-level mutation.
+fn mutate_once(rng: &mut StdRng, asm: &str) -> String {
+    let lines: Vec<&str> = asm.lines().collect();
+    let insns = insn_lines(&lines);
+    if insns.is_empty() {
+        return asm.to_string();
+    }
+    let at = insns[rng.random_range(0..insns.len())];
+    let mut out: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    match rng.random_range(0..5u32) {
+        // NOP insertion: shifts every later address, stressing layout.
+        0 => out.insert(at, "\tnop".to_string()),
+        // Duplicate a straight-line instruction.
+        1 => out.insert(at, lines[at].to_string()),
+        // Dead filler on caller-saved scratch (unobservable by the oracle).
+        2 => {
+            let k: u32 = rng.random_range(0..1000);
+            out.insert(at, format!("\tmovl ${k}, %r10d"));
+        }
+        // Perturb an immediate in place (a different program for both
+        // sides of the differential — still a valid case).
+        3 => {
+            if let Some(m) = perturb_immediate(rng, lines[at]) {
+                out[at] = m;
+            }
+        }
+        // Plant a redundancy pattern for the scalar passes to chew on.
+        _ => {
+            let planted = match rng.random_range(0..3u32) {
+                0 => "\tandl $255, %r10d\n\tmov %r10d, %r10d",
+                1 => "\tsubl $16, %r11d\n\ttestl %r11d, %r11d",
+                _ => "\taddq $3, %r10\n\taddq $4, %r10",
+            };
+            out.insert(at, planted.to_string());
+        }
+    }
+    out.join("\n") + "\n"
+}
+
+/// Bump one `$imm` on the line by a small delta, if it has one.
+fn perturb_immediate(rng: &mut StdRng, line: &str) -> Option<String> {
+    let dollar = line.find('$')?;
+    let rest = &line[dollar + 1..];
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| !c.is_ascii_digit() && *c != '-')
+        .map_or(rest.len(), |(i, _)| i);
+    let value: i64 = rest[..end].parse().ok()?;
+    let delta = rng.random_range(1..5i64);
+    let new = value.checked_add(delta)?;
+    Some(format!("{}{}{}", &line[..dollar + 1], new, &rest[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_parseable() {
+        let a = generate_cases(42, 30);
+        let b = generate_cases(42, 30);
+        assert_eq!(a.len(), 30);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.asm, y.asm);
+        }
+        for c in &a {
+            mao::MaoUnit::parse(&c.asm)
+                .unwrap_or_else(|e| panic!("case {} does not parse: {e}", c.name));
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let a = generate_cases(1, 12);
+        let b = generate_cases(2, 12);
+        assert!(a.iter().zip(&b).any(|(x, y)| x.asm != y.asm));
+    }
+
+    #[test]
+    fn sources_are_mixed() {
+        let cases = generate_cases(7, 20);
+        assert!(cases.iter().any(|c| c.name.starts_with("kernel:")));
+        assert!(cases.iter().any(|c| c.name.starts_with("synth:")));
+        assert!(cases.iter().any(|c| c.name.starts_with("mutant:")));
+    }
+}

@@ -1,0 +1,205 @@
+//! The execution-path matrix: every way this repo can run a pipeline over
+//! a unit must produce the same bytes.
+//!
+//! Shipped paths:
+//!
+//! * **oneshot** — `run_pipeline_with` at `--jobs 1`, exactly what the
+//!   `mao` driver does;
+//! * **jobs N** — the parallel function-level driver (PR 1 promises
+//!   byte-identical output at any `N`);
+//! * **engine** — the `maod` engine, twice: a cold request (cache miss)
+//!   and an identical warm repeat that must be served from the
+//!   content-addressed cache with identical bytes;
+//! * **legacy-relax** — the same pipeline with every pass forced onto the
+//!   reference relaxation solver instead of the incremental fragment
+//!   solver (PR 3 promises identical layouts).
+
+use mao::pass::{parse_invocations, run_pipeline_with, PipelineConfig};
+use mao::MaoUnit;
+use mao_serve::protocol::{OptimizeRequest, Request, Response};
+use mao_serve::{CacheOutcome, Engine, EngineConfig};
+
+/// One way of running a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPath {
+    /// The one-shot driver (`--jobs 1`).
+    OneShot,
+    /// The parallel function-level driver at this many jobs.
+    Jobs(usize),
+    /// The `maod` engine: cold request, then a warm cache-hit repeat.
+    Engine,
+    /// The legacy reference relaxation solver.
+    LegacyRelax,
+}
+
+impl ExecPath {
+    /// Display name (also the `path:` key in persisted regressions).
+    pub fn name(self) -> String {
+        match self {
+            ExecPath::OneShot => "oneshot".to_string(),
+            ExecPath::Jobs(n) => format!("jobs{n}"),
+            ExecPath::Engine => "engine".to_string(),
+            ExecPath::LegacyRelax => "legacy-relax".to_string(),
+        }
+    }
+
+    /// Parse a `name()` spelling back (for regression replay).
+    pub fn parse(s: &str) -> Option<ExecPath> {
+        match s {
+            "oneshot" => Some(ExecPath::OneShot),
+            "engine" => Some(ExecPath::Engine),
+            "legacy-relax" => Some(ExecPath::LegacyRelax),
+            _ => s
+                .strip_prefix("jobs")
+                .and_then(|n| n.parse().ok())
+                .map(ExecPath::Jobs),
+        }
+    }
+}
+
+/// Append `legacy-relax` to every pass of an invocation string, so layout
+/// consumers (BRALIGN/LOOP16/LSDFIT/INSTPREP) take the reference solver.
+fn with_legacy_relax(passes: &str) -> String {
+    passes
+        .split(':')
+        .map(|seg| {
+            if seg.is_empty() {
+                seg.to_string()
+            } else if seg.contains('=') {
+                format!("{seg},legacy-relax")
+            } else {
+                format!("{seg}=legacy-relax")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(":")
+}
+
+/// Runs pipelines through every [`ExecPath`]. Holds one resident engine so
+/// the warm-cache path is genuinely warm across a sweep.
+pub struct PathRunner {
+    engine: Engine,
+    /// Worker count for the [`ExecPath::Jobs`] path.
+    pub jobs: usize,
+}
+
+impl PathRunner {
+    /// Runner with a private engine (2 workers is plenty for checking).
+    pub fn new(jobs: usize) -> PathRunner {
+        let config = EngineConfig {
+            workers: 2,
+            ..EngineConfig::default()
+        };
+        PathRunner {
+            engine: Engine::new(config),
+            jobs: jobs.max(2),
+        }
+    }
+
+    /// The full path matrix for one sweep.
+    pub fn all(&self) -> Vec<ExecPath> {
+        vec![
+            ExecPath::OneShot,
+            ExecPath::Jobs(self.jobs),
+            ExecPath::Engine,
+            ExecPath::LegacyRelax,
+        ]
+    }
+
+    /// Run `passes` over `asm` through `path`, returning the emitted text.
+    pub fn optimize(&self, path: ExecPath, asm: &str, passes: &str) -> Result<String, String> {
+        match path {
+            ExecPath::OneShot => run_local(asm, passes, 1),
+            ExecPath::Jobs(n) => run_local(asm, passes, n),
+            ExecPath::LegacyRelax => run_local(asm, &with_legacy_relax(passes), 1),
+            ExecPath::Engine => self.run_engine(asm, passes),
+        }
+    }
+
+    /// Cold request then an identical warm repeat: the warm answer must be
+    /// a cache hit with the same bytes.
+    fn run_engine(&self, asm: &str, passes: &str) -> Result<String, String> {
+        let request = |use_cache: bool| {
+            Request::Optimize(OptimizeRequest {
+                asm: asm.to_string(),
+                passes: passes.to_string(),
+                jobs: None,
+                timeout_ms: None,
+                use_cache,
+            })
+        };
+        let cold = match self.engine.handle(request(true)) {
+            Response::Optimized { outcome, .. } => outcome.asm,
+            Response::Error { kind, message } => {
+                return Err(format!("engine cold request failed [{kind:?}]: {message}"))
+            }
+            other => return Err(format!("engine cold request: unexpected {other:?}")),
+        };
+        match self.engine.handle(request(true)) {
+            Response::Optimized { outcome, cache, .. } => {
+                if cache != CacheOutcome::Hit {
+                    return Err(format!(
+                        "engine warm repeat was not a cache hit (got {cache:?})"
+                    ));
+                }
+                if outcome.asm != cold {
+                    return Err("engine warm repeat returned different bytes".to_string());
+                }
+                Ok(cold)
+            }
+            Response::Error { kind, message } => {
+                Err(format!("engine warm request failed [{kind:?}]: {message}"))
+            }
+            other => Err(format!("engine warm request: unexpected {other:?}")),
+        }
+    }
+}
+
+/// Parse + pipeline + emit with the given job count.
+fn run_local(asm: &str, passes: &str, jobs: usize) -> Result<String, String> {
+    let mut unit = MaoUnit::parse(asm).map_err(|e| format!("parse: {e}"))?;
+    let invs = parse_invocations(passes).map_err(|e| format!("passes: {e}"))?;
+    let config = PipelineConfig { jobs };
+    run_pipeline_with(&mut unit, &invs, None, &config).map_err(|e| format!("pipeline: {e}"))?;
+    Ok(unit.emit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INPUT: &str = "\t.type\tf, @function\nf:\n\tsubl $16, %r15d\n\ttestl %r15d, %r15d\n\tjne .L1\n\taddl $3, %eax\n\taddl $4, %eax\n.L1:\n\tret\n";
+
+    #[test]
+    fn legacy_relax_option_spelling() {
+        assert_eq!(with_legacy_relax("DCE"), "DCE=legacy-relax");
+        assert_eq!(
+            with_legacy_relax("NOPIN=seed[3],density[0.1]:DCE"),
+            "NOPIN=seed[3],density[0.1],legacy-relax:DCE=legacy-relax"
+        );
+    }
+
+    #[test]
+    fn all_paths_agree_on_bytes() {
+        let runner = PathRunner::new(4);
+        let texts: Vec<String> = runner
+            .all()
+            .into_iter()
+            .map(|p| runner.optimize(p, INPUT, "REDTEST:ADDADD:DCE").unwrap())
+            .collect();
+        for t in &texts[1..] {
+            assert_eq!(t, &texts[0]);
+        }
+        assert!(!texts[0].contains("testl"), "REDTEST fired");
+    }
+
+    #[test]
+    fn engine_warm_path_is_a_cache_hit() {
+        let runner = PathRunner::new(2);
+        // First call performs cold+warm internally; a second optimize call
+        // must still succeed (now both requests hit).
+        let a = runner.optimize(ExecPath::Engine, INPUT, "REDTEST").unwrap();
+        let b = runner.optimize(ExecPath::Engine, INPUT, "REDTEST").unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,291 @@
+//! The persisted regression corpus: failing cases live on as `.s` files
+//! under `tests/regressions/` and are replayed by `cargo test` forever
+//! after.
+//!
+//! Each file is ordinary assembly prefixed with `# mao-check:` key=value
+//! header comments (the asm lexer strips `#` comments, so the file also
+//! assembles as-is):
+//!
+//! ```text
+//! # mao-check: passes=ADDADD
+//! # mao-check: path=oneshot
+//! # mao-check: entry=f
+//! # mao-check: args=3,4
+//! # mao-check: expect=pass
+//! ```
+//!
+//! `expect=pass` is a real-bug regression: replay asserts the pass now
+//! preserves semantics. `expect=mismatch` is a fault-injection
+//! self-test: replay asserts the checker still *catches* the deliberate
+//! miscompile — a standing canary for the oracle itself.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::cases::DEFAULT_BUDGET;
+use crate::oracle::{compare, observe};
+use crate::paths::{ExecPath, PathRunner};
+
+/// What a regression file asserts on replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    /// The optimized unit must be equivalent (a fixed miscompile).
+    Pass,
+    /// The checker must still flag the unit (an injected miscompile).
+    Mismatch,
+}
+
+/// One persisted regression case.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// File stem (derived from the original case name).
+    pub name: String,
+    /// Pass invocation string the failure occurred under.
+    pub passes: String,
+    /// Execution path the failure occurred under.
+    pub path: ExecPath,
+    /// Entry function.
+    pub entry: String,
+    /// SysV arguments.
+    pub args: Vec<u64>,
+    /// Replay assertion.
+    pub expect: Expect,
+    /// The (shrunk) assembly, without headers.
+    pub asm: String,
+}
+
+impl Regression {
+    /// Render the on-disk file: headers + assembly.
+    pub fn render(&self) -> String {
+        let args = self
+            .args
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
+        let expect = match self.expect {
+            Expect::Pass => "pass",
+            Expect::Mismatch => "mismatch",
+        };
+        format!(
+            "# mao-check: passes={}\n# mao-check: path={}\n# mao-check: entry={}\n# mao-check: args={}\n# mao-check: expect={}\n{}",
+            self.passes,
+            self.path.name(),
+            self.entry,
+            args,
+            expect,
+            self.asm
+        )
+    }
+
+    /// Parse a regression file back.
+    pub fn parse(name: &str, text: &str) -> Result<Regression, String> {
+        let mut passes = None;
+        let mut path = None;
+        let mut entry = None;
+        let mut args = Vec::new();
+        let mut expect = None;
+        let mut asm = String::new();
+        for line in text.lines() {
+            if let Some(kv) = line.strip_prefix("# mao-check:") {
+                let (key, value) = kv
+                    .trim()
+                    .split_once('=')
+                    .ok_or_else(|| format!("{name}: malformed header {line:?}"))?;
+                match key {
+                    "passes" => passes = Some(value.to_string()),
+                    "path" => {
+                        path = Some(
+                            ExecPath::parse(value)
+                                .ok_or_else(|| format!("{name}: unknown path {value:?}"))?,
+                        )
+                    }
+                    "entry" => entry = Some(value.to_string()),
+                    "args" => {
+                        for a in value.split(',').filter(|a| !a.is_empty()) {
+                            args.push(
+                                a.parse()
+                                    .map_err(|e| format!("{name}: bad arg {a:?}: {e}"))?,
+                            );
+                        }
+                    }
+                    "expect" => {
+                        expect = Some(match value {
+                            "pass" => Expect::Pass,
+                            "mismatch" => Expect::Mismatch,
+                            other => return Err(format!("{name}: unknown expect {other:?}")),
+                        })
+                    }
+                    other => return Err(format!("{name}: unknown header key {other:?}")),
+                }
+            } else {
+                asm.push_str(line);
+                asm.push('\n');
+            }
+        }
+        Ok(Regression {
+            name: name.to_string(),
+            passes: passes.ok_or_else(|| format!("{name}: missing passes header"))?,
+            path: path.ok_or_else(|| format!("{name}: missing path header"))?,
+            entry: entry.ok_or_else(|| format!("{name}: missing entry header"))?,
+            args,
+            expect: expect.ok_or_else(|| format!("{name}: missing expect header"))?,
+            asm,
+        })
+    }
+
+    /// Write the regression under `dir`, uniquifying the stem if taken.
+    /// Returns the path written.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let stem = sanitize(&self.name);
+        let mut file = dir.join(format!("{stem}.s"));
+        let mut suffix = 1;
+        while file.exists() {
+            file = dir.join(format!("{stem}-{suffix}.s"));
+            suffix += 1;
+        }
+        fs::write(&file, self.render())?;
+        Ok(file)
+    }
+
+    /// Re-run the case and check the recorded expectation. `Ok(())` means
+    /// the corpus still holds; `Err` is the replay failure description.
+    pub fn replay(&self, runner: &PathRunner) -> Result<(), String> {
+        let original = observe(&self.asm, &self.entry, &self.args, DEFAULT_BUDGET)
+            .map_err(|e| format!("{}: original no longer runs: {e}", self.name))?;
+        if original.result.is_err() {
+            return Err(format!(
+                "{}: original run faults: {:?}",
+                self.name, original.result
+            ));
+        }
+        let optimized_asm = runner
+            .optimize(self.path, &self.asm, &self.passes)
+            .map_err(|e| format!("{}: optimize failed: {e}", self.name))?;
+        let optimized = observe(&optimized_asm, &self.entry, &self.args, DEFAULT_BUDGET)
+            .map_err(|e| format!("{}: optimized unit unusable: {e}", self.name))?;
+        let divergence = compare(&original, &optimized);
+        match (self.expect, divergence) {
+            (Expect::Pass, None) | (Expect::Mismatch, Some(_)) => Ok(()),
+            (Expect::Pass, Some(d)) => Err(format!("{}: regressed again: {d}", self.name)),
+            (Expect::Mismatch, None) => Err(format!(
+                "{}: checker no longer catches the injected miscompile",
+                self.name
+            )),
+        }
+    }
+}
+
+/// Load every `*.s` regression under `dir` (sorted by file name).
+pub fn load_dir(dir: &Path) -> Result<Vec<Regression>, String> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(out), // no corpus yet
+    };
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "s"))
+        .collect();
+    files.sort();
+    for file in files {
+        let name = file
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("regression")
+            .to_string();
+        let text = fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+        out.push(Regression::parse(&name, &text)?);
+    }
+    Ok(out)
+}
+
+/// File-stem-safe version of a case name.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Regression {
+        Regression {
+            name: "mutant-mcf-fig1".to_string(),
+            passes: "ADDADD:DCE".to_string(),
+            path: ExecPath::Jobs(4),
+            entry: "f".to_string(),
+            args: vec![3, 4],
+            expect: Expect::Mismatch,
+            asm: ".type f, @function\nf:\n\tret\n".to_string(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let r = sample();
+        let back = Regression::parse(&r.name, &r.render()).unwrap();
+        assert_eq!(back.passes, r.passes);
+        assert_eq!(back.path, r.path);
+        assert_eq!(back.entry, r.entry);
+        assert_eq!(back.args, r.args);
+        assert_eq!(back.expect, r.expect);
+        assert_eq!(back.asm, r.asm);
+    }
+
+    #[test]
+    fn headers_are_inert_for_the_assembler() {
+        let r = sample();
+        mao::MaoUnit::parse(&r.render()).expect("headers lex as comments");
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        let text = "# mao-check: passes=DCE\nf:\n\tret\n";
+        assert!(Regression::parse("x", text).is_err());
+    }
+
+    #[test]
+    fn sanitize_makes_file_stems() {
+        assert_eq!(sanitize("mutant:mcf_fig1#i7m2"), "mutant-mcf_fig1-i7m2");
+    }
+
+    #[test]
+    fn expect_pass_replay_succeeds_on_equivalent_unit() {
+        let runner = PathRunner::new(2);
+        let r = Regression {
+            name: "simple".to_string(),
+            passes: "ADDADD".to_string(),
+            path: ExecPath::OneShot,
+            entry: "f".to_string(),
+            args: vec![],
+            expect: Expect::Pass,
+            asm: ".type f, @function\nf:\n\taddl $3, %eax\n\taddl $4, %eax\n\tret\n".to_string(),
+        };
+        r.replay(&runner).unwrap();
+    }
+
+    #[test]
+    fn expect_mismatch_replay_catches_injection() {
+        let runner = PathRunner::new(2);
+        let r = Regression {
+            name: "inject".to_string(),
+            passes: "MISOPT=mode[imm],nth[0]".to_string(),
+            path: ExecPath::OneShot,
+            entry: "f".to_string(),
+            args: vec![],
+            expect: Expect::Mismatch,
+            asm: ".type f, @function\nf:\n\tmovl $41, %eax\n\taddl $1, %eax\n\tret\n".to_string(),
+        };
+        r.replay(&runner).unwrap();
+    }
+}

@@ -1,0 +1,188 @@
+//! Failure minimization: shrink a failing unit to the smallest one that
+//! still reproduces the mismatch.
+//!
+//! Two phases, run to a fixpoint:
+//!
+//! 1. **delete-entry** — ddmin-style chunk deletion over the unit's text
+//!   lines, with chunk sizes n/2, n/4, …, 1;
+//! 2. **simplify-operand** — rewrite each `$imm` toward `$1` then `$0`.
+//!
+//! The caller supplies the *interestingness predicate* ("this text still
+//! mismatches under the same passes/path"). Candidates that no longer
+//! parse, load, or run simply make the predicate return `false`, so no
+//! validity pre-check is needed here.
+
+/// Shrink `asm` while `still_fails` holds. Returns the minimized text
+/// (always satisfies the predicate; at worst the input itself).
+pub fn shrink(asm: &str, mut still_fails: impl FnMut(&str) -> bool) -> String {
+    debug_assert!(still_fails(asm), "shrink called on a non-failing unit");
+    let mut best = asm.to_string();
+    loop {
+        let mut progressed = false;
+        if let Some(smaller) = delete_lines(&best, &mut still_fails) {
+            best = smaller;
+            progressed = true;
+        }
+        if let Some(simpler) = simplify_immediates(&best, &mut still_fails) {
+            best = simpler;
+            progressed = true;
+        }
+        if !progressed {
+            return best;
+        }
+    }
+}
+
+/// One full ddmin sweep over the lines. Returns a strictly smaller failing
+/// text, or `None` if nothing could be deleted.
+fn delete_lines(asm: &str, still_fails: &mut impl FnMut(&str) -> bool) -> Option<String> {
+    let mut lines: Vec<String> = asm.lines().map(str::to_string).collect();
+    let mut shrunk = false;
+    let mut chunk = (lines.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < lines.len() {
+            let end = (start + chunk).min(lines.len());
+            let candidate: Vec<String> = lines[..start]
+                .iter()
+                .chain(&lines[end..])
+                .cloned()
+                .collect();
+            if !candidate.is_empty() && still_fails(&render(&candidate)) {
+                lines = candidate;
+                shrunk = true;
+                // Do not advance: the next chunk slid into `start`.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    shrunk.then(|| render(&lines))
+}
+
+/// Try to rewrite each `$imm` to `$1`, then `$0`. Returns a simplified
+/// failing text, or `None` if every rewrite broke the failure.
+fn simplify_immediates(asm: &str, still_fails: &mut impl FnMut(&str) -> bool) -> Option<String> {
+    let mut best = asm.to_string();
+    let mut simplified = false;
+    loop {
+        let mut progressed = false;
+        for (offset, value) in immediates(&best) {
+            if value == "0" {
+                continue; // already minimal; never rewrite upward
+            }
+            for target in ["1", "0"] {
+                if value == target {
+                    continue;
+                }
+                let candidate = format!(
+                    "{}{}{}",
+                    &best[..offset],
+                    target,
+                    &best[offset + value.len()..]
+                );
+                if still_fails(&candidate) {
+                    best = candidate;
+                    progressed = true;
+                    simplified = true;
+                    break;
+                }
+            }
+            if progressed {
+                break; // offsets are stale after an edit; rescan
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    simplified.then_some(best)
+}
+
+/// Byte offsets and texts of every `$imm` literal in the text.
+fn immediates(asm: &str) -> Vec<(usize, String)> {
+    let bytes = asm.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'$' {
+            let start = i + 1;
+            let mut end = start;
+            if end < bytes.len() && bytes[end] == b'-' {
+                end += 1;
+            }
+            while end < bytes.len() && bytes[end].is_ascii_digit() {
+                end += 1;
+            }
+            if end > start && bytes[start..end] != *b"-" {
+                out.push((start, asm[start..end].to_string()));
+            }
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn render(lines: &[String]) -> String {
+    let mut s = lines.join("\n");
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deletes_irrelevant_lines() {
+        let asm = "a\nb\nMAGIC\nc\nd\ne\n";
+        let shrunk = shrink(asm, |s| s.contains("MAGIC"));
+        assert_eq!(shrunk, "MAGIC\n");
+    }
+
+    #[test]
+    fn simplifies_immediates() {
+        let asm = "\taddl $4735, %eax\n";
+        let shrunk = shrink(asm, |s| s.contains("addl"));
+        assert_eq!(shrunk, "\taddl $0, %eax\n");
+    }
+
+    #[test]
+    fn keeps_load_bearing_immediates() {
+        let asm = "\tjunk\n\taddl $47, %eax\n";
+        let shrunk = shrink(asm, |s| s.contains("$47"));
+        assert_eq!(shrunk, "\taddl $47, %eax\n");
+    }
+
+    #[test]
+    fn negative_immediates_are_scanned() {
+        let imms = immediates("\taddl $-12, %eax\n\tmovl $3, %ecx\n");
+        assert_eq!(imms.len(), 2);
+        assert_eq!(imms[0].1, "-12");
+        assert_eq!(imms[1].1, "3");
+    }
+
+    #[test]
+    fn end_to_end_on_a_real_unit() {
+        // Predicate: unit parses, runs, and returns 42 — everything not
+        // needed for that should be deleted.
+        let asm = ".type f, @function\nf:\n\tpushq %rbp\n\tmovq %rsp, %rbp\n\tmovl $40, %eax\n\taddl $2, %eax\n\tmovl $7, %r10d\n\tpopq %rbp\n\tret\n";
+        let returns_42 = |s: &str| {
+            crate::oracle::observe(s, "f", &[], 1000)
+                .ok()
+                .and_then(|o| o.result.ok())
+                .map(|(v, _)| v == 42)
+                .unwrap_or(false)
+        };
+        let shrunk = shrink(asm, returns_42);
+        assert!(shrunk.len() < asm.len());
+        assert!(!shrunk.contains("r10d"), "dead filler deleted: {shrunk}");
+        assert!(returns_42(&shrunk), "minimized unit still fails: {shrunk}");
+    }
+}

@@ -419,6 +419,108 @@ f:
         }
     }
 
+    /// Build a [`Cfg`] directly from an edge list — no assembly, no parser.
+    /// Havlak runs purely on block structure, so hand-built graphs let the
+    /// tests pin down exactly which shapes each classification covers.
+    fn cfg_from_edges(n: usize, edges: &[(usize, usize)]) -> Cfg {
+        let mut blocks = vec![crate::cfg::BasicBlock::default(); n];
+        for &(a, b) in edges {
+            blocks[a].succs.push(b);
+            blocks[b].preds.push(a);
+        }
+        Cfg {
+            blocks,
+            unresolved_indirect: false,
+            resolved_indirect: 0,
+        }
+    }
+
+    #[test]
+    fn hand_built_reducible_loop() {
+        // 0 -> 1 -> 2 -> 3, with the back edge 2 -> 1: one natural loop
+        // headed at 1 with body {1, 2}.
+        let cfg = cfg_from_edges(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let nest = find_loops(&cfg);
+        assert_eq!(nest.len(), 1);
+        let l = &nest.loops[0];
+        assert_eq!(l.kind, LoopKind::Reducible);
+        assert_eq!(l.header, 1);
+        let mut blocks = l.blocks.clone();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![1, 2]);
+    }
+
+    #[test]
+    fn hand_built_self_loop() {
+        let cfg = cfg_from_edges(3, &[(0, 1), (1, 1), (1, 2)]);
+        let nest = find_loops(&cfg);
+        assert_eq!(nest.len(), 1);
+        assert_eq!(nest.loops[0].kind, LoopKind::SelfLoop);
+        assert_eq!(nest.loops[0].header, 1);
+    }
+
+    #[test]
+    fn hand_built_irreducible_region() {
+        // The classic two-entry cycle: both 1 and 2 are entered from the
+        // entry block, and they branch to each other. Neither dominates the
+        // other, so the region is irreducible.
+        let cfg = cfg_from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 1), (1, 3)]);
+        let nest = find_loops(&cfg);
+        assert!(
+            nest.loops.iter().any(|l| l.kind == LoopKind::Irreducible),
+            "found: {:?}",
+            nest.loops.iter().map(|l| l.kind).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn hand_built_nested_loops() {
+        // Outer loop headed at 1 (back edge 3 -> 1) containing an inner
+        // loop headed at 2 (back edge 3 -> 2).
+        let cfg = cfg_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 2), (3, 1), (1, 4)]);
+        let nest = find_loops(&cfg);
+        assert_eq!(nest.len(), 2);
+        let inner_idx = nest.loops.iter().position(|l| l.header == 2).unwrap();
+        let outer_idx = nest.loops.iter().position(|l| l.header == 1).unwrap();
+        assert_eq!(nest.loops[inner_idx].depth, 2);
+        assert_eq!(nest.loops[outer_idx].depth, 1);
+        assert_eq!(nest.loops[inner_idx].parent, Some(outer_idx));
+        assert!(nest.loops[outer_idx].children.contains(&inner_idx));
+        assert_eq!(nest.innermost(), vec![inner_idx]);
+        assert_eq!(nest.loop_of(3), Some(inner_idx));
+    }
+
+    #[test]
+    fn loop_spanning_a_section_split_is_detected() {
+        // The paper's cross-section case: a function interrupted mid-body by
+        // a .rodata jump table and resumed in .text. The loop's back branch
+        // lives in the second span; Havlak must still see one reducible
+        // loop across the split.
+        let (cfg, nest) = loops_for(
+            r#"
+	.text
+	.type	f, @function
+f:
+	movl $0, %eax
+.Lhead:
+	addl $1, %eax
+	jmp .Ltail
+	.section	.rodata
+.Ltable:
+	.quad	.Lhead
+	.text
+.Ltail:
+	cmpl $4, %eax
+	jne .Lhead
+	ret
+"#,
+        );
+        assert!(cfg.len() >= 3, "spans produce a multi-block CFG");
+        assert_eq!(nest.len(), 1);
+        assert_eq!(nest.loops[0].kind, LoopKind::Reducible);
+        assert!(nest.loops[0].blocks.len() >= 2);
+    }
+
     #[test]
     fn unreachable_blocks_ignored() {
         let (_c, nest) = loops_for(

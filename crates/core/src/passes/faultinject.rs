@@ -7,10 +7,17 @@
 //! * `PANIC` — panics unconditionally (or only when a function matching
 //!   `func[NAME]` exists), modeling a pass bug;
 //! * `PANIC=sleep_ms[N]` — first sleeps, modeling a runaway pass that must
-//!   be cut off by the service's request timeout.
+//!   be cut off by the service's request timeout;
+//! * `MISOPT` — deliberately *miscompiles* the unit (corrupts an immediate
+//!   or drops an instruction) so the differential checker's oracle,
+//!   shrinker, and regression persistence can be exercised end to end
+//!   against a known-bad transformation.
+
+use mao_asm::Entry;
+use mao_x86::Operand;
 
 use crate::pass::{MaoPass, PassContext, PassError, PassStats};
-use crate::unit::MaoUnit;
+use crate::unit::{EditSet, MaoUnit};
 
 /// `PANIC` — deliberately panic (fault injection for isolation tests).
 #[derive(Debug, Default)]
@@ -39,6 +46,82 @@ impl MaoPass for FaultInject {
             return Err(PassError::Other("injected pass error".to_string()));
         }
         panic!("injected pass panic (PANIC fault-injection pass)");
+    }
+}
+
+/// `MISOPT` — deliberately miscompile the unit (fault injection for the
+/// differential checker).
+///
+/// Options:
+/// * `mode[imm]` (default) — add 1 to the immediate of the `nth` ALU/mov
+///   instruction that has one;
+/// * `mode[drop]` — delete the `nth` non-control-flow instruction;
+/// * `nth[N]` — which candidate to corrupt (default 0, in unit order).
+///
+/// The corruption is a *semantic* change with an unchanged-looking unit:
+/// it still parses, lays out, and runs — only the computed values differ.
+/// `mao check` must catch it; if it does not, the oracle is broken.
+#[derive(Debug, Default)]
+pub struct Misoptimize;
+
+impl MaoPass for Misoptimize {
+    fn name(&self) -> &'static str {
+        "MISOPT"
+    }
+
+    fn description(&self) -> &'static str {
+        "fault injection: deliberately miscompile (options: mode[imm|drop], nth[N])"
+    }
+
+    fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
+        let mode = ctx.options.get("mode").unwrap_or("imm");
+        let nth = ctx.options.get_u64("nth", 0) as usize;
+        let mut stats = PassStats::default();
+        let mut edits = EditSet::new();
+        let mut seen = 0usize;
+        for (id, entry) in unit.entries().iter().enumerate() {
+            let Entry::Insn(insn) = entry else { continue };
+            let candidate = match mode {
+                "drop" => !insn.mnemonic.is_control_flow(),
+                _ => {
+                    !insn.mnemonic.is_control_flow()
+                        && insn.operands.iter().any(|o| matches!(o, Operand::Imm(_)))
+                }
+            };
+            if !candidate {
+                continue;
+            }
+            if seen < nth {
+                seen += 1;
+                continue;
+            }
+            match mode {
+                "drop" => {
+                    edits.delete(id);
+                }
+                _ => {
+                    let mut bad = insn.clone();
+                    for op in &mut bad.operands {
+                        if let Operand::Imm(v) = op {
+                            *v = v.wrapping_add(1);
+                            break;
+                        }
+                    }
+                    edits.replace_insn(id, bad);
+                }
+            }
+            stats.transformed(1);
+            break;
+        }
+        unit.apply(edits);
+        ctx.trace(
+            1,
+            format!(
+                "MISOPT: injected {} {mode} corruption(s)",
+                stats.transformations
+            ),
+        );
+        Ok(stats)
     }
 }
 
@@ -71,5 +154,32 @@ mod tests {
         let mut ctx = PassContext::from_options(PassOptions::new().with("error", ""));
         let err = FaultInject.run(&mut unit, &mut ctx).unwrap_err();
         assert_eq!(err, PassError::Other("injected pass error".into()));
+    }
+
+    #[test]
+    fn misopt_corrupts_one_immediate() {
+        let mut unit =
+            MaoUnit::parse(".type f, @function\nf:\n\tmovl $40, %eax\n\taddl $2, %eax\n\tret\n")
+                .unwrap();
+        let mut ctx = PassContext::default();
+        let stats = Misoptimize.run(&mut unit, &mut ctx).unwrap();
+        assert_eq!(stats.transformations, 1);
+        let text = unit.emit();
+        assert!(text.contains("$41"), "first immediate bumped: {text}");
+        assert!(text.contains("$2"), "later immediates untouched: {text}");
+    }
+
+    #[test]
+    fn misopt_drop_deletes_one_instruction() {
+        let mut unit =
+            MaoUnit::parse(".type f, @function\nf:\n\tmovl $40, %eax\n\taddl $2, %eax\n\tret\n")
+                .unwrap();
+        let mut ctx =
+            PassContext::from_options(PassOptions::new().with("mode", "drop").with("nth", "1"));
+        let stats = Misoptimize.run(&mut unit, &mut ctx).unwrap();
+        assert_eq!(stats.transformations, 1);
+        let text = unit.emit();
+        assert!(text.contains("movl"), "nth=1 keeps the first insn: {text}");
+        assert!(!text.contains("addl"), "nth=1 drops the second: {text}");
     }
 }

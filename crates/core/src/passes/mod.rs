@@ -20,6 +20,7 @@
 //! | `SIMADDR` | §III.E.m | fwd/bwd instruction simulation of PMU samples |
 //! | `SCHED` | §III.F | basic-block list scheduling |
 //! | `PANIC` | — | fault injection: deliberate panic/error/sleep for isolation tests |
+//! | `MISOPT` | — | fault injection: deliberate miscompile for checker self-tests |
 
 mod addadd;
 mod branchalign;
@@ -75,6 +76,7 @@ pub fn registry() -> BTreeMap<&'static str, PassFactory> {
     add::<simaddr::AddressSimulation>(&mut m, || Box::new(simaddr::AddressSimulation));
     add::<schedule::ListSchedule>(&mut m, || Box::new(schedule::ListSchedule));
     add::<faultinject::FaultInject>(&mut m, || Box::new(faultinject::FaultInject));
+    add::<faultinject::Misoptimize>(&mut m, || Box::new(faultinject::Misoptimize));
     m
 }
 
@@ -104,10 +106,11 @@ mod tests {
             "SIMADDR",
             "SCHED",
             "PANIC",
+            "MISOPT",
         ] {
             assert!(r.contains_key(name), "missing pass {name}");
         }
-        assert_eq!(r.len(), 18);
+        assert_eq!(r.len(), 19);
     }
 
     #[test]

@@ -271,9 +271,42 @@ pub fn streaming_with_hot_set(nta: bool, iters: u64) -> Workload {
     w
 }
 
+/// Every paper kernel at checker-friendly sizes: small iteration counts
+/// and a couple of alignment variants per kernel, so a differential sweep
+/// (`mao check`) exercises each one in well under a second of simulation.
+/// `iters` scales the loop trip counts (clamped to at least 1).
+pub fn paper_suite(iters: u64) -> Vec<Workload> {
+    let iters = iters.max(1);
+    vec![
+        mcf_fig1(false, iters),
+        mcf_fig1(true, iters),
+        eon_short_loop(0, 8, iters.min(16)),
+        eon_short_loop(5, 8, iters.min(16)),
+        hashing(true, iters),
+        hashing(false, iters),
+        port_contention(iters),
+        lsd_loop(0, iters),
+        lsd_loop(9, iters),
+        image_nest(0, iters.min(24)),
+        image_nest(3, iters.min(24)),
+        streaming_with_hot_set(false, iters.min(32)),
+        streaming_with_hot_set(true, iters.min(32)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn paper_suite_is_runnable_shaped() {
+        let suite = paper_suite(10);
+        assert!(suite.len() >= 10);
+        for w in &suite {
+            assert!(w.asm.contains(&format!("{}:", w.entry)));
+            assert!(w.asm.contains("ret"));
+        }
+    }
 
     #[test]
     fn kernels_are_nonempty_and_named() {

@@ -51,7 +51,15 @@ impl Pool {
     /// Close the queue and join every worker (queued jobs still run).
     pub fn shutdown(&self) {
         drop(self.tx.lock().unwrap().take());
+        let current = std::thread::current().id();
         for handle in self.handles.lock().unwrap().drain(..) {
+            // A job can own the last handle to the engine (and thus to this
+            // pool): its drop then runs shutdown *on a worker thread*, and a
+            // thread cannot join itself. Skip it — it exits on its own when
+            // the loop sees the closed queue.
+            if handle.thread().id() == current {
+                continue;
+            }
             let _ = handle.join();
         }
     }
@@ -117,6 +125,30 @@ mod tests {
         done_rx
             .recv_timeout(std::time::Duration::from_secs(10))
             .expect("worker survived the panic");
+    }
+
+    /// Regression: when a job owns the last `Arc<Pool>`, the pool's drop
+    /// runs on the worker thread. The self-join used to make std panic
+    /// (`pthread_join` on the current thread); shutdown must skip it.
+    #[test]
+    fn dropping_the_last_pool_handle_on_a_worker_is_clean() {
+        let pool = Arc::new(Pool::new(2));
+        let job_pool = pool.clone();
+        let (release_tx, release_rx) = sync_channel::<()>(0);
+        let (done_tx, done_rx) = sync_channel::<bool>(1);
+        pool.submit(Box::new(move || {
+            release_rx.recv().unwrap(); // until main has dropped its Arc
+            let panicked =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| drop(job_pool))).is_err();
+            let _ = done_tx.send(panicked);
+        }))
+        .unwrap();
+        drop(pool);
+        release_tx.send(()).unwrap();
+        let panicked = done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("worker finished");
+        assert!(!panicked, "worker-side pool drop must not panic");
     }
 
     #[test]

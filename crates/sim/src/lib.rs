@@ -31,7 +31,7 @@ pub mod program;
 pub mod timing;
 
 pub use config::UarchConfig;
-pub use machine::{run_functional, ExecInfo, Machine, SimError, Step};
+pub use machine::{run_functional, run_observed, ExecInfo, Machine, RunOutcome, SimError, Step};
 pub use memory::{Access, Cache, Memory};
 pub use pmu::Pmu;
 pub use program::{LoadError, Program};

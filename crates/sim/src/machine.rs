@@ -885,6 +885,48 @@ pub fn run_functional(
     }
 }
 
+/// Final state of an observed run: the machine (registers, flags, memory)
+/// at the moment the program finished or faulted, plus the functional
+/// result. Mid-run faults keep the machine state reached so far.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The machine after the last executed instruction.
+    pub machine: Machine,
+    /// `Ok((%rax, dynamic instruction count))` or the fault.
+    pub result: Result<(u64, u64), SimError>,
+}
+
+/// Like [`run_functional`], but invokes `observer` after every executed
+/// instruction and returns the final machine state alongside the result.
+/// This is the differential checker's entry point: the observer sees each
+/// [`ExecInfo`] (entry id, loads, stores, branches) and the caller can
+/// compare architectural state (`gpr`, `flags`, `mem`) afterwards. Returns
+/// `Err` only when the entry label or the unit's sections fail to load.
+pub fn run_observed(
+    program: &Program,
+    entry: &str,
+    args: &[u64],
+    max_instructions: u64,
+    mut observer: impl FnMut(&ExecInfo),
+) -> Result<RunOutcome, SimError> {
+    let mut m = Machine::new(program, entry, args)?;
+    let mut count = 0u64;
+    let result = loop {
+        if count >= max_instructions {
+            break Err(SimError::Budget);
+        }
+        match m.step(program) {
+            Ok(Step::Executed(info)) => {
+                count += 1;
+                observer(&info);
+            }
+            Ok(Step::Finished(v)) => break Ok((v, count)),
+            Err(e) => break Err(e),
+        }
+    };
+    Ok(RunOutcome { machine: m, result })
+}
+
 /// Register snapshot type used by the probe crate.
 pub type RegFile = HashMap<RegId, u64>;
 

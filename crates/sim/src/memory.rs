@@ -32,6 +32,15 @@ impl Memory {
         self.page(addr)[(addr & 0xfff) as usize] = value;
     }
 
+    /// Read one byte without allocating a page (missing pages read zero).
+    /// Lets post-run state comparison walk addresses from another run
+    /// without perturbing this memory's footprint.
+    pub fn peek_u8(&self, addr: u64) -> u8 {
+        self.pages
+            .get(&(addr >> 12))
+            .map_or(0, |p| p[(addr & 0xfff) as usize])
+    }
+
     /// Read `n <= 8` bytes little-endian.
     pub fn read(&mut self, addr: u64, n: u8) -> u64 {
         let mut out = 0u64;

@@ -506,97 +506,57 @@ mod tests {
 
     #[test]
     fn every_mnemonic_is_covered() {
-        use Mnemonic::*;
-        let all = [
-            Mov,
-            Movabs,
-            Movsx,
-            Movzx,
-            Lea,
-            Xchg,
-            Push,
-            Pop,
-            Add,
-            Adc,
-            Sub,
-            Sbb,
-            And,
-            Or,
-            Xor,
-            Not,
-            Neg,
-            Inc,
-            Dec,
-            Cmp,
-            Test,
-            Imul,
-            Mul,
-            Idiv,
-            Div,
-            Shl,
-            Shr,
-            Sar,
-            Rol,
-            Ror,
-            Cltq,
-            Cltd,
-            Cqto,
-            Cwtl,
-            Jmp,
-            Jcc(Cond::E),
-            Call,
-            Ret,
-            Leave,
-            Setcc(Cond::E),
-            Cmovcc(Cond::E),
-            Nop,
-            Pause,
-            Movss,
-            Movsd,
-            Movaps,
-            Movapd,
-            Movups,
-            Movd,
-            Movdq,
-            Addss,
-            Addsd,
-            Subss,
-            Subsd,
-            Mulss,
-            Mulsd,
-            Divss,
-            Divsd,
-            Sqrtss,
-            Sqrtsd,
-            Ucomiss,
-            Ucomisd,
-            Comiss,
-            Comisd,
-            Cvtsi2ss,
-            Cvtsi2sd,
-            Cvttss2si,
-            Cvttsd2si,
-            Cvtss2sd,
-            Cvtsd2ss,
-            Pxor,
-            Xorps,
-            Xorpd,
-            Prefetchnta,
-            Prefetcht0,
-            Prefetcht1,
-            Prefetcht2,
-            Ud2,
-            Int3,
-            Hlt,
-            Cpuid,
-            Rdtsc,
-            Mfence,
-            Lfence,
-            Sfence,
-            Endbr64,
-        ];
-        for m in all {
+        // Registry-driven audit: walk `Mnemonic::ALL` instead of a
+        // hand-maintained copy of the enum, so a new mnemonic without a
+        // side-effect entry fails here rather than silently becoming a
+        // conservative barrier in every dataflow client.
+        for m in Mnemonic::ALL {
             assert!(effects(m).is_some(), "no effects entry for {m:?}");
+        }
+    }
+
+    #[test]
+    fn flag_sets_stay_inside_the_legal_universe() {
+        // Consistency audit of the side-effect tables themselves: for every
+        // mnemonic, the def/undef/use flag sets must be subsets of the legal
+        // flag universe, an instruction must not declare the same flag both
+        // defined and undefined, and conditional mnemonics must get their
+        // flag reads from the condition code, not a fixed set.
+        for m in Mnemonic::ALL {
+            let eff = effects(m).expect("covered above");
+            assert!(
+                Flags::ALL.contains(eff.flags_def),
+                "{m:?}: flags_def outside the flag universe"
+            );
+            assert!(
+                Flags::ALL.contains(eff.flags_undef),
+                "{m:?}: flags_undef outside the flag universe"
+            );
+            assert!(
+                Flags::ALL.contains(eff.flags_use),
+                "{m:?}: flags_use outside the flag universe"
+            );
+            assert!(
+                (eff.flags_def & eff.flags_undef).is_empty(),
+                "{m:?}: a flag cannot be both defined and undefined"
+            );
+            if m.cond().is_some() {
+                assert!(
+                    eff.flags_use_cond,
+                    "{m:?}: conditional mnemonic must read via its cc"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_list_has_no_duplicates() {
+        // `Mnemonic::ALL` feeds the audits above; a duplicate entry would
+        // shadow a missing one.
+        for (i, a) in Mnemonic::ALL.iter().enumerate() {
+            for b in &Mnemonic::ALL[i + 1..] {
+                assert_ne!(a, b, "duplicate entry in Mnemonic::ALL");
+            }
         }
     }
 

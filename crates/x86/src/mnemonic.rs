@@ -118,6 +118,99 @@ pub enum Mnemonic {
 }
 
 impl Mnemonic {
+    /// Every opcode family, with the conditional families (`jcc`, `setcc`,
+    /// `cmovcc`) represented once — the side-effect table collapses all
+    /// condition codes into a single entry, so one representative suffices
+    /// for coverage audits. Keep in sync with the enum above.
+    pub const ALL: [Mnemonic; 86] = [
+        Mnemonic::Mov,
+        Mnemonic::Movabs,
+        Mnemonic::Movsx,
+        Mnemonic::Movzx,
+        Mnemonic::Lea,
+        Mnemonic::Xchg,
+        Mnemonic::Push,
+        Mnemonic::Pop,
+        Mnemonic::Add,
+        Mnemonic::Adc,
+        Mnemonic::Sub,
+        Mnemonic::Sbb,
+        Mnemonic::And,
+        Mnemonic::Or,
+        Mnemonic::Xor,
+        Mnemonic::Not,
+        Mnemonic::Neg,
+        Mnemonic::Inc,
+        Mnemonic::Dec,
+        Mnemonic::Cmp,
+        Mnemonic::Test,
+        Mnemonic::Imul,
+        Mnemonic::Mul,
+        Mnemonic::Idiv,
+        Mnemonic::Div,
+        Mnemonic::Shl,
+        Mnemonic::Shr,
+        Mnemonic::Sar,
+        Mnemonic::Rol,
+        Mnemonic::Ror,
+        Mnemonic::Cltq,
+        Mnemonic::Cltd,
+        Mnemonic::Cqto,
+        Mnemonic::Cwtl,
+        Mnemonic::Jmp,
+        Mnemonic::Jcc(Cond::E),
+        Mnemonic::Call,
+        Mnemonic::Ret,
+        Mnemonic::Leave,
+        Mnemonic::Setcc(Cond::E),
+        Mnemonic::Cmovcc(Cond::E),
+        Mnemonic::Nop,
+        Mnemonic::Pause,
+        Mnemonic::Movss,
+        Mnemonic::Movsd,
+        Mnemonic::Movaps,
+        Mnemonic::Movapd,
+        Mnemonic::Movups,
+        Mnemonic::Movd,
+        Mnemonic::Movdq,
+        Mnemonic::Addss,
+        Mnemonic::Addsd,
+        Mnemonic::Subss,
+        Mnemonic::Subsd,
+        Mnemonic::Mulss,
+        Mnemonic::Mulsd,
+        Mnemonic::Divss,
+        Mnemonic::Divsd,
+        Mnemonic::Sqrtss,
+        Mnemonic::Sqrtsd,
+        Mnemonic::Ucomiss,
+        Mnemonic::Ucomisd,
+        Mnemonic::Comiss,
+        Mnemonic::Comisd,
+        Mnemonic::Cvtsi2ss,
+        Mnemonic::Cvtsi2sd,
+        Mnemonic::Cvttss2si,
+        Mnemonic::Cvttsd2si,
+        Mnemonic::Cvtss2sd,
+        Mnemonic::Cvtsd2ss,
+        Mnemonic::Pxor,
+        Mnemonic::Xorps,
+        Mnemonic::Xorpd,
+        Mnemonic::Prefetchnta,
+        Mnemonic::Prefetcht0,
+        Mnemonic::Prefetcht1,
+        Mnemonic::Prefetcht2,
+        Mnemonic::Ud2,
+        Mnemonic::Int3,
+        Mnemonic::Hlt,
+        Mnemonic::Cpuid,
+        Mnemonic::Rdtsc,
+        Mnemonic::Mfence,
+        Mnemonic::Lfence,
+        Mnemonic::Sfence,
+        Mnemonic::Endbr64,
+    ];
+
     /// Is this an unconditional or conditional branch (`jmp`/`jcc`)?
     pub fn is_branch(self) -> bool {
         matches!(self, Mnemonic::Jmp | Mnemonic::Jcc(_))

@@ -14,11 +14,20 @@ cargo build --release --workspace
 
 # Note: a bare `cargo test` at the root runs only the root package's suites;
 # --workspace is what pulls in every crate (mao-serve's e2e tests included).
+# This also replays the persisted regression corpus (tests/regressions.rs).
 echo "==> cargo test"
 cargo test -q --workspace
 
 echo "==> relaxation equivalence smoke test"
 cargo run --release -p mao-bench --bin bench_relax -- --smoke
+
+# Differential correctness: a bounded fixed-seed sweep of every pass through
+# every execution path, plus the fault-injection self-test that proves the
+# oracle still catches deliberate miscompiles. Deep sweeps live in
+# scripts/nightly_check.sh.
+echo "==> differential check (smoke)"
+target/release/mao check --smoke
+target/release/mao check --inject-miscompile > /dev/null
 
 echo "==> daemon smoke test"
 MAO=target/release/mao

@@ -153,3 +153,63 @@ proptest! {
         prop_assert_eq!(a1, a2);
     }
 }
+
+/// Named regression tests for instruction shapes proptest once found and
+/// shrank (promoted from the opaque `.proptest-regressions` seed file so
+/// the failure modes stay documented and always-run).
+mod historical_regressions {
+    use super::*;
+
+    /// `addb $256, %al`: the immediate exceeds the 8-bit operand width.
+    /// The strategy used to generate it unclamped and then panic on
+    /// `encoded_length`; the fix masks immediates to the operand width in
+    /// `alu_instruction`. The shape itself must keep behaving like this:
+    /// constructible and text-round-trippable, but *rejected* by the
+    /// encoder rather than silently truncated.
+    #[test]
+    fn imm_wider_than_operand_width_is_rejected_by_the_encoder() {
+        let insn =
+            Instruction::from_att("addb", vec![Operand::Imm(256), Reg::b(RegId::Rax).into()])
+                .expect("parses at the AT&T layer");
+        let text = format!("\t{insn}\n");
+        let entries = mao_asm::parse(&text).expect("textual form reparses");
+        assert_eq!(
+            entries[0].insn(),
+            Some(&insn),
+            "text round trip is faithful"
+        );
+        let err =
+            encoded_length(&insn, BranchForm::Rel32).expect_err("an 8-bit add cannot hold imm 256");
+        assert!(
+            format!("{err:?}").contains("imm8"),
+            "rejection names the immediate width: {err:?}"
+        );
+    }
+
+    /// `addb %al, <mem with no disp/base/index>`: a memory operand with no
+    /// textual form. It displays as `addb %al, ` and reparses as a
+    /// *one-operand* instruction, so the display/parse round trip is not
+    /// faithful for this shape — which is why the `mem()` strategy forces
+    /// an absolute displacement when all components are absent. This test
+    /// pins the degenerate behavior the generator must keep avoiding.
+    #[test]
+    fn fully_empty_mem_operand_has_no_textual_form() {
+        let empty = Mem {
+            disp: mao_x86::operand::Disp::None,
+            base: None,
+            index: None,
+            scale: 1,
+        };
+        let insn = Instruction::from_att("addb", vec![Reg::b(RegId::Rax).into(), empty.into()])
+            .expect("constructible in memory");
+        let text = format!("\t{insn}\n");
+        let entries = mao_asm::parse(&text).expect("parses without panicking");
+        let back = entries[0].insn().expect("still an instruction");
+        assert_eq!(
+            back.operands.len(),
+            1,
+            "the empty memory operand vanishes in the text round trip"
+        );
+        assert_ne!(back, &insn, "round trip is (knowingly) unfaithful here");
+    }
+}

@@ -1,0 +1,37 @@
+//! Replay the persisted regression corpus (`tests/regressions/*.s`).
+//!
+//! Every file was produced by `mao check` catching a failure and
+//! shrinking it; see `crates/check/src/regress.rs` for the header format.
+//! `expect=pass` files assert a once-broken pass now preserves semantics;
+//! `expect=mismatch` files assert the checker still catches the
+//! deliberately injected miscompile (a standing canary for the oracle).
+//! New failures found by `mao check --regress-dir tests/regressions` are
+//! picked up here automatically — no per-file test registration.
+
+use std::path::Path;
+
+use mao_check::paths::PathRunner;
+use mao_check::regress::load_dir;
+
+#[test]
+fn persisted_regressions_replay() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    let corpus = load_dir(&dir).expect("regression corpus parses");
+    assert!(
+        !corpus.is_empty(),
+        "tests/regressions/ is empty — the seeded corpus is missing"
+    );
+    let runner = PathRunner::new(2);
+    let mut failed = Vec::new();
+    for regression in &corpus {
+        if let Err(e) = regression.replay(&runner) {
+            failed.push(e);
+        }
+    }
+    assert!(
+        failed.is_empty(),
+        "{} regression(s) failed replay:\n{}",
+        failed.len(),
+        failed.join("\n")
+    );
+}

@@ -1,0 +1,8 @@
+# mao-check: passes=ADDADD:MISOPT=mode[drop],nth[1]
+# mao-check: path=oneshot
+# mao-check: entry=hash_kernel
+# mao-check: args=
+# mao-check: expect=mismatch
+hash_kernel:
+	movl $0, %eax
+	movl $0x9e3779b9, %ebx

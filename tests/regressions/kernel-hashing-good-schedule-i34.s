@@ -1,0 +1,7 @@
+# mao-check: passes=MISOPT=mode[imm],nth[0]
+# mao-check: path=oneshot
+# mao-check: entry=hash_kernel
+# mao-check: args=
+# mao-check: expect=mismatch
+hash_kernel:
+	movl $0x9e3779b9, %ebx

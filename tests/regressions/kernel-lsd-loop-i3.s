@@ -1,0 +1,9 @@
+# mao-check: passes=MISOPT=mode[imm],nth[0]
+# mao-check: path=oneshot
+# mao-check: entry=lsd_kernel
+# mao-check: args=
+# mao-check: expect=mismatch
+lsd_kernel:
+	movq $1, %r10
+	subq $1, %r10
+	jne .L0
