@@ -6,16 +6,17 @@
 //! Usage: `bench_pass_pipeline [--jobs N] [--scale S] [--out FILE]`
 //! (defaults: N=4, S=0.25 ≈ 200 functions, FILE=BENCH_pass_pipeline.json).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use mao::cfg::Cfg;
 use mao::dataflow::Liveness;
 use mao::pass::{
-    for_each_function_full_rebuild, parse_invocations, run_functions, run_pipeline_with,
-    PassContext, PipelineConfig, PipelineReport,
+    for_each_function_full_rebuild, parse_invocations, run_functions, run_pipeline_observed,
+    run_pipeline_with, PassContext, PipelineConfig, PipelineReport,
 };
 use mao::unit::EditSet;
-use mao::MaoUnit;
+use mao::{AnalysisCache, MaoUnit, Obs};
 use mao_corpus::{generate, GeneratorConfig};
 
 /// The function-level pipeline every measurement runs.
@@ -99,7 +100,77 @@ fn analysis_incremental(asm: &str) -> (u64, u64) {
 }
 
 const USAGE: &str = "usage: bench_pass_pipeline [--jobs N] [--scale S] [--out FILE]\n\
-    (defaults: N=4, S=0.25, FILE=BENCH_pass_pipeline.json)";
+    \x20      bench_pass_pipeline --telemetry-guard [--jobs N] [--scale S]\n\
+    (defaults: N=4, S=0.25, FILE=BENCH_pass_pipeline.json)\n\
+    --telemetry-guard: assert that running the pipeline with aggregating\n\
+    spans + metrics costs <3% over telemetry-off (plus a small absolute\n\
+    noise allowance); exits 1 on regression instead of writing JSON";
+
+/// Samples per arm of the telemetry-overhead guard (interleaved, median).
+const GUARD_SAMPLES: usize = 5;
+
+/// One timed pipeline run through the *observed* entry point with a fresh
+/// analysis cache, as the daemon would run it.
+fn observed_seconds(base: &MaoUnit, jobs: usize, obs: &Obs, attach: bool) -> f64 {
+    let invs = parse_invocations(PIPELINE).unwrap();
+    let mut unit = base.clone();
+    let analyses = Arc::new(AnalysisCache::new());
+    if attach {
+        analyses.attach_metrics(&obs.metrics);
+    }
+    let t = Instant::now();
+    run_pipeline_observed(
+        &mut unit,
+        &invs,
+        None,
+        &PipelineConfig { jobs },
+        &analyses,
+        obs,
+    )
+    .expect("pipeline runs");
+    t.elapsed().as_secs_f64()
+}
+
+/// The telemetry-overhead guard: telemetry-on (aggregating recorder,
+/// metrics registry attached everywhere) vs telemetry-off through the same
+/// code path, interleaved to share thermal/scheduling noise. Exits nonzero
+/// when the median overhead exceeds 3% beyond a small absolute allowance.
+fn telemetry_guard(scale: f64, jobs: usize) -> ! {
+    let corpus = generate(&GeneratorConfig::core_library(scale));
+    let unit = MaoUnit::parse(&corpus.asm).expect("corpus parses");
+    let _ = unit.functions_cached();
+    let off = Obs::off();
+    // Warm up both arms (page in code, fill allocator pools).
+    let _ = observed_seconds(&unit, jobs, &off, false);
+    let _ = observed_seconds(&unit, jobs, &Obs::aggregating(), true);
+    let mut t_off = Vec::with_capacity(GUARD_SAMPLES);
+    let mut t_on = Vec::with_capacity(GUARD_SAMPLES);
+    for _ in 0..GUARD_SAMPLES {
+        t_off.push(observed_seconds(&unit, jobs, &off, false));
+        // A fresh aggregating bundle per sample: steady-state daemon shape,
+        // no cross-sample accumulation.
+        t_on.push(observed_seconds(&unit, jobs, &Obs::aggregating(), true));
+    }
+    let off_s = median(t_off);
+    let on_s = median(t_on);
+    let overhead_pct = (on_s - off_s) / off_s * 100.0;
+    // Noise allowance: 3% relative plus 2ms absolute — tiny corpora finish
+    // in single-digit milliseconds where scheduler jitter exceeds 3%.
+    let allowed_s = off_s * 0.03 + 0.002;
+    println!(
+        "telemetry guard: off {off_s:.6}s, on {on_s:.6}s, overhead {overhead_pct:+.2}% \
+         (allowance {allowed_s:.6}s, jobs={jobs}, scale={scale})"
+    );
+    if on_s - off_s > allowed_s {
+        eprintln!(
+            "bench_pass_pipeline: TELEMETRY OVERHEAD REGRESSION: enabled telemetry costs \
+             {overhead_pct:.2}% (> 3% + noise allowance)"
+        );
+        std::process::exit(1);
+    }
+    println!("telemetry guard: OK");
+    std::process::exit(0);
+}
 
 fn usage_error(message: &str) -> ! {
     eprintln!("bench_pass_pipeline: {message}\n{USAGE}");
@@ -110,10 +181,12 @@ fn main() {
     let mut jobs = 4usize;
     let mut scale = 0.25f64;
     let mut out = String::from("BENCH_pass_pipeline.json");
+    let mut guard = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--telemetry-guard" => guard = true,
             "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => jobs = n,
                 None => usage_error("--jobs needs a numeric value"),
@@ -137,6 +210,9 @@ fn main() {
         jobs = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4);
+    }
+    if guard {
+        telemetry_guard(scale, jobs);
     }
 
     let cpus = std::thread::available_parallelism()

@@ -112,7 +112,7 @@ fn main() {
 
     let cold_seconds = run_round("cold");
     let warm_seconds = run_round("warm");
-    let stats = engine.result_cache_stats();
+    let stats = engine.snapshot().result_cache;
     if stats.misses != requests as u64 || stats.hits != requests as u64 {
         eprintln!(
             "bench_serve: unexpected cache traffic (hits {}, misses {}) for {requests} requests",

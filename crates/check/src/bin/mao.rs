@@ -31,9 +31,12 @@
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use mao::pass::{parse_invocations, registry, run_pipeline_with, PassInvocation, PipelineConfig};
-use mao::MaoUnit;
+use mao::pass::{
+    parse_invocations, registry, run_pipeline_observed, PassInvocation, PipelineConfig,
+};
+use mao::{AnalysisCache, MaoUnit, Obs};
 use mao_serve::engine::{Engine, EngineConfig};
 use mao_serve::json::Json;
 use mao_serve::protocol::{OptimizeRequest, Request};
@@ -41,11 +44,13 @@ use mao_serve::server::Listen;
 use mao_serve::Client;
 
 fn usage() -> &'static str {
-    "usage: mao [--mao=PASS[=opt[val],...][:PASS...]]... [--jobs N] [--list-passes] input.s\n\
+    "usage: mao [--mao=PASS[=opt[val],...][:PASS...]]... [--jobs N] [--profile FILE]\n\
+     \x20          [--list-passes] input.s\n\
      \x20      mao serve  [--listen ADDR] [--workers N] [--jobs N] [--timeout-ms N]\n\
      \x20                 [--cache-cap N] [--analysis-cache-cap N] [--max-request-bytes N]\n\
      \x20      mao client [--listen ADDR] [--passes STR] [--jobs N] [--timeout-ms N]\n\
-     \x20                 [--no-cache] [-o FILE] input.s | --stats | --ping | --shutdown\n\
+     \x20                 [--no-cache] [-o FILE] input.s\n\
+     \x20                 | --stats | --metrics | --ping | --shutdown\n\
      \x20      mao batch  [--workers N] [--jobs N] [--timeout-ms N] [--cache-cap N]\n\
      \x20      mao check  [--seed N] [--cases N] [--passes A,B:C,...] [--jobs N]\n\
      \x20                 [--budget N] [--regress-dir DIR] [--inject-miscompile]\n\
@@ -54,6 +59,9 @@ fn usage() -> &'static str {
      --jobs N   worker threads for function-level passes (0 = all cores;\n\
      \x20           default 1, or the MAO_JOBS environment variable when set).\n\
      \x20           Output is byte-identical for every N.\n\
+     --profile FILE   record every pass/function span and write a Chrome\n\
+     \x20           trace (chrome://tracing, Perfetto) to FILE after the run.\n\
+     --metrics  fetch the daemon's metrics registry as Prometheus text.\n\
      ADDR is `unix:/path`, `tcp:host:port`, or a bare socket path\n\
      (default unix:/tmp/maod.sock, or the MAOD_SOCKET environment variable).\n\
      The ASM pseudo-pass emits assembly: ASM=o[/path/to/out.s] (default stdout).\n\
@@ -171,6 +179,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 "--no-cache" => use_cache = false,
                 "-o" | "--out" => out = Some(parser.value("-o")?.to_string()),
                 "--stats" => admin = Some(Request::Stats),
+                "--metrics" => admin = Some(Request::Metrics),
                 "--ping" => admin = Some(Request::Ping),
                 "--shutdown" => admin = Some(Request::Shutdown),
                 "--help" | "-h" => {
@@ -205,9 +214,16 @@ fn cmd_client(args: &[String]) -> ExitCode {
     };
 
     if let Some(request) = admin {
+        let raw_metrics = request == Request::Metrics;
         return match client.request(&request) {
             Ok(response) => {
-                println!("{}", response.to_string());
+                // Metrics are Prometheus text; print the payload raw so the
+                // output can be piped straight into a scraper or promtool.
+                match response.get("metrics").and_then(Json::as_str) {
+                    Some(text) if raw_metrics => print!("{text}"),
+                    _ => println!("{}", response.to_string()),
+                }
+                let _ = std::io::stdout().flush();
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -454,6 +470,7 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
     let mut option_strings: Vec<String> = Vec::new();
     let mut inputs: Vec<String> = Vec::new();
     let mut list_passes = false;
+    let mut profile_out: Option<String> = None;
     // Default from the environment; --jobs on the command line wins.
     let mut jobs: usize = std::env::var("MAO_JOBS")
         .ok()
@@ -478,6 +495,14 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             };
             jobs = n;
+        } else if arg == "--profile" {
+            let Some(path) = iter.next() else {
+                eprintln!("mao: --profile needs an output file");
+                return ExitCode::FAILURE;
+            };
+            profile_out = Some(path.clone());
+        } else if let Some(rest) = arg.strip_prefix("--profile=") {
+            profile_out = Some(rest.to_string());
         } else if arg == "--help" || arg == "-h" {
             println!("{}", usage());
             return ExitCode::SUCCESS;
@@ -535,13 +560,19 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
 
     // Split out ASM pseudo-passes; run optimization segments between them.
     let config = PipelineConfig { jobs };
+    let obs = if profile_out.is_some() {
+        Obs::recording()
+    } else {
+        Obs::off()
+    };
+    let analyses = Arc::new(AnalysisCache::new());
     let mut emitted = false;
     let mut segment: Vec<PassInvocation> = Vec::new();
     let run_segment = |unit: &mut MaoUnit, segment: &mut Vec<PassInvocation>| -> bool {
         if segment.is_empty() {
             return true;
         }
-        match run_pipeline_with(unit, segment, None, &config) {
+        match run_pipeline_observed(unit, segment, None, &config, &analyses, &obs) {
             Ok(report) => {
                 for line in &report.trace {
                     eprintln!("[mao] {line}");
@@ -598,6 +629,13 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
     if !emitted {
         print!("{}", unit.emit());
         let _ = std::io::stdout().flush();
+    }
+    if let Some(path) = &profile_out {
+        if let Err(e) = std::fs::write(path, obs.recorder.chrome_trace_json()) {
+            eprintln!("mao: cannot write profile `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("[mao] wrote Chrome trace profile to {path}");
     }
     ExitCode::SUCCESS
 }

@@ -77,6 +77,35 @@ fn list_passes_shows_registry() {
 }
 
 #[test]
+fn profile_flag_writes_chrome_trace() {
+    let input = write_input("in_profile.s", INPUT);
+    let profile = input.with_file_name("profile.json");
+    let out = mao()
+        .arg("--mao=REDTEST:ADDADD")
+        .arg("--profile")
+        .arg(&profile)
+        .arg(&input)
+        .output()
+        .expect("driver runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("Chrome trace profile"), "{stderr}");
+    let trace = std::fs::read_to_string(&profile).expect("profile written");
+    let json = mao_serve::Json::parse(&trace).expect("profile is valid JSON");
+    let events = json.get("traceEvents").unwrap().as_arr().unwrap();
+    assert!(!events.is_empty(), "spans were recorded");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(mao_serve::Json::as_str))
+        .collect();
+    assert!(names.contains(&"REDTEST"), "{names:?}");
+    assert!(
+        names.contains(&"f"),
+        "per-function spans present: {names:?}"
+    );
+}
+
+#[test]
 fn bad_pass_name_fails_cleanly() {
     let input = write_input("in4.s", INPUT);
     let out = mao()

@@ -177,6 +177,17 @@ struct LayoutState {
     clock: u64,
 }
 
+/// Counter handles mirroring the cache's internal counters into a metrics
+/// registry, attached once via [`AnalysisCache::attach_metrics`].
+#[derive(Debug)]
+struct CacheMetrics {
+    hits: mao_obs::Counter,
+    misses: mao_obs::Counter,
+    evictions: mao_obs::Counter,
+    layout_hits: mao_obs::Counter,
+    layout_misses: mao_obs::Counter,
+}
+
 /// Shared, thread-safe per-function analysis cache.
 #[derive(Debug, Default)]
 pub struct AnalysisCache {
@@ -190,6 +201,9 @@ pub struct AnalysisCache {
     evictions: AtomicU64,
     layout_hits: AtomicU64,
     layout_misses: AtomicU64,
+    /// Registry counters updated alongside the atomics above (absent until
+    /// [`AnalysisCache::attach_metrics`]).
+    metrics: OnceLock<CacheMetrics>,
 }
 
 impl AnalysisCache {
@@ -211,6 +225,21 @@ impl AnalysisCache {
         self.capacity.load(Ordering::Relaxed) as usize
     }
 
+    /// Mirror this cache's counters into `metrics` (families
+    /// `mao_analysis_cache_{hits,misses,evictions}_total` and
+    /// `mao_layout_cache_{hits,misses}_total`). Only the first attachment
+    /// takes; later calls are no-ops, so a long-lived cache keeps feeding
+    /// one registry.
+    pub fn attach_metrics(&self, metrics: &mao_obs::Metrics) {
+        let _ = self.metrics.set(CacheMetrics {
+            hits: metrics.counter("mao_analysis_cache_hits_total"),
+            misses: metrics.counter("mao_analysis_cache_misses_total"),
+            evictions: metrics.counter("mao_analysis_cache_evictions_total"),
+            layout_hits: metrics.counter("mao_layout_cache_hits_total"),
+            layout_misses: metrics.counter("mao_layout_cache_misses_total"),
+        });
+    }
+
     /// The analyses slot for `function`, reused when both the unit's context
     /// epoch and the function's content key are unchanged since the last
     /// lookup, freshly allocated (a miss) otherwise.
@@ -229,10 +258,16 @@ impl AnalysisCache {
             if existing.1.key == key {
                 existing.0 = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.hits.inc();
+                }
                 return existing.1.clone();
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.misses.inc();
+        }
         let fresh = Arc::new(FunctionAnalyses {
             key,
             ..FunctionAnalyses::default()
@@ -253,6 +288,9 @@ impl AnalysisCache {
                     .expect("non-empty map over capacity");
                 state.map.remove(&lru);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.evictions.inc();
+                }
             }
         }
         fresh
@@ -277,11 +315,17 @@ impl AnalysisCache {
             if let Some(entry) = layouts.map.get_mut(&key) {
                 entry.0 = stamp;
                 self.layout_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.layout_hits.inc();
+                }
                 return Ok(entry.1.clone());
             }
         }
         let fresh = Arc::new(Relaxed::build(unit)?);
         self.layout_misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.layout_misses.inc();
+        }
         let mut layouts = self.layouts.lock().unwrap();
         layouts.clock += 1;
         let stamp = layouts.clock;

@@ -43,10 +43,16 @@ pub mod profile;
 pub mod relax;
 pub mod unit;
 
+/// The telemetry crate (spans, metrics, Prometheus/Chrome-trace export),
+/// re-exported so downstream crates need no separate dependency.
+pub use mao_obs as obs;
+pub use mao_obs::{Obs, TraceEvent};
+
 pub use analysis_cache::{AnalysisCache, CacheStats, FunctionAnalyses};
 pub use pass::{
-    parse_invocations, run_functions, run_pipeline, run_pipeline_shared, run_pipeline_with, FnCtx,
-    MaoPass, PassContext, PassError, PassStats, PipelineConfig, PipelineReport,
+    parse_invocations, run_functions, run_pipeline, run_pipeline_observed, run_pipeline_shared,
+    run_pipeline_with, FnCtx, MaoPass, PassContext, PassError, PassStats, PipelineConfig,
+    PipelineReport,
 };
 pub use profile::{Profile, Sample, Site};
 pub use relax::{

@@ -14,6 +14,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use mao_obs::{Obs, TraceEvent};
+
 use crate::analysis_cache::{AnalysisCache, CacheStats};
 use crate::profile::Profile;
 use crate::unit::{EditSet, Function, MaoUnit};
@@ -122,18 +124,23 @@ impl PassStats {
     }
 }
 
-/// Context handed to every pass: options, tracing, optional profile data.
+/// Context handed to every pass: options, structured tracing, telemetry,
+/// optional profile data.
 #[derive(Debug, Default)]
 pub struct PassContext {
     /// Options for this invocation.
     pub options: PassOptions,
     /// Trace verbosity (0 = silent); the `trace[N]` option sets it.
     pub trace_level: u8,
-    /// Captured trace lines (also printed to stderr at level > 0 when
-    /// `trace_stderr` is set).
-    pub trace_lines: Vec<String>,
-    /// Echo trace lines to stderr.
-    pub trace_stderr: bool,
+    /// Registry name of the running pass; the pipeline fills it and
+    /// [`PassContext::trace`] stamps it onto events whose scope is empty.
+    pub pass: String,
+    /// Captured structured trace events, in emission order. The legacy
+    /// one-line stderr format is [`TraceEvent::legacy_line`]; see
+    /// [`PassContext::rendered_trace`].
+    pub events: Vec<TraceEvent>,
+    /// Echo each kept event to stderr (legacy rendering) as it is emitted.
+    pub echo_stderr: bool,
     /// Hardware-counter / reuse-distance profile, when provided.
     pub profile: Option<Profile>,
     /// Worker threads for the function-level driver (1 = sequential; the
@@ -142,6 +149,9 @@ pub struct PassContext {
     /// Shared per-function analysis cache, reused across passes of one
     /// pipeline run and across worker threads.
     pub analyses: Arc<AnalysisCache>,
+    /// Telemetry sinks (span recorder + metrics registry); defaults to a
+    /// disabled recorder and a private registry, both effectively free.
+    pub obs: Obs,
 }
 
 impl PassContext {
@@ -155,15 +165,36 @@ impl PassContext {
         }
     }
 
-    /// Emit a trace line at `level` (kept if `level <= trace_level`).
-    pub fn trace(&mut self, level: u8, msg: impl fmt::Display) {
+    /// Emit a trace event at `level`. The closure is invoked only when
+    /// `level <= trace_level`, so disabled tracing formats nothing — pass
+    /// `|| TraceEvent::new(format!(...))`, optionally with `.field(...)`
+    /// attachments, and the `format!` never runs when filtered out.
+    pub fn trace(&mut self, level: u8, event: impl FnOnce() -> TraceEvent) {
         if level <= self.trace_level {
-            let line = msg.to_string();
-            if self.trace_stderr {
-                eprintln!("[mao] {line}");
-            }
-            self.trace_lines.push(line);
+            let mut ev = event();
+            ev.level = level;
+            self.push_event(ev);
         }
+    }
+
+    /// Record an already-built event (level check already done).
+    fn push_event(&mut self, mut ev: TraceEvent) {
+        if ev.scope.is_empty() {
+            ev.scope = self.pass.clone();
+        }
+        if self.echo_stderr {
+            eprintln!("[mao] {}", ev.legacy_line());
+        }
+        self.events.push(ev);
+    }
+
+    /// The captured events rendered in the legacy one-line-per-event form
+    /// (what the driver prints as `[mao] <line>`).
+    pub fn rendered_trace(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .map(|ev| ev.legacy_line().to_string())
+            .collect()
     }
 }
 
@@ -247,15 +278,18 @@ pub struct FnCtx<'a> {
     /// Stats for this function; summed across functions by the driver.
     pub stats: PassStats,
     trace_level: u8,
-    trace: Vec<(u8, String)>,
+    trace: Vec<TraceEvent>,
 }
 
 impl FnCtx<'_> {
-    /// Buffer a trace line at `level` (kept if `level <= trace_level`);
-    /// replayed into the pass context in function order after the run.
-    pub fn trace(&mut self, level: u8, msg: impl fmt::Display) {
+    /// Buffer a trace event at `level` (the closure runs only when
+    /// `level <= trace_level`); replayed into the pass context in function
+    /// order after the run, keeping output deterministic.
+    pub fn trace(&mut self, level: u8, event: impl FnOnce() -> TraceEvent) {
         if level <= self.trace_level {
-            self.trace.push((level, msg.to_string()));
+            let mut ev = event();
+            ev.level = level;
+            self.trace.push(ev);
         }
     }
 
@@ -284,7 +318,7 @@ impl FnCtx<'_> {
 struct FnOutcome {
     edits: EditSet,
     stats: PassStats,
-    trace: Vec<(u8, String)>,
+    trace: Vec<TraceEvent>,
 }
 
 /// Run `body` over every function against the *immutable* unit, then merge
@@ -318,7 +352,9 @@ where
     let profile = ctx.profile.as_ref();
     let analyses: &AnalysisCache = &ctx.analyses;
     let trace_level = ctx.trace_level;
+    let recorder = ctx.obs.recorder.clone();
     let run_one = |unit: &MaoUnit, function: &Function| -> Result<FnOutcome, PassError> {
+        let mut span = mao_obs::Span::enter(&recorder, "function", &function.name);
         let mut fctx = FnCtx {
             options,
             profile,
@@ -328,6 +364,7 @@ where
             trace: Vec::new(),
         };
         let edits = body(unit, function, &mut fctx)?;
+        span.counter("transformations", fctx.stats.transformations as u64);
         Ok(FnOutcome {
             edits,
             stats: fctx.stats,
@@ -369,11 +406,15 @@ where
         total.transformations += outcome.stats.transformations;
         total.matches += outcome.stats.matches;
         total.notes.extend(outcome.stats.notes);
-        for (level, line) in outcome.trace {
-            ctx.trace(level, line);
+        for ev in outcome.trace {
+            ctx.push_event(ev);
         }
         merged.merge(outcome.edits);
     }
+    ctx.obs
+        .metrics
+        .counter("mao_functions_processed_total")
+        .add(n as u64);
     if !merged.is_empty() {
         unit.apply(merged);
     }
@@ -452,8 +493,11 @@ pub struct PipelineReport {
     pub passes: Vec<(String, PassStats)>,
     /// Per-invocation wall-clock microseconds, parallel to `passes`.
     pub timings_us: Vec<(String, u64)>,
-    /// Concatenated trace output.
+    /// Concatenated trace output in the legacy one-line rendering, parallel
+    /// to `events` (derived from it through one code path).
     pub trace: Vec<String>,
+    /// The structured trace events behind `trace`.
+    pub events: Vec<TraceEvent>,
     /// Analysis cache hit/miss counters for the whole run.
     pub cache: CacheStats,
 }
@@ -467,6 +511,13 @@ impl PipelineReport {
     /// Stats for a pass by name (first invocation).
     pub fn stats(&self, name: &str) -> Option<&PassStats> {
         self.passes.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// The single rendering path from structured events to the legacy
+    /// `trace` lines: every event recorded lands in both views.
+    fn record_event(&mut self, ev: TraceEvent) {
+        self.trace.push(ev.legacy_line().to_string());
+        self.events.push(ev);
     }
 }
 
@@ -539,36 +590,78 @@ pub fn run_pipeline_shared(
     config: &PipelineConfig,
     analyses: &Arc<AnalysisCache>,
 ) -> Result<PipelineReport, PassError> {
+    run_pipeline_observed(unit, invocations, profile, config, analyses, &Obs::off())
+}
+
+/// Run a pipeline with telemetry: one span per pass invocation (and, inside
+/// [`run_functions`], one per function), pass-labeled counters, and a
+/// wall-time histogram, all flowing into the given [`Obs`] sinks.
+///
+/// Every other pipeline entry point delegates here with [`Obs::off`], whose
+/// recorder is a single-branch no-op and whose metrics land in a private
+/// registry — the observed and unobserved paths are one code path.
+pub fn run_pipeline_observed(
+    unit: &mut MaoUnit,
+    invocations: &[PassInvocation],
+    profile: Option<Profile>,
+    config: &PipelineConfig,
+    analyses: &Arc<AnalysisCache>,
+    obs: &Obs,
+) -> Result<PipelineReport, PassError> {
     let registry = registry();
     let mut report = PipelineReport::default();
     let mut profile = profile;
     let jobs = config.effective_jobs();
+    let pass_wall_us = obs
+        .metrics
+        .histogram("mao_pass_wall_us", mao_obs::US_BUCKETS);
     for inv in invocations {
         let factory = registry
             .get(inv.name.as_str())
             .ok_or_else(|| PassError::UnknownPass(inv.name.clone()))?;
         let pass = factory();
         let mut ctx = PassContext::from_options(inv.options.clone());
+        ctx.pass = inv.name.clone();
         ctx.profile = profile.take();
         ctx.jobs = jobs;
         ctx.analyses = analyses.clone();
+        ctx.obs = obs.clone();
         // Common options every pass supports (§III.A: "dumping the current
         // state of the IR before or after a given pass").
         if ctx.options.has("dump-before") {
-            report
-                .trace
-                .push(format!("=== IR before {} ===\n{}", inv.name, unit.emit()));
+            report.record_event(
+                TraceEvent::new(format!("=== IR before {} ===\n{}", inv.name, unit.emit()))
+                    .scope(&inv.name),
+            );
         }
+        let mut span = mao_obs::Span::enter(&obs.recorder, "pass", &inv.name);
         let start = std::time::Instant::now();
         let stats = pass.run(unit, &mut ctx)?;
         let elapsed_us = start.elapsed().as_micros() as u64;
+        span.counter("transformations", stats.transformations as u64);
+        span.counter("matches", stats.matches as u64);
+        drop(span);
+        let labels: &[(&str, &str)] = &[("pass", inv.name.as_str())];
+        obs.metrics
+            .counter_with("mao_pass_invocations_total", labels)
+            .inc();
+        obs.metrics
+            .counter_with("mao_pass_transformations_total", labels)
+            .add(stats.transformations as u64);
+        obs.metrics
+            .counter_with("mao_pass_matches_total", labels)
+            .add(stats.matches as u64);
+        pass_wall_us.observe(elapsed_us);
         if ctx.options.has("dump-after") {
-            report
-                .trace
-                .push(format!("=== IR after {} ===\n{}", inv.name, unit.emit()));
+            report.record_event(
+                TraceEvent::new(format!("=== IR after {} ===\n{}", inv.name, unit.emit()))
+                    .scope(&inv.name),
+            );
         }
         profile = ctx.profile.take();
-        report.trace.append(&mut ctx.trace_lines);
+        for ev in ctx.events.drain(..) {
+            report.record_event(ev);
+        }
         report.passes.push((inv.name.clone(), stats));
         report.timings_us.push((inv.name.clone(), elapsed_us));
     }
@@ -625,9 +718,30 @@ mod tests {
     #[test]
     fn context_trace_levels() {
         let mut ctx = PassContext::from_options(PassOptions::new().with("trace", "2"));
-        ctx.trace(1, "kept");
-        ctx.trace(3, "dropped");
-        assert_eq!(ctx.trace_lines, vec!["kept"]);
+        ctx.pass = "TESTPASS".to_string();
+        ctx.trace(1, || TraceEvent::new("kept").field("n", 7));
+        ctx.trace(3, || TraceEvent::new("dropped"));
+        assert_eq!(ctx.rendered_trace(), vec!["kept"]);
+        assert_eq!(ctx.events.len(), 1);
+        assert_eq!(ctx.events[0].level, 1);
+        assert_eq!(ctx.events[0].scope, "TESTPASS");
+        assert_eq!(ctx.events[0].fields, vec![("n".into(), "7".into())]);
+    }
+
+    #[test]
+    fn disabled_trace_never_builds_the_event() {
+        let mut ctx = PassContext::from_options(PassOptions::new());
+        assert_eq!(ctx.trace_level, 0);
+        let mut built = false;
+        ctx.trace(1, || {
+            built = true;
+            TraceEvent::new("expensive")
+        });
+        assert!(!built, "closure must not run when the level is filtered");
+        assert!(ctx.events.is_empty());
+        // Level 0 still passes the filter.
+        ctx.trace(0, || TraceEvent::new("level0"));
+        assert_eq!(ctx.rendered_trace(), vec!["level0"]);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! only in the sense that they now describe the combined operation — which
 //! is precisely what any consumer after the fold sees.
 
+use mao_obs::TraceEvent;
 use mao_x86::{def_use, Mnemonic, Operand, Width};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
@@ -114,7 +115,10 @@ impl MaoPass for AddAddFold {
             }
             Ok(edits)
         })?;
-        ctx.trace(1, format!("ADDADD: {} folds", stats.transformations));
+        ctx.trace(1, || {
+            TraceEvent::new(format!("ADDADD: {} folds", stats.transformations))
+                .field("folds", stats.transformations)
+        });
         Ok(stats)
     }
 }

@@ -12,6 +12,7 @@
 //! moves everything downstream (the phase-ordering hazard §II discusses).
 
 use mao_asm::Entry;
+use mao_obs::TraceEvent;
 use mao_x86::Instruction;
 
 use crate::pass::{MaoPass, PassContext, PassError, PassStats};
@@ -128,7 +129,7 @@ impl MaoPass for BranchAlign {
             stats.notes.push(note);
         }
         for line in trace {
-            ctx.trace(2, line);
+            ctx.trace(2, || TraceEvent::new(line));
         }
         Ok(stats)
     }

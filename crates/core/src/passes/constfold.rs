@@ -6,6 +6,7 @@
 //! operation is rewritten to a `mov` of the folded constant. The ALU op's
 //! flag outputs must be dead (a `mov` sets no flags).
 
+use mao_obs::TraceEvent;
 use mao_x86::{def_use, Mnemonic, Operand, Width};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
@@ -128,7 +129,10 @@ impl MaoPass for ConstantFold {
             }
             Ok(edits)
         })?;
-        ctx.trace(1, format!("CONSTFOLD: {} folds", stats.transformations));
+        ctx.trace(1, || {
+            TraceEvent::new(format!("CONSTFOLD: {} folds", stats.transformations))
+                .field("folds", stats.transformations)
+        });
         Ok(stats)
     }
 }

@@ -10,6 +10,7 @@
 use std::collections::HashSet;
 
 use mao_asm::{DataItem, Directive, Entry};
+use mao_obs::TraceEvent;
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
@@ -88,10 +89,13 @@ impl MaoPass for UnreachableCodeElim {
             }
             Ok(edits)
         })?;
-        ctx.trace(
-            1,
-            format!("DCE: removed {} instructions", stats.transformations),
-        );
+        ctx.trace(1, || {
+            TraceEvent::new(format!(
+                "DCE: removed {} instructions",
+                stats.transformations
+            ))
+            .field("removed", stats.transformations)
+        });
         Ok(stats)
     }
 }

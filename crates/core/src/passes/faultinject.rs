@@ -14,6 +14,7 @@
 //!   against a known-bad transformation.
 
 use mao_asm::Entry;
+use mao_obs::TraceEvent;
 use mao_x86::Operand;
 
 use crate::pass::{MaoPass, PassContext, PassError, PassStats};
@@ -74,14 +75,14 @@ impl MaoPass for Misoptimize {
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
-        let mode = ctx.options.get("mode").unwrap_or("imm");
+        let mode = ctx.options.get("mode").unwrap_or("imm").to_string();
         let nth = ctx.options.get_u64("nth", 0) as usize;
         let mut stats = PassStats::default();
         let mut edits = EditSet::new();
         let mut seen = 0usize;
         for (id, entry) in unit.entries().iter().enumerate() {
             let Entry::Insn(insn) = entry else { continue };
-            let candidate = match mode {
+            let candidate = match mode.as_str() {
                 "drop" => !insn.mnemonic.is_control_flow(),
                 _ => {
                     !insn.mnemonic.is_control_flow()
@@ -95,7 +96,7 @@ impl MaoPass for Misoptimize {
                 seen += 1;
                 continue;
             }
-            match mode {
+            match mode.as_str() {
                 "drop" => {
                     edits.delete(id);
                 }
@@ -114,13 +115,14 @@ impl MaoPass for Misoptimize {
             break;
         }
         unit.apply(edits);
-        ctx.trace(
-            1,
-            format!(
+        ctx.trace(1, || {
+            TraceEvent::new(format!(
                 "MISOPT: injected {} {mode} corruption(s)",
                 stats.transformations
-            ),
-        );
+            ))
+            .field("mode", &mode)
+            .field("injected", stats.transformations)
+        });
         Ok(stats)
     }
 }

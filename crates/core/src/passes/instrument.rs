@@ -11,6 +11,7 @@
 //! Options: `line[N]` — cache-line size (default 64).
 
 use mao_asm::Entry;
+use mao_obs::TraceEvent;
 use mao_x86::{Instruction, Mnemonic};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
@@ -103,13 +104,14 @@ impl MaoPass for InstrumentPrep {
         if let Some(note) = provider.note() {
             stats.notes.push(note);
         }
-        ctx.trace(
-            1,
-            format!(
+        ctx.trace(1, || {
+            TraceEvent::new(format!(
                 "INSTPREP: {} probes planted, {} line-crossings fixed",
                 stats.transformations, stats.matches
-            ),
-        );
+            ))
+            .field("probes", stats.transformations)
+            .field("crossings_fixed", stats.matches)
+        });
         Ok(stats)
     }
 }

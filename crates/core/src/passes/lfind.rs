@@ -5,6 +5,8 @@
 //! over every function and report the loop structure graph through the
 //! tracing facility. Analysis-only; `matches` counts loops found.
 
+use mao_obs::TraceEvent;
+
 use crate::loops::{LoopKind, LoopNest};
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
@@ -66,11 +68,14 @@ impl MaoPass for LoopFinder {
                 }
             }
             for line in lines {
-                fctx.trace(1, line);
+                fctx.trace(1, || TraceEvent::new(line));
             }
             Ok(EditSet::new())
         })?;
-        ctx.trace(1, format!("LFIND: {} loop(s) total", stats.matches));
+        ctx.trace(1, || {
+            TraceEvent::new(format!("LFIND: {} loop(s) total", stats.matches))
+                .field("loops", stats.matches)
+        });
         Ok(stats)
     }
 }
@@ -103,7 +108,7 @@ f:
         let stats = LoopFinder.run(&mut unit, &mut ctx).unwrap();
         assert_eq!(stats.matches, 2);
         assert_eq!(stats.transformations, 0, "analysis-only");
-        let text = ctx.trace_lines.join("\n");
+        let text = ctx.rendered_trace().join("\n");
         assert!(text.contains("f: 2 loop(s)"), "{text}");
         assert!(text.contains("depth 1"));
         assert!(text.contains("depth 2"));
@@ -126,7 +131,7 @@ f:
                 .unwrap();
         let mut ctx = PassContext::from_options(PassOptions::new().with("trace", "1"));
         LoopFinder.run(&mut unit, &mut ctx).unwrap();
-        let text = ctx.trace_lines.join("\n");
+        let text = ctx.rendered_trace().join("\n");
         assert!(text.contains("flagged"), "{text}");
     }
 }

@@ -11,6 +11,7 @@
 //! one loop can move (and re-break) everything after it.
 
 use mao_asm::{Align, Directive, Entry};
+use mao_obs::TraceEvent;
 
 use crate::pass::{MaoPass, PassContext, PassError, PassStats};
 use crate::passes::layout_util::{loop_span, LayoutProvider};
@@ -85,7 +86,7 @@ impl MaoPass for LoopAlign16 {
             stats.notes.push(note);
         }
         for line in trace {
-            ctx.trace(2, line);
+            ctx.trace(2, || TraceEvent::new(line));
         }
         Ok(stats)
     }

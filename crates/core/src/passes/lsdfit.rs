@@ -11,6 +11,7 @@
 //! loop (executed once on entry, never inside the loop body).
 
 use mao_asm::Entry;
+use mao_obs::TraceEvent;
 use mao_x86::Instruction;
 
 use crate::pass::{MaoPass, PassContext, PassError, PassStats};
@@ -97,7 +98,7 @@ impl MaoPass for LsdFit {
             stats.notes.push(note);
         }
         for line in trace {
-            ctx.trace(2, line);
+            ctx.trace(2, || TraceEvent::new(line));
         }
         Ok(stats)
     }

@@ -12,6 +12,7 @@
 //! byte length, default 3).
 
 use mao_asm::Entry;
+use mao_obs::TraceEvent;
 use mao_x86::Instruction;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -58,13 +59,15 @@ impl MaoPass for Nopinizer {
             }
             Ok(edits)
         })?;
-        ctx.trace(
-            1,
-            format!(
+        ctx.trace(1, || {
+            TraceEvent::new(format!(
                 "NOPIN: seed={seed} density={density} -> {} NOPs at {} sites",
                 stats.transformations, stats.matches
-            ),
-        );
+            ))
+            .field("seed", seed)
+            .field("density", density)
+            .field("nops", stats.transformations)
+        });
         Ok(stats)
     }
 }

@@ -11,6 +11,7 @@
 //! kill alignment directives).
 
 use mao_asm::{Directive, Entry};
+use mao_obs::TraceEvent;
 use mao_x86::Instruction;
 
 use crate::pass::{MaoPass, PassContext, PassError, PassStats};
@@ -54,10 +55,13 @@ impl MaoPass for NopKiller {
         }
         stats.matched(stats.transformations);
         unit.apply(edits);
-        ctx.trace(
-            1,
-            format!("NOPKILL: removed {} entries", stats.transformations),
-        );
+        ctx.trace(1, || {
+            TraceEvent::new(format!(
+                "NOPKILL: removed {} entries",
+                stats.transformations
+            ))
+            .field("removed", stats.transformations)
+        });
         Ok(stats)
     }
 }

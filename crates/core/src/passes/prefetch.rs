@@ -13,6 +13,7 @@
 //! qualify (default 8192, i.e. beyond a 512 KiB L2 at 64 B lines).
 
 use mao_asm::Entry;
+use mao_obs::TraceEvent;
 use mao_x86::operand::Operand;
 use mao_x86::{def_use, Instruction, Mnemonic};
 
@@ -36,7 +37,9 @@ impl MaoPass for InversePrefetch {
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
         let threshold = ctx.options.get_u64("threshold", 8192);
         if ctx.profile.is_none() {
-            ctx.trace(1, "PREFNTA: no profile attached; nothing to do");
+            ctx.trace(1, || {
+                TraceEvent::new("PREFNTA: no profile attached; nothing to do")
+            });
             return Ok(PassStats::default());
         }
         let stats = run_functions(unit, ctx, |unit, function, fctx| {
@@ -70,10 +73,13 @@ impl MaoPass for InversePrefetch {
             }
             Ok(edits)
         })?;
-        ctx.trace(
-            1,
-            format!("PREFNTA: {} loads made non-temporal", stats.transformations),
-        );
+        ctx.trace(1, || {
+            TraceEvent::new(format!(
+                "PREFNTA: {} loads made non-temporal",
+                stats.transformations
+            ))
+            .field("converted", stats.transformations)
+        });
         Ok(stats)
     }
 }

@@ -1,6 +1,8 @@
 //! The minimal example pass from the paper's Figure 3: print every function
 //! name through the standard tracing facility.
 
+use mao_obs::TraceEvent;
+
 use crate::pass::{MaoPass, PassContext, PassError, PassStats};
 use crate::unit::MaoUnit;
 
@@ -20,7 +22,10 @@ impl MaoPass for PrintFunctions {
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
         let mut stats = PassStats::default();
         for function in unit.functions_cached() {
-            ctx.trace(3, format!("Func: {}", function.name));
+            ctx.trace(3, || {
+                TraceEvent::new(format!("Func: {}", function.name))
+                    .field("function", &function.name)
+            });
             stats.matched(1);
         }
         Ok(stats)
@@ -40,7 +45,11 @@ mod tests {
         let mut ctx = PassContext::from_options(PassOptions::new().with("trace", "3"));
         let stats = PrintFunctions.run(&mut unit, &mut ctx).unwrap();
         assert_eq!(stats.matches, 2);
-        assert_eq!(ctx.trace_lines, vec!["Func: f", "Func: g"]);
+        assert_eq!(ctx.rendered_trace(), vec!["Func: f", "Func: g"]);
+        assert!(
+            ctx.events.iter().all(|ev| ev.scope.is_empty()),
+            "scope is stamped by the pipeline"
+        );
     }
 
     #[test]
@@ -48,6 +57,6 @@ mod tests {
         let mut unit = MaoUnit::parse(".type f, @function\nf:\n\tret\n").unwrap();
         let mut ctx = PassContext::default();
         PrintFunctions.run(&mut unit, &mut ctx).unwrap();
-        assert!(ctx.trace_lines.is_empty());
+        assert!(ctx.events.is_empty());
     }
 }

@@ -20,6 +20,7 @@
 
 use std::collections::HashMap;
 
+use mao_obs::TraceEvent;
 use mao_x86::operand::{Mem, Operand};
 use mao_x86::{def_use, Mnemonic, Reg, Width};
 
@@ -115,7 +116,10 @@ impl MaoPass for RedundantMemMove {
             }
             Ok(edits)
         })?;
-        ctx.trace(1, format!("REDMOV: {} loads reused", stats.transformations));
+        ctx.trace(1, || {
+            TraceEvent::new(format!("REDMOV: {} loads reused", stats.transformations))
+                .field("reused", stats.transformations)
+        });
         Ok(stats)
     }
 }

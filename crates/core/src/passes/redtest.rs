@@ -15,6 +15,7 @@
 //! the redundant tests."* The precision lives in [`mao_x86::Cond::flags_read`]
 //! and the flag liveness walk.
 
+use mao_obs::TraceEvent;
 use mao_x86::{def_use, Flags, Mnemonic, Operand, Width};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
@@ -123,7 +124,10 @@ impl MaoPass for RedundantTest {
             }
             Ok(edits)
         })?;
-        ctx.trace(1, format!("REDTEST: {} removed", stats.transformations));
+        ctx.trace(1, || {
+            TraceEvent::new(format!("REDTEST: {} removed", stats.transformations))
+                .field("removed", stats.transformations)
+        });
         Ok(stats)
     }
 }

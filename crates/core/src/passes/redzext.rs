@@ -12,6 +12,7 @@
 //! the most recent definition of that register was itself a 32-bit write.
 //! (It is *not* redundant after a 64-bit write: there it truncates.)
 
+use mao_obs::TraceEvent;
 use mao_x86::{def_use, Mnemonic, Operand, Width};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
@@ -75,7 +76,10 @@ impl MaoPass for RedundantZeroExtension {
                     }
                     if redundant {
                         fctx.stats.matched(1);
-                        fctx.trace(2, format!("{}: redundant `{insn}`", function.name));
+                        fctx.trace(2, || {
+                            TraceEvent::new(format!("{}: redundant `{insn}`", function.name))
+                                .field("function", &function.name)
+                        });
                         if !analyze_only {
                             edits.delete(id);
                             fctx.stats.transformed(1);

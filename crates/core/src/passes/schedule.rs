@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 
+use mao_obs::TraceEvent;
 use mao_x86::{def_use, Flags, Instruction, Mnemonic, RegId};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
@@ -367,13 +368,14 @@ impl MaoPass for ListSchedule {
             }
             Ok(edits)
         })?;
-        ctx.trace(
-            1,
-            format!(
+        ctx.trace(1, || {
+            TraceEvent::new(format!(
                 "SCHED: moved {} instructions in {} blocks",
                 stats.transformations, stats.matches
-            ),
-        );
+            ))
+            .field("moved", stats.transformations)
+            .field("blocks", stats.matches)
+        });
         Ok(stats)
     }
 }

@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use mao_obs::TraceEvent;
 use mao_x86::operand::{Disp, Mem, Operand};
 use mao_x86::{def_use, Instruction, Mnemonic, RegId};
 
@@ -287,7 +288,9 @@ impl MaoPass for AddressSimulation {
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
         let mut stats = PassStats::default();
         let Some(profile) = ctx.profile.take() else {
-            ctx.trace(1, "SIMADDR: no profile attached; nothing to do");
+            ctx.trace(1, || {
+                TraceEvent::new("SIMADDR: no profile attached; nothing to do")
+            });
             return Ok(stats);
         };
         let recovered = amplify(unit, &profile);
@@ -303,13 +306,14 @@ impl MaoPass for AddressSimulation {
         } else {
             0.0
         };
-        ctx.trace(
-            1,
-            format!(
+        ctx.trace(1, || {
+            TraceEvent::new(format!(
                 "SIMADDR: {original} sampled addresses -> {} total ({factor:.1}x)",
                 original + recovered.len()
-            ),
-        );
+            ))
+            .field("sampled", original)
+            .field("amplified", original + recovered.len())
+        });
         // Write recovered addresses back as synthetic samples.
         let mut profile = profile;
         for r in recovered {
@@ -467,6 +471,6 @@ f:
         assert_eq!(stats.transformations, 2);
         // The profile came back enriched.
         assert_eq!(ctx.profile.as_ref().unwrap().samples.len(), 3);
-        assert!(ctx.trace_lines[0].contains("3.0x"));
+        assert!(ctx.rendered_trace()[0].contains("3.0x"));
     }
 }

@@ -1,0 +1,76 @@
+//! `mao-obs` — the unified telemetry layer.
+//!
+//! The paper positions MAO as production compiler infrastructure ("plugged
+//! into the build process at Google"); operating it that way needs a way to
+//! see *inside* a run. This crate is the std-only observability substrate
+//! every other layer records into:
+//!
+//! * [`span`] — lightweight nested spans ([`Span::enter`]) with wall-time,
+//!   key=value attachments, and thread-safe aggregation into a
+//!   [`Recorder`]. A full recording exports as Chrome-trace-format JSON
+//!   (`chrome://tracing` / Perfetto); an aggregating recorder keeps only
+//!   per-(category, name) totals, bounded, for long-lived daemons.
+//! * [`metrics`] — a registry of named monotonic [`Counter`]s and
+//!   fixed-bucket [`Histogram`]s, rendered in Prometheus text exposition
+//!   format.
+//! * [`event`] — structured trace events ([`TraceEvent`]: level, scope,
+//!   message, key=value fields) that replace the old ad-hoc string
+//!   tracing; the legacy `[mao] <line>` stderr format is one rendering of
+//!   an event.
+//! * [`prom`] — the Prometheus text builder and a validator used by tests
+//!   and CI to keep the `metrics` endpoint honest.
+//!
+//! The whole crate is deliberately dependency-free and cheap when disabled:
+//! a disabled [`Recorder`] makes [`Span::enter`] a single branch with no
+//! allocation and no clock read, and trace events are built lazily behind
+//! closures so a filtered-out level costs nothing.
+
+pub mod event;
+pub mod metrics;
+pub mod prom;
+pub mod span;
+
+pub use event::TraceEvent;
+pub use metrics::{Counter, Histogram, HistogramSnapshot, Metrics, US_BUCKETS};
+pub use prom::PromText;
+pub use span::{Recorder, RecorderMode, Span, SpanRecord, SpanTotal};
+
+use std::sync::Arc;
+
+/// The telemetry bundle handed through the pass pipeline and the service:
+/// one span recorder plus one metrics registry. Cloning is cheap (two
+/// refcounts) and every clone records into the same sinks.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Span sink. Disabled by default.
+    pub recorder: Recorder,
+    /// Counter/histogram registry.
+    pub metrics: Arc<Metrics>,
+}
+
+impl Obs {
+    /// Telemetry that records nothing: spans are no-ops and metrics go to a
+    /// private throwaway registry. This is the default for code paths that
+    /// were not handed an observer.
+    pub fn off() -> Obs {
+        Obs::default()
+    }
+
+    /// Aggregating telemetry for long-lived processes: span *totals* are
+    /// kept (bounded), individual span records are not.
+    pub fn aggregating() -> Obs {
+        Obs {
+            recorder: Recorder::aggregating(),
+            metrics: Arc::new(Metrics::new()),
+        }
+    }
+
+    /// Full recording for one-shot profiling (`mao --profile`): every span
+    /// is kept and can be exported as a Chrome trace.
+    pub fn recording() -> Obs {
+        Obs {
+            recorder: Recorder::recording(),
+            metrics: Arc::new(Metrics::new()),
+        }
+    }
+}

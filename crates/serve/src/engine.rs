@@ -19,8 +19,12 @@
 //!    the abandoned computation finishes in the background — if it
 //!    succeeds, its result is still inserted into the cache for next
 //!    time. Oversized inputs are rejected up front.
-//! 3. **Observability** — every request updates [`ServerStats`]; the
-//!    `stats` request renders the snapshot.
+//! 3. **Observability** — the engine owns an aggregating [`Obs`] bundle:
+//!    every request is a span, queue-wait and service time feed
+//!    histograms, both caches mirror their counters into the registry, and
+//!    the pipeline runs under [`run_pipeline_observed`]. The `stats`
+//!    request renders a consolidated [`StatsSnapshot`]; the `metrics`
+//!    request renders the registry as Prometheus text.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,7 +32,8 @@ use std::sync::mpsc::{sync_channel, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mao::pass::{parse_invocations, run_pipeline_shared, PipelineConfig};
+use mao::obs::{Histogram, Obs, PromText, Span, US_BUCKETS};
+use mao::pass::{parse_invocations, run_pipeline_observed, PipelineConfig};
 use mao::{AnalysisCache, MaoUnit};
 
 use crate::pool::Pool;
@@ -37,7 +42,7 @@ use crate::protocol::{
     DEFAULT_MAX_REQUEST_BYTES, DEFAULT_TIMEOUT_MS,
 };
 use crate::result_cache::{request_key, ResultCache};
-use crate::stats::ServerStats;
+use crate::stats::{ServerStats, StatsSnapshot};
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -76,6 +81,9 @@ struct EngineInner {
     results: ResultCache,
     analyses: Arc<AnalysisCache>,
     stats: ServerStats,
+    obs: Obs,
+    queue_wait_us: Histogram,
+    service_us: Histogram,
     shutting_down: AtomicBool,
 }
 
@@ -95,12 +103,22 @@ impl Engine {
         } else {
             config.workers
         };
+        let obs = Obs::aggregating();
+        let results = ResultCache::new(config.result_cache_capacity);
+        results.attach_metrics(&obs.metrics);
+        let analyses = Arc::new(AnalysisCache::with_capacity(config.analysis_cache_capacity));
+        analyses.attach_metrics(&obs.metrics);
         Engine {
             inner: Arc::new(EngineInner {
                 pool: Pool::new(workers),
-                results: ResultCache::new(config.result_cache_capacity),
-                analyses: Arc::new(AnalysisCache::with_capacity(config.analysis_cache_capacity)),
-                stats: ServerStats::new(),
+                results,
+                analyses,
+                stats: ServerStats::new(&obs.metrics),
+                queue_wait_us: obs
+                    .metrics
+                    .histogram("mao_request_queue_wait_us", US_BUCKETS),
+                service_us: obs.metrics.histogram("mao_request_service_us", US_BUCKETS),
+                obs,
                 shutting_down: AtomicBool::new(false),
                 config,
             }),
@@ -117,14 +135,38 @@ impl Engine {
         &self.inner.stats
     }
 
-    /// Result-cache counters (for benchmarks and tests).
-    pub fn result_cache_stats(&self) -> crate::result_cache::ResultCacheStats {
-        self.inner.results.stats()
+    /// Consolidated point-in-time view of the whole service: request
+    /// counters, result/analysis/layout caches, relaxation totals, pass
+    /// timings, and span totals — the one source for the `stats` response,
+    /// benchmarks, and tests.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot(
+            self.inner.results.stats(),
+            self.inner.analyses.stats(),
+            mao::relax_totals(),
+            self.inner.obs.recorder.totals(),
+        )
     }
 
-    /// Analysis-cache counters (for benchmarks and tests).
-    pub fn analysis_cache_stats(&self) -> mao::CacheStats {
-        self.inner.analyses.stats()
+    /// Render the metrics registry (plus scrape-time gauges and the
+    /// process-wide relaxation totals) as Prometheus text exposition.
+    pub fn metrics_text(&self) -> String {
+        let mut out = PromText::new();
+        self.inner.obs.metrics.render_into(&mut out);
+        let relax = mao::relax_totals();
+        for (family, value) in [
+            ("mao_relax_layouts_total", relax.layouts),
+            ("mao_relax_patches_total", relax.patches),
+            ("mao_relax_iterations_total", relax.iterations),
+            ("mao_relax_rechecks_total", relax.rechecks),
+            ("mao_relax_fragments_total", relax.fragments),
+        ] {
+            out.counter_family(family, &[(&[][..], value)]);
+        }
+        out.gauge("mao_uptime_seconds", self.inner.stats.uptime_s());
+        out.gauge("mao_requests_in_flight", self.inner.stats.in_flight());
+        out.gauge("mao_result_cache_len", self.inner.results.len());
+        out.finish()
     }
 
     /// Has a shutdown been requested (SIGTERM or `shutdown` request)?
@@ -148,11 +190,11 @@ impl Engine {
             Request::Optimize(req) => self.optimize(req),
             Request::Stats => {
                 self.inner.stats.record_admin();
-                Response::Stats(self.inner.stats.snapshot(
-                    &self.inner.results.stats(),
-                    &self.inner.analyses.stats(),
-                    &mao::relax_totals(),
-                ))
+                Response::Stats(self.snapshot().to_json())
+            }
+            Request::Metrics => {
+                self.inner.stats.record_admin();
+                Response::Metrics(self.metrics_text())
             }
             Request::Ping => {
                 self.inner.stats.record_admin();
@@ -214,8 +256,18 @@ impl Engine {
         let (tx, rx) = sync_channel::<Result<(OptimizeOutcome, Timings), Response>>(1);
         let engine = self.clone();
         let use_cache = req.use_cache;
+        let submitted_at = Instant::now();
         let submitted = self.inner.pool.submit(Box::new(move || {
+            engine
+                .inner
+                .queue_wait_us
+                .observe(submitted_at.elapsed().as_micros() as u64);
+            let serviced_at = Instant::now();
             let result = engine.compute(&req);
+            engine
+                .inner
+                .service_us
+                .observe(serviced_at.elapsed().as_micros() as u64);
             if let Ok((outcome, _)) = &result {
                 // Even if the requester has timed out and gone, the work is
                 // done — cache it so the retry is free.
@@ -268,6 +320,8 @@ impl Engine {
     /// isolation. Returns the outcome or a ready-made error response.
     fn compute(&self, req: &OptimizeRequest) -> Result<(OptimizeOutcome, Timings), Response> {
         let jobs = req.jobs.unwrap_or(self.inner.config.jobs);
+        let mut request_span = Span::enter(&self.inner.obs.recorder, "request", "optimize");
+        request_span.arg("bytes", req.asm.len());
         let attempt = catch_unwind(AssertUnwindSafe(
             || -> Result<(OptimizeOutcome, Timings), Response> {
                 let t0 = Instant::now();
@@ -277,12 +331,13 @@ impl Engine {
                 let invocations = parse_invocations(&req.passes)
                     .map_err(|e| Response::error(ErrorKind::BadRequest, e.to_string()))?;
                 let t1 = Instant::now();
-                let report = run_pipeline_shared(
+                let report = run_pipeline_observed(
                     &mut unit,
                     &invocations,
                     None,
                     &PipelineConfig { jobs },
                     &self.inner.analyses,
+                    &self.inner.obs,
                 )
                 .map_err(|e| Response::error(ErrorKind::Pass, e.to_string()))?;
                 let optimize_us = t1.elapsed().as_micros() as u64;
@@ -463,6 +518,29 @@ mod tests {
         let cache = snap.get("result_cache").unwrap();
         assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
         assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            snap.get("schema_version").unwrap().as_u64(),
+            Some(crate::stats::STATS_SCHEMA_VERSION)
+        );
+        // The aggregating recorder folded per-request and per-pass spans.
+        let spans = snap.get("spans").unwrap().as_arr().unwrap();
+        let request_total = spans
+            .iter()
+            .find(|s| s.get("cat").unwrap().as_str() == Some("request"))
+            .expect("request span total present");
+        assert_eq!(request_total.get("count").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn metrics_request_renders_prometheus_text() {
+        let engine = engine();
+        let _ = engine.handle(optimize(INPUT, "REDTEST"));
+        let Response::Metrics(text) = engine.handle(Request::Metrics) else {
+            panic!("expected metrics");
+        };
+        mao::obs::prom::validate(&text).expect("exposition text validates");
+        assert!(text.contains("# TYPE mao_requests_total counter"), "{text}");
+        assert!(text.contains("mao_uptime_seconds"), "{text}");
     }
 
     #[test]

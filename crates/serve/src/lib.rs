@@ -24,7 +24,10 @@
 //! * [`server`] — socket listener, connection threads, SIGTERM drain.
 //! * [`client`] — framing client used by `mao client`.
 //! * [`batch`] — newline-delimited JSON over stdin/stdout.
-//! * [`stats`] — cumulative service counters and the stats snapshot.
+//! * [`stats`] — cumulative service counters and the consolidated
+//!   [`StatsSnapshot`]; counters live in the engine's `mao_obs::Metrics`
+//!   registry so the `metrics` request (Prometheus text) and the `stats`
+//!   request (JSON) read the same cells.
 
 pub mod batch;
 pub mod client;
@@ -45,4 +48,4 @@ pub use protocol::{
 };
 pub use result_cache::{request_key, RequestKey, ResultCache, ResultCacheStats};
 pub use server::{connect, serve, Listen};
-pub use stats::ServerStats;
+pub use stats::{RequestCounters, ServerStats, StatsSnapshot, STATS_SCHEMA_VERSION};

@@ -12,16 +12,21 @@
 //! {"type":"optimize","asm":"...","passes":"REDTEST:DCE",
 //!  "options":{"jobs":2,"timeout_ms":5000,"cache":true}}
 //! {"type":"stats"}
+//! {"type":"metrics"}
 //! {"type":"ping"}
 //! {"type":"shutdown"}
 //! ```
 //!
 //! Responses carry `"status":"ok"` or `"status":"error"`; see
-//! [`Response`] for the exact members.
+//! [`Response`] for the exact members. The `stats` response embeds
+//! `schema_version` inside the stats object and the `metrics` response
+//! carries it top-level next to the Prometheus text payload; both use
+//! [`crate::stats::STATS_SCHEMA_VERSION`].
 
 use std::io::{self, Read, Write};
 
 use crate::json::Json;
+use crate::stats::STATS_SCHEMA_VERSION;
 
 /// Default cap on a single request frame (16 MiB of assembly is far beyond
 /// any real translation unit).
@@ -37,6 +42,8 @@ pub enum Request {
     Optimize(OptimizeRequest),
     /// Snapshot server statistics.
     Stats,
+    /// Prometheus text exposition of the metrics registry.
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Graceful drain-then-exit.
@@ -94,6 +101,7 @@ impl Request {
                 }))
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "ping" => Ok(Request::Ping),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type `{other}`")),
@@ -125,6 +133,7 @@ impl Request {
                 Json::Obj(pairs)
             }
             Request::Stats => Json::obj(vec![("type", Json::from("stats"))]),
+            Request::Metrics => Json::obj(vec![("type", Json::from("metrics"))]),
             Request::Ping => Json::obj(vec![("type", Json::from("ping"))]),
             Request::Shutdown => Json::obj(vec![("type", Json::from("shutdown"))]),
         }
@@ -232,6 +241,8 @@ pub enum Response {
     },
     /// Stats snapshot (pre-rendered JSON object).
     Stats(Json),
+    /// Prometheus text exposition of the metrics registry.
+    Metrics(String),
     /// Ping answer.
     Pong,
     /// Shutdown acknowledged; the server drains and exits.
@@ -327,6 +338,11 @@ impl Response {
             Response::Stats(stats) => {
                 Json::obj(vec![("status", Json::from("ok")), ("stats", stats.clone())])
             }
+            Response::Metrics(text) => Json::obj(vec![
+                ("status", Json::from("ok")),
+                ("schema_version", Json::from(STATS_SCHEMA_VERSION)),
+                ("metrics", Json::from(text.clone())),
+            ]),
             Response::Pong => Json::obj(vec![
                 ("status", Json::from("ok")),
                 ("pong", Json::from(true)),
@@ -415,7 +431,12 @@ mod tests {
         });
         let text = req.to_json().to_string();
         assert_eq!(Request::from_json_text(&text).unwrap(), req);
-        for simple in [Request::Stats, Request::Ping, Request::Shutdown] {
+        for simple in [
+            Request::Stats,
+            Request::Metrics,
+            Request::Ping,
+            Request::Shutdown,
+        ] {
             let text = simple.to_json().to_string();
             assert_eq!(Request::from_json_text(&text).unwrap(), simple);
         }

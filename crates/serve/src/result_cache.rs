@@ -14,9 +14,17 @@
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::protocol::OptimizeOutcome;
+
+/// Registry mirrors of the cache counters (attached at most once).
+struct CacheMetrics {
+    hits: mao::obs::Counter,
+    misses: mao::obs::Counter,
+    evictions: mao::obs::Counter,
+    insertions: mao::obs::Counter,
+}
 
 /// 128-bit content key of a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,6 +91,7 @@ pub struct ResultCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     insertions: AtomicU64,
+    metrics: OnceLock<CacheMetrics>,
 }
 
 impl ResultCache {
@@ -98,7 +107,21 @@ impl ResultCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
+            metrics: OnceLock::new(),
         }
+    }
+
+    /// Mirror this cache's counters into `metrics` as the
+    /// `mao_result_cache_*_total` families. First attachment wins; the
+    /// registry copies start at the attach point (they are exposure
+    /// counters, not a replay of history).
+    pub fn attach_metrics(&self, metrics: &mao::obs::Metrics) {
+        let _ = self.metrics.set(CacheMetrics {
+            hits: metrics.counter("mao_result_cache_hits_total"),
+            misses: metrics.counter("mao_result_cache_misses_total"),
+            evictions: metrics.counter("mao_result_cache_evictions_total"),
+            insertions: metrics.counter("mao_result_cache_insertions_total"),
+        });
     }
 
     /// Look up a request, refreshing its LRU stamp on a hit.
@@ -110,10 +133,16 @@ impl ResultCache {
             Some(entry) => {
                 entry.0 = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.hits.inc();
+                }
                 Some(entry.1.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.misses.inc();
+                }
                 None
             }
         }
@@ -126,6 +155,9 @@ impl ResultCache {
         let stamp = state.clock;
         state.map.insert(key, (stamp, outcome));
         self.insertions.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.insertions.inc();
+        }
         if self.capacity > 0 {
             while state.map.len() > self.capacity {
                 let lru = state
@@ -136,6 +168,9 @@ impl ResultCache {
                     .expect("non-empty map over capacity");
                 state.map.remove(&lru);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.evictions.inc();
+                }
             }
         }
     }

@@ -1,24 +1,43 @@
 //! Server-side observability counters and the `stats` snapshot.
+//!
+//! [`ServerStats`] registers its request counters directly in the engine's
+//! `mao_obs::Metrics` registry, so the same cells feed both the JSON
+//! `stats` response and the Prometheus `metrics` export — there is no
+//! second set of numbers to drift. A point-in-time [`StatsSnapshot`]
+//! consolidates what used to be three separate accessors (service
+//! counters, result-cache stats, analysis-cache stats) and renders through
+//! the single [`StatsSnapshot::to_json`] path.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use mao::obs::{Counter, Metrics, SpanTotal};
 use mao::{CacheStats, RelaxTotals};
 
 use crate::json::Json;
 use crate::result_cache::ResultCacheStats;
 
+/// Version of the `stats`/`metrics` response schema. Bumped when members
+/// are added, renamed, or restructured; clients should check it before
+/// digging into the object. Version 1 was the unversioned pre-telemetry
+/// shape; version 2 added `schema_version` itself, the `spans` array, and
+/// the `metrics` request.
+pub const STATS_SCHEMA_VERSION: u64 = 2;
+
 /// Cumulative service counters. One instance lives for the daemon's whole
-/// life and is shared by every connection and worker thread.
+/// life and is shared by every connection and worker thread. The counters
+/// are handles into the engine's metrics registry (families
+/// `mao_requests_total`, `mao_requests_ok_total`, ...), so a Prometheus
+/// scrape sees exactly what the `stats` snapshot reports.
 pub struct ServerStats {
     started: Instant,
-    requests_total: AtomicU64,
-    requests_ok: AtomicU64,
-    requests_error: AtomicU64,
-    panics: AtomicU64,
-    timeouts: AtomicU64,
+    requests_total: Counter,
+    requests_ok: Counter,
+    requests_error: Counter,
+    panics: Counter,
+    timeouts: Counter,
     in_flight: AtomicU64,
     /// Pass name → (invocations, cumulative microseconds).
     pass_timings: Mutex<BTreeMap<String, (u64, u64)>>,
@@ -26,20 +45,20 @@ pub struct ServerStats {
 
 impl Default for ServerStats {
     fn default() -> ServerStats {
-        ServerStats::new()
+        ServerStats::new(&Metrics::new())
     }
 }
 
 impl ServerStats {
-    /// Fresh counters; uptime starts now.
-    pub fn new() -> ServerStats {
+    /// Fresh counters registered in `metrics`; uptime starts now.
+    pub fn new(metrics: &Metrics) -> ServerStats {
         ServerStats {
             started: Instant::now(),
-            requests_total: AtomicU64::new(0),
-            requests_ok: AtomicU64::new(0),
-            requests_error: AtomicU64::new(0),
-            panics: AtomicU64::new(0),
-            timeouts: AtomicU64::new(0),
+            requests_total: metrics.counter("mao_requests_total"),
+            requests_ok: metrics.counter("mao_requests_ok_total"),
+            requests_error: metrics.counter("mao_requests_error_total"),
+            panics: metrics.counter("mao_request_panics_total"),
+            timeouts: metrics.counter("mao_request_timeouts_total"),
             in_flight: AtomicU64::new(0),
             pass_timings: Mutex::new(BTreeMap::new()),
         }
@@ -47,7 +66,7 @@ impl ServerStats {
 
     /// A request entered service.
     pub fn begin_request(&self) {
-        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.requests_total.inc();
         self.in_flight.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -55,9 +74,9 @@ impl ServerStats {
     pub fn end_request(&self, ok: bool) {
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
         if ok {
-            self.requests_ok.fetch_add(1, Ordering::Relaxed);
+            self.requests_ok.inc();
         } else {
-            self.requests_error.fetch_add(1, Ordering::Relaxed);
+            self.requests_error.inc();
         }
     }
 
@@ -65,17 +84,17 @@ impl ServerStats {
     /// in the total but not in ok/error/in-flight, which track optimize
     /// work.
     pub fn record_admin(&self) {
-        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.requests_total.inc();
     }
 
     /// A request was isolated after a pass panic.
     pub fn record_panic(&self) {
-        self.panics.fetch_add(1, Ordering::Relaxed);
+        self.panics.inc();
     }
 
     /// A request hit its wall-clock budget.
     pub fn record_timeout(&self) {
-        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        self.timeouts.inc();
     }
 
     /// Fold one pipeline run's per-pass timings into the cumulative table.
@@ -95,22 +114,100 @@ impl ServerStats {
 
     /// Total requests accepted.
     pub fn requests_total(&self) -> u64 {
-        self.requests_total.load(Ordering::Relaxed)
+        self.requests_total.get()
     }
 
-    /// Render the `stats` response body.
+    /// Seconds since the counters were created.
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Consolidate everything into one point-in-time [`StatsSnapshot`].
     pub fn snapshot(
         &self,
-        result_cache: &ResultCacheStats,
-        analyses: &CacheStats,
-        relax: &RelaxTotals,
-    ) -> Json {
-        let pass_timings: Vec<Json> = self
+        result_cache: ResultCacheStats,
+        analysis_cache: CacheStats,
+        relax: RelaxTotals,
+        span_totals: Vec<SpanTotal>,
+    ) -> StatsSnapshot {
+        let per_pass_timings = self
             .pass_timings
             .lock()
             .unwrap()
             .iter()
-            .map(|(name, (invocations, total_us))| {
+            .map(|(name, (invocations, total_us))| (name.clone(), *invocations, *total_us))
+            .collect();
+        StatsSnapshot {
+            schema_version: STATS_SCHEMA_VERSION,
+            uptime_s: self.uptime_s(),
+            requests: RequestCounters {
+                total: self.requests_total.get(),
+                ok: self.requests_ok.get(),
+                errors: self.requests_error.get(),
+                panics: self.panics.get(),
+                timeouts: self.timeouts.get(),
+            },
+            in_flight: self.in_flight(),
+            result_cache,
+            analysis_cache,
+            relax,
+            per_pass_timings,
+            span_totals,
+        }
+    }
+}
+
+/// Request outcome counters within a [`StatsSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestCounters {
+    /// Requests accepted (optimize + admin).
+    pub total: u64,
+    /// Optimize requests that succeeded.
+    pub ok: u64,
+    /// Optimize requests that failed (any error kind).
+    pub errors: u64,
+    /// Requests isolated after a pass panic.
+    pub panics: u64,
+    /// Requests that hit their wall-clock budget.
+    pub timeouts: u64,
+}
+
+/// Point-in-time view of the whole service: request counters, every cache,
+/// relaxation totals, per-pass timings, and aggregated span totals. The
+/// `stats` response is exactly [`StatsSnapshot::to_json`]; tests and
+/// benchmarks read the typed fields directly.
+#[derive(Debug, Clone, Default)]
+pub struct StatsSnapshot {
+    /// [`STATS_SCHEMA_VERSION`] at render time.
+    pub schema_version: u64,
+    /// Seconds the service has been up.
+    pub uptime_s: f64,
+    /// Request outcome counters.
+    pub requests: RequestCounters,
+    /// Optimize requests currently in service.
+    pub in_flight: u64,
+    /// Whole-request result cache counters.
+    pub result_cache: ResultCacheStats,
+    /// Per-function analysis cache counters (includes the layout slots).
+    pub analysis_cache: CacheStats,
+    /// Process-wide relaxation-solver totals.
+    pub relax: RelaxTotals,
+    /// Per pass: (name, invocations, cumulative microseconds).
+    pub per_pass_timings: Vec<(String, u64, u64)>,
+    /// Aggregated span totals from the engine's recorder, one per
+    /// (category, name).
+    pub span_totals: Vec<SpanTotal>,
+}
+
+impl StatsSnapshot {
+    /// The one rendering path for the `stats` response body.
+    pub fn to_json(&self) -> Json {
+        let analyses = &self.analysis_cache;
+        let analysis_total = analyses.hits + analyses.misses;
+        let per_pass_timings: Vec<Json> = self
+            .per_pass_timings
+            .iter()
+            .map(|(name, invocations, total_us)| {
                 Json::obj(vec![
                     ("name", Json::from(name.clone())),
                     ("invocations", Json::from(*invocations)),
@@ -118,39 +215,42 @@ impl ServerStats {
                 ])
             })
             .collect();
-        let analysis_total = analyses.hits + analyses.misses;
+        let spans: Vec<Json> = self
+            .span_totals
+            .iter()
+            .map(|t| {
+                Json::obj(vec![
+                    ("cat", Json::from(t.cat.clone())),
+                    ("name", Json::from(t.name.clone())),
+                    ("count", Json::from(t.count)),
+                    ("total_us", Json::from(t.total_us)),
+                ])
+            })
+            .collect();
         Json::obj(vec![
-            ("uptime_s", Json::from(self.started.elapsed().as_secs_f64())),
+            ("schema_version", Json::from(self.schema_version)),
+            ("uptime_s", Json::from(self.uptime_s)),
             (
                 "requests",
                 Json::obj(vec![
-                    (
-                        "total",
-                        Json::from(self.requests_total.load(Ordering::Relaxed)),
-                    ),
-                    ("ok", Json::from(self.requests_ok.load(Ordering::Relaxed))),
-                    (
-                        "errors",
-                        Json::from(self.requests_error.load(Ordering::Relaxed)),
-                    ),
-                    ("panics", Json::from(self.panics.load(Ordering::Relaxed))),
-                    (
-                        "timeouts",
-                        Json::from(self.timeouts.load(Ordering::Relaxed)),
-                    ),
+                    ("total", Json::from(self.requests.total)),
+                    ("ok", Json::from(self.requests.ok)),
+                    ("errors", Json::from(self.requests.errors)),
+                    ("panics", Json::from(self.requests.panics)),
+                    ("timeouts", Json::from(self.requests.timeouts)),
                 ]),
             ),
-            ("in_flight", Json::from(self.in_flight())),
+            ("in_flight", Json::from(self.in_flight)),
             (
                 "result_cache",
                 Json::obj(vec![
-                    ("hits", Json::from(result_cache.hits)),
-                    ("misses", Json::from(result_cache.misses)),
-                    ("evictions", Json::from(result_cache.evictions)),
-                    ("insertions", Json::from(result_cache.insertions)),
-                    ("len", Json::from(result_cache.len)),
-                    ("capacity", Json::from(result_cache.capacity)),
-                    ("hit_rate", Json::from(result_cache.hit_rate())),
+                    ("hits", Json::from(self.result_cache.hits)),
+                    ("misses", Json::from(self.result_cache.misses)),
+                    ("evictions", Json::from(self.result_cache.evictions)),
+                    ("insertions", Json::from(self.result_cache.insertions)),
+                    ("len", Json::from(self.result_cache.len)),
+                    ("capacity", Json::from(self.result_cache.capacity)),
+                    ("hit_rate", Json::from(self.result_cache.hit_rate())),
                 ]),
             ),
             (
@@ -180,14 +280,15 @@ impl ServerStats {
             (
                 "relax",
                 Json::obj(vec![
-                    ("layouts", Json::from(relax.layouts)),
-                    ("patches", Json::from(relax.patches)),
-                    ("iterations", Json::from(relax.iterations)),
-                    ("rechecks", Json::from(relax.rechecks)),
-                    ("fragments", Json::from(relax.fragments)),
+                    ("layouts", Json::from(self.relax.layouts)),
+                    ("patches", Json::from(self.relax.patches)),
+                    ("iterations", Json::from(self.relax.iterations)),
+                    ("rechecks", Json::from(self.relax.rechecks)),
+                    ("fragments", Json::from(self.relax.fragments)),
                 ]),
             ),
-            ("per_pass_timings", Json::Arr(pass_timings)),
+            ("per_pass_timings", Json::Arr(per_pass_timings)),
+            ("spans", Json::Arr(spans)),
         ])
     }
 }
@@ -198,7 +299,8 @@ mod tests {
 
     #[test]
     fn snapshot_counts() {
-        let stats = ServerStats::new();
+        let metrics = Metrics::new();
+        let stats = ServerStats::new(&metrics);
         stats.begin_request();
         stats.record_pass_timings(&[("DCE".into(), 10), ("SCHED".into(), 20)]);
         stats.record_pass_timings(&[("DCE".into(), 5)]);
@@ -206,10 +308,17 @@ mod tests {
         stats.begin_request();
         stats.record_panic();
         stats.end_request(false);
-        let snap = stats.snapshot(
-            &ResultCacheStats::default(),
-            &CacheStats::default(),
-            &RelaxTotals::default(),
+        let snap = stats
+            .snapshot(
+                ResultCacheStats::default(),
+                CacheStats::default(),
+                RelaxTotals::default(),
+                Vec::new(),
+            )
+            .to_json();
+        assert_eq!(
+            snap.get("schema_version").unwrap().as_u64(),
+            Some(STATS_SCHEMA_VERSION)
         );
         let requests = snap.get("requests").unwrap();
         assert_eq!(requests.get("total").unwrap().as_u64(), Some(2));
@@ -222,5 +331,30 @@ mod tests {
         assert_eq!(timings[0].get("name").unwrap().as_str(), Some("DCE"));
         assert_eq!(timings[0].get("invocations").unwrap().as_u64(), Some(2));
         assert_eq!(timings[0].get("total_us").unwrap().as_u64(), Some(15));
+        // The same counters are visible to a Prometheus scrape.
+        assert_eq!(metrics.counter_value("mao_requests_total"), 2);
+        assert_eq!(metrics.counter_value("mao_request_panics_total"), 1);
+    }
+
+    #[test]
+    fn span_totals_render() {
+        let stats = ServerStats::default();
+        let snap = stats
+            .snapshot(
+                ResultCacheStats::default(),
+                CacheStats::default(),
+                RelaxTotals::default(),
+                vec![SpanTotal {
+                    cat: "pass".into(),
+                    name: "DCE".into(),
+                    count: 3,
+                    total_us: 42,
+                }],
+            )
+            .to_json();
+        let spans = snap.get("spans").unwrap().as_arr().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].get("cat").unwrap().as_str(), Some("pass"));
+        assert_eq!(spans[0].get("count").unwrap().as_u64(), Some(3));
     }
 }

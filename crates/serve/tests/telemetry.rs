@@ -1,0 +1,129 @@
+//! End-to-end telemetry through the service: the `metrics` request must
+//! serve valid Prometheus text whose counters move with real traffic, the
+//! `stats` response must carry the schema version, and the Chrome-trace
+//! export must parse as the JSON shape `chrome://tracing` expects.
+
+use mao::obs::{prom, Obs, Span};
+use mao_serve::engine::{Engine, EngineConfig};
+use mao_serve::json::Json;
+use mao_serve::protocol::{OptimizeRequest, Request, Response};
+use mao_serve::STATS_SCHEMA_VERSION;
+
+const INPUT: &str = "\t.type\tf, @function\nf:\n\tsubl $16, %r15d\n\ttestl %r15d, %r15d\n\tjne .L1\n\taddl $3, %eax\n\taddl $4, %eax\n.L1:\n\tret\n";
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    })
+}
+
+fn optimize(asm: &str) -> Request {
+    Request::Optimize(OptimizeRequest {
+        asm: asm.into(),
+        passes: "REDTEST:ADDADD".into(),
+        jobs: None,
+        timeout_ms: None,
+        use_cache: true,
+    })
+}
+
+fn metrics_text(engine: &Engine) -> String {
+    match engine.handle(Request::Metrics) {
+        Response::Metrics(text) => text,
+        other => panic!("expected metrics response, got {other:?}"),
+    }
+}
+
+/// Extract the unlabeled sample value of `family` from exposition text.
+fn sample(text: &str, family: &str) -> Option<u64> {
+    text.lines()
+        .find(|l| l.starts_with(&format!("{family} ")))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn metrics_are_valid_prometheus_and_track_cache_traffic() {
+    let engine = engine();
+    let cold = metrics_text(&engine);
+    prom::validate(&cold).expect("cold scrape validates");
+    assert_eq!(sample(&cold, "mao_result_cache_hits_total"), Some(0));
+
+    let _ = engine.handle(optimize(INPUT)); // miss
+    let _ = engine.handle(optimize(INPUT)); // hit
+    let warm = metrics_text(&engine);
+    prom::validate(&warm).expect("warm scrape validates");
+    assert_eq!(sample(&warm, "mao_result_cache_hits_total"), Some(1));
+    assert_eq!(sample(&warm, "mao_result_cache_misses_total"), Some(1));
+    assert_eq!(sample(&warm, "mao_functions_processed_total"), Some(2));
+    assert!(
+        warm.contains("# TYPE mao_request_service_us histogram"),
+        "{warm}"
+    );
+    assert!(
+        warm.contains("mao_pass_invocations_total{pass=\"REDTEST\"} 1"),
+        "{warm}"
+    );
+    assert!(warm.contains("mao_uptime_seconds"), "{warm}");
+}
+
+#[test]
+fn metrics_response_json_carries_schema_version() {
+    let engine = engine();
+    let json = engine.handle(Request::Metrics).to_json();
+    assert_eq!(json.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(
+        json.get("schema_version").unwrap().as_u64(),
+        Some(STATS_SCHEMA_VERSION)
+    );
+    // The payload round-trips through the JSON layer intact.
+    let text = json.get("metrics").unwrap().as_str().unwrap();
+    prom::validate(text).expect("payload survives JSON transport");
+}
+
+#[test]
+fn stats_snapshot_carries_schema_version_and_spans() {
+    let engine = engine();
+    let _ = engine.handle(optimize(INPUT));
+    let snap = engine.snapshot();
+    assert_eq!(snap.schema_version, STATS_SCHEMA_VERSION);
+    assert_eq!(snap.requests.ok, 1);
+    assert!(
+        snap.span_totals
+            .iter()
+            .any(|t| t.cat == "request" && t.count == 1),
+        "{:?}",
+        snap.span_totals
+    );
+    assert!(snap.span_totals.iter().any(|t| t.cat == "pass"));
+    // Rendered and typed views agree.
+    let json = snap.to_json();
+    assert_eq!(
+        json.get("requests").unwrap().get("ok").unwrap().as_u64(),
+        Some(1)
+    );
+}
+
+#[test]
+fn chrome_trace_export_is_wellformed_json() {
+    let obs = Obs::recording();
+    {
+        let mut outer = Span::enter(&obs.recorder, "pass", "DCE");
+        outer.counter("transformations", 2);
+        let _inner = Span::enter(&obs.recorder, "function", "f");
+    }
+    let trace = Json::parse(&obs.recorder.chrome_trace_json()).expect("chrome trace parses");
+    let events = trace.get("traceEvents").unwrap().as_arr().unwrap();
+    assert_eq!(events.len(), 2);
+    for event in events {
+        assert_eq!(event.get("ph").unwrap().as_str(), Some("X"));
+        for key in ["name", "cat", "ts", "dur", "pid", "tid"] {
+            assert!(event.get(key).is_some(), "event missing `{key}`");
+        }
+    }
+    assert!(events
+        .iter()
+        .any(|e| e.get("name").unwrap().as_str() == Some("DCE")
+            && e.get("args").unwrap().get("transformations").is_some()));
+}

@@ -10,3 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -p mao-bench --bin bench_pass_pipeline -- "$@"
+# Telemetry must stay effectively free: fail the run if the observed
+# pipeline with aggregating spans + metrics costs >3% (plus noise
+# allowance) over telemetry-off on the same corpus.
+cargo run --release -p mao-bench --bin bench_pass_pipeline -- --telemetry-guard --scale 0.1

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI gate: formatting, release build, the full workspace test suite, and an
 # end-to-end daemon smoke test (start `mao serve`, round-trip a request via
-# `mao client`, confirm a repeat is served from cache, query stats, clean
-# shutdown). Run from anywhere; exits non-zero on the first failure.
+# `mao client`, confirm a repeat is served from cache, query stats, scrape
+# Prometheus metrics cold and warm, clean shutdown). Run from anywhere;
+# exits non-zero on the first failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,6 +57,12 @@ for _ in $(seq 1 50); do
 done
 "$MAO" client --listen "$SOCK" --ping >/dev/null
 
+# (a0) cold metrics scrape: exposition format, zero cache traffic so far
+"$MAO" client --listen "$SOCK" --metrics > "$WORK/metrics_cold.txt"
+grep -q '^# TYPE mao_requests_total counter$' "$WORK/metrics_cold.txt"
+grep -q '^# TYPE mao_request_service_us histogram$' "$WORK/metrics_cold.txt"
+grep -q '^mao_result_cache_hits_total 0$' "$WORK/metrics_cold.txt"
+
 # (a) daemon output must be byte-identical to the one-shot driver
 "$MAO" --mao="$PASSES" "$WORK/in.s" > "$WORK/oneshot.s"
 "$MAO" client --listen "$SOCK" --passes "$PASSES" "$WORK/in.s" \
@@ -68,6 +75,11 @@ grep -q 'cache: miss' "$WORK/client1.log"
     > "$WORK/served2.s" 2> "$WORK/client2.log"
 cmp "$WORK/oneshot.s" "$WORK/served2.s"
 grep -q 'cache: hit' "$WORK/client2.log"
+
+# (b2) warm metrics scrape: the result-cache hit counter moved
+"$MAO" client --listen "$SOCK" --metrics > "$WORK/metrics_warm.txt"
+grep -q '^mao_result_cache_hits_total 1$' "$WORK/metrics_warm.txt"
+grep -q '^mao_result_cache_misses_total 1$' "$WORK/metrics_warm.txt"
 
 # (c) stats reflect the traffic
 "$MAO" client --listen "$SOCK" --stats > "$WORK/stats.json"

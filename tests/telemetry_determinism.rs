@@ -1,0 +1,92 @@
+//! Telemetry determinism: the counters and span totals the observed
+//! pipeline records must not depend on the worker count, just like the
+//! assembly output itself. Wall-clock content (histograms, span durations)
+//! is explicitly excluded from the comparison — that is the design split
+//! the metrics registry encodes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use mao::pass::{parse_invocations, run_pipeline_observed, PipelineConfig};
+use mao::{AnalysisCache, MaoUnit, Obs};
+use mao_corpus::{generate, GeneratorConfig};
+
+const PIPELINE: &str = "LFIND:REDZEXT:REDTEST:REDMOV:ADDADD:CONSTFOLD:DCE:SCHED";
+
+/// Run the observed pipeline over a fixed corpus with a fresh telemetry
+/// bundle and a fresh attached analysis cache.
+fn run(jobs: usize) -> (String, Obs) {
+    let corpus = generate(&GeneratorConfig::core_library(0.05));
+    let mut unit = MaoUnit::parse(&corpus.asm).expect("generated corpus parses");
+    let obs = Obs::aggregating();
+    let analyses = Arc::new(AnalysisCache::new());
+    analyses.attach_metrics(&obs.metrics);
+    let invs = parse_invocations(PIPELINE).unwrap();
+    run_pipeline_observed(
+        &mut unit,
+        &invs,
+        None,
+        &PipelineConfig { jobs },
+        &analyses,
+        &obs,
+    )
+    .expect("pipeline runs");
+    (unit.emit(), obs)
+}
+
+#[test]
+fn counter_totals_are_byte_identical_across_job_counts() {
+    let (asm_seq, obs_seq) = run(1);
+    let (asm_par, obs_par) = run(8);
+    assert_eq!(asm_seq, asm_par, "output must not depend on the job count");
+    let lines_seq = obs_seq.metrics.counter_lines();
+    let lines_par = obs_par.metrics.counter_lines();
+    assert!(
+        !lines_seq.is_empty(),
+        "the observed pipeline must register counters"
+    );
+    assert_eq!(
+        lines_seq, lines_par,
+        "every counter (pass invocations, transformations, cache traffic, \
+         functions processed) must be byte-identical across --jobs"
+    );
+    // Sanity: the pipeline actually counted work, not just zeros.
+    assert!(
+        obs_seq
+            .metrics
+            .counter_value("mao_functions_processed_total")
+            > 0
+    );
+    assert!(lines_seq.contains("mao_pass_invocations_total{pass=\"DCE\"} 1"));
+}
+
+#[test]
+fn span_total_counts_are_identical_across_job_counts() {
+    let (_, obs_seq) = run(1);
+    let (_, obs_par) = run(8);
+    let counts = |obs: &Obs| -> BTreeMap<(String, String), u64> {
+        obs.recorder
+            .totals()
+            .into_iter()
+            .map(|t| ((t.cat, t.name), t.count))
+            .collect()
+    };
+    let seq = counts(&obs_seq);
+    assert!(!seq.is_empty(), "aggregating recorder must see spans");
+    assert_eq!(
+        seq,
+        counts(&obs_par),
+        "per-(cat, name) span counts must not depend on the job count"
+    );
+    // One pass span per invocation, one function span per (function, pass).
+    assert_eq!(seq.get(&("pass".into(), "DCE".into())), Some(&1));
+    assert!(seq.keys().any(|(cat, _)| cat == "function"));
+}
+
+#[test]
+fn prometheus_render_of_a_live_run_validates() {
+    let (_, obs) = run(2);
+    let text = obs.metrics.render_prometheus();
+    mao::obs::prom::validate(&text).expect("exposition text validates");
+    assert!(text.contains("# TYPE mao_pass_wall_us histogram"), "{text}");
+}
