@@ -15,10 +15,11 @@
 //! Service mode keeps the optimizer resident between requests:
 //!
 //! ```text
-//! mao serve --listen unix:/tmp/maod.sock --workers 4
+//! mao serve --listen unix:/tmp/maod.sock --shards 4 --cache-dir /var/cache/maod
 //! mao client --listen unix:/tmp/maod.sock --passes REDTEST:ADDADD in.s
 //! mao client --stats
 //! mao batch < requests.ndjson
+//! mao loadgen --requests 500 --connections 4 --p99-limit-us 2000000
 //! ```
 //!
 //! Check mode runs the differential correctness harness (see the
@@ -46,12 +47,18 @@ use mao_serve::Client;
 fn usage() -> &'static str {
     "usage: mao [--mao=PASS[=opt[val],...][:PASS...]]... [--jobs N] [--profile FILE]\n\
      \x20          [--list-passes] input.s\n\
-     \x20      mao serve  [--listen ADDR] [--workers N] [--jobs N] [--timeout-ms N]\n\
-     \x20                 [--cache-cap N] [--analysis-cache-cap N] [--max-request-bytes N]\n\
+     \x20      mao serve  [--listen ADDR] [--shards N] [--jobs N] [--timeout-ms N]\n\
+     \x20                 [--max-pending N] [--cache-dir DIR] [--cache-max-bytes N]\n\
+     \x20                 [--cache-fsync] [--idle-timeout-ms N] [--cache-cap N]\n\
+     \x20                 [--analysis-cache-cap N] [--max-request-bytes N]\n\
      \x20      mao client [--listen ADDR] [--passes STR] [--jobs N] [--timeout-ms N]\n\
-     \x20                 [--no-cache] [-o FILE] input.s\n\
+     \x20                 [--timeout SECS] [--no-cache] [-o FILE] input.s\n\
      \x20                 | --stats | --metrics | --ping | --shutdown\n\
-     \x20      mao batch  [--workers N] [--jobs N] [--timeout-ms N] [--cache-cap N]\n\
+     \x20                 (exit 3 = shed with BUSY, exit 4 = timed out)\n\
+     \x20      mao batch  [--shards N] [--jobs N] [--timeout-ms N] [--cache-cap N]\n\
+     \x20      mao loadgen [--listen ADDR] [--requests N] [--connections N]\n\
+     \x20                 [--depth N] [--hot-keys N] [--cold-pct N] [--malformed-pct N]\n\
+     \x20                 [--passes STR] [--p50-limit-us N] [--p99-limit-us N] [--json]\n\
      \x20      mao check  [--seed N] [--cases N] [--passes A,B:C,...] [--jobs N]\n\
      \x20                 [--budget N] [--regress-dir DIR] [--inject-miscompile]\n\
      \x20                 [--smoke] [--verbose]\n\
@@ -78,6 +85,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         _ => cmd_oneshot(&args),
     }
@@ -119,9 +127,19 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         while let Some(arg) = parser.next() {
             match arg.as_str() {
                 "--listen" => listen = parser.value("--listen")?.to_string(),
-                "--workers" => config.workers = parser.numeric("--workers")?,
+                // --workers survives as an alias from the pre-shard daemon.
+                "--shards" | "--workers" => config.shards = parser.numeric("--shards")?,
                 "--jobs" => config.jobs = parser.numeric("--jobs")?,
                 "--timeout-ms" => config.timeout_ms = parser.numeric("--timeout-ms")?,
+                "--max-pending" => config.max_pending = parser.numeric("--max-pending")?,
+                "--cache-dir" => config.cache_dir = Some(parser.value("--cache-dir")?.into()),
+                "--cache-max-bytes" => {
+                    config.cache_max_bytes = parser.numeric("--cache-max-bytes")?
+                }
+                "--cache-fsync" => config.cache_fsync = true,
+                "--idle-timeout-ms" => {
+                    config.idle_timeout_ms = parser.numeric("--idle-timeout-ms")?
+                }
                 "--cache-cap" => config.result_cache_capacity = parser.numeric("--cache-cap")?,
                 "--analysis-cache-cap" => {
                     config.analysis_cache_capacity = parser.numeric("--analysis-cache-cap")?
@@ -149,7 +167,13 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let engine = Engine::new(config);
+    let engine = match Engine::build(config) {
+        Ok(e) => e,
+        Err(message) => {
+            eprintln!("mao serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
     match mao_serve::server::serve(engine, &addr) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -159,11 +183,18 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
 }
 
+/// `mao client` exit code when the daemon shed the request with `BUSY`.
+const EXIT_BUSY: u8 = 3;
+/// `mao client` exit code when the request timed out (server budget or
+/// client `--timeout`).
+const EXIT_TIMEOUT: u8 = 4;
+
 fn cmd_client(args: &[String]) -> ExitCode {
     let mut listen = default_listen();
     let mut passes = String::new();
     let mut jobs: Option<usize> = None;
     let mut timeout_ms: Option<u64> = None;
+    let mut client_timeout: Option<std::time::Duration> = None;
     let mut use_cache = true;
     let mut out: Option<String> = None;
     let mut inputs: Vec<String> = Vec::new();
@@ -176,6 +207,10 @@ fn cmd_client(args: &[String]) -> ExitCode {
                 "--passes" => passes = parser.value("--passes")?.to_string(),
                 "--jobs" => jobs = Some(parser.numeric("--jobs")?),
                 "--timeout-ms" => timeout_ms = Some(parser.numeric("--timeout-ms")?),
+                "--timeout" => {
+                    let secs: f64 = parser.numeric("--timeout")?;
+                    client_timeout = Some(std::time::Duration::from_secs_f64(secs.max(0.001)));
+                }
                 "--no-cache" => use_cache = false,
                 "-o" | "--out" => out = Some(parser.value("-o")?.to_string()),
                 "--stats" => admin = Some(Request::Stats),
@@ -205,11 +240,23 @@ fn cmd_client(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut client = match Client::connect(&addr) {
+    let mut client = match Client::connect_with_io_timeout(&addr, client_timeout) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("mao client: cannot connect to {addr}: {e}");
             return ExitCode::FAILURE;
+        }
+    };
+    // Socket-level timeouts surface as WouldBlock/TimedOut; scripts need
+    // to tell "daemon too slow" apart from "daemon broken".
+    let io_exit = |e: &std::io::Error| -> ExitCode {
+        if matches!(
+            e.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ) {
+            ExitCode::from(EXIT_TIMEOUT)
+        } else {
+            ExitCode::FAILURE
         }
     };
 
@@ -228,7 +275,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
             }
             Err(e) => {
                 eprintln!("mao client: {e}");
-                ExitCode::FAILURE
+                io_exit(&e)
             }
         };
     }
@@ -255,7 +302,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("mao client: {e}");
-            return ExitCode::FAILURE;
+            return io_exit(&e);
         }
     };
     if response.get("status").and_then(Json::as_str) != Some("ok") {
@@ -273,7 +320,13 @@ fn cmd_client(args: &[String]) -> ExitCode {
             None => ("?".to_string(), response.to_string()),
         };
         eprintln!("mao client: server error [{kind}]: {message}");
-        return ExitCode::FAILURE;
+        // Shed and timed-out requests get their own exit codes so build
+        // scripts can back off and retry instead of failing the build.
+        return match kind.as_str() {
+            "busy" => ExitCode::from(EXIT_BUSY),
+            "timeout" => ExitCode::from(EXIT_TIMEOUT),
+            _ => ExitCode::FAILURE,
+        };
     }
     // Trace and per-pass stats to stderr, matching one-shot mode's format.
     if let Some(trace) = response.get("trace").and_then(Json::as_arr) {
@@ -325,7 +378,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     let parsed = (|| -> Result<(), String> {
         while let Some(arg) = parser.next() {
             match arg.as_str() {
-                "--workers" => config.workers = parser.numeric("--workers")?,
+                "--shards" | "--workers" => config.shards = parser.numeric("--shards")?,
                 "--jobs" => config.jobs = parser.numeric("--jobs")?,
                 "--timeout-ms" => config.timeout_ms = parser.numeric("--timeout-ms")?,
                 "--cache-cap" => config.result_cache_capacity = parser.numeric("--cache-cap")?,
@@ -354,6 +407,89 @@ fn cmd_batch(args: &[String]) -> ExitCode {
             eprintln!("mao batch: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn cmd_loadgen(args: &[String]) -> ExitCode {
+    let mut listen = default_listen();
+    let mut config = mao_serve::loadgen::LoadgenConfig::default();
+    let mut json_out = false;
+    let mut parser = ArgParser::new(args);
+    let parsed = (|| -> Result<(), String> {
+        while let Some(arg) = parser.next() {
+            match arg.as_str() {
+                "--listen" => listen = parser.value("--listen")?.to_string(),
+                "--requests" => config.requests = parser.numeric("--requests")?,
+                "--connections" => config.connections = parser.numeric("--connections")?,
+                "--depth" => config.pipeline_depth = parser.numeric("--depth")?,
+                "--hot-keys" => config.hot_keys = parser.numeric("--hot-keys")?,
+                "--cold-pct" => config.cold_pct = parser.numeric("--cold-pct")?,
+                "--malformed-pct" => config.malformed_pct = parser.numeric("--malformed-pct")?,
+                "--passes" => config.passes = parser.value("--passes")?.to_string(),
+                "--p50-limit-us" => config.p50_limit_us = Some(parser.numeric("--p50-limit-us")?),
+                "--p99-limit-us" => config.p99_limit_us = Some(parser.numeric("--p99-limit-us")?),
+                "--json" => json_out = true,
+                "--help" | "-h" => {
+                    println!("{}", usage());
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown loadgen option `{other}`")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(message) = parsed {
+        eprintln!("mao loadgen: {message}\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+    config.addr = match Listen::parse(&listen) {
+        Ok(a) => a,
+        Err(message) => {
+            eprintln!("mao loadgen: bad --listen: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match mao_serve::loadgen::run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mao loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json_out {
+        println!("{}", report.to_json().to_string());
+    } else {
+        println!(
+            "mao loadgen: {} requests in {:.2}s ({:.1} req/s)",
+            report.sent,
+            report.elapsed_s,
+            report.throughput_rps()
+        );
+        println!(
+            "  ok {} (hit {} / hit_disk {} / miss {}), busy {}, expected_err {}, unexpected_err {}",
+            report.ok,
+            report.cache_hits,
+            report.cache_disk_hits,
+            report.cache_misses,
+            report.busy,
+            report.expected_errors,
+            report.unexpected_errors
+        );
+        println!(
+            "  latency: client p50 {}us p99 {}us | service p50 {:.0}us p99 {:.0}us",
+            report.client_p50_us,
+            report.client_p99_us,
+            report.service_p50_us,
+            report.service_p99_us
+        );
+    }
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        for failure in &report.failures {
+            eprintln!("mao loadgen: GATE FAILED: {failure}");
+        }
+        ExitCode::FAILURE
     }
 }
 

@@ -87,7 +87,7 @@ impl PathRunner {
     /// Runner with a private engine (2 workers is plenty for checking).
     pub fn new(jobs: usize) -> PathRunner {
         let config = EngineConfig {
-            workers: 2,
+            shards: 2,
             ..EngineConfig::default()
         };
         PathRunner {

@@ -231,12 +231,19 @@ impl AnalysisCache {
     /// takes; later calls are no-ops, so a long-lived cache keeps feeding
     /// one registry.
     pub fn attach_metrics(&self, metrics: &mao_obs::Metrics) {
+        self.attach_metrics_labeled(metrics, &[]);
+    }
+
+    /// Like [`AnalysisCache::attach_metrics`], but every family carries
+    /// `labels` — this is how `maod`'s per-shard caches register as
+    /// distinct `{shard="N"}` series in one registry.
+    pub fn attach_metrics_labeled(&self, metrics: &mao_obs::Metrics, labels: &[(&str, &str)]) {
         let _ = self.metrics.set(CacheMetrics {
-            hits: metrics.counter("mao_analysis_cache_hits_total"),
-            misses: metrics.counter("mao_analysis_cache_misses_total"),
-            evictions: metrics.counter("mao_analysis_cache_evictions_total"),
-            layout_hits: metrics.counter("mao_layout_cache_hits_total"),
-            layout_misses: metrics.counter("mao_layout_cache_misses_total"),
+            hits: metrics.counter_with("mao_analysis_cache_hits_total", labels),
+            misses: metrics.counter_with("mao_analysis_cache_misses_total", labels),
+            evictions: metrics.counter_with("mao_analysis_cache_evictions_total", labels),
+            layout_hits: metrics.counter_with("mao_layout_cache_hits_total", labels),
+            layout_misses: metrics.counter_with("mao_layout_cache_misses_total", labels),
         });
     }
 

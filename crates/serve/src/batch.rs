@@ -52,7 +52,7 @@ mod tests {
     #[test]
     fn batch_round_trips_lines() {
         let engine = Engine::new(EngineConfig {
-            workers: 1,
+            shards: 1,
             ..EngineConfig::default()
         });
         let input = concat!(

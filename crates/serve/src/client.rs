@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use crate::json::Json;
 use crate::protocol::{read_frame, write_frame, Frame, Request};
-use crate::server::{connect_with_retry, Conn, Listen};
+use crate::server::{connect_with_io_timeout, connect_with_retry, Conn, Listen};
 
 /// A connected client holding one stream; requests are served in order.
 pub struct Client {
@@ -18,6 +18,31 @@ impl Client {
         Ok(Client {
             conn: connect_with_retry(addr, Duration::from_secs(5))?,
         })
+    }
+
+    /// Connect with socket read/write timeouts, so a wedged daemon
+    /// surfaces as a `WouldBlock`/`TimedOut` error instead of hanging.
+    /// Retries like [`Client::connect`] to cover startup races, but the
+    /// retry budget is capped at the I/O timeout when one is given.
+    pub fn connect_with_io_timeout(
+        addr: &Listen,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<Client> {
+        let budget = io_timeout
+            .unwrap_or(Duration::from_secs(5))
+            .min(Duration::from_secs(5));
+        let deadline = std::time::Instant::now() + budget;
+        loop {
+            match connect_with_io_timeout(addr, io_timeout) {
+                Ok(conn) => return Ok(Client { conn }),
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
     }
 
     /// Send one request and read its response JSON.

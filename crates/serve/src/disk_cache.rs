@@ -1,0 +1,679 @@
+//! Content-addressed on-disk result store: the persistent cache tier.
+//!
+//! One file per 128-bit [`RequestKey`] under a configurable directory, so
+//! a daemon restart begins warm and multiple `maod` instances can share
+//! artifacts through a common directory. The layout is deliberately dumb —
+//! flat files, no index file, no lock file:
+//!
+//! * **Atomic writes.** Entries are written to a `.tmp-<pid>-<n>` sibling
+//!   and `rename(2)`d into place, so a reader never observes a partial
+//!   entry and two instances racing on the same key simply last-write-win
+//!   identical content (the key is a content hash of the request).
+//! * **Self-verifying entries.** Each file carries a magic+version stamp,
+//!   the key it claims to store, explicit lengths, and an FNV-1a checksum
+//!   of the body. Truncated, bit-flipped, stale-version, or misnamed files
+//!   fail decode and are *evicted, never served*.
+//! * **Size-bounded LRU eviction.** The cache tracks per-key sizes and a
+//!   last-access order (seeded from file mtimes at startup, maintained
+//!   in-memory afterwards) and deletes least-recently-used entries once
+//!   the configured byte budget is exceeded.
+//! * **`fsync` optional.** Build artifacts are re-computable, so the
+//!   default trades durability-on-power-loss for write latency; `fsync:
+//!   true` forces data + directory syncs for shared NFS-like setups.
+//!
+//! The version stamp ([`DISK_FORMAT_VERSION`]) must be bumped whenever the
+//! serialized [`OptimizeOutcome`] shape *or the meaning of a cached result*
+//! changes (new pass semantics, changed emission), invalidating every
+//! existing entry at once. Pass configuration does not need a stamp: the
+//! pass string is part of the request key itself.
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::protocol::OptimizeOutcome;
+use crate::result_cache::RequestKey;
+
+/// Bumped whenever the entry encoding or the meaning of a cached result
+/// changes; entries with any other version are treated as stale and
+/// evicted on contact.
+pub const DISK_FORMAT_VERSION: u32 = 1;
+
+/// 8-byte file magic. The trailing byte doubles as a human-readable format
+/// generation in hexdumps.
+const MAGIC: &[u8; 8] = b"MAODC\0\0\x01";
+
+/// Entry file extension.
+const EXT: &str = "mc";
+
+/// Construction parameters for a [`DiskCache`].
+#[derive(Debug, Clone)]
+pub struct DiskCacheConfig {
+    /// Directory holding the entries (created if missing).
+    pub dir: PathBuf,
+    /// Total byte budget across entries (0 = unbounded).
+    pub max_bytes: u64,
+    /// Force file + directory syncs on every write.
+    pub fsync: bool,
+}
+
+impl DiskCacheConfig {
+    /// Defaults: unbounded, no fsync.
+    pub fn new(dir: impl Into<PathBuf>) -> DiskCacheConfig {
+        DiskCacheConfig {
+            dir: dir.into(),
+            max_bytes: 0,
+            fsync: false,
+        }
+    }
+}
+
+/// Counters, cumulative over the cache's lifetime (this instance only —
+/// other instances sharing the directory keep their own).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskCacheStats {
+    /// Lookups served from disk.
+    pub hits: u64,
+    /// Lookups that found no (valid) entry.
+    pub misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries deleted to respect the byte budget.
+    pub evictions: u64,
+    /// Corrupt/truncated/stale entries deleted instead of served.
+    pub corrupt: u64,
+    /// Bytes currently resident (as indexed by this instance).
+    pub bytes: u64,
+    /// Entries currently resident (as indexed by this instance).
+    pub entries: u64,
+    /// Configured byte budget (0 = unbounded).
+    pub max_bytes: u64,
+}
+
+/// Registry mirrors of the counters (attached at most once).
+struct DiskMetrics {
+    hits: mao::obs::Counter,
+    misses: mao::obs::Counter,
+    insertions: mao::obs::Counter,
+    evictions: mao::obs::Counter,
+    corrupt: mao::obs::Counter,
+}
+
+struct IndexEntry {
+    bytes: u64,
+    /// In-memory LRU stamp; seeded from mtime order at startup.
+    last_access: u64,
+}
+
+struct Index {
+    map: HashMap<u128, IndexEntry>,
+    clock: u64,
+    total_bytes: u64,
+}
+
+/// The persistent tier. Thread-safe; cheap operations hold a short index
+/// lock, file I/O runs outside it where possible.
+pub struct DiskCache {
+    config: DiskCacheConfig,
+    index: Mutex<Index>,
+    tmp_counter: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    corrupt: AtomicU64,
+    metrics: OnceLock<DiskMetrics>,
+}
+
+impl DiskCache {
+    /// Open (creating if needed) the cache directory and index any entries
+    /// already present — the restart-warm path and the shared-directory
+    /// path both start here.
+    pub fn open(config: DiskCacheConfig) -> io::Result<DiskCache> {
+        std::fs::create_dir_all(&config.dir)?;
+        let mut entries: Vec<(u128, u64, std::time::SystemTime)> = Vec::new();
+        for entry in std::fs::read_dir(&config.dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with(".tmp-") {
+                // A crashed writer's leftover; safe to delete once clearly
+                // abandoned (in-progress writes are milliseconds old).
+                let stale = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.elapsed().ok())
+                    .map(|age| age.as_secs() > 300)
+                    .unwrap_or(false);
+                if stale {
+                    let _ = std::fs::remove_file(&path);
+                }
+                continue;
+            }
+            let Some(key) = key_of_file_name(&name) else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else { continue };
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            entries.push((key, meta.len(), mtime));
+        }
+        // Oldest files get the lowest LRU stamps.
+        entries.sort_by_key(|(_, _, mtime)| *mtime);
+        let mut map = HashMap::with_capacity(entries.len());
+        let mut total_bytes = 0u64;
+        for (clock, (key, bytes, _)) in entries.iter().enumerate() {
+            total_bytes += bytes;
+            map.insert(
+                *key,
+                IndexEntry {
+                    bytes: *bytes,
+                    last_access: clock as u64,
+                },
+            );
+        }
+        Ok(DiskCache {
+            index: Mutex::new(Index {
+                clock: map.len() as u64,
+                map,
+                total_bytes,
+            }),
+            config,
+            tmp_counter: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            metrics: OnceLock::new(),
+        })
+    }
+
+    /// The directory entries live in.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// Mirror the counters into `metrics` as the
+    /// `mao_result_cache_disk_*_total` families. First attachment wins.
+    pub fn attach_metrics(&self, metrics: &mao::obs::Metrics) {
+        let _ = self.metrics.set(DiskMetrics {
+            hits: metrics.counter("mao_result_cache_disk_hits_total"),
+            misses: metrics.counter("mao_result_cache_disk_misses_total"),
+            insertions: metrics.counter("mao_result_cache_disk_insertions_total"),
+            evictions: metrics.counter("mao_result_cache_disk_evictions_total"),
+            corrupt: metrics.counter("mao_result_cache_disk_corrupt_total"),
+        });
+    }
+
+    fn path_of(&self, key: RequestKey) -> PathBuf {
+        self.config.dir.join(format!("{:032x}.{EXT}", key.raw()))
+    }
+
+    /// Look up an entry, decoding and verifying it. Invalid entries are
+    /// deleted and reported as misses; a hit refreshes the LRU stamp.
+    pub fn get(&self, key: RequestKey) -> Option<OptimizeOutcome> {
+        let path = self.path_of(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                // Not present — or present under another instance and
+                // vanished mid-read; either way a miss.
+                self.miss();
+                self.index.lock().unwrap().forget(key.raw());
+                return None;
+            }
+        };
+        match decode_entry(&bytes, key) {
+            Ok(outcome) => {
+                let mut index = self.index.lock().unwrap();
+                index.touch(key.raw(), bytes.len() as u64);
+                drop(index);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.hits.inc();
+                }
+                Some(outcome)
+            }
+            Err(_) => {
+                // Truncated, corrupted, stale version, or wrong key:
+                // evict, never serve.
+                let _ = std::fs::remove_file(&path);
+                self.index.lock().unwrap().forget(key.raw());
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.metrics.get() {
+                    m.corrupt.inc();
+                }
+                self.miss();
+                None
+            }
+        }
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.misses.inc();
+        }
+    }
+
+    /// Write an entry (atomic tmp+rename), then evict LRU entries past the
+    /// byte budget. Write errors are swallowed — the disk tier is an
+    /// accelerator, not a source of truth — but eviction accounting stays
+    /// exact for what was written.
+    pub fn put(&self, key: RequestKey, outcome: &OptimizeOutcome) {
+        let bytes = encode_entry(key, outcome);
+        let tmp = self.config.dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let final_path = self.path_of(key);
+        let written = (|| -> io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&bytes)?;
+            if self.config.fsync {
+                file.sync_all()?;
+            }
+            drop(file);
+            std::fs::rename(&tmp, &final_path)?;
+            if self.config.fsync {
+                if let Ok(dir) = std::fs::File::open(&self.config.dir) {
+                    let _ = dir.sync_all();
+                }
+            }
+            Ok(())
+        })();
+        if written.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.metrics.get() {
+            m.insertions.inc();
+        }
+        let victims: Vec<u128> = {
+            let mut index = self.index.lock().unwrap();
+            index.touch(key.raw(), bytes.len() as u64);
+            if self.config.max_bytes == 0 {
+                Vec::new()
+            } else {
+                index.evict_plan(self.config.max_bytes, key.raw())
+            }
+        };
+        for victim in victims {
+            let path = self
+                .config
+                .dir
+                .join(format!("{victim:032x}.{EXT}", victim = victim));
+            let _ = std::fs::remove_file(&path);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = self.metrics.get() {
+                m.evictions.inc();
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DiskCacheStats {
+        let index = self.index.lock().unwrap();
+        DiskCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            bytes: index.total_bytes,
+            entries: index.map.len() as u64,
+            max_bytes: self.config.max_bytes,
+        }
+    }
+}
+
+impl Index {
+    /// Record an access (insert or refresh), updating byte accounting.
+    fn touch(&mut self, key: u128, bytes: u64) {
+        self.clock += 1;
+        let stamp = self.clock;
+        match self.map.get_mut(&key) {
+            Some(entry) => {
+                self.total_bytes = self.total_bytes - entry.bytes + bytes;
+                entry.bytes = bytes;
+                entry.last_access = stamp;
+            }
+            None => {
+                self.total_bytes += bytes;
+                self.map.insert(
+                    key,
+                    IndexEntry {
+                        bytes,
+                        last_access: stamp,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Drop a key from the index (file already gone or going).
+    fn forget(&mut self, key: u128) {
+        if let Some(entry) = self.map.remove(&key) {
+            self.total_bytes -= entry.bytes;
+        }
+    }
+
+    /// Select and forget LRU victims until `total_bytes <= budget`. The
+    /// just-written `keep` key is never chosen — a single entry larger than
+    /// the budget stays resident rather than thrashing.
+    fn evict_plan(&mut self, budget: u64, keep: u128) -> Vec<u128> {
+        let mut victims = Vec::new();
+        while self.total_bytes > budget {
+            let Some(victim) = self
+                .map
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, e)| e.last_access)
+                .map(|(k, _)| *k)
+            else {
+                break;
+            };
+            self.forget(victim);
+            victims.push(victim);
+        }
+        victims
+    }
+}
+
+/// `<032x hex key>.mc` → key.
+fn key_of_file_name(name: &str) -> Option<u128> {
+    let hex = name.strip_suffix(&format!(".{EXT}"))?;
+    if hex.len() != 32 {
+        return None;
+    }
+    u128::from_str_radix(hex, 16).ok()
+}
+
+// ---------------------------------------------------------------------------
+// Entry encoding: magic, version, key, body length, body, FNV-1a checksum.
+// All integers little-endian. The body is a length-prefixed dump of the
+// OptimizeOutcome fields.
+// ---------------------------------------------------------------------------
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Serialize one entry to its on-disk bytes.
+pub fn encode_entry(key: RequestKey, outcome: &OptimizeOutcome) -> Vec<u8> {
+    let mut body = Vec::with_capacity(outcome.asm.len() + 256);
+    put_bytes(&mut body, outcome.asm.as_bytes());
+    body.extend_from_slice(&(outcome.passes.len() as u32).to_le_bytes());
+    for (name, transformations, matches) in &outcome.passes {
+        put_bytes(&mut body, name.as_bytes());
+        body.extend_from_slice(&(*transformations as u64).to_le_bytes());
+        body.extend_from_slice(&(*matches as u64).to_le_bytes());
+    }
+    body.extend_from_slice(&(outcome.timings_us.len() as u32).to_le_bytes());
+    for (name, us) in &outcome.timings_us {
+        put_bytes(&mut body, name.as_bytes());
+        body.extend_from_slice(&us.to_le_bytes());
+    }
+    body.extend_from_slice(&(outcome.trace.len() as u32).to_le_bytes());
+    for line in &outcome.trace {
+        put_bytes(&mut body, line.as_bytes());
+    }
+
+    let mut out = Vec::with_capacity(body.len() + 48);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&DISK_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&key.raw().to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&fnv1a(&body).to_le_bytes());
+    out
+}
+
+/// Entry decode failure (all variants are handled identically — evict —
+/// but the distinction helps tests and debugging).
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Too short, bad magic, or declared lengths exceed the file.
+    Malformed,
+    /// Written by a different format generation.
+    StaleVersion,
+    /// The file claims to store a different key than its name implies.
+    WrongKey,
+    /// The body checksum does not match.
+    Corrupt,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Malformed)?;
+        if end > self.bytes.len() {
+            return Err(DecodeError::Malformed);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u64()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Corrupt)
+    }
+}
+
+/// Decode and verify one entry file's bytes for `expected` key.
+pub fn decode_entry(bytes: &[u8], expected: RequestKey) -> Result<OptimizeOutcome, DecodeError> {
+    let mut c = Cursor { bytes, pos: 0 };
+    if c.take(8)? != MAGIC {
+        return Err(DecodeError::Malformed);
+    }
+    if c.u32()? != DISK_FORMAT_VERSION {
+        return Err(DecodeError::StaleVersion);
+    }
+    let key = u128::from_le_bytes(c.take(16)?.try_into().unwrap());
+    if key != expected.raw() {
+        return Err(DecodeError::WrongKey);
+    }
+    let body_len = c.u64()? as usize;
+    let body_start = c.pos;
+    // The body plus its trailing 8-byte checksum must fit exactly.
+    if bytes.len() != body_start + body_len + 8 {
+        return Err(DecodeError::Malformed);
+    }
+    let body = &bytes[body_start..body_start + body_len];
+    let checksum = u64::from_le_bytes(bytes[body_start + body_len..].try_into().unwrap());
+    if fnv1a(body) != checksum {
+        return Err(DecodeError::Corrupt);
+    }
+
+    let mut c = Cursor {
+        bytes: body,
+        pos: 0,
+    };
+    let asm = c.string()?;
+    let mut passes = Vec::new();
+    for _ in 0..c.u32()? {
+        let name = c.string()?;
+        let transformations = c.u64()? as usize;
+        let matches = c.u64()? as usize;
+        passes.push((name, transformations, matches));
+    }
+    let mut timings_us = Vec::new();
+    for _ in 0..c.u32()? {
+        let name = c.string()?;
+        let us = c.u64()?;
+        timings_us.push((name, us));
+    }
+    let mut trace = Vec::new();
+    for _ in 0..c.u32()? {
+        trace.push(c.string()?);
+    }
+    if c.pos != body.len() {
+        return Err(DecodeError::Malformed);
+    }
+    Ok(OptimizeOutcome {
+        asm,
+        passes,
+        timings_us,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result_cache::request_key;
+
+    fn outcome(asm: &str) -> OptimizeOutcome {
+        OptimizeOutcome {
+            asm: asm.to_string(),
+            passes: vec![("DCE".into(), 2, 3)],
+            timings_us: vec![("DCE".into(), 41)],
+            trace: vec!["a line".into()],
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "maod-disk-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let key = request_key("nop\n", "DCE");
+        let original = outcome("nop\n");
+        let bytes = encode_entry(key, &original);
+        assert_eq!(decode_entry(&bytes, key).unwrap(), original);
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_rejected() {
+        let key = request_key("nop\n", "DCE");
+        let bytes = encode_entry(key, &outcome("nop\n"));
+        for cut in [0, 4, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_entry(&bytes[..cut], key).is_err(),
+                "truncated at {cut}"
+            );
+        }
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(decode_entry(&flipped, key).is_err(), "bit flip detected");
+        let other = request_key("other\n", "DCE");
+        assert_eq!(decode_entry(&bytes, other), Err(DecodeError::WrongKey));
+        let mut stale = bytes.clone();
+        stale[8] = 99; // version field
+        assert_eq!(decode_entry(&stale, key), Err(DecodeError::StaleVersion));
+    }
+
+    #[test]
+    fn put_get_and_restart_reindex() {
+        let dir = tempdir("roundtrip");
+        let key = request_key("a\n", "DCE");
+        {
+            let cache = DiskCache::open(DiskCacheConfig::new(&dir)).unwrap();
+            assert!(cache.get(key).is_none());
+            cache.put(key, &outcome("a\n"));
+            assert_eq!(cache.get(key).unwrap().asm, "a\n");
+            let s = cache.stats();
+            assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        }
+        // A fresh instance over the same directory starts warm.
+        let cache = DiskCache::open(DiskCacheConfig::new(&dir)).unwrap();
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.get(key).unwrap().asm, "a\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_is_evicted_not_served() {
+        let dir = tempdir("corrupt");
+        let cache = DiskCache::open(DiskCacheConfig::new(&dir)).unwrap();
+        let key = request_key("a\n", "DCE");
+        cache.put(key, &outcome("a\n"));
+        let path = cache.path_of(key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(cache.get(key).is_none());
+        assert!(!path.exists(), "corrupt entry deleted");
+        let s = cache.stats();
+        assert_eq!(s.corrupt, 1);
+        assert_eq!(s.entries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_bound_evicts_lru() {
+        let dir = tempdir("evict");
+        let one_entry = encode_entry(request_key("0", ""), &outcome("0")).len() as u64;
+        let cache = DiskCache::open(DiskCacheConfig {
+            dir: dir.clone(),
+            max_bytes: one_entry * 2 + 1,
+            fsync: false,
+        })
+        .unwrap();
+        let k0 = request_key("0", "");
+        let k1 = request_key("1", "");
+        let k2 = request_key("2", "");
+        cache.put(k0, &outcome("0"));
+        cache.put(k1, &outcome("1"));
+        assert!(cache.get(k0).is_some()); // refresh k0; k1 becomes LRU
+        cache.put(k2, &outcome("2"));
+        assert!(cache.get(k1).is_none(), "LRU entry evicted");
+        assert!(cache.get(k0).is_some());
+        assert!(cache.get(k2).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_instances_share_a_directory() {
+        let dir = tempdir("share");
+        let a = DiskCache::open(DiskCacheConfig::new(&dir)).unwrap();
+        let b = DiskCache::open(DiskCacheConfig::new(&dir)).unwrap();
+        let key = request_key("shared\n", "DCE");
+        a.put(key, &outcome("shared\n"));
+        // B never wrote this key but reads A's entry.
+        assert_eq!(b.get(key).unwrap().asm, "shared\n");
+        assert_eq!(b.stats().hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,89 +1,191 @@
-//! The request engine: caching, dispatch, isolation, accounting.
+//! The request engine: caching, admission, sharded dispatch, isolation.
 //!
-//! [`Engine`] is the transport-independent core of `maod`. The socket
-//! server, the stdin/stdout batch mode, and the tests all feed it
-//! [`Request`]s and write out the [`Response`]s it returns. Three layers
-//! wrap every optimize request:
+//! [`Engine`] is the transport-independent core of `maod`. The event-driven
+//! socket server, the stdin/stdout batch mode, and the tests all feed it
+//! [`Request`]s and receive [`Response`]s. Four layers wrap every optimize
+//! request:
 //!
-//! 1. **Caching** — a content-addressed [`ResultCache`] keyed by
-//!    `hash(asm, passes)`; hits skip parsing and optimization entirely.
-//!    Below it, one [`AnalysisCache`] is shared across *all* requests, so
-//!    a repeated function body (same content, same position, same unit
-//!    epoch — the incremental-build case) skips CFG/dataflow construction
-//!    even when the whole-request cache misses.
-//! 2. **Robustness** — requests run on a worker pool under
+//! 1. **Caching** — a content-addressed tiered [`ResultCache`] keyed by
+//!    `hash(asm, passes)`: memory hits skip everything, disk hits re-read a
+//!    verified entry from the persistent store (so restarts begin warm) and
+//!    promote it to memory. Below it, each *shard* owns a private
+//!    [`mao::AnalysisCache`], so a repeated function body skips
+//!    CFG/dataflow construction even when the whole-request cache misses —
+//!    without any cross-shard lock contention.
+//! 2. **Admission control** — compute work enters a bounded pending set.
+//!    Past the configured high-water mark the engine sheds load with an
+//!    explicit [`ErrorKind::Busy`] response instead of queueing without
+//!    bound; `offered = accepted + shed` always reconciles, so nothing is
+//!    dropped silently.
+//! 3. **Robustness** — requests run on the shard pool under
 //!    `catch_unwind`; a panicking pass yields a structured `panic` error
-//!    (and flushes the shared analysis cache, which may hold half-built
-//!    state) while the daemon keeps serving. Each request has a
-//!    wall-clock budget; on expiry the caller gets a `timeout` error and
-//!    the abandoned computation finishes in the background — if it
-//!    succeeds, its result is still inserted into the cache for next
-//!    time. Oversized inputs are rejected up front.
-//! 3. **Observability** — the engine owns an aggregating [`Obs`] bundle:
+//!    (and flushes only that shard's analysis cache) while the daemon
+//!    keeps serving. Each request has a wall-clock budget; on expiry the
+//!    caller gets a `timeout` error and the abandoned computation finishes
+//!    in the background — if it succeeds, its result still lands in the
+//!    cache for next time. Oversized inputs are rejected up front.
+//! 4. **Observability** — the engine owns an aggregating [`Obs`] bundle:
 //!    every request is a span, queue-wait and service time feed
-//!    histograms, both caches mirror their counters into the registry, and
-//!    the pipeline runs under [`run_pipeline_observed`]. The `stats`
-//!    request renders a consolidated [`StatsSnapshot`]; the `metrics`
-//!    request renders the registry as Prometheus text.
+//!    histograms, every cache mirrors its counters into the registry
+//!    (per-shard analysis caches as `{shard="N"}` series), and the
+//!    pipeline runs under [`run_pipeline_observed`]. The `stats` request
+//!    renders a consolidated [`StatsSnapshot`]; the `metrics` request
+//!    renders the registry as Prometheus text.
+//!
+//! Dispatch is asynchronous at the core: [`Engine::handle_async`] answers
+//! inline where it can (admin, cache hits, rejections) and otherwise
+//! enqueues the request on its content-hash shard, returning a [`Ticket`]
+//! the transport uses to enforce the deadline. The synchronous
+//! [`Engine::handle`] used by batch mode and tests is a thin wrapper that
+//! parks on a channel.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mao::obs::{Histogram, Obs, PromText, Span, US_BUCKETS};
 use mao::pass::{parse_invocations, run_pipeline_observed, PipelineConfig};
-use mao::{AnalysisCache, MaoUnit};
+use mao::{CacheStats, MaoUnit};
 
-use crate::pool::Pool;
+use crate::disk_cache::{DiskCache, DiskCacheConfig};
+use crate::pool::{ShardCtx, ShardPool};
 use crate::protocol::{
     CacheOutcome, ErrorKind, OptimizeOutcome, OptimizeRequest, Request, Response, Timings,
     DEFAULT_MAX_REQUEST_BYTES, DEFAULT_TIMEOUT_MS,
 };
-use crate::result_cache::{request_key, ResultCache};
-use crate::stats::{ServerStats, StatsSnapshot};
+use crate::result_cache::{request_key, CacheTier, ResultCache};
+use crate::stats::{ServerStats, ShardStats, StatsSnapshot};
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// Worker threads in the request pool (0 = one per available core).
-    pub workers: usize,
+    /// Worker shards, each owning its own analysis cache (0 = one per
+    /// available core). Requests are partitioned by content hash.
+    pub shards: usize,
     /// Default `--jobs` for function-level passes inside one request
     /// (0 = auto). The per-request `options.jobs` overrides it.
     pub jobs: usize,
     /// Default per-request wall-clock budget in milliseconds (0 = none).
     pub timeout_ms: u64,
-    /// Result-cache capacity in entries (0 = unbounded).
+    /// Result-cache memory-tier capacity in entries (0 = unbounded).
     pub result_cache_capacity: usize,
-    /// Analysis-cache capacity in functions (0 = unbounded).
+    /// Per-shard analysis-cache capacity in functions (0 = unbounded).
     pub analysis_cache_capacity: usize,
     /// Maximum request size in bytes (frames and batch lines).
     pub max_request_bytes: usize,
+    /// Admission-control high-water mark: compute requests pending (queued
+    /// or in service) beyond which new arrivals are shed with `BUSY`
+    /// (0 = unbounded).
+    pub max_pending: usize,
+    /// Persistent result-cache directory (None = memory tier only).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// Persistent-tier byte budget (0 = unbounded).
+    pub cache_max_bytes: u64,
+    /// fsync persistent-tier writes.
+    pub cache_fsync: bool,
+    /// Close connections idle longer than this, in milliseconds
+    /// (0 = never; used by the socket transport, carried here so every
+    /// front end shares one config).
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for EngineConfig {
     fn default() -> EngineConfig {
         EngineConfig {
-            workers: 0,
+            shards: 0,
             jobs: 1,
             timeout_ms: DEFAULT_TIMEOUT_MS,
             result_cache_capacity: 1024,
             analysis_cache_capacity: 4096,
             max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+            max_pending: 256,
+            cache_dir: None,
+            cache_max_bytes: 0,
+            cache_fsync: false,
+            idle_timeout_ms: 300_000,
+        }
+    }
+}
+
+/// A dispatched request's deadline handle. The transport that owns the
+/// response path calls [`Engine::expire`] with it when the deadline
+/// passes; whichever side (worker completion or expiry) flips the
+/// `answered` flag first wins, so the requester sees exactly one response.
+pub struct Ticket {
+    answered: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl Ticket {
+    /// When this request times out (None = no budget).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+/// The exactly-once response path for one dispatched request. Delivery
+/// closes the request's accounting; if the responder is dropped without
+/// delivering (a job discarded during pool shutdown), it reports the
+/// failure instead of leaving the requester hanging.
+struct Responder {
+    answered: Arc<AtomicBool>,
+    stats_ok_closed: bool,
+    engine: Engine,
+    respond: Option<Box<dyn FnOnce(Response) + Send>>,
+}
+
+impl Responder {
+    fn deliver(mut self, response: Response) {
+        if self.answered.swap(true, Ordering::SeqCst) {
+            // Expired (or otherwise answered) first; the computation's
+            // side effects (cache population) are still valuable, but the
+            // requester has already been told.
+            self.respond = None;
+            return;
+        }
+        self.close_stats(matches!(response, Response::Optimized { .. }));
+        if let Some(respond) = self.respond.take() {
+            respond(response);
+        }
+    }
+
+    fn close_stats(&mut self, ok: bool) {
+        if !self.stats_ok_closed {
+            self.stats_ok_closed = true;
+            self.engine.inner.stats.end_request(ok);
+        }
+    }
+}
+
+impl Drop for Responder {
+    fn drop(&mut self) {
+        if let Some(respond) = self.respond.take() {
+            if !self.answered.swap(true, Ordering::SeqCst) {
+                self.close_stats(false);
+                respond(Response::error(
+                    ErrorKind::ShuttingDown,
+                    "request dropped during shutdown",
+                ));
+            }
         }
     }
 }
 
 struct EngineInner {
     config: EngineConfig,
-    pool: Pool,
+    shards: usize,
+    pool: ShardPool,
     results: ResultCache,
-    analyses: Arc<AnalysisCache>,
     stats: ServerStats,
     obs: Obs,
     queue_wait_us: Histogram,
     service_us: Histogram,
+    /// Compute requests admitted but not yet finished (admission gauge).
+    pending: AtomicU64,
+    /// Per-shard served-request counters (`mao_shard_requests_total`).
+    shard_requests: Vec<mao::obs::Counter>,
     shutting_down: AtomicBool,
 }
 
@@ -94,35 +196,65 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Build an engine and spawn its worker pool.
+    /// Build an engine and spawn its shard pool. Panics if the persistent
+    /// cache directory cannot be opened — use [`Engine::build`] for a
+    /// recoverable error.
     pub fn new(config: EngineConfig) -> Engine {
-        let workers = if config.workers == 0 {
+        Engine::build(config).expect("engine construction failed")
+    }
+
+    /// Build an engine, reporting persistent-cache setup failures.
+    pub fn build(config: EngineConfig) -> Result<Engine, String> {
+        let shards = if config.shards == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         } else {
-            config.workers
+            config.shards
         };
         let obs = Obs::aggregating();
-        let results = ResultCache::new(config.result_cache_capacity);
+        let disk = match &config.cache_dir {
+            Some(dir) => Some(
+                DiskCache::open(DiskCacheConfig {
+                    dir: dir.clone(),
+                    max_bytes: config.cache_max_bytes,
+                    fsync: config.cache_fsync,
+                })
+                .map_err(|e| format!("cannot open cache dir {}: {e}", dir.display()))?,
+            ),
+            None => None,
+        };
+        let results = ResultCache::with_disk(config.result_cache_capacity, disk);
         results.attach_metrics(&obs.metrics);
-        let analyses = Arc::new(AnalysisCache::with_capacity(config.analysis_cache_capacity));
-        analyses.attach_metrics(&obs.metrics);
-        Engine {
+        let pool = ShardPool::new(shards, config.analysis_cache_capacity);
+        let mut shard_requests = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let label = shard.to_string();
+            pool.ctx(shard)
+                .analyses
+                .attach_metrics_labeled(&obs.metrics, &[("shard", &label)]);
+            shard_requests.push(
+                obs.metrics
+                    .counter_with("mao_shard_requests_total", &[("shard", &label)]),
+            );
+        }
+        Ok(Engine {
             inner: Arc::new(EngineInner {
-                pool: Pool::new(workers),
+                shards,
+                pool,
                 results,
-                analyses,
                 stats: ServerStats::new(&obs.metrics),
                 queue_wait_us: obs
                     .metrics
                     .histogram("mao_request_queue_wait_us", US_BUCKETS),
                 service_us: obs.metrics.histogram("mao_request_service_us", US_BUCKETS),
                 obs,
+                pending: AtomicU64::new(0),
+                shard_requests,
                 shutting_down: AtomicBool::new(false),
                 config,
             }),
-        }
+        })
     }
 
     /// The engine's configuration.
@@ -130,19 +262,47 @@ impl Engine {
         &self.inner.config
     }
 
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards
+    }
+
     /// Service counters (shared with the transport layer).
     pub fn stats(&self) -> &ServerStats {
         &self.inner.stats
     }
 
-    /// Consolidated point-in-time view of the whole service: request
-    /// counters, result/analysis/layout caches, relaxation totals, pass
-    /// timings, and span totals — the one source for the `stats` response,
-    /// benchmarks, and tests.
+    /// Compute requests currently admitted (queued or in service) — the
+    /// admission-control gauge.
+    pub fn pending(&self) -> u64 {
+        self.inner.pending.load(Ordering::SeqCst)
+    }
+
+    /// Consolidated point-in-time view of the whole service: request and
+    /// admission counters, result-cache tiers, per-shard analysis caches,
+    /// relaxation totals, pass timings, and span totals — the one source
+    /// for the `stats` response, benchmarks, and tests.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let mut aggregate = CacheStats::default();
+        let mut per_shard = Vec::with_capacity(self.inner.shards);
+        for shard in 0..self.inner.shards {
+            let analyses = self.inner.pool.ctx(shard).analyses.stats();
+            aggregate.hits += analyses.hits;
+            aggregate.misses += analyses.misses;
+            aggregate.evictions += analyses.evictions;
+            aggregate.layout_hits += analyses.layout_hits;
+            aggregate.layout_misses += analyses.layout_misses;
+            per_shard.push(ShardStats {
+                shard,
+                requests: self.inner.shard_requests[shard].get(),
+                analysis_cache: analyses,
+            });
+        }
         self.inner.stats.snapshot(
             self.inner.results.stats(),
-            self.inner.analyses.stats(),
+            aggregate,
+            per_shard,
+            self.pending(),
             mao::relax_totals(),
             self.inner.obs.recorder.totals(),
         )
@@ -165,7 +325,13 @@ impl Engine {
         }
         out.gauge("mao_uptime_seconds", self.inner.stats.uptime_s());
         out.gauge("mao_requests_in_flight", self.inner.stats.in_flight());
+        out.gauge("mao_requests_pending", self.pending());
         out.gauge("mao_result_cache_len", self.inner.results.len());
+        if let Some(disk) = self.inner.results.disk() {
+            let d = disk.stats();
+            out.gauge("mao_result_cache_disk_bytes", d.bytes);
+            out.gauge("mao_result_cache_disk_entries", d.entries);
+        }
         out.finish()
     }
 
@@ -184,141 +350,241 @@ impl Engine {
         self.inner.pool.shutdown();
     }
 
-    /// Serve one request.
+    /// Serve one request synchronously. Batch mode and tests use this; the
+    /// socket transport uses [`Engine::handle_async`] so the event loop
+    /// never blocks on compute.
     pub fn handle(&self, request: Request) -> Response {
-        match request {
-            Request::Optimize(req) => self.optimize(req),
-            Request::Stats => {
-                self.inner.stats.record_admin();
-                Response::Stats(self.snapshot().to_json())
-            }
-            Request::Metrics => {
-                self.inner.stats.record_admin();
-                Response::Metrics(self.metrics_text())
-            }
-            Request::Ping => {
-                self.inner.stats.record_admin();
-                Response::Pong
-            }
-            Request::Shutdown => {
-                self.inner.stats.record_admin();
-                self.begin_shutdown();
-                Response::ShutdownAck
+        let (tx, rx) = sync_channel::<Response>(1);
+        let ticket = self.handle_async(request, move |response| {
+            let _ = tx.send(response);
+        });
+        match ticket {
+            None => rx
+                .recv()
+                .expect("inline responses are delivered before handle_async returns"),
+            Some(ticket) => {
+                let result = match ticket.deadline() {
+                    None => rx.recv().map_err(|_| ()),
+                    Some(deadline) => {
+                        let budget = deadline.saturating_duration_since(Instant::now());
+                        rx.recv_timeout(budget).map_err(|_| ())
+                    }
+                };
+                match result {
+                    Ok(response) => response,
+                    Err(()) => match self.expire(&ticket) {
+                        Some(timeout_response) => timeout_response,
+                        // The worker answered in the race window (or the
+                        // job was dropped at shutdown and the Responder
+                        // reported it); the channel has the response.
+                        None => rx.recv().unwrap_or_else(|_| {
+                            Response::error(ErrorKind::Panic, "worker disappeared mid-request")
+                        }),
+                    },
+                }
             }
         }
     }
 
-    /// Serve one optimize request (cache → pool → timeout).
-    fn optimize(&self, req: OptimizeRequest) -> Response {
+    /// Serve one request, delivering the response through `respond`
+    /// exactly once — inline (admin, cache hits, rejections, sheds) or
+    /// later from a shard worker. Returns a [`Ticket`] when the request
+    /// was dispatched to a shard; the caller owns deadline enforcement via
+    /// [`Engine::expire`].
+    pub fn handle_async(
+        &self,
+        request: Request,
+        respond: impl FnOnce(Response) + Send + 'static,
+    ) -> Option<Ticket> {
+        match request {
+            Request::Optimize(req) => self.optimize_async(req, Box::new(respond)),
+            Request::Stats => {
+                self.inner.stats.record_admin();
+                respond(Response::Stats(self.snapshot().to_json()));
+                None
+            }
+            Request::Metrics => {
+                self.inner.stats.record_admin();
+                respond(Response::Metrics(self.metrics_text()));
+                None
+            }
+            Request::Ping => {
+                self.inner.stats.record_admin();
+                respond(Response::Pong);
+                None
+            }
+            Request::Shutdown => {
+                self.inner.stats.record_admin();
+                self.begin_shutdown();
+                respond(Response::ShutdownAck);
+                None
+            }
+        }
+    }
+
+    /// A dispatched request's deadline passed: claim the response slot. On
+    /// a win, returns the timeout error (recorded in the counters) for the
+    /// caller to deliver; `None` means the worker answered first and there
+    /// is nothing to do.
+    pub fn expire(&self, ticket: &Ticket) -> Option<Response> {
+        if ticket.answered.swap(true, Ordering::SeqCst) {
+            return None;
+        }
+        self.inner.stats.record_timeout();
+        self.inner.stats.end_request(false);
+        Some(Response::error(
+            ErrorKind::Timeout,
+            "request exceeded its wall-clock budget",
+        ))
+    }
+
+    /// Serve one optimize request (cache → admission → shard → respond).
+    fn optimize_async(
+        &self,
+        req: OptimizeRequest,
+        respond: Box<dyn FnOnce(Response) + Send>,
+    ) -> Option<Ticket> {
         if self.is_shutting_down() {
-            return Response::error(ErrorKind::ShuttingDown, "server is draining");
+            respond(Response::error(
+                ErrorKind::ShuttingDown,
+                "server is draining",
+            ));
+            return None;
         }
         if req.asm.len() > self.inner.config.max_request_bytes {
-            return Response::error(
+            respond(Response::error(
                 ErrorKind::TooLarge,
                 format!(
                     "request of {} bytes exceeds the {}-byte limit",
                     req.asm.len(),
                     self.inner.config.max_request_bytes
                 ),
-            );
+            ));
+            return None;
         }
-        self.inner.stats.begin_request();
-        let response = self.optimize_inner(req);
-        self.inner
-            .stats
-            .end_request(matches!(response, Response::Optimized { .. }));
-        response
-    }
 
-    fn optimize_inner(&self, req: OptimizeRequest) -> Response {
+        self.inner.stats.begin_request();
         let started = Instant::now();
+        let answered = Arc::new(AtomicBool::new(false));
+        let responder = Responder {
+            answered: answered.clone(),
+            stats_ok_closed: false,
+            engine: self.clone(),
+            respond: Some(respond),
+        };
+
         let key = request_key(&req.asm, &req.passes);
         if req.use_cache {
-            if let Some(cached) = self.inner.results.get(key) {
+            if let Some((cached, tier)) = self.inner.results.get(key) {
                 // Serve the stored result verbatim except for the trace:
                 // an empty trace is the visible proof that nothing re-ran.
                 let mut outcome = (*cached).clone();
                 outcome.trace.clear();
-                return Response::Optimized {
+                responder.deliver(Response::Optimized {
                     outcome,
-                    cache: CacheOutcome::Hit,
+                    cache: match tier {
+                        CacheTier::Memory => CacheOutcome::Hit,
+                        CacheTier::Disk => CacheOutcome::DiskHit,
+                    },
                     timings: Timings {
                         parse_us: 0,
                         optimize_us: 0,
                         total_us: started.elapsed().as_micros() as u64,
                     },
-                };
+                });
+                return None;
             }
         }
 
+        // Admission control: a bounded pending set. `offered` counts every
+        // compute attempt; `accepted + shed == offered` reconciles exactly,
+        // so shed load is visible, never silent.
+        self.inner.stats.record_offered();
+        let max_pending = self.inner.config.max_pending;
+        let pending_now = self.inner.pending.fetch_add(1, Ordering::SeqCst) + 1;
+        if max_pending > 0 && pending_now as usize > max_pending {
+            self.inner.pending.fetch_sub(1, Ordering::SeqCst);
+            self.inner.stats.record_shed();
+            responder.deliver(Response::error(
+                ErrorKind::Busy,
+                format!(
+                    "{} requests already pending (high-water mark {max_pending}); \
+                     retry after a backoff",
+                    pending_now - 1
+                ),
+            ));
+            return None;
+        }
+        self.inner.stats.record_accepted();
+
         let timeout_ms = req.timeout_ms.unwrap_or(self.inner.config.timeout_ms);
-        let (tx, rx) = sync_channel::<Result<(OptimizeOutcome, Timings), Response>>(1);
+        let deadline = if timeout_ms == 0 {
+            None
+        } else {
+            Some(Instant::now() + Duration::from_millis(timeout_ms))
+        };
+        let ticket = Ticket { answered, deadline };
+
         let engine = self.clone();
         let use_cache = req.use_cache;
         let submitted_at = Instant::now();
-        let submitted = self.inner.pool.submit(Box::new(move || {
-            engine
-                .inner
+        let shard = key.shard(self.inner.shards);
+        let job = Box::new(move |ctx: &ShardCtx| {
+            let inner = &engine.inner;
+            inner.pending.fetch_sub(1, Ordering::SeqCst);
+            inner.shard_requests[ctx.index].inc();
+            inner
                 .queue_wait_us
                 .observe(submitted_at.elapsed().as_micros() as u64);
             let serviced_at = Instant::now();
-            let result = engine.compute(&req);
-            engine
-                .inner
+            let result = engine.compute(&req, ctx);
+            inner
                 .service_us
                 .observe(serviced_at.elapsed().as_micros() as u64);
             if let Ok((outcome, _)) = &result {
                 // Even if the requester has timed out and gone, the work is
                 // done — cache it so the retry is free.
                 if use_cache {
-                    engine.inner.results.insert(
+                    inner.results.insert(
                         request_key(&req.asm, &req.passes),
                         Arc::new(outcome.clone()),
                     );
                 }
             }
-            let _ = tx.send(result);
-        }));
-        if submitted.is_err() {
-            return Response::error(ErrorKind::ShuttingDown, "worker pool is shut down");
-        }
-
-        let result = if timeout_ms == 0 {
-            rx.recv().map_err(|_| RecvTimeoutError::Disconnected)
-        } else {
-            rx.recv_timeout(Duration::from_millis(timeout_ms))
-        };
-        match result {
-            Ok(Ok((outcome, mut timings))) => {
-                timings.total_us = started.elapsed().as_micros() as u64;
-                Response::Optimized {
-                    outcome,
-                    cache: if use_cache {
-                        CacheOutcome::Miss
-                    } else {
-                        CacheOutcome::Bypass
-                    },
-                    timings,
+            let response = match result {
+                Ok((outcome, mut timings)) => {
+                    timings.total_us = started.elapsed().as_micros() as u64;
+                    Response::Optimized {
+                        outcome,
+                        cache: if use_cache {
+                            CacheOutcome::Miss
+                        } else {
+                            CacheOutcome::Bypass
+                        },
+                        timings,
+                    }
                 }
-            }
-            Ok(Err(error_response)) => error_response,
-            Err(RecvTimeoutError::Timeout) => {
-                self.inner.stats.record_timeout();
-                Response::error(
-                    ErrorKind::Timeout,
-                    format!("request exceeded its {timeout_ms} ms budget"),
-                )
-            }
-            Err(RecvTimeoutError::Disconnected) => {
-                Response::error(ErrorKind::Panic, "worker disappeared mid-request")
-            }
+                Err(error_response) => error_response,
+            };
+            responder.deliver(response);
+        });
+        if self.inner.pool.submit(shard, job).is_err() {
+            // Shutdown raced us: the job (and its Responder) was dropped,
+            // which already delivered a shutting-down error and settled the
+            // pending counter is ours to fix.
+            self.inner.pending.fetch_sub(1, Ordering::SeqCst);
+            return None;
         }
+        Some(ticket)
     }
 
-    /// Parse + optimize one unit on the current (worker) thread, with panic
+    /// Parse + optimize one unit on the current (shard) thread, with panic
     /// isolation. Returns the outcome or a ready-made error response.
-    fn compute(&self, req: &OptimizeRequest) -> Result<(OptimizeOutcome, Timings), Response> {
+    fn compute(
+        &self,
+        req: &OptimizeRequest,
+        ctx: &ShardCtx,
+    ) -> Result<(OptimizeOutcome, Timings), Response> {
         let jobs = req.jobs.unwrap_or(self.inner.config.jobs);
         let mut request_span = Span::enter(&self.inner.obs.recorder, "request", "optimize");
         request_span.arg("bytes", req.asm.len());
@@ -336,7 +602,7 @@ impl Engine {
                     &invocations,
                     None,
                     &PipelineConfig { jobs },
-                    &self.inner.analyses,
+                    &ctx.analyses,
                     &self.inner.obs,
                 )
                 .map_err(|e| Response::error(ErrorKind::Pass, e.to_string()))?;
@@ -367,9 +633,10 @@ impl Engine {
             Ok(inner) => inner,
             Err(panic) => {
                 self.inner.stats.record_panic();
-                // Anything the panicking pass half-built in the shared
-                // analysis cache is suspect; drop it all.
-                self.inner.analyses.clear();
+                // Anything the panicking pass half-built in this shard's
+                // analysis cache is suspect; drop it. Other shards are
+                // untouched — that is the point of sharding.
+                ctx.analyses.clear();
                 let message = panic
                     .downcast_ref::<&str>()
                     .map(|s| s.to_string())
@@ -392,7 +659,7 @@ mod tests {
 
     fn engine() -> Engine {
         Engine::new(EngineConfig {
-            workers: 2,
+            shards: 2,
             ..EngineConfig::default()
         })
     }
@@ -456,7 +723,7 @@ mod tests {
             }
             other => panic!("expected panic error, got {other:?}"),
         }
-        // The daemon (and its workers) keep serving.
+        // The daemon (and its shards) keep serving.
         let next = engine.handle(optimize(INPUT, "REDTEST"));
         assert!(matches!(next, Response::Optimized { .. }));
     }
@@ -480,7 +747,7 @@ mod tests {
     #[test]
     fn oversized_request_rejected() {
         let engine = Engine::new(EngineConfig {
-            workers: 1,
+            shards: 1,
             max_request_bytes: 16,
             ..EngineConfig::default()
         });
@@ -506,6 +773,17 @@ mod tests {
     }
 
     #[test]
+    fn same_key_same_shard_distinct_keys_spread() {
+        let k1 = request_key(INPUT, "REDTEST");
+        assert_eq!(k1.shard(4), k1.shard(4), "deterministic");
+        // With enough distinct keys, more than one shard is used.
+        let hit: std::collections::HashSet<usize> = (0..64)
+            .map(|i| request_key(&format!("{INPUT}# {i}\n"), "REDTEST").shard(4))
+            .collect();
+        assert!(hit.len() > 1, "content hashing spreads shards: {hit:?}");
+    }
+
+    #[test]
     fn stats_snapshot_tracks_requests() {
         let engine = engine();
         let _ = engine.handle(optimize(INPUT, "REDTEST"));
@@ -522,6 +800,19 @@ mod tests {
             snap.get("schema_version").unwrap().as_u64(),
             Some(crate::stats::STATS_SCHEMA_VERSION)
         );
+        // Admission reconciles: one compute attempt, zero shed.
+        let admission = snap.get("admission").unwrap();
+        assert_eq!(admission.get("offered").unwrap().as_u64(), Some(1));
+        assert_eq!(admission.get("accepted").unwrap().as_u64(), Some(1));
+        assert_eq!(admission.get("shed").unwrap().as_u64(), Some(0));
+        // Exactly one shard served the one computed request.
+        let shards = snap.get("shards").unwrap().as_arr().unwrap();
+        assert_eq!(shards.len(), 2);
+        let served: u64 = shards
+            .iter()
+            .map(|s| s.get("requests").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(served, 1);
         // The aggregating recorder folded per-request and per-pass spans.
         let spans = snap.get("spans").unwrap().as_arr().unwrap();
         let request_total = spans
@@ -541,6 +832,14 @@ mod tests {
         mao::obs::prom::validate(&text).expect("exposition text validates");
         assert!(text.contains("# TYPE mao_requests_total counter"), "{text}");
         assert!(text.contains("mao_uptime_seconds"), "{text}");
+        assert!(
+            text.contains("mao_shard_requests_total{shard=\"0\"}"),
+            "shard-labeled counters present: {text}"
+        );
+        assert!(
+            text.contains("mao_analysis_cache_hits_total{shard=\"1\"}"),
+            "per-shard analysis caches are distinct series: {text}"
+        );
     }
 
     #[test]

@@ -16,14 +16,23 @@
 //! * [`json`] — minimal std-only JSON value/parser/writer (offline build,
 //!   no serde).
 //! * [`protocol`] — request/response shapes and the frame codec.
-//! * [`result_cache`] — content-addressed LRU cache of whole-request
-//!   results.
+//! * [`result_cache`] — content-addressed tiered cache of whole-request
+//!   results (memory LRU over an optional persistent tier).
+//! * [`disk_cache`] — the persistent tier: one self-verifying file per
+//!   key, atomic writes, size-bounded LRU eviction, shareable between
+//!   instances.
 //! * [`engine`] — transport-independent request handling: caching,
-//!   worker-pool dispatch, `catch_unwind` isolation, timeouts, stats.
-//! * [`pool`] — the fixed worker pool.
-//! * [`server`] — socket listener, connection threads, SIGTERM drain.
+//!   admission control, sharded dispatch, `catch_unwind` isolation,
+//!   timeouts, stats.
+//! * [`pool`] — the sharded worker pool; each shard owns its analysis
+//!   cache.
+//! * [`reactor`] — the event-driven connection layer: `poll(2)` readiness,
+//!   per-connection frame buffers, pipelining, idle timeouts (unix only).
+//! * [`server`] — listener setup, address parsing, SIGTERM drain.
 //! * [`client`] — framing client used by `mao client`.
 //! * [`batch`] — newline-delimited JSON over stdin/stdout.
+//! * [`loadgen`] — replay load generator driving mixed hot/cold/malformed
+//!   traffic with p50/p99 gates from the service histograms.
 //! * [`stats`] — cumulative service counters and the consolidated
 //!   [`StatsSnapshot`]; counters live in the engine's `mao_obs::Metrics`
 //!   registry so the `metrics` request (Prometheus text) and the `stats`
@@ -31,21 +40,28 @@
 
 pub mod batch;
 pub mod client;
+pub mod disk_cache;
 pub mod engine;
 pub mod json;
+pub mod loadgen;
 pub mod pool;
 pub mod protocol;
+#[cfg(unix)]
+pub mod reactor;
 pub mod result_cache;
 pub mod server;
 pub mod stats;
 
 pub use batch::run_batch;
 pub use client::Client;
+pub use disk_cache::{DiskCache, DiskCacheConfig, DiskCacheStats, DISK_FORMAT_VERSION};
 pub use engine::{Engine, EngineConfig};
 pub use json::Json;
 pub use protocol::{
     CacheOutcome, ErrorKind, OptimizeOutcome, OptimizeRequest, Request, Response, Timings,
 };
-pub use result_cache::{request_key, RequestKey, ResultCache, ResultCacheStats};
+pub use result_cache::{request_key, CacheTier, RequestKey, ResultCache, ResultCacheStats};
 pub use server::{connect, serve, Listen};
-pub use stats::{RequestCounters, ServerStats, StatsSnapshot, STATS_SCHEMA_VERSION};
+pub use stats::{
+    AdmissionStats, RequestCounters, ServerStats, ShardStats, StatsSnapshot, STATS_SCHEMA_VERSION,
+};

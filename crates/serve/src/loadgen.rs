@@ -1,0 +1,492 @@
+//! Replay load generator: mixed hot/cold/malformed traffic with latency
+//! gates.
+//!
+//! `mao loadgen` drives a running daemon the way a build farm would:
+//! several concurrent connections, each pipelining length-prefixed frames
+//! with a bounded number in flight. The traffic mix is deterministic (a
+//! splitmix64 stream, no RNG dependency): a configurable share of
+//! requests repeat a small hot set (result-cache hits after first touch),
+//! a share are unique cold inputs (full compute), and a share are
+//! malformed — invalid JSON or unparsable assembly — to prove the error
+//! paths hold up under load.
+//!
+//! The report carries two views of latency: client-observed percentiles
+//! (wall clock, send→response, including pipeline queueing) and
+//! service-side p50/p99 estimated from the daemon's
+//! `mao_request_service_us` histogram scraped after the run. Gates
+//! (`--p50-limit-us`, `--p99-limit-us`) apply to the service-side numbers
+//! so CI failures point at the engine, not at client-side scheduling
+//! noise; a gate run also fails on any *unexpected* error (a malformed
+//! request answered with anything but a structured error, or a
+//! well-formed one answered with anything but success/BUSY).
+
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::protocol::{read_frame, write_frame, Frame, Request};
+use crate::server::{connect_with_retry, Listen};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address.
+    pub addr: Listen,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Frames in flight per connection (1 = strict request/response).
+    pub pipeline_depth: usize,
+    /// Distinct hot inputs (everything not cold/malformed cycles these).
+    pub hot_keys: usize,
+    /// Percent of requests with unique never-repeated inputs.
+    pub cold_pct: u32,
+    /// Percent of requests that are malformed (split between invalid
+    /// JSON and unparsable assembly).
+    pub malformed_pct: u32,
+    /// Pass pipeline for well-formed requests.
+    pub passes: String,
+    /// Gate: service-side p50 must stay at or below this (microseconds).
+    pub p50_limit_us: Option<u64>,
+    /// Gate: service-side p99 must stay at or below this (microseconds).
+    pub p99_limit_us: Option<u64>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: Listen::Unix(std::path::PathBuf::from("/tmp/maod.sock")),
+            connections: 4,
+            requests: 200,
+            pipeline_depth: 8,
+            hot_keys: 8,
+            cold_pct: 20,
+            malformed_pct: 5,
+            passes: "REDTEST:ADDADD".to_string(),
+            p50_limit_us: None,
+            p99_limit_us: None,
+        }
+    }
+}
+
+/// What one run observed.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenReport {
+    /// Requests sent (== responses read on a clean run).
+    pub sent: u64,
+    /// Successful optimize responses.
+    pub ok: u64,
+    /// Result-cache memory-tier hits.
+    pub cache_hits: u64,
+    /// Result-cache disk-tier hits.
+    pub cache_disk_hits: u64,
+    /// Cache misses (fresh compute).
+    pub cache_misses: u64,
+    /// `BUSY` sheds (admission control working as designed).
+    pub busy: u64,
+    /// Malformed requests answered with the expected structured error.
+    pub expected_errors: u64,
+    /// Anything else — always a gate failure.
+    pub unexpected_errors: u64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_s: f64,
+    /// Client-observed percentiles (include pipeline queueing).
+    pub client_p50_us: u64,
+    /// Client-observed p99.
+    pub client_p99_us: u64,
+    /// Service-side percentiles from `mao_request_service_us`.
+    pub service_p50_us: f64,
+    /// Service-side p99.
+    pub service_p99_us: f64,
+    /// Gate verdicts; empty = pass.
+    pub failures: Vec<String>,
+}
+
+impl LoadgenReport {
+    /// Throughput over the whole run.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.sent as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Render for `mao loadgen --json` and the bench scripts.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("sent", Json::from(self.sent)),
+            ("ok", Json::from(self.ok)),
+            ("cache_hits", Json::from(self.cache_hits)),
+            ("cache_disk_hits", Json::from(self.cache_disk_hits)),
+            ("cache_misses", Json::from(self.cache_misses)),
+            ("busy", Json::from(self.busy)),
+            ("expected_errors", Json::from(self.expected_errors)),
+            ("unexpected_errors", Json::from(self.unexpected_errors)),
+            ("elapsed_s", Json::from(self.elapsed_s)),
+            ("throughput_rps", Json::from(self.throughput_rps())),
+            ("client_p50_us", Json::from(self.client_p50_us)),
+            ("client_p99_us", Json::from(self.client_p99_us)),
+            ("service_p50_us", Json::from(self.service_p50_us)),
+            ("service_p99_us", Json::from(self.service_p99_us)),
+            (
+                "failures",
+                Json::Arr(
+                    self.failures
+                        .iter()
+                        .map(|f| Json::from(f.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Did every gate hold?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// splitmix64: deterministic, well-mixed, and dependency-free.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The i-th request's wire payload and its expectation class.
+#[derive(Clone, Copy, PartialEq)]
+enum Expect {
+    /// Well-formed: success or BUSY are acceptable.
+    Ok,
+    /// Malformed: a structured error is the *correct* answer.
+    Error,
+}
+
+fn synthesize(index: u64, config: &LoadgenConfig) -> (Vec<u8>, Expect) {
+    let roll = mix(index) % 100;
+    if roll < config.malformed_pct as u64 {
+        // Alternate protocol-level and assembly-level malformation.
+        if mix(index ^ 0xbad) % 2 == 0 {
+            return (b"{\"op\": \"optimize\", truncated".to_vec(), Expect::Error);
+        }
+        let request = Request::Optimize(crate::protocol::OptimizeRequest {
+            asm: format!("nop\nfrobnicate %eax, {index}\n"),
+            passes: config.passes.clone(),
+            jobs: None,
+            timeout_ms: None,
+            use_cache: true,
+        });
+        return (request.to_json().to_string().into_bytes(), Expect::Error);
+    }
+    let cold = roll < (config.malformed_pct + config.cold_pct) as u64;
+    let variant = if cold {
+        format!("cold_{index}")
+    } else {
+        format!("hot_{}", mix(index ^ 0x407) % config.hot_keys.max(1) as u64)
+    };
+    // A small function with folding and branch work so a miss costs real
+    // pipeline time while a hit costs only the cache probe.
+    let asm = format!(
+        "# loadgen {variant}\n\t.type\tf, @function\nf:\n\tsubl $16, %r15d\n\ttestl %r15d, %r15d\n\tjne .L1\n\taddl $3, %eax\n\taddl $4, %eax\n.L1:\n\taddl $1, %ebx\n\taddl $2, %ebx\n\tret\n"
+    );
+    let request = Request::Optimize(crate::protocol::OptimizeRequest {
+        asm,
+        passes: config.passes.clone(),
+        jobs: None,
+        timeout_ms: None,
+        use_cache: true,
+    });
+    (request.to_json().to_string().into_bytes(), Expect::Ok)
+}
+
+#[derive(Default)]
+struct Tally {
+    report: LoadgenReport,
+    latencies_us: Vec<u64>,
+}
+
+fn classify(response: &Json, expect: Expect, tally: &mut Tally) {
+    let status = response.get("status").and_then(|s| s.as_str());
+    match status {
+        Some("ok") => {
+            if expect == Expect::Error {
+                tally.report.unexpected_errors += 1;
+                return;
+            }
+            tally.report.ok += 1;
+            match response.get("cache").and_then(|c| c.as_str()) {
+                Some("hit") => tally.report.cache_hits += 1,
+                Some("hit_disk") => tally.report.cache_disk_hits += 1,
+                Some("miss") => tally.report.cache_misses += 1,
+                _ => {}
+            }
+        }
+        Some("error") => {
+            let kind = response
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(|k| k.as_str())
+                .unwrap_or("");
+            match (expect, kind) {
+                // Admission shedding preempts parsing, so even a malformed
+                // request can come back `busy` under flood.
+                (_, "busy") => tally.report.busy += 1,
+                (Expect::Error, "parse") | (Expect::Error, "bad_request") => {
+                    tally.report.expected_errors += 1
+                }
+                _ => tally.report.unexpected_errors += 1,
+            }
+        }
+        _ => tally.report.unexpected_errors += 1,
+    }
+}
+
+/// One connection's worth of traffic: indices `[start, start + count)`,
+/// pipelined `depth` deep.
+fn drive_connection(
+    config: &LoadgenConfig,
+    start: u64,
+    count: u64,
+    tally: &mut Tally,
+) -> io::Result<()> {
+    let mut conn = connect_with_retry(&config.addr, Duration::from_secs(5))?;
+    let depth = config.pipeline_depth.max(1) as u64;
+    let mut next_send = start;
+    let mut next_read = start;
+    let end = start + count;
+    let mut outstanding: std::collections::VecDeque<(Instant, Expect)> =
+        std::collections::VecDeque::new();
+    while next_read < end {
+        while next_send < end && (outstanding.len() as u64) < depth {
+            let (payload, expect) = synthesize(next_send, config);
+            write_frame(&mut conn, &payload)?;
+            outstanding.push_back((Instant::now(), expect));
+            next_send += 1;
+        }
+        let Frame::Payload(bytes) = read_frame(&mut conn, usize::MAX)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-run",
+            ));
+        };
+        let (sent_at, expect) = outstanding.pop_front().expect("response without request");
+        tally
+            .latencies_us
+            .push(sent_at.elapsed().as_micros() as u64);
+        tally.report.sent += 1;
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response is not utf-8"))?;
+        let response = Json::parse(text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        classify(&response, expect, tally);
+        next_read += 1;
+    }
+    Ok(())
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Estimate quantile `q` from Prometheus-style cumulative buckets
+/// (`(upper_bound_us, cumulative_count)`, +Inf last) by linear
+/// interpolation within the winning bucket.
+pub fn histogram_quantile(buckets: &[(f64, u64)], q: f64) -> f64 {
+    let total = buckets.last().map(|(_, n)| *n).unwrap_or(0);
+    if total == 0 {
+        return 0.0;
+    }
+    let target = (q * total as f64).ceil().max(1.0) as u64;
+    let mut lower_bound = 0.0;
+    let mut lower_count = 0u64;
+    for &(le, cumulative) in buckets {
+        if cumulative >= target {
+            if le.is_infinite() {
+                return lower_bound; // best effort: everything overflowed
+            }
+            let in_bucket = (cumulative - lower_count) as f64;
+            let needed = (target - lower_count) as f64;
+            return lower_bound + (le - lower_bound) * (needed / in_bucket.max(1.0));
+        }
+        lower_bound = le;
+        lower_count = cumulative;
+    }
+    lower_bound
+}
+
+/// Pull `family`'s cumulative buckets out of a Prometheus text scrape.
+pub fn scrape_buckets(metrics_text: &str, family: &str) -> Vec<(f64, u64)> {
+    let prefix = format!("{family}_bucket{{le=\"");
+    let mut buckets = Vec::new();
+    for line in metrics_text.lines() {
+        let Some(rest) = line.strip_prefix(&prefix) else {
+            continue;
+        };
+        let Some((le_text, rest)) = rest.split_once("\"}") else {
+            continue;
+        };
+        let le = if le_text == "+Inf" {
+            f64::INFINITY
+        } else {
+            le_text.parse().unwrap_or(f64::INFINITY)
+        };
+        if let Ok(count) = rest.trim().parse::<u64>() {
+            buckets.push((le, count));
+        }
+    }
+    buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    buckets
+}
+
+/// Scrape the daemon's metrics endpoint and return the raw exposition
+/// text.
+pub fn scrape_metrics(addr: &Listen) -> io::Result<String> {
+    let mut conn = connect_with_retry(addr, Duration::from_secs(5))?;
+    write_frame(&mut conn, Request::Metrics.to_json().to_string().as_bytes())?;
+    let Frame::Payload(bytes) = read_frame(&mut conn, usize::MAX)? else {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "server closed during metrics scrape",
+        ));
+    };
+    let text = std::str::from_utf8(&bytes)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "scrape is not utf-8"))?;
+    let json =
+        Json::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    json.get("metrics")
+        .and_then(|m| m.as_str())
+        .map(|s| s.to_string())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no metrics in scrape"))
+}
+
+/// Run the generator against a live daemon and evaluate the gates.
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let config = Arc::new(config.clone());
+    let started = Instant::now();
+    let connections = config.connections.max(1) as u64;
+    let per_conn = config.requests as u64 / connections;
+    let remainder = config.requests as u64 % connections;
+    let mut handles = Vec::new();
+    let mut start = 0u64;
+    for c in 0..connections {
+        let count = per_conn + if c < remainder { 1 } else { 0 };
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut tally = Tally::default();
+            let result = drive_connection(&config, start, count, &mut tally);
+            (tally, result)
+        }));
+        start += count;
+    }
+    let mut merged = Tally::default();
+    let mut io_errors = Vec::new();
+    for handle in handles {
+        let (tally, result) = handle.join().expect("loadgen worker panicked");
+        merged.report.sent += tally.report.sent;
+        merged.report.ok += tally.report.ok;
+        merged.report.cache_hits += tally.report.cache_hits;
+        merged.report.cache_disk_hits += tally.report.cache_disk_hits;
+        merged.report.cache_misses += tally.report.cache_misses;
+        merged.report.busy += tally.report.busy;
+        merged.report.expected_errors += tally.report.expected_errors;
+        merged.report.unexpected_errors += tally.report.unexpected_errors;
+        merged.latencies_us.extend(tally.latencies_us);
+        if let Err(e) = result {
+            io_errors.push(e.to_string());
+        }
+    }
+    let mut report = merged.report;
+    report.elapsed_s = started.elapsed().as_secs_f64();
+    merged.latencies_us.sort_unstable();
+    report.client_p50_us = percentile(&merged.latencies_us, 0.50);
+    report.client_p99_us = percentile(&merged.latencies_us, 0.99);
+
+    let metrics = scrape_metrics(&config.addr)?;
+    let buckets = scrape_buckets(&metrics, "mao_request_service_us");
+    report.service_p50_us = histogram_quantile(&buckets, 0.50);
+    report.service_p99_us = histogram_quantile(&buckets, 0.99);
+
+    for e in io_errors {
+        report.failures.push(format!("io: {e}"));
+    }
+    if report.unexpected_errors > 0 {
+        report
+            .failures
+            .push(format!("{} unexpected errors", report.unexpected_errors));
+    }
+    if let Some(limit) = config.p50_limit_us {
+        if report.service_p50_us > limit as f64 {
+            report.failures.push(format!(
+                "service p50 {:.0}us exceeds limit {limit}us",
+                report.service_p50_us
+            ));
+        }
+    }
+    if let Some(limit) = config.p99_limit_us {
+        if report.service_p99_us > limit as f64 {
+            report.failures.push(format!(
+                "service p99 {:.0}us exceeds limit {limit}us",
+                report.service_p99_us
+            ));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_mix_is_deterministic_and_mixed() {
+        let config = LoadgenConfig::default();
+        let first: Vec<(Vec<u8>, bool)> = (0..100)
+            .map(|i| {
+                let (p, e) = synthesize(i, &config);
+                (p, e == Expect::Error)
+            })
+            .collect();
+        let second: Vec<(Vec<u8>, bool)> = (0..100)
+            .map(|i| {
+                let (p, e) = synthesize(i, &config);
+                (p, e == Expect::Error)
+            })
+            .collect();
+        assert_eq!(first, second, "same index, same payload");
+        let malformed = first.iter().filter(|(_, e)| *e).count();
+        assert!(malformed > 0, "mix includes malformed traffic");
+        assert!(malformed < 50, "malformed stays a minority: {malformed}");
+    }
+
+    #[test]
+    fn histogram_quantile_interpolates() {
+        // 100 observations: 50 in (0,100], 40 in (100,1000], 10 beyond.
+        let buckets = vec![(100.0, 50), (1000.0, 90), (f64::INFINITY, 100)];
+        let p50 = histogram_quantile(&buckets, 0.50);
+        assert!((0.0..=100.0).contains(&p50), "{p50}");
+        let p90 = histogram_quantile(&buckets, 0.90);
+        assert!((100.0..=1000.0).contains(&p90), "{p90}");
+        assert_eq!(histogram_quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn scrape_buckets_parses_exposition_lines() {
+        let text = "# TYPE mao_request_service_us histogram\n\
+                    mao_request_service_us_bucket{le=\"100\"} 5\n\
+                    mao_request_service_us_bucket{le=\"1000\"} 9\n\
+                    mao_request_service_us_bucket{le=\"+Inf\"} 10\n\
+                    mao_request_service_us_count 10\n";
+        let buckets = scrape_buckets(text, "mao_request_service_us");
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], (100.0, 5));
+        assert!(buckets[2].0.is_infinite());
+    }
+}

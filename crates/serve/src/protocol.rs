@@ -143,8 +143,11 @@ impl Request {
 /// Whether an optimize response was served from the result cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
-    /// Served from the content-addressed cache; no optimization ran.
+    /// Served from the in-memory cache tier; no optimization ran.
     Hit,
+    /// Served from the persistent disk tier (and promoted to memory); no
+    /// optimization ran, but the entry was read and verified from disk.
+    DiskHit,
     /// Computed fresh and inserted into the cache.
     Miss,
     /// Caching disabled for this request.
@@ -156,6 +159,7 @@ impl CacheOutcome {
     pub fn as_str(self) -> &'static str {
         match self {
             CacheOutcome::Hit => "hit",
+            CacheOutcome::DiskHit => "hit_disk",
             CacheOutcome::Miss => "miss",
             CacheOutcome::Bypass => "bypass",
         }
@@ -177,6 +181,10 @@ pub enum ErrorKind {
     Timeout,
     /// The request frame exceeded the size limit.
     TooLarge,
+    /// Admission control shed this request: the pending-request queue is
+    /// at its high-water mark. The request was *not* queued; retrying
+    /// after a backoff is expected to succeed.
+    Busy,
     /// The server is draining and refused new work.
     ShuttingDown,
 }
@@ -191,6 +199,7 @@ impl ErrorKind {
             ErrorKind::Panic => "panic",
             ErrorKind::Timeout => "timeout",
             ErrorKind::TooLarge => "too_large",
+            ErrorKind::Busy => "busy",
             ErrorKind::ShuttingDown => "shutting_down",
         }
     }

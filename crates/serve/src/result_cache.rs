@@ -1,4 +1,4 @@
-//! Content-addressed result cache for whole optimization requests.
+//! Content-addressed, tiered result cache for whole optimization requests.
 //!
 //! Keyed by a 128-bit hash of `(input asm, pass string)`. The worker count
 //! is deliberately *not* part of the key: the PR 1 parallel driver
@@ -6,16 +6,26 @@
 //! `jobs` value, so a unit optimized at `--jobs 8` is a valid answer for
 //! the same unit at `--jobs 1`.
 //!
-//! Eviction is LRU with a configurable entry capacity; hit/miss/eviction/
-//! insertion counters feed the `stats` endpoint. Values are handed out as
-//! `Arc`s so a hit never copies the (potentially megabytes of) output
-//! assembly under the lock.
+//! Two tiers:
+//!
+//! * **Memory** — LRU with a configurable entry capacity. Values are
+//!   handed out as `Arc`s so a hit never copies the (potentially megabytes
+//!   of) output assembly under the lock.
+//! * **Disk** (optional) — a persistent [`DiskCache`] consulted on memory
+//!   misses. A disk hit is *promoted* into the memory tier, so the next
+//!   lookup is pure memory; an insert writes through to both tiers. This
+//!   is what makes restarts begin warm and lets multiple `maod` instances
+//!   share artifacts via a common directory.
+//!
+//! Hit/miss/eviction/insertion counters for both tiers feed the `stats`
+//! endpoint and the Prometheus scrape.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::disk_cache::{DiskCache, DiskCacheStats};
 use crate::protocol::OptimizeOutcome;
 
 /// Registry mirrors of the cache counters (attached at most once).
@@ -29,6 +39,24 @@ struct CacheMetrics {
 /// 128-bit content key of a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct RequestKey(u128);
+
+impl RequestKey {
+    /// The raw 128-bit value (file names, wire debugging).
+    pub fn raw(self) -> u128 {
+        self.0
+    }
+
+    /// Deterministic shard assignment for `shards` partitions. Uses the
+    /// high (independently seeded) hash half, so shard balance is
+    /// uncorrelated with the memory tier's bucket placement.
+    pub fn shard(self, shards: usize) -> usize {
+        if shards <= 1 {
+            0
+        } else {
+            ((self.0 >> 64) as u64 % shards as u64) as usize
+        }
+    }
+}
 
 /// Hash `(asm, passes)` into a [`RequestKey`].
 ///
@@ -62,6 +90,8 @@ pub struct ResultCacheStats {
     pub len: usize,
     /// Configured capacity (entries).
     pub capacity: usize,
+    /// Persistent-tier counters (None when no disk tier is configured).
+    pub disk: Option<DiskCacheStats>,
 }
 
 impl ResultCacheStats {
@@ -83,10 +113,20 @@ struct CacheState {
     clock: u64,
 }
 
-/// Thread-safe content-addressed LRU cache of optimize outcomes.
+/// Which tier answered a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// Served from the in-memory LRU.
+    Memory,
+    /// Served from the persistent tier (and promoted to memory).
+    Disk,
+}
+
+/// Thread-safe content-addressed tiered cache of optimize outcomes.
 pub struct ResultCache {
     state: Mutex<CacheState>,
     capacity: usize,
+    disk: Option<DiskCache>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -95,14 +135,21 @@ pub struct ResultCache {
 }
 
 impl ResultCache {
-    /// Cache holding at most `capacity` results (0 = unbounded).
+    /// Memory-only cache holding at most `capacity` results (0 =
+    /// unbounded).
     pub fn new(capacity: usize) -> ResultCache {
+        ResultCache::with_disk(capacity, None)
+    }
+
+    /// Cache with an optional persistent tier behind the memory LRU.
+    pub fn with_disk(capacity: usize, disk: Option<DiskCache>) -> ResultCache {
         ResultCache {
             state: Mutex::new(CacheState {
                 map: HashMap::new(),
                 clock: 0,
             }),
             capacity,
+            disk,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -111,8 +158,14 @@ impl ResultCache {
         }
     }
 
+    /// The persistent tier, when configured.
+    pub fn disk(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
+    }
+
     /// Mirror this cache's counters into `metrics` as the
-    /// `mao_result_cache_*_total` families. First attachment wins; the
+    /// `mao_result_cache_*_total` families (and the disk tier's as
+    /// `mao_result_cache_disk_*_total`). First attachment wins; the
     /// registry copies start at the attach point (they are exposure
     /// counters, not a replay of history).
     pub fn attach_metrics(&self, metrics: &mao::obs::Metrics) {
@@ -122,34 +175,52 @@ impl ResultCache {
             evictions: metrics.counter("mao_result_cache_evictions_total"),
             insertions: metrics.counter("mao_result_cache_insertions_total"),
         });
+        if let Some(disk) = &self.disk {
+            disk.attach_metrics(metrics);
+        }
     }
 
-    /// Look up a request, refreshing its LRU stamp on a hit.
-    pub fn get(&self, key: RequestKey) -> Option<Arc<OptimizeOutcome>> {
-        let mut state = self.state.lock().unwrap();
-        state.clock += 1;
-        let stamp = state.clock;
-        match state.map.get_mut(&key) {
-            Some(entry) => {
+    /// Look up a request: memory first, then the persistent tier (a disk
+    /// hit is promoted into memory). The memory hit/miss counters track
+    /// the memory tier only; the disk tier keeps its own.
+    pub fn get(&self, key: RequestKey) -> Option<(Arc<OptimizeOutcome>, CacheTier)> {
+        {
+            let mut state = self.state.lock().unwrap();
+            state.clock += 1;
+            let stamp = state.clock;
+            if let Some(entry) = state.map.get_mut(&key) {
                 entry.0 = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 if let Some(m) = self.metrics.get() {
                     m.hits.inc();
                 }
-                Some(entry.1.clone())
+                return Some((entry.1.clone(), CacheTier::Memory));
             }
-            None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                if let Some(m) = self.metrics.get() {
-                    m.misses.inc();
-                }
-                None
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = self.metrics.get() {
+                m.misses.inc();
             }
+        }
+        // Memory miss: consult the persistent tier outside the memory lock
+        // (file reads must not serialize unrelated lookups).
+        let disk = self.disk.as_ref()?;
+        let outcome = Arc::new(disk.get(key)?);
+        self.insert_memory(key, outcome.clone());
+        Some((outcome, CacheTier::Disk))
+    }
+
+    /// Store a result in memory (evicting LRU entries past capacity) and
+    /// write it through to the persistent tier when one is configured.
+    pub fn insert(&self, key: RequestKey, outcome: Arc<OptimizeOutcome>) {
+        self.insert_memory(key, outcome.clone());
+        if let Some(disk) = &self.disk {
+            disk.put(key, &outcome);
         }
     }
 
-    /// Store a result, evicting least-recently-used entries past capacity.
-    pub fn insert(&self, key: RequestKey, outcome: Arc<OptimizeOutcome>) {
+    /// Memory-tier insert only — used for disk-hit promotion, which must
+    /// not rewrite the entry it just read.
+    fn insert_memory(&self, key: RequestKey, outcome: Arc<OptimizeOutcome>) {
         let mut state = self.state.lock().unwrap();
         state.clock += 1;
         let stamp = state.clock;
@@ -185,7 +256,7 @@ impl ResultCache {
         self.len() == 0
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot (both tiers).
     pub fn stats(&self) -> ResultCacheStats {
         ResultCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -194,6 +265,7 @@ impl ResultCache {
             insertions: self.insertions.load(Ordering::Relaxed),
             len: self.len(),
             capacity: self.capacity,
+            disk: self.disk.as_ref().map(DiskCache::stats),
         }
     }
 }
@@ -217,9 +289,41 @@ mod tests {
         let k = request_key("nop\n", "DCE");
         assert!(cache.get(k).is_none());
         cache.insert(k, outcome("nop\n"));
-        assert_eq!(cache.get(k).unwrap().asm, "nop\n");
+        let (hit, tier) = cache.get(k).unwrap();
+        assert_eq!(hit.asm, "nop\n");
+        assert_eq!(tier, CacheTier::Memory);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.insertions), (1, 1, 1));
+        assert!(s.disk.is_none(), "memory-only cache has no disk stats");
+    }
+
+    #[test]
+    fn disk_tier_promotes_on_hit() {
+        let dir =
+            std::env::temp_dir().join(format!("maod-result-cache-tier-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let open = || {
+            crate::disk_cache::DiskCache::open(crate::disk_cache::DiskCacheConfig::new(&dir))
+                .unwrap()
+        };
+        let k = request_key("nop\n", "DCE");
+        {
+            let warm = ResultCache::with_disk(8, Some(open()));
+            warm.insert(k, outcome("nop\n"));
+        }
+        // Fresh memory tier, same directory: first lookup is a disk hit...
+        let cache = ResultCache::with_disk(8, Some(open()));
+        let (hit, tier) = cache.get(k).unwrap();
+        assert_eq!(hit.asm, "nop\n");
+        assert_eq!(tier, CacheTier::Disk);
+        // ...which promoted the entry, so the second is pure memory.
+        let (_, tier) = cache.get(k).unwrap();
+        assert_eq!(tier, CacheTier::Memory);
+        let s = cache.stats();
+        let d = s.disk.unwrap();
+        assert_eq!((s.hits, s.misses), (1, 1), "memory tier saw one of each");
+        assert_eq!((d.hits, d.misses), (1, 0), "the only disk lookup hit");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,25 +1,24 @@
-//! The socket transport: listener, connections, graceful drain.
+//! The socket transport: address parsing, listener setup, graceful drain.
 //!
 //! `maod` listens on a Unix-domain socket (the default — build pipelines
-//! are machine-local) or a TCP address. Each connection gets a thread that
-//! reads length-prefixed request frames and writes response frames; the
-//! actual optimization work is dispatched through the shared [`Engine`]'s
-//! worker pool, so a slow request on one connection never blocks another
-//! connection's requests.
+//! are machine-local) or a TCP address. On unix targets every connection
+//! is multiplexed onto the event-driven [`crate::reactor`] loop:
+//! `poll(2)` readiness, per-connection frame buffers, pipelined in-order
+//! responses, idle timeouts. Compute is dispatched through the shared
+//! [`Engine`]'s shard pool, so a slow request on one connection never
+//! blocks another connection's requests. (Non-unix targets fall back to a
+//! blocking thread-per-connection loop over TCP.)
 //!
 //! Shutdown is cooperative: a `shutdown` request or SIGTERM/SIGINT flips
-//! the engine's drain flag; the accept loop stops taking connections,
-//! in-service requests finish and their responses are written, then the
-//! listener exits.
+//! the engine's drain flag; the loop stops taking connections, in-service
+//! requests finish and their responses are written, then the listener
+//! exits.
 
 use std::io::{self, Read, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 use crate::engine::Engine;
-use crate::protocol::{read_frame, write_frame, ErrorKind, Frame, Request, Response};
 
 /// Where to listen / connect.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,9 +65,29 @@ impl<T: Read + Write + Send> Conn for T {}
 
 /// Connect to a listening daemon.
 pub fn connect(addr: &Listen) -> io::Result<Box<dyn Conn>> {
+    connect_with_io_timeout(addr, None)
+}
+
+/// Connect with read/write timeouts on the socket (None = block forever).
+/// A stalled daemon then surfaces as a `WouldBlock`/`TimedOut` I/O error
+/// instead of hanging the client.
+pub fn connect_with_io_timeout(
+    addr: &Listen,
+    io_timeout: Option<Duration>,
+) -> io::Result<Box<dyn Conn>> {
     match addr {
-        Listen::Unix(path) => Ok(Box::new(std::os::unix::net::UnixStream::connect(path)?)),
-        Listen::Tcp(hostport) => Ok(Box::new(std::net::TcpStream::connect(hostport)?)),
+        Listen::Unix(path) => {
+            let stream = std::os::unix::net::UnixStream::connect(path)?;
+            stream.set_read_timeout(io_timeout)?;
+            stream.set_write_timeout(io_timeout)?;
+            Ok(Box::new(stream))
+        }
+        Listen::Tcp(hostport) => {
+            let stream = std::net::TcpStream::connect(hostport)?;
+            stream.set_read_timeout(io_timeout)?;
+            stream.set_write_timeout(io_timeout)?;
+            Ok(Box::new(stream))
+        }
     }
 }
 
@@ -89,10 +108,10 @@ pub fn connect_with_retry(addr: &Listen, budget: Duration) -> io::Result<Box<dyn
 }
 
 #[cfg(unix)]
-mod sig {
+pub(crate) mod sig {
     use std::sync::atomic::{AtomicBool, Ordering};
 
-    /// Set by the SIGTERM/SIGINT handler; polled by the accept loop.
+    /// Set by the SIGTERM/SIGINT handler; polled by the event loop.
     pub static TERM: AtomicBool = AtomicBool::new(false);
 
     extern "C" fn on_term(_sig: i32) {
@@ -119,41 +138,19 @@ mod sig {
 }
 
 #[cfg(not(unix))]
-mod sig {
+pub(crate) mod sig {
     pub fn install() {}
     pub fn termed() -> bool {
         false
     }
 }
 
-enum Listener {
-    Unix(std::os::unix::net::UnixListener),
-    Tcp(std::net::TcpListener),
-}
-
-impl Listener {
-    fn accept(&self) -> io::Result<Box<dyn Conn>> {
-        match self {
-            Listener::Unix(l) => {
-                let (stream, _) = l.accept()?;
-                stream.set_nonblocking(false)?;
-                Ok(Box::new(stream))
-            }
-            Listener::Tcp(l) => {
-                let (stream, _) = l.accept()?;
-                stream.set_nonblocking(false)?;
-                stream.set_nodelay(true).ok();
-                Ok(Box::new(stream))
-            }
-        }
-    }
-}
-
 /// Run the daemon until drained. Returns after every accepted request has
 /// been answered.
+#[cfg(unix)]
 pub fn serve(engine: Engine, addr: &Listen) -> io::Result<()> {
     sig::install();
-    let listener = match addr {
+    let acceptor = match addr {
         Listen::Unix(path) => {
             if path.exists() {
                 // A previous daemon's socket. If something is still
@@ -168,22 +165,48 @@ pub fn serve(engine: Engine, addr: &Listen) -> io::Result<()> {
             }
             let l = std::os::unix::net::UnixListener::bind(path)?;
             l.set_nonblocking(true)?;
-            Listener::Unix(l)
+            crate::reactor::Acceptor::Unix(l)
         }
         Listen::Tcp(hostport) => {
             let l = std::net::TcpListener::bind(hostport)?;
             l.set_nonblocking(true)?;
-            Listener::Tcp(l)
+            crate::reactor::Acceptor::Tcp(l)
         }
     };
+    eprintln!(
+        "[maod] listening on {addr} ({} shards, cache {})",
+        engine.shards(),
+        match &engine.config().cache_dir {
+            Some(dir) => format!("dir {}", dir.display()),
+            None => "memory-only".to_string(),
+        }
+    );
+    let result = crate::reactor::run(engine, acceptor);
+    if let Listen::Unix(path) = addr {
+        let _ = std::fs::remove_file(path);
+    }
+    eprintln!("[maod] bye");
+    result
+}
+
+/// Blocking thread-per-connection fallback for targets without `poll(2)`
+/// (TCP only).
+#[cfg(not(unix))]
+pub fn serve(engine: Engine, addr: &Listen) -> io::Result<()> {
+    use crate::protocol::{read_frame, write_frame, ErrorKind, Frame, Request, Response};
+
+    sig::install();
+    let listener = match addr {
+        Listen::Tcp(hostport) => std::net::TcpListener::bind(hostport)?,
+        Listen::Unix(_) => {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets need a unix target; use tcp:host:port",
+            ))
+        }
+    };
+    listener.set_nonblocking(true)?;
     eprintln!("[maod] listening on {addr}");
-
-    // Requests currently between frame-read and response-write, across all
-    // connections; drain waits for this to reach zero so every accepted
-    // request gets its response before the process exits.
-    let active: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
-    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
-
     loop {
         if sig::termed() {
             engine.begin_shutdown();
@@ -192,12 +215,39 @@ pub fn serve(engine: Engine, addr: &Listen) -> io::Result<()> {
             break;
         }
         match listener.accept() {
-            Ok(conn) => {
+            Ok((mut conn, _)) => {
                 let engine = engine.clone();
-                let active = active.clone();
-                connections.push(std::thread::spawn(move || {
-                    let _ = handle_connection(conn, engine, active);
-                }));
+                std::thread::spawn(move || {
+                    let max = engine.config().max_request_bytes;
+                    loop {
+                        let frame = match read_frame(&mut conn, max) {
+                            Ok(Frame::Eof) | Err(_) => return,
+                            Ok(Frame::TooLarge(n)) => {
+                                let response = Response::error(
+                                    ErrorKind::TooLarge,
+                                    format!("frame of {n} bytes exceeds the {max}-byte limit"),
+                                );
+                                if write_frame(&mut conn, response.to_json_text().as_bytes())
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                                continue;
+                            }
+                            Ok(Frame::Payload(payload)) => payload,
+                        };
+                        let response = match std::str::from_utf8(&frame)
+                            .map_err(|_| "request is not utf-8".to_string())
+                            .and_then(Request::from_json_text)
+                        {
+                            Ok(request) => engine.handle(request),
+                            Err(message) => Response::error(ErrorKind::BadRequest, message),
+                        };
+                        if write_frame(&mut conn, response.to_json_text().as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -208,65 +258,9 @@ pub fn serve(engine: Engine, addr: &Listen) -> io::Result<()> {
                 std::thread::sleep(Duration::from_millis(100));
             }
         }
-        connections.retain(|handle| !handle.is_finished());
-    }
-
-    // Drain: every request that made it past the frame reader finishes and
-    // is answered. Connections idling in read_frame are abandoned — their
-    // next request would be refused anyway.
-    eprintln!(
-        "[maod] draining ({} in flight)...",
-        active.load(Ordering::SeqCst)
-    );
-    let drain_deadline = std::time::Instant::now() + Duration::from_secs(60);
-    while active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < drain_deadline {
-        std::thread::sleep(Duration::from_millis(10));
     }
     engine.join_workers();
-    if let Listen::Unix(path) = addr {
-        let _ = std::fs::remove_file(path);
-    }
-    eprintln!("[maod] bye");
     Ok(())
-}
-
-fn handle_connection(
-    mut conn: Box<dyn Conn>,
-    engine: Engine,
-    active: Arc<AtomicU64>,
-) -> io::Result<()> {
-    let max = engine.config().max_request_bytes;
-    loop {
-        let frame = match read_frame(&mut conn, max)? {
-            Frame::Eof => return Ok(()),
-            Frame::TooLarge(n) => {
-                let response = Response::error(
-                    ErrorKind::TooLarge,
-                    format!("frame of {n} bytes exceeds the {max}-byte limit"),
-                );
-                write_frame(&mut conn, response.to_json_text().as_bytes())?;
-                continue;
-            }
-            Frame::Payload(payload) => payload,
-        };
-        active.fetch_add(1, Ordering::SeqCst);
-        let response = respond(&engine, &frame);
-        let write_result = write_frame(&mut conn, response.to_json_text().as_bytes());
-        active.fetch_sub(1, Ordering::SeqCst);
-        write_result?;
-    }
-}
-
-/// Decode and serve one request payload.
-fn respond(engine: &Engine, payload: &[u8]) -> Response {
-    let text = match std::str::from_utf8(payload) {
-        Ok(t) => t,
-        Err(_) => return Response::error(ErrorKind::BadRequest, "request is not utf-8"),
-    };
-    match Request::from_json_text(text) {
-        Ok(request) => engine.handle(request),
-        Err(message) => Response::error(ErrorKind::BadRequest, message),
-    }
 }
 
 #[cfg(test)]

@@ -23,8 +23,10 @@ use crate::result_cache::ResultCacheStats;
 /// are added, renamed, or restructured; clients should check it before
 /// digging into the object. Version 1 was the unversioned pre-telemetry
 /// shape; version 2 added `schema_version` itself, the `spans` array, and
-/// the `metrics` request.
-pub const STATS_SCHEMA_VERSION: u64 = 2;
+/// the `metrics` request; version 3 added the `admission` object, the
+/// per-shard `shards` array (the flat `analysis_cache` object becomes the
+/// cross-shard aggregate), and the optional `result_cache.disk` tier.
+pub const STATS_SCHEMA_VERSION: u64 = 3;
 
 /// Cumulative service counters. One instance lives for the daemon's whole
 /// life and is shared by every connection and worker thread. The counters
@@ -38,6 +40,9 @@ pub struct ServerStats {
     requests_error: Counter,
     panics: Counter,
     timeouts: Counter,
+    offered: Counter,
+    accepted: Counter,
+    shed: Counter,
     in_flight: AtomicU64,
     /// Pass name → (invocations, cumulative microseconds).
     pass_timings: Mutex<BTreeMap<String, (u64, u64)>>,
@@ -59,6 +64,9 @@ impl ServerStats {
             requests_error: metrics.counter("mao_requests_error_total"),
             panics: metrics.counter("mao_request_panics_total"),
             timeouts: metrics.counter("mao_request_timeouts_total"),
+            offered: metrics.counter("mao_requests_offered_total"),
+            accepted: metrics.counter("mao_requests_accepted_total"),
+            shed: metrics.counter("mao_requests_shed_total"),
             in_flight: AtomicU64::new(0),
             pass_timings: Mutex::new(BTreeMap::new()),
         }
@@ -97,6 +105,21 @@ impl ServerStats {
         self.timeouts.inc();
     }
 
+    /// A compute request reached the admission gate.
+    pub fn record_offered(&self) {
+        self.offered.inc();
+    }
+
+    /// The admission gate let a compute request through.
+    pub fn record_accepted(&self) {
+        self.accepted.inc();
+    }
+
+    /// The admission gate shed a compute request (`BUSY`).
+    pub fn record_shed(&self) {
+        self.shed.inc();
+    }
+
     /// Fold one pipeline run's per-pass timings into the cumulative table.
     pub fn record_pass_timings(&self, timings_us: &[(String, u64)]) {
         let mut table = self.pass_timings.lock().unwrap();
@@ -127,6 +150,8 @@ impl ServerStats {
         &self,
         result_cache: ResultCacheStats,
         analysis_cache: CacheStats,
+        shards: Vec<ShardStats>,
+        pending: u64,
         relax: RelaxTotals,
         span_totals: Vec<SpanTotal>,
     ) -> StatsSnapshot {
@@ -148,8 +173,15 @@ impl ServerStats {
                 timeouts: self.timeouts.get(),
             },
             in_flight: self.in_flight(),
+            admission: AdmissionStats {
+                offered: self.offered.get(),
+                accepted: self.accepted.get(),
+                shed: self.shed.get(),
+                pending,
+            },
             result_cache,
             analysis_cache,
+            shards,
             relax,
             per_pass_timings,
             span_totals,
@@ -172,10 +204,37 @@ pub struct RequestCounters {
     pub timeouts: u64,
 }
 
-/// Point-in-time view of the whole service: request counters, every cache,
-/// relaxation totals, per-pass timings, and aggregated span totals. The
-/// `stats` response is exactly [`StatsSnapshot::to_json`]; tests and
-/// benchmarks read the typed fields directly.
+/// Admission-control counters: `offered == accepted + shed` always, and
+/// `pending` is the point-in-time gauge the high-water mark bounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Compute requests that reached the admission gate.
+    pub offered: u64,
+    /// Requests the gate let through to a shard queue.
+    pub accepted: u64,
+    /// Requests shed with `BUSY` at the high-water mark.
+    pub shed: u64,
+    /// Requests admitted but not yet finished right now.
+    pub pending: u64,
+}
+
+/// One worker shard's view: requests it served and its private analysis
+/// cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Compute requests this shard served.
+    pub requests: u64,
+    /// The shard's private analysis/layout cache counters.
+    pub analysis_cache: CacheStats,
+}
+
+/// Point-in-time view of the whole service: request counters, admission
+/// control, every cache tier, per-shard breakdowns, relaxation totals,
+/// per-pass timings, and aggregated span totals. The `stats` response is
+/// exactly [`StatsSnapshot::to_json`]; tests and benchmarks read the typed
+/// fields directly.
 #[derive(Debug, Clone, Default)]
 pub struct StatsSnapshot {
     /// [`STATS_SCHEMA_VERSION`] at render time.
@@ -186,10 +245,16 @@ pub struct StatsSnapshot {
     pub requests: RequestCounters,
     /// Optimize requests currently in service.
     pub in_flight: u64,
-    /// Whole-request result cache counters.
+    /// Admission-control counters and the pending gauge.
+    pub admission: AdmissionStats,
+    /// Whole-request result cache counters (memory tier, plus the disk
+    /// tier when a cache dir is configured).
     pub result_cache: ResultCacheStats,
-    /// Per-function analysis cache counters (includes the layout slots).
+    /// Cross-shard aggregate of the per-function analysis caches
+    /// (includes the layout slots).
     pub analysis_cache: CacheStats,
+    /// Per-shard breakdown: served requests and private cache counters.
+    pub shards: Vec<ShardStats>,
     /// Process-wide relaxation-solver totals.
     pub relax: RelaxTotals,
     /// Per pass: (name, invocations, cumulative microseconds).
@@ -199,11 +264,27 @@ pub struct StatsSnapshot {
     pub span_totals: Vec<SpanTotal>,
 }
 
+fn analysis_cache_json(stats: &CacheStats) -> Json {
+    let total = stats.hits + stats.misses;
+    Json::obj(vec![
+        ("hits", Json::from(stats.hits)),
+        ("misses", Json::from(stats.misses)),
+        ("evictions", Json::from(stats.evictions)),
+        (
+            "hit_rate",
+            Json::from(if total > 0 {
+                stats.hits as f64 / total as f64
+            } else {
+                0.0
+            }),
+        ),
+    ])
+}
+
 impl StatsSnapshot {
     /// The one rendering path for the `stats` response body.
     pub fn to_json(&self) -> Json {
         let analyses = &self.analysis_cache;
-        let analysis_total = analyses.hits + analyses.misses;
         let per_pass_timings: Vec<Json> = self
             .per_pass_timings
             .iter()
@@ -227,6 +308,41 @@ impl StatsSnapshot {
                 ])
             })
             .collect();
+        let shards: Vec<Json> = self
+            .shards
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("shard", Json::from(s.shard as u64)),
+                    ("requests", Json::from(s.requests)),
+                    ("analysis_cache", analysis_cache_json(&s.analysis_cache)),
+                ])
+            })
+            .collect();
+        let mut result_cache = vec![
+            ("hits", Json::from(self.result_cache.hits)),
+            ("misses", Json::from(self.result_cache.misses)),
+            ("evictions", Json::from(self.result_cache.evictions)),
+            ("insertions", Json::from(self.result_cache.insertions)),
+            ("len", Json::from(self.result_cache.len)),
+            ("capacity", Json::from(self.result_cache.capacity)),
+            ("hit_rate", Json::from(self.result_cache.hit_rate())),
+        ];
+        if let Some(disk) = &self.result_cache.disk {
+            result_cache.push((
+                "disk",
+                Json::obj(vec![
+                    ("hits", Json::from(disk.hits)),
+                    ("misses", Json::from(disk.misses)),
+                    ("insertions", Json::from(disk.insertions)),
+                    ("evictions", Json::from(disk.evictions)),
+                    ("corrupt", Json::from(disk.corrupt)),
+                    ("bytes", Json::from(disk.bytes)),
+                    ("entries", Json::from(disk.entries)),
+                    ("max_bytes", Json::from(disk.max_bytes)),
+                ]),
+            ));
+        }
         Json::obj(vec![
             ("schema_version", Json::from(self.schema_version)),
             ("uptime_s", Json::from(self.uptime_s)),
@@ -242,33 +358,16 @@ impl StatsSnapshot {
             ),
             ("in_flight", Json::from(self.in_flight)),
             (
-                "result_cache",
+                "admission",
                 Json::obj(vec![
-                    ("hits", Json::from(self.result_cache.hits)),
-                    ("misses", Json::from(self.result_cache.misses)),
-                    ("evictions", Json::from(self.result_cache.evictions)),
-                    ("insertions", Json::from(self.result_cache.insertions)),
-                    ("len", Json::from(self.result_cache.len)),
-                    ("capacity", Json::from(self.result_cache.capacity)),
-                    ("hit_rate", Json::from(self.result_cache.hit_rate())),
+                    ("offered", Json::from(self.admission.offered)),
+                    ("accepted", Json::from(self.admission.accepted)),
+                    ("shed", Json::from(self.admission.shed)),
+                    ("pending", Json::from(self.admission.pending)),
                 ]),
             ),
-            (
-                "analysis_cache",
-                Json::obj(vec![
-                    ("hits", Json::from(analyses.hits)),
-                    ("misses", Json::from(analyses.misses)),
-                    ("evictions", Json::from(analyses.evictions)),
-                    (
-                        "hit_rate",
-                        Json::from(if analysis_total > 0 {
-                            analyses.hits as f64 / analysis_total as f64
-                        } else {
-                            0.0
-                        }),
-                    ),
-                ]),
-            ),
+            ("result_cache", Json::obj(result_cache)),
+            ("analysis_cache", analysis_cache_json(analyses)),
             (
                 "layout_cache",
                 Json::obj(vec![
@@ -277,6 +376,7 @@ impl StatsSnapshot {
                     ("hit_rate", Json::from(analyses.layout_hit_rate())),
                 ]),
             ),
+            ("shards", Json::Arr(shards)),
             (
                 "relax",
                 Json::obj(vec![
@@ -297,6 +397,19 @@ impl StatsSnapshot {
 mod tests {
     use super::*;
 
+    fn snapshot_of(stats: &ServerStats) -> Json {
+        stats
+            .snapshot(
+                ResultCacheStats::default(),
+                CacheStats::default(),
+                Vec::new(),
+                0,
+                RelaxTotals::default(),
+                Vec::new(),
+            )
+            .to_json()
+    }
+
     #[test]
     fn snapshot_counts() {
         let metrics = Metrics::new();
@@ -308,14 +421,7 @@ mod tests {
         stats.begin_request();
         stats.record_panic();
         stats.end_request(false);
-        let snap = stats
-            .snapshot(
-                ResultCacheStats::default(),
-                CacheStats::default(),
-                RelaxTotals::default(),
-                Vec::new(),
-            )
-            .to_json();
+        let snap = snapshot_of(&stats);
         assert_eq!(
             snap.get("schema_version").unwrap().as_u64(),
             Some(STATS_SCHEMA_VERSION)
@@ -337,12 +443,94 @@ mod tests {
     }
 
     #[test]
+    fn admission_counters_reconcile_and_render() {
+        let metrics = Metrics::new();
+        let stats = ServerStats::new(&metrics);
+        for _ in 0..5 {
+            stats.record_offered();
+        }
+        for _ in 0..3 {
+            stats.record_accepted();
+        }
+        for _ in 0..2 {
+            stats.record_shed();
+        }
+        let snap = snapshot_of(&stats);
+        let admission = snap.get("admission").unwrap();
+        let offered = admission.get("offered").unwrap().as_u64().unwrap();
+        let accepted = admission.get("accepted").unwrap().as_u64().unwrap();
+        let shed = admission.get("shed").unwrap().as_u64().unwrap();
+        assert_eq!(offered, 5);
+        assert_eq!(accepted + shed, offered, "admission always reconciles");
+        assert_eq!(metrics.counter_value("mao_requests_shed_total"), 2);
+    }
+
+    #[test]
+    fn disk_tier_and_shards_render_when_present() {
+        let stats = ServerStats::default();
+        let mut result_cache = ResultCacheStats::default();
+        result_cache.disk = Some(crate::disk_cache::DiskCacheStats {
+            hits: 7,
+            misses: 2,
+            insertions: 9,
+            evictions: 1,
+            corrupt: 0,
+            bytes: 4096,
+            entries: 8,
+            max_bytes: 1 << 20,
+        });
+        let shard = ShardStats {
+            shard: 0,
+            requests: 11,
+            analysis_cache: CacheStats {
+                hits: 4,
+                ..CacheStats::default()
+            },
+        };
+        let snap = stats
+            .snapshot(
+                result_cache,
+                CacheStats::default(),
+                vec![shard],
+                3,
+                RelaxTotals::default(),
+                Vec::new(),
+            )
+            .to_json();
+        let disk = snap.get("result_cache").unwrap().get("disk").unwrap();
+        assert_eq!(disk.get("hits").unwrap().as_u64(), Some(7));
+        assert_eq!(disk.get("bytes").unwrap().as_u64(), Some(4096));
+        let shards = snap.get("shards").unwrap().as_arr().unwrap();
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].get("requests").unwrap().as_u64(), Some(11));
+        assert_eq!(
+            shards[0]
+                .get("analysis_cache")
+                .unwrap()
+                .get("hits")
+                .unwrap()
+                .as_u64(),
+            Some(4)
+        );
+        assert_eq!(
+            snap.get("admission")
+                .unwrap()
+                .get("pending")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+    }
+
+    #[test]
     fn span_totals_render() {
         let stats = ServerStats::default();
         let snap = stats
             .snapshot(
                 ResultCacheStats::default(),
                 CacheStats::default(),
+                Vec::new(),
+                0,
                 RelaxTotals::default(),
                 vec![SpanTotal {
                     cat: "pass".into(),

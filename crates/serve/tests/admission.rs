@@ -1,0 +1,125 @@
+//! Integration tests of admission control: flooding a deliberately tiny
+//! engine past its high-water mark must shed with structured `BUSY`
+//! responses, keep the pending gauge bounded, and account for every
+//! offered request (`offered = accepted + shed`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+
+use mao_serve::engine::{Engine, EngineConfig};
+use mao_serve::protocol::{ErrorKind, OptimizeRequest, Request, Response};
+
+/// A request that holds its shard for `ms` milliseconds without panicking:
+/// the PANIC fault-injection pass sleeps, then looks for a function that
+/// does not exist.
+fn slow_request(tag: usize, ms: u64) -> Request {
+    Request::Optimize(OptimizeRequest {
+        asm: format!("# admission {tag}\nnop\n"),
+        passes: format!("PANIC=sleep_ms[{ms}],func[nosuch]"),
+        jobs: None,
+        timeout_ms: Some(0),
+        use_cache: false,
+    })
+}
+
+fn flood(engine: &Engine, requests: usize, ms: u64) -> (u64, u64, u64) {
+    let (tx, rx) = channel::<&'static str>();
+    let peak_pending = AtomicU64::new(0);
+    for i in 0..requests {
+        let tx = tx.clone();
+        let _ = engine.handle_async(slow_request(i, ms), move |response| {
+            let kind = match response {
+                Response::Optimized { .. } => "ok",
+                Response::Error {
+                    kind: ErrorKind::Busy,
+                    ..
+                } => "busy",
+                _ => "other",
+            };
+            let _ = tx.send(kind);
+        });
+        peak_pending.fetch_max(engine.pending(), Ordering::SeqCst);
+    }
+    drop(tx);
+    let (mut ok, mut busy, mut other) = (0u64, 0u64, 0u64);
+    while let Ok(kind) = rx.recv() {
+        match kind {
+            "ok" => ok += 1,
+            "busy" => busy += 1,
+            _ => other += 1,
+        }
+    }
+    assert_eq!(other, 0, "flood saw unexpected response kinds");
+    let peak = peak_pending.load(Ordering::SeqCst);
+    (ok, busy, peak)
+}
+
+#[test]
+fn flood_past_high_water_sheds_busy_and_reconciles() {
+    let max_pending = 4usize;
+    let requests = 48usize;
+    let engine = Engine::new(EngineConfig {
+        shards: 1,
+        max_pending,
+        timeout_ms: 0,
+        ..EngineConfig::default()
+    });
+
+    let (ok, busy, peak) = flood(&engine, requests, 25);
+    assert_eq!(ok + busy, requests as u64, "every request was answered");
+    assert!(busy > 0, "the burst must outrun a 4-deep queue");
+    assert!(ok > 0, "admitted requests still complete");
+    assert!(
+        peak <= max_pending as u64,
+        "pending gauge peaked at {peak}, above the {max_pending} mark"
+    );
+
+    let admission = engine.snapshot().admission;
+    assert_eq!(
+        admission.offered,
+        admission.accepted + admission.shed,
+        "admission counters must reconcile exactly: {admission:?}"
+    );
+    assert_eq!(admission.offered, requests as u64);
+    assert_eq!(admission.shed, busy, "every shed is a BUSY response");
+    assert_eq!(admission.accepted, ok, "every accept completed");
+    assert_eq!(admission.pending, 0, "queue drains after the flood");
+    engine.join_workers();
+}
+
+#[test]
+fn zero_high_water_mark_disables_shedding() {
+    let engine = Engine::new(EngineConfig {
+        shards: 1,
+        max_pending: 0,
+        timeout_ms: 0,
+        ..EngineConfig::default()
+    });
+    let (ok, busy, _) = flood(&engine, 16, 5);
+    assert_eq!((ok, busy), (16, 0), "unbounded admission never sheds");
+    let admission = engine.snapshot().admission;
+    assert_eq!(admission.shed, 0);
+    assert_eq!(admission.offered, admission.accepted);
+    engine.join_workers();
+}
+
+#[test]
+fn busy_response_is_structured_and_retryable() {
+    let engine = Engine::new(EngineConfig {
+        shards: 1,
+        max_pending: 1,
+        timeout_ms: 0,
+        ..EngineConfig::default()
+    });
+    let (_, busy, _) = flood(&engine, 12, 25);
+    assert!(busy > 0);
+
+    // Once the flood drains, the same engine admits new work again: a shed
+    // is a backpressure signal, not a failure state.
+    let response = engine.handle(slow_request(999, 1));
+    assert!(
+        matches!(response, Response::Optimized { .. }),
+        "engine recovers after shedding: {response:?}"
+    );
+    engine.join_workers();
+}

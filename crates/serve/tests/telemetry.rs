@@ -13,7 +13,7 @@ const INPUT: &str = "\t.type\tf, @function\nf:\n\tsubl $16, %r15d\n\ttestl %r15d
 
 fn engine() -> Engine {
     Engine::new(EngineConfig {
-        workers: 2,
+        shards: 2,
         ..EngineConfig::default()
     })
 }

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# Run the service cold-vs-warm-cache benchmark and write BENCH_serve.json
-# at the repo root. Arguments are forwarded to the benchmark binary, e.g.
+# Run the service benchmark and write BENCH_serve.json at the repo root:
+# cold vs warm (memory tier) vs restart-warm (persistent disk tier under a
+# fresh engine) throughput, plus an admission-control flood round with the
+# shed rate. Arguments are forwarded to the benchmark binary, e.g.
 #
 #   scripts/bench_serve.sh --requests 64 --scale 0.25
 #
-# Defaults: --requests 32 --scale 0.1 --workers 2 --jobs 1 --out BENCH_serve.json.
-# The warm round must be served entirely from the content-addressed result
-# cache; the binary exits non-zero if the hit/miss counters disagree.
+# Defaults: --requests 32 --scale 0.1 --shards 2 --jobs 1
+#           --min-restart-speedup 50 --out BENCH_serve.json.
+# The warm round must be served entirely from the memory tier and the
+# restart round entirely from disk with byte-identical responses; the
+# binary exits non-zero if any counter disagrees or the restart-warm
+# median speedup falls below the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 cargo run --release -p mao-bench --bin bench_serve -- "$@"

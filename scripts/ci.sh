@@ -90,6 +90,48 @@ grep -q '"result_cache":{"hits":1,"misses":1' "$WORK/stats.json"
 "$MAO" client --listen "$SOCK" --shutdown | grep -q '"shutdown":true'
 wait "$DAEMON_PID"
 test ! -e "$WORK/maod.sock"
+
+echo "==> restart-warm daemon e2e"
+# A daemon with a persistent cache dir computes once, shuts down, and a
+# fresh daemon over the same dir serves the same request from the disk
+# tier — byte-identical, no recompute.
+CACHE="$WORK/result-cache"
+SOCK2="unix:$WORK/maod2.sock"
+"$MAO" serve --listen "$SOCK2" --cache-dir "$CACHE" &
+DAEMON_PID=$!
+for _ in $(seq 1 50); do
+    "$MAO" client --listen "$SOCK2" --ping >/dev/null 2>&1 && break
+    sleep 0.1
+done
+"$MAO" client --listen "$SOCK2" --passes "$PASSES" "$WORK/in.s" \
+    > "$WORK/served_cold.s" 2> "$WORK/client_cold.log"
+cmp "$WORK/oneshot.s" "$WORK/served_cold.s"
+grep -q 'cache: miss' "$WORK/client_cold.log"
+"$MAO" client --listen "$SOCK2" --shutdown | grep -q '"shutdown":true'
+wait "$DAEMON_PID"
+
+"$MAO" serve --listen "$SOCK2" --cache-dir "$CACHE" &
+DAEMON_PID=$!
+for _ in $(seq 1 50); do
+    "$MAO" client --listen "$SOCK2" --ping >/dev/null 2>&1 && break
+    sleep 0.1
+done
+# The very first request after restart must be a *disk* hit (grep the
+# exact outcome: `cache: hit` would also match `hit_disk`).
+"$MAO" client --listen "$SOCK2" --passes "$PASSES" "$WORK/in.s" \
+    > "$WORK/served_warm.s" 2> "$WORK/client_warm.log"
+cmp "$WORK/oneshot.s" "$WORK/served_warm.s"
+grep -q 'cache: hit_disk' "$WORK/client_warm.log"
+"$MAO" client --listen "$SOCK2" --metrics \
+    | grep -q '^mao_result_cache_disk_hits_total 1$'
+
+echo "==> loadgen smoke (p99 gate)"
+# Mixed hot/cold/malformed replay against the live daemon; fails on any
+# unexpected response or a service-side p99 above one second.
+"$MAO" loadgen --listen "$SOCK2" --requests 200 --connections 2 \
+    --p99-limit-us 1000000 > "$WORK/loadgen.log"
+"$MAO" client --listen "$SOCK2" --shutdown | grep -q '"shutdown":true'
+wait "$DAEMON_PID"
 trap 'rm -rf "$WORK"' EXIT
 
 echo "ci: all checks passed"
