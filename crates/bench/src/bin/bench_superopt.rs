@@ -1,0 +1,231 @@
+//! `superopt` benchmark mode: cold-search vs warm-cache window throughput
+//! of the SUPEROPT pass over a generated corpus, plus the simulated cycle
+//! delta on the paper kernel suite. Writes `BENCH_superopt.json`.
+//!
+//! Two gates (exit nonzero on failure):
+//! * warm-cache throughput must be at least 10x cold-search throughput —
+//!   the learned-rewrite cache must actually skip the search; and
+//! * at least one paper kernel must get a measured cycle improvement with
+//!   identical functional results.
+//!
+//! Usage: `bench_superopt [--scale S] [--seed N] [--jobs N] [--out FILE]
+//! [--smoke]` (defaults: S=0.02, N=42, jobs=1, FILE=BENCH_superopt.json;
+//! `--smoke` shrinks the corpus and skips the output file).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mao::pass::{parse_invocations, run_pipeline_observed, PipelineConfig};
+use mao::{AnalysisCache, MaoUnit, Obs};
+use mao_corpus::kernels;
+use mao_corpus::{generate, GeneratorConfig};
+use mao_sim::{simulate, SimOptions, UarchConfig};
+
+/// Minimum warm/cold throughput ratio the cache must deliver.
+const WARM_SPEEDUP_GATE: f64 = 10.0;
+
+struct ThroughputSample {
+    seconds: f64,
+    windows: u64,
+    searches: u64,
+    cache_hits: u64,
+    rewrites: u64,
+}
+
+impl ThroughputSample {
+    fn windows_per_sec(&self) -> f64 {
+        self.windows as f64 / self.seconds.max(1e-9)
+    }
+}
+
+/// One SUPEROPT run over a clone of `base`, against `cache_dir`.
+fn run_superopt(base: &MaoUnit, spec: &str, jobs: usize) -> (String, ThroughputSample) {
+    let mut unit = base.clone();
+    let invs = parse_invocations(spec).expect("valid pass spec");
+    let obs = Obs::aggregating();
+    let analyses = Arc::new(AnalysisCache::new());
+    let t = Instant::now();
+    run_pipeline_observed(
+        &mut unit,
+        &invs,
+        None,
+        &PipelineConfig { jobs },
+        &analyses,
+        &obs,
+    )
+    .expect("SUPEROPT runs");
+    let seconds = t.elapsed().as_secs_f64();
+    let counter = |name: &str| obs.metrics.counter_value(name);
+    (
+        unit.emit(),
+        ThroughputSample {
+            seconds,
+            windows: counter("mao_superopt_windows_total"),
+            searches: counter("mao_superopt_searches_total"),
+            cache_hits: counter("mao_superopt_cache_hits_total"),
+            rewrites: counter("mao_superopt_rewrites_total"),
+        },
+    )
+}
+
+struct KernelDelta {
+    name: String,
+    cycles_before: u64,
+    cycles_after: u64,
+    rewrites: u64,
+}
+
+fn main() {
+    mao_superopt::register();
+    let mut scale = 0.02_f64;
+    let mut seed = 42_u64;
+    let mut jobs = 1_usize;
+    let mut out = String::from("BENCH_superopt.json");
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).expect("--scale S"),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N"),
+            "--out" => out = args.next().expect("--out FILE"),
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!(
+                    "bench_superopt: unknown option `{other}`\n\
+                     usage: bench_superopt [--scale S] [--seed N] [--jobs N] [--out FILE] [--smoke]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        scale = scale.min(0.01);
+    }
+
+    // --- Cold vs warm window throughput over a generated corpus. ---
+    let corpus = generate(&GeneratorConfig::core_library(scale));
+    let base = MaoUnit::parse(&corpus.asm).expect("corpus parses");
+    let cache_dir =
+        std::env::temp_dir().join(format!("mao-bench-superopt-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let spec = format!(
+        "SUPEROPT=seed[{seed}],max-window[6],diff-states[3],iters[24],max-candidates[48],cache-dir[{}]",
+        cache_dir.display()
+    );
+    let (cold_asm, cold) = run_superopt(&base, &spec, jobs);
+    let (warm_asm, warm) = run_superopt(&base, &spec, jobs);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    assert_eq!(
+        cold_asm, warm_asm,
+        "warm-cache output must be byte-identical to the cold run"
+    );
+    assert_eq!(
+        warm.searches, 0,
+        "a fully warmed cache must answer every window without searching"
+    );
+    let warm_speedup = warm.windows_per_sec() / cold.windows_per_sec().max(1e-9);
+
+    // --- Cycle delta on the paper kernel suite. ---
+    let uarch = UarchConfig::core2();
+    let sim_opts = SimOptions::default();
+    let kernel_spec = format!("SUPEROPT=seed[{seed}]");
+    let mut deltas: Vec<KernelDelta> = Vec::new();
+    for w in kernels::paper_suite(if smoke { 20 } else { 40 }) {
+        let unit = MaoUnit::parse(&w.asm).expect("kernel parses");
+        let before = simulate(&unit, &w.entry, &w.args, &uarch, &sim_opts).expect("kernel runs");
+        let (after_asm, sample) = run_superopt(&unit, &kernel_spec, 1);
+        let after_unit = MaoUnit::parse(&after_asm).expect("rewritten kernel parses");
+        let after =
+            simulate(&after_unit, &w.entry, &w.args, &uarch, &sim_opts).expect("rewritten runs");
+        assert_eq!(
+            before.ret, after.ret,
+            "SUPEROPT changed the result of {}",
+            w.name
+        );
+        deltas.push(KernelDelta {
+            name: w.name.clone(),
+            cycles_before: before.pmu.cycles,
+            cycles_after: after.pmu.cycles,
+            rewrites: sample.rewrites,
+        });
+    }
+    let improved = deltas
+        .iter()
+        .filter(|d| d.cycles_after < d.cycles_before)
+        .count();
+
+    // --- Report. ---
+    let mut kernel_json = String::new();
+    for (i, d) in deltas.iter().enumerate() {
+        let pct = 100.0 * (d.cycles_after as f64 - d.cycles_before as f64)
+            / (d.cycles_before as f64).max(1.0);
+        let _ = write!(
+            kernel_json,
+            "{}    {{ \"kernel\": \"{}\", \"cycles_before\": {}, \"cycles_after\": {}, \"delta_pct\": {:.3}, \"rewrites\": {} }}",
+            if i == 0 { "" } else { ",\n" },
+            d.name,
+            d.cycles_before,
+            d.cycles_after,
+            pct,
+            d.rewrites
+        );
+    }
+    let json = format!(
+        r#"{{
+  "benchmark": "superopt",
+  "seed": {seed},
+  "jobs": {jobs},
+  "corpus": {{ "scale": {scale}, "functions": {functions} }},
+  "cold": {{ "seconds": {cold_s:.6}, "windows": {cold_w}, "searches": {cold_searches}, "rewrites": {cold_r}, "windows_per_sec": {cold_tp:.1} }},
+  "warm": {{ "seconds": {warm_s:.6}, "windows": {warm_w}, "cache_hits": {warm_h}, "rewrites": {warm_r}, "windows_per_sec": {warm_tp:.1} }},
+  "warm_speedup": {warm_speedup:.2},
+  "warm_speedup_gate": {WARM_SPEEDUP_GATE},
+  "byte_identical_warm_output": true,
+  "kernels": [
+{kernel_json}
+  ],
+  "kernels_improved": {improved}
+}}
+"#,
+        functions = corpus.planted.functions,
+        cold_s = cold.seconds,
+        cold_w = cold.windows,
+        cold_searches = cold.searches,
+        cold_r = cold.rewrites,
+        cold_tp = cold.windows_per_sec(),
+        warm_s = warm.seconds,
+        warm_w = warm.windows,
+        warm_h = warm.cache_hits,
+        warm_r = warm.rewrites,
+        warm_tp = warm.windows_per_sec(),
+    );
+    if smoke {
+        println!("{json}");
+    } else {
+        std::fs::write(&out, &json).expect("write benchmark JSON");
+        println!("{json}");
+        println!("wrote {out}");
+    }
+
+    let mut failed = false;
+    if warm_speedup < WARM_SPEEDUP_GATE {
+        eprintln!(
+            "bench_superopt: GATE FAILED: warm throughput only {warm_speedup:.2}x cold \
+             (need >= {WARM_SPEEDUP_GATE}x)"
+        );
+        failed = true;
+    }
+    if improved == 0 {
+        eprintln!("bench_superopt: GATE FAILED: no paper kernel improved");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "superopt: warm cache {warm_speedup:.1}x cold search; {improved}/{} kernels improved",
+        deltas.len()
+    );
+}

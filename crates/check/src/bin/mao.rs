@@ -29,6 +29,16 @@
 //! mao check --seed 42 --cases 500
 //! mao check --smoke
 //! ```
+//!
+//! Superopt mode runs the search-based superoptimizer (see the
+//! `mao-superopt` crate docs) over one input, with an optional persistent
+//! learned-rewrite cache:
+//!
+//! ```text
+//! mao superopt --seed 42 --cache-dir /var/cache/mao-rewrites in.s -o out.s
+//! mao superopt --smoke --seed 42
+//! mao superopt --inject-bogus-rewrite --smoke
+//! ```
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -62,6 +72,10 @@ fn usage() -> &'static str {
      \x20      mao check  [--seed N] [--cases N] [--passes A,B:C,...] [--jobs N]\n\
      \x20                 [--budget N] [--regress-dir DIR] [--inject-miscompile]\n\
      \x20                 [--smoke] [--verbose]\n\
+     \x20      mao superopt [--seed N] [--jobs N] [--cache-dir DIR] [--min-window N]\n\
+     \x20                 [--max-window N] [--diff-states N] [--enum-max N]\n\
+     \x20                 [--iters N] [--max-candidates N] [--inject-bogus-rewrite]\n\
+     \x20                 [--smoke] [-o FILE] input.s\n\
      \n\
      --jobs N   worker threads for function-level passes (0 = all cores;\n\
      \x20           default 1, or the MAO_JOBS environment variable when set).\n\
@@ -80,6 +94,10 @@ fn default_listen() -> String {
 }
 
 fn main() -> ExitCode {
+    // Extension passes join the registry before any pipeline parses pass
+    // strings — SUPEROPT is then addressable from every mode (one-shot
+    // --mao=, serve/client, check, and the superopt subcommand).
+    mao_superopt::register();
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => cmd_serve(&args[1..]),
@@ -87,6 +105,7 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("superopt") => cmd_superopt(&args[1..]),
         _ => cmd_oneshot(&args),
     }
 }
@@ -593,6 +612,180 @@ fn cmd_check(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::FAILURE
+}
+
+fn cmd_superopt(args: &[String]) -> ExitCode {
+    let mut seed: u64 = 0;
+    let mut jobs: usize = 1;
+    let mut min_window: usize = 3;
+    let mut max_window: usize = 8;
+    let mut diff_states: usize = 5;
+    let mut enum_max: Option<usize> = None;
+    let mut iters: Option<usize> = None;
+    let mut max_candidates: Option<usize> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut inject = false;
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut parser = ArgParser::new(args);
+    let parsed = (|| -> Result<(), String> {
+        while let Some(arg) = parser.next() {
+            match arg.as_str() {
+                "--seed" => seed = parser.numeric("--seed")?,
+                "--jobs" => jobs = parser.numeric("--jobs")?,
+                "--min-window" => min_window = parser.numeric("--min-window")?,
+                "--max-window" => max_window = parser.numeric("--max-window")?,
+                "--diff-states" => diff_states = parser.numeric("--diff-states")?,
+                "--enum-max" => enum_max = Some(parser.numeric("--enum-max")?),
+                "--iters" => iters = Some(parser.numeric("--iters")?),
+                "--max-candidates" => max_candidates = Some(parser.numeric("--max-candidates")?),
+                "--cache-dir" => cache_dir = Some(parser.value("--cache-dir")?.to_string()),
+                "--inject-bogus-rewrite" => inject = true,
+                "--smoke" => smoke = true,
+                "-o" | "--out" => out = Some(parser.value("-o")?.to_string()),
+                "--help" | "-h" => {
+                    println!("{}", usage());
+                    std::process::exit(0);
+                }
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown superopt option `{other}`"))
+                }
+                input => inputs.push(input.to_string()),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(message) = parsed {
+        eprintln!("mao superopt: {message}\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    // The CI stage: the bundled smoke unit, a fixed seed, small budgets.
+    let text = if smoke {
+        if seed == 0 {
+            seed = 42;
+        }
+        iters.get_or_insert(64);
+        max_candidates.get_or_insert(96);
+        mao_superopt::SMOKE_ASM.to_string()
+    } else {
+        let Some(input) = inputs.first() else {
+            eprintln!("mao superopt: no input file\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        match std::fs::read_to_string(input) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("mao superopt: cannot read `{input}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let mut unit = match MaoUnit::parse(&text) {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("mao superopt: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Assemble the pass invocation through the normal option grammar so the
+    // CLI exercises exactly what `--mao=SUPEROPT=...` would.
+    let mut spec = format!(
+        "{}=seed[{seed}],min-window[{min_window}],max-window[{max_window}],diff-states[{diff_states}]",
+        mao_superopt::PASS_NAME
+    );
+    if let Some(n) = enum_max {
+        spec.push_str(&format!(",enum-max[{n}]"));
+    }
+    if let Some(n) = iters {
+        spec.push_str(&format!(",iters[{n}]"));
+    }
+    if let Some(n) = max_candidates {
+        spec.push_str(&format!(",max-candidates[{n}]"));
+    }
+    if let Some(dir) = &cache_dir {
+        spec.push_str(&format!(",cache-dir[{dir}]"));
+    }
+    if inject {
+        spec.push_str(",inject-bogus-rewrite[1]");
+    }
+    let invocations = match parse_invocations(&spec) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("mao superopt: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = PipelineConfig { jobs };
+    let obs = Obs::aggregating();
+    let analyses = Arc::new(AnalysisCache::new());
+    let report =
+        match run_pipeline_observed(&mut unit, &invocations, None, &config, &analyses, &obs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("mao superopt: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    for line in &report.trace {
+        eprintln!("[mao] {line}");
+    }
+
+    let counter = |name: &str| obs.metrics.counter_value(name);
+    let rewrites = counter("mao_superopt_rewrites_total");
+    eprintln!(
+        "[mao] superopt: {} windows, {} searches, {} candidates, {} rewrites",
+        counter("mao_superopt_windows_total"),
+        counter("mao_superopt_searches_total"),
+        counter("mao_superopt_candidates_total"),
+        rewrites,
+    );
+    eprintln!(
+        "[mao] superopt: cache {} hits / {} misses; rejected {} diff, {} oracle",
+        counter("mao_superopt_cache_hits_total"),
+        counter("mao_superopt_cache_misses_total"),
+        counter("mao_superopt_diff_rejects_total"),
+        counter("mao_superopt_oracle_rejects_total"),
+    );
+
+    if inject {
+        // Fault-injection self-test: the seeded bogus rewrite must have hit
+        // the two-phase verifier and bounced. The pass itself fails hard if
+        // an injected rewrite is ever accepted; this guards the "nothing
+        // was injected at all" hole.
+        let rejected = counter("mao_superopt_injected_rejected_total");
+        if rejected == 0 {
+            eprintln!(
+                "mao superopt: INJECTION SELF-TEST FAILED: no injected rewrite was exercised"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("mao superopt: injection self-test rejected {rejected} bogus rewrite(s)");
+    }
+
+    match out.as_deref() {
+        Some("-") | None if smoke => {} // smoke is a gate, not a transform
+        Some("-") | None => {
+            print!("{}", unit.emit());
+            let _ = std::io::stdout().flush();
+        }
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, unit.emit()) {
+                eprintln!("mao superopt: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if smoke && !inject && rewrites == 0 {
+        eprintln!("mao superopt: SMOKE FAILED: no rewrite discovered on the smoke unit");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn indent(text: &str) -> String {

@@ -38,7 +38,7 @@ use regress::{Expect, Regression};
 /// Every semantics-preserving pass the sweep exercises, one invocation
 /// string per pass (mirrors `tests/pass_semantics.rs`). MISOPT is *not*
 /// here — it is the deliberate miscompiler used by the self-test.
-pub const TRANSFORMING_PASSES: [&str; 13] = [
+pub const TRANSFORMING_PASSES: [&str; 14] = [
     "REDZEXT",
     "REDTEST",
     "REDMOV",
@@ -52,6 +52,9 @@ pub const TRANSFORMING_PASSES: [&str; 13] = [
     "NOPKILL",
     "NOPIN=seed[3],density[0.1]",
     "INSTPREP",
+    // Small fixed budgets: the sweep checks that whatever SUPEROPT rewrites
+    // is equivalent, not how much it finds.
+    "SUPEROPT=seed[1],max-window[6],diff-states[3],iters[24],max-candidates[48]",
 ];
 
 /// Sweep configuration.

@@ -86,6 +86,9 @@ pub struct PathRunner {
 impl PathRunner {
     /// Runner with a private engine (2 workers is plenty for checking).
     pub fn new(jobs: usize) -> PathRunner {
+        // Every execution path resolves passes through the registry, so the
+        // extension pass must be in before any sweep parses its config.
+        mao_superopt::register();
         let config = EngineConfig {
             shards: 2,
             ..EngineConfig::default()

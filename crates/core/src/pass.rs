@@ -424,10 +424,37 @@ where
 /// Factory for registry entries.
 pub type PassFactory = fn() -> Box<dyn MaoPass>;
 
-/// The global pass registry. Names follow the paper where it names passes
-/// (`NOPIN`, `NOPKILL`, `REDTEST`, `REDMOV`, `LOOP16`, `SCHED`).
+/// Runtime-registered extension passes, merged into [`registry`].
+///
+/// The built-in registry is static because every pass in `crates/core`
+/// depends only on the core IR. Passes that live *above* this crate in the
+/// dependency graph (the superoptimizer needs `mao-sim` as its oracle, and
+/// `mao-sim` depends on `mao`) cannot appear in the static table without a
+/// cycle; they call [`register_extension`] once at startup instead — the
+/// paper's `REGISTER_FUNC_PASS` done at runtime rather than link time.
+fn extensions() -> &'static Mutex<BTreeMap<&'static str, PassFactory>> {
+    static EXTENSIONS: std::sync::OnceLock<Mutex<BTreeMap<&'static str, PassFactory>>> =
+        std::sync::OnceLock::new();
+    EXTENSIONS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Register (or re-register, idempotently) an extension pass under `name`.
+/// Extension passes shadow built-ins of the same name; callers should pick
+/// fresh names. Safe to call from multiple threads and multiple times —
+/// last registration wins, and registration is process-wide.
+pub fn register_extension(name: &'static str, factory: PassFactory) {
+    extensions().lock().unwrap().insert(name, factory);
+}
+
+/// The global pass registry: the static built-in table plus every
+/// [`register_extension`] pass. Names follow the paper where it names
+/// passes (`NOPIN`, `NOPKILL`, `REDTEST`, `REDMOV`, `LOOP16`, `SCHED`).
 pub fn registry() -> BTreeMap<&'static str, PassFactory> {
-    crate::passes::registry()
+    let mut m = crate::passes::registry();
+    for (name, factory) in extensions().lock().unwrap().iter() {
+        m.insert(name, *factory);
+    }
+    m
 }
 
 /// One pass invocation, parsed from the command line.
@@ -750,5 +777,38 @@ mod tests {
         let invs = parse_invocations("NOSUCHPASS").unwrap();
         let err = run_pipeline(&mut unit, &invs, None).unwrap_err();
         assert_eq!(err, PassError::UnknownPass("NOSUCHPASS".into()));
+    }
+
+    #[derive(Debug, Default)]
+    struct ExtPass;
+
+    impl MaoPass for ExtPass {
+        fn name(&self) -> &'static str {
+            "EXTTEST"
+        }
+
+        fn description(&self) -> &'static str {
+            "extension-registry test pass"
+        }
+
+        fn run(&self, _unit: &mut MaoUnit, _ctx: &mut PassContext) -> Result<PassStats, PassError> {
+            let mut stats = PassStats::default();
+            stats.matched(1);
+            Ok(stats)
+        }
+    }
+
+    #[test]
+    fn extension_passes_join_the_registry_and_run() {
+        register_extension("EXTTEST", || Box::new(ExtPass));
+        // Idempotent re-registration.
+        register_extension("EXTTEST", || Box::new(ExtPass));
+        let reg = registry();
+        assert!(reg.contains_key("EXTTEST"));
+        assert!(reg.contains_key("REDTEST"), "built-ins still present");
+        let mut unit = MaoUnit::parse("nop\n").unwrap();
+        let invs = parse_invocations("EXTTEST").unwrap();
+        let report = run_pipeline(&mut unit, &invs, None).unwrap();
+        assert_eq!(report.stats("EXTTEST").unwrap().matches, 1);
     }
 }

@@ -63,5 +63,6 @@ pub use protocol::{
 pub use result_cache::{request_key, CacheTier, RequestKey, ResultCache, ResultCacheStats};
 pub use server::{connect, serve, Listen};
 pub use stats::{
-    AdmissionStats, RequestCounters, ServerStats, ShardStats, StatsSnapshot, STATS_SCHEMA_VERSION,
+    AdmissionStats, RequestCounters, ServerStats, ShardStats, StatsSnapshot, SuperoptStats,
+    STATS_SCHEMA_VERSION,
 };

@@ -25,8 +25,10 @@ use crate::result_cache::ResultCacheStats;
 /// shape; version 2 added `schema_version` itself, the `spans` array, and
 /// the `metrics` request; version 3 added the `admission` object, the
 /// per-shard `shards` array (the flat `analysis_cache` object becomes the
-/// cross-shard aggregate), and the optional `result_cache.disk` tier.
-pub const STATS_SCHEMA_VERSION: u64 = 3;
+/// cross-shard aggregate), and the optional `result_cache.disk` tier;
+/// version 4 added the `superopt` object (window/search/rewrite counters
+/// from SUPEROPT pass runs served by this daemon).
+pub const STATS_SCHEMA_VERSION: u64 = 4;
 
 /// Cumulative service counters. One instance lives for the daemon's whole
 /// life and is shared by every connection and worker thread. The counters
@@ -46,6 +48,49 @@ pub struct ServerStats {
     in_flight: AtomicU64,
     /// Pass name → (invocations, cumulative microseconds).
     pass_timings: Mutex<BTreeMap<String, (u64, u64)>>,
+    /// Handles into the `mao_superopt_*` counter families the SUPEROPT
+    /// pass increments when it runs inside this engine's pipelines.
+    /// Registered here (at zero) so the families exist — and render in
+    /// both `stats` and the Prometheus export — before the first request.
+    superopt: SuperoptCounters,
+}
+
+/// The SUPEROPT pass's counter handles (see `mao-superopt`'s `Counters`;
+/// same family names, same cells).
+struct SuperoptCounters {
+    windows: Counter,
+    searches: Counter,
+    rewrites: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    diff_rejects: Counter,
+    oracle_rejects: Counter,
+}
+
+impl SuperoptCounters {
+    fn new(metrics: &Metrics) -> SuperoptCounters {
+        SuperoptCounters {
+            windows: metrics.counter("mao_superopt_windows_total"),
+            searches: metrics.counter("mao_superopt_searches_total"),
+            rewrites: metrics.counter("mao_superopt_rewrites_total"),
+            cache_hits: metrics.counter("mao_superopt_cache_hits_total"),
+            cache_misses: metrics.counter("mao_superopt_cache_misses_total"),
+            diff_rejects: metrics.counter("mao_superopt_diff_rejects_total"),
+            oracle_rejects: metrics.counter("mao_superopt_oracle_rejects_total"),
+        }
+    }
+
+    fn snapshot(&self) -> SuperoptStats {
+        SuperoptStats {
+            windows: self.windows.get(),
+            searches: self.searches.get(),
+            rewrites: self.rewrites.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            diff_rejects: self.diff_rejects.get(),
+            oracle_rejects: self.oracle_rejects.get(),
+        }
+    }
 }
 
 impl Default for ServerStats {
@@ -69,6 +114,7 @@ impl ServerStats {
             shed: metrics.counter("mao_requests_shed_total"),
             in_flight: AtomicU64::new(0),
             pass_timings: Mutex::new(BTreeMap::new()),
+            superopt: SuperoptCounters::new(metrics),
         }
     }
 
@@ -185,8 +231,29 @@ impl ServerStats {
             relax,
             per_pass_timings,
             span_totals,
+            superopt: self.superopt.snapshot(),
         }
     }
+}
+
+/// Point-in-time SUPEROPT totals across every pipeline this engine ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuperoptStats {
+    /// Eligible windows considered.
+    pub windows: u64,
+    /// Windows that went to a fresh search (cache misses and failed
+    /// re-verifications).
+    pub searches: u64,
+    /// Verified rewrites applied.
+    pub rewrites: u64,
+    /// Rewrite-cache lookups answered.
+    pub cache_hits: u64,
+    /// Rewrite-cache lookups that found nothing.
+    pub cache_misses: u64,
+    /// Candidates killed by the random-state differential filter.
+    pub diff_rejects: u64,
+    /// Candidates (or stale cache entries) killed by the full oracle.
+    pub oracle_rejects: u64,
 }
 
 /// Request outcome counters within a [`StatsSnapshot`].
@@ -262,6 +329,8 @@ pub struct StatsSnapshot {
     /// Aggregated span totals from the engine's recorder, one per
     /// (category, name).
     pub span_totals: Vec<SpanTotal>,
+    /// SUPEROPT pass totals (zero until a request runs the pass).
+    pub superopt: SuperoptStats,
 }
 
 fn analysis_cache_json(stats: &CacheStats) -> Json {
@@ -389,6 +458,18 @@ impl StatsSnapshot {
             ),
             ("per_pass_timings", Json::Arr(per_pass_timings)),
             ("spans", Json::Arr(spans)),
+            (
+                "superopt",
+                Json::obj(vec![
+                    ("windows", Json::from(self.superopt.windows)),
+                    ("searches", Json::from(self.superopt.searches)),
+                    ("rewrites", Json::from(self.superopt.rewrites)),
+                    ("cache_hits", Json::from(self.superopt.cache_hits)),
+                    ("cache_misses", Json::from(self.superopt.cache_misses)),
+                    ("diff_rejects", Json::from(self.superopt.diff_rejects)),
+                    ("oracle_rejects", Json::from(self.superopt.oracle_rejects)),
+                ]),
+            ),
         ])
     }
 }
@@ -440,6 +521,32 @@ mod tests {
         // The same counters are visible to a Prometheus scrape.
         assert_eq!(metrics.counter_value("mao_requests_total"), 2);
         assert_eq!(metrics.counter_value("mao_request_panics_total"), 1);
+    }
+
+    #[test]
+    fn superopt_counters_flow_from_the_metrics_registry() {
+        let metrics = Metrics::new();
+        let stats = ServerStats::new(&metrics);
+        // Zero until the pass runs, but the object (and the Prometheus
+        // families) must exist from the first snapshot.
+        let snap = snapshot_of(&stats);
+        let so = snap.get("superopt").unwrap();
+        assert_eq!(so.get("rewrites").unwrap().as_u64(), Some(0));
+        // The pass writes through the shared registry by family name; the
+        // stats handles must read the same cells.
+        metrics.counter("mao_superopt_windows_total").add(3);
+        metrics.counter("mao_superopt_searches_total").add(2);
+        metrics.counter("mao_superopt_rewrites_total").inc();
+        metrics.counter("mao_superopt_cache_hits_total").inc();
+        metrics.counter("mao_superopt_diff_rejects_total").add(40);
+        let snap = snapshot_of(&stats);
+        let so = snap.get("superopt").unwrap();
+        assert_eq!(so.get("windows").unwrap().as_u64(), Some(3));
+        assert_eq!(so.get("searches").unwrap().as_u64(), Some(2));
+        assert_eq!(so.get("rewrites").unwrap().as_u64(), Some(1));
+        assert_eq!(so.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(so.get("cache_misses").unwrap().as_u64(), Some(0));
+        assert_eq!(so.get("diff_rejects").unwrap().as_u64(), Some(40));
     }
 
     #[test]

@@ -26,12 +26,15 @@
 pub mod config;
 pub mod machine;
 pub mod memory;
+pub mod oracle;
 pub mod pmu;
 pub mod program;
 pub mod timing;
 
 pub use config::UarchConfig;
-pub use machine::{run_functional, run_observed, ExecInfo, Machine, RunOutcome, SimError, Step};
+pub use machine::{
+    run_functional, run_observed, run_observed_init, ExecInfo, Machine, RunOutcome, SimError, Step,
+};
 pub use memory::{Access, Cache, Memory};
 pub use pmu::Pmu;
 pub use program::{LoadError, Program};

@@ -907,9 +907,26 @@ pub fn run_observed(
     entry: &str,
     args: &[u64],
     max_instructions: u64,
+    observer: impl FnMut(&ExecInfo),
+) -> Result<RunOutcome, SimError> {
+    run_observed_init(program, entry, args, max_instructions, |_| {}, observer)
+}
+
+/// [`run_observed`] with an initialization hook applied to the freshly
+/// constructed machine before the first step. The superoptimizer's
+/// differential filter uses this to seed arbitrary register states without
+/// materializing `movabs` preambles: the hook runs after argument setup, so
+/// it may overwrite any register except the program text itself.
+pub fn run_observed_init(
+    program: &Program,
+    entry: &str,
+    args: &[u64],
+    max_instructions: u64,
+    init: impl FnOnce(&mut Machine),
     mut observer: impl FnMut(&ExecInfo),
 ) -> Result<RunOutcome, SimError> {
     let mut m = Machine::new(program, entry, args)?;
+    init(&mut m);
     let mut count = 0u64;
     let result = loop {
         if count >= max_instructions {

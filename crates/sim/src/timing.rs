@@ -28,8 +28,9 @@ use crate::pmu::Pmu;
 
 /// Execution latency in cycles (structural model shared with the
 /// scheduler's cost function; values rank instructions, they do not claim
-/// cycle-exactness).
-fn latency(insn: &Instruction) -> u64 {
+/// cycle-exactness). Public so the superoptimizer's cost model ranks
+/// candidates with the same numbers the timing simulator charges.
+pub fn latency(insn: &Instruction) -> u64 {
     use Mnemonic as M;
     match insn.mnemonic {
         M::Imul | M::Mul => 3,

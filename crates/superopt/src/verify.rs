@@ -1,0 +1,428 @@
+//! Two-phase equivalence verification for candidate rewrites.
+//!
+//! A candidate replaces a window only if it is observationally equivalent
+//! on every architectural channel the rest of the function could read:
+//! all 16 GPRs, every byte of memory either side stores, and flag
+//! discipline (flags themselves are excluded — window extraction already
+//! proved the window's flags dead at exit).
+//!
+//! **Phase 1 — differential filter.** Original and candidate are wrapped
+//! in a synthetic harness function and executed on N seeded-random machine
+//! states via `mao_sim::run_observed_init`; return value and the full GPR
+//! file must agree on every state. This is the cheap filter that kills
+//! almost all wrong candidates (no per-instruction observation, no memory
+//! tracking).
+//!
+//! **Phase 2 — the mao-check oracle.** Survivors run under the full
+//! `mao_sim::oracle` observation (`%rax` + callee-saved registers, memory
+//! readback over the union of store addresses, undefined-flag-read
+//! discipline) on the same states. The harness *spills every window
+//! register to memory* before returning, which promotes caller-saved
+//! scratch registers into the oracle's observable set — the oracle alone
+//! only compares callee-saved state, but a window's `%rcx` result may be
+//! read by the very next instruction.
+//!
+//! Register and memory state are seeded through the machine-init hook
+//! (not `movabs` preambles), so each side parses and loads one program
+//! and reruns it per state.
+
+use std::fmt::Write as _;
+
+use mao::MaoUnit;
+use mao_sim::oracle::{compare, observe_program, Observation};
+use mao_sim::{run_observed_init, Machine, Program};
+use mao_x86::operand::{Mem, Operand};
+use mao_x86::{Instruction, RegId, Width};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Where the harness spills window registers: its own page, away from the
+/// simulator's text (0x40_0000), data (0x1000_0000), and stack
+/// (0x7fff_ff00) regions.
+const SPILL_BASE: u64 = 0x2000_0000;
+
+/// Instruction budget per harness run. A window is at most 8 instructions
+/// and the spill tail at most 15 + `ret`.
+const HARNESS_BUDGET: u64 = 256;
+
+/// One sampled machine state: a value per pool register plus a value per
+/// seeded memory operand.
+#[derive(Debug, Clone)]
+struct State {
+    regs: Vec<u64>,
+    mem_vals: Vec<u64>,
+}
+
+/// Why a candidate was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reject {
+    /// Failed the phase-1 differential filter.
+    Diff(String),
+    /// Passed phase 1 but the full oracle found a divergence.
+    Oracle(String),
+    /// Could not be built into a runnable harness (unparseable emission,
+    /// registers or memory operands outside the original window's set).
+    Unusable(String),
+}
+
+/// A verifier for one window (in canonical register space): precomputes
+/// the original's behavior on every sampled state so each candidate costs
+/// one parse/load plus `2 × states` simulator runs.
+pub struct Verifier {
+    /// Distinct non-`%rsp` registers of the original window.
+    pool: Vec<RegId>,
+    /// Distinct memory operands of the original window (seed targets).
+    mems: Vec<Mem>,
+    states: Vec<State>,
+    orig_results: Vec<(u64, [u64; 16])>,
+    orig_observations: Vec<Observation>,
+}
+
+/// Distinct register ids an instruction sequence mentions (excluding the
+/// pinned `%rsp`), in first-appearance order.
+pub fn window_regs(insns: &[Instruction]) -> Vec<RegId> {
+    let mut out = Vec::new();
+    let mut push = |id: RegId| {
+        if id != RegId::Rsp && !out.contains(&id) {
+            out.push(id);
+        }
+    };
+    for insn in insns {
+        for op in &insn.operands {
+            match op {
+                Operand::Reg(r) | Operand::IndirectReg(r) => push(r.id),
+                Operand::Mem(m) | Operand::IndirectMem(m) => {
+                    for r in m.regs_used() {
+                        push(r.id);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Distinct memory operands of an instruction sequence, in order.
+pub fn window_mems(insns: &[Instruction]) -> Vec<Mem> {
+    let mut out: Vec<Mem> = Vec::new();
+    for insn in insns {
+        for op in &insn.operands {
+            if let Operand::Mem(m) = op {
+                if !out.contains(m) {
+                    out.push(m.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the harness: the window body, then a spill of every pool register
+/// to a fixed absolute slot, then `ret`.
+fn harness_text(body: &[Instruction], pool: &[RegId]) -> String {
+    let mut t = String::from(".text\n.type w, @function\nw:\n");
+    for insn in body {
+        let _ = writeln!(t, "\t{insn}");
+    }
+    for (k, r) in pool.iter().enumerate() {
+        let _ = writeln!(
+            t,
+            "\tmovq %{}, {}",
+            mao_x86::Reg::q(*r).att_name(),
+            SPILL_BASE + 8 * k as u64
+        );
+    }
+    t.push_str("\tret\n");
+    t
+}
+
+/// Effective address of `m` under the machine's current register values.
+fn mem_addr(m: &Mem, machine: &Machine) -> u64 {
+    let reg_val = |r: &mao_x86::Reg| {
+        let v = machine.gpr[r.id.encoding() as usize];
+        match r.width {
+            Width::B4 => v & 0xffff_ffff,
+            Width::B2 => v & 0xffff,
+            Width::B1 => v & 0xff,
+            _ => v,
+        }
+    };
+    let mut addr = m.disp.constant().unwrap_or(0) as u64;
+    if let Some(b) = &m.base {
+        addr = addr.wrapping_add(reg_val(b));
+    }
+    if let Some(i) = &m.index {
+        addr = addr.wrapping_add(reg_val(i).wrapping_mul(u64::from(m.scale.max(1))));
+    }
+    addr
+}
+
+/// Draw one biased-random 64-bit value: boundary values are
+/// disproportionately likely because they are where wrong rewrites
+/// actually diverge (carries, sign bits, zero identities).
+fn interesting_u64(rng: &mut StdRng) -> u64 {
+    match rng.random_range(0..8u32) {
+        0 => 0,
+        1 => 1,
+        2 => u64::MAX,
+        3 => rng.random_range(0..256u64),
+        4 => 0x8000_0000_0000_0000 | rng.random_range(0..256u64),
+        5 => 0x7fff_ffff,
+        6 => 0xffff_ffff,
+        _ => rng.random(),
+    }
+}
+
+impl Verifier {
+    /// Build a verifier for `original` (canonical space), sampling
+    /// `diff_states` machine states from `rng`. `Err` when the original
+    /// itself cannot be harnessed — the caller skips the window.
+    pub fn new(
+        original: &[Instruction],
+        diff_states: usize,
+        rng: &mut StdRng,
+    ) -> Result<Verifier, String> {
+        let pool = window_regs(original);
+        let mems = window_mems(original);
+        let states: Vec<State> = (0..diff_states.max(1))
+            .map(|_| State {
+                regs: pool.iter().map(|_| interesting_u64(rng)).collect(),
+                mem_vals: mems.iter().map(|_| rng.random()).collect(),
+            })
+            .collect();
+        let (unit, program) = load_harness(original, &pool)?;
+        let mut orig_results = Vec::with_capacity(states.len());
+        let mut orig_observations = Vec::with_capacity(states.len());
+        for state in &states {
+            let (ret, gpr) = run_state(&program, &pool, &mems, state)
+                .map_err(|e| format!("original window not runnable: {e}"))?;
+            orig_results.push((ret, gpr));
+            orig_observations.push(observe_state(&unit, &program, &pool, &mems, state)?);
+        }
+        Ok(Verifier {
+            pool,
+            mems,
+            states,
+            orig_results,
+            orig_observations,
+        })
+    }
+
+    /// Number of sampled states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Phase 1 only: cheap differential scoring for the stochastic search.
+    /// Returns the number of states on which the candidate diverges (0 =
+    /// survives the filter), or `Err` when the candidate cannot run.
+    pub fn diff_failures(&self, candidate: &[Instruction]) -> Result<usize, Reject> {
+        let (_, program) = self.load_candidate(candidate)?;
+        let mut failures = 0;
+        for (state, (orig_ret, orig_gpr)) in self.states.iter().zip(&self.orig_results) {
+            match run_state(&program, &self.pool, &self.mems, state) {
+                Ok((ret, gpr)) if ret == *orig_ret && gpr == *orig_gpr => {}
+                _ => failures += 1,
+            }
+        }
+        Ok(failures)
+    }
+
+    /// Full two-phase verification. `Ok(())` means the candidate agreed
+    /// with the original on every sampled state under both the fast filter
+    /// and the complete oracle.
+    pub fn verify(&self, candidate: &[Instruction]) -> Result<(), Reject> {
+        let (unit, program) = self.load_candidate(candidate)?;
+        // Phase 1: return value + full GPR file.
+        for (state, (orig_ret, orig_gpr)) in self.states.iter().zip(&self.orig_results) {
+            match run_state(&program, &self.pool, &self.mems, state) {
+                Ok((ret, gpr)) => {
+                    if ret != *orig_ret {
+                        return Err(Reject::Diff(format!(
+                            "return value differs: {orig_ret:#x} -> {ret:#x}"
+                        )));
+                    }
+                    if gpr != *orig_gpr {
+                        let k = (0..16).find(|&k| gpr[k] != orig_gpr[k]).unwrap();
+                        return Err(Reject::Diff(format!(
+                            "gpr[{k}] differs: {:#x} -> {:#x}",
+                            orig_gpr[k], gpr[k]
+                        )));
+                    }
+                }
+                Err(e) => return Err(Reject::Diff(format!("candidate faulted: {e}"))),
+            }
+        }
+        // Phase 2: the full oracle (memory readback, flag discipline).
+        for (state, orig_obs) in self.states.iter().zip(&self.orig_observations) {
+            let cand_obs = observe_state(&unit, &program, &self.pool, &self.mems, state)
+                .map_err(Reject::Unusable)?;
+            if let Some(divergence) = compare(orig_obs, &cand_obs) {
+                return Err(Reject::Oracle(divergence));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse and load a candidate harness, enforcing the closed-world
+    /// restriction: candidates may only touch the original's registers and
+    /// memory operands (anything else escapes the sampled state space).
+    fn load_candidate(&self, candidate: &[Instruction]) -> Result<(MaoUnit, Program), Reject> {
+        for id in window_regs(candidate) {
+            if !self.pool.contains(&id) {
+                return Err(Reject::Unusable(format!(
+                    "candidate uses register {id:?} outside the window's set"
+                )));
+            }
+        }
+        for m in window_mems(candidate) {
+            if !self.mems.contains(&m) {
+                return Err(Reject::Unusable(format!(
+                    "candidate uses memory operand {m} outside the window's set"
+                )));
+            }
+        }
+        load_harness(candidate, &self.pool).map_err(Reject::Unusable)
+    }
+}
+
+/// Parse + load one harness program.
+fn load_harness(body: &[Instruction], pool: &[RegId]) -> Result<(MaoUnit, Program), String> {
+    let text = harness_text(body, pool);
+    let unit = MaoUnit::parse(&text).map_err(|e| format!("harness parse: {e}"))?;
+    let program = Program::load(&unit).map_err(|e| format!("harness load: {e}"))?;
+    Ok((unit, program))
+}
+
+/// The init hook shared by both phases: set every pool register, then seed
+/// every memory operand (address computed under the just-set registers)
+/// with its per-state value.
+fn seed_machine(machine: &mut Machine, pool: &[RegId], mems: &[Mem], state: &State) {
+    for (r, v) in pool.iter().zip(&state.regs) {
+        machine.gpr[r.encoding() as usize] = *v;
+    }
+    for (m, v) in mems.iter().zip(&state.mem_vals) {
+        let addr = mem_addr(m, machine);
+        machine.mem.write(addr, *v, 8);
+    }
+}
+
+/// Phase-1 run: returns `(ret, gpr)` after the harness finishes.
+fn run_state(
+    program: &Program,
+    pool: &[RegId],
+    mems: &[Mem],
+    state: &State,
+) -> Result<(u64, [u64; 16]), String> {
+    let outcome = run_observed_init(
+        program,
+        "w",
+        &[],
+        HARNESS_BUDGET,
+        |m| seed_machine(m, pool, mems, state),
+        |_| {},
+    )
+    .map_err(|e| format!("entry: {e}"))?;
+    match outcome.result {
+        Ok((ret, _)) => Ok((ret, outcome.machine.gpr)),
+        Err(e) => Err(format!("run: {e}")),
+    }
+}
+
+/// Phase-2 run: full oracle observation under the same seeding.
+fn observe_state(
+    unit: &MaoUnit,
+    program: &Program,
+    pool: &[RegId],
+    mems: &[Mem],
+    state: &State,
+) -> Result<Observation, String> {
+    observe_program(unit, program, "w", &[], HARNESS_BUDGET, |m| {
+        seed_machine(m, pool, mems, state)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn insns(lines: &str) -> Vec<Instruction> {
+        let text: String = lines.lines().map(|l| format!("\t{}\n", l.trim())).collect();
+        let unit = MaoUnit::parse(&text).unwrap();
+        unit.entries()
+            .iter()
+            .filter_map(|e| e.insn().cloned())
+            .collect()
+    }
+
+    fn verifier(orig: &str) -> Verifier {
+        let mut rng = StdRng::seed_from_u64(7);
+        Verifier::new(&insns(orig), 6, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn mov_roundtrip_tail_equals_single_mov() {
+        // mov a,b ; mov b,a — the second mov is redundant.
+        let v = verifier("movq %rax, %rcx\nmovq %rcx, %rax");
+        assert_eq!(v.verify(&insns("movq %rax, %rcx")), Ok(()));
+    }
+
+    #[test]
+    fn dropping_a_live_write_is_rejected() {
+        let v = verifier("movq %rax, %rcx\nmovq %rcx, %rax");
+        let r = v.verify(&insns("nop"));
+        assert!(
+            matches!(r, Err(Reject::Unusable(_)) | Err(Reject::Diff(_))),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_constant_fold_is_rejected() {
+        let v = verifier("addq $1, %rax\naddq $2, %rax");
+        assert_eq!(v.verify(&insns("addq $3, %rax")), Ok(()));
+        assert!(matches!(
+            v.verify(&insns("addq $4, %rax")),
+            Err(Reject::Diff(_))
+        ));
+    }
+
+    #[test]
+    fn dropped_store_is_rejected_by_the_oracle_or_filter() {
+        // A store to memory then a load back into the same register: the
+        // register file looks identical if the store is dropped (the load
+        // reads the seeded value instead) — only the oracle's memory
+        // readback or seeded divergence catches it.
+        let v = verifier("movq %rax, 8(%rcx)\nmovq 8(%rcx), %rdx");
+        let r = v.verify(&insns("movq %rax, %rdx"));
+        assert!(matches!(r, Err(Reject::Oracle(_))), "{r:?}");
+    }
+
+    #[test]
+    fn scratch_register_results_are_observable() {
+        // %rcx is caller-saved; the plain oracle would not see it, but the
+        // spill tail makes it observable.
+        let v = verifier("movq %rax, %rcx\naddq $1, %rcx");
+        let r = v.verify(&insns("movq %rax, %rcx"));
+        assert!(matches!(r, Err(Reject::Diff(_))), "{r:?}");
+    }
+
+    #[test]
+    fn register_outside_window_set_is_unusable() {
+        let v = verifier("movq %rax, %rcx");
+        let r = v.verify(&insns("movq %rax, %rdx\nmovq %rax, %rcx"));
+        assert!(matches!(r, Err(Reject::Unusable(_))), "{r:?}");
+    }
+
+    #[test]
+    fn deterministic_states_for_equal_seeds() {
+        let w = insns("addq %rcx, %rax\nsubq %rcx, %rax");
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let va = Verifier::new(&w, 4, &mut a).unwrap();
+        let vb = Verifier::new(&w, 4, &mut b).unwrap();
+        assert_eq!(va.orig_results, vb.orig_results);
+    }
+}

@@ -1,0 +1,350 @@
+//! Window extraction: find short straight-line instruction sequences that
+//! are safe to replace wholesale.
+//!
+//! A window is replaceable only when every architectural effect it has is
+//! either reproduced by the candidate or provably unobservable:
+//!
+//! * **Straight-line.** No labels (someone may jump into the middle), no
+//!   control flow, no barriers (`call` clobbers, `lock` synchronizes).
+//! * **Closed register set.** Only plain GPRs, no `%rsp` writes (the stack
+//!   pointer anchors every frame access after the window), no `%rip`, no
+//!   high-byte registers, no XMM — the verifier's machine-state sampling
+//!   covers exactly the 15 renameable GPRs.
+//! * **Concrete addresses.** Memory operands must be register/displacement
+//!   form with numeric displacements; symbolic and rip-relative operands
+//!   change meaning when the surrounding layout moves.
+//! * **Flags dead at exit.** The search compares register and memory state
+//!   but deliberately not flag state (candidates are free to set flags
+//!   differently); that is only sound when nothing downstream reads the
+//!   flags the window leaves behind, checked by a conservative forward
+//!   scan over the side-effect tables.
+//! * **Encodable.** `encoded_length` must accept every instruction — the
+//!   cost model has to price both the original and its replacement.
+
+use mao::{EntryId, Function, MaoUnit};
+use mao_asm::Entry;
+use mao_x86::{def_use, encoded_length, BranchForm, Flags, Instruction, Mnemonic, Operand, RegId};
+
+/// A replaceable straight-line window inside one function.
+#[derive(Debug, Clone)]
+pub struct Window {
+    /// Entry ids of the window's instructions, in order.
+    pub ids: Vec<EntryId>,
+    /// The instructions themselves (clones of the unit's entries).
+    pub insns: Vec<Instruction>,
+}
+
+/// Mnemonics the superoptimizer is allowed to touch (and to emit). A
+/// deliberate curated subset: integer moves and ALU with fully modeled
+/// side-effect tables, simulator support, and encoder support. Notably
+/// absent: anything reading flags (`adc`, `cmovcc`, `setcc`), string ops,
+/// divisions (fault on zero), pushes/pops (move `%rsp`).
+pub fn allowed_mnemonic(m: Mnemonic) -> bool {
+    use Mnemonic as M;
+    matches!(
+        m,
+        M::Mov
+            | M::Movabs
+            | M::Movsx
+            | M::Movzx
+            | M::Lea
+            | M::Add
+            | M::Sub
+            | M::And
+            | M::Or
+            | M::Xor
+            | M::Not
+            | M::Neg
+            | M::Inc
+            | M::Dec
+            | M::Cmp
+            | M::Test
+            | M::Imul
+            | M::Shl
+            | M::Shr
+            | M::Sar
+            | M::Cltq
+    )
+}
+
+/// Is `reg` usable inside a window? Plain GPRs only, minus the pinned
+/// stack pointer for writes (reads are fine — `24(%rsp)` is how locals are
+/// addressed) and minus `%rip`.
+fn usable_reg(r: mao_x86::Reg) -> bool {
+    r.id.is_gpr() && !r.high8 && r.id != RegId::Rip
+}
+
+/// May this instruction sit inside a window?
+pub fn eligible(insn: &Instruction) -> bool {
+    if !allowed_mnemonic(insn.mnemonic) || insn.lock {
+        return false;
+    }
+    let du = def_use(insn);
+    if du.barrier {
+        return false;
+    }
+    // The stack pointer anchors everything after the window; never move it.
+    if du.reg_defs.iter().any(|r| r.id == RegId::Rsp) {
+        return false;
+    }
+    if !du
+        .reg_defs
+        .iter()
+        .chain(du.reg_uses.iter())
+        .all(|r| (r.id.is_gpr() || r.id == RegId::Rsp) && !r.high8 && r.id != RegId::Rip)
+    {
+        return false;
+    }
+    for op in &insn.operands {
+        match op {
+            Operand::Imm(_) => {}
+            Operand::Reg(r) => {
+                if !(usable_reg(*r) || r.id == RegId::Rsp) {
+                    return false;
+                }
+            }
+            Operand::Mem(m) => {
+                if m.is_rip_relative() || m.disp.constant().is_none() {
+                    return false;
+                }
+                if !m.regs_used().all(|r| usable_reg(r) || r.id == RegId::Rsp) {
+                    return false;
+                }
+            }
+            Operand::Label(_) | Operand::IndirectReg(_) | Operand::IndirectMem(_) => return false,
+        }
+    }
+    // The cost model needs a length for original and candidate alike.
+    encoded_length(insn, BranchForm::Rel32).is_ok()
+}
+
+/// Are the flags this window may leave behind provably dead?
+///
+/// `window_flags` is the set of flags any window instruction defines or
+/// undefines — a candidate may set exactly those differently (a mov-only
+/// window touches none and is trivially safe). Forward scan from
+/// `start_pos` (index into `entries`): a flag is *unresolved* until some
+/// instruction defines (or re-undefines) it. Any read of an unresolved
+/// flag, any label (someone may branch here and the fallthrough path still
+/// carries our flags), or any control flow other than `ret` while flags
+/// are unresolved makes the window ineligible.
+fn flags_dead_after(entries: &[(EntryId, &Entry)], start_pos: usize, window_flags: Flags) -> bool {
+    let mut unresolved = window_flags;
+    if unresolved.is_empty() {
+        return true;
+    }
+    for (_, entry) in &entries[start_pos..] {
+        match entry {
+            Entry::Label(_) => return false,
+            Entry::Directive(_) => {}
+            Entry::Insn(insn) => {
+                let du = def_use(insn);
+                if du.flags_use.intersects(unresolved) {
+                    return false;
+                }
+                if insn.mnemonic.is_control_flow() {
+                    // `ret`: flags are dead across function return per the
+                    // SysV ABI. Anything else propagates them to a target
+                    // we are not scanning — conservative no.
+                    return insn.mnemonic == Mnemonic::Ret;
+                }
+                unresolved = unresolved & !(du.flags_def | du.flags_undef);
+                if unresolved.is_empty() {
+                    return true;
+                }
+            }
+        }
+    }
+    // Fell off the end of the function: nothing read them.
+    true
+}
+
+/// Extract non-overlapping windows of `min..=max` instructions from
+/// `function`. Maximal eligible runs are chunked greedily front-to-back, so
+/// the same unit always yields the same windows.
+pub fn extract_windows(unit: &MaoUnit, function: &Function, min: usize, max: usize) -> Vec<Window> {
+    debug_assert!(min >= 1 && min <= max);
+    let entries: Vec<(EntryId, &Entry)> = function
+        .entry_ids()
+        .map(|id| (id, unit.entry(id)))
+        .collect();
+    let mut windows = Vec::new();
+    let mut run_start = 0usize;
+    let mut pos = 0usize;
+    while pos <= entries.len() {
+        let breaks = match entries.get(pos) {
+            None => true,
+            Some((_, Entry::Insn(insn))) => !eligible(insn),
+            Some(_) => true,
+        };
+        if breaks {
+            chunk_run(&entries, run_start, pos, min, max, &mut windows);
+            run_start = pos + 1;
+        }
+        pos += 1;
+    }
+    windows
+}
+
+/// Flags any instruction in `slice` defines or undefines.
+fn defined_flags(slice: &[(EntryId, &Entry)]) -> Flags {
+    slice.iter().fold(Flags::NONE, |acc, (_, e)| match e {
+        Entry::Insn(insn) => {
+            let du = def_use(insn);
+            acc | du.flags_def | du.flags_undef
+        }
+        _ => acc,
+    })
+}
+
+/// Chunk one maximal run `entries[start..end]` into non-overlapping
+/// windows. At each position the longest flags-safe window wins; when even
+/// the shortest fails the start slides forward by one (a later window may
+/// end before a flag-resolving `cmp` inside the run).
+fn chunk_run(
+    entries: &[(EntryId, &Entry)],
+    start: usize,
+    end: usize,
+    min: usize,
+    max: usize,
+    out: &mut Vec<Window>,
+) {
+    let mut at = start;
+    while end - at >= min {
+        let longest = (end - at).min(max);
+        let mut taken = 0;
+        for len in (min..=longest).rev() {
+            let slice = &entries[at..at + len];
+            if flags_dead_after(entries, at + len, defined_flags(slice)) {
+                out.push(Window {
+                    ids: slice.iter().map(|(id, _)| *id).collect(),
+                    insns: slice
+                        .iter()
+                        .map(|(_, e)| e.insn().expect("run contains only insns").clone())
+                        .collect(),
+                });
+                taken = len;
+                break;
+            }
+        }
+        at += taken.max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windows_of(text: &str, min: usize, max: usize) -> Vec<Window> {
+        let unit = MaoUnit::parse(text).unwrap();
+        let f = unit.functions_cached()[0].clone();
+        extract_windows(&unit, &f, min, max)
+    }
+
+    const HEADER: &str = ".type f, @function\nf:\n";
+
+    #[test]
+    fn straight_line_tail_is_a_window() {
+        let w = windows_of(
+            &format!("{HEADER}\tmovq %rdi, %rax\n\tmovq %rax, %rbx\n\tmovq %rbx, %rax\n\tret\n"),
+            3,
+            8,
+        );
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].insns.len(), 3);
+    }
+
+    #[test]
+    fn labels_break_windows() {
+        let w = windows_of(
+            &format!(
+                "{HEADER}\tmovq %rdi, %rax\n.L1:\n\tmovq %rax, %rbx\n\tmovq %rbx, %rax\n\tret\n"
+            ),
+            3,
+            8,
+        );
+        assert!(w.is_empty(), "label splits the run below min size");
+    }
+
+    #[test]
+    fn calls_break_windows() {
+        let w = windows_of(
+            &format!("{HEADER}\tmovq %rdi, %rax\n\tcall g\n\tmovq %rax, %rbx\n\tret\n"),
+            2,
+            8,
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn flag_reader_after_window_excludes_it() {
+        // The window's `addq` sets flags that the `jne` reads.
+        let w = windows_of(
+            &format!(
+                "{HEADER}\tmovq %rdi, %rax\n\tmovq %rsi, %rbx\n\taddq %rbx, %rax\n\tjne .L2\n.L2:\n\tret\n"
+            ),
+            3,
+            8,
+        );
+        assert!(w.is_empty(), "jne consumes window flags");
+    }
+
+    #[test]
+    fn flag_redefinition_between_resolves() {
+        // `cmpq` fully redefines the flags before the `jne`, so the window
+        // preceding it is safe.
+        let w = windows_of(
+            &format!(
+                "{HEADER}\tmovq %rdi, %rax\n\tmovq %rsi, %rbx\n\taddq %rbx, %rax\n\tcmpq $0, %rax\n\tjne .L2\n.L2:\n\tret\n"
+            ),
+            3,
+            3,
+        );
+        assert_eq!(w.len(), 1, "cmp kills the window's flags before the jne");
+        assert_eq!(w[0].insns.len(), 3);
+    }
+
+    #[test]
+    fn rsp_writes_are_ineligible() {
+        let w = windows_of(
+            &format!("{HEADER}\tsubq $8, %rsp\n\tmovq %rdi, %rax\n\taddq $8, %rsp\n\tret\n"),
+            1,
+            8,
+        );
+        assert_eq!(w.len(), 1, "only the rsp-free middle mov survives");
+        assert_eq!(w[0].insns.len(), 1);
+    }
+
+    #[test]
+    fn rsp_relative_loads_are_eligible() {
+        let w = windows_of(
+            &format!("{HEADER}\tmovq 24(%rsp), %rax\n\tmovq %rax, %rbx\n\tret\n"),
+            2,
+            8,
+        );
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn symbolic_mem_is_ineligible() {
+        let w = windows_of(
+            &format!("{HEADER}\tmovq counter(%rip), %rax\n\tmovq %rax, %rbx\n\tret\n"),
+            2,
+            8,
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn long_runs_chunk_without_overlap() {
+        let body: String = (0..7).map(|_| "\tmovq %rdi, %rax\n").collect();
+        let w = windows_of(&format!("{HEADER}{body}\tret\n"), 3, 4);
+        assert_eq!(w.len(), 2, "7 insns chunk as 4 + 3");
+        assert_eq!(w[0].insns.len(), 4);
+        assert_eq!(w[1].insns.len(), 3);
+        let mut all: Vec<EntryId> = w.iter().flat_map(|w| w.ids.clone()).collect();
+        let n = all.len();
+        all.dedup();
+        assert_eq!(all.len(), n, "no id appears in two windows");
+    }
+}

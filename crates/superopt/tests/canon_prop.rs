@@ -1,0 +1,189 @@
+//! Property tests for window canonicalization.
+//!
+//! 1. Canonicalization is invariant under register renaming: a window and
+//!    any injectively register-renamed copy of it canonicalize to the same
+//!    instructions and the same cache key. This is the contract that lets
+//!    one learned rewrite serve every renamed copy of a window.
+//! 2. De-canonicalization through the recorded binding is the exact
+//!    inverse of canonicalization: the round trip reproduces the original
+//!    window, including operand widths, memory shapes, and `%rsp` pins.
+//! 3. Windows that differ in an immediate never collide on a key (the
+//!    constants participate in folds, so they are distinct problems).
+//!
+//! Windows are derived from one `u64` via SplitMix64, matching the relax
+//! property tests: every failure reproduces from the seed.
+
+use mao::MaoUnit;
+use mao_superopt::canon::{canonicalize, decanonicalize, rename_insns, CANON_POOL};
+use mao_x86::{Instruction, RegId};
+use proptest::prelude::*;
+
+fn next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn below(state: &mut u64, n: u64) -> u64 {
+    next(state) % n
+}
+
+/// Registers random windows draw from (a mix the canonical pool must
+/// rename, plus `%rsp` which must stay pinned).
+const REGS: [&str; 8] = ["rax", "rbx", "rdi", "rsi", "r8", "r11", "r14", "rsp"];
+
+fn reg(state: &mut u64) -> &'static str {
+    REGS[below(state, REGS.len() as u64) as usize]
+}
+
+/// A random register not `%rsp` (for destinations and renaming targets).
+fn gpr(state: &mut u64) -> &'static str {
+    loop {
+        let r = reg(state);
+        if r != "rsp" {
+            return r;
+        }
+    }
+}
+
+/// A random straight-line window in the eligible shape: reg-reg and
+/// reg-imm ALU ops, loads/stores through based and indexed memory, `lea`,
+/// and mixed widths (the `l`-suffix forms use the 32-bit register names).
+fn random_window(seed: u64) -> Vec<Instruction> {
+    let mut st = seed;
+    let mut text = String::new();
+    let len = 1 + below(&mut st, 6);
+    for _ in 0..len {
+        let line = match below(&mut st, 8) {
+            0 => format!("movq %{}, %{}", reg(&mut st), gpr(&mut st)),
+            1 => format!("addq %{}, %{}", reg(&mut st), gpr(&mut st)),
+            2 => format!("xorq %{}, %{}", reg(&mut st), gpr(&mut st)),
+            3 => format!("addq ${}, %{}", below(&mut st, 4096), gpr(&mut st)),
+            4 => format!(
+                "movq {}(%{}), %{}",
+                below(&mut st, 256) * 8,
+                reg(&mut st),
+                gpr(&mut st)
+            ),
+            5 => format!(
+                "movq %{}, {}(%{},%{},8)",
+                gpr(&mut st),
+                below(&mut st, 256) * 8,
+                reg(&mut st),
+                gpr(&mut st)
+            ),
+            6 => format!(
+                "leaq {}(%{},%{},4), %{}",
+                below(&mut st, 64),
+                reg(&mut st),
+                gpr(&mut st),
+                gpr(&mut st)
+            ),
+            _ => {
+                let d = gpr(&mut st);
+                format!("movl ${}, %{}", below(&mut st, 100_000), to32(d))
+            }
+        };
+        text.push('\t');
+        text.push_str(&line);
+        text.push('\n');
+    }
+    let unit = MaoUnit::parse(&text).unwrap();
+    unit.entries()
+        .iter()
+        .filter_map(|e| e.insn().cloned())
+        .collect()
+}
+
+fn to32(r: &str) -> String {
+    match r {
+        "rax" => "eax".into(),
+        "rbx" => "ebx".into(),
+        "rdi" => "edi".into(),
+        "rsi" => "esi".into(),
+        other => format!("{other}d"), // r8 -> r8d etc.
+    }
+}
+
+/// A random injective renaming over the non-`%rsp` GPRs, as a permutation
+/// of the canonical pool (15 registers, so any window's registers fit).
+fn random_permutation(seed: u64) -> impl Fn(RegId) -> RegId {
+    let mut st = seed;
+    let mut perm: Vec<RegId> = CANON_POOL.to_vec();
+    for i in (1..perm.len()).rev() {
+        let j = below(&mut st, (i + 1) as u64) as usize;
+        perm.swap(i, j);
+    }
+    move |id: RegId| {
+        match CANON_POOL.iter().position(|&p| p == id) {
+            Some(k) => perm[k],
+            None => id, // %rsp
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// canonicalize(rename(w)) == canonicalize(w): same canonical
+    /// instructions, same cache key, for any injective renaming.
+    #[test]
+    fn canonicalization_is_rename_invariant(seed in any::<u64>()) {
+        let w = random_window(seed);
+        let renamed = rename_insns(&w, random_permutation(seed ^ 0xabcd));
+        let cw = canonicalize(&w).unwrap();
+        let cr = canonicalize(&renamed).unwrap();
+        prop_assert_eq!(&cw.insns, &cr.insns, "seed {seed}");
+        prop_assert_eq!(cw.key, cr.key, "seed {}", seed);
+    }
+
+    /// decanonicalize(canonicalize(w)) == w: the binding rewrites the
+    /// canonical window back into the original register context exactly.
+    #[test]
+    fn decanonicalization_round_trips(seed in any::<u64>()) {
+        let w = random_window(seed);
+        let c = canonicalize(&w).unwrap();
+        let back = decanonicalize(&c.insns, &c.binding);
+        prop_assert_eq!(back, w, "seed {}", seed);
+    }
+
+    /// The binding never mentions `%rsp` and never repeats a register, and
+    /// the canonical window only uses the assigned pool prefix plus
+    /// `%rsp`.
+    #[test]
+    fn bindings_are_injective_and_rsp_stays_pinned(seed in any::<u64>()) {
+        let w = random_window(seed);
+        let c = canonicalize(&w).unwrap();
+        for (i, r) in c.binding.iter().enumerate() {
+            prop_assert_ne!(*r, RegId::Rsp);
+            prop_assert!(!c.binding[..i].contains(r), "seed {seed}: duplicate {r:?}");
+        }
+        let allowed: Vec<RegId> = CANON_POOL[..c.binding.len()].to_vec();
+        let text = c
+            .insns
+            .iter()
+            .map(|i| format!("{i}\n"))
+            .collect::<String>();
+        let canon_again = canonicalize(&c.insns).unwrap();
+        prop_assert_eq!(canon_again.key, c.key, "canonical form is a fixpoint: {}", text);
+        for r in &canon_again.binding {
+            prop_assert!(allowed.contains(r), "seed {seed}: {r:?} outside pool prefix in {text}");
+        }
+    }
+
+    /// Perturbing one immediate always changes the key.
+    #[test]
+    fn immediate_changes_change_the_key(seed in any::<u64>()) {
+        let k = below(&mut { seed }, 1 << 20);
+        let a = MaoUnit::parse(&format!("\taddq ${k}, %rax\n\tmovq %rax, %rbx\n")).unwrap();
+        let b = MaoUnit::parse(&format!("\taddq ${}, %rax\n\tmovq %rax, %rbx\n", k + 1)).unwrap();
+        let ins = |u: &MaoUnit| -> Vec<Instruction> {
+            u.entries().iter().filter_map(|e| e.insn().cloned()).collect()
+        };
+        let ka = canonicalize(&ins(&a)).unwrap().key;
+        let kb = canonicalize(&ins(&b)).unwrap().key;
+        prop_assert_ne!(ka, kb);
+    }
+}

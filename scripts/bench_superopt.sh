@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Run the superoptimizer benchmark and write BENCH_superopt.json at the
+# repo root. Arguments are forwarded to the benchmark binary, e.g.
+#
+#   scripts/bench_superopt.sh --scale 0.05 --jobs 4
+#
+# Defaults: --scale 0.02 --seed 42 --out BENCH_superopt.json. Pass --smoke
+# for a fast small-scale run that writes no file (used by ci.sh).
+# The binary gates on warm-cache throughput >= 10x cold-search throughput
+# (byte-identical output) and on at least one paper kernel getting a
+# measured simulated-cycle improvement with identical results.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p mao-bench --bin bench_superopt -- "$@"

@@ -30,6 +30,49 @@ echo "==> differential check (smoke)"
 target/release/mao check --smoke
 target/release/mao check --inject-miscompile > /dev/null
 
+# Superoptimizer: the bundled smoke unit must yield at least one verified
+# rewrite under a bounded, seeded search; the fault-injection mode must
+# prove the two-phase verifier rejects a deliberately wrong rewrite.
+echo "==> superopt smoke"
+target/release/mao superopt --smoke --seed 42
+target/release/mao superopt --smoke --seed 42 --inject-bogus-rewrite 2>&1 \
+    | grep -q 'injection self-test rejected'
+
+echo "==> superopt rewrite-cache replay"
+# Cold run populates a persistent learned-rewrite cache; the warm run must
+# apply the same rewrites byte-identically without a single fresh search.
+SUPEROPT_WORK=$(mktemp -d)
+trap 'rm -rf "$SUPEROPT_WORK"' EXIT
+cat > "$SUPEROPT_WORK/in.s" <<'EOF'
+	.text
+	.type	f, @function
+f:
+	movq	%rdi, %rax
+	movq	%rax, %rbx
+	movq	%rbx, %rax
+	ret
+	.type	g, @function
+g:
+	movq	%rsi, %rcx
+	movq	%rcx, %rdx
+	movq	%rdx, %rcx
+	ret
+EOF
+target/release/mao superopt --seed 42 --cache-dir "$SUPEROPT_WORK/cache" \
+    -o "$SUPEROPT_WORK/cold.s" "$SUPEROPT_WORK/in.s" 2> "$SUPEROPT_WORK/cold.log"
+target/release/mao superopt --seed 42 --cache-dir "$SUPEROPT_WORK/cache" \
+    -o "$SUPEROPT_WORK/warm.s" "$SUPEROPT_WORK/in.s" 2> "$SUPEROPT_WORK/warm.log"
+cmp "$SUPEROPT_WORK/cold.s" "$SUPEROPT_WORK/warm.s"
+grep -q ' 0 searches' "$SUPEROPT_WORK/warm.log"
+! grep -q ' 0 rewrites' "$SUPEROPT_WORK/warm.log"
+rm -rf "$SUPEROPT_WORK"
+trap - EXIT
+
+echo "==> superopt benchmark gates (smoke)"
+# Warm-cache >= 10x cold-search throughput and a measured cycle win on at
+# least one paper kernel (full run: scripts/bench_superopt.sh).
+cargo run --release -p mao-bench --bin bench_superopt -- --smoke > /dev/null
+
 echo "==> daemon smoke test"
 MAO=target/release/mao
 WORK=$(mktemp -d)

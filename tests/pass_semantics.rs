@@ -23,9 +23,13 @@ const TRANSFORMING_PASSES: &[&str] = &[
     "NOPKILL",
     "NOPIN=seed[3],density[0.1]",
     "INSTPREP",
+    // Bounded budgets keep the search fast; what it does rewrite must
+    // preserve semantics like any other pass.
+    "SUPEROPT=seed[1],max-window[6],diff-states[3],iters[24],max-candidates[48]",
 ];
 
 fn check_workload(w: &Workload) {
+    mao_superopt::register();
     let base_unit = MaoUnit::parse(&w.asm).expect("workload parses");
     let base_prog = Program::load(&base_unit).expect("workload loads");
     let (base_ret, base_count) =

@@ -1,0 +1,51 @@
+//! SUPEROPT determinism: the stochastic search is seeded per window
+//! (splitmix over the explicit `--seed` and the canonical window key), so
+//! the pass must produce byte-identical assembly for every job count and
+//! for repeated runs with the same seed — and different output only when
+//! the seed actually changes search decisions.
+
+use mao::pass::{parse_invocations, run_pipeline_with, PipelineConfig};
+use mao::MaoUnit;
+use mao_corpus::{generate, GeneratorConfig};
+
+/// Small fixed budgets: determinism is about search *decisions*, not depth.
+fn spec(seed: u64) -> String {
+    format!("SUPEROPT=seed[{seed}],max-window[5],diff-states[3],iters[16],max-candidates[32]")
+}
+
+fn run(seed: u64, jobs: usize) -> (String, mao::PipelineReport) {
+    mao_superopt::register();
+    let corpus = generate(&GeneratorConfig::core_library(0.01));
+    let mut unit = MaoUnit::parse(&corpus.asm).expect("generated corpus parses");
+    let invs = parse_invocations(&spec(seed)).unwrap();
+    let report =
+        run_pipeline_with(&mut unit, &invs, None, &PipelineConfig { jobs }).expect("pass runs");
+    (unit.emit(), report)
+}
+
+#[test]
+fn superopt_is_byte_identical_across_job_counts() {
+    let (seq, seq_report) = run(42, 1);
+    let (par, par_report) = run(42, 8);
+    assert_eq!(seq, par, "assembly must not depend on the job count");
+    assert_eq!(
+        seq_report
+            .passes
+            .iter()
+            .map(|(n, s)| (n.clone(), s.transformations, s.matches))
+            .collect::<Vec<_>>(),
+        par_report
+            .passes
+            .iter()
+            .map(|(n, s)| (n.clone(), s.transformations, s.matches))
+            .collect::<Vec<_>>(),
+        "per-pass stats must not depend on the job count"
+    );
+}
+
+#[test]
+fn superopt_reruns_reproduce_exactly() {
+    let (a, _) = run(7, 4);
+    let (b, _) = run(7, 4);
+    assert_eq!(a, b, "same seed, same corpus -> same bytes");
+}
