@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use mao_x86::sym::Sym;
 use mao_x86::Instruction;
 
 /// A value inside a data directive (`.long 4`, `.quad .L42`).
@@ -15,7 +16,7 @@ pub enum DataItem {
     /// Constant value.
     Imm(i64),
     /// Symbol reference (jump tables are `.quad .Lnn` lists).
-    Symbol(String),
+    Symbol(Sym),
 }
 
 impl fmt::Display for DataItem {
@@ -93,23 +94,23 @@ pub enum Directive {
     /// `.text`, `.data`, `.bss`, `.section name[,flags]`.
     Section {
         /// Section name (`.text`, `.rodata`, ...).
-        name: String,
+        name: Sym,
         /// Raw flag arguments, passed through verbatim.
         args: Vec<String>,
     },
     /// `.globl sym` / `.global sym`.
-    Global(String),
+    Global(Sym),
     /// `.type sym, @kind`.
     Type {
         /// Symbol name.
-        symbol: String,
+        symbol: Sym,
         /// Kind (`function`, `object`, ...), without the `@`.
-        kind: String,
+        kind: Sym,
     },
     /// `.size sym, expr` (expression kept verbatim).
     Size {
         /// Symbol name.
-        symbol: String,
+        symbol: Sym,
         /// Size expression, e.g. `.-main`.
         expr: String,
     },
@@ -131,7 +132,7 @@ pub enum Directive {
     /// `.comm sym, size[, align]`.
     Comm {
         /// Symbol name.
-        symbol: String,
+        symbol: Sym,
         /// Size in bytes.
         size: u64,
         /// Optional alignment.
@@ -141,7 +142,7 @@ pub enum Directive {
     /// ...), passed through verbatim.
     Other {
         /// Directive name including the leading dot.
-        name: String,
+        name: Sym,
         /// Raw argument text.
         args: String,
     },
@@ -151,7 +152,7 @@ impl Directive {
     /// Does this directive change the current section?
     pub fn section_name(&self) -> Option<&str> {
         match self {
-            Directive::Section { name, .. } => Some(name),
+            Directive::Section { name, .. } => Some(name.as_str()),
             _ => None,
         }
     }
@@ -254,7 +255,7 @@ impl fmt::Display for Directive {
 #[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Entry {
     /// `name:`
-    Label(String),
+    Label(Sym),
     /// A machine instruction.
     Insn(Instruction),
     /// An assembler directive.
@@ -281,7 +282,7 @@ impl Entry {
     /// The label name, if this entry is a label.
     pub fn label(&self) -> Option<&str> {
         match self {
-            Entry::Label(l) => Some(l),
+            Entry::Label(l) => Some(l.as_str()),
             _ => None,
         }
     }

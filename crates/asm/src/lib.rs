@@ -14,7 +14,13 @@
 pub mod emit;
 pub mod entry;
 pub mod parser;
+pub mod parser_reference;
+pub mod snapshot;
 
 pub use emit::emit;
 pub use entry::{Align, DataItem, DataWidth, Directive, Entry};
-pub use parser::{parse, ParseError};
+/// The global symbol interner the zero-copy parser and snapshot codec
+/// share, re-exported for consumers that report its size.
+pub use mao_x86::sym::Sym;
+pub use parser::{parse, parse_with_jobs, ParseError};
+pub use parser_reference::parse_reference;

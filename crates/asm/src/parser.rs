@@ -1,20 +1,48 @@
-//! AT&T-syntax assembly parser.
+//! AT&T-syntax assembly parser — zero-copy front end.
 //!
 //! Parses compiler-emitted assembly text (the same dialect gas accepts for
 //! x86-64 ELF targets) into the flat [`Entry`] list. Unknown directives are
 //! passed through verbatim; unknown *instructions* are an error, because MAO
 //! must understand every instruction it may move or measure.
+//!
+//! This is the zero-copy rewrite of the seed parser (which is preserved as
+//! [`crate::parser_reference::parse_reference`] for benchmarking and
+//! differential testing). The differences that buy the front-end throughput:
+//!
+//! - **No per-token `String`s.** Tokens are `&str` slices of the input
+//!   buffer; symbol-shaped tokens intern directly into the global [`Sym`]
+//!   table without an intermediate allocation.
+//! - **Byte-level scanning.** Line splitting, comment stripping, statement
+//!   splitting, label scans and operand splitting walk `&[u8]` with a fast
+//!   path for lines containing no `#`/`"`/`;`. Slices are only taken at
+//!   ASCII delimiter positions, which are always UTF-8 char boundaries.
+//! - **No intermediate `Vec`s.** Statements and operands are processed as
+//!   they are found instead of being collected per line.
+//! - **Width inference without cloning.** [`Instruction::infer_width_of`]
+//!   runs on the operand slice instead of round-tripping through a
+//!   throwaway `Instruction`.
+//! - **Parallel parsing.** [`parse_with_jobs`] splits the input at line
+//!   boundaries (the grammar is line-local; all cross-line state lives in
+//!   `MaoUnit`), parses chunks on scoped threads, and concatenates in input
+//!   order — byte-identical results at any job count, and the first error in
+//!   input order is reported exactly as the sequential parse would.
+//!
+//! Errors carry the 1-based line, the offending source line text, and the
+//! byte-offset range of the offending statement within the input buffer.
 
 use std::fmt;
+use std::ops::Range;
 
 use mao_x86::insn::Instruction;
 use mao_x86::mnemonic::parse_mnemonic;
-use mao_x86::operand::{Disp, Mem, Operand};
+use mao_x86::operand::{Disp, Mem, Operand, Operands};
 use mao_x86::reg::{parse_reg_name, Reg};
+use mao_x86::sym::Sym;
 
 use crate::entry::{Align, DataItem, DataWidth, Directive, Entry};
 
-/// Parse failure, with the 1-based source line and the offending text.
+/// Parse failure, with the 1-based source line, the offending text, and the
+/// byte range of the offending statement in the input buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// 1-based line number.
@@ -23,6 +51,9 @@ pub struct ParseError {
     pub message: String,
     /// The source line that failed, trimmed (empty if unavailable).
     pub text: String,
+    /// Byte range of the offending (trimmed) statement within the input
+    /// buffer; `0..0` if unavailable.
+    pub offset: Range<usize>,
 }
 
 impl fmt::Display for ParseError {
@@ -37,6 +68,9 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Minimum input size before [`parse_with_jobs`] bothers spawning threads.
+const PARALLEL_MIN_BYTES: usize = 64 * 1024;
+
 /// Parse a complete assembly file into the flat entry list.
 ///
 /// # Examples
@@ -46,96 +80,236 @@ impl std::error::Error for ParseError {}
 /// assert_eq!(entries.len(), 4);
 /// ```
 pub fn parse(text: &str) -> Result<Vec<Entry>, ParseError> {
-    let mut entries = Vec::new();
-    for (idx, raw_line) in text.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = strip_comment(raw_line);
-        for stmt in split_statements(line) {
-            let stmt = stmt.trim();
-            if stmt.is_empty() {
-                continue;
-            }
-            // Helpers report line + message; the raw source line is only
-            // known here, so attach it on the way out.
-            parse_statement(stmt, lineno, &mut entries).map_err(|mut e| {
-                if e.text.is_empty() {
-                    e.text = raw_line.trim().to_string();
+    parse_chunk(text, 1, 0)
+}
+
+/// Parse with up to `jobs` threads, splitting at line boundaries.
+///
+/// Byte-identical to [`parse`] at any job count: the grammar is line-local,
+/// chunks are merged in input order, and the first error in input order wins.
+pub fn parse_with_jobs(text: &str, jobs: usize) -> Result<Vec<Entry>, ParseError> {
+    let jobs = jobs.max(1);
+    if jobs == 1 || text.len() < PARALLEL_MIN_BYTES {
+        return parse_chunk(text, 1, 0);
+    }
+    let bytes = text.as_bytes();
+    // Chunk boundaries: the next line start at or after each even split
+    // point. Dedup keeps chunks non-empty when lines are huge.
+    let mut bounds: Vec<usize> = vec![0];
+    for k in 1..jobs {
+        let target = text.len() * k / jobs;
+        let next_line = match bytes[target..].iter().position(|&b| b == b'\n') {
+            Some(off) => target + off + 1,
+            None => text.len(),
+        };
+        if next_line > *bounds.last().unwrap() && next_line < text.len() {
+            bounds.push(next_line);
+        }
+    }
+    bounds.push(text.len());
+    if bounds.len() <= 2 {
+        return parse_chunk(text, 1, 0);
+    }
+
+    // First line number of each chunk = 1 + newlines before its start.
+    let mut first_lines = Vec::with_capacity(bounds.len() - 1);
+    let mut line = 1usize;
+    for w in bounds.windows(2) {
+        first_lines.push(line);
+        line += bytes[w[0]..w[1]].iter().filter(|&&b| b == b'\n').count();
+    }
+
+    let results: Vec<Result<Vec<Entry>, ParseError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .windows(2)
+            .zip(&first_lines)
+            .map(|(w, &first_line)| {
+                let (start, end) = (w[0], w[1]);
+                let chunk = &text[start..end];
+                scope.spawn(move || parse_chunk(chunk, first_line, start))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut chunks = Vec::with_capacity(results.len());
+    for r in results {
+        // Input-order scan: the first failing chunk holds the first error in
+        // input order, because every earlier chunk parsed to completion.
+        chunks.push(r?);
+    }
+    let total = chunks.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for mut c in chunks {
+        out.append(&mut c);
+    }
+    Ok(out)
+}
+
+/// Sequential parse of `text`, which starts at 1-based line `first_line` and
+/// byte offset `base` of the original input (both used for error reporting).
+fn parse_chunk(text: &str, first_line: usize, base: usize) -> Result<Vec<Entry>, ParseError> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(text.len() / 12 + 4);
+    let mut pos = 0usize;
+    let mut lineno = first_line;
+    while pos < bytes.len() {
+        // One fused (vectorizable) scan finds the line end and whether the
+        // line contains a comment/string/separator byte; most lines have
+        // none and go straight to the statement parser.
+        let mut special = false;
+        let line_end = match bytes[pos..]
+            .iter()
+            .position(|&b| matches!(b, b'\n' | b'#' | b'"' | b';'))
+        {
+            Some(off) if bytes[pos + off] == b'\n' => pos + off,
+            Some(off) => {
+                special = true;
+                match bytes[pos + off..].iter().position(|&b| b == b'\n') {
+                    Some(o2) => pos + off + o2,
+                    None => bytes.len(),
                 }
-                e
-            })?;
+            }
+            None => bytes.len(),
+        };
+        let line = &text[pos..line_end];
+        if special {
+            parse_line_special(line, lineno, base + pos, &mut out)?;
+        } else {
+            parse_segment(line, 0, line, lineno, base + pos, &mut out)?;
         }
+        pos = line_end + 1;
+        lineno += 1;
     }
-    Ok(entries)
+    Ok(out)
 }
 
-/// Remove a `#` comment, respecting string literals.
-fn strip_comment(line: &str) -> &str {
+/// Parse one source line known to contain a `#`, `"`, or `;`: strip the
+/// comment and split on `;` statement separators (both
+/// string-literal-aware), then parse each statement.
+fn parse_line_special(
+    line: &str,
+    lineno: usize,
+    line_base: usize,
+    out: &mut Vec<Entry>,
+) -> Result<(), ParseError> {
     let bytes = line.as_bytes();
+    // One string-aware scan handles both comment stripping and
+    // statement splitting (identical state machine to the seed parser's
+    // `strip_comment` + `split_statements` passes).
     let mut in_str = false;
     let mut escaped = false;
-    for (i, &b) in bytes.iter().enumerate() {
-        match b {
+    let mut stmt_start = 0usize;
+    let mut k = 0usize;
+    while k < bytes.len() {
+        match bytes[k] {
             b'\\' if in_str => escaped = !escaped,
             b'"' if !escaped => in_str = !in_str,
-            b'#' if !in_str => return &line[..i],
-            _ => escaped = false,
-        }
-    }
-    line
-}
-
-/// Split on `;` statement separators, respecting string literals.
-fn split_statements(line: &str) -> Vec<&str> {
-    let bytes = line.as_bytes();
-    let mut out = Vec::new();
-    let mut start = 0;
-    let mut in_str = false;
-    let mut escaped = false;
-    for (i, &b) in bytes.iter().enumerate() {
-        match b {
-            b'\\' if in_str => escaped = !escaped,
-            b'"' if !escaped => in_str = !in_str,
+            b'#' if !in_str => {
+                return parse_segment(
+                    &line[stmt_start..k],
+                    stmt_start,
+                    line,
+                    lineno,
+                    line_base,
+                    out,
+                );
+            }
             b';' if !in_str => {
-                out.push(&line[start..i]);
-                start = i + 1;
+                parse_segment(
+                    &line[stmt_start..k],
+                    stmt_start,
+                    line,
+                    lineno,
+                    line_base,
+                    out,
+                )?;
+                stmt_start = k + 1;
+                escaped = false;
             }
             _ => escaped = false,
         }
+        k += 1;
     }
-    out.push(&line[start..]);
-    out
+    parse_segment(
+        &line[stmt_start..],
+        stmt_start,
+        line,
+        lineno,
+        line_base,
+        out,
+    )
 }
 
-fn is_symbol_char(c: char) -> bool {
-    c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '$' | '@')
+/// Trim one statement segment and parse it, annotating any error with the
+/// full source line text and the statement's byte range.
+fn parse_segment(
+    seg: &str,
+    seg_off: usize,
+    raw_line: &str,
+    lineno: usize,
+    line_base: usize,
+    out: &mut Vec<Entry>,
+) -> Result<(), ParseError> {
+    let stmt = fast_trim(seg);
+    if stmt.is_empty() {
+        return Ok(());
+    }
+    parse_statement(stmt, lineno, out).map_err(|mut e| {
+        if e.text.is_empty() {
+            e.text = raw_line.trim().to_string();
+        }
+        if e.offset == (0..0) {
+            let lead = seg.len() - fast_trim_start(seg).len();
+            let start = line_base + seg_off + lead;
+            e.offset = start..start + stmt.len();
+        }
+        e
+    })
+}
+
+#[inline]
+fn is_symbol_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'$' | b'@')
 }
 
 fn parse_statement(stmt: &str, lineno: usize, out: &mut Vec<Entry>) -> Result<(), ParseError> {
-    // Leading labels: `name:` possibly repeated.
+    // Leading labels: `name:` possibly repeated. Scanning stops at the first
+    // non-symbol byte, which is always a char boundary (multi-byte UTF-8
+    // sequences start with a non-symbol byte).
     let mut rest = stmt;
-    loop {
-        let sym_len = rest.chars().take_while(|&c| is_symbol_char(c)).count();
-        if sym_len > 0 {
-            let sym_bytes: usize = rest.chars().take(sym_len).map(char::len_utf8).sum();
-            if rest[sym_bytes..].starts_with(':') {
-                out.push(Entry::Label(rest[..sym_bytes].to_string()));
-                rest = rest[sym_bytes + 1..].trim_start();
-                if rest.is_empty() {
-                    return Ok(());
-                }
-                continue;
-            }
+    let head_len = loop {
+        let b = rest.as_bytes();
+        let mut n = 0;
+        while n < b.len() && is_symbol_byte(b[n]) {
+            n += 1;
         }
-        break;
-    }
+        if n > 0 && n < b.len() && b[n] == b':' {
+            out.push(Entry::Label(Sym::intern(&rest[..n])));
+            rest = fast_trim_start(&rest[n + 1..]);
+            if rest.is_empty() {
+                return Ok(());
+            }
+            continue;
+        }
+        // `n` is the symbol-byte prefix of the head token — the mnemonic or
+        // directive-name boundary, reused below instead of a fresh scan.
+        break n;
+    };
 
-    if rest.starts_with('.') {
+    if rest.as_bytes().first() == Some(&b'.') {
         out.push(Entry::Directive(parse_directive(rest, lineno)?));
         Ok(())
     } else {
-        out.push(Entry::Insn(parse_instruction(rest, lineno)?));
+        out.push(Entry::Insn(parse_instruction(rest, head_len, lineno)?));
         Ok(())
     }
+}
+
+/// Is `b` one of the six ASCII whitespace bytes `char::is_whitespace` accepts?
+#[inline]
+fn is_ascii_ws(b: u8) -> bool {
+    matches!(b, b' ' | b'\t' | b'\n' | 0x0b | 0x0c | b'\r')
 }
 
 fn err(lineno: usize, message: impl Into<String>) -> ParseError {
@@ -143,19 +317,23 @@ fn err(lineno: usize, message: impl Into<String>) -> ParseError {
         line: lineno,
         message: message.into(),
         text: String::new(),
+        offset: 0..0,
     }
 }
 
 /// Parse an integer literal: decimal, `0x` hex, `0` octal, with optional sign.
 fn parse_int(s: &str) -> Option<i64> {
-    let s = s.trim();
+    let s = fast_trim(s);
     let (neg, body) = match s.strip_prefix('-') {
-        Some(b) => (true, b.trim()),
+        Some(b) => (true, fast_trim(b)),
         None => (false, s),
     };
     let mag = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
         u64::from_str_radix(hex, 16).ok()?
-    } else if body.len() > 1 && body.starts_with('0') && body.chars().all(|c| c.is_digit(8)) {
+    } else if body.len() > 1
+        && body.starts_with('0')
+        && body.bytes().all(|b| (b'0'..=b'7').contains(&b))
+    {
         u64::from_str_radix(&body[1..], 8).ok()?
     } else {
         body.parse::<u64>().ok()?
@@ -169,38 +347,36 @@ fn parse_int(s: &str) -> Option<i64> {
 
 /// Parse `sym`, `sym+4`, `sym-8` into a symbolic displacement.
 fn parse_symbol_expr(s: &str) -> Option<Disp> {
-    let s = s.trim();
-    if s.is_empty() {
+    let s = fast_trim(s);
+    let b = s.as_bytes();
+    let first = *b.first()?;
+    if !(first.is_ascii_alphabetic() || matches!(first, b'_' | b'.' | b'$')) {
         return None;
     }
-    let first = s.chars().next()?;
-    if !(first.is_ascii_alphabetic() || matches!(first, '_' | '.' | '$')) {
-        return None;
-    }
-    let split = s
-        .char_indices()
+    let split = b
+        .iter()
         .skip(1)
-        .find(|&(_, c)| c == '+' || c == '-')
-        .map(|(i, _)| i);
+        .position(|&c| c == b'+' || c == b'-')
+        .map(|i| i + 1);
     let (name, addend) = match split {
         Some(i) => {
             let (n, a) = s.split_at(i);
-            (n.trim(), parse_int(a)?)
+            (fast_trim(n), parse_int(a)?)
         }
         None => (s, 0),
     };
-    if name.is_empty() || !name.chars().all(is_symbol_char) {
+    if name.is_empty() || !name.bytes().all(is_symbol_byte) {
         return None;
     }
     Some(Disp::Symbol {
-        name: name.to_string(),
+        name: Sym::intern(name),
         addend,
     })
 }
 
 /// Parse the memory operand `disp(base,index,scale)` or plain `disp`.
+// `s` arrives trimmed from `parse_operand`.
 fn parse_mem(s: &str, lineno: usize) -> Result<Mem, ParseError> {
-    let s = s.trim();
     let (disp_str, inner) = match s.find('(') {
         Some(open) => {
             let close = s
@@ -211,7 +387,7 @@ fn parse_mem(s: &str, lineno: usize) -> Result<Mem, ParseError> {
         None => (s, None),
     };
 
-    let disp = if disp_str.trim().is_empty() {
+    let disp = if fast_trim(disp_str).is_empty() {
         Disp::None
     } else if let Some(v) = parse_int(disp_str) {
         Disp::Imm(v)
@@ -229,8 +405,11 @@ fn parse_mem(s: &str, lineno: usize) -> Result<Mem, ParseError> {
     };
 
     if let Some(inner) = inner {
-        let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
-        if parts.len() > 3 {
+        let mut parts = inner.split(',');
+        let base = parts.next().map(fast_trim);
+        let index = parts.next().map(fast_trim);
+        let scale = parts.next().map(fast_trim);
+        if parts.next().is_some() {
             return Err(err(lineno, format!("too many parts in `({inner})`")));
         }
         let parse_r = |p: &str| -> Result<Reg, ParseError> {
@@ -239,17 +418,17 @@ fn parse_mem(s: &str, lineno: usize) -> Result<Mem, ParseError> {
                 .ok_or_else(|| err(lineno, format!("expected register, got `{p}`")))?;
             parse_reg_name(name).ok_or_else(|| err(lineno, format!("unknown register `{p}`")))
         };
-        if let Some(b) = parts.first() {
+        if let Some(b) = base {
             if !b.is_empty() {
                 mem.base = Some(parse_r(b)?);
             }
         }
-        if let Some(i) = parts.get(1) {
+        if let Some(i) = index {
             if !i.is_empty() {
                 mem.index = Some(parse_r(i)?);
             }
         }
-        if let Some(sc) = parts.get(2) {
+        if let Some(sc) = scale {
             if !sc.is_empty() {
                 let v = parse_int(sc).ok_or_else(|| err(lineno, format!("bad scale `{sc}`")))?;
                 if ![1, 2, 4, 8].contains(&v) {
@@ -262,31 +441,8 @@ fn parse_mem(s: &str, lineno: usize) -> Result<Mem, ParseError> {
     Ok(mem)
 }
 
-/// Split an operand list on top-level commas (commas inside `(...)` group).
-fn split_operands(s: &str) -> Vec<&str> {
-    let mut out = Vec::new();
-    let mut depth = 0usize;
-    let mut start = 0;
-    for (i, c) in s.char_indices() {
-        match c {
-            '(' => depth += 1,
-            ')' => depth = depth.saturating_sub(1),
-            ',' if depth == 0 => {
-                out.push(&s[start..i]);
-                start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    out.push(&s[start..]);
-    out.iter()
-        .map(|p| p.trim())
-        .filter(|p| !p.is_empty())
-        .collect()
-}
-
+// `s` arrives trimmed from `parse_instruction`'s operand split.
 fn parse_operand(s: &str, is_branch: bool, lineno: usize) -> Result<Operand, ParseError> {
-    let s = s.trim();
     if let Some(imm) = s.strip_prefix('$') {
         let v =
             parse_int(imm).ok_or_else(|| err(lineno, format!("unsupported immediate `{s}`")))?;
@@ -298,7 +454,7 @@ fn parse_operand(s: &str, is_branch: bool, lineno: usize) -> Result<Operand, Par
         return Ok(Operand::Reg(r));
     }
     if let Some(ind) = s.strip_prefix('*') {
-        let ind = ind.trim();
+        let ind = fast_trim(ind);
         if let Some(reg) = ind.strip_prefix('%') {
             let r = parse_reg_name(reg)
                 .ok_or_else(|| err(lineno, format!("unknown register `{ind}`")))?;
@@ -306,51 +462,131 @@ fn parse_operand(s: &str, is_branch: bool, lineno: usize) -> Result<Operand, Par
         }
         return Ok(Operand::IndirectMem(parse_mem(ind, lineno)?));
     }
-    if is_branch && !s.contains('(') && parse_int(s).is_none() {
+    if is_branch && !s.as_bytes().contains(&b'(') && parse_int(s).is_none() {
         // Direct branch/call target.
-        if s.chars().all(is_symbol_char) {
-            return Ok(Operand::Label(s.to_string()));
+        if s.bytes().all(is_symbol_byte) {
+            return Ok(Operand::Label(Sym::intern(s)));
         }
         return Err(err(lineno, format!("bad branch target `{s}`")));
     }
     Ok(Operand::Mem(parse_mem(s, lineno)?))
 }
 
-fn parse_instruction(s: &str, lineno: usize) -> Result<Instruction, ParseError> {
-    let mut rest = s.trim();
+/// Byte-wise `str::trim`, falling back to the char-based trim whenever an
+/// edge byte could be (part of) Unicode whitespace — `0x0b` (vertical tab,
+/// not ASCII whitespace to `trim_ascii` but whitespace to `char`) or any
+/// non-ASCII lead byte. Always equivalent to `s.trim()`.
+#[inline]
+fn fast_trim(s: &str) -> &str {
+    let t = s.trim_ascii();
+    let b = t.as_bytes();
+    match (b.first(), b.last()) {
+        (Some(&f), Some(&l)) if f >= 0x80 || l >= 0x80 || f == 0x0b || l == 0x0b => t.trim(),
+        _ => t,
+    }
+}
+
+/// Byte-wise `str::trim_start`; see [`fast_trim`].
+#[inline]
+fn fast_trim_start(s: &str) -> &str {
+    let t = s.trim_ascii_start();
+    match t.as_bytes().first() {
+        Some(&f) if f >= 0x80 || f == 0x0b => t.trim_start(),
+        _ => t,
+    }
+}
+
+/// Byte-wise `s.find(char::is_whitespace)`, falling back to the char-based
+/// scan on the first non-ASCII byte so Unicode whitespace is still honored
+/// exactly like the seed parser.
+#[inline]
+fn find_ws(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if is_ascii_ws(b) {
+            return Some(i);
+        }
+        if b >= 0x80 {
+            return s[i..].find(char::is_whitespace).map(|j| i + j);
+        }
+    }
+    None
+}
+
+#[inline]
+// `s` arrives trimmed from `parse_statement`; `head_len` is the length of
+// its symbol-byte prefix (already scanned by the label loop) — on the fast
+// path this is exactly the mnemonic boundary, so no re-scan is needed.
+fn parse_instruction(s: &str, head_len: usize, lineno: usize) -> Result<Instruction, ParseError> {
+    let mut rest = s;
+    let mut head = head_len;
     let mut lock = false;
     if let Some(r) = rest.strip_prefix("lock") {
         if r.starts_with(char::is_whitespace) {
             lock = true;
-            rest = r.trim_start();
+            rest = fast_trim_start(r);
+            // The prefix invalidated the pre-scanned boundary; re-scan.
+            let b = rest.as_bytes();
+            head = 0;
+            while head < b.len() && is_symbol_byte(b[head]) {
+                head += 1;
+            }
         }
     }
-    let (mnem_str, ops_str) = match rest.find(char::is_whitespace) {
-        Some(i) => (&rest[..i], rest[i..].trim()),
-        None => (rest, ""),
+    // Symbol bytes are never whitespace, so the first whitespace is at
+    // `head` (the common case, checked without a scan) or beyond it.
+    let (mnem_str, ops_str) = if head == rest.len() {
+        (rest, "")
+    } else if is_ascii_ws(rest.as_bytes()[head]) {
+        (&rest[..head], fast_trim(&rest[head..]))
+    } else {
+        // Head token continues with a non-symbol, non-whitespace byte
+        // (always a char boundary): fall back to the full whitespace scan
+        // so malformed input errors exactly like the seed parser.
+        match find_ws(rest) {
+            Some(i) => (&rest[..i], fast_trim(&rest[i..])),
+            None => (rest, ""),
+        }
     };
     let parsed = parse_mnemonic(mnem_str)
         .ok_or_else(|| err(lineno, format!("unknown mnemonic `{mnem_str}`")))?;
     let is_branch = parsed.mnemonic.is_branch() || parsed.mnemonic == mao_x86::Mnemonic::Call;
-    let mut operands = Vec::new();
+    let mut operands = Operands::new();
     if !ops_str.is_empty() {
-        for op in split_operands(ops_str) {
-            operands.push(parse_operand(op, is_branch, lineno)?);
+        // Split on top-level commas (commas inside `(...)` group), parsing
+        // each operand as it is found.
+        let ob = ops_str.as_bytes();
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        for (k, &c) in ob.iter().enumerate() {
+            match c {
+                b'(' => depth += 1,
+                b')' => depth = depth.saturating_sub(1),
+                b',' if depth == 0 => {
+                    let part = fast_trim(&ops_str[start..k]);
+                    if !part.is_empty() {
+                        operands.push(parse_operand(part, is_branch, lineno)?);
+                    }
+                    start = k + 1;
+                }
+                _ => {}
+            }
+        }
+        let part = fast_trim(&ops_str[start..]);
+        if !part.is_empty() {
+            operands.push(parse_operand(part, is_branch, lineno)?);
         }
     }
-    let mut insn = Instruction {
+    let op_width = parsed
+        .op_width
+        .or_else(|| Instruction::infer_width_of(&operands));
+    Ok(Instruction {
         mnemonic: parsed.mnemonic,
-        op_width: parsed.op_width,
+        op_width,
         src_width: parsed.src_width,
         lock,
         operands,
-    };
-    if insn.op_width.is_none() {
-        // Re-run width inference now that operands are attached.
-        let inferred = Instruction::new(insn.mnemonic, insn.operands.clone()).op_width;
-        insn.op_width = inferred;
-    }
-    Ok(insn)
+    })
 }
 
 fn unescape(s: &str, lineno: usize) -> Result<String, ParseError> {
@@ -388,18 +624,18 @@ fn quoted(s: &str, lineno: usize) -> Result<String, ParseError> {
 }
 
 fn parse_directive(s: &str, lineno: usize) -> Result<Directive, ParseError> {
-    let (name, args) = match s.find(char::is_whitespace) {
+    let (name, args) = match find_ws(s) {
         Some(i) => (&s[..i], s[i..].trim()),
         None => (s, ""),
     };
     let d = match name {
         ".text" | ".data" | ".bss" => Directive::Section {
-            name: name.to_string(),
+            name: Sym::intern(name),
             args: vec![],
         },
         ".section" => {
             let mut parts = args.splitn(2, ',');
-            let sec = parts.next().unwrap_or("").trim().to_string();
+            let sec = parts.next().unwrap_or("").trim();
             let rest: Vec<String> = parts
                 .next()
                 .map(|r| r.split(',').map(|a| a.trim().to_string()).collect())
@@ -408,11 +644,11 @@ fn parse_directive(s: &str, lineno: usize) -> Result<Directive, ParseError> {
                 return Err(err(lineno, ".section needs a name"));
             }
             Directive::Section {
-                name: sec,
+                name: Sym::intern(sec),
                 args: rest,
             }
         }
-        ".globl" | ".global" => Directive::Global(args.trim().to_string()),
+        ".globl" | ".global" => Directive::Global(Sym::intern(args.trim())),
         ".type" => {
             let (sym, kind) = args
                 .split_once(',')
@@ -423,8 +659,8 @@ fn parse_directive(s: &str, lineno: usize) -> Result<Directive, ParseError> {
                 .or_else(|| kind.strip_prefix('%'))
                 .unwrap_or(kind);
             Directive::Type {
-                symbol: sym.trim().to_string(),
-                kind: kind.to_string(),
+                symbol: Sym::intern(sym.trim()),
+                kind: Sym::intern(kind),
             }
         }
         ".size" => {
@@ -432,13 +668,16 @@ fn parse_directive(s: &str, lineno: usize) -> Result<Directive, ParseError> {
                 .split_once(',')
                 .ok_or_else(|| err(lineno, ".size needs `sym, expr`"))?;
             Directive::Size {
-                symbol: sym.trim().to_string(),
+                symbol: Sym::intern(sym.trim()),
                 expr: expr.trim().to_string(),
             }
         }
         ".align" | ".balign" | ".p2align" => {
-            let parts: Vec<&str> = args.split(',').map(str::trim).collect();
-            let n = parse_int(parts.first().copied().unwrap_or(""))
+            let mut parts = args.split(',');
+            let p0 = parts.next().map(str::trim);
+            let p1 = parts.next().map(str::trim);
+            let p2 = parts.next().map(str::trim);
+            let n = parse_int(p0.unwrap_or(""))
                 .ok_or_else(|| err(lineno, format!("bad alignment in `{s}`")))?;
             if n < 0 {
                 return Err(err(lineno, "negative alignment"));
@@ -456,8 +695,7 @@ fn parse_directive(s: &str, lineno: usize) -> Result<Directive, ParseError> {
                 }
                 n.max(1)
             };
-            let fill = parts
-                .get(1)
+            let fill = p1
                 .filter(|p| !p.is_empty())
                 .map(|p| {
                     parse_int(p)
@@ -465,8 +703,7 @@ fn parse_directive(s: &str, lineno: usize) -> Result<Directive, ParseError> {
                         .ok_or_else(|| err(lineno, format!("bad fill `{p}`")))
                 })
                 .transpose()?;
-            let max_skip = parts
-                .get(2)
+            let max_skip = p2
                 .filter(|p| !p.is_empty())
                 .map(|p| {
                     parse_int(p)
@@ -497,8 +734,8 @@ fn parse_directive(s: &str, lineno: usize) -> Result<Directive, ParseError> {
                 }
                 if let Some(v) = parse_int(item) {
                     items.push(DataItem::Imm(v));
-                } else if item.chars().all(is_symbol_char) {
-                    items.push(DataItem::Symbol(item.to_string()));
+                } else if item.bytes().all(is_symbol_byte) {
+                    items.push(DataItem::Symbol(Sym::intern(item)));
                 } else {
                     return Err(err(lineno, format!("unsupported data item `{item}`")));
                 }
@@ -513,14 +750,16 @@ fn parse_directive(s: &str, lineno: usize) -> Result<Directive, ParseError> {
             Directive::Zero(n.max(0) as u64)
         }
         ".comm" => {
-            let parts: Vec<&str> = args.split(',').map(str::trim).collect();
-            if parts.len() < 2 {
+            let mut parts = args.split(',');
+            let sym = parts.next().map(str::trim);
+            let size_str = parts.next().map(str::trim);
+            let align_str = parts.next().map(str::trim);
+            let (Some(sym), Some(size_str)) = (sym, size_str) else {
                 return Err(err(lineno, ".comm needs `sym, size`"));
-            }
-            let size = parse_int(parts[1])
-                .ok_or_else(|| err(lineno, format!("bad .comm size `{}`", parts[1])))?;
-            let align = parts
-                .get(2)
+            };
+            let size = parse_int(size_str)
+                .ok_or_else(|| err(lineno, format!("bad .comm size `{size_str}`")))?;
+            let align = align_str
                 .map(|p| {
                     parse_int(p)
                         .and_then(|v| u64::try_from(v).ok())
@@ -528,13 +767,13 @@ fn parse_directive(s: &str, lineno: usize) -> Result<Directive, ParseError> {
                 })
                 .transpose()?;
             Directive::Comm {
-                symbol: parts[0].to_string(),
+                symbol: Sym::intern(sym),
                 size: size.max(0) as u64,
                 align,
             }
         }
         other => Directive::Other {
-            name: other.to_string(),
+            name: Sym::intern(other),
             args: args.to_string(),
         },
     };
@@ -876,5 +1115,74 @@ mod directive_roundtrip_tests {
     fn empty_and_whitespace_lines_ignored() {
         assert!(parse("\n\n   \n\t\n").unwrap().is_empty());
         assert_eq!(parse(" ; ; nop ; \n").unwrap().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod zero_copy_tests {
+    use super::*;
+    use crate::parser_reference::parse_reference;
+
+    #[test]
+    fn agrees_with_reference_parser() {
+        let text = "\t.text\n\t.globl main\nmain:\n\tpush %rbp; movq %rsp, %rbp\n\tmovl \
+                    $0, -4(%rbp) # init\n\tlock addl $1, (%rdi)\n.L2:\n\tcmpl $9, -4(%rbp)\n\tjle \
+                    .L3\n\tjmp *tab(,%rax,8)\n.L3:\n\t.quad .L2, 0x10\n\t.string \"hi;# there\"\n\t\
+                    .comm buf,64,32\n\t.p2align 4,,15\n\tret\n";
+        assert_eq!(parse(text).unwrap(), parse_reference(text).unwrap());
+    }
+
+    #[test]
+    fn error_offsets_point_at_the_statement() {
+        let text = "nop\nfrobnicate %eax\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(&text[e.offset.clone()], "frobnicate %eax");
+        assert_eq!(e.line, 2);
+
+        // Offsets survive statement splitting and leading whitespace.
+        let text = ".text\nmain:\n\tpush %rbp; frobnicate\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(&text[e.offset.clone()], "frobnicate");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn parallel_parse_is_byte_identical() {
+        // Build an input comfortably above the parallel threshold.
+        let block = ".text\nf:\n\tpushq %rbp\n\tmovq %rsp, %rbp\n\tmovl $1, %eax # c\n\
+                     \tcmpl %eax, %ebx; jne .Lx\n.Lx:\n\tleave\n\tret\n\t.quad .Lx\n";
+        let text = block.repeat(2000);
+        assert!(text.len() >= super::PARALLEL_MIN_BYTES);
+        let seq = parse(&text).unwrap();
+        for jobs in [2, 3, 4, 7] {
+            let par = parse_with_jobs(&text, jobs).unwrap();
+            assert_eq!(seq, par, "jobs={jobs} diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_parse_reports_first_error_like_sequential() {
+        let good = "nop\n".repeat(40_000);
+        let text = format!("{good}frobnicate %eax\n{}", "nop\n".repeat(40_000));
+        let seq = parse(&text).unwrap_err();
+        for jobs in [2, 4] {
+            let par = parse_with_jobs(&text, jobs).unwrap_err();
+            assert_eq!(seq, par, "jobs={jobs} error diverged");
+        }
+        assert_eq!(seq.line, 40_001);
+        assert_eq!(&text[seq.offset.clone()], "frobnicate %eax");
+    }
+
+    #[test]
+    fn small_inputs_skip_threading() {
+        let text = "nop\nnop\n";
+        assert_eq!(parse_with_jobs(text, 8).unwrap(), parse(text).unwrap());
+    }
+
+    #[test]
+    fn crlf_line_endings_parse() {
+        let entries = parse(".text\r\nf:\r\n\tret\r\n").unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[1].label(), Some("f"));
     }
 }

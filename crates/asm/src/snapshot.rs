@@ -1,0 +1,1034 @@
+//! Binary IR snapshots: a compact, content-addressed serialization of the
+//! parsed entry list.
+//!
+//! A snapshot lets repeated builds of mostly-unchanged assembly skip text
+//! parsing entirely: the CLI (`mao --emit-snapshot` / `--snapshot-dir`) and
+//! `maod` key snapshots by the input's content hash and load the IR straight
+//! from bytes. The format follows the same discipline as the PR 6/7 disk
+//! caches — versioned magic, embedded content key, checksummed body — so a
+//! corrupt, truncated, or version-skewed file is *detected and rejected*,
+//! never served (the stores evict such files on sight; `mao check`'s
+//! snapshot execution path proves byte-identical results against the text
+//! path).
+//!
+//! Layout (all integers little-endian; `varint`/`zigzag` are LEB128):
+//!
+//! ```text
+//! magic    8B  b"MAOSNAP\x01"
+//! version  u32
+//! reserved u32
+//! body_len u64
+//! body:
+//!   key          u128      content hash of the source text (0 if unkeyed)
+//!   strtab_count varint    distinct strings, then per string: len + bytes
+//!   entry_count  varint    then per entry: tag byte + payload
+//! checksum u64             word-wise FNV-1a over body
+//! ```
+//!
+//! Strings are deduplicated through a string table; symbol-typed fields
+//! intern each table entry exactly once at decode, so a snapshot load does
+//! one hash probe per *distinct* symbol instead of one per occurrence.
+//! Mnemonics and registers serialize through stable numeric codes
+//! ([`mao_x86::Mnemonic::snapshot_code`], [`mao_x86::RegId::index`]); any
+//! table reordering requires a [`SNAPSHOT_VERSION`] bump.
+
+use std::fmt;
+
+use mao_x86::insn::Instruction;
+use mao_x86::operand::{Disp, Mem, Operand, Operands};
+use mao_x86::reg::{Reg, RegId, Width};
+use mao_x86::sym::Sym;
+use mao_x86::Mnemonic;
+
+use crate::entry::{Align, DataItem, DataWidth, Directive, Entry};
+
+/// Magic prefix of a snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MAOSNAP\x01";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Fixed header length (magic + version + reserved + body_len).
+const HEADER_LEN: usize = 8 + 4 + 4 + 8;
+
+/// Why a snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Structurally invalid: bad magic, truncation, unknown tag, bad UTF-8.
+    Malformed(&'static str),
+    /// Valid container written by a different format version.
+    StaleVersion(u32),
+    /// Embedded content key does not match the expected key.
+    WrongKey,
+    /// Checksum mismatch: bit rot or a torn write.
+    Corrupt,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            SnapshotError::StaleVersion(v) => {
+                write!(f, "snapshot version {v} != {SNAPSHOT_VERSION}")
+            }
+            SnapshotError::WrongKey => write!(f, "snapshot content key mismatch"),
+            SnapshotError::Corrupt => write!(f, "snapshot checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// 128-bit FNV-1a content hash of source text — the snapshot store key.
+pub fn content_key(text: &str) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for &b in text.as_bytes() {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Word-wise FNV-1a over `bytes`: 8 bytes per round so checksumming does not
+/// dominate snapshot load time (the byte-wise variant the result cache uses
+/// costs about a cycle per byte, which would eat the 10x load budget).
+fn checksum64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h ^= u64::from_le_bytes(c.try_into().unwrap());
+        h = h.wrapping_mul(PRIME);
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rest.len()].copy_from_slice(rest);
+        tail[7] = rest.len() as u8; // disambiguate zero-padding from zeros
+        h ^= u64::from_le_bytes(tail);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+    strings: std::collections::HashMap<&'static str, u32>,
+    // Table in insertion order; everything goes through the interner so the
+    // map key and the table entry can share one `&'static str`.
+    table: Vec<&'static str>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(b);
+                break;
+            }
+            self.buf.push(b | 0x80);
+        }
+    }
+
+    fn zigzag(&mut self, v: i64) {
+        self.varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    fn sym(&mut self, s: Sym) {
+        let idx = match self.strings.get(s.as_str()) {
+            Some(&i) => i,
+            None => {
+                let i = self.table.len() as u32;
+                self.strings.insert(s.as_str(), i);
+                self.table.push(s.as_str());
+                i
+            }
+        };
+        self.varint(u64::from(idx));
+    }
+
+    fn string(&mut self, s: &str) {
+        let idx = match self.strings.get(s) {
+            Some(&i) => i,
+            None => {
+                let i = self.table.len() as u32;
+                // Free-text strings (args, exprs, literals) are interned too:
+                // they are rare enough that the interner growth is bounded in
+                // practice, and sharing one `&'static str` table beats
+                // keeping a second owned-key map.
+                let stat = Sym::intern(s).as_str();
+                self.strings.insert(stat, i);
+                self.table.push(stat);
+                i
+            }
+        };
+        self.varint(u64::from(idx));
+    }
+
+    fn reg(&mut self, r: Reg) {
+        self.u8(r.id.index() as u8);
+        self.u8(width_code(Some(r.width)) | if r.high8 { 0x80 } else { 0 });
+    }
+
+    fn mem(&mut self, m: &Mem) {
+        let scale_code = m.scale.trailing_zeros() as u8; // 1,2,4,8 -> 0..3
+        let disp_kind = match m.disp {
+            Disp::None => 0u8,
+            Disp::Imm(_) => 1,
+            Disp::Symbol { .. } => 2,
+        };
+        let flags = u8::from(m.base.is_some())
+            | u8::from(m.index.is_some()) << 1
+            | scale_code << 2
+            | disp_kind << 4;
+        self.u8(flags);
+        if let Some(b) = m.base {
+            self.reg(b);
+        }
+        if let Some(i) = m.index {
+            self.reg(i);
+        }
+        match &m.disp {
+            Disp::None => {}
+            Disp::Imm(v) => self.zigzag(*v),
+            Disp::Symbol { name, addend } => {
+                self.sym(*name);
+                self.zigzag(*addend);
+            }
+        }
+    }
+
+    fn operand(&mut self, op: &Operand) {
+        match op {
+            Operand::Imm(v) => {
+                self.u8(0);
+                self.zigzag(*v);
+            }
+            Operand::Reg(r) => {
+                self.u8(1);
+                self.reg(*r);
+            }
+            Operand::Mem(m) => {
+                self.u8(2);
+                self.mem(m);
+            }
+            Operand::Label(l) => {
+                self.u8(3);
+                self.sym(*l);
+            }
+            Operand::IndirectReg(r) => {
+                self.u8(4);
+                self.reg(*r);
+            }
+            Operand::IndirectMem(m) => {
+                self.u8(5);
+                self.mem(m);
+            }
+        }
+    }
+
+    fn insn(&mut self, i: &Instruction) {
+        self.u16(i.mnemonic.snapshot_code());
+        let flags = width_code(i.op_width) | width_code(i.src_width) << 3 | u8::from(i.lock) << 6;
+        self.u8(flags);
+        self.varint(i.operands.len() as u64);
+        for op in &i.operands {
+            self.operand(op);
+        }
+    }
+
+    fn entry(&mut self, e: &Entry) {
+        match e {
+            Entry::Label(l) => {
+                self.u8(0);
+                self.sym(*l);
+            }
+            Entry::Insn(i) => {
+                self.u8(1);
+                self.insn(i);
+            }
+            Entry::Directive(d) => self.directive(d),
+        }
+    }
+
+    fn directive(&mut self, d: &Directive) {
+        match d {
+            Directive::Section { name, args } => {
+                self.u8(2);
+                self.sym(*name);
+                self.varint(args.len() as u64);
+                for a in args {
+                    self.string(a);
+                }
+            }
+            Directive::Global(s) => {
+                self.u8(3);
+                self.sym(*s);
+            }
+            Directive::Type { symbol, kind } => {
+                self.u8(4);
+                self.sym(*symbol);
+                self.sym(*kind);
+            }
+            Directive::Size { symbol, expr } => {
+                self.u8(5);
+                self.sym(*symbol);
+                self.string(expr);
+            }
+            Directive::Align(a) => {
+                self.u8(6);
+                let flags = u8::from(a.fill.is_some())
+                    | u8::from(a.max_skip.is_some()) << 1
+                    | u8::from(a.p2_form) << 2;
+                self.u8(flags);
+                self.varint(a.alignment);
+                if let Some(f) = a.fill {
+                    self.u8(f);
+                }
+                if let Some(m) = a.max_skip {
+                    self.varint(m);
+                }
+            }
+            Directive::Data { width, items } => {
+                self.u8(7);
+                self.u8(data_width_code(*width));
+                self.varint(items.len() as u64);
+                for item in items {
+                    match item {
+                        DataItem::Imm(v) => {
+                            self.u8(0);
+                            self.zigzag(*v);
+                        }
+                        DataItem::Symbol(s) => {
+                            self.u8(1);
+                            self.sym(*s);
+                        }
+                    }
+                }
+            }
+            Directive::Ascii(s) => {
+                self.u8(8);
+                self.string(s);
+            }
+            Directive::Asciz(s) => {
+                self.u8(9);
+                self.string(s);
+            }
+            Directive::Zero(n) => {
+                self.u8(10);
+                self.varint(*n);
+            }
+            Directive::Comm {
+                symbol,
+                size,
+                align,
+            } => {
+                self.u8(11);
+                self.sym(*symbol);
+                self.varint(*size);
+                match align {
+                    Some(a) => {
+                        self.u8(1);
+                        self.varint(*a);
+                    }
+                    None => self.u8(0),
+                }
+            }
+            Directive::Other { name, args } => {
+                self.u8(12);
+                self.sym(*name);
+                self.string(args);
+            }
+        }
+    }
+}
+
+fn width_code(w: Option<Width>) -> u8 {
+    match w {
+        None => 0,
+        Some(Width::B1) => 1,
+        Some(Width::B2) => 2,
+        Some(Width::B4) => 3,
+        Some(Width::B8) => 4,
+        Some(Width::B16) => 5,
+    }
+}
+
+fn width_from_code(c: u8) -> Result<Option<Width>, SnapshotError> {
+    Ok(match c {
+        0 => None,
+        1 => Some(Width::B1),
+        2 => Some(Width::B2),
+        3 => Some(Width::B4),
+        4 => Some(Width::B8),
+        5 => Some(Width::B16),
+        _ => return Err(SnapshotError::Malformed("width code")),
+    })
+}
+
+fn data_width_code(w: DataWidth) -> u8 {
+    match w {
+        DataWidth::Byte => 0,
+        DataWidth::Word => 1,
+        DataWidth::Long => 2,
+        DataWidth::Quad => 3,
+    }
+}
+
+fn data_width_from_code(c: u8) -> Result<DataWidth, SnapshotError> {
+    Ok(match c {
+        0 => DataWidth::Byte,
+        1 => DataWidth::Word,
+        2 => DataWidth::Long,
+        3 => DataWidth::Quad,
+        _ => return Err(SnapshotError::Malformed("data width code")),
+    })
+}
+
+/// Serialize `entries` into a self-contained snapshot keyed by `key`.
+pub fn encode(entries: &[Entry], key: u128) -> Vec<u8> {
+    let mut w = Writer {
+        buf: Vec::with_capacity(entries.len() * 12 + 64),
+        strings: std::collections::HashMap::new(),
+        table: Vec::new(),
+    };
+    // Entries are encoded first (into a scratch) so the string table they
+    // populate can be written ahead of them in the body.
+    w.varint(entries.len() as u64);
+    for e in entries {
+        w.entry(e);
+    }
+    let entry_bytes = std::mem::take(&mut w.buf);
+
+    let mut body = Vec::with_capacity(entry_bytes.len() + w.table.len() * 12 + 32);
+    body.extend_from_slice(&key.to_le_bytes());
+    let mut head = Writer {
+        buf: body,
+        strings: std::collections::HashMap::new(),
+        table: Vec::new(),
+    };
+    head.varint(w.table.len() as u64);
+    for &s in &w.table {
+        head.varint(s.len() as u64);
+        head.buf.extend_from_slice(s.as_bytes());
+    }
+    let mut body = head.buf;
+    body.extend_from_slice(&entry_bytes);
+
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 8);
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&checksum64(&body).to_le_bytes());
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Decode cursor. The hot path decodes ~10 bytes per entry, so the
+/// primitives are slice-splitting (`split_first`/`split_first_chunk`) with
+/// `#[inline(always)]`: one compare per read, no position arithmetic, and
+/// the compiler keeps the cursor in registers across an entry.
+struct Reader<'a, 's> {
+    rest: &'a [u8],
+    syms: &'s [Sym],
+}
+
+impl<'a, 's> Reader<'a, 's> {
+    #[inline]
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if n > self.rest.len() {
+            return Err(SnapshotError::Malformed("truncated body"));
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    #[inline(always)]
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        match self.rest.split_first() {
+            Some((&b, tail)) => {
+                self.rest = tail;
+                Ok(b)
+            }
+            None => Err(SnapshotError::Malformed("truncated body")),
+        }
+    }
+
+    #[inline(always)]
+    fn varint(&mut self) -> Result<u64, SnapshotError> {
+        // Single-byte fast path: the overwhelming majority of varints in a
+        // snapshot (operand counts, string indices, small displacements).
+        if let Some((&b, tail)) = self.rest.split_first() {
+            if b < 0x80 {
+                self.rest = tail;
+                return Ok(u64::from(b));
+            }
+        }
+        self.varint_multi()
+    }
+
+    fn varint_multi(&mut self) -> Result<u64, SnapshotError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 {
+                return Err(SnapshotError::Malformed("varint overflow"));
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    #[inline(always)]
+    fn zigzag(&mut self) -> Result<i64, SnapshotError> {
+        let v = self.varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    #[inline(always)]
+    fn sym(&mut self) -> Result<Sym, SnapshotError> {
+        let idx = self.varint()? as usize;
+        self.syms
+            .get(idx)
+            .copied()
+            .ok_or(SnapshotError::Malformed("string index out of range"))
+    }
+
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        Ok(self.sym()?.as_str().to_owned())
+    }
+
+    #[inline(always)]
+    fn reg(&mut self) -> Result<Reg, SnapshotError> {
+        let (id, wb) = match self.rest.split_first_chunk::<2>() {
+            Some((&[id, wb], tail)) => {
+                self.rest = tail;
+                (id, wb)
+            }
+            None => return Err(SnapshotError::Malformed("truncated body")),
+        };
+        let id = RegId::from_index(id as usize).ok_or(SnapshotError::Malformed("register id"))?;
+        let width =
+            width_from_code(wb & 0x7f)?.ok_or(SnapshotError::Malformed("register width"))?;
+        Ok(Reg {
+            id,
+            width,
+            high8: wb & 0x80 != 0,
+        })
+    }
+
+    #[inline]
+    fn mem(&mut self) -> Result<Mem, SnapshotError> {
+        let flags = self.u8()?;
+        let base = if flags & 1 != 0 {
+            Some(self.reg()?)
+        } else {
+            None
+        };
+        let index = if flags & 2 != 0 {
+            Some(self.reg()?)
+        } else {
+            None
+        };
+        let scale = 1u8 << ((flags >> 2) & 0x3);
+        let disp = match (flags >> 4) & 0x3 {
+            0 => Disp::None,
+            1 => Disp::Imm(self.zigzag()?),
+            2 => Disp::Symbol {
+                name: self.sym()?,
+                addend: self.zigzag()?,
+            },
+            _ => return Err(SnapshotError::Malformed("displacement kind")),
+        };
+        Ok(Mem {
+            disp,
+            base,
+            index,
+            scale,
+        })
+    }
+
+    #[inline]
+    fn operand(&mut self) -> Result<Operand, SnapshotError> {
+        Ok(match self.u8()? {
+            0 => Operand::Imm(self.zigzag()?),
+            1 => Operand::Reg(self.reg()?),
+            2 => Operand::Mem(self.mem()?),
+            3 => Operand::Label(self.sym()?),
+            4 => Operand::IndirectReg(self.reg()?),
+            5 => Operand::IndirectMem(self.mem()?),
+            _ => return Err(SnapshotError::Malformed("operand tag")),
+        })
+    }
+
+    #[inline]
+    fn insn(&mut self) -> Result<Instruction, SnapshotError> {
+        // One 3-byte chunk read for the fixed head (code + flags).
+        let (code, flags) = match self.rest.split_first_chunk::<3>() {
+            Some((&[c0, c1, flags], tail)) => {
+                self.rest = tail;
+                (u16::from_le_bytes([c0, c1]), flags)
+            }
+            None => return Err(SnapshotError::Malformed("truncated body")),
+        };
+        let mnemonic =
+            Mnemonic::from_snapshot_code(code).ok_or(SnapshotError::Malformed("mnemonic code"))?;
+        let op_width = width_from_code(flags & 0x7)?;
+        let src_width = width_from_code((flags >> 3) & 0x7)?;
+        let lock = flags & 0x40 != 0;
+        let n = self.varint()? as usize;
+        if n > 8 {
+            return Err(SnapshotError::Malformed("operand count"));
+        }
+        let mut operands = Operands::new();
+        for _ in 0..n {
+            operands.push(self.operand()?);
+        }
+        Ok(Instruction {
+            mnemonic,
+            op_width,
+            src_width,
+            lock,
+            operands,
+        })
+    }
+
+    /// Decode one entry directly into `out` (pushing rather than returning
+    /// keeps the ~112-byte `Entry` from being moved through two stack
+    /// copies per entry on the hot decode path).
+    fn entry_into(&mut self, out: &mut Vec<Entry>) -> Result<(), SnapshotError> {
+        out.push(match self.u8()? {
+            0 => Entry::Label(self.sym()?),
+            1 => Entry::Insn(self.insn()?),
+            2 => {
+                let name = self.sym()?;
+                let n = self.varint()? as usize;
+                if n > 64 {
+                    return Err(SnapshotError::Malformed("section arg count"));
+                }
+                let mut args = Vec::with_capacity(n);
+                for _ in 0..n {
+                    args.push(self.string()?);
+                }
+                Entry::Directive(Directive::Section { name, args })
+            }
+            3 => Entry::Directive(Directive::Global(self.sym()?)),
+            4 => Entry::Directive(Directive::Type {
+                symbol: self.sym()?,
+                kind: self.sym()?,
+            }),
+            5 => Entry::Directive(Directive::Size {
+                symbol: self.sym()?,
+                expr: self.string()?,
+            }),
+            6 => {
+                let flags = self.u8()?;
+                let alignment = self.varint()?;
+                let fill = if flags & 1 != 0 {
+                    Some(self.u8()?)
+                } else {
+                    None
+                };
+                let max_skip = if flags & 2 != 0 {
+                    Some(self.varint()?)
+                } else {
+                    None
+                };
+                Entry::Directive(Directive::Align(Align {
+                    alignment,
+                    fill,
+                    max_skip,
+                    p2_form: flags & 4 != 0,
+                }))
+            }
+            7 => {
+                let width = data_width_from_code(self.u8()?)?;
+                let n = self.varint()? as usize;
+                if n > 1 << 24 {
+                    return Err(SnapshotError::Malformed("data item count"));
+                }
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(match self.u8()? {
+                        0 => DataItem::Imm(self.zigzag()?),
+                        1 => DataItem::Symbol(self.sym()?),
+                        _ => return Err(SnapshotError::Malformed("data item tag")),
+                    });
+                }
+                Entry::Directive(Directive::Data { width, items })
+            }
+            8 => Entry::Directive(Directive::Ascii(self.string()?)),
+            9 => Entry::Directive(Directive::Asciz(self.string()?)),
+            10 => Entry::Directive(Directive::Zero(self.varint()?)),
+            11 => {
+                let symbol = self.sym()?;
+                let size = self.varint()?;
+                let align = match self.u8()? {
+                    0 => None,
+                    1 => Some(self.varint()?),
+                    _ => return Err(SnapshotError::Malformed("comm align flag")),
+                };
+                Entry::Directive(Directive::Comm {
+                    symbol,
+                    size,
+                    align,
+                })
+            }
+            12 => Entry::Directive(Directive::Other {
+                name: self.sym()?,
+                args: self.string()?,
+            }),
+            _ => return Err(SnapshotError::Malformed("entry tag")),
+        });
+        Ok(())
+    }
+}
+
+/// The content key embedded in a snapshot, without a full decode.
+///
+/// Validates magic/version/length/checksum (the cheap part) so callers can
+/// reject junk before trusting the key.
+pub fn snapshot_key(bytes: &[u8]) -> Result<u128, SnapshotError> {
+    let body = validate(bytes)?;
+    Ok(u128::from_le_bytes(body[..16].try_into().unwrap()))
+}
+
+/// Validate container framing and checksum, returning the body slice.
+fn validate(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
+    if bytes.len() < HEADER_LEN + 16 + 8 {
+        return Err(SnapshotError::Malformed("too short"));
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::Malformed("bad magic"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::StaleVersion(version));
+    }
+    let body_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+    let Some(total) = HEADER_LEN
+        .checked_add(body_len)
+        .and_then(|n| n.checked_add(8))
+    else {
+        return Err(SnapshotError::Malformed("length overflow"));
+    };
+    if bytes.len() != total {
+        return Err(SnapshotError::Malformed("length mismatch"));
+    }
+    let body = &bytes[HEADER_LEN..HEADER_LEN + body_len];
+    let expect = u64::from_le_bytes(bytes[HEADER_LEN + body_len..].try_into().unwrap());
+    if checksum64(body) != expect {
+        return Err(SnapshotError::Corrupt);
+    }
+    if body.len() < 16 {
+        return Err(SnapshotError::Malformed("body too short"));
+    }
+    Ok(body)
+}
+
+/// A loaded (validated, indexed) snapshot whose entries decode on demand.
+///
+/// This is the mmap-style load boundary: [`Snapshot::load`] verifies the
+/// container (magic, version, length, checksum), checks the content key,
+/// and interns the string table — everything a consumer must pay *before
+/// the first entry* — but touches none of the entry region. Entries are
+/// then decoded straight out of the borrowed byte buffer, either streamed
+/// one at a time ([`Snapshot::iter`], constant memory) or materialized in
+/// full ([`Snapshot::to_entries`]). Load cost is therefore proportional to
+/// the string table, not the unit, which is what makes a snapshot hit
+/// cheap even for units whose entry list is tens of megabytes in IR form.
+pub struct Snapshot<'a> {
+    key: u128,
+    syms: Vec<Sym>,
+    entry_bytes: &'a [u8],
+    nentries: usize,
+}
+
+impl<'a> Snapshot<'a> {
+    /// Validate a snapshot and index its string table, without decoding
+    /// entries.
+    ///
+    /// When `expected_key` is given, the embedded content key must match —
+    /// protecting content-addressed stores from hash-collision filename
+    /// mixups, exactly like the result cache's `WrongKey` check.
+    pub fn load(
+        bytes: &'a [u8],
+        expected_key: Option<u128>,
+    ) -> Result<Snapshot<'a>, SnapshotError> {
+        let body = validate(bytes)?;
+        let key = u128::from_le_bytes(body[..16].try_into().unwrap());
+        if let Some(expect) = expected_key {
+            if key != expect {
+                return Err(SnapshotError::WrongKey);
+            }
+        }
+        let mut r = Reader {
+            rest: &body[16..],
+            syms: &[],
+        };
+        let nstrings = r.varint()? as usize;
+        if nstrings > 1 << 24 {
+            return Err(SnapshotError::Malformed("string table size"));
+        }
+        // Every string costs at least one body byte, so a lying count cannot
+        // force an allocation larger than the snapshot itself.
+        let mut syms = Vec::with_capacity(nstrings.min(r.rest.len()));
+        for _ in 0..nstrings {
+            let len = r.varint()? as usize;
+            let raw = r.take(len)?;
+            let s = std::str::from_utf8(raw)
+                .map_err(|_| SnapshotError::Malformed("string not UTF-8"))?;
+            syms.push(Sym::intern(s));
+        }
+        let nentries = r.varint()? as usize;
+        if nentries > 1 << 28 {
+            return Err(SnapshotError::Malformed("entry count"));
+        }
+        Ok(Snapshot {
+            key,
+            syms,
+            entry_bytes: r.rest,
+            nentries,
+        })
+    }
+
+    /// The content key embedded at encode time.
+    pub fn key(&self) -> u128 {
+        self.key
+    }
+
+    /// Number of entries in the snapshot.
+    pub fn len(&self) -> usize {
+        self.nentries
+    }
+
+    /// Whether the snapshot holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.nentries == 0
+    }
+
+    /// Decode every entry into a `Vec` (the eager path the optimizer
+    /// pipeline uses — it needs the whole unit).
+    pub fn to_entries(&self) -> Result<Vec<Entry>, SnapshotError> {
+        let mut r = Reader {
+            rest: self.entry_bytes,
+            syms: &self.syms,
+        };
+        // One body byte per entry minimum bounds the reservation even if
+        // the count lies.
+        let mut entries = Vec::with_capacity(self.nentries.min(r.rest.len()));
+        for _ in 0..self.nentries {
+            r.entry_into(&mut entries)?;
+        }
+        if !r.rest.is_empty() {
+            return Err(SnapshotError::Malformed("trailing bytes"));
+        }
+        Ok(entries)
+    }
+
+    /// Stream entries one at a time without materializing the unit.
+    ///
+    /// Constant memory: suited to consumers that fold over the entry list
+    /// (counting, re-emission, differential comparison).
+    pub fn iter(&self) -> SnapshotEntries<'a, '_> {
+        SnapshotEntries {
+            r: Reader {
+                rest: self.entry_bytes,
+                syms: &self.syms,
+            },
+            remaining: self.nentries,
+            scratch: Vec::with_capacity(1),
+        }
+    }
+}
+
+/// Streaming entry iterator over a loaded [`Snapshot`].
+///
+/// Yields `Err` at most once (on a malformed entry region) and then stops;
+/// a fully consumed iterator that never errored has decoded exactly the
+/// entries `to_entries` would have produced.
+pub struct SnapshotEntries<'a, 's> {
+    r: Reader<'a, 's>,
+    remaining: usize,
+    scratch: Vec<Entry>,
+}
+
+impl Iterator for SnapshotEntries<'_, '_> {
+    type Item = Result<Entry, SnapshotError>;
+
+    fn next(&mut self) -> Option<Result<Entry, SnapshotError>> {
+        if self.remaining == 0 {
+            if !self.r.rest.is_empty() {
+                self.r.rest = &[];
+                return Some(Err(SnapshotError::Malformed("trailing bytes")));
+            }
+            return None;
+        }
+        self.remaining -= 1;
+        self.scratch.clear();
+        match self.r.entry_into(&mut self.scratch) {
+            Ok(()) => self.scratch.pop().map(Ok),
+            Err(e) => {
+                self.remaining = 0;
+                self.r.rest = &[];
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.remaining + 1))
+    }
+}
+
+/// Decode a snapshot back into the entry list (load + full materialization).
+pub fn decode(bytes: &[u8], expected_key: Option<u128>) -> Result<Vec<Entry>, SnapshotError> {
+    Snapshot::load(bytes, expected_key)?.to_entries()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    const SAMPLE: &str = "\t.text\n\t.globl main\n\t.type main, @function\nmain:\n\tpushq \
+                          %rbp\n\tmovq %rsp, %rbp\n\tmovl $0, -4(%rbp)\n.L2:\n\tcmpl $9, \
+                          -4(%rbp)\n\tjg .L4\n\tlock addl $1, counter(%rip)\n\taddl $1, \
+                          -4(%rbp)\n\tjmp .L2\n.L4:\n\tleave\n\tret\n\t.size main, \
+                          .-main\n\t.section .rodata,\"a\",@progbits\n.LC0:\n\t.quad .L2\n\t\
+                          .quad .L4, 8\n\t.long 42\n\t.string \"hi\\n\"\n\t.ascii \"raw\"\n\t\
+                          .zero 16\n\t.comm buf,64,32\n\t.p2align 4,,15\n\t.align 8\n\t.byte \
+                          1, 2, 3\n\tsete %al\n\tcmovge %eax, %ebx\n\tjmp *tab(,%rax,8)\n\t\
+                          call *%rdx\n\tmovsbl 1(%rdi,%r8,4), %edx\n\t.ident \"x\"\n";
+
+    #[test]
+    fn roundtrip_paper_style_unit() {
+        let entries = parse(SAMPLE).unwrap();
+        let key = content_key(SAMPLE);
+        let bytes = encode(&entries, key);
+        assert_eq!(snapshot_key(&bytes).unwrap(), key);
+        let back = decode(&bytes, Some(key)).unwrap();
+        assert_eq!(entries, back);
+    }
+
+    #[test]
+    fn snapshot_is_more_compact_than_text() {
+        let entries = parse(SAMPLE).unwrap();
+        let bytes = encode(&entries, 0);
+        assert!(
+            bytes.len() < SAMPLE.len(),
+            "snapshot {}B not smaller than text {}B",
+            bytes.len(),
+            SAMPLE.len()
+        );
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let entries = parse("nop\n").unwrap();
+        let bytes = encode(&entries, 7);
+        assert_eq!(decode(&bytes, Some(8)), Err(SnapshotError::WrongKey));
+        assert!(decode(&bytes, Some(7)).is_ok());
+        assert!(decode(&bytes, None).is_ok());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let entries = parse(SAMPLE).unwrap();
+        let mut bytes = encode(&entries, 1);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(
+            decode(&bytes, None),
+            Err(SnapshotError::Corrupt) | Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let entries = parse(SAMPLE).unwrap();
+        let bytes = encode(&entries, 1);
+        for cut in [0, 4, HEADER_LEN, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode(&bytes[..cut], None).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn version_skew_is_detected() {
+        let entries = parse("nop\n").unwrap();
+        let mut bytes = encode(&entries, 1);
+        bytes[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            decode(&bytes, None),
+            Err(SnapshotError::StaleVersion(SNAPSHOT_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn bad_magic_is_detected() {
+        let entries = parse("nop\n").unwrap();
+        let mut bytes = encode(&entries, 1);
+        bytes[0] = b'X';
+        assert_eq!(
+            decode(&bytes, None),
+            Err(SnapshotError::Malformed("bad magic"))
+        );
+    }
+
+    #[test]
+    fn mnemonic_codes_roundtrip_all_families() {
+        use mao_x86::flags::Cond;
+        for m in Mnemonic::ALL {
+            match m {
+                Mnemonic::Jcc(_) | Mnemonic::Setcc(_) | Mnemonic::Cmovcc(_) => {
+                    for c in Cond::ALL {
+                        let v = m.with_cond(c);
+                        assert_eq!(Mnemonic::from_snapshot_code(v.snapshot_code()), Some(v));
+                    }
+                }
+                other => {
+                    assert_eq!(
+                        Mnemonic::from_snapshot_code(other.snapshot_code()),
+                        Some(other)
+                    );
+                }
+            }
+        }
+        assert_eq!(Mnemonic::from_snapshot_code(0x9999), None);
+    }
+
+    #[test]
+    fn content_key_is_stable_and_sensitive() {
+        let a = content_key("nop\n");
+        assert_eq!(a, content_key("nop\n"));
+        assert_ne!(a, content_key("nop \n"));
+    }
+}

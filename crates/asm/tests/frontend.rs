@@ -1,0 +1,212 @@
+//! Differential and round-trip properties of the zero-copy front end.
+//!
+//! The zero-copy parser ([`mao_asm::parse`]) must agree entry-for-entry
+//! with the retired seed parser ([`mao_asm::parse_reference`]) on every
+//! input, and the binary IR snapshot must round-trip the parse exactly:
+//! `parse(text) == load(snapshot(parse(text)))` along both the eager and
+//! the streaming decode paths. Inputs are drawn from a deterministic
+//! pseudo-random assembly generator (no external proptest dependency), so
+//! failures reproduce from the printed seed.
+
+use mao_asm::snapshot::{content_key, decode, encode, Snapshot};
+use mao_asm::{parse, parse_reference, parse_with_jobs, Entry};
+
+/// Deterministic xorshift64* generator: property inputs reproduce exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn pick<'a>(&mut self, options: &[&'a str]) -> &'a str {
+        options[self.below(options.len())]
+    }
+}
+
+/// One pseudo-random statement line, drawn from the grammar the corpus
+/// generator exercises plus edge cases it does not (comments mid-line,
+/// `;` statement separators, odd spacing, string escapes).
+fn random_line(rng: &mut Rng, out: &mut String) {
+    const REGS: &[&str] = &[
+        "%rax", "%rbx", "%rcx", "%rdi", "%rsi", "%r8", "%r13", "%eax", "%ebx",
+    ];
+    const MNEMS: &[&str] = &[
+        "movq", "addq", "subl", "xorl", "testl", "cmpq", "imulq", "leaq",
+    ];
+    match rng.below(12) {
+        0 => {
+            out.push_str(".L");
+            out.push_str(&rng.below(500).to_string());
+            out.push(':');
+        }
+        1 => {
+            out.push('\t');
+            out.push_str(rng.pick(MNEMS));
+            out.push(' ');
+            out.push_str(rng.pick(REGS));
+            out.push_str(", ");
+            out.push_str(rng.pick(REGS));
+        }
+        2 => {
+            out.push('\t');
+            out.push_str(rng.pick(&["movq", "movl", "addq"]));
+            out.push_str(" $");
+            out.push_str(&(rng.next() as i32).to_string());
+            out.push_str(", ");
+            out.push_str(rng.pick(REGS));
+        }
+        3 => {
+            out.push('\t');
+            out.push_str(rng.pick(MNEMS));
+            out.push(' ');
+            out.push_str(&(rng.below(256) as i64 - 128).to_string());
+            out.push_str("(%rbp), ");
+            out.push_str(rng.pick(REGS));
+        }
+        4 => {
+            out.push('\t');
+            out.push_str(rng.pick(&["je", "jne", "jg", "jmp"]));
+            out.push_str(" .L");
+            out.push_str(&rng.below(500).to_string());
+        }
+        5 => {
+            out.push('\t');
+            out.push_str(rng.pick(&[".text", ".data", ".globl foo", ".align 8", ".p2align 4,,15"]));
+        }
+        6 => {
+            out.push('\t');
+            out.push_str(".quad ");
+            out.push_str(&rng.below(1 << 30).to_string());
+            out.push_str(", .L");
+            out.push_str(&rng.below(500).to_string());
+        }
+        7 => {
+            out.push('\t');
+            out.push_str(".string \"s");
+            out.push_str(&rng.below(100).to_string());
+            out.push_str("\\n\"");
+        }
+        8 => {
+            // Comment tail after a statement.
+            out.push_str("\tmovq %rax, %rbx # trailing ");
+            out.push_str(&rng.below(100).to_string());
+        }
+        9 => {
+            // Multiple statements on one line.
+            out.push_str("nop; nop;\tincq %rax");
+        }
+        10 => {
+            out.push_str("\tmovq tbl");
+            if rng.below(2) == 0 {
+                out.push('+');
+                out.push_str(&rng.below(64).to_string());
+            }
+            out.push_str("(%rip), ");
+            out.push_str(rng.pick(REGS));
+        }
+        _ => {
+            // Blank-ish line with stray whitespace.
+            out.push_str("   \t  ");
+        }
+    }
+    out.push('\n');
+}
+
+fn random_unit(seed: u64, lines: usize) -> String {
+    let mut rng = Rng(seed | 1);
+    let mut text = String::with_capacity(lines * 24);
+    text.push_str("\t.text\nf:\n");
+    for _ in 0..lines {
+        random_line(&mut rng, &mut text);
+    }
+    text.push_str("\tret\n");
+    text
+}
+
+#[test]
+fn zero_copy_parse_matches_reference_on_random_units() {
+    for seed in 1..=40u64 {
+        let text = random_unit(seed, 120);
+        let fast = parse(&text).unwrap_or_else(|e| panic!("seed {seed}: parse failed: {e}"));
+        let slow =
+            parse_reference(&text).unwrap_or_else(|e| panic!("seed {seed}: reference failed: {e}"));
+        assert_eq!(fast, slow, "seed {seed}: parsers disagree");
+    }
+}
+
+#[test]
+fn snapshot_roundtrips_random_units_eagerly_and_streaming() {
+    for seed in 1..=40u64 {
+        let text = random_unit(seed, 120);
+        let entries = parse(&text).unwrap();
+        let key = content_key(&text);
+        let bytes = encode(&entries, key);
+
+        // parse(text) == load(snapshot(parse(text))), eager path.
+        let eager = decode(&bytes, Some(key)).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(entries, eager, "seed {seed}: eager round-trip diverged");
+
+        // Streaming path: the lazy iterator yields the same entries.
+        let snap = Snapshot::load(&bytes, Some(key)).unwrap();
+        assert_eq!(snap.len(), entries.len(), "seed {seed}: entry count");
+        let streamed: Result<Vec<Entry>, _> = snap.iter().collect();
+        assert_eq!(
+            streamed.as_deref(),
+            Ok(&entries[..]),
+            "seed {seed}: streaming round-trip diverged"
+        );
+    }
+}
+
+#[test]
+fn parallel_parse_is_byte_identical_on_random_units() {
+    for seed in [3u64, 17, 29] {
+        // Large enough to clear the parallel threshold (64 KiB).
+        let text = random_unit(seed, 4000);
+        assert!(text.len() >= 64 * 1024);
+        let sequential = parse(&text).unwrap();
+        for jobs in [2, 3, 8] {
+            let parallel = parse_with_jobs(&text, jobs).unwrap();
+            assert_eq!(sequential, parallel, "seed {seed}: jobs={jobs} diverged");
+        }
+    }
+}
+
+#[test]
+fn parser_errors_agree_with_reference() {
+    // Both parsers must reject the same junk, on the same line.
+    for junk in [
+        "\tnotamnemonic %rax\n",
+        "f:\n\tmovq %nosuchreg, %rax\n",
+        "\tmovq $x, %rax\n",
+        "\tjmp 1+2\n",
+        "\t.string \"unterminated\n",
+        "\tmovq 4(%rbp, %rax, 3), %rdx\n",
+    ] {
+        let fast = parse(junk);
+        let slow = parse_reference(junk);
+        match (&fast, &slow) {
+            (Err(a), Err(b)) => assert_eq!(a.line, b.line, "line differs for {junk:?}"),
+            _ => panic!("acceptance differs for {junk:?}: fast={fast:?} slow={slow:?}"),
+        }
+    }
+}
+
+#[test]
+fn parse_errors_carry_byte_offsets() {
+    let text = "\tnop\n\tbogusinsn %rax\n";
+    let e = parse(text).unwrap_err();
+    assert_eq!(e.line, 2);
+    let r = e.offset.clone();
+    assert_eq!(&text[r.start..r.end], "bogusinsn %rax");
+}

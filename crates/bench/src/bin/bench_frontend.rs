@@ -1,0 +1,247 @@
+//! `frontend` benchmark mode: the zero-copy front end against the seed
+//! parser, and snapshot loading against text parsing, written to
+//! `BENCH_frontend.json`:
+//!
+//! * **reference** — the retired line-at-a-time seed parser
+//!   (`mao_asm::parse_reference`), the baseline both gates divide by.
+//! * **parse** — the zero-copy parser (`mao_asm::parse`); gated at ≥2x
+//!   the reference by default.
+//! * **parse_jobs** — the chunked parallel parser at `--jobs` workers
+//!   (informational; the output is byte-identical by construction).
+//! * **snapshot_load** — loading the binary IR snapshot of the same
+//!   corpus (`mao_asm::snapshot::Snapshot::load`: container validation,
+//!   checksum, string-table interning — everything paid before the first
+//!   entry is usable); gated at ≥10x the reference *text parse* by
+//!   default — the measured value of shipping mmap-style IR snapshots
+//!   instead of re-parsing text.
+//! * **snapshot_decode** — load plus full materialization of the entry
+//!   list (`Snapshot::to_entries`, what the optimizer pipeline pays on a
+//!   snapshot hit); informational, reported for transparency since full
+//!   materialization is bounded by IR store bandwidth, not parsing.
+//!
+//! Every timed variant is differentially checked against the reference
+//! entry list before any number is reported: a fast wrong parser must
+//! fail the run, not win the gate.
+//!
+//! Usage: `bench_frontend [--scale S] [--iters N] [--jobs J]
+//! [--min-parse-speedup X] [--min-snapshot-speedup Y] [--out FILE]
+//! [--smoke]` (defaults: S=1.0, N=9, J=4, X=2, Y=10,
+//! FILE=BENCH_frontend.json; --smoke shrinks to S=0.2, N=5).
+
+use std::time::Instant;
+
+use mao_asm::snapshot;
+use mao_corpus::{generate, GeneratorConfig};
+
+const USAGE: &str = "usage: bench_frontend [--scale S] [--iters N] [--jobs J]\n\
+    [--min-parse-speedup X] [--min-snapshot-speedup Y] [--out FILE] [--smoke]\n\
+    (defaults: S=1.0, N=9, J=4, X=2, Y=10, FILE=BENCH_frontend.json)";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("bench_frontend: {message}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Median of per-iteration latencies, in microseconds.
+fn median(durations_us: &[u64]) -> f64 {
+    if durations_us.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = durations_us.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 0 {
+        (sorted[mid - 1] + sorted[mid]) as f64 / 2.0
+    } else {
+        sorted[mid] as f64
+    }
+}
+
+/// Time `iters` runs of `f`, returning per-iteration microseconds.
+fn time_iters<T>(iters: usize, mut f: impl FnMut() -> T) -> Vec<u64> {
+    let mut durations = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        let value = f();
+        durations.push(t.elapsed().as_micros() as u64);
+        drop(value);
+    }
+    durations
+}
+
+fn main() {
+    let mut scale = 1.0f64;
+    let mut iters = 9usize;
+    let mut jobs = 4usize;
+    let mut min_parse_speedup = 2.0f64;
+    let mut min_snapshot_speedup = 10.0f64;
+    let mut out = String::from("BENCH_frontend.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(s) => scale = s,
+                None => usage_error("--scale needs a numeric value"),
+            },
+            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => iters = n,
+                None => usage_error("--iters needs a numeric value"),
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(j) => jobs = j,
+                None => usage_error("--jobs needs a numeric value"),
+            },
+            "--min-parse-speedup" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(x) => min_parse_speedup = x,
+                None => usage_error("--min-parse-speedup needs a numeric value"),
+            },
+            "--min-snapshot-speedup" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(x) => min_snapshot_speedup = x,
+                None => usage_error("--min-snapshot-speedup needs a numeric value"),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = f.clone(),
+                None => usage_error("--out needs a file name"),
+            },
+            // The CI stage: smaller corpus, fewer iterations, same gates.
+            "--smoke" => {
+                scale = 0.2;
+                iters = 5;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if iters == 0 {
+        usage_error("--iters must be at least 1");
+    }
+
+    let corpus = generate(&GeneratorConfig::core_library(scale));
+    let text = corpus.asm;
+    eprintln!(
+        "corpus: {} bytes (scale {scale}), {iters} iterations, jobs={jobs}",
+        text.len()
+    );
+
+    // Differential check first: all variants must agree with the reference
+    // entry list before any of them is allowed to post a time.
+    let reference = mao_asm::parse_reference(&text).unwrap_or_else(|e| {
+        eprintln!("bench_frontend: reference parse failed: {e}");
+        std::process::exit(1);
+    });
+    let parsed = mao_asm::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_frontend: zero-copy parse failed: {e}");
+        std::process::exit(1);
+    });
+    if parsed != reference {
+        eprintln!("bench_frontend: zero-copy parser disagrees with the reference parser");
+        std::process::exit(1);
+    }
+    let parallel = mao_asm::parse_with_jobs(&text, jobs).unwrap_or_else(|e| {
+        eprintln!("bench_frontend: parallel parse failed: {e}");
+        std::process::exit(1);
+    });
+    if parallel != reference {
+        eprintln!("bench_frontend: parallel parser disagrees with the reference parser");
+        std::process::exit(1);
+    }
+    let key = snapshot::content_key(&text);
+    let snapshot_bytes = snapshot::encode(&parsed, key);
+    let decoded = snapshot::decode(&snapshot_bytes, Some(key)).unwrap_or_else(|e| {
+        eprintln!("bench_frontend: snapshot decode failed: {e}");
+        std::process::exit(1);
+    });
+    if decoded != reference {
+        eprintln!("bench_frontend: snapshot round-trip disagrees with the reference parser");
+        std::process::exit(1);
+    }
+    let streamed: Result<Vec<_>, _> = snapshot::Snapshot::load(&snapshot_bytes, Some(key))
+        .unwrap_or_else(|e| {
+            eprintln!("bench_frontend: snapshot load failed: {e}");
+            std::process::exit(1);
+        })
+        .iter()
+        .collect();
+    if streamed.as_deref() != Ok(&reference[..]) {
+        eprintln!("bench_frontend: streamed snapshot entries disagree with the reference parser");
+        std::process::exit(1);
+    }
+
+    eprintln!("reference round ...");
+    let reference_us = median(&time_iters(iters, || {
+        mao_asm::parse_reference(&text).unwrap()
+    }));
+    eprintln!("parse round ...");
+    let parse_us = median(&time_iters(iters, || mao_asm::parse(&text).unwrap()));
+    eprintln!("parse_jobs round ...");
+    let parallel_us = median(&time_iters(iters, || {
+        mao_asm::parse_with_jobs(&text, jobs).unwrap()
+    }));
+    eprintln!("snapshot_load round ...");
+    let snapshot_us = median(&time_iters(iters, || {
+        snapshot::Snapshot::load(&snapshot_bytes, Some(key)).unwrap()
+    }));
+    eprintln!("snapshot_decode round ...");
+    let decode_us = median(&time_iters(iters, || {
+        snapshot::decode(&snapshot_bytes, Some(key)).unwrap()
+    }));
+
+    let parse_speedup = reference_us / parse_us.max(1.0);
+    let parallel_speedup = reference_us / parallel_us.max(1.0);
+    let snapshot_speedup = reference_us / snapshot_us.max(1.0);
+    let decode_speedup = reference_us / decode_us.max(1.0);
+    let snapshot_ratio = snapshot_bytes.len() as f64 / text.len() as f64;
+    let json = format!(
+        r#"{{
+  "benchmark": "frontend",
+  "corpus": {{ "scale": {scale}, "text_bytes": {text_bytes}, "entries": {entries}, "snapshot_bytes": {snap_bytes}, "snapshot_ratio": {snapshot_ratio:.3} }},
+  "iters": {iters},
+  "jobs": {jobs},
+  "reference": {{ "median_us": {reference_us:.0} }},
+  "parse": {{ "median_us": {parse_us:.0}, "speedup_vs_reference": {parse_speedup:.3} }},
+  "parse_jobs": {{ "median_us": {parallel_us:.0}, "speedup_vs_reference": {parallel_speedup:.3} }},
+  "snapshot_load": {{ "median_us": {snapshot_us:.0}, "speedup_vs_reference": {snapshot_speedup:.3} }},
+  "snapshot_decode": {{ "median_us": {decode_us:.0}, "speedup_vs_reference": {decode_speedup:.3} }},
+  "differential": {{ "parse": true, "parse_jobs": true, "snapshot_load": true, "snapshot_stream": true }},
+  "gates": {{ "min_parse_speedup": {min_parse_speedup}, "min_snapshot_speedup": {min_snapshot_speedup} }}
+}}
+"#,
+        text_bytes = text.len(),
+        entries = reference.len(),
+        snap_bytes = snapshot_bytes.len(),
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("bench_frontend: cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("{json}");
+    println!("wrote {out}");
+    println!(
+        "summary: reference {reference_us:.0}us, parse {parse_us:.0}us ({parse_speedup:.1}x), \
+         jobs{jobs} {parallel_us:.0}us ({parallel_speedup:.1}x), \
+         snapshot load {snapshot_us:.0}us ({snapshot_speedup:.1}x), \
+         snapshot decode {decode_us:.0}us ({decode_speedup:.1}x)"
+    );
+    let mut failed = false;
+    if parse_speedup < min_parse_speedup {
+        eprintln!(
+            "bench_frontend: parse speedup {parse_speedup:.2}x is below the \
+             {min_parse_speedup:.0}x gate"
+        );
+        failed = true;
+    }
+    if snapshot_speedup < min_snapshot_speedup {
+        eprintln!(
+            "bench_frontend: snapshot-load speedup {snapshot_speedup:.2}x is below the \
+             {min_snapshot_speedup:.0}x gate"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

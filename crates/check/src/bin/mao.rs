@@ -56,11 +56,13 @@ use mao_serve::Client;
 
 fn usage() -> &'static str {
     "usage: mao [--mao=PASS[=opt[val],...][:PASS...]]... [--jobs N] [--profile FILE]\n\
-     \x20          [--list-passes] input.s\n\
+     \x20          [--emit-snapshot FILE] [--snapshot-dir DIR] [--list-passes]\n\
+     \x20          input.s|input.msnap\n\
      \x20      mao serve  [--listen ADDR] [--shards N] [--jobs N] [--timeout-ms N]\n\
      \x20                 [--max-pending N] [--cache-dir DIR] [--cache-max-bytes N]\n\
      \x20                 [--cache-fsync] [--idle-timeout-ms N] [--cache-cap N]\n\
      \x20                 [--analysis-cache-cap N] [--max-request-bytes N]\n\
+     \x20                 [--snapshot-dir DIR] [--snapshot-max-bytes N]\n\
      \x20      mao client [--listen ADDR] [--passes STR] [--jobs N] [--timeout-ms N]\n\
      \x20                 [--timeout SECS] [--no-cache] [-o FILE] input.s\n\
      \x20                 | --stats | --metrics | --ping | --shutdown\n\
@@ -82,6 +84,11 @@ fn usage() -> &'static str {
      \x20           Output is byte-identical for every N.\n\
      --profile FILE   record every pass/function span and write a Chrome\n\
      \x20           trace (chrome://tracing, Perfetto) to FILE after the run.\n\
+     --emit-snapshot FILE   write the parsed unit as a compact binary IR\n\
+     \x20           snapshot (loadable in place of the .s input later).\n\
+     --snapshot-dir DIR   content-addressed snapshot store keyed by input\n\
+     \x20           content hash: previously seen inputs load their parsed\n\
+     \x20           IR from disk and skip text parsing entirely.\n\
      --metrics  fetch the daemon's metrics registry as Prometheus text.\n\
      ADDR is `unix:/path`, `tcp:host:port`, or a bare socket path\n\
      (default unix:/tmp/maod.sock, or the MAOD_SOCKET environment variable).\n\
@@ -165,6 +172,12 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 }
                 "--max-request-bytes" => {
                     config.max_request_bytes = parser.numeric("--max-request-bytes")?
+                }
+                "--snapshot-dir" => {
+                    config.snapshot_dir = Some(parser.value("--snapshot-dir")?.into())
+                }
+                "--snapshot-max-bytes" => {
+                    config.snapshot_max_bytes = parser.numeric("--snapshot-max-bytes")?
                 }
                 "--help" | "-h" => {
                     println!("{}", usage());
@@ -800,6 +813,8 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
     let mut inputs: Vec<String> = Vec::new();
     let mut list_passes = false;
     let mut profile_out: Option<String> = None;
+    let mut emit_snapshot: Option<String> = None;
+    let mut snapshot_dir: Option<String> = None;
     // Default from the environment; --jobs on the command line wins.
     let mut jobs: usize = std::env::var("MAO_JOBS")
         .ok()
@@ -832,6 +847,22 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
             profile_out = Some(path.clone());
         } else if let Some(rest) = arg.strip_prefix("--profile=") {
             profile_out = Some(rest.to_string());
+        } else if arg == "--emit-snapshot" {
+            let Some(path) = iter.next() else {
+                eprintln!("mao: --emit-snapshot needs an output file");
+                return ExitCode::FAILURE;
+            };
+            emit_snapshot = Some(path.clone());
+        } else if let Some(rest) = arg.strip_prefix("--emit-snapshot=") {
+            emit_snapshot = Some(rest.to_string());
+        } else if arg == "--snapshot-dir" {
+            let Some(dir) = iter.next() else {
+                eprintln!("mao: --snapshot-dir needs a directory");
+                return ExitCode::FAILURE;
+            };
+            snapshot_dir = Some(dir.clone());
+        } else if let Some(rest) = arg.strip_prefix("--snapshot-dir=") {
+            snapshot_dir = Some(rest.to_string());
         } else if arg == "--help" || arg == "-h" {
             println!("{}", usage());
             return ExitCode::SUCCESS;
@@ -858,7 +889,7 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     };
 
-    let text = match std::fs::read_to_string(input) {
+    let raw = match std::fs::read(input) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("mao: cannot read `{input}`: {e}");
@@ -867,14 +898,82 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
     };
 
     // READ: parsing is "a pass as well, but called by default as the first
-    // pass" (§III.A).
-    let mut unit = match MaoUnit::parse(&text) {
-        Ok(u) => u,
-        Err(e) => {
-            eprintln!("mao: {input}:{e}");
-            return ExitCode::FAILURE;
+    // pass" (§III.A). The front end is snapshot-aware: a binary IR snapshot
+    // file, or a `--snapshot-dir` entry keyed by the input's content hash,
+    // replaces text parsing with a direct IR load.
+    let (mut unit, snapshot_key) = if raw.starts_with(&mao_asm::snapshot::SNAPSHOT_MAGIC) {
+        let key = match mao_asm::snapshot::snapshot_key(&raw) {
+            Ok(k) => k,
+            Err(e) => {
+                eprintln!("mao: {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match mao_asm::snapshot::decode(&raw, Some(key)) {
+            Ok(entries) => {
+                eprintln!("[mao] frontend: loaded snapshot `{input}`");
+                (MaoUnit::from_entries(entries), key)
+            }
+            Err(e) => {
+                eprintln!("mao: {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let text = match String::from_utf8(raw) {
+            Ok(t) => t,
+            Err(_) => {
+                eprintln!("mao: `{input}` is neither UTF-8 assembly nor an IR snapshot");
+                return ExitCode::FAILURE;
+            }
+        };
+        let key = mao_asm::snapshot::content_key(&text);
+        let store = match &snapshot_dir {
+            Some(dir) => match mao_serve::SnapshotStore::open(dir, 0) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    eprintln!("mao: cannot open snapshot dir `{dir}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => None,
+        };
+        let cached = store.as_ref().and_then(|s| s.load_key(key));
+        match cached {
+            Some(entries) => {
+                eprintln!("[mao] frontend: snapshot hit");
+                (MaoUnit::from_entries(entries), key)
+            }
+            None => {
+                if store.is_some() {
+                    eprintln!("[mao] frontend: snapshot miss");
+                }
+                let unit = match MaoUnit::parse_with_jobs(&text, jobs) {
+                    Ok(u) => u,
+                    Err(e) => {
+                        eprintln!("mao: {input}:{e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Some(store) = &store {
+                    store.put(key, unit.entries());
+                }
+                (unit, key)
+            }
         }
     };
+
+    if let Some(path) = &emit_snapshot {
+        let bytes = mao_asm::snapshot::encode(unit.entries(), snapshot_key);
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("mao: cannot write snapshot `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[mao] frontend: wrote snapshot to {path} ({} bytes)",
+            bytes.len()
+        );
+    }
 
     let mut invocations: Vec<PassInvocation> = Vec::new();
     for s in &option_strings {

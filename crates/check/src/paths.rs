@@ -12,7 +12,11 @@
 //!   content-addressed cache with identical bytes;
 //! * **legacy-relax** — the same pipeline with every pass forced onto the
 //!   reference relaxation solver instead of the incremental fragment
-//!   solver (PR 3 promises identical layouts).
+//!   solver (PR 3 promises identical layouts);
+//! * **snapshot** — parse, round-trip the unit through the binary IR
+//!   snapshot codec (encode → decode → rebuild), then run the pipeline
+//!   over the reloaded unit (the snapshot tier promises the reloaded IR
+//!   is indistinguishable from freshly parsed IR).
 
 use mao::pass::{parse_invocations, run_pipeline_with, PipelineConfig};
 use mao::MaoUnit;
@@ -30,6 +34,8 @@ pub enum ExecPath {
     Engine,
     /// The legacy reference relaxation solver.
     LegacyRelax,
+    /// Binary IR snapshot round-trip before the pipeline.
+    Snapshot,
 }
 
 impl ExecPath {
@@ -40,6 +46,7 @@ impl ExecPath {
             ExecPath::Jobs(n) => format!("jobs{n}"),
             ExecPath::Engine => "engine".to_string(),
             ExecPath::LegacyRelax => "legacy-relax".to_string(),
+            ExecPath::Snapshot => "snapshot".to_string(),
         }
     }
 
@@ -49,6 +56,7 @@ impl ExecPath {
             "oneshot" => Some(ExecPath::OneShot),
             "engine" => Some(ExecPath::Engine),
             "legacy-relax" => Some(ExecPath::LegacyRelax),
+            "snapshot" => Some(ExecPath::Snapshot),
             _ => s
                 .strip_prefix("jobs")
                 .and_then(|n| n.parse().ok())
@@ -106,6 +114,7 @@ impl PathRunner {
             ExecPath::Jobs(self.jobs),
             ExecPath::Engine,
             ExecPath::LegacyRelax,
+            ExecPath::Snapshot,
         ]
     }
 
@@ -116,6 +125,7 @@ impl PathRunner {
             ExecPath::Jobs(n) => run_local(asm, passes, n),
             ExecPath::LegacyRelax => run_local(asm, &with_legacy_relax(passes), 1),
             ExecPath::Engine => self.run_engine(asm, passes),
+            ExecPath::Snapshot => run_snapshot(asm, passes),
         }
     }
 
@@ -167,6 +177,24 @@ fn run_local(asm: &str, passes: &str, jobs: usize) -> Result<String, String> {
     Ok(unit.emit())
 }
 
+/// Parse, round-trip the IR through the binary snapshot codec, rebuild the
+/// unit from the decoded entries, then run the pipeline (`--jobs 1`).
+fn run_snapshot(asm: &str, passes: &str) -> Result<String, String> {
+    let parsed = mao_asm::parse(asm).map_err(|e| format!("parse: {e}"))?;
+    let key = mao_asm::snapshot::content_key(asm);
+    let bytes = mao_asm::snapshot::encode(&parsed, key);
+    let entries =
+        mao_asm::snapshot::decode(&bytes, Some(key)).map_err(|e| format!("snapshot: {e}"))?;
+    if entries != parsed {
+        return Err("snapshot round-trip changed the entry list".to_string());
+    }
+    let mut unit = MaoUnit::from_entries(entries);
+    let invs = parse_invocations(passes).map_err(|e| format!("passes: {e}"))?;
+    let config = PipelineConfig { jobs: 1 };
+    run_pipeline_with(&mut unit, &invs, None, &config).map_err(|e| format!("pipeline: {e}"))?;
+    Ok(unit.emit())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +222,14 @@ mod tests {
             assert_eq!(t, &texts[0]);
         }
         assert!(!texts[0].contains("testl"), "REDTEST fired");
+    }
+
+    #[test]
+    fn path_names_round_trip() {
+        let runner = PathRunner::new(3);
+        for path in runner.all() {
+            assert_eq!(ExecPath::parse(&path.name()), Some(path));
+        }
     }
 
     #[test]

@@ -50,6 +50,21 @@ fn unit_key(unit: &MaoUnit) -> u128 {
 /// Layout slots kept per unit content hash.
 const LAYOUT_CAPACITY: usize = 64;
 
+/// A persistent tier under the in-memory layout slot: solved layouts keyed
+/// by unit content hash. `maod` plugs a disk-backed store in here (see
+/// `mao-serve`'s `layout_disk`), so a daemon restart — or another instance
+/// sharing the directory — skips straight past branch-relaxation fixpoint
+/// solves for units it has laid out before. The trait lives in core because
+/// [`AnalysisCache::relaxed`] owns the only spot that knows both the key
+/// and whether the memory tier missed; core itself ships no implementation.
+pub trait LayoutStore: Send + Sync + std::fmt::Debug {
+    /// A previously stored layout for `key`, if one decodes cleanly.
+    fn load(&self, key: u128) -> Option<Layout>;
+    /// Persist `layout` under `key` (errors are the store's problem — the
+    /// tier is an accelerator, not a source of truth).
+    fn store(&self, key: u128, layout: &Layout);
+}
+
 /// Content key of a function: its absolute spans plus every entry in them.
 ///
 /// Positions are part of the key on purpose: cached analyses store absolute
@@ -141,8 +156,14 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Layout lookups answered from the content-keyed layout slot.
     pub layout_hits: u64,
-    /// Layout lookups that solved from scratch.
+    /// Layout lookups that missed the in-memory slot (subdivided by the
+    /// disk counters below when a persistent tier is attached).
     pub layout_misses: u64,
+    /// Memory-missed layout lookups answered by the persistent tier.
+    pub layout_disk_hits: u64,
+    /// Memory-missed layout lookups the persistent tier could not answer
+    /// (only counted when a store is attached).
+    pub layout_disk_misses: u64,
 }
 
 impl CacheStats {
@@ -186,6 +207,8 @@ struct CacheMetrics {
     evictions: mao_obs::Counter,
     layout_hits: mao_obs::Counter,
     layout_misses: mao_obs::Counter,
+    layout_disk_hits: mao_obs::Counter,
+    layout_disk_misses: mao_obs::Counter,
 }
 
 /// Shared, thread-safe per-function analysis cache.
@@ -194,6 +217,8 @@ pub struct AnalysisCache {
     state: Mutex<CacheState>,
     /// Whole-unit layouts, content-keyed (see [`AnalysisCache::layout`]).
     layouts: Mutex<LayoutState>,
+    /// Optional persistent tier consulted on memory-tier layout misses.
+    layout_store: OnceLock<Arc<dyn LayoutStore>>,
     /// Maximum number of cached functions (0 = unbounded).
     capacity: AtomicU64,
     hits: AtomicU64,
@@ -201,6 +226,8 @@ pub struct AnalysisCache {
     evictions: AtomicU64,
     layout_hits: AtomicU64,
     layout_misses: AtomicU64,
+    layout_disk_hits: AtomicU64,
+    layout_disk_misses: AtomicU64,
     /// Registry counters updated alongside the atomics above (absent until
     /// [`AnalysisCache::attach_metrics`]).
     metrics: OnceLock<CacheMetrics>,
@@ -244,7 +271,16 @@ impl AnalysisCache {
             evictions: metrics.counter_with("mao_analysis_cache_evictions_total", labels),
             layout_hits: metrics.counter_with("mao_layout_cache_hits_total", labels),
             layout_misses: metrics.counter_with("mao_layout_cache_misses_total", labels),
+            layout_disk_hits: metrics.counter_with("mao_layout_cache_disk_hits_total", labels),
+            layout_disk_misses: metrics.counter_with("mao_layout_cache_disk_misses_total", labels),
         });
+    }
+
+    /// Attach a persistent layout tier consulted when the in-memory layout
+    /// slot misses. First attachment wins; later calls are no-ops, matching
+    /// [`AnalysisCache::attach_metrics`].
+    pub fn set_layout_store(&self, store: Arc<dyn LayoutStore>) {
+        let _ = self.layout_store.set(store);
     }
 
     /// The analyses slot for `function`, reused when both the unit's context
@@ -328,11 +364,46 @@ impl AnalysisCache {
                 return Ok(entry.1.clone());
             }
         }
-        let fresh = Arc::new(Relaxed::build(unit)?);
         self.layout_misses.fetch_add(1, Ordering::Relaxed);
         if let Some(m) = self.metrics.get() {
             m.layout_misses.inc();
         }
+        // Memory miss: try the persistent tier before paying for a fixpoint
+        // solve. A disk layout is adopted only if it pairs cleanly with a
+        // freshly built fragment model (`Relaxed::from_layout` length-checks
+        // it against the unit) — the model holds no solver state, so model +
+        // stored fixpoint is exactly the state a scratch solve would reach.
+        let mut fresh = None;
+        if let Some(store) = self.layout_store.get() {
+            fresh = store
+                .load(key)
+                .and_then(|layout| Relaxed::from_layout(unit, layout));
+            let (counter, cell) = if fresh.is_some() {
+                (
+                    &self.layout_disk_hits,
+                    self.metrics.get().map(|m| &m.layout_disk_hits),
+                )
+            } else {
+                (
+                    &self.layout_disk_misses,
+                    self.metrics.get().map(|m| &m.layout_disk_misses),
+                )
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            if let Some(cell) = cell {
+                cell.inc();
+            }
+        }
+        let fresh = match fresh {
+            Some(relaxed) => Arc::new(relaxed),
+            None => {
+                let solved = Arc::new(Relaxed::build(unit)?);
+                if let Some(store) = self.layout_store.get() {
+                    store.store(key, &solved.layout);
+                }
+                solved
+            }
+        };
         let mut layouts = self.layouts.lock().unwrap();
         layouts.clock += 1;
         let stamp = layouts.clock;
@@ -377,6 +448,8 @@ impl AnalysisCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             layout_hits: self.layout_hits.load(Ordering::Relaxed),
             layout_misses: self.layout_misses.load(Ordering::Relaxed),
+            layout_disk_hits: self.layout_disk_hits.load(Ordering::Relaxed),
+            layout_disk_misses: self.layout_disk_misses.load(Ordering::Relaxed),
         }
     }
 }

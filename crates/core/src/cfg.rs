@@ -250,7 +250,7 @@ fn table_labels(unit: &MaoUnit, table_label: &str) -> Option<Vec<String>> {
             Entry::Directive(Directive::Data { items, .. }) => {
                 for item in items {
                     match item {
-                        DataItem::Symbol(s) => labels.push(s.clone()),
+                        DataItem::Symbol(s) => labels.push(s.as_str().to_string()),
                         DataItem::Imm(_) => {}
                     }
                 }

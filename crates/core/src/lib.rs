@@ -48,7 +48,7 @@ pub mod unit;
 pub use mao_obs as obs;
 pub use mao_obs::{Obs, TraceEvent};
 
-pub use analysis_cache::{AnalysisCache, CacheStats, FunctionAnalyses};
+pub use analysis_cache::{AnalysisCache, CacheStats, FunctionAnalyses, LayoutStore};
 pub use pass::{
     parse_invocations, run_functions, run_pipeline, run_pipeline_observed, run_pipeline_shared,
     run_pipeline_with, FnCtx, MaoPass, PassContext, PassError, PassStats, PipelineConfig,
@@ -56,7 +56,7 @@ pub use pass::{
 };
 pub use profile::{Profile, Sample, Site};
 pub use relax::{
-    relax, relax_reference, relax_totals, Layout, LayoutCache, LayoutCacheStats, RelaxError,
-    RelaxMetrics, RelaxTotals,
+    relax, relax_reference, relax_totals, BranchForm, Layout, LayoutCache, LayoutCacheStats,
+    RelaxError, RelaxMetrics, RelaxTotals,
 };
 pub use unit::{EditSet, EntryId, Function, MaoUnit, Section};

@@ -34,14 +34,14 @@ fn referenced_labels(unit: &MaoUnit) -> HashSet<String> {
                         _ => continue,
                     };
                     if let mao_x86::Disp::Symbol { name, .. } = &mem.disp {
-                        refs.insert(name.clone());
+                        refs.insert(name.as_str().to_string());
                     }
                 }
             }
             Entry::Directive(Directive::Data { items, .. }) => {
                 for item in items {
                     if let DataItem::Symbol(s) = item {
-                        refs.insert(s.clone());
+                        refs.insert(s.as_str().to_string());
                     }
                 }
             }
@@ -80,7 +80,7 @@ impl MaoPass for UnreachableCodeElim {
                             edits.delete(id);
                             fctx.stats.transformed(1);
                         }
-                        Entry::Label(l) if !refs.contains(l) => {
+                        Entry::Label(l) if !refs.contains(l.as_str()) => {
                             edits.delete(id);
                         }
                         _ => {}

@@ -33,7 +33,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mao_asm::{Directive, Entry};
-use mao_x86::encode::{branch_lengths, encoded_length, BranchForm};
+pub use mao_x86::encode::BranchForm;
+use mao_x86::encode::{branch_lengths, encoded_length};
 
 use crate::unit::{EditSet, EntryId, MaoUnit};
 
@@ -735,6 +736,25 @@ impl Relaxed {
         let model = FragmentModel::build(unit)?;
         let layout = Arc::new(model.solve(unit, false, None)?);
         Ok(Relaxed { model, layout })
+    }
+
+    /// Adopt an externally stored `layout` (e.g. from a persistent layout
+    /// tier) instead of solving. Sound because [`FragmentModel`] carries
+    /// only immutable per-entry structure — all fixpoint state lives inside
+    /// [`FragmentModel::solve`] — so a model freshly built for `unit` plus
+    /// the stored fixed point is exactly the state `build` would reach.
+    /// Returns `None` when the layout's shape does not match the unit (a
+    /// content-hash collision or a store bug); callers fall back to a solve.
+    pub(crate) fn from_layout(unit: &MaoUnit, layout: Layout) -> Option<Relaxed> {
+        let n = unit.entries().len();
+        if layout.addr.len() != n || layout.size.len() != n || layout.branch_form.len() != n {
+            return None;
+        }
+        let model = FragmentModel::build(unit).ok()?;
+        Some(Relaxed {
+            model,
+            layout: Arc::new(layout),
+        })
     }
 }
 

@@ -103,7 +103,7 @@ impl Function {
 struct UnitIndex {
     sections: Vec<Section>,
     functions: Vec<Function>,
-    labels: HashMap<String, EntryId>,
+    labels: HashMap<&'static str, EntryId>,
 }
 
 /// Section name in effect for each entry (`.text` before any section
@@ -151,10 +151,10 @@ fn build_index(entries: &[Entry]) -> UnitIndex {
     }
 
     // Labels: first definition wins.
-    let mut labels: HashMap<String, EntryId> = HashMap::new();
+    let mut labels: HashMap<&'static str, EntryId> = HashMap::new();
     for (id, e) in entries.iter().enumerate() {
         if let Entry::Label(l) = e {
-            labels.entry(l.clone()).or_insert(id);
+            labels.entry(l.as_str()).or_insert(id);
         }
     }
 
@@ -260,6 +260,13 @@ impl MaoUnit {
         Ok(MaoUnit::from_entries(mao_asm::parse(text)?))
     }
 
+    /// Like [`MaoUnit::parse`], splitting large inputs across up to `jobs`
+    /// threads (0 = one per available core). Output is byte-identical to
+    /// the sequential parse; small inputs stay sequential.
+    pub fn parse_with_jobs(text: &str, jobs: usize) -> Result<MaoUnit, ParseError> {
+        Ok(MaoUnit::from_entries(mao_asm::parse_with_jobs(text, jobs)?))
+    }
+
     /// Emit the unit as textual assembly (the `ASM` pass).
     pub fn emit(&self) -> String {
         mao_asm::emit(&self.entries)
@@ -345,7 +352,7 @@ impl MaoUnit {
         self.index()
             .labels
             .iter()
-            .map(|(name, &id)| (name.as_str(), id))
+            .map(|(&name, &id)| (name, id))
             .collect()
     }
 
@@ -528,7 +535,7 @@ impl MaoUnit {
             labels: index
                 .labels
                 .iter()
-                .map(|(name, &id)| (name.clone(), shift_entity(id)))
+                .map(|(&name, &id)| (name, shift_entity(id)))
                 .collect(),
         })
     }

@@ -1,25 +1,15 @@
 //! Content-addressed on-disk result store: the persistent cache tier.
 //!
-//! One file per 128-bit [`RequestKey`] under a configurable directory, so
-//! a daemon restart begins warm and multiple `maod` instances can share
-//! artifacts through a common directory. The layout is deliberately dumb —
-//! flat files, no index file, no lock file:
-//!
-//! * **Atomic writes.** Entries are written to a `.tmp-<pid>-<n>` sibling
-//!   and `rename(2)`d into place, so a reader never observes a partial
-//!   entry and two instances racing on the same key simply last-write-win
-//!   identical content (the key is a content hash of the request).
-//! * **Self-verifying entries.** Each file carries a magic+version stamp,
-//!   the key it claims to store, explicit lengths, and an FNV-1a checksum
-//!   of the body. Truncated, bit-flipped, stale-version, or misnamed files
-//!   fail decode and are *evicted, never served*.
-//! * **Size-bounded LRU eviction.** The cache tracks per-key sizes and a
-//!   last-access order (seeded from file mtimes at startup, maintained
-//!   in-memory afterwards) and deletes least-recently-used entries once
-//!   the configured byte budget is exceeded.
-//! * **`fsync` optional.** Build artifacts are re-computable, so the
-//!   default trades durability-on-power-loss for write latency; `fsync:
-//!   true` forces data + directory syncs for shared NFS-like setups.
+//! One self-verifying `.mc` file per 128-bit [`RequestKey`], so a daemon
+//! restart begins warm and multiple `maod` instances can share artifacts
+//! through a common directory. This module owns only the *entry codec* —
+//! magic+version stamp, embedded key, explicit lengths, FNV-1a body
+//! checksum ([`encode_entry`]/[`decode_entry`]); the file management
+//! (atomic writes, validated evict-never-serve reads, segmented
+//! scan-resistant LRU eviction, compact startup index) is the shared
+//! [`ArtifactStore`] machinery, which the layout and snapshot tiers reuse.
+//! The on-disk entry format is unchanged from when this module carried its
+//! own store: caches written by earlier builds are read back verbatim.
 //!
 //! The version stamp ([`DISK_FORMAT_VERSION`]) must be bumped whenever the
 //! serialized [`OptimizeOutcome`] shape *or the meaning of a cached result*
@@ -27,14 +17,12 @@
 //! existing entry at once. Pass configuration does not need a stamp: the
 //! pass string is part of the request key itself.
 
-use std::collections::HashMap;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
 
 use crate::protocol::OptimizeOutcome;
 use crate::result_cache::RequestKey;
+use crate::store::{ArtifactStore, StoreConfig, StoreStats};
 
 /// Bumped whenever the entry encoding or the meaning of a cached result
 /// changes; entries with any other version are treated as stale and
@@ -92,39 +80,24 @@ pub struct DiskCacheStats {
     pub max_bytes: u64,
 }
 
-/// Registry mirrors of the counters (attached at most once).
-struct DiskMetrics {
-    hits: mao::obs::Counter,
-    misses: mao::obs::Counter,
-    insertions: mao::obs::Counter,
-    evictions: mao::obs::Counter,
-    corrupt: mao::obs::Counter,
+impl From<StoreStats> for DiskCacheStats {
+    fn from(s: StoreStats) -> DiskCacheStats {
+        DiskCacheStats {
+            hits: s.hits,
+            misses: s.misses,
+            insertions: s.insertions,
+            evictions: s.evictions,
+            corrupt: s.corrupt,
+            bytes: s.bytes,
+            entries: s.entries,
+            max_bytes: s.max_bytes,
+        }
+    }
 }
 
-struct IndexEntry {
-    bytes: u64,
-    /// In-memory LRU stamp; seeded from mtime order at startup.
-    last_access: u64,
-}
-
-struct Index {
-    map: HashMap<u128, IndexEntry>,
-    clock: u64,
-    total_bytes: u64,
-}
-
-/// The persistent tier. Thread-safe; cheap operations hold a short index
-/// lock, file I/O runs outside it where possible.
+/// The persistent result tier: the `.mc` codec over an [`ArtifactStore`].
 pub struct DiskCache {
-    config: DiskCacheConfig,
-    index: Mutex<Index>,
-    tmp_counter: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    insertions: AtomicU64,
-    evictions: AtomicU64,
-    corrupt: AtomicU64,
-    metrics: OnceLock<DiskMetrics>,
+    store: ArtifactStore,
 }
 
 impl DiskCache {
@@ -132,267 +105,57 @@ impl DiskCache {
     /// already present — the restart-warm path and the shared-directory
     /// path both start here.
     pub fn open(config: DiskCacheConfig) -> io::Result<DiskCache> {
-        std::fs::create_dir_all(&config.dir)?;
-        let mut entries: Vec<(u128, u64, std::time::SystemTime)> = Vec::new();
-        for entry in std::fs::read_dir(&config.dir)? {
-            let entry = entry?;
-            let path = entry.path();
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if name.starts_with(".tmp-") {
-                // A crashed writer's leftover; safe to delete once clearly
-                // abandoned (in-progress writes are milliseconds old).
-                let stale = entry
-                    .metadata()
-                    .and_then(|m| m.modified())
-                    .ok()
-                    .and_then(|t| t.elapsed().ok())
-                    .map(|age| age.as_secs() > 300)
-                    .unwrap_or(false);
-                if stale {
-                    let _ = std::fs::remove_file(&path);
-                }
-                continue;
-            }
-            let Some(key) = key_of_file_name(&name) else {
-                continue;
-            };
-            let Ok(meta) = entry.metadata() else { continue };
-            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
-            entries.push((key, meta.len(), mtime));
-        }
-        // Oldest files get the lowest LRU stamps.
-        entries.sort_by_key(|(_, _, mtime)| *mtime);
-        let mut map = HashMap::with_capacity(entries.len());
-        let mut total_bytes = 0u64;
-        for (clock, (key, bytes, _)) in entries.iter().enumerate() {
-            total_bytes += bytes;
-            map.insert(
-                *key,
-                IndexEntry {
-                    bytes: *bytes,
-                    last_access: clock as u64,
-                },
-            );
-        }
-        Ok(DiskCache {
-            index: Mutex::new(Index {
-                clock: map.len() as u64,
-                map,
-                total_bytes,
-            }),
-            config,
-            tmp_counter: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            insertions: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            corrupt: AtomicU64::new(0),
-            metrics: OnceLock::new(),
-        })
+        let store = ArtifactStore::open(StoreConfig {
+            dir: config.dir,
+            max_bytes: config.max_bytes,
+            fsync: config.fsync,
+            ext: EXT,
+        })?;
+        Ok(DiskCache { store })
     }
 
     /// The directory entries live in.
     pub fn dir(&self) -> &Path {
-        &self.config.dir
+        self.store.dir()
     }
 
     /// Mirror the counters into `metrics` as the
     /// `mao_result_cache_disk_*_total` families. First attachment wins.
     pub fn attach_metrics(&self, metrics: &mao::obs::Metrics) {
-        let _ = self.metrics.set(DiskMetrics {
-            hits: metrics.counter("mao_result_cache_disk_hits_total"),
-            misses: metrics.counter("mao_result_cache_disk_misses_total"),
-            insertions: metrics.counter("mao_result_cache_disk_insertions_total"),
-            evictions: metrics.counter("mao_result_cache_disk_evictions_total"),
-            corrupt: metrics.counter("mao_result_cache_disk_corrupt_total"),
-        });
+        self.store.attach_metrics(metrics, "mao_result_cache_disk");
     }
 
+    #[cfg(test)]
     fn path_of(&self, key: RequestKey) -> PathBuf {
-        self.config.dir.join(format!("{:032x}.{EXT}", key.raw()))
+        self.store.path_of(key.raw())
     }
 
     /// Look up an entry, decoding and verifying it. Invalid entries are
-    /// deleted and reported as misses; a hit refreshes the LRU stamp.
+    /// deleted and reported as misses; a hit refreshes the LRU position.
     pub fn get(&self, key: RequestKey) -> Option<OptimizeOutcome> {
-        let path = self.path_of(key);
-        let bytes = match std::fs::read(&path) {
-            Ok(b) => b,
-            Err(_) => {
-                // Not present — or present under another instance and
-                // vanished mid-read; either way a miss.
-                self.miss();
-                self.index.lock().unwrap().forget(key.raw());
-                return None;
-            }
-        };
-        match decode_entry(&bytes, key) {
-            Ok(outcome) => {
-                let mut index = self.index.lock().unwrap();
-                index.touch(key.raw(), bytes.len() as u64);
-                drop(index);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                if let Some(m) = self.metrics.get() {
-                    m.hits.inc();
+        let mut decoded = None;
+        self.store
+            .get_with(key.raw(), |bytes| match decode_entry(bytes, key) {
+                Ok(outcome) => {
+                    decoded = Some(outcome);
+                    true
                 }
-                Some(outcome)
-            }
-            Err(_) => {
-                // Truncated, corrupted, stale version, or wrong key:
-                // evict, never serve.
-                let _ = std::fs::remove_file(&path);
-                self.index.lock().unwrap().forget(key.raw());
-                self.corrupt.fetch_add(1, Ordering::Relaxed);
-                if let Some(m) = self.metrics.get() {
-                    m.corrupt.inc();
-                }
-                self.miss();
-                None
-            }
-        }
+                Err(_) => false,
+            })?;
+        decoded
     }
 
-    fn miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        if let Some(m) = self.metrics.get() {
-            m.misses.inc();
-        }
-    }
-
-    /// Write an entry (atomic tmp+rename), then evict LRU entries past the
-    /// byte budget. Write errors are swallowed — the disk tier is an
-    /// accelerator, not a source of truth — but eviction accounting stays
-    /// exact for what was written.
+    /// Write an entry (atomic tmp+rename), then evict entries past the byte
+    /// budget. Write errors are swallowed — the disk tier is an accelerator,
+    /// not a source of truth.
     pub fn put(&self, key: RequestKey, outcome: &OptimizeOutcome) {
-        let bytes = encode_entry(key, outcome);
-        let tmp = self.config.dir.join(format!(
-            ".tmp-{}-{}",
-            std::process::id(),
-            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
-        ));
-        let final_path = self.path_of(key);
-        let written = (|| -> io::Result<()> {
-            let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(&bytes)?;
-            if self.config.fsync {
-                file.sync_all()?;
-            }
-            drop(file);
-            std::fs::rename(&tmp, &final_path)?;
-            if self.config.fsync {
-                if let Ok(dir) = std::fs::File::open(&self.config.dir) {
-                    let _ = dir.sync_all();
-                }
-            }
-            Ok(())
-        })();
-        if written.is_err() {
-            let _ = std::fs::remove_file(&tmp);
-            return;
-        }
-        self.insertions.fetch_add(1, Ordering::Relaxed);
-        if let Some(m) = self.metrics.get() {
-            m.insertions.inc();
-        }
-        let victims: Vec<u128> = {
-            let mut index = self.index.lock().unwrap();
-            index.touch(key.raw(), bytes.len() as u64);
-            if self.config.max_bytes == 0 {
-                Vec::new()
-            } else {
-                index.evict_plan(self.config.max_bytes, key.raw())
-            }
-        };
-        for victim in victims {
-            let path = self
-                .config
-                .dir
-                .join(format!("{victim:032x}.{EXT}", victim = victim));
-            let _ = std::fs::remove_file(&path);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-            if let Some(m) = self.metrics.get() {
-                m.evictions.inc();
-            }
-        }
+        self.store.put(key.raw(), &encode_entry(key, outcome));
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> DiskCacheStats {
-        let index = self.index.lock().unwrap();
-        DiskCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            insertions: self.insertions.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            corrupt: self.corrupt.load(Ordering::Relaxed),
-            bytes: index.total_bytes,
-            entries: index.map.len() as u64,
-            max_bytes: self.config.max_bytes,
-        }
+        self.store.stats().into()
     }
-}
-
-impl Index {
-    /// Record an access (insert or refresh), updating byte accounting.
-    fn touch(&mut self, key: u128, bytes: u64) {
-        self.clock += 1;
-        let stamp = self.clock;
-        match self.map.get_mut(&key) {
-            Some(entry) => {
-                self.total_bytes = self.total_bytes - entry.bytes + bytes;
-                entry.bytes = bytes;
-                entry.last_access = stamp;
-            }
-            None => {
-                self.total_bytes += bytes;
-                self.map.insert(
-                    key,
-                    IndexEntry {
-                        bytes,
-                        last_access: stamp,
-                    },
-                );
-            }
-        }
-    }
-
-    /// Drop a key from the index (file already gone or going).
-    fn forget(&mut self, key: u128) {
-        if let Some(entry) = self.map.remove(&key) {
-            self.total_bytes -= entry.bytes;
-        }
-    }
-
-    /// Select and forget LRU victims until `total_bytes <= budget`. The
-    /// just-written `keep` key is never chosen — a single entry larger than
-    /// the budget stays resident rather than thrashing.
-    fn evict_plan(&mut self, budget: u64, keep: u128) -> Vec<u128> {
-        let mut victims = Vec::new();
-        while self.total_bytes > budget {
-            let Some(victim) = self
-                .map
-                .iter()
-                .filter(|(k, _)| **k != keep)
-                .min_by_key(|(_, e)| e.last_access)
-                .map(|(k, _)| *k)
-            else {
-                break;
-            };
-            self.forget(victim);
-            victims.push(victim);
-        }
-        victims
-    }
-}
-
-/// `<032x hex key>.mc` → key.
-fn key_of_file_name(name: &str) -> Option<u128> {
-    let hex = name.strip_suffix(&format!(".{EXT}"))?;
-    if hex.len() != 32 {
-        return None;
-    }
-    u128::from_str_radix(hex, 16).ok()
 }
 
 // ---------------------------------------------------------------------------

@@ -50,13 +50,15 @@ use mao::pass::{parse_invocations, run_pipeline_observed, PipelineConfig};
 use mao::{CacheStats, MaoUnit};
 
 use crate::disk_cache::{DiskCache, DiskCacheConfig};
+use crate::layout_disk::DiskLayoutStore;
 use crate::pool::{ShardCtx, ShardPool};
 use crate::protocol::{
     CacheOutcome, ErrorKind, OptimizeOutcome, OptimizeRequest, Request, Response, Timings,
     DEFAULT_MAX_REQUEST_BYTES, DEFAULT_TIMEOUT_MS,
 };
 use crate::result_cache::{request_key, CacheTier, ResultCache};
-use crate::stats::{ServerStats, ShardStats, StatsSnapshot};
+use crate::snapshot_store::SnapshotStore;
+use crate::stats::{FrontendStats, ServerStats, ShardStats, StatsSnapshot};
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -89,6 +91,12 @@ pub struct EngineConfig {
     /// (0 = never; used by the socket transport, carried here so every
     /// front end shares one config).
     pub idle_timeout_ms: u64,
+    /// Persistent front-end snapshot directory: parsed units are stored as
+    /// binary IR snapshots keyed by input content hash, so repeated inputs
+    /// skip text parsing entirely (None = parse every request).
+    pub snapshot_dir: Option<std::path::PathBuf>,
+    /// Snapshot-store byte budget (0 = unbounded).
+    pub snapshot_max_bytes: u64,
 }
 
 impl Default for EngineConfig {
@@ -105,6 +113,8 @@ impl Default for EngineConfig {
             cache_max_bytes: 0,
             cache_fsync: false,
             idle_timeout_ms: 300_000,
+            snapshot_dir: None,
+            snapshot_max_bytes: 0,
         }
     }
 }
@@ -178,6 +188,16 @@ struct EngineInner {
     shards: usize,
     pool: ShardPool,
     results: ResultCache,
+    /// Front-end snapshot tier (None = parse every request).
+    snapshots: Option<SnapshotStore>,
+    /// Persistent layout tier handle, kept for stats (the shards hold their
+    /// own `Arc` via `AnalysisCache::set_layout_store`).
+    layouts: Option<Arc<DiskLayoutStore>>,
+    /// `mao_frontend_snapshot_{hits,misses}_total`.
+    snapshot_hits: mao::obs::Counter,
+    snapshot_misses: mao::obs::Counter,
+    /// Cumulative text-parse wall time across requests, microseconds.
+    parse_us_total: AtomicU64,
     stats: ServerStats,
     obs: Obs,
     queue_wait_us: Histogram,
@@ -226,6 +246,32 @@ impl Engine {
         };
         let results = ResultCache::with_disk(config.result_cache_capacity, disk);
         results.attach_metrics(&obs.metrics);
+        // The layout tier rides along with the result cache directory:
+        // solved branch-relaxation layouts persist under `<cache_dir>/layout`
+        // so restarts skip fixpoint solves the way they skip whole requests.
+        let layouts = match &config.cache_dir {
+            Some(dir) => {
+                let store = DiskLayoutStore::open_dir(dir.join("layout"), config.cache_max_bytes)
+                    .map_err(|e| {
+                    format!(
+                        "cannot open layout dir {}: {e}",
+                        dir.join("layout").display()
+                    )
+                })?;
+                store.attach_metrics(&obs.metrics);
+                Some(Arc::new(store))
+            }
+            None => None,
+        };
+        let snapshots = match &config.snapshot_dir {
+            Some(dir) => {
+                let store = SnapshotStore::open(dir, config.snapshot_max_bytes)
+                    .map_err(|e| format!("cannot open snapshot dir {}: {e}", dir.display()))?;
+                store.attach_metrics(&obs.metrics);
+                Some(store)
+            }
+            None => None,
+        };
         let pool = ShardPool::new(shards, config.analysis_cache_capacity);
         let mut shard_requests = Vec::with_capacity(shards);
         for shard in 0..shards {
@@ -233,6 +279,11 @@ impl Engine {
             pool.ctx(shard)
                 .analyses
                 .attach_metrics_labeled(&obs.metrics, &[("shard", &label)]);
+            if let Some(layouts) = &layouts {
+                pool.ctx(shard)
+                    .analyses
+                    .set_layout_store(layouts.clone() as Arc<dyn mao::LayoutStore>);
+            }
             shard_requests.push(
                 obs.metrics
                     .counter_with("mao_shard_requests_total", &[("shard", &label)]),
@@ -243,6 +294,11 @@ impl Engine {
                 shards,
                 pool,
                 results,
+                snapshots,
+                layouts,
+                snapshot_hits: obs.metrics.counter("mao_frontend_snapshot_hits_total"),
+                snapshot_misses: obs.metrics.counter("mao_frontend_snapshot_misses_total"),
+                parse_us_total: AtomicU64::new(0),
                 stats: ServerStats::new(&obs.metrics),
                 queue_wait_us: obs
                     .metrics
@@ -292,12 +348,33 @@ impl Engine {
             aggregate.evictions += analyses.evictions;
             aggregate.layout_hits += analyses.layout_hits;
             aggregate.layout_misses += analyses.layout_misses;
+            aggregate.layout_disk_hits += analyses.layout_disk_hits;
+            aggregate.layout_disk_misses += analyses.layout_disk_misses;
             per_shard.push(ShardStats {
                 shard,
                 requests: self.inner.shard_requests[shard].get(),
                 analysis_cache: analyses,
             });
         }
+        let (interner_symbols, interner_bytes) = mao_asm::Sym::stats();
+        let (snapshot_bytes, snapshot_entries) = self
+            .inner
+            .snapshots
+            .as_ref()
+            .map(|s| {
+                let stats = s.stats();
+                (stats.bytes, stats.entries)
+            })
+            .unwrap_or((0, 0));
+        let frontend = FrontendStats {
+            parse_us: self.inner.parse_us_total.load(Ordering::Relaxed),
+            snapshot_hits: self.inner.snapshot_hits.get(),
+            snapshot_misses: self.inner.snapshot_misses.get(),
+            snapshot_bytes,
+            snapshot_entries,
+            interner_symbols: interner_symbols as u64,
+            interner_bytes: interner_bytes as u64,
+        };
         self.inner.stats.snapshot(
             self.inner.results.stats(),
             aggregate,
@@ -305,6 +382,7 @@ impl Engine {
             self.pending(),
             mao::relax_totals(),
             self.inner.obs.recorder.totals(),
+            frontend,
         )
     }
 
@@ -332,6 +410,19 @@ impl Engine {
             out.gauge("mao_result_cache_disk_bytes", d.bytes);
             out.gauge("mao_result_cache_disk_entries", d.entries);
         }
+        if let Some(layouts) = &self.inner.layouts {
+            let l = layouts.stats();
+            out.gauge("mao_layout_store_disk_bytes", l.bytes);
+            out.gauge("mao_layout_store_disk_entries", l.entries);
+        }
+        if let Some(snapshots) = &self.inner.snapshots {
+            let s = snapshots.stats();
+            out.gauge("mao_frontend_snapshot_store_bytes", s.bytes);
+            out.gauge("mao_frontend_snapshot_store_entries", s.entries);
+        }
+        let (symbols, bytes) = mao_asm::Sym::stats();
+        out.gauge("mao_frontend_interner_symbols", symbols as u64);
+        out.gauge("mao_frontend_interner_bytes", bytes as u64);
         out.finish()
     }
 
@@ -578,6 +669,43 @@ impl Engine {
         Some(ticket)
     }
 
+    /// The request front end: produce a [`MaoUnit`] from request text,
+    /// preferring a stored binary IR snapshot (keyed by input content hash)
+    /// over text parsing when a snapshot store is configured. Misses parse
+    /// — in parallel when `jobs > 1` — and backfill the store, so the next
+    /// request carrying the same bytes skips the parser entirely.
+    fn front_end(&self, asm: &str, jobs: usize) -> Result<MaoUnit, Response> {
+        let inner = &self.inner;
+        let key = match &inner.snapshots {
+            Some(snapshots) => {
+                let key = SnapshotStore::key_of(asm);
+                let mut span = Span::enter(&inner.obs.recorder, "frontend", "snapshot_load");
+                if let Some(entries) = snapshots.load_key(key) {
+                    span.arg("entries", entries.len());
+                    inner.snapshot_hits.inc();
+                    return Ok(MaoUnit::from_entries(entries));
+                }
+                inner.snapshot_misses.inc();
+                Some(key)
+            }
+            None => None,
+        };
+        let t0 = Instant::now();
+        let unit = {
+            let mut span = Span::enter(&inner.obs.recorder, "frontend", "parse");
+            span.arg("bytes", asm.len());
+            MaoUnit::parse_with_jobs(asm, jobs)
+                .map_err(|e| Response::error(ErrorKind::Parse, e.to_string()))?
+        };
+        inner
+            .parse_us_total
+            .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        if let (Some(snapshots), Some(key)) = (&inner.snapshots, key) {
+            snapshots.put(key, unit.entries());
+        }
+        Ok(unit)
+    }
+
     /// Parse + optimize one unit on the current (shard) thread, with panic
     /// isolation. Returns the outcome or a ready-made error response.
     fn compute(
@@ -591,8 +719,7 @@ impl Engine {
         let attempt = catch_unwind(AssertUnwindSafe(
             || -> Result<(OptimizeOutcome, Timings), Response> {
                 let t0 = Instant::now();
-                let mut unit = MaoUnit::parse(&req.asm)
-                    .map_err(|e| Response::error(ErrorKind::Parse, e.to_string()))?;
+                let mut unit = self.front_end(&req.asm, jobs)?;
                 let parse_us = t0.elapsed().as_micros() as u64;
                 let invocations = parse_invocations(&req.passes)
                     .map_err(|e| Response::error(ErrorKind::BadRequest, e.to_string()))?;
@@ -854,5 +981,100 @@ mod tests {
             }
             other => panic!("expected parse error, got {other:?}"),
         }
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mao-engine-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn optimize_uncached(asm: &str, passes: &str) -> Request {
+        Request::Optimize(OptimizeRequest {
+            asm: asm.into(),
+            passes: passes.into(),
+            jobs: None,
+            timeout_ms: None,
+            use_cache: false,
+        })
+    }
+
+    #[test]
+    fn snapshot_store_serves_second_engine_byte_identically() {
+        let dir = tempdir("snap");
+        let config = || EngineConfig {
+            shards: 1,
+            snapshot_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        };
+        let first = Engine::build(config()).unwrap();
+        let Response::Optimized { outcome: a, .. } =
+            first.handle(optimize_uncached(INPUT, "REDTEST"))
+        else {
+            panic!("first engine must optimize");
+        };
+        let stats = first.snapshot().frontend;
+        assert_eq!(stats.snapshot_hits, 0);
+        assert_eq!(stats.snapshot_misses, 1);
+        assert!(stats.snapshot_entries >= 1, "miss backfills the store");
+        drop(first);
+
+        // A fresh engine over the same directory front-loads the parsed IR
+        // from the snapshot and must still emit byte-identical output.
+        let second = Engine::build(config()).unwrap();
+        let Response::Optimized { outcome: b, .. } =
+            second.handle(optimize_uncached(INPUT, "REDTEST"))
+        else {
+            panic!("second engine must optimize");
+        };
+        let stats = second.snapshot().frontend;
+        assert_eq!(stats.snapshot_hits, 1, "snapshot tier must serve the parse");
+        assert_eq!(stats.snapshot_misses, 0);
+        assert_eq!(a.asm, b.asm, "snapshot path must be byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn layout_disk_tier_survives_engine_restart() {
+        let dir = tempdir("layout");
+        let config = || EngineConfig {
+            shards: 1,
+            cache_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        };
+        // BRALIGN consumes relaxation layouts through the analysis cache, so
+        // the first solve lands in `<cache_dir>/layout`.
+        let first = Engine::build(config()).unwrap();
+        let Response::Optimized { outcome: a, .. } =
+            first.handle(optimize_uncached(INPUT, "BRALIGN"))
+        else {
+            panic!("first engine must optimize");
+        };
+        let cache = first.snapshot().analysis_cache;
+        assert!(
+            cache.layout_disk_misses >= 1,
+            "cold store misses: {cache:?}"
+        );
+        assert_eq!(cache.layout_disk_hits, 0);
+        drop(first);
+
+        let second = Engine::build(config()).unwrap();
+        let Response::Optimized { outcome: b, .. } =
+            second.handle(optimize_uncached(INPUT, "BRALIGN"))
+        else {
+            panic!("second engine must optimize");
+        };
+        let cache = second.snapshot().analysis_cache;
+        assert!(
+            cache.layout_disk_hits >= 1,
+            "restarted engine loads the persisted layout: {cache:?}"
+        );
+        assert_eq!(a.asm, b.asm, "disk-loaded layout must not change output");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,271 @@
+//! Persistent layout tier: solved branch-relaxation layouts on disk.
+//!
+//! Branch relaxation is the most expensive analysis the optimizer runs per
+//! unit — an iterative address/size fixed point over every entry. The
+//! in-memory slot in `mao`'s `AnalysisCache` already reuses layouts across
+//! requests within one process; [`DiskLayoutStore`] extends that across
+//! restarts and between instances sharing a cache directory, the same
+//! promotion the result cache got from its disk tier.
+//!
+//! Each solved [`Layout`] is serialized as a self-verifying `.ml` frame
+//! (magic, version, embedded unit-content key, FNV-1a checksum) and kept in
+//! an [`ArtifactStore`] — atomic writes, validated evict-never-serve reads,
+//! segmented LRU eviction, startup index. The store plugs into core via the
+//! [`mao::LayoutStore`] trait; `Engine::build` wires one per daemon under
+//! `<cache_dir>/layout`.
+//!
+//! The frame deliberately omits `Layout::metrics` (solver telemetry, not
+//! layout): a loaded layout reports zeroed metrics and `agrees_with`
+//! ignores them.
+
+use std::io;
+
+use mao::relax::BranchForm;
+use mao::Layout;
+
+use crate::store::{ArtifactStore, StoreConfig, StoreStats};
+
+/// Bumped whenever the frame encoding or the meaning of a stored layout
+/// changes (e.g. relaxation semantics); other versions are evicted on
+/// contact.
+pub const LAYOUT_FORMAT_VERSION: u32 = 1;
+
+/// 8-byte file magic; trailing byte doubles as a format generation.
+const MAGIC: &[u8; 8] = b"MAOLYT\0\x01";
+
+/// Entry file extension.
+const EXT: &str = "ml";
+
+/// Hard cap on per-unit entry counts accepted at decode (matches the
+/// snapshot codec's limit; a declared length past this is malformed, not an
+/// allocation request).
+const MAX_ENTRIES: usize = 1 << 28;
+
+/// Serialize one layout to its on-disk frame.
+pub fn encode_layout(key: u128, layout: &Layout) -> Vec<u8> {
+    let n = layout.addr.len();
+    let mut body = Vec::with_capacity(16 + n * 13 + 16);
+    body.extend_from_slice(&key.to_le_bytes());
+    body.extend_from_slice(&(n as u64).to_le_bytes());
+    for &addr in &layout.addr {
+        body.extend_from_slice(&addr.to_le_bytes());
+    }
+    for &size in &layout.size {
+        body.extend_from_slice(&size.to_le_bytes());
+    }
+    for &form in &layout.branch_form {
+        body.push(match form {
+            None => 0,
+            Some(BranchForm::Rel8) => 1,
+            Some(BranchForm::Rel32) => 2,
+        });
+    }
+    body.extend_from_slice(&(layout.iterations as u64).to_le_bytes());
+
+    let mut out = Vec::with_capacity(body.len() + 28);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&LAYOUT_FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&fnv1a(&body).to_le_bytes());
+    out
+}
+
+/// Decode and verify one frame for the unit-content key it claims to store.
+/// Any structural problem — truncation, bad magic, stale version, wrong
+/// key, checksum mismatch, out-of-range form byte — returns `None`; the
+/// caller treats the file as corrupt and evicts it.
+pub fn decode_layout(bytes: &[u8], expected_key: u128) -> Option<Layout> {
+    // Header: magic(8) version(4) body_len(8); trailer: checksum(8).
+    if bytes.len() < 20 + 8 || &bytes[..8] != MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes(bytes[8..12].try_into().unwrap()) != LAYOUT_FORMAT_VERSION {
+        return None;
+    }
+    let body_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+    if bytes.len() != 20 + body_len + 8 {
+        return None;
+    }
+    let body = &bytes[20..20 + body_len];
+    let checksum = u64::from_le_bytes(bytes[20 + body_len..].try_into().unwrap());
+    if fnv1a(body) != checksum {
+        return None;
+    }
+    if body.len() < 24 {
+        return None;
+    }
+    if u128::from_le_bytes(body[..16].try_into().unwrap()) != expected_key {
+        return None;
+    }
+    let n = u64::from_le_bytes(body[16..24].try_into().unwrap()) as usize;
+    if n > MAX_ENTRIES || body.len() != 24 + n * 8 + n * 4 + n + 8 {
+        return None;
+    }
+    let mut pos = 24;
+    let mut addr = Vec::with_capacity(n);
+    for _ in 0..n {
+        addr.push(u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap()));
+        pos += 8;
+    }
+    let mut size = Vec::with_capacity(n);
+    for _ in 0..n {
+        size.push(u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()));
+        pos += 4;
+    }
+    let mut branch_form = Vec::with_capacity(n);
+    for _ in 0..n {
+        branch_form.push(match body[pos] {
+            0 => None,
+            1 => Some(BranchForm::Rel8),
+            2 => Some(BranchForm::Rel32),
+            _ => return None,
+        });
+        pos += 1;
+    }
+    let iterations = u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap()) as usize;
+    Some(Layout {
+        addr,
+        size,
+        branch_form,
+        iterations,
+        metrics: Default::default(),
+    })
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// The `.ml` codec over an [`ArtifactStore`], implementing
+/// [`mao::LayoutStore`] so `AnalysisCache` consults it on memory-tier
+/// misses. One instance is shared by every shard of a daemon (the store is
+/// thread-safe).
+#[derive(Debug)]
+pub struct DiskLayoutStore {
+    store: ArtifactStore,
+}
+
+impl DiskLayoutStore {
+    /// Open (creating if needed) a layout store rooted at `config.dir`.
+    pub fn open(config: StoreConfig) -> io::Result<DiskLayoutStore> {
+        debug_assert_eq!(config.ext, EXT);
+        Ok(DiskLayoutStore {
+            store: ArtifactStore::open(config)?,
+        })
+    }
+
+    /// Convenience: open under `dir` with a byte budget (0 = unbounded).
+    pub fn open_dir(
+        dir: impl Into<std::path::PathBuf>,
+        max_bytes: u64,
+    ) -> io::Result<DiskLayoutStore> {
+        DiskLayoutStore::open(StoreConfig {
+            dir: dir.into(),
+            max_bytes,
+            fsync: false,
+            ext: EXT,
+        })
+    }
+
+    /// Mirror counters as `mao_layout_store_disk_*_total`.
+    pub fn attach_metrics(&self, metrics: &mao::obs::Metrics) {
+        self.store.attach_metrics(metrics, "mao_layout_store_disk");
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+}
+
+impl mao::LayoutStore for DiskLayoutStore {
+    fn load(&self, key: u128) -> Option<Layout> {
+        let mut decoded = None;
+        self.store.get_with(key, |bytes| {
+            decoded = decode_layout(bytes, key);
+            decoded.is_some()
+        })?;
+        decoded
+    }
+
+    fn store(&self, key: u128, layout: &Layout) {
+        self.store.put(key, &encode_layout(key, layout));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mao::LayoutStore as _;
+    use std::path::PathBuf;
+
+    fn layout() -> Layout {
+        Layout {
+            addr: vec![0, 0, 2, 7],
+            size: vec![0, 2, 5, 1],
+            branch_form: vec![None, Some(BranchForm::Rel8), Some(BranchForm::Rel32), None],
+            iterations: 3,
+            metrics: Default::default(),
+        }
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mao-layout-disk-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let original = layout();
+        let bytes = encode_layout(42, &original);
+        let decoded = decode_layout(&bytes, 42).unwrap();
+        assert!(decoded.agrees_with(&original));
+    }
+
+    #[test]
+    fn truncation_corruption_and_skew_are_rejected() {
+        let bytes = encode_layout(42, &layout());
+        for cut in [0, 7, 19, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_layout(&bytes[..cut], 42).is_none(), "cut at {cut}");
+        }
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(decode_layout(&flipped, 42).is_none(), "bit flip");
+        assert!(decode_layout(&bytes, 43).is_none(), "wrong key");
+        let mut stale = bytes.clone();
+        stale[8] = 99; // version field
+        assert!(decode_layout(&stale, 42).is_none(), "stale version");
+    }
+
+    #[test]
+    fn store_roundtrip_and_corrupt_eviction() {
+        let dir = tempdir("store");
+        let s = DiskLayoutStore::open_dir(&dir, 0).unwrap();
+        assert!(s.load(7).is_none());
+        s.store(7, &layout());
+        assert!(s.load(7).unwrap().agrees_with(&layout()));
+        // Corrupt the file on disk: the next load evicts, never serves.
+        let path = dir.join(format!("{:032x}.ml", 7u128));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(s.load(7).is_none());
+        assert!(!path.exists(), "corrupt layout deleted");
+        assert_eq!(s.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -18,9 +18,17 @@
 //! * [`protocol`] — request/response shapes and the frame codec.
 //! * [`result_cache`] — content-addressed tiered cache of whole-request
 //!   results (memory LRU over an optional persistent tier).
-//! * [`disk_cache`] — the persistent tier: one self-verifying file per
-//!   key, atomic writes, size-bounded LRU eviction, shareable between
-//!   instances.
+//! * [`store`] — the generic content-addressed artifact store every
+//!   persistent tier shares: atomic writes, validated evict-never-serve
+//!   reads, segmented scan-resistant LRU eviction, and a compact index
+//!   file so startup does not stat the whole directory.
+//! * [`disk_cache`] — the persistent result tier: the self-verifying
+//!   `.mc` frame codec over an [`store::ArtifactStore`].
+//! * [`layout_disk`] — the persistent layout tier: solved branch-relaxation
+//!   layouts as self-verifying `.ml` frames over an artifact store.
+//! * [`snapshot_store`] — the front-end snapshot tier: binary IR snapshots
+//!   (`mao_asm::snapshot`) keyed by input content hash, `.msnap` files
+//!   byte-identical to `mao --emit-snapshot` output.
 //! * [`engine`] — transport-independent request handling: caching,
 //!   admission control, sharded dispatch, `catch_unwind` isolation,
 //!   timeouts, stats.
@@ -43,6 +51,7 @@ pub mod client;
 pub mod disk_cache;
 pub mod engine;
 pub mod json;
+pub mod layout_disk;
 pub mod loadgen;
 pub mod pool;
 pub mod protocol;
@@ -50,19 +59,24 @@ pub mod protocol;
 pub mod reactor;
 pub mod result_cache;
 pub mod server;
+pub mod snapshot_store;
 pub mod stats;
+pub mod store;
 
 pub use batch::run_batch;
 pub use client::Client;
 pub use disk_cache::{DiskCache, DiskCacheConfig, DiskCacheStats, DISK_FORMAT_VERSION};
 pub use engine::{Engine, EngineConfig};
 pub use json::Json;
+pub use layout_disk::DiskLayoutStore;
 pub use protocol::{
     CacheOutcome, ErrorKind, OptimizeOutcome, OptimizeRequest, Request, Response, Timings,
 };
 pub use result_cache::{request_key, CacheTier, RequestKey, ResultCache, ResultCacheStats};
 pub use server::{connect, serve, Listen};
+pub use snapshot_store::SnapshotStore;
 pub use stats::{
     AdmissionStats, RequestCounters, ServerStats, ShardStats, StatsSnapshot, SuperoptStats,
     STATS_SCHEMA_VERSION,
 };
+pub use store::{ArtifactStore, StoreConfig, StoreStats};

@@ -27,8 +27,11 @@ use crate::result_cache::ResultCacheStats;
 /// per-shard `shards` array (the flat `analysis_cache` object becomes the
 /// cross-shard aggregate), and the optional `result_cache.disk` tier;
 /// version 4 added the `superopt` object (window/search/rewrite counters
-/// from SUPEROPT pass runs served by this daemon).
-pub const STATS_SCHEMA_VERSION: u64 = 4;
+/// from SUPEROPT pass runs served by this daemon); version 5 added the
+/// `frontend` object (parse time, snapshot-store hit/miss counters, symbol
+/// interner size) and the `layout_cache.hit_disk`/`miss_disk` members
+/// reporting the persistent layout tier.
+pub const STATS_SCHEMA_VERSION: u64 = 5;
 
 /// Cumulative service counters. One instance lives for the daemon's whole
 /// life and is shared by every connection and worker thread. The counters
@@ -200,6 +203,7 @@ impl ServerStats {
         pending: u64,
         relax: RelaxTotals,
         span_totals: Vec<SpanTotal>,
+        frontend: FrontendStats,
     ) -> StatsSnapshot {
         let per_pass_timings = self
             .pass_timings
@@ -232,8 +236,30 @@ impl ServerStats {
             per_pass_timings,
             span_totals,
             superopt: self.superopt.snapshot(),
+            frontend,
         }
     }
+}
+
+/// Point-in-time front-end totals: parse time, the snapshot tier, and the
+/// process-wide symbol interner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontendStats {
+    /// Cumulative text-parse wall time across requests, microseconds
+    /// (snapshot hits contribute nothing — that is the point).
+    pub parse_us: u64,
+    /// Requests whose unit loaded from a stored snapshot.
+    pub snapshot_hits: u64,
+    /// Requests that parsed text (and backfilled the snapshot store).
+    pub snapshot_misses: u64,
+    /// Bytes resident in the snapshot store (0 when not configured).
+    pub snapshot_bytes: u64,
+    /// Entries resident in the snapshot store (0 when not configured).
+    pub snapshot_entries: u64,
+    /// Distinct symbols interned process-wide.
+    pub interner_symbols: u64,
+    /// Bytes of interned symbol text.
+    pub interner_bytes: u64,
 }
 
 /// Point-in-time SUPEROPT totals across every pipeline this engine ran.
@@ -331,6 +357,8 @@ pub struct StatsSnapshot {
     pub span_totals: Vec<SpanTotal>,
     /// SUPEROPT pass totals (zero until a request runs the pass).
     pub superopt: SuperoptStats,
+    /// Front-end totals: parse time, snapshot tier, symbol interner.
+    pub frontend: FrontendStats,
 }
 
 fn analysis_cache_json(stats: &CacheStats) -> Json {
@@ -443,6 +471,26 @@ impl StatsSnapshot {
                     ("hits", Json::from(analyses.layout_hits)),
                     ("misses", Json::from(analyses.layout_misses)),
                     ("hit_rate", Json::from(analyses.layout_hit_rate())),
+                    ("hit_disk", Json::from(analyses.layout_disk_hits)),
+                    ("miss_disk", Json::from(analyses.layout_disk_misses)),
+                ]),
+            ),
+            (
+                "frontend",
+                Json::obj(vec![
+                    ("parse_us", Json::from(self.frontend.parse_us)),
+                    ("snapshot_hits", Json::from(self.frontend.snapshot_hits)),
+                    ("snapshot_misses", Json::from(self.frontend.snapshot_misses)),
+                    ("snapshot_bytes", Json::from(self.frontend.snapshot_bytes)),
+                    (
+                        "snapshot_entries",
+                        Json::from(self.frontend.snapshot_entries),
+                    ),
+                    (
+                        "interner_symbols",
+                        Json::from(self.frontend.interner_symbols),
+                    ),
+                    ("interner_bytes", Json::from(self.frontend.interner_bytes)),
                 ]),
             ),
             ("shards", Json::Arr(shards)),
@@ -487,6 +535,7 @@ mod tests {
                 0,
                 RelaxTotals::default(),
                 Vec::new(),
+                FrontendStats::default(),
             )
             .to_json()
     }
@@ -602,6 +651,7 @@ mod tests {
                 3,
                 RelaxTotals::default(),
                 Vec::new(),
+                FrontendStats::default(),
             )
             .to_json();
         let disk = snap.get("result_cache").unwrap().get("disk").unwrap();
@@ -645,6 +695,7 @@ mod tests {
                     count: 3,
                     total_us: 42,
                 }],
+                FrontendStats::default(),
             )
             .to_json();
         let spans = snap.get("spans").unwrap().as_arr().unwrap();

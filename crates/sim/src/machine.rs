@@ -174,8 +174,8 @@ impl Machine {
             Disp::Symbol { name, addend } => {
                 let base = *program
                     .label_va
-                    .get(name)
-                    .ok_or_else(|| SimError::ExternalTarget(name.clone()))?;
+                    .get(name.as_str())
+                    .ok_or_else(|| SimError::ExternalTarget(name.as_str().to_string()))?;
                 base as i64 + addend
             }
         };

@@ -92,7 +92,7 @@ impl Program {
                 }
                 Entry::Label(l) => {
                     va_to_entry.entry(va).or_insert(id);
-                    label_va.entry(l.clone()).or_insert(va);
+                    label_va.entry(l.as_str().to_string()).or_insert(va);
                 }
                 Entry::Directive(_) => {}
             }
@@ -119,10 +119,11 @@ impl Program {
                     for (k, item) in items.iter().enumerate() {
                         let value = match item {
                             DataItem::Imm(v) => *v as u64,
-                            DataItem::Symbol(s) => *self
-                                .label_va
-                                .get(s)
-                                .ok_or_else(|| LoadError::UndefinedSymbol(s.clone()))?,
+                            DataItem::Symbol(s) => {
+                                *self.label_va.get(s.as_str()).ok_or_else(|| {
+                                    LoadError::UndefinedSymbol(s.as_str().to_string())
+                                })?
+                            }
                         };
                         mem.write(va + k as u64 * u64::from(n), value, n);
                     }

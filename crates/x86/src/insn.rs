@@ -8,8 +8,9 @@ use std::fmt;
 
 use crate::flags::Cond;
 use crate::mnemonic::{parse_mnemonic, Mnemonic};
-use crate::operand::{Disp, Mem, Operand};
+use crate::operand::{Disp, Mem, Operand, Operands};
 use crate::reg::{Reg, RegId, Width};
+use crate::sym::Sym;
 
 /// One x86-64 instruction.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -23,32 +24,37 @@ pub struct Instruction {
     pub src_width: Option<Width>,
     /// `lock` prefix present.
     pub lock: bool,
-    /// Operands in AT&T order (sources first, destination last).
-    pub operands: Vec<Operand>,
+    /// Operands in AT&T order (sources first, destination last), stored
+    /// inline in the instruction (see [`Operands`]).
+    pub operands: Operands,
 }
 
 impl Instruction {
     /// Create an instruction with no explicit widths.
-    pub fn new(mnemonic: Mnemonic, operands: Vec<Operand>) -> Instruction {
+    pub fn new(mnemonic: Mnemonic, operands: impl Into<Operands>) -> Instruction {
         let mut insn = Instruction {
             mnemonic,
             op_width: None,
             src_width: None,
             lock: false,
-            operands,
+            operands: operands.into(),
         };
         insn.op_width = insn.infer_width();
         insn
     }
 
     /// Create an instruction with an explicit operand width.
-    pub fn with_width(mnemonic: Mnemonic, width: Width, operands: Vec<Operand>) -> Instruction {
+    pub fn with_width(
+        mnemonic: Mnemonic,
+        width: Width,
+        operands: impl Into<Operands>,
+    ) -> Instruction {
         Instruction {
             mnemonic,
             op_width: Some(width),
             src_width: None,
             lock: false,
-            operands,
+            operands: operands.into(),
         }
     }
 
@@ -56,14 +62,14 @@ impl Instruction {
     ///
     /// Convenience for building instructions in tests and generators; the
     /// assembly parser in `mao-asm` goes through the same path.
-    pub fn from_att(mnemonic: &str, operands: Vec<Operand>) -> Option<Instruction> {
+    pub fn from_att(mnemonic: &str, operands: impl Into<Operands>) -> Option<Instruction> {
         let parsed = parse_mnemonic(mnemonic)?;
         let mut insn = Instruction {
             mnemonic: parsed.mnemonic,
             op_width: parsed.op_width,
             src_width: parsed.src_width,
             lock: false,
-            operands,
+            operands: operands.into(),
         };
         if insn.op_width.is_none() {
             insn.op_width = insn.infer_width();
@@ -77,8 +83,14 @@ impl Instruction {
         if let Some(w) = self.op_width {
             return Some(w);
         }
-        // Destination register wins; else any register operand.
-        for op in self.operands.iter().rev() {
+        Instruction::infer_width_of(&self.operands)
+    }
+
+    /// Width inference over an operand list alone (destination register
+    /// wins; else any GPR operand). Exposed so the parser can infer widths
+    /// without constructing a throwaway `Instruction`.
+    pub fn infer_width_of(operands: &[Operand]) -> Option<Width> {
+        for op in operands.iter().rev() {
             if let Operand::Reg(r) = op {
                 if r.id.is_gpr() {
                     return Some(r.width);
@@ -268,12 +280,15 @@ pub mod build {
 
     /// `jcc label`.
     pub fn jcc(cond: Cond, label: &str) -> Instruction {
-        Instruction::new(Mnemonic::Jcc(cond), vec![Operand::Label(label.to_string())])
+        Instruction::new(
+            Mnemonic::Jcc(cond),
+            vec![Operand::Label(Sym::intern(label))],
+        )
     }
 
     /// `jmp label`.
     pub fn jmp(label: &str) -> Instruction {
-        Instruction::new(Mnemonic::Jmp, vec![Operand::Label(label.to_string())])
+        Instruction::new(Mnemonic::Jmp, vec![Operand::Label(Sym::intern(label))])
     }
 }
 

@@ -33,11 +33,13 @@ pub mod insn;
 pub mod mnemonic;
 pub mod operand;
 pub mod reg;
+pub mod sym;
 
 pub use effects::{def_use, effects, DefUse, Effects};
 pub use encode::{encode, encoded_length, BranchForm, EncodeError};
 pub use flags::{Cond, Flags};
 pub use insn::Instruction;
 pub use mnemonic::{parse_mnemonic, Mnemonic};
-pub use operand::{Disp, Mem, Operand};
+pub use operand::{Disp, Mem, Operand, Operands};
 pub use reg::{Reg, RegId, Width};
+pub use sym::Sym;

@@ -244,6 +244,49 @@ impl Mnemonic {
         }
     }
 
+    /// Stable numeric code for the binary IR snapshot format.
+    ///
+    /// Non-conditional mnemonics use their index in [`Mnemonic::ALL`]
+    /// (append-only by convention; the snapshot version must be bumped if
+    /// the order ever changes). Conditional families put the family in the
+    /// high byte and the hardware condition nibble in the low byte, so every
+    /// `(family, cond)` pair gets a distinct code.
+    pub fn snapshot_code(self) -> u16 {
+        match self {
+            Mnemonic::Jcc(c) => 0x100 | u16::from(c.encoding()),
+            Mnemonic::Setcc(c) => 0x200 | u16::from(c.encoding()),
+            Mnemonic::Cmovcc(c) => 0x300 | u16::from(c.encoding()),
+            other => {
+                static INDEX: std::sync::OnceLock<std::collections::HashMap<Mnemonic, u16>> =
+                    std::sync::OnceLock::new();
+                let map = INDEX.get_or_init(|| {
+                    Mnemonic::ALL
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &m)| (m, i as u16))
+                        .collect()
+                });
+                *map.get(&other)
+                    .expect("mnemonic missing from Mnemonic::ALL")
+            }
+        }
+    }
+
+    /// Inverse of [`Mnemonic::snapshot_code`].
+    pub fn from_snapshot_code(code: u16) -> Option<Mnemonic> {
+        let cond = |code: u16| Cond::ALL.get((code & 0xff) as usize).copied();
+        match code & 0xff00 {
+            0x100 => cond(code).map(Mnemonic::Jcc),
+            0x200 => cond(code).map(Mnemonic::Setcc),
+            0x300 => cond(code).map(Mnemonic::Cmovcc),
+            0x000 => Mnemonic::ALL
+                .get(code as usize)
+                .copied()
+                .filter(|m| m.cond().is_none()),
+            _ => None,
+        }
+    }
+
     /// Replace the condition code of a conditional mnemonic.
     pub fn with_cond(self, c: Cond) -> Mnemonic {
         match self {
@@ -532,6 +575,89 @@ fn suffixed_table(base: &str) -> Option<Mnemonic> {
 /// assert_eq!(p.op_width, Some(Width::B4));
 /// ```
 pub fn parse_mnemonic(name: &str) -> Option<ParsedMnemonic> {
+    // Fast front table: common spellings resolve with one hash probe over
+    // the name packed into a u64. The table memoizes the probe chain below
+    // (it is built by calling it), so the two can never disagree; misses
+    // fall through to the full chain.
+    if let Some(v) = pack_mnemonic(name.as_bytes()) {
+        let table = mnemonic_fast_table();
+        let mut slot = mnemonic_slot(v);
+        loop {
+            let (k, p) = table[slot];
+            if k == v {
+                return Some(p);
+            }
+            if k == 0 {
+                break;
+            }
+            slot = (slot + 1) % MNEMONIC_FAST_SLOTS;
+        }
+    }
+    parse_mnemonic_uncached(name)
+}
+
+/// Spellings memoized in the fast front table: everything a compiler emits
+/// at volume. Unknown or rare spellings just miss into the full chain.
+const COMMON_SPELLINGS: &[&str] = &[
+    "mov", "movq", "movl", "movw", "movb", "movabsq", "lea", "leaq", "leal", "add", "addq", "addl",
+    "addw", "addb", "sub", "subq", "subl", "subw", "subb", "imul", "imulq", "imull", "mulq",
+    "mull", "idivq", "idivl", "divq", "divl", "and", "andq", "andl", "andb", "or", "orq", "orl",
+    "orb", "xor", "xorq", "xorl", "xorb", "not", "notq", "notl", "neg", "negq", "negl", "inc",
+    "incq", "incl", "dec", "decq", "decl", "shl", "shlq", "shll", "shr", "shrq", "shrl", "sar",
+    "sarq", "sarl", "sal", "salq", "sall", "rol", "rolq", "ror", "rorq", "cmp", "cmpq", "cmpl",
+    "cmpw", "cmpb", "test", "testq", "testl", "testw", "testb", "push", "pushq", "pop", "popq",
+    "call", "ret", "leave", "nop", "jmp", "je", "jne", "jz", "jnz", "jg", "jge", "jl", "jle", "ja",
+    "jae", "jb", "jbe", "js", "jns", "jo", "jno", "jc", "jnc", "sete", "setne", "setg", "setge",
+    "setl", "setle", "seta", "setae", "setb", "setbe", "cmove", "cmovne", "cmovg", "cmovge",
+    "cmovl", "cmovle", "cmova", "cmovb", "movzbl", "movzbq", "movzwl", "movzwq", "movsbl",
+    "movsbq", "movswl", "movswq", "movslq", "cltq", "cqto", "cdq", "cwtl",
+];
+
+const MNEMONIC_FAST_SLOTS: usize = 512;
+
+/// Pack a ≤8-byte spelling into a nonzero u64 key.
+#[inline]
+fn pack_mnemonic(b: &[u8]) -> Option<u64> {
+    if b.is_empty() || b.len() > 8 {
+        return None;
+    }
+    let mut v = 0u64;
+    for (i, &c) in b.iter().enumerate() {
+        v |= u64::from(c) << (8 * i as u32);
+    }
+    Some(v)
+}
+
+#[inline]
+fn mnemonic_slot(v: u64) -> usize {
+    (v.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 55) as usize % MNEMONIC_FAST_SLOTS
+}
+
+static MNEMONIC_FAST: std::sync::OnceLock<[(u64, ParsedMnemonic); MNEMONIC_FAST_SLOTS]> =
+    std::sync::OnceLock::new();
+
+fn mnemonic_fast_table() -> &'static [(u64, ParsedMnemonic); MNEMONIC_FAST_SLOTS] {
+    MNEMONIC_FAST.get_or_init(|| {
+        let nil = ParsedMnemonic::plain(Mnemonic::Nop);
+        let mut t = [(0u64, nil); MNEMONIC_FAST_SLOTS];
+        for &name in COMMON_SPELLINGS {
+            // Memoize the full chain's answer; spellings it rejects are
+            // simply not cached.
+            let Some(parsed) = parse_mnemonic_uncached(name) else {
+                continue;
+            };
+            let v = pack_mnemonic(name.as_bytes()).expect("common spelling fits in 8 bytes");
+            let mut slot = mnemonic_slot(v);
+            while t[slot].0 != 0 {
+                slot = (slot + 1) % MNEMONIC_FAST_SLOTS;
+            }
+            t[slot] = (v, parsed);
+        }
+        t
+    })
+}
+
+fn parse_mnemonic_uncached(name: &str) -> Option<ParsedMnemonic> {
     // 1. Exact-match (unsuffixed) mnemonics, including the SSE family whose
     //    trailing letters look like size suffixes.
     if let Some(m) = exact_table(name) {

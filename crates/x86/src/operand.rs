@@ -6,6 +6,7 @@
 use std::fmt;
 
 use crate::reg::Reg;
+use crate::sym::Sym;
 
 /// Displacement part of a memory operand.
 ///
@@ -13,7 +14,7 @@ use crate::reg::Reg;
 /// textual round-trips preserve the encoding the author chose: `0(%rax)`
 /// keeps its explicit zero displacement byte, which matters when an exact
 /// instruction *length* was intended (multi-byte NOPs, alignment padding).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Disp {
     /// No displacement written.
     #[default]
@@ -23,8 +24,8 @@ pub enum Disp {
     /// Symbolic displacement (`foo`, `foo+8`), resolved by linker or by the
     /// relaxation pass for local labels.
     Symbol {
-        /// Symbol or label name.
-        name: String,
+        /// Symbol or label name (interned).
+        name: Sym,
         /// Constant addend.
         addend: i64,
     },
@@ -64,7 +65,7 @@ impl fmt::Display for Disp {
 }
 
 /// A memory operand: `disp(base, index, scale)` in AT&T syntax.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Mem {
     /// Displacement.
     pub disp: Disp,
@@ -119,7 +120,7 @@ impl Mem {
     pub fn rip_relative(symbol: &str) -> Mem {
         Mem {
             disp: Disp::Symbol {
-                name: symbol.to_string(),
+                name: Sym::intern(symbol),
                 addend: 0,
             },
             base: Some(crate::reg::Reg::q(crate::reg::RegId::Rip)),
@@ -157,7 +158,11 @@ impl fmt::Display for Mem {
 }
 
 /// An instruction operand.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Every payload is plain-old-data (symbols are interned [`Sym`] ids), so
+/// operands are `Copy` and an operand list can live inline in its
+/// instruction — see [`Operands`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// Immediate (`$imm`). Symbolic immediates (`$sym`) are not modeled.
     Imm(i64),
@@ -166,7 +171,7 @@ pub enum Operand {
     /// Memory reference.
     Mem(Mem),
     /// Direct code label or symbol (branch/call target, e.g. `jmp .L5`).
-    Label(String),
+    Label(Sym),
     /// Indirect register target (`call *%rax`).
     IndirectReg(Reg),
     /// Indirect memory target (`jmp *table(,%rax,8)`).
@@ -201,7 +206,7 @@ impl Operand {
     /// Label payload, if this is a direct label operand.
     pub fn label(&self) -> Option<&str> {
         match self {
-            Operand::Label(l) => Some(l),
+            Operand::Label(l) => Some(l.as_str()),
             _ => None,
         }
     }
@@ -251,6 +256,185 @@ impl From<i64> for Operand {
 impl From<Mem> for Operand {
     fn from(m: Mem) -> Operand {
         Operand::Mem(m)
+    }
+}
+
+/// Inline capacity of [`Operands`]. Three covers every real x86 form
+/// (`imul $imm, src, dst` is the widest); longer lists spill to the heap.
+const OPERANDS_INLINE: usize = 3;
+
+#[derive(Clone)]
+enum OperandsRepr {
+    /// `len` live operands at the front of the buffer. Slots past `len` are
+    /// uninitialized — `Operand` is `Copy` (no drop glue), so leaving them
+    /// untouched is sound and skips a per-instruction buffer memset.
+    Inline(u8, [std::mem::MaybeUninit<Operand>; OPERANDS_INLINE]),
+    /// Spilled list (only for instructions with more operands than the
+    /// inline buffer holds — snapshot decoding caps the count at 8).
+    Heap(Vec<Operand>),
+}
+
+/// An instruction's operand list, stored inline in the instruction.
+///
+/// Parsing and snapshot decoding construct one of these per instruction, so
+/// the common ≤3-operand case must not heap-allocate: operands are `Copy`
+/// and live in a fixed inline buffer, spilling to a `Vec` only for
+/// degenerate long lists. The type derefs to `[Operand]` and compares,
+/// hashes and prints exactly like the `Vec<Operand>` it replaced —
+/// representation (inline vs. spilled) is never observable.
+#[derive(Clone)]
+pub struct Operands(OperandsRepr);
+
+impl Operands {
+    /// Empty list (no allocation, no buffer initialization).
+    pub const fn new() -> Operands {
+        Operands(OperandsRepr::Inline(
+            0,
+            [std::mem::MaybeUninit::uninit(); OPERANDS_INLINE],
+        ))
+    }
+
+    /// Append an operand, spilling to the heap past the inline capacity.
+    #[inline]
+    pub fn push(&mut self, op: Operand) {
+        match &mut self.0 {
+            OperandsRepr::Inline(len, buf) => {
+                let n = *len as usize;
+                if n < OPERANDS_INLINE {
+                    buf[n].write(op);
+                    *len = (n + 1) as u8;
+                } else {
+                    let mut spilled = Vec::with_capacity(OPERANDS_INLINE + 1);
+                    // SAFETY: n == OPERANDS_INLINE, so every inline slot has
+                    // been written.
+                    let init: &[Operand] =
+                        unsafe { std::slice::from_raw_parts(buf.as_ptr().cast(), OPERANDS_INLINE) };
+                    spilled.extend_from_slice(init);
+                    spilled.push(op);
+                    self.0 = OperandsRepr::Heap(spilled);
+                }
+            }
+            OperandsRepr::Heap(v) => v.push(op),
+        }
+    }
+
+    /// The operands as a slice (also available through deref).
+    #[inline]
+    pub fn as_slice(&self) -> &[Operand] {
+        match &self.0 {
+            // SAFETY: the first `len` slots are always initialized — `push`
+            // writes slot `len` before incrementing, and `len` never exceeds
+            // the number of written slots.
+            OperandsRepr::Inline(len, buf) => unsafe {
+                std::slice::from_raw_parts(buf.as_ptr().cast(), *len as usize)
+            },
+            OperandsRepr::Heap(v) => v,
+        }
+    }
+
+    /// Mutable slice over the operands (length cannot change through it).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Operand] {
+        match &mut self.0 {
+            // SAFETY: as in `as_slice`; `Operand` is `Copy`, so overwriting
+            // through the slice needs no drop glue.
+            OperandsRepr::Inline(len, buf) => unsafe {
+                std::slice::from_raw_parts_mut(buf.as_mut_ptr().cast(), *len as usize)
+            },
+            OperandsRepr::Heap(v) => v,
+        }
+    }
+}
+
+impl Default for Operands {
+    fn default() -> Operands {
+        Operands::new()
+    }
+}
+
+impl std::ops::Deref for Operands {
+    type Target = [Operand];
+    fn deref(&self) -> &[Operand] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for Operands {
+    fn deref_mut(&mut self) -> &mut [Operand] {
+        self.as_mut_slice()
+    }
+}
+
+impl From<Vec<Operand>> for Operands {
+    fn from(v: Vec<Operand>) -> Operands {
+        if v.len() <= OPERANDS_INLINE {
+            let mut buf = [std::mem::MaybeUninit::uninit(); OPERANDS_INLINE];
+            for (slot, &op) in buf.iter_mut().zip(&v) {
+                slot.write(op);
+            }
+            Operands(OperandsRepr::Inline(v.len() as u8, buf))
+        } else {
+            Operands(OperandsRepr::Heap(v))
+        }
+    }
+}
+
+impl<const N: usize> From<[Operand; N]> for Operands {
+    fn from(ops: [Operand; N]) -> Operands {
+        let mut out = Operands::new();
+        for op in ops {
+            out.push(op);
+        }
+        out
+    }
+}
+
+impl FromIterator<Operand> for Operands {
+    fn from_iter<I: IntoIterator<Item = Operand>>(iter: I) -> Operands {
+        let mut out = Operands::new();
+        for op in iter {
+            out.push(op);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a Operands {
+    type Item = &'a Operand;
+    type IntoIter = std::slice::Iter<'a, Operand>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut Operands {
+    type Item = &'a mut Operand;
+    type IntoIter = std::slice::IterMut<'a, Operand>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+// Equality, hashing and debug all go through the slice view, so an inline
+// list and a spilled list with the same operands are indistinguishable (and
+// hash identically to the `Vec<Operand>` this type replaced).
+impl PartialEq for Operands {
+    fn eq(&self, other: &Operands) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Operands {}
+
+impl std::hash::Hash for Operands {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Operands {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
     }
 }
 

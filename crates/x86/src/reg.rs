@@ -321,16 +321,79 @@ macro_rules! reg_names {
             "<invalid-reg>"
         }
 
-        /// Parse an AT&T register name (without the `%` sigil).
-        pub fn parse_reg_name(name: &str) -> Option<Reg> {
-            match name {
-                $(
-                    $name => Some(Reg { id: RegId::$id, width: Width::$width, high8: $high8 }),
-                )+
-                _ => None,
-            }
-        }
+        /// Every AT&T register spelling and the register it denotes.
+        static REG_NAME_LIST: &[(&str, Reg)] = &[
+            $(
+                ($name, Reg { id: RegId::$id, width: Width::$width, high8: $high8 }),
+            )+
+        ];
     };
+}
+
+/// Pack a ≤8-byte name into a u64 key (little-endian, zero-padded). Every
+/// register spelling fits; longer inputs are not register names.
+#[inline]
+fn pack_reg_name(b: &[u8]) -> Option<u64> {
+    if b.is_empty() || b.len() > 8 {
+        return None;
+    }
+    let mut v = 0u64;
+    for (i, &c) in b.iter().enumerate() {
+        v |= u64::from(c) << (8 * i as u32);
+    }
+    Some(v)
+}
+
+const REG_TABLE_SLOTS: usize = 256;
+
+#[inline]
+fn reg_slot(v: u64) -> usize {
+    (v.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as usize
+}
+
+/// Open-addressed name table keyed by the packed spelling. A key of 0 marks
+/// an empty slot (no spelling packs to 0: names are non-empty ASCII).
+static REG_TABLE: std::sync::OnceLock<[(u64, Reg); REG_TABLE_SLOTS]> = std::sync::OnceLock::new();
+
+fn reg_table() -> &'static [(u64, Reg); REG_TABLE_SLOTS] {
+    REG_TABLE.get_or_init(|| {
+        let nil = Reg {
+            id: RegId::Rax,
+            width: Width::B8,
+            high8: false,
+        };
+        let mut t = [(0u64, nil); REG_TABLE_SLOTS];
+        for &(name, reg) in REG_NAME_LIST {
+            let v = pack_reg_name(name.as_bytes()).expect("register name fits in 8 bytes");
+            let mut slot = reg_slot(v);
+            while t[slot].0 != 0 {
+                slot = (slot + 1) % REG_TABLE_SLOTS;
+            }
+            t[slot] = (v, reg);
+        }
+        t
+    })
+}
+
+/// Parse an AT&T register name (without the `%` sigil).
+///
+/// One multiply-shift hash and (almost always) one probe over the packed
+/// spelling — the parser calls this for every register operand, so the
+/// str-match the seed parser used was a measurable share of parse time.
+pub fn parse_reg_name(name: &str) -> Option<Reg> {
+    let v = pack_reg_name(name.as_bytes())?;
+    let table = reg_table();
+    let mut slot = reg_slot(v);
+    loop {
+        let (k, r) = table[slot];
+        if k == v {
+            return Some(r);
+        }
+        if k == 0 {
+            return None;
+        }
+        slot = (slot + 1) % REG_TABLE_SLOTS;
+    }
 }
 
 reg_names! {

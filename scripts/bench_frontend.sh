@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Run the front-end benchmark and write BENCH_frontend.json at the repo
+# root: the zero-copy parser and binary IR snapshot loading against the
+# retired seed parser, with differential checks before any timing.
+# Arguments are forwarded to the benchmark binary, e.g.
+#
+#   scripts/bench_frontend.sh --scale 0.2 --jobs 2
+#
+# Defaults: --scale 1.0 --iters 9 --jobs 4 --min-parse-speedup 2
+#           --min-snapshot-speedup 10 --out BENCH_frontend.json.
+# Pass --smoke for the fast CI configuration (scale 0.2, 5 iterations,
+# same gates). The binary exits non-zero if the zero-copy parse falls
+# below 2x the seed parser or the snapshot load falls below 10x the text
+# parse, or if any path disagrees with the reference entry list.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p mao-bench --bin bench_frontend -- "$@"

@@ -73,6 +73,48 @@ echo "==> superopt benchmark gates (smoke)"
 # least one paper kernel (full run: scripts/bench_superopt.sh).
 cargo run --release -p mao-bench --bin bench_superopt -- --smoke > /dev/null
 
+echo "==> snapshot round-trip smoke"
+# The differential matrix above already proves the snapshot execution path
+# byte-identical to the text path; this stage exercises the *user-facing*
+# snapshot surface: emit a snapshot, feed it back as input, and replay
+# through a content-addressed snapshot store cold (miss) then warm (hit).
+SNAP_WORK=$(mktemp -d)
+trap 'rm -rf "$SNAP_WORK"' EXIT
+cat > "$SNAP_WORK/in.s" <<'EOF'
+	.text
+	.type	f, @function
+f:
+	movl	$0, %eax
+	addl	$3, %eax
+	addl	$4, %eax
+	ret
+EOF
+target/release/mao --mao=ADDADD:DCE "$SNAP_WORK/in.s" > "$SNAP_WORK/text.s"
+target/release/mao --emit-snapshot "$SNAP_WORK/in.msnap" "$SNAP_WORK/in.s" > /dev/null
+target/release/mao --mao=ADDADD:DCE "$SNAP_WORK/in.msnap" > "$SNAP_WORK/snap.s" \
+    2> "$SNAP_WORK/snap.log"
+cmp "$SNAP_WORK/text.s" "$SNAP_WORK/snap.s"
+grep -q 'frontend: loaded snapshot' "$SNAP_WORK/snap.log"
+
+# Cold run populates the store and reports a miss; the warm run must hit
+# and produce byte-identical output.
+target/release/mao --mao=ADDADD:DCE --snapshot-dir "$SNAP_WORK/store" \
+    "$SNAP_WORK/in.s" > "$SNAP_WORK/cold.s" 2> "$SNAP_WORK/cold.log"
+grep -q 'frontend: snapshot miss' "$SNAP_WORK/cold.log"
+target/release/mao --mao=ADDADD:DCE --snapshot-dir "$SNAP_WORK/store" \
+    "$SNAP_WORK/in.s" > "$SNAP_WORK/warm.s" 2> "$SNAP_WORK/warm.log"
+grep -q 'frontend: snapshot hit' "$SNAP_WORK/warm.log"
+cmp "$SNAP_WORK/cold.s" "$SNAP_WORK/warm.s"
+cmp "$SNAP_WORK/text.s" "$SNAP_WORK/warm.s"
+rm -rf "$SNAP_WORK"
+trap - EXIT
+
+echo "==> front-end benchmark gates (smoke)"
+# Zero-copy parse >= 2x the seed parser and snapshot load >= 10x the text
+# parse, differentially checked; writes the BENCH_frontend.json artifact
+# (full-scale run: scripts/bench_frontend.sh).
+cargo run --release -p mao-bench --bin bench_frontend -- --smoke > /dev/null
+
 echo "==> daemon smoke test"
 MAO=target/release/mao
 WORK=$(mktemp -d)
