@@ -28,7 +28,13 @@
 //! ```text
 //! mao check --seed 42 --cases 500
 //! mao check --smoke
+//! mao check --cost-model core2.mpt --regress-dir tests/regressions
 //! ```
+//!
+//! `--cost-model` runs the same differential sweep with a measured `.mpt`
+//! table installed as the process-global cost model, so pass bugs that
+//! only appear under calibrated numbers are caught, ddmin-shrunk, and
+//! persisted like any other divergence.
 //!
 //! Superopt mode runs the search-based superoptimizer (see the
 //! `mao-superopt` crate docs) over one input, with an optional persistent
@@ -38,6 +44,18 @@
 //! mao superopt --seed 42 --cache-dir /var/cache/mao-rewrites in.s -o out.s
 //! mao superopt --smoke --seed 42
 //! mao superopt --inject-bogus-rewrite --smoke
+//! ```
+//!
+//! Probe mode runs the §IV characterization harness (see the `mao-probe`
+//! crate docs): a calibration sweep fits per-mnemonic latency/throughput/
+//! port-pressure tables plus machine parameters and writes them as a
+//! versioned `.mpt` file that every port/latency-sensitive pass loads
+//! through the process-global cost provider:
+//!
+//! ```text
+//! mao probe --sweep --profile core2 -o core2.mpt
+//! mao probe --show core2.mpt
+//! mao probe --calibrate-profile my-box -o my-box.mpt
 //! ```
 
 use std::io::Write as _;
@@ -63,6 +81,7 @@ fn usage() -> &'static str {
      \x20                 [--cache-fsync] [--idle-timeout-ms N] [--cache-cap N]\n\
      \x20                 [--analysis-cache-cap N] [--max-request-bytes N]\n\
      \x20                 [--snapshot-dir DIR] [--snapshot-max-bytes N]\n\
+     \x20                 [--cost-model FILE.mpt]\n\
      \x20      mao client [--listen ADDR] [--passes STR] [--jobs N] [--timeout-ms N]\n\
      \x20                 [--timeout SECS] [--no-cache] [-o FILE] input.s\n\
      \x20                 | --stats | --metrics | --ping | --shutdown\n\
@@ -73,11 +92,16 @@ fn usage() -> &'static str {
      \x20                 [--passes STR] [--p50-limit-us N] [--p99-limit-us N] [--json]\n\
      \x20      mao check  [--seed N] [--cases N] [--passes A,B:C,...] [--jobs N]\n\
      \x20                 [--budget N] [--regress-dir DIR] [--inject-miscompile]\n\
-     \x20                 [--smoke] [--verbose]\n\
+     \x20                 [--cost-model FILE.mpt] [--smoke] [--verbose]\n\
      \x20      mao superopt [--seed N] [--jobs N] [--cache-dir DIR] [--min-window N]\n\
      \x20                 [--max-window N] [--diff-states N] [--enum-max N]\n\
      \x20                 [--iters N] [--max-candidates N] [--inject-bogus-rewrite]\n\
      \x20                 [--smoke] [-o FILE] input.s\n\
+     \x20      mao probe  --sweep [--profile core2|opteron] [--backend sim|wall]\n\
+     \x20                 [--seed N] [--name NAME] [--trips N] [-o FILE.mpt]\n\
+     \x20                 | --show FILE.mpt\n\
+     \x20                 | --calibrate-profile NAME [--profile P] [--seed N]\n\
+     \x20                 [-o FILE.mpt]\n\
      \n\
      --jobs N   worker threads for function-level passes (0 = all cores;\n\
      \x20           default 1, or the MAO_JOBS environment variable when set).\n\
@@ -113,6 +137,7 @@ fn main() -> ExitCode {
         Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("superopt") => cmd_superopt(&args[1..]),
+        Some("probe") => cmd_probe(&args[1..]),
         _ => cmd_oneshot(&args),
     }
 }
@@ -179,6 +204,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 "--snapshot-max-bytes" => {
                     config.snapshot_max_bytes = parser.numeric("--snapshot-max-bytes")?
                 }
+                "--cost-model" => config.cost_model = Some(parser.value("--cost-model")?.into()),
                 "--help" | "-h" => {
                     println!("{}", usage());
                     std::process::exit(0);
@@ -528,11 +554,13 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
 fn cmd_check(args: &[String]) -> ExitCode {
     let mut config = mao_check::CheckConfig::default();
     let mut inject = false;
+    let mut cost_model: Option<String> = None;
     let mut parser = ArgParser::new(args);
     let parsed = (|| -> Result<(), String> {
         while let Some(arg) = parser.next() {
             match arg.as_str() {
                 "--seed" => config.seed = parser.numeric("--seed")?,
+                "--cost-model" => cost_model = Some(parser.value("--cost-model")?.to_string()),
                 "--cases" => config.cases = parser.numeric("--cases")?,
                 "--passes" => {
                     config.passes = Some(
@@ -565,6 +593,24 @@ fn cmd_check(args: &[String]) -> ExitCode {
     if let Err(message) = parsed {
         eprintln!("mao check: {message}\n{}", usage());
         return ExitCode::FAILURE;
+    }
+
+    // Differential mode: install the measured table before any pipeline
+    // runs, so the whole sweep checks the passes under those numbers. A
+    // rejected table aborts the run — it must never be half-installed.
+    if let Some(path) = &cost_model {
+        match mao_check::install_cost_model(std::path::Path::new(path)) {
+            Ok(model) => println!(
+                "mao check: cost model `{}` ({}, fingerprint {:016x})",
+                model.name,
+                model.provenance.source,
+                model.fingerprint()
+            ),
+            Err(message) => {
+                eprintln!("mao check: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if inject {
@@ -799,6 +845,279 @@ fn cmd_superopt(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_probe(args: &[String]) -> ExitCode {
+    use mao_probe::{run_sweep, Processor, SimBackend, SweepConfig, WallClockBackend};
+    use mao_x86::cost::CostModel;
+
+    let mut sweep = false;
+    let mut show: Option<String> = None;
+    let mut calibrate: Option<String> = None;
+    let mut profile = "core2".to_string();
+    let mut backend = "sim".to_string();
+    let mut cfg = SweepConfig::default();
+    let mut out: Option<String> = None;
+    let mut parser = ArgParser::new(args);
+    let parsed = (|| -> Result<(), String> {
+        while let Some(arg) = parser.next() {
+            match arg.as_str() {
+                "--sweep" => sweep = true,
+                "--show" => show = Some(parser.value("--show")?.to_string()),
+                "--calibrate-profile" => {
+                    calibrate = Some(parser.value("--calibrate-profile")?.to_string())
+                }
+                "--profile" => profile = parser.value("--profile")?.to_string(),
+                "--backend" => backend = parser.value("--backend")?.to_string(),
+                "--seed" => cfg.seed = parser.numeric("--seed")?,
+                "--name" => cfg.name = Some(parser.value("--name")?.to_string()),
+                "--trips" => cfg.trip_count = parser.numeric("--trips")?,
+                "-o" | "--out" => out = Some(parser.value("-o")?.to_string()),
+                "--help" | "-h" => {
+                    println!("{}", usage());
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown probe option `{other}`")),
+            }
+        }
+        Ok(())
+    })();
+    if let Err(message) = parsed {
+        eprintln!("mao probe: {message}\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    // --show: load and display a table. Every rejection (bad magic, version
+    // skew, truncation, checksum mismatch) exits nonzero with the structured
+    // load error and the table is never installed — the CI corrupt-table
+    // stages key off this exit code.
+    if let Some(path) = show {
+        return match CostModel::load_mpt(std::path::Path::new(&path)) {
+            Ok(model) => {
+                print_model(&model);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mao probe: cannot load `{path}`: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if !sweep && calibrate.is_none() {
+        eprintln!(
+            "mao probe: nothing to do (pass --sweep, --show FILE or --calibrate-profile NAME)\n{}",
+            usage()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let proc = match profile.as_str() {
+        "core2" | "intel" => Processor::core2(),
+        "opteron" | "amd" => Processor::opteron(),
+        other => {
+            eprintln!("mao probe: unknown --profile `{other}` (core2|opteron)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(name) = &calibrate {
+        cfg.name = Some(name.clone());
+    }
+
+    let obs = Obs::aggregating();
+    let result = match backend.as_str() {
+        "sim" => run_sweep(&mut SimBackend, &proc, &cfg, &obs),
+        "wall" => {
+            if !WallClockBackend::available() {
+                eprintln!(
+                    "mao probe: wall-clock backend unavailable on this host \
+                     (needs x86-64 linux and a working `cc`)"
+                );
+                return ExitCode::FAILURE;
+            }
+            run_sweep(&mut WallClockBackend, &proc, &cfg, &obs)
+        }
+        other => {
+            eprintln!("mao probe: unknown --backend `{other}` (sim|wall)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mao probe: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "probe sweep: {} on {} (seed {})",
+        report.model.provenance.source,
+        report.model.provenance.target,
+        report.model.provenance.seed
+    );
+    println!(
+        "{:<10} {:>7} {:>6} {:>5}  {:>9} {:>12} {:>8}",
+        "mnemonic", "latency", "rtp", "ports", "cycle-cpi", "disjoint-cpi", "chain"
+    );
+    for m in &report.measurements {
+        let c = report.model.get(m.spec.mnemonic);
+        println!(
+            "{:<10} {:>7} {:>6.2} {:>5}  {:>9.2} {:>12.2} {:>8}",
+            m.spec.name,
+            c.latency,
+            c.recip_tp_x100 as f64 / 100.0,
+            c.port_mask.count_ones(),
+            m.cycle_cpi,
+            m.disjoint_cpi,
+            if m.chain_consistent() {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    for (name, err) in &report.skipped {
+        println!("{name:<10} skipped: {err}");
+    }
+    let mach = report.model.machine;
+    println!(
+        "machine: issue {} wide, {} ports{}, decode line {}B, lsd {} lines, \
+         predictor shift {}, load-to-use {}",
+        mach.issue_width,
+        mach.num_ports,
+        if mach.symmetric_ports {
+            " (symmetric)"
+        } else {
+            ""
+        },
+        mach.decode_line,
+        mach.lsd_max_lines,
+        mach.predictor_shift,
+        mach.load_latency
+    );
+    println!(
+        "measurements: {} stable, {} unstable",
+        obs.metrics.counter_value("mao_probe_measurements_total"),
+        obs.metrics.counter_value("mao_probe_unstable_total")
+    );
+
+    let out_path = out.or_else(|| calibrate.as_ref().map(|n| format!("{n}.mpt")));
+    if let Some(path) = &out_path {
+        if let Err(e) = report.model.write_mpt(std::path::Path::new(path)) {
+            eprintln!("mao probe: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {path} ({} mnemonics, fingerprint {:016x})",
+            report.model.len(),
+            report.model.fingerprint()
+        );
+    }
+
+    let Some(profile_name) = calibrate else {
+        return ExitCode::SUCCESS;
+    };
+
+    // --calibrate-profile: the fitted table becomes a third simulation
+    // profile, and the model is installed as the process-global cost
+    // provider so LOOP16/SCHED/LSDFIT/BRALIGN plan with the measured
+    // numbers — then the EXPERIMENTS.md tables re-run against it end to
+    // end (the §V.B LOOP16 rows plus the 252.eon single-pass effects).
+    let config = mao_sim::UarchConfig::from_cost_model(&report.model);
+    mao_x86::cost::install(Arc::new(report.model));
+
+    println!("\n== Table: 252.eon single-pass effects (profile `{profile_name}`) ==");
+    println!("{:<14} {:>10}", "pass", "measured");
+    let Some(eon) = mao_corpus::spec::spec2000_benchmark("252.eon") else {
+        eprintln!("mao probe: 252.eon benchmark missing from the corpus");
+        return ExitCode::FAILURE;
+    };
+    for pass in ["NOPKILL", "REDTEST"] {
+        let (pct, _) = match mao_bench::pass_effect(&eon, pass, &config) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("mao probe: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("{pass:<14} {pct:>+9.2}%");
+    }
+
+    println!("\n== Table: LOOP16 on profile `{profile_name}` ==");
+    println!("{:<14} {:>10}", "benchmark", "measured");
+    for name in mao_corpus::spec::SPEC2000_NAMES {
+        let Some(w) = mao_corpus::spec::spec2000_benchmark(name) else {
+            eprintln!("mao probe: benchmark `{name}` missing from the corpus");
+            return ExitCode::FAILURE;
+        };
+        let (pct, rep) = match mao_bench::pass_effect(&w, "LOOP16", &config) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("mao probe: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let transforms = rep.stats("LOOP16").map(|s| s.transformations).unwrap_or(0);
+        println!("{name:<14} {pct:>+9.2}% ({transforms} loops aligned)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// Pretty-print a loaded `.mpt` cost table (the `mao probe --show` path).
+fn print_model(model: &mao_x86::cost::CostModel) {
+    let p = &model.provenance;
+    println!(
+        "table `{}`: {} mnemonics + default",
+        model.name,
+        model.len()
+    );
+    println!(
+        "  provenance: source {}, target {}, generator {}, seed {}, fingerprint {:016x}",
+        p.source,
+        p.target,
+        p.generator,
+        p.seed,
+        model.fingerprint()
+    );
+    let m = model.machine;
+    println!(
+        "  machine: issue {} wide, {} ports{}, decode line {}B, lsd {} lines, \
+         predictor shift {}, load-to-use {}, mispredict {}",
+        m.issue_width,
+        m.num_ports,
+        if m.symmetric_ports {
+            " (symmetric)"
+        } else {
+            ""
+        },
+        m.decode_line,
+        m.lsd_max_lines,
+        m.predictor_shift,
+        m.load_latency,
+        m.mispredict_penalty
+    );
+    println!(
+        "  {:<12} {:>7} {:>6} {:>10}",
+        "mnemonic", "latency", "rtp", "port mask"
+    );
+    let d = model.default_cost;
+    println!(
+        "  {:<12} {:>7} {:>6.2} {:>#10b}",
+        "(default)",
+        d.latency,
+        d.recip_tp_x100 as f64 / 100.0,
+        d.port_mask
+    );
+    for (mnemonic, cost) in model.entries() {
+        println!(
+            "  {:<12} {:>7} {:>6.2} {:>#10b}",
+            format!("{mnemonic:?}"),
+            cost.latency,
+            cost.recip_tp_x100 as f64 / 100.0,
+            cost.port_mask
+        );
+    }
 }
 
 fn indent(text: &str) -> String {

@@ -57,6 +57,24 @@ pub const TRANSFORMING_PASSES: [&str; 14] = [
     "SUPEROPT=seed[1],max-window[6],diff-states[3],iters[24],max-candidates[48]",
 ];
 
+/// Install a measured `.mpt` cost table as the process-global cost model
+/// for a differential run: every pass planned after this call uses the
+/// table's numbers, so divergences that only appear under measured costs
+/// surface in the same shrink-and-persist machinery as any other failure.
+///
+/// A table the loader rejects (corrupt, truncated, version-skewed) is an
+/// error and is **never** installed. The provider is process-global: tests
+/// calling this must restore `mao_x86::cost::install_builtin()` afterwards
+/// (or run in their own process) so concurrent tests keep planning with
+/// the numbers they expect.
+pub fn install_cost_model(path: &Path) -> Result<std::sync::Arc<mao_x86::cost::CostModel>, String> {
+    let model = mao_x86::cost::CostModel::load_mpt(path)
+        .map_err(|e| format!("cannot load cost model {}: {e}", path.display()))?;
+    let model = std::sync::Arc::new(model);
+    mao_x86::cost::install(model.clone());
+    Ok(model)
+}
+
 /// Sweep configuration.
 #[derive(Debug, Clone)]
 pub struct CheckConfig {

@@ -1,0 +1,178 @@
+//! End-to-end tests of the cost-model plumbing in the `mao` driver:
+//! `mao probe --sweep/--show` and the differential `mao check
+//! --cost-model`. Each invocation is its own process, so installing a
+//! table never races the process-global provider other tests read.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use mao_x86::cost::CostModel;
+
+fn mao() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mao"))
+}
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mao-costcli-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// A hand-set table written through the real serializer: content-identical
+/// to the builtin, provenance marked so the output proves which table ran.
+fn write_table(dir: &PathBuf) -> PathBuf {
+    let mut model = CostModel::core2();
+    model.name = "cli-test-table".to_string();
+    model.provenance.source = "probe/sim".to_string();
+    model.provenance.seed = 23;
+    let path = dir.join("table.mpt");
+    model.write_mpt(&path).expect("write table");
+    path
+}
+
+#[test]
+fn probe_sweep_writes_a_table_show_round_trips_it() {
+    let dir = tempdir("sweep");
+    let path = dir.join("swept.mpt");
+    let out = mao()
+        .args(["probe", "--sweep", "--trips", "600", "--seed", "5", "-o"])
+        .arg(&path)
+        .output()
+        .expect("driver runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("probe/sim"), "{stdout}");
+    assert!(stdout.contains("wrote"), "{stdout}");
+
+    // The written table loads through the library and carries provenance.
+    let model = CostModel::load_mpt(&path).expect("swept table loads");
+    assert_eq!(model.provenance.source, "probe/sim");
+    assert_eq!(model.provenance.seed, 5);
+    assert!(
+        model.len() >= 20,
+        "catalog-sized table, got {}",
+        model.len()
+    );
+
+    // --show prints the same provenance and exits zero.
+    let out = mao()
+        .arg("probe")
+        .arg("--show")
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("probe/sim"), "{stdout}");
+    assert!(stdout.contains("seed 5"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn probe_show_rejects_damaged_tables_nonzero() {
+    let dir = tempdir("reject");
+    let good = write_table(&dir);
+    let bytes = std::fs::read(&good).unwrap();
+
+    // Truncated, corrupted payload, version-skewed, and not-a-table: every
+    // damage class must exit nonzero with a structured error.
+    let trunc = dir.join("trunc.mpt");
+    std::fs::write(&trunc, &bytes[..30]).unwrap();
+    let mut corrupted = bytes.clone();
+    let last = corrupted.len() - 1;
+    corrupted[last] ^= 0xff;
+    let corrupt = dir.join("corrupt.mpt");
+    std::fs::write(&corrupt, &corrupted).unwrap();
+    let mut skewed = bytes.clone();
+    skewed[8] = 99; // container version field
+    let skew = dir.join("skew.mpt");
+    std::fs::write(&skew, &skewed).unwrap();
+    let junk = dir.join("junk.mpt");
+    std::fs::write(&junk, b"GARBAGEGARBAGEGARBAGEGARBAGE").unwrap();
+
+    for (path, needle) in [
+        (&trunc, "truncated"),
+        (&corrupt, "checksum"),
+        (&skew, "version"),
+        (&junk, "magic"),
+    ] {
+        let out = mao().arg("probe").arg("--show").arg(path).output().unwrap();
+        assert!(!out.status.success(), "{} must be rejected", path.display());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{}: {stderr}", path.display());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_with_cost_model_runs_differentially_and_reports_the_table() {
+    let dir = tempdir("diff");
+    let table = write_table(&dir);
+    let out = mao()
+        .args(["check", "--seed", "7", "--cases", "4", "--jobs", "2"])
+        .args(["--passes", "SCHED,LOOP16"])
+        .arg("--cost-model")
+        .arg(&table)
+        .output()
+        .expect("driver runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stdout.contains("cost model `cli-test-table`"), "{stdout}");
+    assert!(stdout.contains("probe/sim"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_refuses_a_rejected_cost_model() {
+    let dir = tempdir("refuse");
+    let bad = dir.join("bad.mpt");
+    std::fs::write(&bad, b"definitely not a table").unwrap();
+    let out = mao()
+        .args(["check", "--cases", "1"])
+        .arg("--cost-model")
+        .arg(&bad)
+        .output()
+        .expect("driver runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot load cost model"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_divergences_under_a_table_persist_to_the_regression_corpus() {
+    // The injected miscompile stands in for a "pass divergence under
+    // measured costs": with --cost-model AND --regress-dir, the caught
+    // failure must be ddmin-shrunk and persisted like any other.
+    let dir = tempdir("persist");
+    let table = write_table(&dir);
+    let regress = dir.join("regressions");
+    let out = mao()
+        .args(["check", "--inject-miscompile", "--seed", "3"])
+        .arg("--cost-model")
+        .arg(&table)
+        .arg("--regress-dir")
+        .arg(&regress)
+        .output()
+        .expect("driver runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stdout}\n{stderr}");
+    assert!(stdout.contains("cost model `cli-test-table`"), "{stdout}");
+    assert!(stdout.contains("persisted to"), "{stdout}");
+    let persisted: Vec<_> = std::fs::read_dir(&regress)
+        .expect("regress dir exists")
+        .collect();
+    assert!(!persisted.is_empty(), "shrunk divergence files on disk");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -56,7 +56,10 @@ impl MaoPass for BranchAlign {
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
         let mut stats = PassStats::default();
-        let shift = ctx.options.get_u64("shift", 5);
+        // Predictor index shift comes from the installed cost model (PC>>5
+        // on the built-in Core-2-like table); an explicit option overrides.
+        let model_shift = u64::from(mao_x86::cost::current().machine.predictor_shift);
+        let shift = ctx.options.get_u64("shift", model_shift.min(16).max(1));
         let bucket = 1u64 << shift;
         // A couple of rounds: fixing one pair can move later branches into
         // (or out of) aliasing.

@@ -32,8 +32,15 @@ impl MaoPass for LoopAlign16 {
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
         let mut stats = PassStats::default();
+        // Decode-line geometry comes from the installed cost model (16 on
+        // the built-in Core-2-like table); non-power-of-two measurements
+        // cannot be expressed as a `.p2align`, so fall back to 16.
+        let line = match u64::from(mao_x86::cost::current().machine.decode_line) {
+            l if l.is_power_of_two() => l,
+            _ => 16,
+        };
         // Loops at most this many bytes are candidates (default: one line).
-        let max_size = ctx.options.get_u64("max-size", 16);
+        let max_size = ctx.options.get_u64("max-size", line);
         let mut trace: Vec<String> = Vec::new();
         // Layouts come from the shared cache (free when the unit is
         // unchanged); edits patch the cached layout incrementally.
@@ -55,7 +62,7 @@ impl MaoPass for LoopAlign16 {
                 if span.size() == 0 || span.size() > max_size {
                     continue;
                 }
-                if !span.crosses(16) {
+                if !span.crosses(line) {
                     continue;
                 }
                 stats.matched(1);
@@ -69,9 +76,9 @@ impl MaoPass for LoopAlign16 {
                 edits.insert_before(
                     span.first_entry,
                     vec![Entry::Directive(Directive::Align(Align {
-                        alignment: 16,
+                        alignment: line,
                         fill: None,
-                        max_skip: Some(15),
+                        max_skip: Some(line - 1),
                         p2_form: true,
                     }))],
                 );

@@ -44,8 +44,11 @@ impl MaoPass for LsdFit {
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
         let mut stats = PassStats::default();
         // The LSD window in decode lines (4 on Core-2 era parts; the paper
-        // notes the requirement changes across generations, hence an option).
-        let max_lines = ctx.options.get_u64("max-lines", 4);
+        // notes the requirement changes across generations). The default
+        // comes from the installed cost model — a calibrated table retargets
+        // the pass without recompiling; an explicit option still overrides.
+        let model_lines = u64::from(mao_x86::cost::current().machine.lsd_max_lines);
+        let max_lines = ctx.options.get_u64("max-lines", model_lines.max(1));
         let mut trace: Vec<String> = Vec::new();
         // Layouts come from the shared cache; each NOP insertion patches the
         // cached layout instead of re-relaxing the whole unit.

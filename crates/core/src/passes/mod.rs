@@ -46,7 +46,8 @@ use std::collections::BTreeMap;
 
 use crate::pass::{MaoPass, PassFactory};
 
-pub use schedule::{CostModel, Policy};
+pub use mao_x86::cost::CostModel;
+pub use schedule::Policy;
 
 /// Build the global registry of all passes.
 pub fn registry() -> BTreeMap<&'static str, PassFactory> {

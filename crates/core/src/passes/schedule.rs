@@ -19,80 +19,11 @@
 use std::collections::HashMap;
 
 use mao_obs::TraceEvent;
-use mao_x86::{def_use, Flags, Instruction, Mnemonic, RegId};
+use mao_x86::cost::CostModel;
+use mao_x86::{def_use, Flags, Instruction, RegId};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, EntryId, MaoUnit};
-
-/// Latency and port assignments for the scheduler's cost function.
-///
-/// Defaults model a Core-2-like machine; the values only need to *rank*
-/// instructions sensibly, not match hardware cycle-for-cycle.
-#[derive(Debug, Clone)]
-pub struct CostModel {
-    /// Issue width (instructions per cycle).
-    pub issue_width: usize,
-    /// Number of execution ports.
-    pub num_ports: usize,
-}
-
-impl Default for CostModel {
-    fn default() -> CostModel {
-        CostModel {
-            issue_width: 3,
-            num_ports: 6,
-        }
-    }
-}
-
-impl CostModel {
-    /// Result latency of an instruction in cycles.
-    pub fn latency(&self, insn: &Instruction) -> u32 {
-        use Mnemonic as M;
-        let mem_read = def_use(insn).mem_read;
-        let base = match insn.mnemonic {
-            M::Imul => 3,
-            M::Mul => 3,
-            M::Idiv | M::Div => 20,
-            M::Mulss | M::Mulsd => 4,
-            M::Addss | M::Addsd | M::Subss | M::Subsd => 3,
-            M::Divss | M::Divsd | M::Sqrtss | M::Sqrtsd => 12,
-            M::Cvtsi2ss | M::Cvtsi2sd | M::Cvttss2si | M::Cvttsd2si | M::Cvtss2sd | M::Cvtsd2ss => {
-                3
-            }
-            _ => 1,
-        };
-        if mem_read {
-            base + 3 // L1 load-to-use
-        } else {
-            base
-        }
-    }
-
-    /// Bitmask of ports this instruction can issue on.
-    ///
-    /// Port asymmetries follow the paper's anecdote: `lea` executes only on
-    /// port 0; shifts on ports 0 and 5; plain ALU on 0/1/5; loads on 2;
-    /// stores on 3+4; FP mul on 1; FP add on 0.
-    pub fn ports(&self, insn: &Instruction) -> u8 {
-        use Mnemonic as M;
-        let du = def_use(insn);
-        if du.mem_write {
-            return 0b01_1000; // store address + data ports
-        }
-        if du.mem_read && insn.mnemonic == M::Mov {
-            return 0b00_0100; // pure load
-        }
-        match insn.mnemonic {
-            M::Lea => 0b00_0001,                                 // port 0 only
-            M::Shl | M::Shr | M::Sar => 0b10_0001,               // ports 0 and 5
-            M::Imul | M::Mul | M::Mulss | M::Mulsd => 0b00_0010, // port 1
-            M::Addss | M::Addsd | M::Subss | M::Subsd => 0b00_0001,
-            M::Idiv | M::Div | M::Divss | M::Divsd | M::Sqrtss | M::Sqrtsd => 0b00_0001,
-            _ => 0b10_0011, // generic ALU: ports 0, 1, 5
-        }
-    }
-}
 
 /// A dependence edge kind (used for latency assignment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -236,11 +167,11 @@ pub enum Policy {
 }
 
 /// Critical-path priority: longest latency-weighted path to any DAG sink.
-fn priorities(dag: &Dag, insns: &[&Instruction], model: &CostModel, _policy: Policy) -> Vec<u32> {
+fn priorities(dag: &Dag, insns: &[&Instruction], model: &CostModel, _policy: Policy) -> Vec<u64> {
     let n = insns.len();
-    let mut prio = vec![0u32; n];
+    let mut prio = vec![0u64; n];
     for i in (0..n).rev() {
-        let own = model.latency(insns[i]);
+        let own = model.sched_latency(insns[i]);
         let best_succ = dag.succs[i].iter().map(|&s| prio[s]).max().unwrap_or(0);
         prio[i] = own + best_succ;
     }
@@ -267,7 +198,7 @@ fn schedule(insns: &[&Instruction], model: &CostModel, policy: Policy) -> Vec<us
     while order.len() < n {
         // Ready set at this cycle.
         let mut issued_this_cycle = 0usize;
-        let mut ports_busy: u8 = 0;
+        let mut ports_busy: u64 = 0;
         loop {
             let mut candidates: Vec<usize> = (0..n)
                 .filter(|&i| {
@@ -277,7 +208,7 @@ fn schedule(insns: &[&Instruction], model: &CostModel, policy: Policy) -> Vec<us
                         && (model.ports(insns[i]) & !ports_busy) != 0
                 })
                 .collect();
-            if issued_this_cycle >= model.issue_width || candidates.is_empty() {
+            if issued_this_cycle >= model.machine.issue_width as usize || candidates.is_empty() {
                 break;
             }
             // Highest priority first; stable on original position.
@@ -299,7 +230,7 @@ fn schedule(insns: &[&Instruction], model: &CostModel, policy: Policy) -> Vec<us
                     .map(|&(_, d)| d)
                     .unwrap_or(Dep::Order);
                 let lat = match dep {
-                    Dep::Raw => u64::from(model.latency(insns[pick])),
+                    Dep::Raw => model.sched_latency(insns[pick]),
                     Dep::Order => 1,
                 };
                 ready_at[s] = ready_at[s].max(cycle + lat);
@@ -324,7 +255,7 @@ impl MaoPass for ListSchedule {
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
-        let model = CostModel::default();
+        let model = mao_x86::cost::current();
         let policy = match ctx.options.get("policy") {
             Some("source-order") => Policy::SourceOrder,
             _ => Policy::CriticalPath,
@@ -538,7 +469,7 @@ f:
 
     #[test]
     fn port_model_matches_paper_anecdote() {
-        let m = CostModel::default();
+        let m = CostModel::core2();
         let lea = MaoUnit::parse("leal (%r8,%rdi), %ebx\n").unwrap();
         assert_eq!(m.ports(lea.insn(0).unwrap()), 0b00_0001, "lea: port 0 only");
         let sar = MaoUnit::parse("sarl %ecx\n").unwrap();

@@ -8,9 +8,6 @@
 
 use std::collections::HashMap;
 
-use mao::MaoUnit;
-use mao_sim::{simulate, SimOptions};
-
 use crate::processor::Processor;
 use crate::sequence::InstructionSequence;
 
@@ -67,6 +64,21 @@ pub enum BenchmarkError {
     Sim(String),
     /// Requested counter does not exist.
     UnknownEvent(String),
+    /// The backend itself failed (missing toolchain, compile error, ...).
+    Backend(String),
+    /// A noisy backend never settled within tolerance: after `attempts`
+    /// runs, `event`'s min-to-max spread was still `spread_pct`% of its
+    /// median. Structured so sweeps can skip or retry instead of dying.
+    Unstable {
+        /// The event that failed to stabilize.
+        event: String,
+        /// Median of the collected samples.
+        median: u64,
+        /// Spread (max − min) as a percentage of the median.
+        spread_pct: u64,
+        /// Number of runs performed.
+        attempts: usize,
+    },
 }
 
 impl std::fmt::Display for BenchmarkError {
@@ -75,6 +87,17 @@ impl std::fmt::Display for BenchmarkError {
             BenchmarkError::Parse(m) => write!(f, "generated assembly invalid: {m}"),
             BenchmarkError::Sim(m) => write!(f, "simulation failed: {m}"),
             BenchmarkError::UnknownEvent(e) => write!(f, "unknown PMU event `{e}`"),
+            BenchmarkError::Backend(m) => write!(f, "measurement backend failed: {m}"),
+            BenchmarkError::Unstable {
+                event,
+                median,
+                spread_pct,
+                attempts,
+            } => write!(
+                f,
+                "event `{event}` did not stabilize after {attempts} runs \
+                 (median {median}, spread {spread_pct}%)"
+            ),
         }
     }
 }
@@ -120,31 +143,17 @@ impl Benchmark {
     }
 
     /// Assemble, execute in isolation on `proc`, and collect the named PMU
-    /// counters (paper: `Execute(proc, [proc.CPU_CYCLES])`).
+    /// counters (paper: `Execute(proc, [proc.CPU_CYCLES])`) — always on the
+    /// deterministic simulator backend; use
+    /// [`MeasureBackend::run`](crate::backend::MeasureBackend::run) to pick
+    /// a different one.
     pub fn execute(
         &self,
         proc: &Processor,
         events: &[&str],
     ) -> Result<HashMap<String, u64>, BenchmarkError> {
-        let asm = self.assembly();
-        let unit = MaoUnit::parse(&asm).map_err(|e| BenchmarkError::Parse(e.to_string()))?;
-        let result = simulate(
-            &unit,
-            "probe_main",
-            &[],
-            &proc.config,
-            &SimOptions::default(),
-        )
-        .map_err(|e| BenchmarkError::Sim(e.to_string()))?;
-        let mut out = HashMap::new();
-        for &event in events {
-            let value = result
-                .pmu
-                .event(event)
-                .ok_or_else(|| BenchmarkError::UnknownEvent(event.to_string()))?;
-            out.insert(event.to_string(), value);
-        }
-        Ok(out)
+        use crate::backend::MeasureBackend as _;
+        crate::backend::SimBackend.run(self, proc, events)
     }
 }
 

@@ -1,0 +1,113 @@
+//! The sweep catalog: which instruction shapes the calibration sweep
+//! measures, and how.
+//!
+//! Each [`ProbeSpec`] pairs an AT&T template with the dependence shapes
+//! that make its measurement meaningful: CYCLE for latency (one dependent
+//! instruction in flight per link), DISJOINT for reciprocal throughput and
+//! port-pressure (everything independent, the backend is the limit), CHAIN
+//! as a cross-check for two-register templates. Templates that cannot close
+//! a dependence cycle through their destination (stores, compares,
+//! cross-file converts) are excluded — their latency would silently measure
+//! throughput instead, the classic microbenchmark trap the paper's CYCLE
+//! shape exists to avoid. `idiv`/`div` are also excluded: their implicit
+//! `%rax`/`%rdx` operands collide with the loop scaffolding's scratch
+//! allocation.
+
+use mao_x86::{parse_mnemonic, Mnemonic};
+
+/// One instruction shape the sweep measures.
+#[derive(Debug, Clone)]
+pub struct ProbeSpec {
+    /// AT&T spelling used in reports (`"addl"`).
+    pub name: &'static str,
+    /// Template handed to the sequence generator.
+    pub template: &'static str,
+    /// The mnemonic family the fitted cost is recorded under.
+    pub mnemonic: Mnemonic,
+    /// Template has at least two distinct register slots, so CHAIN
+    /// sequences are structurally different from CYCLE sequences and can
+    /// serve as a cross-check.
+    pub two_reg: bool,
+}
+
+/// Build the default sweep catalog.
+///
+/// The list covers every latency class in the built-in tables — 1-cycle
+/// ALU, 3-cycle multiply, 3/4-cycle FP add/mul, 12-cycle FP divide and
+/// square root, shifts with their port asymmetry — so a sweep against a
+/// simulated profile can reconstruct that profile's whole table.
+pub fn catalog() -> Vec<ProbeSpec> {
+    const SPECS: &[(&str, &str, bool)] = &[
+        ("addl", "addl %r, %r", true),
+        ("subl", "subl %r, %r", true),
+        ("andl", "andl %r, %r", true),
+        ("orl", "orl %r, %r", true),
+        ("xorl", "xorl %r, %r", true),
+        ("movl", "movl %r, %r", true),
+        ("leaq", "leaq (%q), %q", true),
+        ("shll", "shll $i, %r", false),
+        ("shrl", "shrl $i, %r", false),
+        ("sarl", "sarl $i, %r", false),
+        ("imull", "imull %r, %r", true),
+        ("negl", "negl %r", false),
+        ("notl", "notl %r", false),
+        ("incl", "incl %r", false),
+        ("addss", "addss %x, %x", true),
+        ("subss", "subss %x, %x", true),
+        ("addsd", "addsd %x, %x", true),
+        ("mulss", "mulss %x, %x", true),
+        ("mulsd", "mulsd %x, %x", true),
+        ("divss", "divss %x, %x", true),
+        ("divsd", "divsd %x, %x", true),
+        ("sqrtss", "sqrtss %x, %x", true),
+        ("sqrtsd", "sqrtsd %x, %x", true),
+    ];
+    SPECS
+        .iter()
+        .map(|&(name, template, two_reg)| ProbeSpec {
+            name,
+            template,
+            mnemonic: parse_mnemonic(name)
+                .unwrap_or_else(|| panic!("catalog mnemonic `{name}` must parse"))
+                .mnemonic,
+            two_reg,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_nonempty_and_unique() {
+        let specs = catalog();
+        assert!(specs.len() >= 20, "catalog has {} specs", specs.len());
+        let mut keys: Vec<u16> = specs
+            .iter()
+            .map(|s| mao_x86::cost::table_key(s.mnemonic))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), specs.len(), "duplicate table keys in catalog");
+    }
+
+    #[test]
+    fn catalog_covers_every_builtin_latency_class() {
+        let model = mao_x86::cost::CostModel::core2();
+        let latencies: std::collections::BTreeSet<u32> = catalog()
+            .iter()
+            .map(|s| model.get(s.mnemonic).latency)
+            .collect();
+        // 1 (ALU), 3 (imul / FP add), 4 (FP mul), 12 (FP div/sqrt).
+        assert!(latencies.len() >= 4, "classes covered: {latencies:?}");
+        assert!(latencies.contains(&1) && latencies.contains(&12));
+    }
+
+    #[test]
+    fn excluded_division_is_documented_not_accidental() {
+        assert!(!catalog()
+            .iter()
+            .any(|s| matches!(s.mnemonic, Mnemonic::Idiv | Mnemonic::Div)));
+    }
+}

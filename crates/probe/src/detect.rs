@@ -5,10 +5,31 @@
 //! same methodology to two parameters the paper's passes depend on (the LSD
 //! decode-line window of §III.C.f and the `PC >> 5` predictor indexing of
 //! §III.C.g) — the semi-automatic discovery §IV motivates.
+//!
+//! Every procedure is backend-parameterized (`*_with` variants) and returns
+//! structured [`BenchmarkError`]s: a measurement that fails to stabilize on
+//! a noisy backend surfaces as [`BenchmarkError::Unstable`] for the caller
+//! to skip or retry — nothing in this module panics on measurement failure.
 
+use crate::backend::{measure_stable, MeasureBackend, SimBackend};
 use crate::benchmark::{Benchmark, BenchmarkError, StraightLineLoop};
 use crate::processor::{InstructionTemplate, Processor};
 use crate::sequence::{DagType, InstructionSequence};
+
+/// Runs used per measurement before declaring instability.
+const STABILIZE_ATTEMPTS: usize = 9;
+/// Maximum min-to-max spread, in percent of the median, to accept.
+const STABILIZE_TOLERANCE_PCT: u64 = 5;
+
+fn read_event(
+    counters: &std::collections::HashMap<String, u64>,
+    event: &str,
+) -> Result<u64, BenchmarkError> {
+    counters
+        .get(event)
+        .copied()
+        .ok_or_else(|| BenchmarkError::UnknownEvent(event.to_string()))
+}
 
 /// Figure 6: measure an instruction's latency.
 ///
@@ -17,6 +38,15 @@ use crate::sequence::{DagType, InstructionSequence};
 /// CYCLE dependence shape keeps exactly one instruction executing per
 /// cycle-of-the-chain, so `latency = CPU_CYCLES / dynamic instructions`.
 pub fn instruction_latency(proc: &Processor, template: &str) -> Result<u64, BenchmarkError> {
+    instruction_latency_with(&mut SimBackend, proc, template)
+}
+
+/// [`instruction_latency`] against an explicit measurement backend.
+pub fn instruction_latency_with(
+    backend: &mut dyn MeasureBackend,
+    proc: &Processor,
+    template: &str,
+) -> Result<u64, BenchmarkError> {
     let template = InstructionTemplate::parse(template)
         .ok_or_else(|| BenchmarkError::Parse(format!("bad template `{template}`")))?;
     let mut seq = InstructionSequence::new(proc);
@@ -28,11 +58,18 @@ pub fn instruction_latency(proc: &Processor, template: &str) -> Result<u64, Benc
     let trip_count = 5_000;
     let loop_list = vec![StraightLineLoop::new(vec![seq]).with_trip_count(trip_count)];
     let bench = Benchmark::new(loop_list);
-    let results = bench.execute(proc, &[Processor::CPU_CYCLES])?;
+    let results = measure_stable(
+        backend,
+        &bench,
+        proc,
+        &[Processor::CPU_CYCLES],
+        STABILIZE_ATTEMPTS,
+        STABILIZE_TOLERANCE_PCT,
+    )?;
     // Divide by the *chain* instructions only: the loop-control subtract and
     // branch run in parallel with the chain and must not dilute it.
     let chain_instructions = body_insns * trip_count;
-    let cycles = results[Processor::CPU_CYCLES];
+    let cycles = read_event(&results, Processor::CPU_CYCLES)?;
     Ok(((cycles as f64) / (chain_instructions as f64)).round() as u64)
 }
 
@@ -42,6 +79,17 @@ pub fn instruction_latency(proc: &Processor, template: &str) -> Result<u64, Benc
 ///
 /// Returns the largest number of decode lines that still streams.
 pub fn detect_lsd_window(proc: &Processor) -> Result<u64, BenchmarkError> {
+    detect_lsd_window_with(&mut SimBackend, proc)
+}
+
+/// [`detect_lsd_window`] against an explicit measurement backend. The
+/// backend must expose the `LSD_ITERATIONS` event (the simulator does;
+/// wall-clock backends report [`BenchmarkError::UnknownEvent`], which a
+/// sweep treats as "parameter not measurable on this backend").
+pub fn detect_lsd_window_with(
+    backend: &mut dyn MeasureBackend,
+    proc: &Processor,
+) -> Result<u64, BenchmarkError> {
     let line = proc.config.decode_line;
     let mut last_streaming = 0u64;
     for lines in 1..=8u64 {
@@ -49,18 +97,26 @@ pub fn detect_lsd_window(proc: &Processor) -> Result<u64, BenchmarkError> {
         // imm32 on distinct registers is 7 bytes and independent.
         let target_bytes = lines * line;
         let n = ((target_bytes.saturating_sub(6)) / 7).max(1) as usize;
+        let template = InstructionTemplate::parse("addl $305419896, %r")
+            .ok_or_else(|| BenchmarkError::Parse("lsd probe template".to_string()))?;
         let mut seq = InstructionSequence::new(proc);
-        seq.set_instruction_template(
-            InstructionTemplate::parse("addl $305419896, %r").expect("valid"),
-        )
-        .set_dag_type(DagType::Disjoint)
-        .set_length(n)
-        .generate(proc);
-        let bench = Benchmark::new(vec![
-            StraightLineLoop::new(vec![seq]).with_trip_count(20_000)
-        ]);
-        let counters = bench.execute(proc, &["LSD_ITERATIONS"])?;
-        if counters["LSD_ITERATIONS"] > 10_000 {
+        seq.set_instruction_template(template)
+            .set_dag_type(DagType::Disjoint)
+            .set_length(n)
+            .generate(proc);
+        // Enough iterations to dwarf the LSD lock-on threshold while
+        // keeping the probe cheap (it runs inside every sweep).
+        let trips = 4_000u64;
+        let bench = Benchmark::new(vec![StraightLineLoop::new(vec![seq]).with_trip_count(trips)]);
+        let counters = measure_stable(
+            backend,
+            &bench,
+            proc,
+            &["LSD_ITERATIONS"],
+            STABILIZE_ATTEMPTS,
+            STABILIZE_TOLERANCE_PCT,
+        )?;
+        if read_event(&counters, "LSD_ITERATIONS")? > trips / 2 {
             last_streaming = lines;
         }
     }
@@ -73,6 +129,15 @@ pub fn detect_lsd_window(proc: &Processor) -> Result<u64, BenchmarkError> {
 ///
 /// Returns `log2(bucket size)`, the `PC >> k` of §III.C.g.
 pub fn detect_predictor_shift(proc: &Processor) -> Result<u32, BenchmarkError> {
+    detect_predictor_shift_with(&mut SimBackend, proc)
+}
+
+/// [`detect_predictor_shift`] against an explicit measurement backend. The
+/// backend must expose the `BR_MISP_RETIRED` and `BRANCHES` events.
+pub fn detect_predictor_shift_with(
+    backend: &mut dyn MeasureBackend,
+    proc: &Processor,
+) -> Result<u32, BenchmarkError> {
     let mut collapse_at: Option<u64> = None;
     for gap_log in 1..=8u32 {
         let gap = 1u64 << gap_log;
@@ -90,21 +155,14 @@ pub fn detect_predictor_shift(proc: &Processor) -> Result<u32, BenchmarkError> {
         }
         let asm = format!(
             "\t.text\n\t.globl\tprobe_main\n\t.type\tprobe_main, @function\nprobe_main:\n\
-             \tmovl $20000, %eax\n.Louter:\n\
+             \tmovl $4000, %eax\n.Louter:\n\
              \ttestl %eax, %eax\n\tjs .Lnever\n.Lnever:\n{pad}\
              \tsubl $1, %eax\n\tjne .Louter\n\tret\n\
              \t.size\tprobe_main, .-probe_main\n"
         );
-        let unit = mao::MaoUnit::parse(&asm).map_err(|e| BenchmarkError::Parse(e.to_string()))?;
-        let result = mao_sim::simulate(
-            &unit,
-            "probe_main",
-            &[],
-            &proc.config,
-            &mao_sim::SimOptions::default(),
-        )
-        .map_err(|e| BenchmarkError::Sim(e.to_string()))?;
-        let rate = result.pmu.mispredict_rate();
+        let counters = backend.run_asm(&asm, proc, &["BR_MISP_RETIRED", "BRANCHES"])?;
+        let branches = read_event(&counters, "BRANCHES")?.max(1);
+        let rate = read_event(&counters, "BR_MISP_RETIRED")? as f64 / branches as f64;
         if rate < 0.05 && collapse_at.is_none() {
             collapse_at = Some(gap);
         }
@@ -121,6 +179,7 @@ pub fn detect_predictor_shift(proc: &Processor) -> Result<u32, BenchmarkError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::NoisyBackend;
 
     #[test]
     fn latency_of_add_is_one() {
@@ -152,5 +211,37 @@ mod tests {
     fn predictor_shift_detected() {
         assert_eq!(detect_predictor_shift(&Processor::core2()).unwrap(), 5);
         assert_eq!(detect_predictor_shift(&Processor::opteron()).unwrap(), 4);
+    }
+
+    #[test]
+    fn bad_template_is_a_parse_error_not_a_panic() {
+        let proc = Processor::core2();
+        assert!(matches!(
+            instruction_latency(&proc, ""),
+            Err(BenchmarkError::Parse(_))
+        ));
+    }
+
+    /// The regression the detect rewrite exists for: a backend that never
+    /// stabilizes must produce a structured `Unstable` error, not a panic
+    /// or a bogus latency.
+    #[test]
+    fn noisy_backend_yields_unstable_not_panic() {
+        let proc = Processor::core2();
+        let mut noisy = NoisyBackend::new(SimBackend, 3, 80);
+        let err = instruction_latency_with(&mut noisy, &proc, "addl %r, %r").unwrap_err();
+        assert!(
+            matches!(err, BenchmarkError::Unstable { ref event, .. } if event == "CPU_CYCLES"),
+            "{err:?}"
+        );
+    }
+
+    /// Mildly noisy measurements still converge to the true latency.
+    #[test]
+    fn mild_noise_recovers_latency_via_median() {
+        let proc = Processor::core2();
+        let mut noisy = NoisyBackend::new(SimBackend, 11, 2);
+        let lat = instruction_latency_with(&mut noisy, &proc, "imull %r, %r").unwrap();
+        assert_eq!(lat, 3);
     }
 }

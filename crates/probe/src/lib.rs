@@ -5,16 +5,36 @@
 //! InstructionSequence, Loop, Benchmark — that generate assembly programs,
 //! run them in isolation, collect PMU counters, and infer hardware
 //! parameters. The paper implements them as Python classes driving real
-//! hardware; here they are Rust types driving the `mao-sim` model, so the
-//! whole detection loop (Fig. 6's `InstructionLatency`, plus LSD-window and
-//! predictor-shift probes) runs hermetically.
+//! hardware; here they are Rust types driving pluggable measurement
+//! backends (the deterministic `mao-sim` model, or a wall-clock path on
+//! capable hosts), so the whole detection loop (Fig. 6's
+//! `InstructionLatency`, plus LSD-window and predictor-shift probes) runs
+//! hermetically.
+//!
+//! On top of the detection primitives sits the calibration sweep
+//! ([`run_sweep`]): the full catalog of instruction shapes measured across
+//! CHAIN/CYCLE/DISJOINT dependence DAGs, solved into a versioned `.mpt`
+//! cost table ([`mao_x86::cost::CostModel`]) that the simulator, the
+//! scheduler and the alignment passes consume through the process-global
+//! cost provider.
 
+pub mod backend;
 pub mod benchmark;
+pub mod catalog;
 pub mod detect;
 pub mod processor;
 pub mod sequence;
+pub mod solver;
+pub mod sweep;
 
-pub use benchmark::{Benchmark, StraightLineLoop};
-pub use detect::{detect_lsd_window, detect_predictor_shift, instruction_latency};
+pub use backend::{measure_stable, MeasureBackend, NoisyBackend, SimBackend, WallClockBackend};
+pub use benchmark::{Benchmark, BenchmarkError, StraightLineLoop};
+pub use catalog::{catalog, ProbeSpec};
+pub use detect::{
+    detect_lsd_window, detect_lsd_window_with, detect_predictor_shift, detect_predictor_shift_with,
+    instruction_latency, instruction_latency_with,
+};
 pub use processor::{InstructionTemplate, Processor};
 pub use sequence::{DagType, InstructionSequence};
+pub use solver::{fit, SpecMeasurement};
+pub use sweep::{run_sweep, SweepConfig, SweepError, SweepReport};

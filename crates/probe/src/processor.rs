@@ -14,7 +14,9 @@ use mao_x86::RegId;
 ///
 /// Supported placeholder grammar (a subset of the paper's attribute
 /// system, extensible the same way): `%r` = any scratch GPR (32-bit),
-/// `%q` = any scratch GPR (64-bit), `$i` = a small immediate.
+/// `%q` = any scratch GPR (64-bit), `%x` = any scratch XMM register,
+/// `(%q)` = a register-indirect memory operand through a scratch GPR,
+/// `$i` = a small immediate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstructionTemplate {
     /// AT&T mnemonic (`addl`, `imull`, `movl`, ...).
@@ -45,12 +47,23 @@ impl InstructionTemplate {
         })
     }
 
-    /// Number of register placeholders.
+    /// Number of register placeholders (GPR, XMM, and memory-base slots all
+    /// count: the generator assigns each one a register from the DAG shape).
     pub fn register_slots(&self) -> usize {
         self.operands
             .iter()
-            .filter(|o| *o == "%r" || *o == "%q")
+            .filter(|o| matches!(o.as_str(), "%r" | "%q" | "%x" | "(%q)"))
             .count()
+    }
+
+    /// Does the template use XMM registers anywhere?
+    pub fn uses_xmm(&self) -> bool {
+        self.operands.iter().any(|o| o == "%x")
+    }
+
+    /// Does the template touch memory anywhere?
+    pub fn uses_memory(&self) -> bool {
+        self.operands.iter().any(|o| o == "(%q)")
     }
 }
 
@@ -106,6 +119,13 @@ impl Processor {
             mao_x86::Reg::l(id)
         };
         reg.att_name().to_string()
+    }
+
+    /// AT&T name of scratch XMM register `i` (xmm0..xmm8, mirroring the
+    /// GPR scratch count so DAG shapes index both files identically).
+    pub fn xmm_name(&self, i: usize) -> String {
+        let n = (i % self.scratch.len()) as u8;
+        mao_x86::Reg::xmm(n).att_name().to_string()
     }
 
     /// The PMU event the latency probe reads.

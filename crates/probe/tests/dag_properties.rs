@@ -1,0 +1,192 @@
+//! Property tests for the dependence-DAG kernel generator.
+//!
+//! The sweep's measurements are only as good as the kernels: a CYCLE that
+//! fails to close its ring measures throughput where the solver expects
+//! latency, and a DISJOINT with a hidden cross-instruction dependence
+//! deflates the throughput estimate. So rather than eyeballing emitted
+//! text, these tests reparse every generated kernel through the real
+//! front end and verify the *declared* dependence structure with def-use
+//! walks over the decoded instructions:
+//!
+//! 1. every CHAIN/CYCLE/DISJOINT kernel for every catalog template
+//!    reparses cleanly via `MaoUnit::parse` (scaffolding included);
+//! 2. CYCLE bodies are RAW-serial rings — each instruction reads a
+//!    register the previous one wrote, and the first reads the last's
+//!    destination;
+//! 3. CHAIN bodies (two-register templates) link each instruction to its
+//!    predecessor the same way;
+//! 4. DISJOINT bodies have no cross-instruction register RAW dependence
+//!    at all;
+//! 5. generation is deterministic per seed — the property that makes
+//!    `.mpt` provenance (`generator`, `seed`) reproducible.
+
+use mao::MaoUnit;
+use mao_probe::{
+    catalog, Benchmark, DagType, InstructionSequence, InstructionTemplate, ProbeSpec, Processor,
+    StraightLineLoop,
+};
+use mao_x86::{def_use, Instruction};
+use proptest::prelude::*;
+
+/// Generate one kernel body and decode it through the real parser.
+fn kernel(spec: &ProbeSpec, dag: DagType, len: usize, seed: u64) -> Vec<Instruction> {
+    let proc = Processor::core2();
+    let mut seq = InstructionSequence::new(&proc);
+    seq.set_instruction_template(InstructionTemplate::parse(spec.template).expect("template"))
+        .set_dag_type(dag)
+        .set_length(len)
+        .set_seed(seed)
+        .generate(&proc);
+    let text: String = seq.instructions.join("\n") + "\n";
+    let unit = MaoUnit::parse(&text)
+        .unwrap_or_else(|e| panic!("{} {dag:?} kernel must parse: {e}\n{text}", spec.name));
+    unit.entries()
+        .iter()
+        .filter_map(|e| e.insn().cloned())
+        .collect()
+}
+
+/// Does `user` read any register `producer` writes?
+fn raw_dep(producer: &Instruction, user: &Instruction) -> bool {
+    let defs = def_use(producer);
+    let uses = def_use(user);
+    defs.reg_defs.iter().any(|d| uses.uses_reg(d.id))
+}
+
+/// Kernel lengths stay within the scratch pool (9 GPRs / 9 XMMs) so
+/// DISJOINT never recycles a register within one body.
+fn body_len(seed: u64) -> usize {
+    2 + (seed % 7) as usize
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every catalog template × every dependence shape, wrapped in the
+    /// full benchmark scaffolding (trip-count setup, loop label, branch),
+    /// parses through the same front end the optimizer uses.
+    #[test]
+    fn generated_kernels_reparse_cleanly(seed in any::<u64>()) {
+        let proc = Processor::core2();
+        let len = body_len(seed);
+        for spec in catalog() {
+            for dag in [DagType::Chain, DagType::Cycle, DagType::Disjoint] {
+                let mut seq = InstructionSequence::new(&proc);
+                seq.set_instruction_template(
+                    InstructionTemplate::parse(spec.template).expect("template"),
+                )
+                .set_dag_type(dag)
+                .set_length(len)
+                .set_seed(seed)
+                .generate(&proc);
+                let asm = Benchmark::new(vec![
+                    StraightLineLoop::new(vec![seq]).with_trip_count(10),
+                ])
+                .assembly();
+                prop_assert!(
+                    MaoUnit::parse(&asm).is_ok(),
+                    "{} {:?} benchmark must parse:\n{}",
+                    spec.name,
+                    dag,
+                    asm
+                );
+            }
+        }
+    }
+
+    /// CYCLE kernels are closed RAW rings: instruction `i` reads what
+    /// `i-1` wrote, and instruction 0 reads what the last one wrote. This
+    /// is the structure that keeps exactly one link in flight, i.e. makes
+    /// CPI equal latency.
+    #[test]
+    fn cycle_kernels_are_raw_serial_rings(seed in any::<u64>()) {
+        let len = body_len(seed);
+        for spec in catalog() {
+            let insns = kernel(&spec, DagType::Cycle, len, seed);
+            prop_assert_eq!(insns.len(), len, "{}", spec.name);
+            for i in 0..insns.len() {
+                let prev = &insns[(i + insns.len() - 1) % insns.len()];
+                prop_assert!(
+                    raw_dep(prev, &insns[i]),
+                    "{}: cycle link {} broken: `{}` -> `{}`",
+                    spec.name,
+                    i,
+                    prev,
+                    insns[i]
+                );
+            }
+        }
+    }
+
+    /// CHAIN kernels on two-register templates link each instruction to
+    /// its predecessor (RAW), without requiring the ring to close.
+    #[test]
+    fn chain_kernels_link_each_instruction_to_its_predecessor(seed in any::<u64>()) {
+        let len = body_len(seed);
+        for spec in catalog().into_iter().filter(|s| s.two_reg) {
+            let insns = kernel(&spec, DagType::Chain, len, seed);
+            for w in insns.windows(2) {
+                prop_assert!(
+                    raw_dep(&w[0], &w[1]),
+                    "{}: chain link broken: `{}` -> `{}`",
+                    spec.name,
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    /// DISJOINT kernels have no cross-instruction register dependence:
+    /// nothing any instruction reads was written by a *different*
+    /// instruction in the body. (Reading your own destination is fine —
+    /// read-modify-write templates do.)
+    #[test]
+    fn disjoint_kernels_have_no_cross_instruction_raw_deps(seed in any::<u64>()) {
+        let len = body_len(seed);
+        for spec in catalog() {
+            let insns = kernel(&spec, DagType::Disjoint, len, seed);
+            for (i, user) in insns.iter().enumerate() {
+                for (j, producer) in insns.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    prop_assert!(
+                        !raw_dep(producer, user),
+                        "{}: disjoint body has a dep: `{}` (#{}) reads `{}` (#{})",
+                        spec.name,
+                        user,
+                        i,
+                        producer,
+                        j
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same seed, same kernel — byte for byte. The `.mpt` provenance
+    /// records (generator, seed); this is what makes that record enough
+    /// to regenerate the exact benchmark set.
+    #[test]
+    fn generation_is_deterministic_per_seed(seed in any::<u64>()) {
+        let proc = Processor::core2();
+        let len = body_len(seed);
+        for spec in catalog() {
+            for dag in [DagType::Chain, DagType::Cycle, DagType::Random, DagType::Disjoint] {
+                let emit = || {
+                    let mut seq = InstructionSequence::new(&proc);
+                    seq.set_instruction_template(
+                        InstructionTemplate::parse(spec.template).expect("template"),
+                    )
+                    .set_dag_type(dag)
+                    .set_length(len)
+                    .set_seed(seed)
+                    .generate(&proc);
+                    seq.instructions.clone()
+                };
+                prop_assert_eq!(emit(), emit(), "{} {:?} seed {}", spec.name, dag, seed);
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Golden-table test: the committed `.mpt` fixture is the contract
+//! between the calibration sweep and every consumer of measured costs.
+//!
+//! `tests/fixtures/core2.mpt` was produced by
+//!
+//! ```text
+//! mao probe --sweep --profile core2 --seed 42 --trips 500 \
+//!     --name golden-core2 -o crates/probe/tests/fixtures/core2.mpt
+//! ```
+//!
+//! Three things must keep holding:
+//!
+//! 1. the fixture loads through [`CostModel::load_mpt`] with its recorded
+//!    provenance intact (format stability — a container change that can't
+//!    read old tables fails here first);
+//! 2. the measured latencies in the fixture equal the hand-set core2
+//!    profile *exactly*, for every catalog mnemonic (the sweep recovers
+//!    the simulator's ground truth, no tolerance);
+//! 3. replaying the sweep today with the recorded (generator, seed)
+//!    reproduces the fixture byte-for-byte (same fingerprint) — the
+//!    provenance block really is sufficient to regenerate the table.
+
+use std::path::PathBuf;
+
+use mao_obs::Obs;
+use mao_probe::{catalog, run_sweep, Processor, SimBackend, SweepConfig};
+use mao_x86::cost::CostModel;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("core2.mpt")
+}
+
+/// The exact configuration the fixture was generated with.
+fn fixture_config() -> SweepConfig {
+    SweepConfig {
+        name: Some("golden-core2".to_string()),
+        seed: 42,
+        trip_count: 500,
+        ..SweepConfig::default()
+    }
+}
+
+#[test]
+fn fixture_loads_with_provenance_intact() {
+    let model = CostModel::load_mpt(&fixture_path()).expect("committed fixture must load");
+    assert_eq!(model.name, "golden-core2");
+    assert_eq!(model.provenance.source, "probe/sim");
+    assert_eq!(model.provenance.target, "intel-core2-like");
+    assert_eq!(model.provenance.seed, 42);
+    assert!(!model.provenance.generator.is_empty());
+    assert_eq!(model.len(), catalog().len(), "one entry per catalog spec");
+}
+
+#[test]
+fn fixture_latencies_match_the_core2_profile_exactly() {
+    let measured = CostModel::load_mpt(&fixture_path()).expect("committed fixture must load");
+    let profile = CostModel::core2();
+    for spec in catalog() {
+        let got = measured.get(spec.mnemonic);
+        let want = profile.get(spec.mnemonic);
+        assert_eq!(
+            got.latency, want.latency,
+            "{}: measured latency {} != profile latency {}",
+            spec.name, got.latency, want.latency
+        );
+    }
+    // Machine parameters the sweep detects, not just per-mnemonic costs.
+    assert_eq!(
+        measured.machine.lsd_max_lines,
+        profile.machine.lsd_max_lines
+    );
+    assert_eq!(
+        measured.machine.predictor_shift,
+        profile.machine.predictor_shift
+    );
+    assert_eq!(measured.machine.load_latency, profile.machine.load_latency);
+}
+
+#[test]
+fn replaying_the_recorded_sweep_reproduces_the_fixture_bit_for_bit() {
+    let committed = CostModel::load_mpt(&fixture_path()).expect("committed fixture must load");
+    let report = run_sweep(
+        &mut SimBackend,
+        &Processor::core2(),
+        &fixture_config(),
+        &Obs::aggregating(),
+    )
+    .expect("replay sweep succeeds");
+    assert!(report.skipped.is_empty(), "skipped: {:?}", report.skipped);
+    assert_eq!(
+        report.model.fingerprint(),
+        committed.fingerprint(),
+        "replayed sweep diverged from the committed table — either the \
+         generator changed (regenerate the fixture and say so in the \
+         commit) or determinism broke (a bug)"
+    );
+}

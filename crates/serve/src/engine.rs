@@ -97,6 +97,12 @@ pub struct EngineConfig {
     pub snapshot_dir: Option<std::path::PathBuf>,
     /// Snapshot-store byte budget (0 = unbounded).
     pub snapshot_max_bytes: u64,
+    /// `.mpt` cost table to install as the process-global cost model before
+    /// any pipeline runs (None = keep the builtin hand-set table). A table
+    /// that fails to load — corrupt, truncated, version-skewed — is a
+    /// startup error: the daemon refuses to serve rather than silently
+    /// planning with different numbers than the operator asked for.
+    pub cost_model: Option<std::path::PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -115,6 +121,7 @@ impl Default for EngineConfig {
             idle_timeout_ms: 300_000,
             snapshot_dir: None,
             snapshot_max_bytes: 0,
+            cost_model: None,
         }
     }
 }
@@ -233,6 +240,27 @@ impl Engine {
             config.shards
         };
         let obs = Obs::aggregating();
+        // Install the measured cost table before any shard can run a pass:
+        // a table the loader rejects must never reach the provider.
+        if let Some(path) = &config.cost_model {
+            let model = mao_x86::cost::CostModel::load_mpt(path)
+                .map_err(|e| format!("cannot load cost model {}: {e}", path.display()))?;
+            mao_x86::cost::install(Arc::new(model));
+        }
+        // Info-style series: value 1, provenance in the labels, so a scrape
+        // can alert when a daemon is not planning with the expected table.
+        let model = mao_x86::cost::current();
+        let fingerprint = format!("{:016x}", model.fingerprint());
+        obs.metrics
+            .counter_with(
+                "mao_cost_model_info",
+                &[
+                    ("name", model.name.as_str()),
+                    ("source", model.provenance.source.as_str()),
+                    ("fingerprint", fingerprint.as_str()),
+                ],
+            )
+            .inc();
         let disk = match &config.cache_dir {
             Some(dir) => Some(
                 DiskCache::open(DiskCacheConfig {
@@ -1002,6 +1030,59 @@ mod tests {
             timeout_ms: None,
             use_cache: false,
         })
+    }
+
+    #[test]
+    fn corrupt_cost_model_is_a_startup_error_not_an_install() {
+        let dir = tempdir("badmpt");
+        let path = dir.join("bad.mpt");
+        std::fs::write(&path, b"not a parameter table").unwrap();
+        let before = mao_x86::cost::current().fingerprint();
+        let err = match Engine::build(EngineConfig {
+            shards: 1,
+            cost_model: Some(path),
+            ..EngineConfig::default()
+        }) {
+            Ok(_) => panic!("corrupt table must not build an engine"),
+            Err(e) => e,
+        };
+        assert!(err.contains("cannot load cost model"), "{err}");
+        // The rejected table must never have reached the provider.
+        assert_eq!(mao_x86::cost::current().fingerprint(), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cost_model_table_loads_installs_and_reports_provenance() {
+        let dir = tempdir("mpt");
+        let path = dir.join("table.mpt");
+        let mut model = mao_x86::cost::CostModel::core2();
+        model.name = "engine-test-table".to_string();
+        model.provenance.source = "probe/sim".to_string();
+        model.provenance.seed = 17;
+        model.write_mpt(&path).unwrap();
+        let engine = Engine::build(EngineConfig {
+            shards: 1,
+            cost_model: Some(path),
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let snap = engine.snapshot();
+        assert_eq!(snap.cost_model.name, "engine-test-table");
+        assert_eq!(snap.cost_model.source, "probe/sim");
+        assert_eq!(snap.cost_model.seed, 17);
+        assert!(snap.cost_model.mnemonics > 0);
+        // The info series carries the same provenance for scrapes.
+        let text = engine.handle(Request::Metrics);
+        let Response::Metrics(text) = text else {
+            panic!("metrics response");
+        };
+        assert!(text.contains("mao_cost_model_info"), "{text}");
+        assert!(text.contains("engine-test-table"), "{text}");
+        // Put the builtin back: the provider is process-global and other
+        // tests in this binary read it.
+        mao_x86::cost::install_builtin();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -76,7 +76,7 @@ pub use result_cache::{request_key, CacheTier, RequestKey, ResultCache, ResultCa
 pub use server::{connect, serve, Listen};
 pub use snapshot_store::SnapshotStore;
 pub use stats::{
-    AdmissionStats, RequestCounters, ServerStats, ShardStats, StatsSnapshot, SuperoptStats,
-    STATS_SCHEMA_VERSION,
+    AdmissionStats, CostModelStats, RequestCounters, ServerStats, ShardStats, StatsSnapshot,
+    SuperoptStats, STATS_SCHEMA_VERSION,
 };
 pub use store::{ArtifactStore, StoreConfig, StoreStats};

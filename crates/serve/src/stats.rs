@@ -30,8 +30,11 @@ use crate::result_cache::ResultCacheStats;
 /// from SUPEROPT pass runs served by this daemon); version 5 added the
 /// `frontend` object (parse time, snapshot-store hit/miss counters, symbol
 /// interner size) and the `layout_cache.hit_disk`/`miss_disk` members
-/// reporting the persistent layout tier.
-pub const STATS_SCHEMA_VERSION: u64 = 5;
+/// reporting the persistent layout tier; version 6 added the `cost_model`
+/// object (name/source/generator/seed/mnemonic-count/fingerprint of the
+/// process-global cost table every port/latency-sensitive pass plans
+/// with — `hand-set` builtins or a `probe/<backend>` `.mpt` sweep).
+pub const STATS_SCHEMA_VERSION: u64 = 6;
 
 /// Cumulative service counters. One instance lives for the daemon's whole
 /// life and is shared by every connection and worker thread. The counters
@@ -237,6 +240,42 @@ impl ServerStats {
             span_totals,
             superopt: self.superopt.snapshot(),
             frontend,
+            cost_model: CostModelStats::current(),
+        }
+    }
+}
+
+/// Provenance of the process-global cost model (schema v6). Answers "which
+/// numbers did the scheduler and alignment passes plan with" — the builtin
+/// hand-set tables or a measured `.mpt` sweep — without a daemon restart
+/// ambiguity: the fingerprint is the `.mpt` payload checksum.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CostModelStats {
+    /// Model name (`intel-core2-like`, `my-box`, ...).
+    pub name: String,
+    /// `hand-set` for builtins, `probe/<backend>` for sweeps.
+    pub source: String,
+    /// Generator identity, e.g. `mao-probe sweep v1`.
+    pub generator: String,
+    /// RNG seed the sweep ran with (0 for hand-set tables).
+    pub seed: u64,
+    /// Explicit per-mnemonic entries in the table.
+    pub mnemonics: u64,
+    /// `.mpt` payload checksum of the serialized table.
+    pub fingerprint: u64,
+}
+
+impl CostModelStats {
+    /// Snapshot the process-global provider.
+    pub fn current() -> CostModelStats {
+        let model = mao_x86::cost::current();
+        CostModelStats {
+            name: model.name.clone(),
+            source: model.provenance.source.clone(),
+            generator: model.provenance.generator.clone(),
+            seed: model.provenance.seed,
+            mnemonics: model.len() as u64,
+            fingerprint: model.fingerprint(),
         }
     }
 }
@@ -359,6 +398,8 @@ pub struct StatsSnapshot {
     pub superopt: SuperoptStats,
     /// Front-end totals: parse time, snapshot tier, symbol interner.
     pub frontend: FrontendStats,
+    /// Provenance of the cost model the passes planned with.
+    pub cost_model: CostModelStats,
 }
 
 fn analysis_cache_json(stats: &CacheStats) -> Json {
@@ -516,6 +557,20 @@ impl StatsSnapshot {
                     ("cache_misses", Json::from(self.superopt.cache_misses)),
                     ("diff_rejects", Json::from(self.superopt.diff_rejects)),
                     ("oracle_rejects", Json::from(self.superopt.oracle_rejects)),
+                ]),
+            ),
+            (
+                "cost_model",
+                Json::obj(vec![
+                    ("name", Json::from(self.cost_model.name.clone())),
+                    ("source", Json::from(self.cost_model.source.clone())),
+                    ("generator", Json::from(self.cost_model.generator.clone())),
+                    ("seed", Json::from(self.cost_model.seed)),
+                    ("mnemonics", Json::from(self.cost_model.mnemonics)),
+                    (
+                        "fingerprint",
+                        Json::from(format!("{:016x}", self.cost_model.fingerprint)),
+                    ),
                 ]),
             ),
         ])
@@ -677,6 +732,21 @@ mod tests {
                 .as_u64(),
             Some(3)
         );
+    }
+
+    #[test]
+    fn cost_model_provenance_renders_in_the_snapshot() {
+        let stats = ServerStats::default();
+        let snap = snapshot_of(&stats);
+        let cm = snap.get("cost_model").unwrap();
+        // Whatever provider is installed (builtin here; tests elsewhere in
+        // this process may install sweeps), the provenance must be present
+        // and well-formed.
+        assert!(!cm.get("name").unwrap().as_str().unwrap().is_empty());
+        assert!(!cm.get("source").unwrap().as_str().unwrap().is_empty());
+        assert!(cm.get("mnemonics").unwrap().as_u64().unwrap() > 0);
+        assert_eq!(cm.get("fingerprint").unwrap().as_str().unwrap().len(), 16);
+        assert!(cm.get("seed").unwrap().as_u64().is_some());
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub struct BackendConfig {
 pub struct UarchConfig {
     /// Human-readable name (shown in experiment tables).
     pub name: &'static str,
+    /// The instruction cost table the timing pipeline charges from
+    /// (latencies and port bindings). Built-in profiles carry the matching
+    /// built-in table; calibrated profiles carry a measured one.
+    pub cost: mao_x86::cost::CostModel,
     /// Instruction fetch/decode chunk in bytes (16 on Core-2).
     pub decode_line: u64,
     /// Decode lines fetched per cycle.
@@ -95,6 +99,7 @@ impl UarchConfig {
     pub fn core2() -> UarchConfig {
         UarchConfig {
             name: "intel-core2-like",
+            cost: mao_x86::cost::CostModel::core2(),
             decode_line: 16,
             lines_per_cycle: 1,
             taken_branch_bubble: 1,
@@ -135,6 +140,7 @@ impl UarchConfig {
     pub fn opteron() -> UarchConfig {
         UarchConfig {
             name: "amd-opteron-like",
+            cost: mao_x86::cost::CostModel::opteron(),
             decode_line: 32,
             lines_per_cycle: 1,
             taken_branch_bubble: 1,
@@ -180,6 +186,30 @@ impl UarchConfig {
     pub fn predictor_entries(&self) -> usize {
         1 << self.predictor.table_bits
     }
+
+    /// A profile built from a measured cost model (`mao probe
+    /// --calibrate-profile`): the parameters the sweep recovers — decode
+    /// geometry, LSD window, predictor shift, mispredict penalty,
+    /// load-to-use latency, port shape and the per-mnemonic table — come
+    /// from the model; structure sizes measurement cannot see (cache
+    /// organization, RS depth, fetch-queue depth) are inherited from the
+    /// Core-2-like baseline.
+    pub fn from_cost_model(model: &mao_x86::cost::CostModel) -> UarchConfig {
+        let mut c = UarchConfig::core2();
+        // Calibrated profiles are built a handful of times per process;
+        // leaking the name keeps `name` a plain `&'static str` everywhere.
+        c.name = Box::leak(model.name.clone().into_boxed_str());
+        c.decode_line = u64::from(model.machine.decode_line.max(1));
+        c.predictor.index_shift = model.machine.predictor_shift;
+        c.predictor.mispredict_penalty = u64::from(model.machine.mispredict_penalty);
+        c.lsd.enabled = model.machine.lsd_max_lines > 0;
+        c.lsd.max_lines = u64::from(model.machine.lsd_max_lines.max(1));
+        c.l1d.hit_latency = u64::from(model.machine.load_latency);
+        c.backend.num_ports = model.machine.num_ports.max(1) as usize;
+        c.backend.symmetric_ports = model.machine.symmetric_ports;
+        c.cost = model.clone();
+        c
+    }
 }
 
 impl Default for UarchConfig {
@@ -216,5 +246,28 @@ mod tests {
     #[test]
     fn predictor_entries() {
         assert_eq!(UarchConfig::core2().predictor_entries(), 512);
+    }
+
+    #[test]
+    fn profiles_carry_matching_cost_tables() {
+        assert_eq!(UarchConfig::core2().cost.name, "intel-core2-like");
+        assert_eq!(UarchConfig::opteron().cost.name, "amd-opteron-like");
+        assert_eq!(UarchConfig::opteron().cost.machine.num_ports, 4);
+    }
+
+    #[test]
+    fn calibrated_profile_takes_measured_parameters() {
+        let mut model = mao_x86::cost::CostModel::opteron();
+        model.name = "measured-box".to_string();
+        let c = UarchConfig::from_cost_model(&model);
+        assert_eq!(c.name, "measured-box");
+        assert_eq!(c.decode_line, 32);
+        assert_eq!(c.predictor.index_shift, 4);
+        assert_eq!(c.lsd.max_lines, 1);
+        assert_eq!(c.backend.num_ports, 4);
+        assert!(c.backend.symmetric_ports);
+        assert_eq!(c.cost, model);
+        // Structure sizes measurement cannot see come from the baseline.
+        assert_eq!(c.backend.rs_size, UarchConfig::core2().backend.rs_size);
     }
 }

@@ -19,64 +19,12 @@
 
 use std::collections::BTreeMap;
 
-use mao_x86::{def_use, Instruction, Mnemonic};
+use mao_x86::{def_use, Instruction};
 
 use crate::config::UarchConfig;
 use crate::machine::ExecInfo;
 use crate::memory::{Access, Cache};
 use crate::pmu::Pmu;
-
-/// Execution latency in cycles (structural model shared with the
-/// scheduler's cost function; values rank instructions, they do not claim
-/// cycle-exactness). Public so the superoptimizer's cost model ranks
-/// candidates with the same numbers the timing simulator charges.
-pub fn latency(insn: &Instruction) -> u64 {
-    use Mnemonic as M;
-    match insn.mnemonic {
-        M::Imul | M::Mul => 3,
-        M::Idiv | M::Div => 20,
-        M::Mulss | M::Mulsd => 4,
-        M::Addss | M::Addsd | M::Subss | M::Subsd => 3,
-        M::Divss | M::Divsd | M::Sqrtss | M::Sqrtsd => 12,
-        M::Cvtsi2ss | M::Cvtsi2sd | M::Cvttss2si | M::Cvttsd2si | M::Cvtss2sd | M::Cvtsd2ss => 3,
-        _ => 1,
-    }
-}
-
-/// Port mask for an instruction under `num_ports` ports. Mirrors the
-/// §III.F anecdote: `lea` on port 0 only, shifts on ports 0 and 5.
-///
-/// Machines with three or fewer ports (the AMD-Opteron-like profile) are
-/// modeled as symmetric — the K8 had three identical integer lanes — so
-/// every instruction may issue anywhere.
-fn port_mask(insn: &Instruction, num_ports: usize, symmetric: bool) -> u64 {
-    use Mnemonic as M;
-    let du = def_use(insn);
-    let all = (1u64 << num_ports) - 1;
-    if symmetric || num_ports <= 3 {
-        return all;
-    }
-    let mask = if du.mem_write {
-        0b01_1000
-    } else if du.mem_read && insn.mnemonic == M::Mov {
-        0b00_0100
-    } else {
-        match insn.mnemonic {
-            M::Lea => 0b00_0001,
-            M::Shl | M::Shr | M::Sar => 0b10_0001,
-            M::Imul | M::Mul | M::Mulss | M::Mulsd => 0b00_0010,
-            M::Addss | M::Addsd | M::Subss | M::Subsd => 0b00_0001,
-            M::Idiv | M::Div | M::Divss | M::Divsd | M::Sqrtss | M::Sqrtsd => 0b00_0001,
-            _ => 0b10_0011,
-        }
-    };
-    let clipped = mask & all;
-    if clipped == 0 {
-        all
-    } else {
-        clipped
-    }
-}
 
 /// Two-bit saturating counter branch predictor with configurable index
 /// shift (the aliasing mechanism) and optional global history.
@@ -431,8 +379,10 @@ impl<'a> Timing<'a> {
             ready = admit;
         }
 
-        // Port selection.
-        let mask = port_mask(
+        // Port selection, from the profile's cost table (§III.F anecdote:
+        // lea on port 0 only, shifts on ports 0 and 5; symmetric machines
+        // and machines with three or fewer ports issue anywhere).
+        let mask = self.config.cost.ports_for(
             insn,
             self.config.backend.num_ports,
             self.config.backend.symmetric_ports,
@@ -481,7 +431,7 @@ impl<'a> Timing<'a> {
             let _ = self.cache.access(addr, nt);
         }
 
-        let done = issue + latency(insn) + extra;
+        let done = issue + self.config.cost.latency(insn) + extra;
 
         // Writeback.
         for d in &du.reg_defs {
@@ -632,19 +582,21 @@ mod tests {
     }
 
     #[test]
-    fn port_masks() {
+    fn port_masks_come_from_the_cost_table() {
+        let cost = UarchConfig::core2().cost;
         let lea = mao::MaoUnit::parse("leal (%rax), %ebx\n").unwrap();
-        assert_eq!(port_mask(lea.insn(0).unwrap(), 6, false), 0b00_0001);
+        assert_eq!(cost.ports_for(lea.insn(0).unwrap(), 6, false), 0b00_0001);
         let sar = mao::MaoUnit::parse("sarl %eax\n").unwrap();
-        assert_eq!(port_mask(sar.insn(0).unwrap(), 6, false), 0b10_0001);
+        assert_eq!(cost.ports_for(sar.insn(0).unwrap(), 6, false), 0b10_0001);
         // Clipping to fewer ports keeps a nonempty mask.
-        assert_ne!(port_mask(sar.insn(0).unwrap(), 3, false), 0);
+        assert_ne!(cost.ports_for(sar.insn(0).unwrap(), 3, false), 0);
     }
 
     #[test]
     fn latency_ranks() {
+        let cost = UarchConfig::core2().cost;
         let mul = mao::MaoUnit::parse("imull %ecx, %eax\n").unwrap();
         let add = mao::MaoUnit::parse("addl %ecx, %eax\n").unwrap();
-        assert!(latency(mul.insn(0).unwrap()) > latency(add.insn(0).unwrap()));
+        assert!(cost.latency(mul.insn(0).unwrap()) > cost.latency(add.insn(0).unwrap()));
     }
 }

@@ -62,10 +62,11 @@ pub struct SearchCounters {
     pub oracle_rejects: u64,
 }
 
-/// Cost of one instruction: simulated latency (×16) plus encoded length.
+/// Cost of one instruction: modeled latency (×16, from the installed cost
+/// table) plus encoded length.
 pub fn insn_cost(insn: &Instruction) -> Option<u64> {
     let len = encoded_length(insn, BranchForm::Rel32).ok()? as u64;
-    Some(mao_sim::timing::latency(insn) * 16 + len)
+    Some(mao_x86::cost::current().latency(insn) * 16 + len)
 }
 
 /// Cost of a candidate sequence; `None` if any instruction is unencodable.

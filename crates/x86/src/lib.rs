@@ -26,6 +26,7 @@
 //! assert!(!du.flags_def.is_empty());
 //! ```
 
+pub mod cost;
 pub mod effects;
 pub mod encode;
 pub mod flags;
@@ -35,6 +36,7 @@ pub mod operand;
 pub mod reg;
 pub mod sym;
 
+pub use cost::{CostModel, MachineParams, MnemonicCost, MptError};
 pub use effects::{def_use, effects, DefUse, Effects};
 pub use encode::{encode, encoded_length, BranchForm, EncodeError};
 pub use flags::{Cond, Flags};

@@ -30,6 +30,50 @@ echo "==> differential check (smoke)"
 target/release/mao check --smoke
 target/release/mao check --inject-miscompile > /dev/null
 
+echo "==> cost-model calibration smoke"
+# Probe sweep on the deterministic sim backend, round-tripped through
+# `--show`; the committed golden fixture must load; and a damaged table in
+# every class — truncated, corrupted, version-skewed, not-a-table — must
+# be rejected with its structured reason and never installed (the same
+# validate-before-serve discipline as the serve disk store). The
+# differential smoke then runs under the measured table and banners it.
+PROBE_WORK=$(mktemp -d)
+trap 'rm -rf "$PROBE_WORK"' EXIT
+target/release/mao probe --sweep --profile core2 --seed 42 --trips 500 \
+    --name ci-core2 -o "$PROBE_WORK/ci.mpt" > "$PROBE_WORK/sweep.log"
+grep -q 'probe sweep: probe/sim on intel-core2-like' "$PROBE_WORK/sweep.log"
+grep -q ', 0 unstable' "$PROBE_WORK/sweep.log"
+target/release/mao probe --show "$PROBE_WORK/ci.mpt" > "$PROBE_WORK/show.log"
+grep -q 'ci-core2' "$PROBE_WORK/show.log"
+grep -q 'source probe/sim' "$PROBE_WORK/show.log"
+target/release/mao probe --show crates/probe/tests/fixtures/core2.mpt \
+    > "$PROBE_WORK/golden.log"
+grep -q 'golden-core2' "$PROBE_WORK/golden.log"
+
+head -c 30 "$PROBE_WORK/ci.mpt" > "$PROBE_WORK/trunc.mpt"
+cp "$PROBE_WORK/ci.mpt" "$PROBE_WORK/corrupt.mpt"
+printf '\xff' | dd of="$PROBE_WORK/corrupt.mpt" bs=1 \
+    seek=$(( $(stat -c%s "$PROBE_WORK/corrupt.mpt") - 1 )) conv=notrunc 2>/dev/null
+cp "$PROBE_WORK/ci.mpt" "$PROBE_WORK/skew.mpt"
+printf '\x63' | dd of="$PROBE_WORK/skew.mpt" bs=1 seek=8 conv=notrunc 2>/dev/null
+printf 'GARBAGEGARBAGEGARBAGEGARBAGE' > "$PROBE_WORK/junk.mpt"
+for bad in trunc:truncated corrupt:checksum skew:version junk:magic; do
+    f="$PROBE_WORK/${bad%%:*}.mpt"
+    ! target/release/mao probe --show "$f" 2> "$PROBE_WORK/err.log"
+    grep -q "${bad##*:}" "$PROBE_WORK/err.log"
+done
+# A consumer refuses a rejected table outright (never half-installed).
+! target/release/mao check --cases 1 --cost-model "$PROBE_WORK/corrupt.mpt" \
+    2> "$PROBE_WORK/refuse.log"
+grep -q 'cannot load cost model' "$PROBE_WORK/refuse.log"
+
+# Differential smoke under the measured table, bannering its identity.
+target/release/mao check --smoke --cost-model "$PROBE_WORK/ci.mpt" \
+    > "$PROBE_WORK/check.log"
+grep -q 'cost model `ci-core2`' "$PROBE_WORK/check.log"
+rm -rf "$PROBE_WORK"
+trap - EXIT
+
 # Superoptimizer: the bundled smoke unit must yield at least one verified
 # rewrite under a bounded, seeded search; the fault-injection mode must
 # prove the two-phase verifier rejects a deliberately wrong rewrite.
