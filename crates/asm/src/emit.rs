@@ -69,7 +69,7 @@ main:
         use mao_x86::Instruction;
         for len in 1..=6usize {
             let n = Instruction::nop_of_len(len);
-            let text = emit(&[Entry::Insn(n)]);
+            let text = emit(&[Entry::Insn(n.into())]);
             let back = parse(&text).unwrap();
             let i = back[0].insn().unwrap();
             assert_eq!(

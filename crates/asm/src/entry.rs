@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use mao_isa::Insn;
 use mao_x86::sym::Sym;
 use mao_x86::Instruction;
 
@@ -256,23 +257,41 @@ impl fmt::Display for Directive {
 pub enum Entry {
     /// `name:`
     Label(Sym),
-    /// A machine instruction.
-    Insn(Instruction),
+    /// A machine instruction (any ISA; see [`mao_isa::Insn`]).
+    Insn(Insn),
     /// An assembler directive.
     Directive(Directive),
 }
 
 impl Entry {
-    /// The instruction, if this entry is one.
+    /// The x86 instruction, if this entry is one. Entries from other
+    /// ISAs return `None` — x86-only passes see through this accessor
+    /// and naturally skip foreign instructions.
     pub fn insn(&self) -> Option<&Instruction> {
+        match self {
+            Entry::Insn(Insn::X86(i)) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Mutable x86 instruction access (see [`Entry::insn`]).
+    pub fn insn_mut(&mut self) -> Option<&mut Instruction> {
+        match self {
+            Entry::Insn(Insn::X86(i)) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The instruction of any ISA, if this entry is one.
+    pub fn insn_any(&self) -> Option<&Insn> {
         match self {
             Entry::Insn(i) => Some(i),
             _ => None,
         }
     }
 
-    /// Mutable instruction access.
-    pub fn insn_mut(&mut self) -> Option<&mut Instruction> {
+    /// Mutable ISA-neutral instruction access.
+    pub fn insn_any_mut(&mut self) -> Option<&mut Insn> {
         match self {
             Entry::Insn(i) => Some(i),
             _ => None,
@@ -355,7 +374,15 @@ mod tests {
         let e = Entry::Label(".L1".into());
         assert_eq!(e.label(), Some(".L1"));
         assert!(e.insn().is_none());
-        let e = Entry::Insn(Instruction::nop());
+        let e = Entry::Insn(Instruction::nop().into());
         assert!(e.insn().is_some());
+        assert!(e.insn_any().is_some());
+        let a64 = Entry::Insn(mao_aarch64::A64Insn::nop().into());
+        assert!(a64.insn().is_none(), "x86 view must skip A64 entries");
+        assert_eq!(
+            a64.insn_any().map(|i| i.isa()),
+            Some(mao_isa::IsaId::Aarch64)
+        );
+        assert_eq!(a64.to_string(), "\tnop");
     }
 }

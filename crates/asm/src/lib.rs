@@ -19,8 +19,11 @@ pub mod snapshot;
 
 pub use emit::emit;
 pub use entry::{Align, DataItem, DataWidth, Directive, Entry};
+/// The neutral instruction enum and ISA registry, re-exported so front-end
+/// consumers name one crate.
+pub use mao_isa::{Insn, IsaId};
 /// The global symbol interner the zero-copy parser and snapshot codec
 /// share, re-exported for consumers that report its size.
 pub use mao_x86::sym::Sym;
-pub use parser::{parse, parse_with_jobs, ParseError};
+pub use parser::{parse, parse_isa, parse_with_jobs, parse_with_jobs_isa, ParseError};
 pub use parser_reference::parse_reference;

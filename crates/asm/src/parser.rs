@@ -33,6 +33,7 @@
 use std::fmt;
 use std::ops::Range;
 
+use mao_isa::IsaId;
 use mao_x86::insn::Instruction;
 use mao_x86::mnemonic::parse_mnemonic;
 use mao_x86::operand::{Disp, Mem, Operand, Operands};
@@ -80,7 +81,17 @@ const PARALLEL_MIN_BYTES: usize = 64 * 1024;
 /// assert_eq!(entries.len(), 4);
 /// ```
 pub fn parse(text: &str) -> Result<Vec<Entry>, ParseError> {
-    parse_chunk(text, 1, 0)
+    parse_chunk(text, 1, 0, IsaId::X86_64)
+}
+
+/// Parse a complete assembly file for the given ISA.
+///
+/// The grammar above the instruction level (labels, directives, statement
+/// separators) is shared; instruction statements dispatch to the ISA's
+/// parser, and the comment syntax follows the ISA's assembler dialect
+/// (`#` on x86, `//` on AArch64 — where `#` introduces immediates).
+pub fn parse_isa(text: &str, isa: IsaId) -> Result<Vec<Entry>, ParseError> {
+    parse_chunk(text, 1, 0, isa)
 }
 
 /// Parse with up to `jobs` threads, splitting at line boundaries.
@@ -88,9 +99,14 @@ pub fn parse(text: &str) -> Result<Vec<Entry>, ParseError> {
 /// Byte-identical to [`parse`] at any job count: the grammar is line-local,
 /// chunks are merged in input order, and the first error in input order wins.
 pub fn parse_with_jobs(text: &str, jobs: usize) -> Result<Vec<Entry>, ParseError> {
+    parse_with_jobs_isa(text, jobs, IsaId::X86_64)
+}
+
+/// [`parse_with_jobs`] for the given ISA (see [`parse_isa`]).
+pub fn parse_with_jobs_isa(text: &str, jobs: usize, isa: IsaId) -> Result<Vec<Entry>, ParseError> {
     let jobs = jobs.max(1);
     if jobs == 1 || text.len() < PARALLEL_MIN_BYTES {
-        return parse_chunk(text, 1, 0);
+        return parse_chunk(text, 1, 0, isa);
     }
     let bytes = text.as_bytes();
     // Chunk boundaries: the next line start at or after each even split
@@ -108,7 +124,7 @@ pub fn parse_with_jobs(text: &str, jobs: usize) -> Result<Vec<Entry>, ParseError
     }
     bounds.push(text.len());
     if bounds.len() <= 2 {
-        return parse_chunk(text, 1, 0);
+        return parse_chunk(text, 1, 0, isa);
     }
 
     // First line number of each chunk = 1 + newlines before its start.
@@ -126,7 +142,7 @@ pub fn parse_with_jobs(text: &str, jobs: usize) -> Result<Vec<Entry>, ParseError
             .map(|(w, &first_line)| {
                 let (start, end) = (w[0], w[1]);
                 let chunk = &text[start..end];
-                scope.spawn(move || parse_chunk(chunk, first_line, start))
+                scope.spawn(move || parse_chunk(chunk, first_line, start, isa))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -148,7 +164,12 @@ pub fn parse_with_jobs(text: &str, jobs: usize) -> Result<Vec<Entry>, ParseError
 
 /// Sequential parse of `text`, which starts at 1-based line `first_line` and
 /// byte offset `base` of the original input (both used for error reporting).
-fn parse_chunk(text: &str, first_line: usize, base: usize) -> Result<Vec<Entry>, ParseError> {
+fn parse_chunk(
+    text: &str,
+    first_line: usize,
+    base: usize,
+    isa: IsaId,
+) -> Result<Vec<Entry>, ParseError> {
     let bytes = text.as_bytes();
     let mut out = Vec::with_capacity(text.len() / 12 + 4);
     let mut pos = 0usize;
@@ -156,12 +177,20 @@ fn parse_chunk(text: &str, first_line: usize, base: usize) -> Result<Vec<Entry>,
     while pos < bytes.len() {
         // One fused (vectorizable) scan finds the line end and whether the
         // line contains a comment/string/separator byte; most lines have
-        // none and go straight to the statement parser.
+        // none and go straight to the statement parser. The comment byte is
+        // dialect-specific: `#` starts a comment in x86 gas but introduces
+        // immediates on AArch64, whose comments are `//`.
         let mut special = false;
-        let line_end = match bytes[pos..]
-            .iter()
-            .position(|&b| matches!(b, b'\n' | b'#' | b'"' | b';'))
-        {
+        let hit = if isa == IsaId::X86_64 {
+            bytes[pos..]
+                .iter()
+                .position(|&b| matches!(b, b'\n' | b'#' | b'"' | b';'))
+        } else {
+            bytes[pos..]
+                .iter()
+                .position(|&b| matches!(b, b'\n' | b'/' | b'"' | b';'))
+        };
+        let line_end = match hit {
             Some(off) if bytes[pos + off] == b'\n' => pos + off,
             Some(off) => {
                 special = true;
@@ -174,9 +203,9 @@ fn parse_chunk(text: &str, first_line: usize, base: usize) -> Result<Vec<Entry>,
         };
         let line = &text[pos..line_end];
         if special {
-            parse_line_special(line, lineno, base + pos, &mut out)?;
+            parse_line_special(line, lineno, base + pos, isa, &mut out)?;
         } else {
-            parse_segment(line, 0, line, lineno, base + pos, &mut out)?;
+            parse_segment(line, 0, line, lineno, base + pos, isa, &mut out)?;
         }
         pos = line_end + 1;
         lineno += 1;
@@ -191,6 +220,7 @@ fn parse_line_special(
     line: &str,
     lineno: usize,
     line_base: usize,
+    isa: IsaId,
     out: &mut Vec<Entry>,
 ) -> Result<(), ParseError> {
     let bytes = line.as_bytes();
@@ -202,19 +232,25 @@ fn parse_line_special(
     let mut stmt_start = 0usize;
     let mut k = 0usize;
     while k < bytes.len() {
+        let comment_here = if isa == IsaId::X86_64 {
+            bytes[k] == b'#'
+        } else {
+            bytes[k] == b'/' && bytes.get(k + 1) == Some(&b'/')
+        };
+        if comment_here && !in_str {
+            return parse_segment(
+                &line[stmt_start..k],
+                stmt_start,
+                line,
+                lineno,
+                line_base,
+                isa,
+                out,
+            );
+        }
         match bytes[k] {
             b'\\' if in_str => escaped = !escaped,
             b'"' if !escaped => in_str = !in_str,
-            b'#' if !in_str => {
-                return parse_segment(
-                    &line[stmt_start..k],
-                    stmt_start,
-                    line,
-                    lineno,
-                    line_base,
-                    out,
-                );
-            }
             b';' if !in_str => {
                 parse_segment(
                     &line[stmt_start..k],
@@ -222,6 +258,7 @@ fn parse_line_special(
                     line,
                     lineno,
                     line_base,
+                    isa,
                     out,
                 )?;
                 stmt_start = k + 1;
@@ -237,6 +274,7 @@ fn parse_line_special(
         line,
         lineno,
         line_base,
+        isa,
         out,
     )
 }
@@ -249,13 +287,14 @@ fn parse_segment(
     raw_line: &str,
     lineno: usize,
     line_base: usize,
+    isa: IsaId,
     out: &mut Vec<Entry>,
 ) -> Result<(), ParseError> {
     let stmt = fast_trim(seg);
     if stmt.is_empty() {
         return Ok(());
     }
-    parse_statement(stmt, lineno, out).map_err(|mut e| {
+    parse_statement(stmt, lineno, isa, out).map_err(|mut e| {
         if e.text.is_empty() {
             e.text = raw_line.trim().to_string();
         }
@@ -273,7 +312,12 @@ fn is_symbol_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'$' | b'@')
 }
 
-fn parse_statement(stmt: &str, lineno: usize, out: &mut Vec<Entry>) -> Result<(), ParseError> {
+fn parse_statement(
+    stmt: &str,
+    lineno: usize,
+    isa: IsaId,
+    out: &mut Vec<Entry>,
+) -> Result<(), ParseError> {
     // Leading labels: `name:` possibly repeated. Scanning stops at the first
     // non-symbol byte, which is always a char boundary (multi-byte UTF-8
     // sequences start with a non-symbol byte).
@@ -300,8 +344,14 @@ fn parse_statement(stmt: &str, lineno: usize, out: &mut Vec<Entry>) -> Result<()
     if rest.as_bytes().first() == Some(&b'.') {
         out.push(Entry::Directive(parse_directive(rest, lineno)?));
         Ok(())
+    } else if isa == IsaId::X86_64 {
+        out.push(Entry::Insn(
+            parse_instruction(rest, head_len, lineno)?.into(),
+        ));
+        Ok(())
     } else {
-        out.push(Entry::Insn(parse_instruction(rest, head_len, lineno)?));
+        let insn = mao_aarch64::parse_insn(rest).map_err(|m| err(lineno, m))?;
+        out.push(Entry::Insn(insn.into()));
         Ok(())
     }
 }
@@ -1181,6 +1231,62 @@ mod zero_copy_tests {
 
     #[test]
     fn crlf_line_endings_parse() {
+        let entries = parse(".text\r\nf:\r\n\tret\r\n").unwrap();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[1].label(), Some("f"));
+    }
+}
+
+#[cfg(test)]
+mod aarch64_tests {
+    use super::*;
+    use crate::emit::emit;
+    use mao_isa::Insn;
+
+    const A64_SAMPLE: &str = "\t.text\n\t.globl f // comment\nf:\n\tsub\tsp, sp, #16\n\tstr\t\
+                              x19, [sp, #8]\n\tcmp\tx0, #0\n\tb.eq\t.L2\n\tbl\tg; mov\tx1, \
+                              x0\n.L2:\n\tldr\tx19, [sp, #8]\n\tadd\tsp, sp, #16\n\tret\n";
+
+    #[test]
+    fn a64_statements_parse_through_the_shared_front_end() {
+        let entries = parse_isa(A64_SAMPLE, IsaId::Aarch64).unwrap();
+        let insns: Vec<_> = entries.iter().filter_map(|e| e.insn_any()).collect();
+        assert_eq!(insns.len(), 9);
+        assert!(insns.iter().all(|i| i.isa() == IsaId::Aarch64));
+        assert_eq!(insns[3].target_label(), Some(".L2"));
+        // Labels and directives flow through the generic layer.
+        assert_eq!(entries.iter().filter_map(Entry::label).count(), 2);
+        // The x86-only view sees no instructions at all.
+        assert_eq!(entries.iter().filter_map(Entry::insn).count(), 0);
+    }
+
+    #[test]
+    fn hash_is_not_a_comment_on_aarch64() {
+        let entries = parse_isa("\tmov\tx0, #42 // set answer\n", IsaId::Aarch64).unwrap();
+        let Some(Insn::A64(i)) = entries[0].insn_any() else {
+            panic!("expected an A64 insn");
+        };
+        assert_eq!(i.to_string(), "mov\tx0, #42");
+    }
+
+    #[test]
+    fn a64_parse_emit_parse_is_identity() {
+        let first = parse_isa(A64_SAMPLE, IsaId::Aarch64).unwrap();
+        let second = parse_isa(&emit(&first), IsaId::Aarch64).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn a64_errors_carry_line_numbers() {
+        let e = parse_isa("\tnop\n\tfrobnicate x0\n", IsaId::Aarch64).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"), "{}", e.message);
+        let e = parse_isa("\tmov\tx0\n", IsaId::Aarch64).unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn x86_dialect_still_owns_hash_comments() {
         let entries = parse(".text\r\nf:\r\n\tret\r\n").unwrap();
         assert_eq!(entries.len(), 3);
         assert_eq!(entries[1].label(), Some("f"));

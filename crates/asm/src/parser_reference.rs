@@ -112,7 +112,7 @@ fn parse_statement(stmt: &str, lineno: usize, out: &mut Vec<Entry>) -> Result<()
         out.push(Entry::Directive(parse_directive(rest, lineno)?));
         Ok(())
     } else {
-        out.push(Entry::Insn(parse_instruction(rest, lineno)?));
+        out.push(Entry::Insn(parse_instruction(rest, lineno)?.into()));
         Ok(())
     }
 }

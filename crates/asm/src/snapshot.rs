@@ -16,7 +16,7 @@
 //! ```text
 //! magic    8B  b"MAOSNAP\x01"
 //! version  u32
-//! reserved u32
+//! isa_tag  u32             which ISA the unit's instructions belong to
 //! body_len u64
 //! body:
 //!   key          u128      content hash of the source text (0 if unkeyed)
@@ -29,11 +29,20 @@
 //! intern each table entry exactly once at decode, so a snapshot load does
 //! one hash probe per *distinct* symbol instead of one per occurrence.
 //! Mnemonics and registers serialize through stable numeric codes
-//! ([`mao_x86::Mnemonic::snapshot_code`], [`mao_x86::RegId::index`]); any
-//! table reordering requires a [`SNAPSHOT_VERSION`] bump.
+//! ([`mao_x86::Mnemonic::snapshot_code`], [`mao_x86::RegId::index`],
+//! [`mao_aarch64::A64Mnemonic::snapshot_code`]); any table reordering
+//! requires a [`SNAPSHOT_VERSION`] bump.
+//!
+//! Version history: v1 was x86-only (the pre-ISA-boundary format; its
+//! `isa_tag` slot was a reserved zero). v2 stamps the unit's [`IsaId`] in
+//! the header and adds the AArch64 instruction entry tag. v1 files are
+//! rejected as [`SnapshotError::StaleVersion`] and evicted by the stores,
+//! exactly like any other version skew.
 
 use std::fmt;
 
+use mao_aarch64::{A64Insn, A64Mnemonic, A64Operand, A64Reg};
+use mao_isa::{Insn, IsaId};
 use mao_x86::insn::Instruction;
 use mao_x86::operand::{Disp, Mem, Operand, Operands};
 use mao_x86::reg::{Reg, RegId, Width};
@@ -45,7 +54,7 @@ use crate::entry::{Align, DataItem, DataWidth, Directive, Entry};
 /// Magic prefix of a snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MAOSNAP\x01";
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 /// Fixed header length (magic + version + reserved + body_len).
 const HEADER_LEN: usize = 8 + 4 + 4 + 8;
 
@@ -252,15 +261,53 @@ impl Writer {
         }
     }
 
+    fn a64_reg(&mut self, r: A64Reg) {
+        self.u8(r.num | u8::from(r.is64) << 6 | u8::from(r.sp) << 7);
+    }
+
+    fn a64_operand(&mut self, op: &A64Operand) {
+        match op {
+            A64Operand::Reg(r) => {
+                self.u8(0);
+                self.a64_reg(*r);
+            }
+            A64Operand::Imm(v) => {
+                self.u8(1);
+                self.zigzag(*v);
+            }
+            A64Operand::Mem { base, offset } => {
+                self.u8(2);
+                self.a64_reg(*base);
+                self.zigzag(*offset);
+            }
+            A64Operand::Label(l) => {
+                self.u8(3);
+                self.sym(*l);
+            }
+        }
+    }
+
+    fn a64_insn(&mut self, i: &A64Insn) {
+        self.u16(i.mnemonic.snapshot_code());
+        self.varint(i.operands.len() as u64);
+        for op in &i.operands {
+            self.a64_operand(op);
+        }
+    }
+
     fn entry(&mut self, e: &Entry) {
         match e {
             Entry::Label(l) => {
                 self.u8(0);
                 self.sym(*l);
             }
-            Entry::Insn(i) => {
+            Entry::Insn(Insn::X86(i)) => {
                 self.u8(1);
                 self.insn(i);
+            }
+            Entry::Insn(Insn::A64(i)) => {
+                self.u8(13);
+                self.a64_insn(i);
             }
             Entry::Directive(d) => self.directive(d),
         }
@@ -400,6 +447,17 @@ fn data_width_from_code(c: u8) -> Result<DataWidth, SnapshotError> {
     })
 }
 
+/// The ISA a unit's instructions belong to, inferred from the first
+/// instruction entry (directive-only units are tagged x86-64, the
+/// historical default — their decode is ISA-independent anyway).
+pub fn unit_isa(entries: &[Entry]) -> IsaId {
+    entries
+        .iter()
+        .find_map(Entry::insn_any)
+        .map(Insn::isa)
+        .unwrap_or(IsaId::X86_64)
+}
+
 /// Serialize `entries` into a self-contained snapshot keyed by `key`.
 pub fn encode(entries: &[Entry], key: u128) -> Vec<u8> {
     let mut w = Writer {
@@ -433,7 +491,7 @@ pub fn encode(entries: &[Entry], key: u128) -> Vec<u8> {
     let mut out = Vec::with_capacity(HEADER_LEN + body.len() + 8);
     out.extend_from_slice(&SNAPSHOT_MAGIC);
     out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&unit_isa(entries).tag().to_le_bytes());
     out.extend_from_slice(&(body.len() as u64).to_le_bytes());
     out.extend_from_slice(&body);
     out.extend_from_slice(&checksum64(&body).to_le_bytes());
@@ -587,6 +645,56 @@ impl<'a, 's> Reader<'a, 's> {
     }
 
     #[inline]
+    fn a64_reg(&mut self) -> Result<A64Reg, SnapshotError> {
+        let b = self.u8()?;
+        let num = b & 0x3f;
+        if num > 31 {
+            return Err(SnapshotError::Malformed("a64 register number"));
+        }
+        Ok(A64Reg {
+            num,
+            is64: b & 0x40 != 0,
+            sp: b & 0x80 != 0,
+        })
+    }
+
+    #[inline]
+    fn a64_operand(&mut self) -> Result<A64Operand, SnapshotError> {
+        Ok(match self.u8()? {
+            0 => A64Operand::Reg(self.a64_reg()?),
+            1 => A64Operand::Imm(self.zigzag()?),
+            2 => A64Operand::Mem {
+                base: self.a64_reg()?,
+                offset: self.zigzag()?,
+            },
+            3 => A64Operand::Label(self.sym()?),
+            _ => return Err(SnapshotError::Malformed("a64 operand tag")),
+        })
+    }
+
+    #[inline]
+    fn a64_insn(&mut self) -> Result<A64Insn, SnapshotError> {
+        let code = match self.rest.split_first_chunk::<2>() {
+            Some((&[c0, c1], tail)) => {
+                self.rest = tail;
+                u16::from_le_bytes([c0, c1])
+            }
+            None => return Err(SnapshotError::Malformed("truncated body")),
+        };
+        let mnemonic = A64Mnemonic::from_snapshot_code(code)
+            .ok_or(SnapshotError::Malformed("a64 mnemonic code"))?;
+        let n = self.varint()? as usize;
+        if n > 4 {
+            return Err(SnapshotError::Malformed("a64 operand count"));
+        }
+        let mut operands = Vec::with_capacity(n);
+        for _ in 0..n {
+            operands.push(self.a64_operand()?);
+        }
+        Ok(A64Insn { mnemonic, operands })
+    }
+
+    #[inline]
     fn insn(&mut self) -> Result<Instruction, SnapshotError> {
         // One 3-byte chunk read for the fixed head (code + flags).
         let (code, flags) = match self.rest.split_first_chunk::<3>() {
@@ -624,7 +732,8 @@ impl<'a, 's> Reader<'a, 's> {
     fn entry_into(&mut self, out: &mut Vec<Entry>) -> Result<(), SnapshotError> {
         out.push(match self.u8()? {
             0 => Entry::Label(self.sym()?),
-            1 => Entry::Insn(self.insn()?),
+            1 => Entry::Insn(Insn::X86(self.insn()?)),
+            13 => Entry::Insn(Insn::A64(self.a64_insn()?)),
             2 => {
                 let name = self.sym()?;
                 let n = self.varint()? as usize;
@@ -714,12 +823,19 @@ impl<'a, 's> Reader<'a, 's> {
 /// Validates magic/version/length/checksum (the cheap part) so callers can
 /// reject junk before trusting the key.
 pub fn snapshot_key(bytes: &[u8]) -> Result<u128, SnapshotError> {
-    let body = validate(bytes)?;
+    let (body, _) = validate(bytes)?;
     Ok(u128::from_le_bytes(body[..16].try_into().unwrap()))
 }
 
-/// Validate container framing and checksum, returning the body slice.
-fn validate(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
+/// The ISA tag stamped in a snapshot's header, without a full decode.
+pub fn snapshot_isa(bytes: &[u8]) -> Result<IsaId, SnapshotError> {
+    let (_, isa) = validate(bytes)?;
+    Ok(isa)
+}
+
+/// Validate container framing and checksum, returning the body slice and
+/// the header's ISA tag.
+fn validate(bytes: &[u8]) -> Result<(&[u8], IsaId), SnapshotError> {
     if bytes.len() < HEADER_LEN + 16 + 8 {
         return Err(SnapshotError::Malformed("too short"));
     }
@@ -730,6 +846,8 @@ fn validate(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
     if version != SNAPSHOT_VERSION {
         return Err(SnapshotError::StaleVersion(version));
     }
+    let isa_tag = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let isa = IsaId::from_tag(isa_tag).ok_or(SnapshotError::Malformed("isa tag"))?;
     let body_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
     let Some(total) = HEADER_LEN
         .checked_add(body_len)
@@ -748,7 +866,7 @@ fn validate(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
     if body.len() < 16 {
         return Err(SnapshotError::Malformed("body too short"));
     }
-    Ok(body)
+    Ok((body, isa))
 }
 
 /// A loaded (validated, indexed) snapshot whose entries decode on demand.
@@ -764,6 +882,7 @@ fn validate(bytes: &[u8]) -> Result<&[u8], SnapshotError> {
 /// cheap even for units whose entry list is tens of megabytes in IR form.
 pub struct Snapshot<'a> {
     key: u128,
+    isa: IsaId,
     syms: Vec<Sym>,
     entry_bytes: &'a [u8],
     nentries: usize,
@@ -780,7 +899,7 @@ impl<'a> Snapshot<'a> {
         bytes: &'a [u8],
         expected_key: Option<u128>,
     ) -> Result<Snapshot<'a>, SnapshotError> {
-        let body = validate(bytes)?;
+        let (body, isa) = validate(bytes)?;
         let key = u128::from_le_bytes(body[..16].try_into().unwrap());
         if let Some(expect) = expected_key {
             if key != expect {
@@ -811,6 +930,7 @@ impl<'a> Snapshot<'a> {
         }
         Ok(Snapshot {
             key,
+            isa,
             syms,
             entry_bytes: r.rest,
             nentries,
@@ -820,6 +940,11 @@ impl<'a> Snapshot<'a> {
     /// The content key embedded at encode time.
     pub fn key(&self) -> u128 {
         self.key
+    }
+
+    /// The ISA tag stamped at encode time.
+    pub fn isa(&self) -> IsaId {
+        self.isa
     }
 
     /// Number of entries in the snapshot.
@@ -1023,6 +1148,41 @@ mod tests {
             }
         }
         assert_eq!(Mnemonic::from_snapshot_code(0x9999), None);
+    }
+
+    #[test]
+    fn a64_units_round_trip_with_isa_tag() {
+        let text = "// leaf function\nf:\n\tsub\tsp, sp, #16\n\tstr\tx19, [sp, #8]\n\tmov\tx19, \
+                    x0\n.L1:\n\tcmp\tx19, #0\n\tb.eq\t.L2\n\tsub\tx19, x19, #1\n\tb\t.L1\n.L2:\n\t\
+                    ldr\tx19, [sp, #8]\n\tadd\tsp, sp, #16\n\tret\n";
+        let entries = crate::parse_isa(text, IsaId::Aarch64).unwrap();
+        let key = content_key(text);
+        let bytes = encode(&entries, key);
+        assert_eq!(snapshot_isa(&bytes).unwrap(), IsaId::Aarch64);
+        let snap = Snapshot::load(&bytes, Some(key)).unwrap();
+        assert_eq!(snap.isa(), IsaId::Aarch64);
+        assert_eq!(snap.to_entries().unwrap(), entries);
+    }
+
+    #[test]
+    fn x86_units_carry_the_x86_isa_tag() {
+        let entries = parse("nop\n").unwrap();
+        let bytes = encode(&entries, 0);
+        assert_eq!(snapshot_isa(&bytes).unwrap(), IsaId::X86_64);
+        // Directive-only units default to the x86 tag.
+        let entries = parse(".text\n").unwrap();
+        assert_eq!(snapshot_isa(&encode(&entries, 0)).unwrap(), IsaId::X86_64);
+    }
+
+    #[test]
+    fn unknown_isa_tag_is_rejected() {
+        let entries = parse("nop\n").unwrap();
+        let mut bytes = encode(&entries, 0);
+        bytes[12..16].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            decode(&bytes, None),
+            Err(SnapshotError::Malformed("isa tag"))
+        );
     }
 
     #[test]

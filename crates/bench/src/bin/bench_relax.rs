@@ -93,7 +93,7 @@ fn edit_sites(unit: &MaoUnit, n: usize) -> Vec<EntryId> {
 }
 
 fn nop_entry() -> Entry {
-    Entry::Insn(Instruction::nop_of_len(1))
+    Entry::Insn(Instruction::nop_of_len(1).into())
 }
 
 /// The edit sequence with a full re-layout after every insertion.

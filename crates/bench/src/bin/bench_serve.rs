@@ -146,6 +146,7 @@ fn main() {
                 jobs: None,
                 timeout_ms: Some(0), // no per-request deadline while measuring
                 use_cache: true,
+                isa: mao::isa::IsaId::X86_64,
             }));
             durations_us.push(request_t.elapsed().as_micros() as u64);
             match response {
@@ -203,6 +204,7 @@ fn main() {
                 jobs: None,
                 timeout_ms: Some(0),
                 use_cache: true,
+                isa: mao::isa::IsaId::X86_64,
             }));
             durations_us.push(request_t.elapsed().as_micros() as u64);
             match response {
@@ -280,6 +282,7 @@ fn main() {
                 jobs: None,
                 timeout_ms: Some(0),
                 use_cache: false,
+                isa: mao::isa::IsaId::X86_64,
             }),
             move |response| {
                 let kind = match response {

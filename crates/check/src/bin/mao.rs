@@ -74,8 +74,8 @@ use mao_serve::Client;
 
 fn usage() -> &'static str {
     "usage: mao [--mao=PASS[=opt[val],...][:PASS...]]... [--jobs N] [--profile FILE]\n\
-     \x20          [--emit-snapshot FILE] [--snapshot-dir DIR] [--list-passes]\n\
-     \x20          input.s|input.msnap\n\
+     \x20          [--isa x86-64|aarch64] [--emit-snapshot FILE] [--snapshot-dir DIR]\n\
+     \x20          [--list-passes] input.s|input.msnap\n\
      \x20      mao serve  [--listen ADDR] [--shards N] [--jobs N] [--timeout-ms N]\n\
      \x20                 [--max-pending N] [--cache-dir DIR] [--cache-max-bytes N]\n\
      \x20                 [--cache-fsync] [--idle-timeout-ms N] [--cache-cap N]\n\
@@ -83,7 +83,7 @@ fn usage() -> &'static str {
      \x20                 [--snapshot-dir DIR] [--snapshot-max-bytes N]\n\
      \x20                 [--cost-model FILE.mpt]\n\
      \x20      mao client [--listen ADDR] [--passes STR] [--jobs N] [--timeout-ms N]\n\
-     \x20                 [--timeout SECS] [--no-cache] [-o FILE] input.s\n\
+     \x20                 [--timeout SECS] [--no-cache] [--isa ISA] [-o FILE] input.s\n\
      \x20                 | --stats | --metrics | --ping | --shutdown\n\
      \x20                 (exit 3 = shed with BUSY, exit 4 = timed out)\n\
      \x20      mao batch  [--shards N] [--jobs N] [--timeout-ms N] [--cache-cap N]\n\
@@ -92,7 +92,7 @@ fn usage() -> &'static str {
      \x20                 [--passes STR] [--p50-limit-us N] [--p99-limit-us N] [--json]\n\
      \x20      mao check  [--seed N] [--cases N] [--passes A,B:C,...] [--jobs N]\n\
      \x20                 [--budget N] [--regress-dir DIR] [--inject-miscompile]\n\
-     \x20                 [--cost-model FILE.mpt] [--smoke] [--verbose]\n\
+     \x20                 [--cost-model FILE.mpt] [--isa ISA] [--smoke] [--verbose]\n\
      \x20      mao superopt [--seed N] [--jobs N] [--cache-dir DIR] [--min-window N]\n\
      \x20                 [--max-window N] [--diff-states N] [--enum-max N]\n\
      \x20                 [--iters N] [--max-candidates N] [--inject-bogus-rewrite]\n\
@@ -103,6 +103,10 @@ fn usage() -> &'static str {
      \x20                 | --calibrate-profile NAME [--profile P] [--seed N]\n\
      \x20                 [-o FILE.mpt]\n\
      \n\
+     --isa ISA  target instruction set: x86-64 (default) or aarch64.\n\
+     \x20           Selects the parser dialect, gates ISA-specific passes, and\n\
+     \x20           keys every cache. `mao check --isa aarch64` runs the\n\
+     \x20           structural sweep (no simulator oracle for aarch64 yet).\n\
      --jobs N   worker threads for function-level passes (0 = all cores;\n\
      \x20           default 1, or the MAO_JOBS environment variable when set).\n\
      \x20           Output is byte-identical for every N.\n\
@@ -254,6 +258,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
     let mut timeout_ms: Option<u64> = None;
     let mut client_timeout: Option<std::time::Duration> = None;
     let mut use_cache = true;
+    let mut isa = mao::isa::IsaId::X86_64;
     let mut out: Option<String> = None;
     let mut inputs: Vec<String> = Vec::new();
     let mut admin: Option<Request> = None;
@@ -263,6 +268,11 @@ fn cmd_client(args: &[String]) -> ExitCode {
             match arg.as_str() {
                 "--listen" => listen = parser.value("--listen")?.to_string(),
                 "--passes" => passes = parser.value("--passes")?.to_string(),
+                "--isa" => {
+                    let name = parser.value("--isa")?;
+                    isa = mao::isa::IsaId::from_name(name)
+                        .ok_or_else(|| format!("unknown --isa `{name}`"))?;
+                }
                 "--jobs" => jobs = Some(parser.numeric("--jobs")?),
                 "--timeout-ms" => timeout_ms = Some(parser.numeric("--timeout-ms")?),
                 "--timeout" => {
@@ -355,6 +365,7 @@ fn cmd_client(args: &[String]) -> ExitCode {
         jobs,
         timeout_ms,
         use_cache,
+        isa,
     });
     let response = match client.request(&request) {
         Ok(r) => r,
@@ -554,6 +565,8 @@ fn cmd_loadgen(args: &[String]) -> ExitCode {
 fn cmd_check(args: &[String]) -> ExitCode {
     let mut config = mao_check::CheckConfig::default();
     let mut inject = false;
+    let mut smoke = false;
+    let mut isa = mao::isa::IsaId::X86_64;
     let mut cost_model: Option<String> = None;
     let mut parser = ArgParser::new(args);
     let parsed = (|| -> Result<(), String> {
@@ -575,8 +588,14 @@ fn cmd_check(args: &[String]) -> ExitCode {
                 "--budget" => config.budget = parser.numeric("--budget")?,
                 "--regress-dir" => config.regress_dir = Some(parser.value("--regress-dir")?.into()),
                 "--inject-miscompile" => inject = true,
-                // The CI stage: small, fast, fixed seed.
+                "--isa" => {
+                    let name = parser.value("--isa")?;
+                    isa = mao::isa::IsaId::from_name(name)
+                        .ok_or_else(|| format!("unknown --isa `{name}`"))?;
+                }
+                // The CI stage: small, fast, fixed seed, every ISA.
                 "--smoke" => {
+                    smoke = true;
                     config.seed = 42;
                     config.cases = 25;
                 }
@@ -643,6 +662,19 @@ fn cmd_check(args: &[String]) -> ExitCode {
         };
     }
 
+    // The AArch64 leg: structural matrix (no simulator oracle). `--isa
+    // aarch64` runs it alone; `--smoke` appends it to the x86 sweep so CI
+    // covers both instantiations in one invocation.
+    if isa == mao::isa::IsaId::Aarch64 {
+        let report = mao_check::run_structural_check(isa, &config);
+        println!(
+            "mao check [{isa}]: structural sweep -> {} cases, {} comparisons, {} failure(s)",
+            report.cases,
+            report.comparisons,
+            report.failures.len()
+        );
+        return report_check(&format!("check [{isa}]"), &report);
+    }
     let report = mao_check::run_check(&config);
     println!(
         "mao check: seed {} -> {} cases ({} skipped), {} oracle comparisons ({} deduped), {} failure(s)",
@@ -653,12 +685,37 @@ fn cmd_check(args: &[String]) -> ExitCode {
         report.deduped,
         report.failures.len()
     );
+    let x86 = report_check("check", &report);
+    if !smoke {
+        return x86;
+    }
+    let a64_config = mao_check::CheckConfig {
+        passes: None, // structural sweep picks the ISA-neutral set
+        ..config
+    };
+    let a64 = mao_check::run_structural_check(mao::isa::IsaId::Aarch64, &a64_config);
+    println!(
+        "mao check: aarch64 structural leg -> {} cases, {} comparisons, {} failure(s)",
+        a64.cases,
+        a64.comparisons,
+        a64.failures.len()
+    );
+    let a64 = report_check("check [aarch64]", &a64);
+    if x86 == ExitCode::SUCCESS && a64 == ExitCode::SUCCESS {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Print a sweep's failures (if any) and fold it to an exit code.
+fn report_check(tag: &str, report: &mao_check::CheckReport) -> ExitCode {
     if report.ok() {
         return ExitCode::SUCCESS;
     }
     for f in &report.failures {
         eprintln!(
-            "FAIL {} [{} via {}]: {}",
+            "FAIL [{tag}] {} [{} via {}]: {}",
             f.case,
             f.passes,
             f.path.name(),
@@ -1073,7 +1130,8 @@ fn print_model(model: &mao_x86::cost::CostModel) {
         model.len()
     );
     println!(
-        "  provenance: source {}, target {}, generator {}, seed {}, fingerprint {:016x}",
+        "  provenance: isa {}, source {}, target {}, generator {}, seed {}, fingerprint {:016x}",
+        p.isa,
         p.source,
         p.target,
         p.generator,
@@ -1134,6 +1192,7 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
     let mut profile_out: Option<String> = None;
     let mut emit_snapshot: Option<String> = None;
     let mut snapshot_dir: Option<String> = None;
+    let mut isa_flag: Option<mao::isa::IsaId> = None;
     // Default from the environment; --jobs on the command line wins.
     let mut jobs: usize = std::env::var("MAO_JOBS")
         .ok()
@@ -1158,6 +1217,16 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             };
             jobs = n;
+        } else if arg == "--isa" || arg.starts_with("--isa=") {
+            let name = match arg.strip_prefix("--isa=") {
+                Some(rest) => Some(rest.to_string()),
+                None => iter.next().cloned(),
+            };
+            let Some(isa) = name.as_deref().and_then(mao::isa::IsaId::from_name) else {
+                eprintln!("mao: --isa needs x86-64 or aarch64");
+                return ExitCode::FAILURE;
+            };
+            isa_flag = Some(isa);
         } else if arg == "--profile" {
             let Some(path) = iter.next() else {
                 eprintln!("mao: --profile needs an output file");
@@ -1228,10 +1297,27 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // A snapshot carries its unit's ISA in the header; an explicit
+        // --isa that disagrees is a structured error, not a reinterpret.
+        let stamped = match mao_asm::snapshot::snapshot_isa(&raw) {
+            Ok(isa) => isa,
+            Err(e) => {
+                eprintln!("mao: {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(requested) = isa_flag {
+            if requested != stamped {
+                eprintln!(
+                    "mao: {input}: snapshot is `{stamped}`, but --isa asked for `{requested}`"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
         match mao_asm::snapshot::decode(&raw, Some(key)) {
             Ok(entries) => {
-                eprintln!("[mao] frontend: loaded snapshot `{input}`");
-                (MaoUnit::from_entries(entries), key)
+                eprintln!("[mao] frontend: loaded snapshot `{input}` ({stamped})");
+                (MaoUnit::from_entries_isa(entries, stamped), key)
             }
             Err(e) => {
                 eprintln!("mao: {input}: {e}");
@@ -1239,6 +1325,7 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
             }
         }
     } else {
+        let isa = isa_flag.unwrap_or_default();
         let text = match String::from_utf8(raw) {
             Ok(t) => t,
             Err(_) => {
@@ -1246,7 +1333,9 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let key = mao_asm::snapshot::content_key(&text);
+        // The ISA folds into the store key, like the daemon's snapshot
+        // tier: identical text parsed under two dialects must not collide.
+        let key = mao_asm::snapshot::content_key(&text) ^ (u128::from(isa.tag()) << 120);
         let store = match &snapshot_dir {
             Some(dir) => match mao_serve::SnapshotStore::open(dir, 0) {
                 Ok(s) => Some(s),
@@ -1261,13 +1350,13 @@ fn cmd_oneshot(args: &[String]) -> ExitCode {
         match cached {
             Some(entries) => {
                 eprintln!("[mao] frontend: snapshot hit");
-                (MaoUnit::from_entries(entries), key)
+                (MaoUnit::from_entries_isa(entries, isa), key)
             }
             None => {
                 if store.is_some() {
                     eprintln!("[mao] frontend: snapshot miss");
                 }
-                let unit = match MaoUnit::parse_with_jobs(&text, jobs) {
+                let unit = match MaoUnit::parse_with_jobs_isa(&text, jobs, isa) {
                     Ok(u) => u,
                     Err(e) => {
                         eprintln!("mao: {input}:{e}");

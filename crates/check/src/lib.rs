@@ -456,6 +456,152 @@ pub fn run_injection_selftest(
     Ok(report.failures)
 }
 
+// ---------------------------------------------------------------------------
+// The structural matrix leg: ISAs without a simulator oracle.
+// ---------------------------------------------------------------------------
+
+/// The built-in AArch64 kernels the structural sweep runs. Hand-written
+/// rather than generated: the AArch64 instantiation is minimal (nine
+/// mnemonics) and the structural leg checks the *machinery* — path
+/// agreement, round-trip stability, layout invariants — not semantic
+/// breadth, which stays the simulator-backed x86 sweep's job.
+pub const A64_STRUCTURAL_CASES: [(&str, &str); 4] = [
+    (
+        "a64-leaf",
+        "\t.text\n\t.type\tf, @function\nf:\n\tnop\n\tmov\tx1, x0\n\tadd\tx0, x1, #1\n\tret\n",
+    ),
+    (
+        "a64-branchy",
+        "\t.text\n\t.type\tf, @function\nf:\n\tcmp\tx0, #0\n\tb.eq\t.L2\n\tsub\tx0, x0, #1\n\
+         \tnop\n.L2:\n\tret\n",
+    ),
+    (
+        "a64-spill",
+        "\t.text\n\t.type\tf, @function\nf:\n\tsub\tsp, sp, #16\n\tstr\tx19, [sp, #8]\n\
+         \tmov\tx19, x0\n\tnop\n\tldr\tx19, [sp, #8]\n\tadd\tsp, sp, #16\n\tret\n",
+    ),
+    (
+        "a64-call",
+        "\t.text\n\t.type\tf, @function\nf:\n\tcmp\tx0, #7\n\tb.lt\t.L1\n\tbl\tg\n\tnop\n\
+         .L1:\n\tmov\tx0, #0\n\tret\n\t.type\tg, @function\ng:\n\tadd\tx0, x0, x0\n\tret\n",
+    ),
+];
+
+/// The pass configs the structural sweep runs: every ISA-neutral pass
+/// alone, then all of them chained.
+pub fn a64_pass_configs() -> Vec<String> {
+    let neutral = ["MAOPASS", "LFIND", "DCE", "NOPKILL"];
+    let mut out: Vec<String> = neutral.iter().map(|p| p.to_string()).collect();
+    out.push(neutral.join(":"));
+    out
+}
+
+/// The structural differential sweep for an ISA with no simulator oracle
+/// (today: AArch64). Runs each built-in kernel through every execution
+/// path and demands, per pass config:
+///
+/// 1. every path emits byte-identical text (the same matrix the x86
+///    sweep runs);
+/// 2. the optimized text reparses and re-emits byte-identically;
+/// 3. the relaxed layout is structurally sound: entry addresses are
+///    monotone, and every AArch64 instruction occupies exactly 4 bytes
+///    (the fixed-width encoding contract the ISA trait promises).
+///
+/// Failures land in the same [`CheckReport`] shape as the x86 sweep but
+/// are not shrunk or persisted — the corpus is fixed and tiny.
+pub fn run_structural_check(isa: mao::isa::IsaId, config: &CheckConfig) -> CheckReport {
+    let runner = PathRunner::new(config.jobs);
+    let pass_configs = config.passes.clone().unwrap_or_else(a64_pass_configs);
+    let mut report = CheckReport::default();
+    report.cases = A64_STRUCTURAL_CASES.len();
+    for (name, asm) in A64_STRUCTURAL_CASES {
+        if config.verbose {
+            eprintln!("case {name}");
+        }
+        for passes in &pass_configs {
+            if let Some((path, detail)) =
+                structural_divergence(&runner, asm, passes, isa, &mut report)
+            {
+                report.failures.push(Failure {
+                    case: name.to_string(),
+                    passes: passes.clone(),
+                    path,
+                    detail,
+                    shrunk_asm: asm.to_string(),
+                    saved: None,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// One case × pass config of the structural sweep; `None` means clean.
+fn structural_divergence(
+    runner: &PathRunner,
+    asm: &str,
+    passes: &str,
+    isa: mao::isa::IsaId,
+    report: &mut CheckReport,
+) -> Option<(ExecPath, String)> {
+    let mut texts = Vec::new();
+    for path in runner.all() {
+        match runner.optimize_isa(path, asm, passes, isa) {
+            Ok(t) => texts.push((path, t)),
+            Err(e) => return Some((path, format!("optimize failed: {e}"))),
+        }
+    }
+    let (base_path, base) = (texts[0].0, texts[0].1.clone());
+    for (path, text) in &texts[1..] {
+        if *text != base {
+            return Some((
+                *path,
+                format!(
+                    "{} and {} emit different bytes",
+                    base_path.name(),
+                    path.name()
+                ),
+            ));
+        }
+    }
+    report.comparisons += 1;
+    // Round-trip stability through the ISA's own dialect.
+    match mao::MaoUnit::parse_isa(&base, isa) {
+        Ok(unit) if unit.emit() == base => {
+            // Layout invariants over the relaxed optimized unit.
+            let layout = match mao::relax(&unit) {
+                Ok(l) => l,
+                Err(e) => return Some((base_path, format!("relaxation failed: {e}"))),
+            };
+            let mut prev_end = 0u64;
+            for id in 0..layout.addr.len() {
+                let addr = layout.addr[id];
+                if addr < prev_end {
+                    return Some((base_path, format!("layout not monotone at entry {id}")));
+                }
+                prev_end = addr + u64::from(layout.size[id]);
+                if let Some(insn) = unit.insn_any(id) {
+                    if insn.isa() == isa && layout.size[id] != 4 {
+                        return Some((
+                            base_path,
+                            format!(
+                                "fixed-width ISA emitted a {}-byte instruction at entry {id}",
+                                layout.size[id]
+                            ),
+                        ));
+                    }
+                }
+            }
+            None
+        }
+        Ok(_) => Some((
+            base_path,
+            "optimized text is not reparse-stable".to_string(),
+        )),
+        Err(e) => Some((base_path, format!("optimized text does not reparse: {e}"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,6 +627,42 @@ mod tests {
             report.failures
         );
         assert!(report.comparisons > 0);
+    }
+
+    #[test]
+    fn a64_structural_sweep_is_green() {
+        let report = run_structural_check(
+            mao::isa::IsaId::Aarch64,
+            &CheckConfig {
+                jobs: 2,
+                ..CheckConfig::default()
+            },
+        );
+        assert_eq!(report.cases, A64_STRUCTURAL_CASES.len());
+        assert!(
+            report.ok(),
+            "structural sweep found failures: {:#?}",
+            report.failures
+        );
+        assert!(report.comparisons > 0);
+    }
+
+    #[test]
+    fn a64_structural_sweep_catches_an_x86_only_pass() {
+        // An x86-only pass in the config must surface as a structured
+        // failure on every case, not a panic or a silent skip.
+        let report = run_structural_check(
+            mao::isa::IsaId::Aarch64,
+            &CheckConfig {
+                jobs: 2,
+                passes: Some(vec!["SCHED".to_string()]),
+                ..CheckConfig::default()
+            },
+        );
+        assert_eq!(report.failures.len(), A64_STRUCTURAL_CASES.len());
+        for f in &report.failures {
+            assert!(f.detail.contains("does not support ISA"), "{}", f.detail);
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //!   over the reloaded unit (the snapshot tier promises the reloaded IR
 //!   is indistinguishable from freshly parsed IR).
 
+use mao::isa::IsaId;
 use mao::pass::{parse_invocations, run_pipeline_with, PipelineConfig};
 use mao::MaoUnit;
 use mao_serve::protocol::{OptimizeRequest, Request, Response};
@@ -118,20 +119,34 @@ impl PathRunner {
         ]
     }
 
-    /// Run `passes` over `asm` through `path`, returning the emitted text.
+    /// Run `passes` over `asm` through `path`, returning the emitted text
+    /// (x86-64, the historical default).
     pub fn optimize(&self, path: ExecPath, asm: &str, passes: &str) -> Result<String, String> {
+        self.optimize_isa(path, asm, passes, IsaId::X86_64)
+    }
+
+    /// Run `passes` over `asm` through `path` for the given ISA. Every
+    /// execution path threads the ISA the same way the shipped drivers
+    /// do: parser dialect, cache keys, pass gating.
+    pub fn optimize_isa(
+        &self,
+        path: ExecPath,
+        asm: &str,
+        passes: &str,
+        isa: IsaId,
+    ) -> Result<String, String> {
         match path {
-            ExecPath::OneShot => run_local(asm, passes, 1),
-            ExecPath::Jobs(n) => run_local(asm, passes, n),
-            ExecPath::LegacyRelax => run_local(asm, &with_legacy_relax(passes), 1),
-            ExecPath::Engine => self.run_engine(asm, passes),
-            ExecPath::Snapshot => run_snapshot(asm, passes),
+            ExecPath::OneShot => run_local(asm, passes, 1, isa),
+            ExecPath::Jobs(n) => run_local(asm, passes, n, isa),
+            ExecPath::LegacyRelax => run_local(asm, &with_legacy_relax(passes), 1, isa),
+            ExecPath::Engine => self.run_engine(asm, passes, isa),
+            ExecPath::Snapshot => run_snapshot(asm, passes, isa),
         }
     }
 
     /// Cold request then an identical warm repeat: the warm answer must be
     /// a cache hit with the same bytes.
-    fn run_engine(&self, asm: &str, passes: &str) -> Result<String, String> {
+    fn run_engine(&self, asm: &str, passes: &str, isa: IsaId) -> Result<String, String> {
         let request = |use_cache: bool| {
             Request::Optimize(OptimizeRequest {
                 asm: asm.to_string(),
@@ -139,6 +154,7 @@ impl PathRunner {
                 jobs: None,
                 timeout_ms: None,
                 use_cache,
+                isa,
             })
         };
         let cold = match self.engine.handle(request(true)) {
@@ -169,8 +185,8 @@ impl PathRunner {
 }
 
 /// Parse + pipeline + emit with the given job count.
-fn run_local(asm: &str, passes: &str, jobs: usize) -> Result<String, String> {
-    let mut unit = MaoUnit::parse(asm).map_err(|e| format!("parse: {e}"))?;
+fn run_local(asm: &str, passes: &str, jobs: usize, isa: IsaId) -> Result<String, String> {
+    let mut unit = MaoUnit::parse_isa(asm, isa).map_err(|e| format!("parse: {e}"))?;
     let invs = parse_invocations(passes).map_err(|e| format!("passes: {e}"))?;
     let config = PipelineConfig { jobs };
     run_pipeline_with(&mut unit, &invs, None, &config).map_err(|e| format!("pipeline: {e}"))?;
@@ -179,8 +195,8 @@ fn run_local(asm: &str, passes: &str, jobs: usize) -> Result<String, String> {
 
 /// Parse, round-trip the IR through the binary snapshot codec, rebuild the
 /// unit from the decoded entries, then run the pipeline (`--jobs 1`).
-fn run_snapshot(asm: &str, passes: &str) -> Result<String, String> {
-    let parsed = mao_asm::parse(asm).map_err(|e| format!("parse: {e}"))?;
+fn run_snapshot(asm: &str, passes: &str, isa: IsaId) -> Result<String, String> {
+    let parsed = mao_asm::parse_isa(asm, isa).map_err(|e| format!("parse: {e}"))?;
     let key = mao_asm::snapshot::content_key(asm);
     let bytes = mao_asm::snapshot::encode(&parsed, key);
     let entries =
@@ -188,7 +204,7 @@ fn run_snapshot(asm: &str, passes: &str) -> Result<String, String> {
     if entries != parsed {
         return Err("snapshot round-trip changed the entry list".to_string());
     }
-    let mut unit = MaoUnit::from_entries(entries);
+    let mut unit = MaoUnit::from_entries_isa(entries, isa);
     let invs = parse_invocations(passes).map_err(|e| format!("passes: {e}"))?;
     let config = PipelineConfig { jobs: 1 };
     run_pipeline_with(&mut unit, &invs, None, &config).map_err(|e| format!("pipeline: {e}"))?;
@@ -222,6 +238,25 @@ mod tests {
             assert_eq!(t, &texts[0]);
         }
         assert!(!texts[0].contains("testl"), "REDTEST fired");
+    }
+
+    #[test]
+    fn all_paths_agree_on_aarch64_bytes() {
+        let runner = PathRunner::new(4);
+        let input = "\t.type\tf, @function\nf:\n\tnop\n\tmov\tx1, x0\n\tadd\tx0, x1, #1\n\tret\n";
+        let texts: Vec<String> = runner
+            .all()
+            .into_iter()
+            .map(|p| {
+                runner
+                    .optimize_isa(p, input, "NOPKILL:DCE", IsaId::Aarch64)
+                    .unwrap()
+            })
+            .collect();
+        for t in &texts[1..] {
+            assert_eq!(t, &texts[0]);
+        }
+        assert!(!texts[0].contains("\tnop"), "NOPKILL fired: {}", texts[0]);
     }
 
     #[test]

@@ -99,11 +99,19 @@ fn probe_show_rejects_damaged_tables_nonzero() {
     let junk = dir.join("junk.mpt");
     std::fs::write(&junk, b"GARBAGEGARBAGEGARBAGEGARBAGE").unwrap();
 
+    // Wrong ISA: structurally pristine, semantically unusable. Written
+    // through the real serializer so only the provenance identifier is off.
+    let mut foreign_model = CostModel::core2();
+    foreign_model.provenance.isa = "aarch64".to_string();
+    let foreign = dir.join("foreign.mpt");
+    std::fs::write(&foreign, foreign_model.to_mpt_bytes()).unwrap();
+
     for (path, needle) in [
         (&trunc, "truncated"),
         (&corrupt, "checksum"),
         (&skew, "version"),
         (&junk, "magic"),
+        (&foreign, "wrong ISA"),
     ] {
         let out = mao().arg("probe").arg("--show").arg(path).output().unwrap();
         assert!(!out.status.success(), "{} must be rejected", path.display());

@@ -84,6 +84,7 @@ fn optimize_request(asm: &str, passes: &str) -> Request {
         jobs: None,
         timeout_ms: None,
         use_cache: true,
+        isa: mao::isa::IsaId::X86_64,
     })
 }
 
@@ -205,6 +206,7 @@ fn timeout_returns_structured_error_over_socket() {
         jobs: None,
         timeout_ms: Some(50),
         use_cache: false,
+        isa: mao::isa::IsaId::X86_64,
     });
     let response = client.request(&slow).expect("timeout still answered");
     assert_eq!(response.get("status").unwrap().as_str(), Some("error"));

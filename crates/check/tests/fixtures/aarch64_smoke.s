@@ -1,0 +1,25 @@
+	.text
+	.globl	clamp_sum
+	.type	clamp_sum, @function
+clamp_sum:
+	sub	sp, sp, #16
+	str	x19, [sp, #8]
+	mov	x19, x0
+	nop
+	cmp	x19, #0
+	b.lt	.Lneg
+	add	x0, x19, x1
+	nop
+	b.ge	.Ldone
+.Lneg:
+	mov	x0, #0
+	bl	report_clamp
+.Ldone:
+	ldr	x19, [sp, #8]
+	add	sp, sp, #16
+	ret
+	.type	report_clamp, @function
+report_clamp:
+	nop
+	mov	x0, #1
+	ret

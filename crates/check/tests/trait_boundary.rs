@@ -1,0 +1,58 @@
+//! The ISA trait boundary must be invisible on x86-64: routing the paper
+//! kernels through every execution path with the ISA threaded explicitly
+//! (`optimize_isa(.., IsaId::X86_64)`) has to produce bytes identical to
+//! the pre-boundary entry point (`MaoUnit::parse`, no ISA argument
+//! anywhere). This is the satellite differential gate for the trait
+//! extraction — any behavioral drift behind the boundary (parser dialect,
+//! snapshot tag, engine cache key, pass gating) shows up here as a byte
+//! diff on a real kernel.
+
+use mao::isa::IsaId;
+use mao::pass::{parse_invocations, run_pipeline_with, PipelineConfig};
+use mao::MaoUnit;
+use mao_check::paths::PathRunner;
+use mao_corpus::kernels;
+
+/// A meaty x86 pipeline: scalar cleanups, the scheduler, layout consumers.
+/// (SUPEROPT and the stochastic NOPIN are left out to keep the reference
+/// run exactly reproducible without registry-order coupling.)
+const PASSES: &str = "REDTEST:ADDADD:CONSTFOLD:DCE:SCHED:BRALIGN:NOPKILL:INSTPREP";
+
+/// The historical default path, exactly as the driver ran before the
+/// boundary existed: parse with no ISA in sight, pipeline at `--jobs 1`,
+/// emit.
+fn legacy_reference(asm: &str) -> String {
+    let mut unit = MaoUnit::parse(asm).expect("paper kernel parses");
+    let invs = parse_invocations(PASSES).expect("pass string parses");
+    run_pipeline_with(&mut unit, &invs, None, &PipelineConfig { jobs: 1 })
+        .expect("reference pipeline runs");
+    unit.emit()
+}
+
+#[test]
+fn x86_behind_the_trait_is_byte_identical_on_paper_kernels() {
+    let runner = PathRunner::new(4);
+    let suite = kernels::paper_suite(8);
+    assert!(!suite.is_empty());
+    let mut transformed_any = false;
+    for w in &suite {
+        let reference = legacy_reference(&w.asm);
+        if reference != MaoUnit::parse(&w.asm).unwrap().emit() {
+            transformed_any = true;
+        }
+        for path in runner.all() {
+            let got = runner
+                .optimize_isa(path, &w.asm, PASSES, IsaId::X86_64)
+                .unwrap_or_else(|e| panic!("kernel `{}` failed on {path:?}: {e}", w.name));
+            assert_eq!(
+                got, reference,
+                "kernel `{}` diverged from the pre-boundary reference on {path:?}",
+                w.name
+            );
+        }
+    }
+    assert!(
+        transformed_any,
+        "the pipeline was a no-op on every paper kernel — the gate is vacuous"
+    );
+}

@@ -27,6 +27,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::cfg::Cfg;
 use crate::dataflow::{Liveness, ReachingDefs};
+use crate::isa::IsaId;
 use crate::loops::{find_loops, LoopNest};
 use crate::relax::{Layout, RelaxError, Relaxed};
 use crate::unit::{Function, MaoUnit};
@@ -40,6 +41,10 @@ fn unit_key(unit: &MaoUnit) -> u128 {
     let mut hi = std::collections::hash_map::DefaultHasher::new();
     0x6d616f_u64.hash(&mut lo);
     0x4c4c564d_u64.hash(&mut hi);
+    // The ISA is part of the key: two directive-only units with identical
+    // entries but different targets must not share a layout slot.
+    unit.isa().tag().hash(&mut lo);
+    unit.isa().tag().hash(&mut hi);
     for e in unit.entries() {
         e.hash(&mut lo);
         e.hash(&mut hi);
@@ -58,11 +63,14 @@ const LAYOUT_CAPACITY: usize = 64;
 /// [`AnalysisCache::relaxed`] owns the only spot that knows both the key
 /// and whether the memory tier missed; core itself ships no implementation.
 pub trait LayoutStore: Send + Sync + std::fmt::Debug {
-    /// A previously stored layout for `key`, if one decodes cleanly.
-    fn load(&self, key: u128) -> Option<Layout>;
-    /// Persist `layout` under `key` (errors are the store's problem — the
-    /// tier is an accelerator, not a source of truth).
-    fn store(&self, key: u128, layout: &Layout);
+    /// A previously stored layout for `key`, if one decodes cleanly *and*
+    /// was solved for the same instruction set (a frame tagged with a
+    /// different ISA is as wrong as a checksum mismatch).
+    fn load(&self, key: u128, isa: IsaId) -> Option<Layout>;
+    /// Persist `layout` under `key`, tagged with the ISA it was solved for
+    /// (errors are the store's problem — the tier is an accelerator, not a
+    /// source of truth).
+    fn store(&self, key: u128, isa: IsaId, layout: &Layout);
 }
 
 /// Content key of a function: its absolute spans plus every entry in them.
@@ -376,7 +384,7 @@ impl AnalysisCache {
         let mut fresh = None;
         if let Some(store) = self.layout_store.get() {
             fresh = store
-                .load(key)
+                .load(key, unit.isa())
                 .and_then(|layout| Relaxed::from_layout(unit, layout));
             let (counter, cell) = if fresh.is_some() {
                 (
@@ -399,7 +407,7 @@ impl AnalysisCache {
             None => {
                 let solved = Arc::new(Relaxed::build(unit)?);
                 if let Some(store) = self.layout_store.get() {
-                    store.store(key, &solved.layout);
+                    store.store(key, unit.isa(), &solved.layout);
                 }
                 solved
             }
@@ -457,8 +465,8 @@ impl AnalysisCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::isa::x86::Instruction;
     use crate::unit::EditSet;
-    use mao_x86::Instruction;
 
     const TWO_FUNCS: &str = r#"
 	.text

@@ -19,9 +19,11 @@
 use std::collections::HashMap;
 
 use mao_asm::{DataItem, Directive, Entry};
-use mao_x86::operand::{Disp, Operand};
-use mao_x86::{def_use, Mnemonic, RegId};
 
+use crate::isa::aarch64::A64Mnemonic;
+use crate::isa::x86::operand::{Disp, Operand};
+use crate::isa::x86::{def_use, Mnemonic, RegId};
+use crate::isa::Insn;
 use crate::unit::{EntryId, Function, MaoUnit};
 
 /// Index of a basic block within a [`Cfg`].
@@ -40,8 +42,13 @@ pub struct BasicBlock {
 }
 
 impl BasicBlock {
-    /// Entry id of the block terminator instruction, if any.
-    pub fn terminator<'u>(&self, unit: &'u MaoUnit) -> Option<(EntryId, &'u mao_x86::Instruction)> {
+    /// Entry id of the block's last x86 instruction, if any. x86-only
+    /// consumers (dataflow, scheduling) see through this; use
+    /// [`BasicBlock::terminator_any`] for ISA-neutral construction.
+    pub fn terminator<'u>(
+        &self,
+        unit: &'u MaoUnit,
+    ) -> Option<(EntryId, &'u crate::isa::x86::Instruction)> {
         for &id in self.entries.iter().rev() {
             if let Some(i) = unit.insn(id) {
                 return Some((id, i));
@@ -50,11 +57,21 @@ impl BasicBlock {
         None
     }
 
-    /// Iterate the instruction entries of this block.
+    /// Entry id of the block terminator instruction regardless of ISA.
+    pub fn terminator_any<'u>(&self, unit: &'u MaoUnit) -> Option<(EntryId, &'u Insn)> {
+        for &id in self.entries.iter().rev() {
+            if let Some(i) = unit.insn_any(id) {
+                return Some((id, i));
+            }
+        }
+        None
+    }
+
+    /// Iterate the x86 instruction entries of this block.
     pub fn insns<'a, 'u: 'a>(
         &'a self,
         unit: &'u MaoUnit,
-    ) -> impl Iterator<Item = (EntryId, &'u mao_x86::Instruction)> + 'a {
+    ) -> impl Iterator<Item = (EntryId, &'u crate::isa::x86::Instruction)> + 'a {
         self.entries
             .iter()
             .filter_map(move |&id| unit.insn(id).map(|i| (id, i)))
@@ -99,7 +116,7 @@ impl Cfg {
         for (pos, &id) in body.iter().enumerate() {
             match unit.entry(id) {
                 Entry::Label(_) => is_leader[pos] = true,
-                Entry::Insn(i) if i.mnemonic.is_control_flow() && i.mnemonic != Mnemonic::Call => {
+                Entry::Insn(i) if i.is_control_flow() && !i.is_call() => {
                     if pos + 1 < body.len() {
                         is_leader[pos + 1] = true;
                     }
@@ -136,10 +153,10 @@ impl Cfg {
         };
         let nblocks = cfg.blocks.len();
         for b in 0..nblocks {
-            let term = cfg.blocks[b].terminator(unit);
+            let term = cfg.blocks[b].terminator_any(unit);
             let mut succs: Vec<BlockId> = Vec::new();
             let mut fallthrough = true;
-            if let Some((term_id, insn)) = term {
+            if let Some((term_id, Insn::X86(insn))) = term {
                 // Only a *final* control-flow instruction terminates;
                 // a call in the middle falls through.
                 let is_last_insn = cfg.blocks[b]
@@ -187,6 +204,38 @@ impl Cfg {
                         Mnemonic::Ret | Mnemonic::Ud2 | Mnemonic::Hlt | Mnemonic::Int3 => {
                             fallthrough = false;
                         }
+                        _ => {}
+                    }
+                }
+            } else if let Some((term_id, Insn::A64(insn))) = term {
+                // AArch64 terminators: `b` is unconditional, `b.cond` falls
+                // through, `ret` exits; `bl` is a call and falls through.
+                // There are no indirect branches in the A64 subset, so no
+                // jump-table resolution is needed.
+                let is_last_insn = cfg.blocks[b]
+                    .entries
+                    .iter()
+                    .rev()
+                    .find_map(|&id| unit.insn_any(id).map(|_| id))
+                    == Some(term_id);
+                if is_last_insn {
+                    match insn.mnemonic {
+                        A64Mnemonic::B => {
+                            fallthrough = false;
+                            if let Some(target) = insn.target_label() {
+                                if let Some(&t) = label_block.get(target.as_str()) {
+                                    succs.push(t);
+                                }
+                            }
+                        }
+                        A64Mnemonic::BCond(_) => {
+                            if let Some(target) = insn.target_label() {
+                                if let Some(&t) = label_block.get(target.as_str()) {
+                                    succs.push(t);
+                                }
+                            }
+                        }
+                        A64Mnemonic::Ret => fallthrough = false,
                         _ => {}
                     }
                 }
@@ -268,7 +317,7 @@ fn table_labels(unit: &MaoUnit, table_label: &str) -> Option<Vec<String>> {
 
 /// Does this memory operand look like a scaled jump-table access, and if so,
 /// through which symbol?
-fn table_symbol(mem: &mao_x86::Mem) -> Option<&str> {
+fn table_symbol(mem: &crate::isa::x86::Mem) -> Option<&str> {
     match &mem.disp {
         Disp::Symbol { name, .. } if mem.scale == 8 || mem.is_rip_relative() => Some(name),
         _ => None,

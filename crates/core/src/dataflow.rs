@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use mao_x86::{def_use, DefUse, Flags, RegId};
+use crate::isa::x86::{def_use, DefUse, Flags, RegId};
 
 use crate::cfg::{BlockId, Cfg};
 use crate::unit::{EntryId, MaoUnit};
@@ -27,7 +27,7 @@ impl RegSet {
     /// Empty set.
     pub const EMPTY: RegSet = RegSet(0);
     /// All registers.
-    pub const ALL: RegSet = RegSet((1 << mao_x86::reg::NUM_REG_IDS) - 1);
+    pub const ALL: RegSet = RegSet((1 << crate::isa::x86::reg::NUM_REG_IDS) - 1);
 
     /// Insert a register.
     pub fn insert(&mut self, id: RegId) {
@@ -66,7 +66,7 @@ impl RegSet {
 
     /// Iterate members.
     pub fn iter(self) -> impl Iterator<Item = RegId> {
-        (0..mao_x86::reg::NUM_REG_IDS)
+        (0..crate::isa::x86::reg::NUM_REG_IDS)
             .filter(move |i| self.0 & (1 << i) != 0)
             .filter_map(RegId::from_index)
     }
@@ -132,7 +132,7 @@ impl InsnEffects {
     }
 
     /// Compute for an instruction.
-    pub fn of(insn: &mao_x86::Instruction) -> InsnEffects {
+    pub fn of(insn: &crate::isa::x86::Instruction) -> InsnEffects {
         InsnEffects::from_def_use(&def_use(insn))
     }
 }
@@ -330,8 +330,8 @@ impl ReachingDefs {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::isa::x86::Cond;
     use crate::unit::MaoUnit;
-    use mao_x86::Cond;
 
     fn analyse(text: &str) -> (MaoUnit, Cfg, Liveness) {
         let unit = MaoUnit::parse(text).unwrap();
@@ -449,7 +449,7 @@ f:
             .iter()
             .position(|e| {
                 e.insn()
-                    .is_some_and(|i| i.mnemonic == mao_x86::Mnemonic::Sub)
+                    .is_some_and(|i| i.mnemonic == crate::isa::x86::Mnemonic::Sub)
             })
             .unwrap();
         // After the subl, the testl and jne follow: ZF is read (by jne) but

@@ -36,6 +36,7 @@ pub mod analysis_cache;
 pub mod cfg;
 pub mod dataflow;
 pub mod edgeprof;
+pub mod isa;
 pub mod loops;
 pub mod pass;
 pub mod passes;

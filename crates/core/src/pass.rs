@@ -17,6 +17,7 @@ use std::sync::{Arc, Mutex};
 use mao_obs::{Obs, TraceEvent};
 
 use crate::analysis_cache::{AnalysisCache, CacheStats};
+use crate::isa::IsaId;
 use crate::profile::Profile;
 use crate::unit::{EditSet, Function, MaoUnit};
 
@@ -25,6 +26,15 @@ use crate::unit::{EditSet, Function, MaoUnit};
 pub enum PassError {
     /// Named pass not found in the registry.
     UnknownPass(String),
+    /// The pass does not support the unit's instruction set. Requesting an
+    /// x86-only pass (SUPEROPT, SCHED, LOOP16, ...) on an AArch64 unit is a
+    /// structured pipeline error, never a panic.
+    UnsupportedIsa {
+        /// Registry name of the pass.
+        pass: String,
+        /// The unit's ISA, which the pass does not declare support for.
+        isa: IsaId,
+    },
     /// Malformed `--mao=` option string.
     BadOptions(String),
     /// Relaxation failed inside a pass.
@@ -37,6 +47,9 @@ impl fmt::Display for PassError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PassError::UnknownPass(p) => write!(f, "unknown pass `{p}`"),
+            PassError::UnsupportedIsa { pass, isa } => {
+                write!(f, "pass `{pass}` does not support ISA `{isa}`")
+            }
             PassError::BadOptions(m) => write!(f, "bad --mao options: {m}"),
             PassError::Relax(m) => write!(f, "relaxation failed: {m}"),
             PassError::Other(m) => write!(f, "{m}"),
@@ -209,6 +222,18 @@ pub trait MaoPass {
 
     /// One-line description.
     fn description(&self) -> &'static str;
+
+    /// The instruction sets this pass can run on. The pipeline refuses an
+    /// invocation whose unit ISA is not listed ([`PassError::UnsupportedIsa`]).
+    ///
+    /// Defaults to x86-only — the founding instantiation — so a pass that
+    /// pattern-matches x86 mnemonics or operand shapes is safe without any
+    /// declaration. ISA-neutral passes (everything expressed purely in
+    /// entries, labels, layout, and the neutral [`crate::isa::Insn`]
+    /// surface) opt in to `&IsaId::ALL`.
+    fn supported_isas(&self) -> &'static [IsaId] {
+        &[IsaId::X86_64]
+    }
 
     /// Run over the unit. Returns statistics; mutates the unit in place.
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError>;
@@ -432,18 +457,33 @@ pub type PassFactory = fn() -> Box<dyn MaoPass>;
 /// `mao-sim` depends on `mao`) cannot appear in the static table without a
 /// cycle; they call [`register_extension`] once at startup instead — the
 /// paper's `REGISTER_FUNC_PASS` done at runtime rather than link time.
-fn extensions() -> &'static Mutex<BTreeMap<&'static str, PassFactory>> {
-    static EXTENSIONS: std::sync::OnceLock<Mutex<BTreeMap<&'static str, PassFactory>>> =
-        std::sync::OnceLock::new();
+fn extensions() -> &'static Mutex<BTreeMap<&'static str, (PassFactory, &'static [IsaId])>> {
+    type ExtMap = BTreeMap<&'static str, (PassFactory, &'static [IsaId])>;
+    static EXTENSIONS: std::sync::OnceLock<Mutex<ExtMap>> = std::sync::OnceLock::new();
     EXTENSIONS.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
-/// Register (or re-register, idempotently) an extension pass under `name`.
+/// Register (or re-register, idempotently) an extension pass under `name`,
+/// declaring the instruction sets it supports (`&[IsaId::X86_64]` for a
+/// target-specific pass like SUPEROPT, `&IsaId::ALL` for a neutral one).
+/// The declaration is authoritative: the pipeline refuses to run the pass
+/// on any other ISA with [`PassError::UnsupportedIsa`].
+///
 /// Extension passes shadow built-ins of the same name; callers should pick
 /// fresh names. Safe to call from multiple threads and multiple times —
 /// last registration wins, and registration is process-wide.
-pub fn register_extension(name: &'static str, factory: PassFactory) {
-    extensions().lock().unwrap().insert(name, factory);
+pub fn register_extension(name: &'static str, isas: &'static [IsaId], factory: PassFactory) {
+    extensions().lock().unwrap().insert(name, (factory, isas));
+}
+
+/// The ISA declaration a runtime extension was registered with, if `name`
+/// names an extension pass.
+fn extension_isas(name: &str) -> Option<&'static [IsaId]> {
+    extensions()
+        .lock()
+        .unwrap()
+        .get(name)
+        .map(|(_, isas)| *isas)
 }
 
 /// The global pass registry: the static built-in table plus every
@@ -451,7 +491,7 @@ pub fn register_extension(name: &'static str, factory: PassFactory) {
 /// passes (`NOPIN`, `NOPKILL`, `REDTEST`, `REDMOV`, `LOOP16`, `SCHED`).
 pub fn registry() -> BTreeMap<&'static str, PassFactory> {
     let mut m = crate::passes::registry();
-    for (name, factory) in extensions().lock().unwrap().iter() {
+    for (name, (factory, _)) in extensions().lock().unwrap().iter() {
         m.insert(name, *factory);
     }
     m
@@ -647,6 +687,18 @@ pub fn run_pipeline_observed(
             .get(inv.name.as_str())
             .ok_or_else(|| PassError::UnknownPass(inv.name.clone()))?;
         let pass = factory();
+        // ISA gate: for runtime extensions the registration declaration is
+        // authoritative; built-ins declare via `MaoPass::supported_isas`.
+        let supported: &[IsaId] = match extension_isas(inv.name.as_str()) {
+            Some(isas) => isas,
+            None => pass.supported_isas(),
+        };
+        if !supported.contains(&unit.isa()) {
+            return Err(PassError::UnsupportedIsa {
+                pass: inv.name.clone(),
+                isa: unit.isa(),
+            });
+        }
         let mut ctx = PassContext::from_options(inv.options.clone());
         ctx.pass = inv.name.clone();
         ctx.profile = profile.take();
@@ -800,9 +852,9 @@ mod tests {
 
     #[test]
     fn extension_passes_join_the_registry_and_run() {
-        register_extension("EXTTEST", || Box::new(ExtPass));
+        register_extension("EXTTEST", &[IsaId::X86_64], || Box::new(ExtPass));
         // Idempotent re-registration.
-        register_extension("EXTTEST", || Box::new(ExtPass));
+        register_extension("EXTTEST", &[IsaId::X86_64], || Box::new(ExtPass));
         let reg = registry();
         assert!(reg.contains_key("EXTTEST"));
         assert!(reg.contains_key("REDTEST"), "built-ins still present");
@@ -810,5 +862,65 @@ mod tests {
         let invs = parse_invocations("EXTTEST").unwrap();
         let report = run_pipeline(&mut unit, &invs, None).unwrap();
         assert_eq!(report.stats("EXTTEST").unwrap().matches, 1);
+    }
+
+    fn a64_unit() -> MaoUnit {
+        MaoUnit::parse_isa(
+            ".type f, @function\nf:\n\tnop\n\tret\n",
+            crate::isa::IsaId::Aarch64,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn x86_only_pass_on_a64_unit_is_a_structured_error() {
+        let mut unit = a64_unit();
+        assert_eq!(unit.isa(), IsaId::Aarch64);
+        for name in ["SCHED", "LOOP16", "REDTEST"] {
+            let invs = parse_invocations(name).unwrap();
+            let err = run_pipeline(&mut unit, &invs, None).unwrap_err();
+            assert_eq!(
+                err,
+                PassError::UnsupportedIsa {
+                    pass: name.into(),
+                    isa: IsaId::Aarch64,
+                }
+            );
+            assert!(err.to_string().contains("does not support ISA `aarch64`"));
+        }
+    }
+
+    #[test]
+    fn isa_neutral_passes_run_on_a64_units() {
+        let mut unit = a64_unit();
+        let invs = parse_invocations("MAOPASS:NOPKILL:DCE").unwrap();
+        let report = run_pipeline(&mut unit, &invs, None).unwrap();
+        // NOPKILL operates purely on the neutral entry surface: the A64 NOP
+        // is gone, the rest of the unit is intact.
+        assert_eq!(report.stats("NOPKILL").unwrap().transformations, 1);
+        let text = unit.emit();
+        assert!(!text.contains("nop"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+    }
+
+    #[test]
+    fn extension_isa_declaration_is_enforced() {
+        register_extension("EXTX86ONLY", &[IsaId::X86_64], || Box::new(ExtPass));
+        register_extension("EXTNEUTRAL", &IsaId::ALL, || Box::new(ExtPass));
+        let mut unit = a64_unit();
+        let err =
+            run_pipeline(&mut unit, &parse_invocations("EXTX86ONLY").unwrap(), None).unwrap_err();
+        assert_eq!(
+            err,
+            PassError::UnsupportedIsa {
+                pass: "EXTX86ONLY".into(),
+                isa: IsaId::Aarch64,
+            }
+        );
+        // The registration declaration is authoritative, even though
+        // `ExtPass` itself inherits the x86-only `supported_isas` default.
+        let report =
+            run_pipeline(&mut unit, &parse_invocations("EXTNEUTRAL").unwrap(), None).unwrap();
+        assert_eq!(report.stats("EXTNEUTRAL").unwrap().matches, 1);
     }
 }

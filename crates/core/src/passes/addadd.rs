@@ -15,8 +15,8 @@
 //! only in the sense that they now describe the combined operation — which
 //! is precisely what any consumer after the fold sees.
 
+use crate::isa::x86::{def_use, Mnemonic, Operand, Width};
 use mao_obs::TraceEvent;
-use mao_x86::{def_use, Mnemonic, Operand, Width};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
@@ -26,7 +26,9 @@ use crate::unit::{EditSet, MaoUnit};
 pub struct AddAddFold;
 
 /// Is this `add $imm, %reg` or `sub $imm, %reg`? Returns the signed delta.
-fn as_imm_addsub(insn: &mao_x86::Instruction) -> Option<(i64, mao_x86::Reg, Width)> {
+fn as_imm_addsub(
+    insn: &crate::isa::x86::Instruction,
+) -> Option<(i64, crate::isa::x86::Reg, Width)> {
     let sign = match insn.mnemonic {
         Mnemonic::Add => 1,
         Mnemonic::Sub => -1,
@@ -45,11 +47,11 @@ fn as_imm_addsub(insn: &mao_x86::Instruction) -> Option<(i64, mao_x86::Reg, Widt
 
 /// Build the folded instruction (prefers `add` for non-negative deltas so
 /// immediates stay small and positive where possible).
-fn folded(delta: i64, reg: mao_x86::Reg, width: Width) -> mao_x86::Instruction {
+fn folded(delta: i64, reg: crate::isa::x86::Reg, width: Width) -> crate::isa::x86::Instruction {
     if delta >= 0 {
-        mao_x86::insn::build::add(width, Operand::Imm(delta), reg)
+        crate::isa::x86::insn::build::add(width, Operand::Imm(delta), reg)
     } else {
-        mao_x86::insn::build::sub(width, Operand::Imm(-delta), reg)
+        crate::isa::x86::insn::build::sub(width, Operand::Imm(-delta), reg)
     }
 }
 

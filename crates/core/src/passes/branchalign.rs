@@ -11,9 +11,9 @@
 //! into the next bucket. Relaxation re-runs between fixes because padding
 //! moves everything downstream (the phase-ordering hazard §II discusses).
 
+use crate::isa::x86::Instruction;
 use mao_asm::Entry;
 use mao_obs::TraceEvent;
-use mao_x86::Instruction;
 
 use crate::pass::{MaoPass, PassContext, PassError, PassStats};
 use crate::passes::layout_util::LayoutProvider;
@@ -58,7 +58,7 @@ impl MaoPass for BranchAlign {
         let mut stats = PassStats::default();
         // Predictor index shift comes from the installed cost model (PC>>5
         // on the built-in Core-2-like table); an explicit option overrides.
-        let model_shift = u64::from(mao_x86::cost::current().machine.predictor_shift);
+        let model_shift = u64::from(crate::isa::x86::cost::current().machine.predictor_shift);
         let shift = ctx.options.get_u64("shift", model_shift.min(16).max(1));
         let bucket = 1u64 << shift;
         // A couple of rounds: fixing one pair can move later branches into
@@ -96,7 +96,7 @@ impl MaoPass for BranchAlign {
                     ));
                     let pad_entries: Vec<Entry> = Instruction::nop_pad(pad as usize)
                         .into_iter()
-                        .map(Entry::Insn)
+                        .map(|i| Entry::Insn(i.into()))
                         .collect();
                     edits.insert_before(second_id, pad_entries);
                     stats.transformed(1);

@@ -6,8 +6,8 @@
 //! operation is rewritten to a `mov` of the folded constant. The ALU op's
 //! flag outputs must be dead (a `mov` sets no flags).
 
+use crate::isa::x86::{def_use, Mnemonic, Operand, Width};
 use mao_obs::TraceEvent;
-use mao_x86::{def_use, Mnemonic, Operand, Width};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
@@ -17,7 +17,7 @@ use crate::unit::{EditSet, MaoUnit};
 pub struct ConstantFold;
 
 /// `mov $imm, %reg` with a 32/64-bit register destination.
-fn as_const_def(insn: &mao_x86::Instruction) -> Option<(i64, mao_x86::Reg)> {
+fn as_const_def(insn: &crate::isa::x86::Instruction) -> Option<(i64, crate::isa::x86::Reg)> {
     if insn.mnemonic != Mnemonic::Mov && insn.mnemonic != Mnemonic::Movabs {
         return None;
     }
@@ -76,7 +76,7 @@ impl MaoPass for ConstantFold {
             let mut edits = EditSet::new();
             for (b, block) in cfg.blocks.iter().enumerate() {
                 // reg -> known constant.
-                let mut known: std::collections::HashMap<mao_x86::RegId, (i64, Width)> =
+                let mut known: std::collections::HashMap<crate::isa::x86::RegId, (i64, Width)> =
                     std::collections::HashMap::new();
                 for (id, insn) in block.insns(unit) {
                     let du = def_use(insn);
@@ -100,7 +100,7 @@ impl MaoPass for ConstantFold {
                                         fctx.stats.matched(1);
                                         edits.replace_insn(
                                             id,
-                                            mao_x86::insn::build::mov(
+                                            crate::isa::x86::insn::build::mov(
                                                 w,
                                                 Operand::Imm(result),
                                                 *dst,

@@ -12,6 +12,7 @@ use std::collections::HashSet;
 use mao_asm::{DataItem, Directive, Entry};
 use mao_obs::TraceEvent;
 
+use crate::isa::x86;
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
 
@@ -28,12 +29,13 @@ fn referenced_labels(unit: &MaoUnit) -> HashSet<String> {
                 if let Some(t) = i.target_label() {
                     refs.insert(t.to_string());
                 }
+                let Some(i) = i.x86() else { continue };
                 for op in &i.operands {
                     let mem = match op {
-                        mao_x86::Operand::Mem(m) | mao_x86::Operand::IndirectMem(m) => m,
+                        x86::Operand::Mem(m) | x86::Operand::IndirectMem(m) => m,
                         _ => continue,
                     };
-                    if let mao_x86::Disp::Symbol { name, .. } = &mem.disp {
+                    if let x86::Disp::Symbol { name, .. } = &mem.disp {
                         refs.insert(name.as_str().to_string());
                     }
                 }
@@ -58,6 +60,10 @@ impl MaoPass for UnreachableCodeElim {
 
     fn description(&self) -> &'static str {
         "remove basic blocks unreachable from the function entry"
+    }
+
+    fn supported_isas(&self) -> &'static [crate::isa::IsaId] {
+        &crate::isa::IsaId::ALL
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {

@@ -13,9 +13,9 @@
 //!   shrinker, and regression persistence can be exercised end to end
 //!   against a known-bad transformation.
 
-use mao_asm::Entry;
 use mao_obs::TraceEvent;
-use mao_x86::Operand;
+
+use crate::isa::x86::Operand;
 
 use crate::pass::{MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
@@ -31,6 +31,10 @@ impl MaoPass for FaultInject {
 
     fn description(&self) -> &'static str {
         "fault injection: panic (options: func[NAME], sleep_ms[N], error)"
+    }
+
+    fn supported_isas(&self) -> &'static [crate::isa::IsaId] {
+        &crate::isa::IsaId::ALL
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
@@ -81,7 +85,7 @@ impl MaoPass for Misoptimize {
         let mut edits = EditSet::new();
         let mut seen = 0usize;
         for (id, entry) in unit.entries().iter().enumerate() {
-            let Entry::Insn(insn) = entry else { continue };
+            let Some(insn) = entry.insn() else { continue };
             let candidate = match mode.as_str() {
                 "drop" => !insn.mnemonic.is_control_flow(),
                 _ => {

@@ -10,9 +10,9 @@
 //!
 //! Options: `line[N]` — cache-line size (default 64).
 
+use crate::isa::x86::{Instruction, Mnemonic};
 use mao_asm::Entry;
 use mao_obs::TraceEvent;
-use mao_x86::{Instruction, Mnemonic};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::passes::layout_util::LayoutProvider;
@@ -44,7 +44,7 @@ impl MaoPass for InstrumentPrep {
         // driver; phase 2 below is layout-global and stays sequential).
         let mut stats = run_functions(unit, ctx, |unit, function, fctx| {
             let mut edits = EditSet::new();
-            let probe = || vec![Entry::Insn(Instruction::nop_of_len(5))];
+            let probe = || vec![Entry::Insn(Instruction::nop_of_len(5).into())];
             // Entry: after the function label (so the label address stays the
             // call target), i.e. before the first instruction.
             let first_insn = function.entry_ids().find(|&id| unit.insn(id).is_some());
@@ -90,7 +90,7 @@ impl MaoPass for InstrumentPrep {
                         id,
                         Instruction::nop_pad(pad as usize)
                             .into_iter()
-                            .map(Entry::Insn)
+                            .map(|i| Entry::Insn(i.into()))
                             .collect(),
                     );
                     stats.matched(1);

@@ -44,6 +44,10 @@ impl MaoPass for LoopFinder {
         "find loops and report the loop structure graph"
     }
 
+    fn supported_isas(&self) -> &'static [crate::isa::IsaId] {
+        &crate::isa::IsaId::ALL
+    }
+
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
         let stats = run_functions(unit, ctx, |unit, function, fctx| {
             let cfg = fctx.cfg(unit, function);

@@ -30,12 +30,19 @@ impl MaoPass for LoopAlign16 {
         "align short innermost loops so they fit one 16-byte decode line"
     }
 
+    // Explicitly x86-only (the default, spelled out per the ISA-boundary
+    // contract): decode-line geometry and `.p2align` padding are x86
+    // cost-model concepts.
+    fn supported_isas(&self) -> &'static [crate::isa::IsaId] {
+        &[crate::isa::IsaId::X86_64]
+    }
+
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
         let mut stats = PassStats::default();
         // Decode-line geometry comes from the installed cost model (16 on
         // the built-in Core-2-like table); non-power-of-two measurements
         // cannot be expressed as a `.p2align`, so fall back to 16.
-        let line = match u64::from(mao_x86::cost::current().machine.decode_line) {
+        let line = match u64::from(crate::isa::x86::cost::current().machine.decode_line) {
             l if l.is_power_of_two() => l,
             _ => 16,
         };

@@ -10,9 +10,9 @@
 //! but currently spanning too many lines — by inserting NOPs *before* the
 //! loop (executed once on entry, never inside the loop body).
 
+use crate::isa::x86::Instruction;
 use mao_asm::Entry;
 use mao_obs::TraceEvent;
-use mao_x86::Instruction;
 
 use crate::pass::{MaoPass, PassContext, PassError, PassStats};
 use crate::passes::layout_util::{loop_span, LayoutProvider};
@@ -47,7 +47,7 @@ impl MaoPass for LsdFit {
         // notes the requirement changes across generations). The default
         // comes from the installed cost model — a calibrated table retargets
         // the pass without recompiling; an explicit option still overrides.
-        let model_lines = u64::from(mao_x86::cost::current().machine.lsd_max_lines);
+        let model_lines = u64::from(crate::isa::x86::cost::current().machine.lsd_max_lines);
         let max_lines = ctx.options.get_u64("max-lines", model_lines.max(1));
         let mut trace: Vec<String> = Vec::new();
         // Layouts come from the shared cache; each NOP insertion patches the
@@ -87,7 +87,7 @@ impl MaoPass for LsdFit {
                 ));
                 let pad: Vec<Entry> = Instruction::nop_pad(shift as usize)
                     .into_iter()
-                    .map(Entry::Insn)
+                    .map(|i| Entry::Insn(i.into()))
                     .collect();
                 edits.insert_before(span.first_entry, pad);
                 stats.transformed(1);

@@ -46,7 +46,7 @@ use std::collections::BTreeMap;
 
 use crate::pass::{MaoPass, PassFactory};
 
-pub use mao_x86::cost::CostModel;
+pub use crate::isa::x86::cost::CostModel;
 pub use schedule::Policy;
 
 /// Build the global registry of all passes.

@@ -11,9 +11,9 @@
 //! before an instruction, default 0.05), `maxlen[N]` (maximum NOP-sequence
 //! byte length, default 3).
 
+use crate::isa::x86::Instruction;
 use mao_asm::Entry;
 use mao_obs::TraceEvent;
-use mao_x86::Instruction;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -51,7 +51,7 @@ impl MaoPass for Nopinizer {
                 let len = rng.random_range(1..=maxlen);
                 let pad: Vec<Entry> = Instruction::nop_pad(len)
                     .into_iter()
-                    .map(Entry::Insn)
+                    .map(|i| Entry::Insn(i.into()))
                     .collect();
                 stats.transformed(pad.len());
                 stats.matched(1);

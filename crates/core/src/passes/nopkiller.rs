@@ -12,7 +12,6 @@
 
 use mao_asm::{Directive, Entry};
 use mao_obs::TraceEvent;
-use mao_x86::Instruction;
 
 use crate::pass::{MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
@@ -28,6 +27,10 @@ impl MaoPass for NopKiller {
 
     fn description(&self) -> &'static str {
         "remove alignment directives and padding NOPs from text sections"
+    }
+
+    fn supported_isas(&self) -> &'static [crate::isa::IsaId] {
+        &crate::isa::IsaId::ALL
     }
 
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
@@ -46,7 +49,7 @@ impl MaoPass for NopKiller {
                     edits.delete(id);
                     stats.transformed(1);
                 }
-                Entry::Insn(i) if kill_nops && Instruction::is_nop(i) => {
+                Entry::Insn(i) if kill_nops && i.is_nop() => {
                     edits.delete(id);
                     stats.transformed(1);
                 }

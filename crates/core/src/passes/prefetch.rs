@@ -12,10 +12,10 @@
 //! Options: `threshold[N]` — minimum reuse distance in cache lines to
 //! qualify (default 8192, i.e. beyond a 512 KiB L2 at 64 B lines).
 
+use crate::isa::x86::operand::Operand;
+use crate::isa::x86::{def_use, Instruction, Mnemonic};
 use mao_asm::Entry;
 use mao_obs::TraceEvent;
-use mao_x86::operand::Operand;
-use mao_x86::{def_use, Instruction, Mnemonic};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::profile::Site;
@@ -68,7 +68,7 @@ impl MaoPass for InversePrefetch {
                 fctx.stats.matched(1);
                 let prefetch =
                     Instruction::new(Mnemonic::Prefetchnta, vec![Operand::Mem(mem.clone())]);
-                edits.insert_before(id, vec![Entry::Insn(prefetch)]);
+                edits.insert_before(id, vec![Entry::Insn(prefetch.into())]);
                 fctx.stats.transformed(1);
             }
             Ok(edits)

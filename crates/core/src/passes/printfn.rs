@@ -19,6 +19,10 @@ impl MaoPass for PrintFunctions {
         "example pass: print the name of every function"
     }
 
+    fn supported_isas(&self) -> &'static [crate::isa::IsaId] {
+        &crate::isa::IsaId::ALL
+    }
+
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
         let mut stats = PassStats::default();
         for function in unit.functions_cached() {

@@ -20,9 +20,9 @@
 
 use std::collections::HashMap;
 
+use crate::isa::x86::operand::{Mem, Operand};
+use crate::isa::x86::{def_use, Mnemonic, Reg, Width};
 use mao_obs::TraceEvent;
-use mao_x86::operand::{Mem, Operand};
-use mao_x86::{def_use, Mnemonic, Reg, Width};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
@@ -32,7 +32,7 @@ use crate::unit::{EditSet, MaoUnit};
 pub struct RedundantMemMove;
 
 /// Is this a plain GPR load `mov mem, reg`?
-fn as_load(insn: &mao_x86::Instruction) -> Option<(&Mem, Reg, Width)> {
+fn as_load(insn: &crate::isa::x86::Instruction) -> Option<(&Mem, Reg, Width)> {
     if insn.mnemonic != Mnemonic::Mov || insn.lock {
         return None;
     }
@@ -78,7 +78,7 @@ impl MaoPass for RedundantMemMove {
                                 if !analyze_only {
                                     edits.replace_insn(
                                         id,
-                                        mao_x86::insn::build::mov(width, held, dest),
+                                        crate::isa::x86::insn::build::mov(width, held, dest),
                                     );
                                     fctx.stats.transformed(1);
                                 }

@@ -12,11 +12,11 @@
 //! the test redundant — **provided** every consumer reads only flags the two
 //! instructions agree on (SF/ZF/PF; CF/OF generally differ). The paper:
 //! *"MAO precisely models the x86/64 condition codes, enabling it to remove
-//! the redundant tests."* The precision lives in [`mao_x86::Cond::flags_read`]
+//! the redundant tests."* The precision lives in [`crate::isa::x86::Cond::flags_read`]
 //! and the flag liveness walk.
 
+use crate::isa::x86::{def_use, Flags, Mnemonic, Operand, Width};
 use mao_obs::TraceEvent;
-use mao_x86::{def_use, Flags, Mnemonic, Operand, Width};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
@@ -26,7 +26,7 @@ use crate::unit::{EditSet, MaoUnit};
 pub struct RedundantTest;
 
 /// Is `insn` a same-register `test r, r`?
-fn is_self_test(insn: &mao_x86::Instruction) -> Option<(mao_x86::Reg, Width)> {
+fn is_self_test(insn: &crate::isa::x86::Instruction) -> Option<(crate::isa::x86::Reg, Width)> {
     if insn.mnemonic != Mnemonic::Test {
         return None;
     }
@@ -40,7 +40,11 @@ fn is_self_test(insn: &mao_x86::Instruction) -> Option<(mao_x86::Reg, Width)> {
 
 /// Does `prev` define register `reg` as its destination *and* set SF/ZF/PF
 /// from the result, with the same operand width?
-fn sets_result_flags_for(prev: &mao_x86::Instruction, reg: mao_x86::Reg, width: Width) -> bool {
+fn sets_result_flags_for(
+    prev: &crate::isa::x86::Instruction,
+    reg: crate::isa::x86::Reg,
+    width: Width,
+) -> bool {
     use Mnemonic as M;
     let result_flag_setter = match prev.mnemonic {
         M::Add | M::Sub | M::Adc | M::Sbb | M::And | M::Or | M::Xor | M::Neg | M::Inc | M::Dec => {

@@ -12,8 +12,8 @@
 //! the most recent definition of that register was itself a 32-bit write.
 //! (It is *not* redundant after a 64-bit write: there it truncates.)
 
+use crate::isa::x86::{def_use, Mnemonic, Operand, Width};
 use mao_obs::TraceEvent;
-use mao_x86::{def_use, Mnemonic, Operand, Width};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, MaoUnit};
@@ -23,7 +23,7 @@ use crate::unit::{EditSet, MaoUnit};
 pub struct RedundantZeroExtension;
 
 /// Is `insn` the `mov %rX, %rX` 32-bit self-move idiom?
-fn is_self_zext(insn: &mao_x86::Instruction) -> bool {
+fn is_self_zext(insn: &crate::isa::x86::Instruction) -> bool {
     insn.mnemonic == Mnemonic::Mov
         && insn.width() == Width::B4
         && matches!(

@@ -18,9 +18,9 @@
 
 use std::collections::HashMap;
 
+use crate::isa::x86::cost::CostModel;
+use crate::isa::x86::{def_use, Flags, Instruction, RegId};
 use mao_obs::TraceEvent;
-use mao_x86::cost::CostModel;
-use mao_x86::{def_use, Flags, Instruction, RegId};
 
 use crate::pass::{run_functions, MaoPass, PassContext, PassError, PassStats};
 use crate::unit::{EditSet, EntryId, MaoUnit};
@@ -254,8 +254,15 @@ impl MaoPass for ListSchedule {
         "critical-path list scheduling within basic blocks"
     }
 
+    // Explicitly x86-only (the default, spelled out per the ISA-boundary
+    // contract): latencies and dependence edges come from the x86 cost
+    // tables and `def_use`.
+    fn supported_isas(&self) -> &'static [crate::isa::IsaId] {
+        &[crate::isa::IsaId::X86_64]
+    }
+
     fn run(&self, unit: &mut MaoUnit, ctx: &mut PassContext) -> Result<PassStats, PassError> {
-        let model = mao_x86::cost::current();
+        let model = crate::isa::x86::cost::current();
         let policy = match ctx.options.get("policy") {
             Some("source-order") => Policy::SourceOrder,
             _ => Policy::CriticalPath,

@@ -14,9 +14,9 @@
 
 use std::collections::HashMap;
 
+use crate::isa::x86::operand::{Disp, Mem, Operand};
+use crate::isa::x86::{def_use, Instruction, Mnemonic, RegId};
 use mao_obs::TraceEvent;
-use mao_x86::operand::{Disp, Mem, Operand};
-use mao_x86::{def_use, Instruction, Mnemonic, RegId};
 
 use crate::pass::{MaoPass, PassContext, PassError, PassStats};
 use crate::profile::{Profile, Sample, Site};

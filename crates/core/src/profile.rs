@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use mao_x86::RegId;
+use crate::isa::x86::RegId;
 
 /// A site within a function, identified by the instruction's ordinal
 /// position (samples arrive as offsets; the relaxation layout maps offsets

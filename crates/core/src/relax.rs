@@ -33,9 +33,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mao_asm::{Directive, Entry};
-pub use mao_x86::encode::BranchForm;
-use mao_x86::encode::{branch_lengths, encoded_length};
 
+pub use crate::isa::BranchForm;
+use crate::isa::{branch_lengths, encoded_length};
 use crate::unit::{EditSet, EntryId, MaoUnit};
 
 /// Built-in iteration limit from the paper.
@@ -147,13 +147,12 @@ impl Layout {
     }
 }
 
-/// Is this a branch whose encoding relaxation must choose? (`jmp`/`jcc` to a
-/// label; `call` always encodes `rel32` and is fixed-size.)
+/// Is this a branch whose encoding relaxation must choose? (On x86,
+/// `jmp`/`jcc` to a label; `call` always encodes `rel32` and is fixed-size.
+/// Fixed-width ISAs have no relaxable branches at all, so their fixed point
+/// converges immediately.)
 fn relaxable_branch(e: &Entry) -> bool {
-    match e.insn() {
-        Some(i) => i.mnemonic.is_branch() && i.target_label().is_some(),
-        None => false,
-    }
+    e.insn_any().is_some_and(crate::isa::relaxable_branch)
 }
 
 /// Flat per-entry section slots. Sections with the same name share one
@@ -1037,7 +1036,7 @@ pub fn relax_totals() -> RelaxTotals {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mao_x86::Mnemonic;
+    use crate::isa::x86::Mnemonic;
 
     /// The exact scenario from the paper's §II listing: a forward `jmp` over
     /// a 0x7f-byte gap fits rel8; inserting a single NOP before the target

@@ -25,7 +25,9 @@ use std::ops::Range;
 use std::sync::OnceLock;
 
 use mao_asm::{Directive, Entry, ParseError};
-use mao_x86::Instruction;
+
+use crate::isa::x86::Instruction;
+use crate::isa::{Insn, IsaId};
 
 /// Index of an entry in the unit's flat list.
 pub type EntryId = usize;
@@ -227,6 +229,11 @@ fn is_structural(e: &Entry) -> bool {
 #[derive(Debug, Clone, Default)]
 pub struct MaoUnit {
     entries: Vec<Entry>,
+    /// The instruction set the unit's instructions belong to. Inferred from
+    /// the first instruction entry (directive-only units default to x86-64,
+    /// matching the pre-ISA-boundary behavior). Mixed-ISA units are not
+    /// modeled: the front end parses a whole file under one dialect.
+    isa: IsaId,
     /// Lazily built section/function/label views; dropped (and rebuilt on
     /// next access) whenever an edit cannot be patched in place.
     index: OnceLock<UnitIndex>,
@@ -246,18 +253,31 @@ impl PartialEq for MaoUnit {
 }
 
 impl MaoUnit {
-    /// Build a unit from already-parsed entries.
+    /// Build a unit from already-parsed entries. The unit's ISA is inferred
+    /// from the first instruction entry.
     pub fn from_entries(entries: Vec<Entry>) -> MaoUnit {
+        let isa = mao_asm::snapshot::unit_isa(&entries);
         MaoUnit {
             entries,
+            isa,
             ..MaoUnit::default()
         }
     }
 
     /// Parse assembly text into a unit (the default first pass of the
-    /// pipeline).
+    /// pipeline). Instructions are parsed in the x86-64 dialect; use
+    /// [`MaoUnit::parse_isa`] for other targets.
     pub fn parse(text: &str) -> Result<MaoUnit, ParseError> {
         Ok(MaoUnit::from_entries(mao_asm::parse(text)?))
+    }
+
+    /// Parse assembly text under the given ISA's dialect.
+    pub fn parse_isa(text: &str, isa: IsaId) -> Result<MaoUnit, ParseError> {
+        let mut unit = MaoUnit::from_entries(mao_asm::parse_isa(text, isa)?);
+        // Directive-only units still belong to the requested target; the
+        // entry scan cannot see that.
+        unit.isa = isa;
+        Ok(unit)
     }
 
     /// Like [`MaoUnit::parse`], splitting large inputs across up to `jobs`
@@ -265,6 +285,28 @@ impl MaoUnit {
     /// the sequential parse; small inputs stay sequential.
     pub fn parse_with_jobs(text: &str, jobs: usize) -> Result<MaoUnit, ParseError> {
         Ok(MaoUnit::from_entries(mao_asm::parse_with_jobs(text, jobs)?))
+    }
+
+    /// Like [`MaoUnit::parse_with_jobs`] under the given ISA's dialect.
+    pub fn parse_with_jobs_isa(text: &str, jobs: usize, isa: IsaId) -> Result<MaoUnit, ParseError> {
+        let mut unit = MaoUnit::from_entries(mao_asm::parse_with_jobs_isa(text, jobs, isa)?);
+        unit.isa = isa;
+        Ok(unit)
+    }
+
+    /// Like [`MaoUnit::from_entries`] with the unit's ISA pinned rather
+    /// than inferred — for snapshot loads whose request declared a target
+    /// (a directive-only entry list carries no ISA evidence of its own).
+    pub fn from_entries_isa(entries: Vec<Entry>, isa: IsaId) -> MaoUnit {
+        let mut unit = MaoUnit::from_entries(entries);
+        unit.isa = isa;
+        unit
+    }
+
+    /// The instruction set this unit's instructions belong to.
+    #[inline]
+    pub fn isa(&self) -> IsaId {
+        self.isa
     }
 
     /// Emit the unit as textual assembly (the `ASM` pass).
@@ -305,10 +347,18 @@ impl MaoUnit {
         &mut self.entries[id]
     }
 
-    /// The instruction at `id`, if that entry is one.
+    /// The x86 instruction at `id`, if that entry is one. Instructions from
+    /// other ISAs return `None`; x86-only passes see through this accessor
+    /// and naturally skip foreign instructions.
     #[inline]
     pub fn insn(&self, id: EntryId) -> Option<&Instruction> {
         self.entries[id].insn()
+    }
+
+    /// The instruction at `id` regardless of ISA, if that entry is one.
+    #[inline]
+    pub fn insn_any(&self, id: EntryId) -> Option<&Insn> {
+        self.entries[id].insn_any()
     }
 
     /// Epoch of cross-function context. Bumped by [`MaoUnit::apply`] when an
@@ -370,7 +420,7 @@ impl MaoUnit {
     /// entry is an instruction with a label operand that is defined in this
     /// unit. O(1) via the cached label index.
     pub fn branch_target(&self, id: EntryId) -> Option<EntryId> {
-        self.insn(id)
+        self.insn_any(id)
             .and_then(|i| i.target_label())
             .and_then(|l| self.find_label(l))
     }
@@ -636,9 +686,9 @@ impl EditSet {
         self
     }
 
-    /// Replace entry `id` with a single instruction.
-    pub fn replace_insn(&mut self, id: EntryId, insn: Instruction) -> &mut Self {
-        self.replace(id, vec![Entry::Insn(insn)])
+    /// Replace entry `id` with a single instruction (any ISA, via `Into`).
+    pub fn replace_insn(&mut self, id: EntryId, insn: impl Into<Insn>) -> &mut Self {
+        self.replace(id, vec![Entry::Insn(insn.into())])
     }
 
     /// Insert `entries` immediately before entry `id`. Use `usize::MAX` to
@@ -779,7 +829,7 @@ h:
         assert_eq!(insns.len(), 4);
         assert!(insns
             .iter()
-            .all(|i| !matches!(i.mnemonic, mao_x86::Mnemonic::Movss)));
+            .all(|i| !matches!(i.mnemonic, crate::isa::x86::Mnemonic::Movss)));
     }
 
     #[test]
@@ -813,7 +863,7 @@ h:
         let mut edits = EditSet::new();
         edits.delete(1);
         edits.insert_before(0, vec![Entry::Label("start".into())]);
-        edits.insert_after(2, vec![Entry::Insn(Instruction::nop())]);
+        edits.insert_after(2, vec![Entry::Insn(Instruction::nop().into())]);
         unit.apply(edits);
         let text = unit.emit();
         assert_eq!(text, "start:\n\tnop\n\tnop\n\tnop\n");
@@ -904,7 +954,7 @@ h:
         let g = unit.find_function("g").unwrap();
         let epoch = unit.context_epoch();
         let mut edits = EditSet::new();
-        edits.insert_after(g.label_id, vec![Entry::Insn(Instruction::nop())]);
+        edits.insert_after(g.label_id, vec![Entry::Insn(Instruction::nop().into())]);
         unit.apply(edits);
         assert_eq!(
             unit.context_epoch(),
@@ -919,7 +969,7 @@ h:
         );
 
         let mut edits = EditSet::new();
-        edits.insert_before(g2.label_id, vec![Entry::Insn(Instruction::nop())]);
+        edits.insert_before(g2.label_id, vec![Entry::Insn(Instruction::nop().into())]);
         unit.apply(edits);
         assert!(
             unit.context_epoch() > epoch,
@@ -940,7 +990,7 @@ h:
             let first_insn = f.entry_ids().find(|&id| seq.insn(id).is_some()).unwrap();
             let mut e = EditSet::new();
             e.replace_insn(first_insn, Instruction::nop_of_len(2));
-            e.insert_after(first_insn, vec![Entry::Insn(Instruction::nop())]);
+            e.insert_after(first_insn, vec![Entry::Insn(Instruction::nop().into())]);
             per_fn.push(e);
         }
 
@@ -969,7 +1019,7 @@ h:
         let first_insn = g.entry_ids().find(|&id| seq.insn(id).is_some()).unwrap();
         let mut e1 = EditSet::new();
         e1.replace_insn(first_insn, Instruction::nop_of_len(2));
-        e1.insert_after(first_insn, vec![Entry::Insn(Instruction::nop())]);
+        e1.insert_after(first_insn, vec![Entry::Insn(Instruction::nop().into())]);
         seq.apply(e1);
 
         assert_eq!(merged.emit(), seq.emit());

@@ -15,7 +15,7 @@
 //! `mao_probe_measurements_total` / `mao_probe_unstable_total` counters.
 
 use mao_obs::Obs;
-use mao_x86::cost::{CostModel, MnemonicCost, Provenance};
+use mao_x86::cost::{CostModel, MnemonicCost, Provenance, MPT_ISA};
 
 use crate::backend::{measure_stable, MeasureBackend};
 use crate::benchmark::{Benchmark, BenchmarkError, StraightLineLoop};
@@ -344,6 +344,7 @@ pub fn run_sweep(
         target: proc.name.clone(),
         generator: "mao-probe sweep v1".to_string(),
         seed: cfg.seed,
+        isa: MPT_ISA.to_string(),
     };
 
     sweep_span.counter("mnemonics", model.len() as u64);

@@ -338,7 +338,7 @@ mod tests {
 
     #[test]
     fn encode_decode_roundtrip() {
-        let key = request_key("nop\n", "DCE");
+        let key = request_key("nop\n", "DCE", mao::isa::IsaId::X86_64);
         let original = outcome("nop\n");
         let bytes = encode_entry(key, &original);
         assert_eq!(decode_entry(&bytes, key).unwrap(), original);
@@ -346,7 +346,7 @@ mod tests {
 
     #[test]
     fn truncation_and_corruption_are_rejected() {
-        let key = request_key("nop\n", "DCE");
+        let key = request_key("nop\n", "DCE", mao::isa::IsaId::X86_64);
         let bytes = encode_entry(key, &outcome("nop\n"));
         for cut in [0, 4, 12, bytes.len() / 2, bytes.len() - 1] {
             assert!(
@@ -358,7 +358,7 @@ mod tests {
         let mid = flipped.len() / 2;
         flipped[mid] ^= 0x40;
         assert!(decode_entry(&flipped, key).is_err(), "bit flip detected");
-        let other = request_key("other\n", "DCE");
+        let other = request_key("other\n", "DCE", mao::isa::IsaId::X86_64);
         assert_eq!(decode_entry(&bytes, other), Err(DecodeError::WrongKey));
         let mut stale = bytes.clone();
         stale[8] = 99; // version field
@@ -368,7 +368,7 @@ mod tests {
     #[test]
     fn put_get_and_restart_reindex() {
         let dir = tempdir("roundtrip");
-        let key = request_key("a\n", "DCE");
+        let key = request_key("a\n", "DCE", mao::isa::IsaId::X86_64);
         {
             let cache = DiskCache::open(DiskCacheConfig::new(&dir)).unwrap();
             assert!(cache.get(key).is_none());
@@ -388,7 +388,7 @@ mod tests {
     fn corrupt_file_is_evicted_not_served() {
         let dir = tempdir("corrupt");
         let cache = DiskCache::open(DiskCacheConfig::new(&dir)).unwrap();
-        let key = request_key("a\n", "DCE");
+        let key = request_key("a\n", "DCE", mao::isa::IsaId::X86_64);
         cache.put(key, &outcome("a\n"));
         let path = cache.path_of(key);
         let mut bytes = std::fs::read(&path).unwrap();
@@ -406,16 +406,17 @@ mod tests {
     #[test]
     fn size_bound_evicts_lru() {
         let dir = tempdir("evict");
-        let one_entry = encode_entry(request_key("0", ""), &outcome("0")).len() as u64;
+        let one_entry =
+            encode_entry(request_key("0", "", mao::isa::IsaId::X86_64), &outcome("0")).len() as u64;
         let cache = DiskCache::open(DiskCacheConfig {
             dir: dir.clone(),
             max_bytes: one_entry * 2 + 1,
             fsync: false,
         })
         .unwrap();
-        let k0 = request_key("0", "");
-        let k1 = request_key("1", "");
-        let k2 = request_key("2", "");
+        let k0 = request_key("0", "", mao::isa::IsaId::X86_64);
+        let k1 = request_key("1", "", mao::isa::IsaId::X86_64);
+        let k2 = request_key("2", "", mao::isa::IsaId::X86_64);
         cache.put(k0, &outcome("0"));
         cache.put(k1, &outcome("1"));
         assert!(cache.get(k0).is_some()); // refresh k0; k1 becomes LRU
@@ -432,7 +433,7 @@ mod tests {
         let dir = tempdir("share");
         let a = DiskCache::open(DiskCacheConfig::new(&dir)).unwrap();
         let b = DiskCache::open(DiskCacheConfig::new(&dir)).unwrap();
-        let key = request_key("shared\n", "DCE");
+        let key = request_key("shared\n", "DCE", mao::isa::IsaId::X86_64);
         a.put(key, &outcome("shared\n"));
         // B never wrote this key but reads A's entry.
         assert_eq!(b.get(key).unwrap().asm, "shared\n");

@@ -45,6 +45,7 @@ use std::sync::mpsc::sync_channel;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use mao::isa::IsaId;
 use mao::obs::{Histogram, Obs, PromText, Span, US_BUCKETS};
 use mao::pass::{parse_invocations, run_pipeline_observed, PipelineConfig};
 use mao::{CacheStats, MaoUnit};
@@ -592,7 +593,8 @@ impl Engine {
             respond: Some(respond),
         };
 
-        let key = request_key(&req.asm, &req.passes);
+        self.inner.stats.record_isa(req.isa);
+        let key = request_key(&req.asm, &req.passes, req.isa);
         if req.use_cache {
             if let Some((cached, tier)) = self.inner.results.get(key) {
                 // Serve the stored result verbatim except for the trace:
@@ -665,7 +667,7 @@ impl Engine {
                 // done — cache it so the retry is free.
                 if use_cache {
                     inner.results.insert(
-                        request_key(&req.asm, &req.passes),
+                        request_key(&req.asm, &req.passes, req.isa),
                         Arc::new(outcome.clone()),
                     );
                 }
@@ -702,16 +704,18 @@ impl Engine {
     /// over text parsing when a snapshot store is configured. Misses parse
     /// — in parallel when `jobs > 1` — and backfill the store, so the next
     /// request carrying the same bytes skips the parser entirely.
-    fn front_end(&self, asm: &str, jobs: usize) -> Result<MaoUnit, Response> {
+    fn front_end(&self, asm: &str, jobs: usize, isa: IsaId) -> Result<MaoUnit, Response> {
         let inner = &self.inner;
         let key = match &inner.snapshots {
             Some(snapshots) => {
-                let key = SnapshotStore::key_of(asm);
+                // The ISA folds into the store key: the same text parsed
+                // under different dialects yields different entry lists.
+                let key = SnapshotStore::key_of(asm) ^ (u128::from(isa.tag()) << 120);
                 let mut span = Span::enter(&inner.obs.recorder, "frontend", "snapshot_load");
                 if let Some(entries) = snapshots.load_key(key) {
                     span.arg("entries", entries.len());
                     inner.snapshot_hits.inc();
-                    return Ok(MaoUnit::from_entries(entries));
+                    return Ok(MaoUnit::from_entries_isa(entries, isa));
                 }
                 inner.snapshot_misses.inc();
                 Some(key)
@@ -722,7 +726,7 @@ impl Engine {
         let unit = {
             let mut span = Span::enter(&inner.obs.recorder, "frontend", "parse");
             span.arg("bytes", asm.len());
-            MaoUnit::parse_with_jobs(asm, jobs)
+            MaoUnit::parse_with_jobs_isa(asm, jobs, isa)
                 .map_err(|e| Response::error(ErrorKind::Parse, e.to_string()))?
         };
         inner
@@ -747,7 +751,7 @@ impl Engine {
         let attempt = catch_unwind(AssertUnwindSafe(
             || -> Result<(OptimizeOutcome, Timings), Response> {
                 let t0 = Instant::now();
-                let mut unit = self.front_end(&req.asm, jobs)?;
+                let mut unit = self.front_end(&req.asm, jobs, req.isa)?;
                 let parse_us = t0.elapsed().as_micros() as u64;
                 let invocations = parse_invocations(&req.passes)
                     .map_err(|e| Response::error(ErrorKind::BadRequest, e.to_string()))?;
@@ -826,6 +830,7 @@ mod tests {
             jobs: None,
             timeout_ms: None,
             use_cache: true,
+            isa: mao::isa::IsaId::X86_64,
         })
     }
 
@@ -892,6 +897,7 @@ mod tests {
             jobs: None,
             timeout_ms: Some(50),
             use_cache: false,
+            isa: mao::isa::IsaId::X86_64,
         }));
         match response {
             Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Timeout),
@@ -929,13 +935,62 @@ mod tests {
 
     #[test]
     fn same_key_same_shard_distinct_keys_spread() {
-        let k1 = request_key(INPUT, "REDTEST");
+        let k1 = request_key(INPUT, "REDTEST", mao::isa::IsaId::X86_64);
         assert_eq!(k1.shard(4), k1.shard(4), "deterministic");
         // With enough distinct keys, more than one shard is used.
         let hit: std::collections::HashSet<usize> = (0..64)
-            .map(|i| request_key(&format!("{INPUT}# {i}\n"), "REDTEST").shard(4))
+            .map(|i| {
+                request_key(
+                    &format!("{INPUT}# {i}\n"),
+                    "REDTEST",
+                    mao::isa::IsaId::X86_64,
+                )
+                .shard(4)
+            })
             .collect();
         assert!(hit.len() > 1, "content hashing spreads shards: {hit:?}");
+    }
+
+    #[test]
+    fn per_request_isa_selects_the_aarch64_pipeline() {
+        let engine = engine();
+        let a64 = "\t.type\tf, @function\nf:\n\tnop\n\tadd x0, x0, #1\n\tret\n";
+        let request = |passes: &str| {
+            Request::Optimize(OptimizeRequest {
+                asm: a64.to_string(),
+                passes: passes.into(),
+                jobs: None,
+                timeout_ms: None,
+                use_cache: true,
+                isa: mao::isa::IsaId::Aarch64,
+            })
+        };
+        // An ISA-neutral pass runs and the emitted text is aarch64 syntax.
+        let Response::Optimized { outcome, .. } = engine.handle(request("NOPKILL")) else {
+            panic!("expected aarch64 optimize to succeed");
+        };
+        assert!(
+            !outcome.asm.contains("\tnop"),
+            "nop removed: {}",
+            outcome.asm
+        );
+        assert!(outcome.asm.contains("add\tx0, x0, #1"), "{}", outcome.asm);
+        // An x86-only pass is a structured pass error, not a panic.
+        match engine.handle(request("SCHED")) {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::Pass);
+                assert!(message.contains("aarch64"), "{message}");
+            }
+            other => panic!("expected pass error, got {other:?}"),
+        }
+        // The stats snapshot breaks requests down by ISA.
+        let _ = engine.handle(optimize(INPUT, "REDTEST"));
+        let Response::Stats(snap) = engine.handle(Request::Stats) else {
+            panic!("expected stats");
+        };
+        let isa = snap.get("isa").unwrap();
+        assert_eq!(isa.get("aarch64").unwrap().as_u64(), Some(2));
+        assert_eq!(isa.get("x86-64").unwrap().as_u64(), Some(1));
     }
 
     #[test]
@@ -1029,6 +1084,7 @@ mod tests {
             jobs: None,
             timeout_ms: None,
             use_cache: false,
+            isa: mao::isa::IsaId::X86_64,
         })
     }
 

@@ -20,6 +20,7 @@
 
 use std::io;
 
+use mao::isa::IsaId;
 use mao::relax::BranchForm;
 use mao::Layout;
 
@@ -27,8 +28,11 @@ use crate::store::{ArtifactStore, StoreConfig, StoreStats};
 
 /// Bumped whenever the frame encoding or the meaning of a stored layout
 /// changes (e.g. relaxation semantics); other versions are evicted on
-/// contact.
-pub const LAYOUT_FORMAT_VERSION: u32 = 1;
+/// contact. Version 2 added the ISA tag after the unit-content key — a
+/// layout solved for one instruction set must never be served for
+/// another, and v1 frames (implicitly x86-64, pre-dating the tag) are
+/// evicted like any other stale version.
+pub const LAYOUT_FORMAT_VERSION: u32 = 2;
 
 /// 8-byte file magic; trailing byte doubles as a format generation.
 const MAGIC: &[u8; 8] = b"MAOLYT\0\x01";
@@ -42,10 +46,11 @@ const EXT: &str = "ml";
 const MAX_ENTRIES: usize = 1 << 28;
 
 /// Serialize one layout to its on-disk frame.
-pub fn encode_layout(key: u128, layout: &Layout) -> Vec<u8> {
+pub fn encode_layout(key: u128, isa: IsaId, layout: &Layout) -> Vec<u8> {
     let n = layout.addr.len();
-    let mut body = Vec::with_capacity(16 + n * 13 + 16);
+    let mut body = Vec::with_capacity(20 + n * 13 + 16);
     body.extend_from_slice(&key.to_le_bytes());
+    body.extend_from_slice(&isa.tag().to_le_bytes());
     body.extend_from_slice(&(n as u64).to_le_bytes());
     for &addr in &layout.addr {
         body.extend_from_slice(&addr.to_le_bytes());
@@ -71,11 +76,12 @@ pub fn encode_layout(key: u128, layout: &Layout) -> Vec<u8> {
     out
 }
 
-/// Decode and verify one frame for the unit-content key it claims to store.
-/// Any structural problem — truncation, bad magic, stale version, wrong
-/// key, checksum mismatch, out-of-range form byte — returns `None`; the
-/// caller treats the file as corrupt and evicts it.
-pub fn decode_layout(bytes: &[u8], expected_key: u128) -> Option<Layout> {
+/// Decode and verify one frame for the unit-content key and ISA it claims
+/// to store. Any structural problem — truncation, bad magic, stale
+/// version, wrong key, **wrong ISA**, checksum mismatch, out-of-range form
+/// byte — returns `None`; the caller treats the file as corrupt and evicts
+/// it.
+pub fn decode_layout(bytes: &[u8], expected_key: u128, expected_isa: IsaId) -> Option<Layout> {
     // Header: magic(8) version(4) body_len(8); trailer: checksum(8).
     if bytes.len() < 20 + 8 || &bytes[..8] != MAGIC {
         return None;
@@ -92,17 +98,21 @@ pub fn decode_layout(bytes: &[u8], expected_key: u128) -> Option<Layout> {
     if fnv1a(body) != checksum {
         return None;
     }
-    if body.len() < 24 {
+    if body.len() < 28 {
         return None;
     }
     if u128::from_le_bytes(body[..16].try_into().unwrap()) != expected_key {
         return None;
     }
-    let n = u64::from_le_bytes(body[16..24].try_into().unwrap()) as usize;
-    if n > MAX_ENTRIES || body.len() != 24 + n * 8 + n * 4 + n + 8 {
+    let isa_tag = u32::from_le_bytes(body[16..20].try_into().unwrap());
+    if IsaId::from_tag(isa_tag) != Some(expected_isa) {
         return None;
     }
-    let mut pos = 24;
+    let n = u64::from_le_bytes(body[20..28].try_into().unwrap()) as usize;
+    if n > MAX_ENTRIES || body.len() != 28 + n * 8 + n * 4 + n + 8 {
+        return None;
+    }
+    let mut pos = 28;
     let mut addr = Vec::with_capacity(n);
     for _ in 0..n {
         addr.push(u64::from_le_bytes(body[pos..pos + 8].try_into().unwrap()));
@@ -185,17 +195,17 @@ impl DiskLayoutStore {
 }
 
 impl mao::LayoutStore for DiskLayoutStore {
-    fn load(&self, key: u128) -> Option<Layout> {
+    fn load(&self, key: u128, isa: IsaId) -> Option<Layout> {
         let mut decoded = None;
         self.store.get_with(key, |bytes| {
-            decoded = decode_layout(bytes, key);
+            decoded = decode_layout(bytes, key, isa);
             decoded.is_some()
         })?;
         decoded
     }
 
-    fn store(&self, key: u128, layout: &Layout) {
-        self.store.put(key, &encode_layout(key, layout));
+    fn store(&self, key: u128, isa: IsaId, layout: &Layout) {
+        self.store.put(key, &encode_layout(key, isa, layout));
     }
 }
 
@@ -229,41 +239,74 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let original = layout();
-        let bytes = encode_layout(42, &original);
-        let decoded = decode_layout(&bytes, 42).unwrap();
+        let bytes = encode_layout(42, IsaId::X86_64, &original);
+        let decoded = decode_layout(&bytes, 42, IsaId::X86_64).unwrap();
         assert!(decoded.agrees_with(&original));
     }
 
     #[test]
     fn truncation_corruption_and_skew_are_rejected() {
-        let bytes = encode_layout(42, &layout());
+        let bytes = encode_layout(42, IsaId::X86_64, &layout());
         for cut in [0, 7, 19, bytes.len() / 2, bytes.len() - 1] {
-            assert!(decode_layout(&bytes[..cut], 42).is_none(), "cut at {cut}");
+            assert!(
+                decode_layout(&bytes[..cut], 42, IsaId::X86_64).is_none(),
+                "cut at {cut}"
+            );
         }
         let mut flipped = bytes.clone();
         let mid = flipped.len() / 2;
         flipped[mid] ^= 0x10;
-        assert!(decode_layout(&flipped, 42).is_none(), "bit flip");
-        assert!(decode_layout(&bytes, 43).is_none(), "wrong key");
+        assert!(
+            decode_layout(&flipped, 42, IsaId::X86_64).is_none(),
+            "bit flip"
+        );
+        assert!(
+            decode_layout(&bytes, 43, IsaId::X86_64).is_none(),
+            "wrong key"
+        );
         let mut stale = bytes.clone();
         stale[8] = 99; // version field
-        assert!(decode_layout(&stale, 42).is_none(), "stale version");
+        assert!(
+            decode_layout(&stale, 42, IsaId::X86_64).is_none(),
+            "stale version"
+        );
+    }
+
+    #[test]
+    fn wrong_isa_frame_is_rejected_like_corruption() {
+        // A layout solved for aarch64 must never be served for an x86-64
+        // unit sharing the content key, and vice versa.
+        let bytes = encode_layout(42, IsaId::Aarch64, &layout());
+        assert!(decode_layout(&bytes, 42, IsaId::Aarch64).is_some());
+        assert!(
+            decode_layout(&bytes, 42, IsaId::X86_64).is_none(),
+            "wrong isa"
+        );
+        // Same through the store: the mismatched frame is evicted on contact.
+        let dir = tempdir("wrong-isa");
+        let s = DiskLayoutStore::open_dir(&dir, 0).unwrap();
+        s.store(9, IsaId::Aarch64, &layout());
+        assert!(s.load(9, IsaId::X86_64).is_none());
+        let path = dir.join(format!("{:032x}.ml", 9u128));
+        assert!(!path.exists(), "wrong-ISA layout evicted, not served");
+        assert_eq!(s.stats().corrupt, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn store_roundtrip_and_corrupt_eviction() {
         let dir = tempdir("store");
         let s = DiskLayoutStore::open_dir(&dir, 0).unwrap();
-        assert!(s.load(7).is_none());
-        s.store(7, &layout());
-        assert!(s.load(7).unwrap().agrees_with(&layout()));
+        assert!(s.load(7, IsaId::X86_64).is_none());
+        s.store(7, IsaId::X86_64, &layout());
+        assert!(s.load(7, IsaId::X86_64).unwrap().agrees_with(&layout()));
         // Corrupt the file on disk: the next load evicts, never serves.
         let path = dir.join(format!("{:032x}.ml", 7u128));
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xff;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(s.load(7).is_none());
+        assert!(s.load(7, IsaId::X86_64).is_none());
         assert!(!path.exists(), "corrupt layout deleted");
         assert_eq!(s.stats().corrupt, 1);
         let _ = std::fs::remove_dir_all(&dir);

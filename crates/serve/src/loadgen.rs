@@ -179,6 +179,7 @@ fn synthesize(index: u64, config: &LoadgenConfig) -> (Vec<u8>, Expect) {
             jobs: None,
             timeout_ms: None,
             use_cache: true,
+            isa: mao::isa::IsaId::X86_64,
         });
         return (request.to_json().to_string().into_bytes(), Expect::Error);
     }
@@ -199,6 +200,7 @@ fn synthesize(index: u64, config: &LoadgenConfig) -> (Vec<u8>, Expect) {
         jobs: None,
         timeout_ms: None,
         use_cache: true,
+        isa: mao::isa::IsaId::X86_64,
     });
     (request.to_json().to_string().into_bytes(), Expect::Ok)
 }

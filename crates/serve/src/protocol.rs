@@ -10,6 +10,7 @@
 //!
 //! ```json
 //! {"type":"optimize","asm":"...","passes":"REDTEST:DCE",
+//!  "isa":"x86-64",
 //!  "options":{"jobs":2,"timeout_ms":5000,"cache":true}}
 //! {"type":"stats"}
 //! {"type":"metrics"}
@@ -24,6 +25,8 @@
 //! [`crate::stats::STATS_SCHEMA_VERSION`].
 
 use std::io::{self, Read, Write};
+
+use mao::isa::IsaId;
 
 use crate::json::Json;
 use crate::stats::STATS_SCHEMA_VERSION;
@@ -63,6 +66,10 @@ pub struct OptimizeRequest {
     pub timeout_ms: Option<u64>,
     /// Consult/populate the result cache (default true).
     pub use_cache: bool,
+    /// Instruction set the request's assembly targets (wire member `isa`,
+    /// default `x86-64`). Selects the parser dialect, keys the caches, and
+    /// gates which passes may run.
+    pub isa: IsaId,
 }
 
 impl Request {
@@ -90,6 +97,12 @@ impl Request {
                     .and_then(Json::as_str)
                     .unwrap_or("")
                     .to_string();
+                let isa = match value.get("isa").and_then(Json::as_str) {
+                    None => IsaId::default(),
+                    Some(name) => {
+                        IsaId::from_name(name).ok_or_else(|| format!("unknown isa `{name}`"))?
+                    }
+                };
                 let options = value.get("options");
                 let get = |key: &str| options.and_then(|o| o.get(key));
                 Ok(Request::Optimize(OptimizeRequest {
@@ -98,6 +111,7 @@ impl Request {
                     jobs: get("jobs").and_then(Json::as_u64).map(|n| n as usize),
                     timeout_ms: get("timeout_ms").and_then(Json::as_u64),
                     use_cache: get("cache").and_then(Json::as_bool).unwrap_or(true),
+                    isa,
                 }))
             }
             "stats" => Ok(Request::Stats),
@@ -127,6 +141,9 @@ impl Request {
                     ("asm".to_string(), Json::from(req.asm.clone())),
                     ("passes".to_string(), Json::from(req.passes.clone())),
                 ];
+                if req.isa != IsaId::default() {
+                    pairs.push(("isa".to_string(), Json::from(req.isa.name())));
+                }
                 if !options.is_empty() {
                     pairs.push(("options".to_string(), Json::Obj(options)));
                 }
@@ -437,8 +454,10 @@ mod tests {
             jobs: Some(2),
             timeout_ms: Some(500),
             use_cache: false,
+            isa: IsaId::Aarch64,
         });
         let text = req.to_json().to_string();
+        assert!(text.contains(r#""isa":"aarch64""#));
         assert_eq!(Request::from_json_text(&text).unwrap(), req);
         for simple in [
             Request::Stats,
@@ -459,7 +478,18 @@ mod tests {
                 assert_eq!(o.passes, "");
                 assert!(o.use_cache);
                 assert_eq!(o.jobs, None);
+                assert_eq!(o.isa, IsaId::X86_64, "x86-64 is the wire default");
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn isa_member_selects_the_target() {
+        let req =
+            Request::from_json_text(r#"{"type":"optimize","asm":"ret\n","isa":"arm64"}"#).unwrap();
+        match req {
+            Request::Optimize(o) => assert_eq!(o.isa, IsaId::Aarch64),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -470,6 +500,10 @@ mod tests {
         assert!(Request::from_json_text(r#"{"type":"frobnicate"}"#).is_err());
         assert!(Request::from_json_text(r#"{"type":"optimize"}"#).is_err());
         assert!(Request::from_json_text("not json").is_err());
+        assert!(
+            Request::from_json_text(r#"{"type":"optimize","asm":"","isa":"vax"}"#).is_err(),
+            "unknown isa names are rejected up front"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Content-addressed, tiered result cache for whole optimization requests.
 //!
-//! Keyed by a 128-bit hash of `(input asm, pass string)`. The worker count
+//! Keyed by a 128-bit hash of `(input asm, pass string, ISA)`. The worker count
 //! is deliberately *not* part of the key: the PR 1 parallel driver
 //! guarantees byte-identical output (including trace lines) for every
 //! `jobs` value, so a unit optimized at `--jobs 8` is a valid answer for
@@ -58,18 +58,21 @@ impl RequestKey {
     }
 }
 
-/// Hash `(asm, passes)` into a [`RequestKey`].
+/// Hash `(asm, passes, isa)` into a [`RequestKey`].
 ///
 /// Two independently-seeded 64-bit hashes are concatenated; a collision
 /// needs both to collide at once, which at 2^-128 is beyond the service's
-/// lifetime request count by any margin.
-pub fn request_key(asm: &str, passes: &str) -> RequestKey {
+/// lifetime request count by any margin. The ISA participates because the
+/// same text optimized for different targets yields different results.
+pub fn request_key(asm: &str, passes: &str, isa: mao::isa::IsaId) -> RequestKey {
     let mut lo = std::collections::hash_map::DefaultHasher::new();
     0x6d616f_u64.hash(&mut lo); // "mao" seed
+    isa.tag().hash(&mut lo);
     asm.hash(&mut lo);
     passes.hash(&mut lo);
     let mut hi = std::collections::hash_map::DefaultHasher::new();
     0x64616f6d_u64.hash(&mut hi); // "maod" seed
+    isa.tag().hash(&mut hi);
     passes.hash(&mut hi);
     asm.hash(&mut hi);
     RequestKey(((hi.finish() as u128) << 64) | lo.finish() as u128)
@@ -286,7 +289,7 @@ mod tests {
     #[test]
     fn hit_and_miss_counters() {
         let cache = ResultCache::new(8);
-        let k = request_key("nop\n", "DCE");
+        let k = request_key("nop\n", "DCE", mao::isa::IsaId::X86_64);
         assert!(cache.get(k).is_none());
         cache.insert(k, outcome("nop\n"));
         let (hit, tier) = cache.get(k).unwrap();
@@ -306,7 +309,7 @@ mod tests {
             crate::disk_cache::DiskCache::open(crate::disk_cache::DiskCacheConfig::new(&dir))
                 .unwrap()
         };
-        let k = request_key("nop\n", "DCE");
+        let k = request_key("nop\n", "DCE", mao::isa::IsaId::X86_64);
         {
             let warm = ResultCache::with_disk(8, Some(open()));
             warm.insert(k, outcome("nop\n"));
@@ -328,19 +331,36 @@ mod tests {
 
     #[test]
     fn distinct_inputs_distinct_keys() {
-        assert_ne!(request_key("a", "P"), request_key("b", "P"));
-        assert_ne!(request_key("a", "P"), request_key("a", "Q"));
+        assert_ne!(
+            request_key("a", "P", mao::isa::IsaId::X86_64),
+            request_key("b", "P", mao::isa::IsaId::X86_64)
+        );
+        assert_ne!(
+            request_key("a", "P", mao::isa::IsaId::X86_64),
+            request_key("a", "Q", mao::isa::IsaId::X86_64)
+        );
         // Swapping asm and passes must not collide either.
-        assert_ne!(request_key("a", "b"), request_key("b", "a"));
-        assert_eq!(request_key("a", "P"), request_key("a", "P"));
+        assert_ne!(
+            request_key("a", "b", mao::isa::IsaId::X86_64),
+            request_key("b", "a", mao::isa::IsaId::X86_64)
+        );
+        assert_eq!(
+            request_key("a", "P", mao::isa::IsaId::X86_64),
+            request_key("a", "P", mao::isa::IsaId::X86_64)
+        );
+        // The same text targeting a different ISA is a different request.
+        assert_ne!(
+            request_key("a", "P", mao::isa::IsaId::X86_64),
+            request_key("a", "P", mao::isa::IsaId::Aarch64)
+        );
     }
 
     #[test]
     fn lru_eviction_prefers_stale_entries() {
         let cache = ResultCache::new(2);
-        let k1 = request_key("1", "");
-        let k2 = request_key("2", "");
-        let k3 = request_key("3", "");
+        let k1 = request_key("1", "", mao::isa::IsaId::X86_64);
+        let k2 = request_key("2", "", mao::isa::IsaId::X86_64);
+        let k3 = request_key("3", "", mao::isa::IsaId::X86_64);
         cache.insert(k1, outcome("1"));
         cache.insert(k2, outcome("2"));
         // Touch k1 so k2 becomes the LRU entry.
@@ -357,7 +377,10 @@ mod tests {
     fn zero_capacity_is_unbounded() {
         let cache = ResultCache::new(0);
         for i in 0..100 {
-            cache.insert(request_key(&i.to_string(), ""), outcome("x"));
+            cache.insert(
+                request_key(&i.to_string(), "", mao::isa::IsaId::X86_64),
+                outcome("x"),
+            );
         }
         assert_eq!(cache.len(), 100);
         assert_eq!(cache.stats().evictions, 0);

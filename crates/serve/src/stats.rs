@@ -33,8 +33,11 @@ use crate::result_cache::ResultCacheStats;
 /// reporting the persistent layout tier; version 6 added the `cost_model`
 /// object (name/source/generator/seed/mnemonic-count/fingerprint of the
 /// process-global cost table every port/latency-sensitive pass plans
-/// with — `hand-set` builtins or a `probe/<backend>` `.mpt` sweep).
-pub const STATS_SCHEMA_VERSION: u64 = 6;
+/// with — `hand-set` builtins or a `probe/<backend>` `.mpt` sweep);
+/// version 7 added the `isa` object (optimize requests by instruction
+/// set, one member per [`mao::isa::IsaId`] name) alongside per-request
+/// ISA selection on the `optimize` request.
+pub const STATS_SCHEMA_VERSION: u64 = 7;
 
 /// Cumulative service counters. One instance lives for the daemon's whole
 /// life and is shared by every connection and worker thread. The counters
@@ -52,6 +55,9 @@ pub struct ServerStats {
     accepted: Counter,
     shed: Counter,
     in_flight: AtomicU64,
+    /// Optimize requests per instruction set, indexed like
+    /// [`mao::isa::IsaId::ALL`].
+    isa_requests: Vec<Counter>,
     /// Pass name → (invocations, cumulative microseconds).
     pass_timings: Mutex<BTreeMap<String, (u64, u64)>>,
     /// Handles into the `mao_superopt_*` counter families the SUPEROPT
@@ -119,8 +125,19 @@ impl ServerStats {
             accepted: metrics.counter("mao_requests_accepted_total"),
             shed: metrics.counter("mao_requests_shed_total"),
             in_flight: AtomicU64::new(0),
+            isa_requests: mao::isa::IsaId::ALL
+                .iter()
+                .map(|isa| metrics.counter_with("mao_requests_isa_total", &[("isa", isa.name())]))
+                .collect(),
             pass_timings: Mutex::new(BTreeMap::new()),
             superopt: SuperoptCounters::new(metrics),
+        }
+    }
+
+    /// An optimize request declared its target instruction set.
+    pub fn record_isa(&self, isa: mao::isa::IsaId) {
+        if let Some(i) = mao::isa::IsaId::ALL.iter().position(|x| *x == isa) {
+            self.isa_requests[i].inc();
         }
     }
 
@@ -225,6 +242,11 @@ impl ServerStats {
                 panics: self.panics.get(),
                 timeouts: self.timeouts.get(),
             },
+            isa_requests: mao::isa::IsaId::ALL
+                .iter()
+                .zip(&self.isa_requests)
+                .map(|(isa, counter)| (isa.name().to_string(), counter.get()))
+                .collect(),
             in_flight: self.in_flight(),
             admission: AdmissionStats {
                 offered: self.offered.get(),
@@ -375,6 +397,9 @@ pub struct StatsSnapshot {
     pub uptime_s: f64,
     /// Request outcome counters.
     pub requests: RequestCounters,
+    /// Optimize requests per instruction set: (canonical ISA name, count),
+    /// one entry per supported ISA (schema v7).
+    pub isa_requests: Vec<(String, u64)>,
     /// Optimize requests currently in service.
     pub in_flight: u64,
     /// Admission-control counters and the pending gauge.
@@ -493,6 +518,15 @@ impl StatsSnapshot {
                     ("panics", Json::from(self.requests.panics)),
                     ("timeouts", Json::from(self.requests.timeouts)),
                 ]),
+            ),
+            (
+                "isa",
+                Json::Obj(
+                    self.isa_requests
+                        .iter()
+                        .map(|(name, count)| (name.clone(), Json::from(*count)))
+                        .collect(),
+                ),
             ),
             ("in_flight", Json::from(self.in_flight)),
             (

@@ -19,6 +19,7 @@ fn slow_request(tag: usize, ms: u64) -> Request {
         jobs: None,
         timeout_ms: Some(0),
         use_cache: false,
+        isa: mao::isa::IsaId::X86_64,
     })
 }
 

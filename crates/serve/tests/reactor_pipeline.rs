@@ -51,6 +51,7 @@ fn slow_request(ms: u64) -> Request {
         jobs: None,
         timeout_ms: Some(0),
         use_cache: false,
+        isa: mao::isa::IsaId::X86_64,
     })
 }
 

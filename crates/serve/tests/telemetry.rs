@@ -25,6 +25,7 @@ fn optimize(asm: &str) -> Request {
         jobs: None,
         timeout_ms: None,
         use_cache: true,
+        isa: mao::isa::IsaId::X86_64,
     })
 }
 

@@ -49,11 +49,14 @@ pub use window::{extract_windows, Window};
 /// Registry name of the pass.
 pub const PASS_NAME: &str = "SUPEROPT";
 
-/// Register `SUPEROPT` in the global pass registry. Idempotent; every
-/// entry point that may run the pass (the CLI, the checker's path runner,
-/// tests) calls this once at startup.
+/// Register `SUPEROPT` in the global pass registry, declared x86-only —
+/// the rewrite windows, the cost model, and the simulator oracle are all
+/// x86 constructs. Idempotent; every entry point that may run the pass
+/// (the CLI, the checker's path runner, tests) calls this once at startup.
 pub fn register() {
-    register_extension(PASS_NAME, || Box::<SuperoptPass>::default());
+    register_extension(PASS_NAME, &[mao::isa::IsaId::X86_64], || {
+        Box::<SuperoptPass>::default()
+    });
 }
 
 /// Knobs, parsed from the invocation options.
@@ -231,7 +234,10 @@ fn run_search(
 
 /// Replace the window's entries with the rewrite.
 fn apply_rewrite(edits: &mut EditSet, w: &Window, concrete: Vec<Instruction>) {
-    let mut entries: Vec<Entry> = concrete.into_iter().map(Entry::Insn).collect();
+    let mut entries: Vec<Entry> = concrete
+        .into_iter()
+        .map(|i| Entry::Insn(i.into()))
+        .collect();
     if entries.is_empty() {
         edits.delete(w.ids[0]);
     } else {

@@ -138,6 +138,9 @@ fn flags_dead_after(entries: &[(EntryId, &Entry)], start_pos: usize, window_flag
             Entry::Label(_) => return false,
             Entry::Directive(_) => {}
             Entry::Insn(insn) => {
+                // Non-x86 instructions never appear here (the pass is
+                // registered x86-only), but be conservative regardless.
+                let Some(insn) = insn.x86() else { return false };
                 let du = def_use(insn);
                 if du.flags_use.intersects(unresolved) {
                     return false;
@@ -174,7 +177,7 @@ pub fn extract_windows(unit: &MaoUnit, function: &Function, min: usize, max: usi
     while pos <= entries.len() {
         let breaks = match entries.get(pos) {
             None => true,
-            Some((_, Entry::Insn(insn))) => !eligible(insn),
+            Some((_, Entry::Insn(insn))) => !insn.x86().is_some_and(eligible),
             Some(_) => true,
         };
         if breaks {
@@ -188,13 +191,15 @@ pub fn extract_windows(unit: &MaoUnit, function: &Function, min: usize, max: usi
 
 /// Flags any instruction in `slice` defines or undefines.
 fn defined_flags(slice: &[(EntryId, &Entry)]) -> Flags {
-    slice.iter().fold(Flags::NONE, |acc, (_, e)| match e {
-        Entry::Insn(insn) => {
-            let du = def_use(insn);
-            acc | du.flags_def | du.flags_undef
-        }
-        _ => acc,
-    })
+    slice
+        .iter()
+        .fold(Flags::NONE, |acc, (_, e)| match e.insn() {
+            Some(insn) => {
+                let du = def_use(insn);
+                acc | du.flags_def | du.flags_undef
+            }
+            None => acc,
+        })
 }
 
 /// Chunk one maximal run `entries[start..end]` into non-overlapping

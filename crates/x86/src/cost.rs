@@ -66,9 +66,13 @@ pub struct MachineParams {
     pub load_ports: u64,
 }
 
+/// The instruction set every table in this crate costs. `.mpt` containers
+/// for other ISAs are rejected at load with [`MptError::WrongIsa`].
+pub const MPT_ISA: &str = "x86-64";
+
 /// Where a table's numbers came from — written into `.mpt` files and
 /// surfaced through the maod stats schema (v6).
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Provenance {
     /// Producer: `hand-set` for built-ins, `probe/<backend>` for sweeps.
     pub source: String,
@@ -78,6 +82,23 @@ pub struct Provenance {
     pub generator: String,
     /// RNG seed the sweep ran with (0 for hand-set tables).
     pub seed: u64,
+    /// Instruction set the per-mnemonic costs describe. Container v1
+    /// predates the field and implies [`MPT_ISA`]; v2 stamps it
+    /// explicitly so a table measured for one ISA can never be installed
+    /// into an optimizer instantiation for another.
+    pub isa: String,
+}
+
+impl Default for Provenance {
+    fn default() -> Provenance {
+        Provenance {
+            source: String::new(),
+            target: String::new(),
+            generator: String::new(),
+            seed: 0,
+            isa: MPT_ISA.to_string(),
+        }
+    }
 }
 
 /// A complete machine cost model: per-mnemonic table + machine parameters
@@ -225,6 +246,7 @@ impl CostModel {
             target: "intel-core2-like".to_string(),
             generator: "builtin".to_string(),
             seed: 0,
+            isa: MPT_ISA.to_string(),
         };
         use Mnemonic as M;
         // Latencies and port bindings follow the paper's Core-2 anecdotes:
@@ -298,8 +320,12 @@ fn cost(latency: u32, port_mask: u64) -> MnemonicCost {
 
 /// File magic (8 bytes).
 pub const MPT_MAGIC: [u8; 8] = *b"MAOMPT\x1a\x00";
-/// Container version this build writes and accepts.
-pub const MPT_VERSION: u16 = 1;
+/// Container version this build writes. Version 2 added the ISA
+/// identifier to the provenance block; v1 files (which predate it) are
+/// still accepted and imply [`MPT_ISA`].
+pub const MPT_VERSION: u16 = 2;
+/// Oldest container version this build still reads.
+pub const MPT_MIN_VERSION: u16 = 1;
 
 /// Why a `.mpt` file was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -324,6 +350,12 @@ pub enum MptError {
     },
     /// Payload checksum mismatch (bit rot or a torn write).
     BadChecksum,
+    /// The table costs a different instruction set than this optimizer
+    /// instantiation: structurally valid, semantically unusable.
+    WrongIsa {
+        /// ISA identifier stamped in the file's provenance block.
+        found: String,
+    },
     /// Structurally invalid payload.
     Malformed(String),
 }
@@ -340,6 +372,10 @@ impl std::fmt::Display for MptError {
                 write!(f, "truncated .mpt: need {needed} bytes, have {have}")
             }
             MptError::BadChecksum => write!(f, "corrupt .mpt: payload checksum mismatch"),
+            MptError::WrongIsa { found } => write!(
+                f,
+                "wrong ISA: table costs `{found}` instructions, this optimizer needs `{MPT_ISA}`"
+            ),
             MptError::Malformed(m) => write!(f, "malformed .mpt payload: {m}"),
         }
     }
@@ -412,6 +448,7 @@ impl CostModel {
         put_str(&mut payload, &self.provenance.target);
         put_str(&mut payload, &self.provenance.generator);
         payload.extend_from_slice(&self.provenance.seed.to_le_bytes());
+        put_str(&mut payload, &self.provenance.isa);
         let m = &self.machine;
         for v in [
             m.issue_width,
@@ -463,7 +500,7 @@ impl CostModel {
             return Err(MptError::BadMagic);
         }
         let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
-        if version != MPT_VERSION {
+        if !(MPT_MIN_VERSION..=MPT_VERSION).contains(&version) {
             return Err(MptError::BadVersion {
                 found: version,
                 expected: MPT_VERSION,
@@ -492,7 +529,19 @@ impl CostModel {
             target: r.string()?,
             generator: r.string()?,
             seed: r.u64()?,
+            // v1 containers predate the identifier; every v1 table ever
+            // written costed x86-64 instructions.
+            isa: if version >= 2 {
+                r.string()?
+            } else {
+                MPT_ISA.to_string()
+            },
         };
+        if provenance.isa != MPT_ISA {
+            return Err(MptError::WrongIsa {
+                found: provenance.isa,
+            });
+        }
         let machine = MachineParams {
             issue_width: r.u32()?,
             num_ports: r.u32()?,
@@ -682,6 +731,54 @@ mod tests {
             // Serialization is canonical: same model, same bytes.
             assert_eq!(back.to_mpt_bytes(), bytes);
         }
+    }
+
+    #[test]
+    fn mpt_v1_frames_load_with_the_implied_isa() {
+        // Re-encode a v2 container as v1: drop the isa string from the
+        // payload, stamp version 1, refresh length and checksum. This is
+        // exactly the byte layout every pre-ISA-boundary table used.
+        let model = CostModel::core2();
+        let v2 = model.to_mpt_bytes();
+        let payload = &v2[22..];
+        let mut r = Reader {
+            bytes: payload,
+            pos: 0,
+        };
+        for _ in 0..4 {
+            r.string().unwrap(); // name, source, target, generator
+        }
+        r.u64().unwrap(); // seed
+        let isa_start = r.pos;
+        r.string().unwrap(); // the v2 isa field
+        let mut v1_payload = payload[..isa_start].to_vec();
+        v1_payload.extend_from_slice(&payload[r.pos..]);
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&MPT_MAGIC);
+        v1.extend_from_slice(&1u16.to_le_bytes());
+        v1.extend_from_slice(&(v1_payload.len() as u32).to_le_bytes());
+        v1.extend_from_slice(&fnv1a(&v1_payload).to_le_bytes());
+        v1.extend_from_slice(&v1_payload);
+
+        let loaded = CostModel::from_mpt_bytes(&v1).expect("v1 container still loads");
+        assert_eq!(loaded.provenance.isa, MPT_ISA);
+        assert_eq!(loaded, model);
+    }
+
+    #[test]
+    fn mpt_rejects_a_wrong_isa_table() {
+        let mut model = CostModel::core2();
+        model.provenance.isa = "aarch64".to_string();
+        let bytes = model.to_mpt_bytes();
+        let err = CostModel::from_mpt_bytes(&bytes).unwrap_err();
+        assert_eq!(
+            err,
+            MptError::WrongIsa {
+                found: "aarch64".to_string()
+            }
+        );
+        assert!(err.to_string().contains("aarch64"), "{err}");
+        assert!(err.to_string().contains(MPT_ISA), "{err}");
     }
 
     #[test]

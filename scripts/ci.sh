@@ -27,7 +27,14 @@ cargo run --release -p mao-bench --bin bench_relax -- --smoke
 # oracle still catches deliberate miscompiles. Deep sweeps live in
 # scripts/nightly_check.sh.
 echo "==> differential check (smoke)"
-target/release/mao check --smoke
+# The smoke sweep now carries an ISA matrix leg: the aarch64 structural
+# sweep must run (and pass) alongside the x86-64 differential matrix.
+SMOKE_LOG=$(mktemp)
+trap 'rm -f "$SMOKE_LOG"' EXIT
+target/release/mao check --smoke | tee "$SMOKE_LOG"
+grep -q 'aarch64 structural leg' "$SMOKE_LOG"
+rm -f "$SMOKE_LOG"
+trap - EXIT
 target/release/mao check --inject-miscompile > /dev/null
 
 echo "==> cost-model calibration smoke"
@@ -151,6 +158,29 @@ grep -q 'frontend: snapshot hit' "$SNAP_WORK/warm.log"
 cmp "$SNAP_WORK/cold.s" "$SNAP_WORK/warm.s"
 cmp "$SNAP_WORK/text.s" "$SNAP_WORK/warm.s"
 rm -rf "$SNAP_WORK"
+trap - EXIT
+
+echo "==> aarch64 smoke"
+# The second ISA instantiation end to end on a committed fixture: parse the
+# A64 dialect, run the ISA-neutral pipeline, relax, emit — then prove the
+# emitted text reparses to identical bytes, that an x86-only pass is
+# rejected with the structured gating error, and that the structural sweep
+# (path agreement, reparse stability, layout monotonicity, fixed 4-byte
+# widths) is green.
+A64_WORK=$(mktemp -d)
+trap 'rm -rf "$A64_WORK"' EXIT
+A64_FIXTURE=crates/check/tests/fixtures/aarch64_smoke.s
+target/release/mao --isa aarch64 --mao=NOPKILL:DCE "$A64_FIXTURE" \
+    > "$A64_WORK/out.s" 2> /dev/null
+! grep -q $'\tnop' "$A64_WORK/out.s"   # NOPKILL fired on the A64 unit
+target/release/mao --isa aarch64 "$A64_WORK/out.s" > "$A64_WORK/out2.s" \
+    2> /dev/null
+cmp "$A64_WORK/out.s" "$A64_WORK/out2.s"
+! target/release/mao --isa aarch64 --mao=SCHED "$A64_FIXTURE" \
+    > /dev/null 2> "$A64_WORK/sched.log"
+grep -q 'does not support ISA' "$A64_WORK/sched.log"
+target/release/mao check --isa aarch64
+rm -rf "$A64_WORK"
 trap - EXIT
 
 echo "==> front-end benchmark gates (smoke)"
